@@ -1,0 +1,54 @@
+"""Ablation: the CPU sampling interval q (§2.1's overhead/precision dial).
+
+Sweeps q over 1–50 ms on a suite workload: smaller q means more samples
+(finer-grained attribution) at a higher signal-handling cost; larger q is
+cheaper but coarser. Scalene's default (10 ms) sits where the overhead
+flattens out near 1.0x.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+from repro.workloads import get_workload
+
+INTERVALS = (0.001, 0.005, 0.01, 0.05)
+
+
+def run_experiment(scale: float):
+    workload = get_workload("raytrace")
+    bare = workload.make_process(scale)
+    bare.run()
+    baseline_wall = bare.clock.wall
+
+    rows = []
+    for q in INTERVALS:
+        process = workload.make_process(scale)
+        config = ScaleneConfig(mode="cpu", cpu_sampling_interval=q)
+        scalene = Scalene(process, config=config)
+        scalene.start()
+        process.run()
+        profile = scalene.stop()
+        rows.append((q, profile.cpu_samples, process.clock.wall / baseline_wall))
+    return rows
+
+
+def test_ablation_interval(benchmark):
+    rows = run_once(benchmark, run_experiment, max(bench_scale(), 0.25))
+
+    lines = [f"{'q (ms)':>8}{'samples':>9}{'slowdown':>10}"]
+    for q, samples, slowdown in rows:
+        lines.append(f"{q * 1000:>8.0f}{samples:>9}{slowdown:>9.3f}x")
+    save_result("ablation_interval", "\n".join(lines))
+
+    # Sample counts scale ~inversely with q.
+    samples = {q: s for q, s, _ in rows}
+    assert samples[0.001] > 5 * samples[0.01]
+    assert samples[0.01] > 2 * samples[0.05]
+    # Overhead decreases (weakly) as q grows, and the default is cheap.
+    slowdowns = [sd for _q, _s, sd in rows]
+    assert slowdowns[0] >= slowdowns[-1] - 0.01
+    default = dict((q, sd) for q, _s, sd in rows)[0.01]
+    assert default < 1.05

@@ -1,0 +1,87 @@
+"""Ablation of the RDP timeline reduction (§5).
+
+Compares RDP+downsample against naive uniform downsampling at the same
+100-point budget on a footprint curve with a sharp transient spike (the
+signature a peak-only or uniformly-sampled view would miss): RDP keeps
+the spike and achieves lower reconstruction error.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_result
+
+from repro.core.rdp import reduce_timeline
+
+
+def _spiky_curve(n: int = 4000):
+    points = []
+    for i in range(n):
+        base = 100.0 + 20.0 * ((i // 200) % 3)
+        points.append((float(i), base))
+    # One sharp 4 GB-style transient spike.
+    points[2500] = (2500.0, 4000.0)
+    return points
+
+
+def _uniform_downsample(points, target):
+    step = max(len(points) // target, 1)
+    sampled = points[::step][:target]
+    if sampled[-1] != points[-1]:
+        sampled[-1] = points[-1]
+    return sampled
+
+
+def _interp(points, x):
+    # Linear interpolation over the reduced curve.
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= x <= x1:
+            if x1 == x0:
+                return y0
+            t = (x - x0) / (x1 - x0)
+            return y0 + t * (y1 - y0)
+    return points[-1][1]
+
+
+def _mean_abs_error(original, reduced):
+    total = 0.0
+    for x, y in original[:: max(len(original) // 500, 1)]:
+        total += abs(_interp(reduced, x) - y)
+    return total / 500
+
+
+def run_experiment():
+    curve = _spiky_curve()
+    rdp_reduced = reduce_timeline(curve, 100)
+    uniform = _uniform_downsample(curve, 100)
+    return {
+        "curve": curve,
+        "rdp": rdp_reduced,
+        "uniform": uniform,
+        "rdp_error": _mean_abs_error(curve, rdp_reduced),
+        "uniform_error": _mean_abs_error(curve, uniform),
+    }
+
+
+def test_ablation_rdp(benchmark):
+    results = run_once(benchmark, run_experiment)
+    rdp_reduced = results["rdp"]
+    uniform = results["uniform"]
+
+    peak_rdp = max(y for _x, y in rdp_reduced)
+    peak_uniform = max(y for _x, y in uniform)
+    lines = [
+        f"points: original {len(results['curve'])}, rdp {len(rdp_reduced)}, "
+        f"uniform {len(uniform)}",
+        f"spike preserved: rdp peak {peak_rdp:.0f} MB, uniform peak "
+        f"{peak_uniform:.0f} MB (true 4000 MB)",
+        f"mean abs error: rdp {results['rdp_error']:.2f} MB, uniform "
+        f"{results['uniform_error']:.2f} MB",
+    ]
+    save_result("ablation_rdp", "\n".join(lines))
+
+    assert len(rdp_reduced) <= 100
+    # RDP preserves the transient spike; uniform sampling misses it.
+    assert peak_rdp == 4000.0
+    assert peak_uniform < 1000.0
+    # And reconstructs the curve at least as well.
+    assert results["rdp_error"] <= results["uniform_error"] * 1.05

@@ -1,0 +1,117 @@
+"""Ablations of the threshold-sampling design choices (§3.2).
+
+1. **Prime vs. power-of-two threshold.** The paper sets T to "a prime
+   number slightly above 10MB ... to reduce the risk of stride behavior
+   interfering with sampling". A workload allocating fixed-size blocks in
+   a rotating set of lines aliases perfectly with a power-of-two T (every
+   sample lands on the same line); the prime breaks the stride.
+2. **Threshold magnitude sweep.** Larger T → monotonically fewer samples
+   (the overhead/precision dial).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from conftest import run_once, save_result
+
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+from repro.workloads import get_workload
+
+# Four allocation sites, each allocating exactly 2 MiB in rotation, with a
+# periodic release so the footprint keeps re-crossing the threshold.
+STRIDE_SOURCE = """
+keep = []
+def site_a():
+    keep.append(py_buffer(2097152))
+def site_b():
+    keep.append(py_buffer(2097152))
+def site_c():
+    keep.append(py_buffer(2097152))
+def site_d():
+    keep.append(py_buffer(2097152))
+
+for rep in range(160):
+    site_a()
+    site_b()
+    site_c()
+    site_d()
+    if rep % 8 == 7:
+        keep.clear()
+"""
+
+POWER_OF_TWO_T = 8 * 1024 * 1024  # 2^23: exactly four 2 MiB blocks
+PRIME_T = 8_388_617  # the prime just above 2^23
+
+
+def _sample_distribution(threshold: int) -> Counter:
+    process = SimProcess(STRIDE_SOURCE, filename="stride.py")
+    config = ScaleneConfig(memory_threshold=threshold)
+    scalene = Scalene(process, config=config)
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    counts = Counter()
+    for (_filename, lineno), stats in scalene.stats.lines.items():
+        # Growth samples only: the stride aliasing concerns which
+        # *allocation* sites get sampled.
+        if stats.malloc_mb > 0 and stats.mem_samples:
+            counts[lineno] += stats.mem_samples
+    return counts
+
+
+def _threshold_sweep(scale: float):
+    workload = get_workload("pprint")
+    counts = {}
+    for threshold in (1 << 20, 5 << 20, 10_485_767, 50 << 20):
+        process = workload.make_process(scale)
+        config = ScaleneConfig(memory_threshold=threshold)
+        scalene = Scalene(process, config=config)
+        scalene.start()
+        process.run()
+        scalene.stop()
+        counts[threshold] = scalene.memory_profiler.sample_count
+    return counts
+
+
+def run_experiment():
+    return {
+        "power2": _sample_distribution(POWER_OF_TWO_T),
+        "prime": _sample_distribution(PRIME_T),
+        "sweep": _threshold_sweep(0.3),
+    }
+
+
+def _max_share(counts: Counter) -> float:
+    total = sum(counts.values())
+    return max(counts.values()) / total if total else 0.0
+
+
+def test_ablation_sampling(benchmark):
+    results = run_once(benchmark, run_experiment)
+    power2, prime = results["power2"], results["prime"]
+
+    lines = ["Stride-aliasing ablation (share of samples on the most-hit line):"]
+    lines.append(f"  power-of-two T={POWER_OF_TWO_T}: {dict(power2)} "
+                 f"max share {_max_share(power2):.0%}")
+    lines.append(f"  prime        T={PRIME_T}: {dict(prime)} "
+                 f"max share {_max_share(prime):.0%}")
+    lines.append("")
+    lines.append("Threshold magnitude sweep (pprint): samples per threshold:")
+    for threshold, count in results["sweep"].items():
+        lines.append(f"  T={threshold:>10}: {count} samples")
+    save_result("ablation_sampling", "\n".join(lines))
+
+    # With the power-of-two threshold, the 2 MiB stride aliases: (almost)
+    # all growth samples land on one line. The prime spreads them.
+    assert _max_share(power2) > 0.75
+    assert _max_share(prime) < _max_share(power2)
+    assert len(prime) > len(power2) or _max_share(prime) < 0.6
+
+    # Sweep: larger threshold → monotonically fewer samples.
+    sweep = list(results["sweep"].items())
+    for (t1, c1), (t2, c2) in zip(sweep, sweep[1:]):
+        assert c2 <= c1, (t1, c1, t2, c2)

@@ -1,0 +1,107 @@
+"""Extension experiment: suite-wide per-line CPU-attribution accuracy.
+
+Beyond the paper's Fig. 5 microbenchmark, this bench quantifies accuracy
+on the *whole* Table 1 suite: for each sampling profiler, the mean
+absolute error between its reported per-line CPU share and the ground
+truth (which the simulated runtime records exactly). Scalene and the
+external samplers track the truth; pprofile(stat.) — blind to native
+time, IO and deferred signals — shows much larger error on the IO-heavy
+and native-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.baselines import make_profiler
+from repro.core import Scalene
+from repro.workloads import pyperf_suite
+
+PROFILERS = ("scalene_cpu", "py_spy", "pprofile_stat")
+
+
+def _ground_truth_shares(workload, scale):
+    process = workload.make_process(scale, collect_ground_truth=True)
+    process.run()
+    gt = process.ground_truth
+    total = gt.total_time
+    return {
+        key: truth.total_time / total
+        for key, truth in gt.lines.items()
+        if truth.total_time / total >= 0.005
+    }
+
+
+def _reported_shares(workload, scale, profiler_name):
+    process = workload.make_process(scale)
+    if profiler_name == "scalene_cpu":
+        profile = Scalene.run(process, mode="cpu")
+        total = (
+            profile.cpu_python_time
+            + profile.cpu_native_time
+            + profile.cpu_system_time
+        )
+        if total <= 0:
+            return {}
+        return {
+            (l.filename, l.lineno): l.cpu_total_percent / 100.0
+            for l in profile.lines
+        }
+    profiler = make_profiler(profiler_name, process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    # Normalize by *wall time* (what the share denominates) rather than
+    # the profiler's own total, so missing time shows up as error.
+    wall = process.clock.wall
+    return {key: t / wall for key, t in report.line_times.items()}
+
+
+def _mae(truth, reported):
+    keys = set(truth) | {k for k, v in reported.items() if v >= 0.005}
+    if not keys:
+        return 0.0
+    return sum(
+        abs(reported.get(k, 0.0) - truth.get(k, 0.0)) for k in keys
+    ) / len(keys)
+
+
+def run_experiment(scale: float):
+    results = {name: {} for name in PROFILERS}
+    for workload_name, workload in pyperf_suite().items():
+        truth = _ground_truth_shares(workload, scale)
+        for profiler_name in PROFILERS:
+            reported = _reported_shares(workload, scale, profiler_name)
+            results[profiler_name][workload_name] = _mae(truth, reported)
+    return results
+
+
+def test_accuracy_suite(benchmark):
+    results = run_once(benchmark, run_experiment, min(bench_scale(), 0.15))
+
+    workloads = list(pyperf_suite())
+    lines = [f"{'workload':<28}" + "".join(f"{p:>15}" for p in PROFILERS)]
+    for workload_name in workloads:
+        row = f"{workload_name:<28}"
+        for profiler_name in PROFILERS:
+            row += f"{results[profiler_name][workload_name]:>14.3%}"
+        lines.append(row)
+    means = {
+        p: sum(results[p].values()) / len(results[p]) for p in PROFILERS
+    }
+    lines.append(
+        f"{'mean abs error:':<28}" + "".join(f"{means[p]:>14.3%}" for p in PROFILERS)
+    )
+    save_result("accuracy_suite", "\n".join(lines))
+
+    # Scalene's attribution error is small and no worse than ~2x the best.
+    best = min(means.values())
+    assert means["scalene_cpu"] < 0.05
+    assert means["scalene_cpu"] <= best * 2 + 0.01
+    # The naive signal sampler is worse overall, and much worse on the
+    # IO/task workloads where signal starvation bites hardest.
+    assert means["pprofile_stat"] > means["scalene_cpu"]
+    assert (
+        results["pprofile_stat"]["async_tree_io_none"]
+        > 2 * results["scalene_cpu"]["async_tree_io_none"]
+    )

@@ -1,0 +1,139 @@
+"""§7 case studies: the optimizations Scalene's reports enabled.
+
+Each case study is run in both its "before" and "after" form; the
+speedups/savings should match the paper's reports in direction and rough
+magnitude: Rich 45% runtime improvement, pandas chained indexing 18x,
+groupby restructuring saves memory, NumPy vectorization ~125x.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_result
+
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+
+
+def _run(source: str):
+    process = SimProcess(source, filename="case.py")
+    install_standard_libraries(process)
+    process.run()
+    return process
+
+
+RICH_BEFORE = """
+total = 0
+for cell in range(4000):
+    ok = isinstance_protocol(cell)
+    total = total + 1
+print(total)
+"""
+
+RICH_AFTER = """
+total = 0
+for cell in range(4000):
+    ok = hasattr_check(cell)
+    total = total + 1
+print(total)
+"""
+
+CHAINED_BEFORE = """
+df = pd.frame(500000, 4)
+total = 0
+for i in range(60):
+    total = total + df['c0'][i]
+print(total)
+"""
+
+CHAINED_AFTER = """
+df = pd.frame(500000, 4)
+col = df.column_view('c0')
+total = 0
+for i in range(60):
+    total = total + col[i]
+print(total)
+"""
+
+GROUPBY_BEFORE = """
+df = pd.frame(3000000, 8)
+g = pd.groupby_sum(df, 16)
+print(len(g))
+"""
+
+GROUPBY_AFTER = """
+df = pd.frame(3000000, 8)
+g = pd.groupby_sum_restructured(df, 16)
+print(len(g))
+"""
+
+VECTORIZE_BEFORE = """
+def gradient_step(n):
+    acc = 0
+    for i in range(n):
+        acc = acc + i * 3 - (i % 7)
+    return acc
+
+total = 0
+for it in range(12):
+    total = total + gradient_step(2000)
+print(total)
+"""
+
+VECTORIZE_AFTER = """
+def gradient_step(x):
+    y = x * 3.0
+    z = y - x
+    return z.sum()
+
+x = np.zeros(2000)
+total = 0
+for it in range(12):
+    total = total + gradient_step(x)
+print(total)
+"""
+
+
+def run_experiment():
+    out = {}
+    for case, before, after in (
+        ("rich_isinstance", RICH_BEFORE, RICH_AFTER),
+        ("pandas_chained", CHAINED_BEFORE, CHAINED_AFTER),
+        ("numpy_vectorize", VECTORIZE_BEFORE, VECTORIZE_AFTER),
+    ):
+        p_before = _run(before)
+        p_after = _run(after)
+        out[case] = (p_before.clock.wall, p_after.clock.wall)
+    g_before = _run(GROUPBY_BEFORE)
+    g_after = _run(GROUPBY_AFTER)
+    out["pandas_groupby_mem"] = (
+        g_before.mem.peak_footprint / 1e6,
+        g_after.mem.peak_footprint / 1e6,
+    )
+    return out
+
+
+def test_case_studies(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    lines = [f"{'case':<22}{'before':>12}{'after':>12}{'improvement':>13}"]
+    for case, (before, after) in results.items():
+        unit = "MB" if case.endswith("_mem") else "s"
+        lines.append(
+            f"{case:<22}{before:>11.3f}{unit}{after:>11.3f}{unit}"
+            f"{before / after:>12.1f}x"
+        )
+    lines.append("paper: Rich +45%, chained indexing 18x, groupby -1.6GB, "
+                 "vectorization 125x")
+    save_result("case_studies", "\n".join(lines))
+
+    rich_before, rich_after = results["rich_isinstance"]
+    assert rich_before / rich_after > 1.4  # ≥45% improvement
+
+    chained_before, chained_after = results["pandas_chained"]
+    assert 5 < chained_before / chained_after < 100  # paper: 18x
+
+    vec_before, vec_after = results["numpy_vectorize"]
+    assert vec_before / vec_after > 40  # paper: 125x
+
+    mem_before, mem_after = results["pandas_groupby_mem"]
+    assert mem_before - mem_after > 50  # substantial MB saved

@@ -1,0 +1,40 @@
+"""Figure 1: the profiler feature matrix with measured median slowdowns.
+
+Regenerates the comparison table from each implementation's declared
+capabilities plus slowdowns measured on the suite, and checks the claims
+the paper's Figure 1 encodes.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.analysis.comparison import feature_matrix
+from repro.analysis.overhead import overhead_table
+from repro.baselines import all_profilers
+from repro.workloads import pyperf_suite
+
+
+def run_experiment(scale: float):
+    names = [n for n in all_profilers() if n != "rate_sampler"]
+    results = overhead_table(pyperf_suite().values(), names, scale=scale)
+    return {r.profiler: r.median for r in results}
+
+
+def test_fig1_feature_matrix(benchmark):
+    medians = run_once(benchmark, run_experiment, min(bench_scale(), 0.15))
+    text = feature_matrix(medians)
+    save_result("fig1_feature_matrix", text)
+
+    caps = {name: cls.capabilities for name, cls in all_profilers().items()}
+    # Scalene (all) is the only profiler with the full feature set.
+    full = caps["scalene_full"]
+    assert full.python_vs_c_time and full.system_time and full.profiles_memory
+    assert full.python_vs_c_memory and full.gpu and full.memory_trends
+    assert full.copy_volume and full.detects_leaks
+    # No other profiler separates Python from C time.
+    others = [c for n, c in caps.items() if not n.startswith("scalene")]
+    assert not any(c.python_vs_c_time for c in others)
+    # Figure 1's slowdown column: Scalene(all) ≈ 1.3x, CPU-only ≈ 1.0x.
+    assert medians["scalene_full"] < 2.0
+    assert medians["scalene_cpu_gpu"] < 1.1

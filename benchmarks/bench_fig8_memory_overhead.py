@@ -1,0 +1,44 @@
+"""Figure 8: memory-profiling overhead.
+
+Among the *accurate* memory profilers, Scalene is the cheapest
+(paper medians: Scalene 1.32x < Fil 2.71x < Memray 3.98x), with
+memory_profiler off the chart (≥37x) and Austin fast but inaccurate.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.analysis.overhead import format_overhead_table, overhead_table
+from repro.baselines.registry import memory_profilers
+from repro.workloads import pyperf_suite
+
+PAPER_MEDIANS = {
+    "austin_full": 1.00,
+    "memray": 3.98,
+    "fil": 2.71,
+    "memory_profiler": 37.11,
+    "scalene_full": 1.32,
+}
+
+
+def run_experiment(scale: float):
+    return overhead_table(pyperf_suite().values(), memory_profilers(), scale=scale)
+
+
+def test_fig8_memory_overhead(benchmark):
+    results = run_once(benchmark, run_experiment, bench_scale())
+    medians = {r.profiler: r.median for r in results}
+
+    text = format_overhead_table(results)
+    text += "\n\npaper medians: " + ", ".join(
+        f"{k}={v:.2f}x" for k, v in PAPER_MEDIANS.items()
+    )
+    save_result("fig8_memory_overhead", text)
+
+    # The paper's ordering among accurate memory profilers.
+    assert medians["scalene_full"] < medians["fil"] < medians["memray"]
+    assert medians["scalene_full"] < 1.8
+    assert medians["memory_profiler"] > 10.0
+    # Austin is fastest but RSS-inaccurate (Fig. 6 covers the accuracy).
+    assert medians["austin_full"] < 1.05

@@ -1,0 +1,51 @@
+"""§6.5 log-file growth: Scalene KBs vs. Austin/Memray MBs.
+
+The paper measures, on ``mdp``: Austin 27 MB, Memray ~100 MB, Scalene
+32 KB. The mechanisms: Austin streams one record per 100 µs sample;
+Memray logs every allocation event; Scalene writes one line per
+threshold crossing.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.baselines import make_profiler
+from repro.core import Scalene
+from repro.workloads import get_workload
+
+
+def run_experiment(scale: float):
+    workload = get_workload("mdp")
+    sizes = {}
+    for name in ("austin_full", "memray"):
+        process = workload.make_process(scale)
+        profiler = make_profiler(name, process)
+        profiler.start()
+        process.run()
+        sizes[name] = profiler.stop().log_bytes
+
+    process = workload.make_process(scale)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    sizes["scalene_full"] = profile.sample_log_bytes
+    return sizes
+
+
+def test_log_growth(benchmark):
+    # Log sizes are only meaningful at the paper's full run length.
+    sizes = run_once(benchmark, run_experiment, max(bench_scale(), 1.0))
+
+    lines = [f"{'profiler':<16}{'log size':>12}   paper (mdp, full length)"]
+    paper = {"austin_full": "27 MB", "memray": "~100 MB", "scalene_full": "32 KB"}
+    for name, size in sizes.items():
+        human = f"{size / 1024:.1f} KB" if size < 1 << 20 else f"{size / (1 << 20):.1f} MB"
+        lines.append(f"{name:<16}{human:>12}   {paper[name]}")
+    save_result("log_growth", "\n".join(lines))
+
+    # Shape: Scalene's log is orders of magnitude smaller.
+    assert sizes["scalene_full"] < 64 * 1024
+    assert sizes["austin_full"] > 50 * sizes["scalene_full"]
+    assert sizes["memray"] > 50 * sizes["scalene_full"]

@@ -1,0 +1,67 @@
+"""Table 1: the benchmark suite itself.
+
+Verifies every suite member runs and reports its repetitions and virtual
+running time (the paper extends each to exceed 10 seconds; at scale 1.0
+our versions land in the same 9–15 s band).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.workloads import pyperf_suite
+
+PAPER_TIMES = {
+    "async_tree_io_none": 11.9,
+    "async_tree_io_io": 12.0,
+    "async_tree_io_cpu_io_mixed": 12.3,
+    "async_tree_io_memoization": 10.6,
+    "docutils": 12.5,
+    "fannkuch": 12.1,
+    "mdp": 13.4,
+    "pprint": 12.8,
+    "raytrace": 11.1,
+    "sympy": 11.3,
+}
+
+
+def run_experiment(scale: float):
+    rows = []
+    for name, workload in pyperf_suite().items():
+        process = workload.make_process(scale)
+        process.run()
+        rows.append(
+            (
+                name,
+                workload.scaled_repetitions(scale),
+                process.clock.wall,
+                process.vm.instruction_count,
+            )
+        )
+    return rows
+
+
+def test_table1_suite(benchmark):
+    # Table 1 documents the full-length suite; always run at scale 1.0
+    # (one bare run per benchmark, ~10 s host in total).
+    scale = max(bench_scale(), 1.0)
+    rows = run_once(benchmark, run_experiment, scale)
+
+    lines = [
+        f"{'benchmark':<28}{'reps':>6}{'time (virt s)':>14}{'instrs':>10}"
+        f"{'paper time':>12}"
+    ]
+    for name, reps, wall, instrs in rows:
+        lines.append(
+            f"{name:<28}{reps:>6}{wall:>14.2f}{instrs:>10}"
+            f"{PAPER_TIMES[name]:>11.1f}s"
+        )
+    save_result("table1_suite", "\n".join(lines))
+
+    assert len(rows) == 10
+    for name, _reps, wall, _instrs in rows:
+        # Virtual running time scales ~linearly with the workload scale;
+        # at scale 1.0 the suite sits in the paper's ≥10 s band (8–18 s).
+        assert wall > 5.0 * scale, (name, wall)
+        if scale >= 1.0:
+            assert 8.0 < wall < 18.0, (name, wall)

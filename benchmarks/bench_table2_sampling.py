@@ -1,0 +1,93 @@
+"""Table 2: threshold-based vs. rate-based sampling (§3.2).
+
+For each suite member, count the samples taken by classical rate-based
+sampling and by Scalene's threshold-based sampling. Shape: IO/tree
+benchmarks with oscillating footprints show small ratios (2–4x); flat-
+footprint, churn-heavy CPU benchmarks show huge ones (tens to hundreds);
+the suite median lands near the paper's 18x.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.baselines.rate_sampler import RateBasedSampler
+from repro.core import Scalene
+from repro.workloads import pyperf_suite
+
+PAPER = {
+    "async_tree_io_none": (556, 215, 3),
+    "async_tree_io_io": (524, 187, 3),
+    "async_tree_io_cpu_io_mixed": (719, 167, 4),
+    "async_tree_io_memoization": (375, 167, 2),
+    "docutils": (20, 5, 4),
+    "fannkuch": (426, 5, 85),
+    "mdp": (316, 6, 53),
+    "pprint": (7976, 23, 347),
+    "raytrace": (215, 7, 31),
+    "sympy": (6757, 10, 676),
+}
+
+
+def run_experiment(scale: float):
+    rows = []
+    for name, workload in pyperf_suite().items():
+        process = workload.make_process(scale)
+        sampler = RateBasedSampler(process)
+        sampler.start()
+        process.run()
+        rate_samples = sampler.stop().total_samples
+
+        process = workload.make_process(scale)
+        scalene = Scalene(process, mode="full")
+        scalene.start()
+        process.run()
+        scalene.stop()
+        threshold_samples = scalene.memory_profiler.sample_count
+
+        rows.append((name, rate_samples, threshold_samples))
+    return rows
+
+
+def _median(values):
+    values = sorted(values)
+    mid = len(values) // 2
+    return values[mid] if len(values) % 2 else (values[mid - 1] + values[mid]) / 2
+
+
+def test_table2_sampling(benchmark):
+    # Sample counts scale sub-linearly (footprint spikes are discrete), so
+    # this experiment always runs at full scale; it is cheap (~30 s host).
+    scale = max(bench_scale(), 1.0)
+    rows = run_once(benchmark, run_experiment, scale)
+
+    ratios = {}
+    lines = [
+        f"{'benchmark':<28}{'rate':>7}{'threshold':>11}{'ratio':>8}{'paper':>14}"
+    ]
+    for name, rate, threshold in rows:
+        ratio = rate / max(threshold, 1)
+        ratios[name] = ratio
+        paper_rate, paper_threshold, paper_ratio = PAPER[name]
+        lines.append(
+            f"{name:<28}{rate:>7}{threshold:>11}{ratio:>7.1f}x"
+            f"{paper_rate:>7}/{paper_threshold}={paper_ratio}x"
+        )
+    median = _median(list(ratios.values()))
+    lines.append(f"{'Median:':<28}{'':>7}{'':>11}{median:>7.1f}x (paper: 18x)")
+    save_result("table2_sampling", "\n".join(lines))
+
+    # Shape: threshold never takes more samples than rate…
+    for name, rate, threshold in rows:
+        assert threshold <= rate, (name, rate, threshold)
+    # …oscillating-footprint benchmarks have small ratios…
+    for name in ("async_tree_io_none", "async_tree_io_io"):
+        assert ratios[name] < 10
+    # …flat-footprint churny ones have huge ratios…
+    assert ratios["sympy"] > 100
+    assert ratios["pprint"] > 100
+    assert ratios["fannkuch"] > 20
+    # …and sympy/pprint are the extremes, as in the paper.
+    assert max(ratios, key=ratios.get) in ("sympy", "pprint")
+    # Median lands in the paper's ballpark (18x).
+    assert 8 < median < 60, median

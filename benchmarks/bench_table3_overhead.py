@@ -1,0 +1,63 @@
+"""Table 3 / Figure 7: CPU-profiling overhead across the suite.
+
+Regenerates the full profiler x benchmark slowdown grid. Shape checks:
+external and signal-sampling profilers ≈ 1x; cProfile mild; pure-Python
+tracers catastrophic; Scalene's CPU and CPU+GPU modes ≈ 1x.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.analysis.overhead import format_overhead_table, overhead_table
+from repro.baselines.registry import cpu_profilers
+from repro.workloads import pyperf_suite
+
+PAPER_MEDIANS = {
+    "py_spy": 1.02,
+    "cProfile": 1.73,
+    "yappi_wall": 3.17,
+    "yappi_cpu": 3.62,
+    "pprofile_stat": 1.02,
+    "pprofile_det": 36.83,
+    "line_profiler": 2.21,
+    "profile": 15.1,
+    "pyinstrument": 1.69,
+    "austin_cpu": 1.00,
+    "scalene_cpu": 1.02,
+    "scalene_cpu_gpu": 1.02,
+}
+
+
+def run_experiment(scale: float):
+    return overhead_table(pyperf_suite().values(), cpu_profilers(), scale=scale)
+
+
+def test_table3_cpu_overhead(benchmark):
+    results = run_once(benchmark, run_experiment, bench_scale())
+    medians = {r.profiler: r.median for r in results}
+
+    text = format_overhead_table(results)
+    text += "\n\npaper medians: " + ", ".join(
+        f"{k}={v:.2f}x" for k, v in PAPER_MEDIANS.items()
+    )
+    save_result("table3_cpu_overhead", text)
+
+    # Shape assertions (who wins, by roughly what factor).
+    assert medians["py_spy"] < 1.05
+    assert medians["austin_cpu"] < 1.05
+    assert medians["scalene_cpu"] < 1.10
+    assert medians["scalene_cpu_gpu"] < 1.12
+    assert 1.2 < medians["cProfile"] < 3.0
+    assert 1.5 < medians["line_profiler"] < 4.0
+    assert medians["profile"] > 6.0
+    assert medians["pprofile_det"] > 15.0
+    assert medians["pprofile_det"] > 5 * medians["cProfile"]
+    assert medians["yappi_cpu"] >= medians["yappi_wall"] * 0.9
+    # Scalene is among the cheapest despite collecting far more detail.
+    cheaper_than_scalene = [
+        name
+        for name, median in medians.items()
+        if median < medians["scalene_cpu"] - 0.02
+    ]
+    assert set(cheaper_than_scalene) <= {"py_spy", "austin_cpu", "pprofile_stat"}

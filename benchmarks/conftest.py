@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation (§6). Results are printed and saved under ``benchmarks/out/``;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Scale: ``REPRO_SCALE`` (default 0.2) shrinks the workloads; 1.0 runs the
+paper-faithful ≥10-virtual-second versions.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_SCALE", "0.2"))
+    except ValueError:
+        return 0.2
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} (saved to {path}) ===")
+    print(text)
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, iterations=1, rounds=1)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Run the same program under several profilers and compare what they see.
+
+Demonstrates the paper's core claims side by side on one program:
+
+* pprofile(stat.) reports ~zero native time and nothing for subthreads;
+* cProfile's function granularity hides the hot line;
+* memory_profiler's RSS proxy misses an untouched allocation;
+* Scalene separates Python/native/system time, attributes subthread work,
+  and reports the allocation accurately.
+
+    python examples/compare_profilers.py
+"""
+
+from repro import SimProcess
+from repro.baselines import make_profiler
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+
+PROGRAM = """
+def worker():
+    s = 0
+    for i in range(3000):
+        s = s + 1
+    return s
+
+big = np.empty(13000000)
+t = spawn(worker)
+native_work(1.0)
+join(t)
+del big
+done = 1
+"""
+
+
+def fresh_process():
+    process = SimProcess(PROGRAM, filename="mix.py")
+    install_standard_libraries(process)
+    return process
+
+
+def main() -> None:
+    for name in ("pprofile_stat", "cProfile", "memory_profiler"):
+        process = fresh_process()
+        profiler = make_profiler(name, process)
+        profiler.start()
+        process.run()
+        report = profiler.stop()
+        print(f"--- {name} ---")
+        if report.line_times:
+            for (file, line), seconds in sorted(report.line_times.items()):
+                print(f"  {file}:{line:<4} {seconds:8.3f}s")
+        if report.function_times:
+            for (file, fn), seconds in sorted(report.function_times.items()):
+                print(f"  {fn:<16} {seconds:8.3f}s")
+        if report.line_memory_mb:
+            for (file, line), mb in sorted(report.line_memory_mb.items()):
+                print(f"  {file}:{line:<4} {mb:8.1f} MB (RSS delta)")
+        print()
+
+    process = fresh_process()
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    print("--- scalene (full) ---")
+    print(profile.render_text())
+    print()
+    print("Note: line 4 (the subthread's loop) and line 9 (native_work) are")
+    print("correctly attributed only by Scalene; the 104 MB np.empty shows")
+    print("its true allocated size despite never being touched.")
+
+
+if __name__ == "__main__":
+    main()

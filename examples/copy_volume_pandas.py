@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Case study: pandas chained indexing, diagnosed by copy volume (§7).
+
+The paper reports a developer whose list comprehension performed nested
+indexing into a DataFrame; Scalene's copy-volume column revealed that the
+outer index copied the column on every iteration (the pandas
+returning-a-view-versus-a-copy pitfall). Hoisting the outer index gave an
+18x speedup.
+
+This example profiles both versions and prints the before/after.
+
+    python examples/copy_volume_pandas.py
+"""
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+
+CHAINED = """
+df = pd.frame(500000, 4)
+total = 0
+for i in range(60):
+    total = total + df['c0'][i]
+print(total)
+"""
+
+HOISTED = """
+df = pd.frame(500000, 4)
+col = df.column_view('c0')
+total = 0
+for i in range(60):
+    total = total + col[i]
+print(total)
+"""
+
+
+def profile(source: str, label: str):
+    process = SimProcess(source, filename=f"{label}.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    return scalene.stop(), process
+
+
+def main() -> None:
+    chained, p_chained = profile(CHAINED, "chained")
+    hoisted, p_hoisted = profile(HOISTED, "hoisted")
+
+    print("--- chained indexing: df['c0'][i] inside the loop ---")
+    print(chained.render_text())
+    print()
+    print("--- hoisted: col = view(df, 'c0') outside the loop ---")
+    print(hoisted.render_text())
+    print()
+    speedup = p_chained.clock.wall / p_hoisted.clock.wall
+    print(f"copy volume: {chained.total_copy_mb:8.1f} MB  ->  "
+          f"{hoisted.total_copy_mb:.1f} MB")
+    print(f"runtime:     {p_chained.clock.wall:8.2f} s   ->  "
+          f"{p_hoisted.clock.wall:.2f} s   ({speedup:.1f}x speedup; "
+          "paper reports 18x)")
+
+
+if __name__ == "__main__":
+    main()

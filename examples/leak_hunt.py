@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Case study: finding a memory leak with Scalene's leak detector (§3.4).
+
+A simulated request-serving loop accidentally retains every request
+payload in a module-level cache. Scalene's threshold sampler piggybacks
+leak tracking on high-water-mark crossings and reports the leaking line
+with a likelihood (Laplace's Rule of Succession) and a leak rate in MB/s.
+
+    python examples/leak_hunt.py
+"""
+
+from repro import SimProcess
+from repro.core import Scalene
+
+SERVER = """
+cache = []
+served = 0
+
+def parse_request(req):
+    body = py_buffer(200000)
+    del body
+    return req % 17
+
+def handle_request(req):
+    global served
+    payload = py_buffer(11000000)
+    cache.append(payload)
+    served = served + 1
+    return parse_request(req)
+
+for req in range(30):
+    handle_request(req)
+print(served)
+"""
+
+
+def main() -> None:
+    process = SimProcess(SERVER, filename="server.py")
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+
+    print(profile.render_text())
+    print()
+    if profile.leaks:
+        print("Leak detector verdict:")
+        for leak in profile.leaks:
+            print(f"  LEAK at {leak.filename}:{leak.lineno} in {leak.function}()")
+            print(f"       likelihood {leak.likelihood:.1%} "
+                  f"(score: {leak.mallocs} mallocs / {leak.frees} frees)")
+            print(f"       leak rate  {leak.leak_rate_mb_s:.2f} MB/s")
+        print()
+        print("Note that parse_request's 200 KB transients are NOT flagged:")
+        print("they never survive a high-water crossing.")
+    else:
+        print("No leaks reported — unexpected for this program!")
+
+
+if __name__ == "__main__":
+    main()

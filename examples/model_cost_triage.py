@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Case study: triaging an ML model's serving cost (Semantic Scholar, §7).
+
+The paper reports Semantic Scholar using Scalene to rescue a
+cost-prohibitive model: the simultaneous CPU/GPU/memory view pinpointed
+the issues, showed which fraction of runtime would benefit from hardware
+acceleration, and validated each optimization — ultimately cutting costs
+by 92%.
+
+This example reproduces the workflow on a simulated inference service:
+feature extraction in pure Python, a redundant per-request dataframe
+copy, and a GPU model that sits mostly idle. The profile makes all three
+problems visible at once — the "triangulation" of the paper's title.
+
+    python examples/model_cost_triage.py
+"""
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+
+SERVICE = """
+features = pd.frame(200000, 8)
+
+def extract_features(req):
+    acc = 0
+    for i in range(600):
+        acc = acc + (req * 31 + i) % 97
+    return acc
+
+def fetch_row(req):
+    row = features['c0']
+    return req % 11
+
+def run_model(batch):
+    out = torch.forward(batch)
+    torch.synchronize()
+    return out
+
+def serve_request(req):
+    signal = extract_features(req)
+    row = fetch_row(req)
+    batch = torch.tensor(20000)
+    out = run_model(batch)
+    return signal + row
+
+served = 0
+for req in range(12):
+    x = serve_request(req)
+    served = served + 1
+print(served)
+"""
+
+
+def main() -> None:
+    process = SimProcess(SERVICE, filename="service.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+
+    print(profile.render_text(sort_by="cpu"))
+    print()
+    total = (
+        profile.cpu_python_time + profile.cpu_native_time + profile.cpu_system_time
+    )
+    python_share = profile.cpu_python_time / total if total else 0
+    system_share = profile.cpu_system_time / total if total else 0
+    print("Triage, straight from the profile:")
+    print(f" 1. {python_share:.0%} of time is pure Python (extract_features):")
+    print("    CPU-bound code to optimize — acceleration won't help it.")
+    print(f" 2. fetch_row shows copy volume ({profile.total_copy_mb:.0f} MB "
+          "total): a chained-indexing copy per request.")
+    print(f" 3. {system_share:.0%} of time is GPU wait at "
+          f"{profile.gpu_mean_utilization:.0%} mean utilization: the model "
+          "is under-batched.")
+
+
+if __name__ == "__main__":
+    main()

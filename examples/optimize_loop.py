@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The full optimization loop: profile → fix → re-profile → diff.
+
+Mirrors how the paper's §7 users worked: Scalene points at the problem
+(a scalar loop that is 100% Python time plus a copy-heavy column access),
+the developer applies the fix, and the diff verifies the win. Also shows
+region profiling: only the code between profile_start()/profile_stop() is
+measured, so setup noise stays out of the report.
+
+    python examples/optimize_loop.py
+"""
+
+from repro import SimProcess
+from repro.analysis.diffing import diff_profiles
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+from repro.interp.libs import install_standard_libraries
+
+BEFORE = """
+df = pd.frame(300000, 4)
+profile_start()
+total = 0
+for i in range(40):
+    total = total + df['c0'][i]
+profile_stop()
+print(total)
+"""
+
+AFTER = """
+df = pd.frame(300000, 4)
+profile_start()
+col = df.column_view('c0')
+total = 0
+for i in range(40):
+    total = total + col[i]
+profile_stop()
+print(total)
+"""
+
+
+def profile(source: str):
+    process = SimProcess(source, filename="pipeline.py")
+    install_standard_libraries(process)
+    config = ScaleneConfig(mode="full", start_paused=True)
+    scalene = Scalene(process, config=config)
+    scalene.start()
+    process.run()
+    return scalene.stop()
+
+
+def main() -> None:
+    before = profile(BEFORE)
+    print("--- before (chained indexing) ---")
+    print(before.render_text(sort_by="cpu"))
+    print()
+
+    after = profile(AFTER)
+    print("--- after (hoisted column view) ---")
+    print(after.render_text(sort_by="cpu"))
+    print()
+
+    diff = diff_profiles(before, after)
+    print("--- verification diff ---")
+    print(diff.render_text())
+
+
+if __name__ == "__main__":
+    main()

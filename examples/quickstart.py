@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a small program with Scalene's full mode.
+
+The program mixes the four behaviours Scalene triangulates between:
+interpreter-bound Python, native library execution, memory growth, and
+blocking system time. Run it and read the per-line report:
+
+    python examples/quickstart.py
+"""
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+
+PROGRAM = """
+def python_hotspot(n):
+    total = 0
+    for i in range(n):
+        total = total + i * 3 - (i % 7)
+    return total
+
+def native_hotspot():
+    a = np.zeros(2000000)
+    b = a * 2.0
+    return b.sum()
+
+def memory_hotspot():
+    retained = []
+    for i in range(4):
+        retained.append(py_buffer(12000000))
+    transient = py_buffer(30000000)
+    del transient
+    retained.clear()
+
+x = python_hotspot(4000)
+y = native_hotspot()
+memory_hotspot()
+io.wait(0.4)
+print(x)
+"""
+
+
+def main() -> None:
+    process = SimProcess(PROGRAM, filename="app.py")
+    install_standard_libraries(process)
+
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+
+    print(profile.render_text())
+    print()
+    print("What to look for:")
+    print(" * line 5 (the Python loop): almost pure 'py%' time — a")
+    print("   rewrite-with-NumPy candidate.")
+    print(" * lines 9-11 (simnp calls): 'nat%' time — already efficient.")
+    print(" * lines 16-20: the memory columns show growth and the 30 MB")
+    print("   transient that a peak-only profiler would hide.")
+    print(" * line 25 (io.wait): system time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Case study: NumPy vectorization guided by Python-vs-native time (§7).
+
+A graduate student's gradient-descent classifier ran at 80 iterations per
+minute; Scalene showed 99% of the time in *Python* rather than native
+code — the signature of unvectorized NumPy use. Rewriting with vector
+operations reached 10,000 iterations per minute (125x).
+
+This example profiles the scalar and vectorized versions and prints the
+Python/native split for each — the exact signal the case study describes.
+
+    python examples/vectorization.py
+"""
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+
+SCALAR = """
+def gradient_step(n):
+    acc = 0
+    for i in range(n):
+        acc = acc + i * 3 - (i % 7)
+    return acc
+
+total = 0
+for it in range(12):
+    total = total + gradient_step(2000)
+print(total)
+"""
+
+VECTORIZED = """
+def gradient_step(x):
+    y = x * 3.0
+    z = y - x
+    return z.sum()
+
+x = np.zeros(2000)
+total = 0
+for it in range(12):
+    total = total + gradient_step(x)
+print(total)
+"""
+
+
+def profile(source: str, label: str):
+    process = SimProcess(source, filename=f"{label}.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, mode="cpu")
+    scalene.start()
+    process.run()
+    return scalene.stop(), process
+
+
+def main() -> None:
+    scalar, p_scalar = profile(SCALAR, "scalar")
+    vector, p_vector = profile(VECTORIZED, "vectorized")
+
+    def split(profile):
+        total = (
+            profile.cpu_python_time
+            + profile.cpu_native_time
+            + profile.cpu_system_time
+        )
+        if total == 0:
+            return 0.0, 0.0
+        return profile.cpu_python_time / total, profile.cpu_native_time / total
+
+    py_s, nat_s = split(scalar)
+    py_v, nat_v = split(vector)
+    print("--- scalar (unvectorized) version ---")
+    print(scalar.render_text())
+    print()
+    print("--- vectorized version ---")
+    print(vector.render_text())
+    print()
+    print(f"scalar:     {py_s:5.0%} Python / {nat_s:4.0%} native "
+          "<- the 99%-Python red flag")
+    print(f"vectorized: {py_v:5.0%} Python / {nat_v:4.0%} native")
+    speedup = p_scalar.clock.wall / p_vector.clock.wall
+    print(f"speedup from vectorizing: {speedup:.0f}x (paper reports 125x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Keeps ``pip install -e .`` working on minimal environments that lack the
+``wheel`` package (pip then falls back to ``setup.py develop``); all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

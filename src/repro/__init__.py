@@ -1,0 +1,32 @@
+"""Reproduction of "Triangulating Python Performance Issues with Scalene"
+(OSDI 2023) on a fully simulated CPython-like runtime.
+
+Quickstart::
+
+    from repro import Scalene, SimProcess
+
+    process = SimProcess(source, filename="app.py")
+    scalene = Scalene(process)              # full mode: CPU+GPU+memory
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    print(profile.render_text())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro._version import __version__
+from repro.runtime.process import SimProcess
+from repro.interp.vm import VMConfig
+
+__all__ = ["__version__", "SimProcess", "VMConfig", "Scalene"]
+
+
+def __getattr__(name):
+    # Lazy import: repro.core pulls in the full profiler stack.
+    if name == "Scalene":
+        from repro.core.scalene import Scalene
+
+        return Scalene
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,122 @@
+"""Command-line interface.
+
+Profile a mini-language workload file (or a named built-in workload)
+under Scalene or any baseline profiler::
+
+    python -m repro profile app.py --mode full --html profile.html
+    python -m repro profile --workload pprint --profiler cProfile
+    python -m repro list
+
+Mirrors ``scalene yourprogram.py``: the CLI builds a simulated process,
+attaches the profiler, runs, and renders the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baselines import make_profiler, profiler_names
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+from repro.ui import write_html, write_json
+from repro.workloads import get_workload, workload_names
+
+SCALENE_MODES = {"cpu", "cpu+gpu", "full"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Scalene-reproduction profiler CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("profile", help="profile a workload")
+    run.add_argument("file", nargs="?", help="mini-language source file")
+    run.add_argument("--workload", help="a named built-in workload instead of a file")
+    run.add_argument("--scale", type=float, default=1.0, help="workload scale (built-ins)")
+    run.add_argument("--mode", default="full", help="Scalene mode: cpu | cpu+gpu | full")
+    run.add_argument(
+        "--profiler",
+        default="scalene",
+        help="'scalene' (default) or any baseline profiler name",
+    )
+    run.add_argument("--json", metavar="PATH", help="also write the JSON profile")
+    run.add_argument("--html", metavar="PATH", help="also write the HTML profile")
+
+    sub.add_parser("list", help="list workloads and profilers")
+    return parser
+
+
+def _make_process(args):
+    if args.workload:
+        return get_workload(args.workload).make_process(args.scale)
+    if not args.file:
+        raise SystemExit("profile: provide a source file or --workload NAME")
+    source = Path(args.file).read_text(encoding="utf-8")
+    process = SimProcess(source, filename=Path(args.file).name)
+    install_standard_libraries(process)
+    return process
+
+
+def _cmd_profile(args) -> int:
+    process = _make_process(args)
+    if args.profiler == "scalene":
+        if args.mode not in SCALENE_MODES:
+            raise SystemExit(f"unknown mode {args.mode!r}; use one of {sorted(SCALENE_MODES)}")
+        scalene = Scalene(process, mode=args.mode)
+        scalene.start()
+        process.run()
+        profile = scalene.stop()
+        print(profile.render_text())
+        if args.json:
+            print(f"wrote {write_json(profile, args.json)}")
+        if args.html:
+            print(f"wrote {write_html(profile, args.html)}")
+        return 0
+
+    profiler = make_profiler(args.profiler, process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    print(f"profiler: {report.profiler} ({report.total_samples} events/samples)")
+    for (file, line), seconds in sorted(report.line_times.items()):
+        print(f"  {file}:{line:<5} {seconds:9.3f} s")
+    for (file, fn), seconds in sorted(
+        report.function_times.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {fn:<24} {seconds:9.3f} s")
+    for (file, line), mb in sorted(report.line_memory_mb.items()):
+        print(f"  {file}:{line:<5} {mb:9.1f} MB")
+    if report.peak_memory_mb is not None:
+        print(f"  peak memory: {report.peak_memory_mb:.1f} MB")
+    if report.log_bytes:
+        print(f"  log output:  {report.log_bytes} bytes")
+    return 0
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("profilers: scalene (modes: cpu, cpu+gpu, full)")
+    for name in profiler_names():
+        print(f"  {name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        return _cmd_profile(args)
+    except BrokenPipeError:
+        # Output piped to a pager/head that exited early — not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Experiment drivers: overhead, accuracy, and the feature matrix."""
+
+from repro.analysis.overhead import OverheadResult, measure_overhead, overhead_table
+from repro.analysis.accuracy import (
+    cpu_accuracy_experiment,
+    memory_accuracy_experiment,
+)
+from repro.analysis.comparison import feature_matrix
+from repro.analysis.diffing import ProfileDiff, diff_profiles
+
+__all__ = [
+    "ProfileDiff",
+    "diff_profiles",
+    "OverheadResult",
+    "measure_overhead",
+    "overhead_table",
+    "cpu_accuracy_experiment",
+    "memory_accuracy_experiment",
+    "feature_matrix",
+]

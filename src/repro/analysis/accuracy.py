@@ -1,0 +1,137 @@
+"""Accuracy experiments (Figures 5 and 6).
+
+* :func:`cpu_accuracy_experiment` — the function-bias microbenchmark:
+  for each work split, compare every profiler's reported time for the
+  function-call variant against the ground truth.
+* :func:`memory_accuracy_experiment` — the 512 MiB partial-access array:
+  compare each memory profiler's reported size against the true 512 MiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.baselines import make_profiler
+from repro.baselines.base import BaselineReport
+from repro.core import Scalene
+from repro.workloads import membench as membench_mod
+from repro.workloads import microbench as microbench_mod
+
+
+@dataclass
+class CpuAccuracyPoint:
+    """One (x, y) point of Figure 5 for one profiler."""
+
+    profiler: str
+    actual_seconds: float
+    reported_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.actual_seconds == 0:
+            return 0.0
+        return (self.reported_seconds - self.actual_seconds) / self.actual_seconds
+
+
+def _with_call_reported_seconds(report: BaselineReport) -> float:
+    """Time a baseline report attributes to the function-call variant."""
+    if report.function_times:
+        return sum(
+            report.function_time(fn) for fn in microbench_mod.WITH_CALL_FUNCTIONS
+        )
+    return sum(
+        report.line_time(lineno)
+        for lineno in microbench_mod.WITH_CALL_LINES
+    )
+
+
+def cpu_accuracy_experiment(
+    profiler_names: Iterable[str],
+    call_fractions: Iterable[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    scale: float = 1.0,
+) -> Dict[str, List[CpuAccuracyPoint]]:
+    """Run the Figure 5 sweep; returns points per profiler."""
+    results: Dict[str, List[CpuAccuracyPoint]] = {name: [] for name in profiler_names}
+    for fraction in call_fractions:
+        workload = microbench_mod.microbenchmark(fraction)
+        # Ground truth from an unprofiled oracle run.
+        oracle = workload.make_process(scale, collect_ground_truth=True)
+        oracle.run()
+        gt = oracle.ground_truth
+        actual = sum(
+            gt.function_time(fn) for fn in microbench_mod.WITH_CALL_FUNCTIONS
+        )
+        for name in results:
+            process = workload.make_process(scale)
+            profiler = make_profiler(name, process)
+            profiler.start()
+            process.run()
+            report = profiler.stop()
+            results[name].append(
+                CpuAccuracyPoint(
+                    profiler=name,
+                    actual_seconds=actual,
+                    reported_seconds=_with_call_reported_seconds(report),
+                )
+            )
+    return results
+
+
+@dataclass
+class MemoryAccuracyPoint:
+    """One point of Figure 6: reported size at one touched fraction."""
+
+    profiler: str
+    touch_fraction: float
+    reported_mb: float
+    actual_mb: float = membench_mod.ARRAY_MB
+
+    @property
+    def relative_error(self) -> float:
+        return (self.reported_mb - self.actual_mb) / self.actual_mb
+
+
+def _reported_allocation_mb(name: str, report, process) -> float:
+    """What each §6.3 profiler would claim the allocation's size to be."""
+    if name in ("memory_profiler", "austin_full"):
+        # RSS-based: sum of positive per-line RSS deltas (their notion of
+        # memory "consumed" by the program's lines).
+        return sum(mb for mb in report.line_memory_mb.values() if mb > 0)
+    if report.peak_memory_mb is not None:
+        return report.peak_memory_mb
+    return sum(report.line_memory_mb.values())
+
+
+def memory_accuracy_experiment(
+    profiler_names: Iterable[str],
+    touch_fractions: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    scale: float = 1.0,
+) -> Dict[str, List[MemoryAccuracyPoint]]:
+    """Run the Figure 6 sweep; returns points per profiler.
+
+    ``scalene_full`` is measured through its own profile (peak footprint);
+    baselines through their reports.
+    """
+    results: Dict[str, List[MemoryAccuracyPoint]] = {
+        name: [] for name in profiler_names
+    }
+    for fraction in touch_fractions:
+        workload = membench_mod.membench(fraction)
+        for name in results:
+            process = workload.make_process(scale)
+            if name == "scalene_full":
+                profile = Scalene.run(process, mode="full")
+                reported = profile.peak_footprint_mb
+            else:
+                profiler = make_profiler(name, process)
+                profiler.start()
+                process.run()
+                report = profiler.stop()
+                reported = _reported_allocation_mb(name, report, process)
+            results[name].append(
+                MemoryAccuracyPoint(
+                    profiler=name, touch_fraction=fraction, reported_mb=reported
+                )
+            )
+    return results

@@ -1,0 +1,44 @@
+"""The Figure 1 feature matrix, generated from profiler capabilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines import all_profilers
+
+_COLUMNS = [
+    ("Lines/Funcs", lambda c: c.granularity),
+    ("Unmodified", lambda c: "yes" if c.unmodified_code else "-"),
+    ("Threads", lambda c: "yes" if c.threads else "-"),
+    ("Multiproc", lambda c: "yes" if c.multiprocessing else "-"),
+    ("Py vs C time", lambda c: "yes" if c.python_vs_c_time else "-"),
+    ("Sys time", lambda c: "yes" if c.system_time else "-"),
+    ("Memory", lambda c: c.memory_kind if c.profiles_memory else "-"),
+    ("Py vs C mem", lambda c: "yes" if c.python_vs_c_memory else "-"),
+    ("GPU", lambda c: "yes" if c.gpu else "-"),
+    ("Trends", lambda c: "yes" if c.memory_trends else "-"),
+    ("Copy vol", lambda c: "yes" if c.copy_volume else "-"),
+    ("Leaks", lambda c: "yes" if c.detects_leaks else "-"),
+]
+
+
+def feature_matrix(medians: Optional[Dict[str, float]] = None) -> str:
+    """Render the Figure 1 matrix; ``medians`` adds the slowdown column."""
+    rows: List[str] = []
+    header = f"{'Profiler':<18}{'Slowdown':>9}"
+    for title, _fn in _COLUMNS:
+        header += f"{title:>13}"
+    rows.append(header)
+    rows.append("-" * len(header))
+    for name, cls in all_profilers().items():
+        if name in ("rate_sampler", "tracemalloc"):
+            continue  # algorithmic/stdlib baselines, not Figure 1 rows
+        caps = cls.capabilities
+        slowdown = ""
+        if medians and name in medians:
+            slowdown = f"{medians[name]:.2f}x"
+        row = f"{name:<18}{slowdown:>9}"
+        for _title, fn in _COLUMNS:
+            row += f"{fn(caps):>13}"
+        rows.append(row)
+    return "\n".join(rows)

@@ -1,0 +1,127 @@
+"""Profile diffing: compare two Scalene profiles of the same program.
+
+The §7 case studies all follow the same loop — profile, optimize,
+re-profile, verify the change moved the needle. This module automates the
+comparison: per-line CPU/memory/copy deltas between a *before* and an
+*after* profile, plus the headline speedup, so the verification step is
+one function call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.profile_data import ProfileData
+
+
+@dataclass
+class LineDelta:
+    """The change on one line between two profiles (after − before)."""
+
+    filename: str
+    lineno: int
+    source: str
+    cpu_percent_delta: float
+    mem_peak_mb_delta: float
+    copy_mb_s_delta: float
+
+
+@dataclass
+class ProfileDiff:
+    """The full comparison between two profiles."""
+
+    elapsed_before: float
+    elapsed_after: float
+    peak_mb_before: float
+    peak_mb_after: float
+    copy_mb_before: float
+    copy_mb_after: float
+    line_deltas: List[LineDelta] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if self.elapsed_after <= 0:
+            return float("inf")
+        return self.elapsed_before / self.elapsed_after
+
+    @property
+    def memory_saved_mb(self) -> float:
+        return self.peak_mb_before - self.peak_mb_after
+
+    def hottest_improvements(self, top: int = 5) -> List[LineDelta]:
+        """Lines whose CPU share dropped the most (the fixed hotspots)."""
+        return sorted(self.line_deltas, key=lambda d: d.cpu_percent_delta)[:top]
+
+    def regressions(self, threshold_percent: float = 2.0) -> List[LineDelta]:
+        """Lines whose CPU share *grew* by more than the threshold."""
+        return sorted(
+            (d for d in self.line_deltas if d.cpu_percent_delta > threshold_percent),
+            key=lambda d: -d.cpu_percent_delta,
+        )
+
+    def render_text(self) -> str:
+        out = [
+            f"elapsed: {self.elapsed_before:.2f}s -> {self.elapsed_after:.2f}s "
+            f"({self.speedup:.1f}x speedup)",
+            f"peak memory: {self.peak_mb_before:.1f} MB -> "
+            f"{self.peak_mb_after:.1f} MB ({self.memory_saved_mb:+.1f} MB saved)",
+            f"copy volume: {self.copy_mb_before:.1f} MB -> {self.copy_mb_after:.1f} MB",
+        ]
+        improvements = self.hottest_improvements()
+        if improvements:
+            out.append("biggest line improvements (CPU share):")
+            for delta in improvements:
+                if delta.cpu_percent_delta >= 0:
+                    break
+                out.append(
+                    f"  {delta.filename}:{delta.lineno:<4} "
+                    f"{delta.cpu_percent_delta:+6.1f}%  {delta.source.strip()[:50]}"
+                )
+        regressions = self.regressions()
+        if regressions:
+            out.append("regressions (CPU share):")
+            for delta in regressions:
+                out.append(
+                    f"  {delta.filename}:{delta.lineno:<4} "
+                    f"{delta.cpu_percent_delta:+6.1f}%  {delta.source.strip()[:50]}"
+                )
+        return "\n".join(out)
+
+
+def diff_profiles(before: ProfileData, after: ProfileData) -> ProfileDiff:
+    """Compare two profiles line by line (matched on filename:lineno).
+
+    Lines present in only one profile are treated as 0 in the other —
+    an optimization that removes a line entirely shows as its full share
+    recovered.
+    """
+    keys = {(l.filename, l.lineno) for l in before.lines}
+    keys |= {(l.filename, l.lineno) for l in after.lines}
+    deltas = []
+    for filename, lineno in sorted(keys):
+        b = before.line(lineno, filename)
+        a = after.line(lineno, filename)
+        source = (a.source if a else (b.source if b else "")) or ""
+        deltas.append(
+            LineDelta(
+                filename=filename,
+                lineno=lineno,
+                source=source,
+                cpu_percent_delta=(a.cpu_total_percent if a else 0.0)
+                - (b.cpu_total_percent if b else 0.0),
+                mem_peak_mb_delta=(a.mem_peak_mb if a else 0.0)
+                - (b.mem_peak_mb if b else 0.0),
+                copy_mb_s_delta=(a.copy_mb_s if a else 0.0)
+                - (b.copy_mb_s if b else 0.0),
+            )
+        )
+    return ProfileDiff(
+        elapsed_before=before.elapsed,
+        elapsed_after=after.elapsed,
+        peak_mb_before=before.peak_footprint_mb,
+        peak_mb_after=after.peak_footprint_mb,
+        copy_mb_before=before.total_copy_mb,
+        copy_mb_after=after.total_copy_mb,
+        line_deltas=deltas,
+    )

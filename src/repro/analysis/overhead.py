@@ -1,0 +1,92 @@
+"""Profiling-overhead measurement (Figures 7 and 8, Table 3).
+
+Slowdown = (virtual wall time with profiler) / (virtual wall time bare).
+The simulation is deterministic, so a single run per cell suffices where
+the paper needed the interquartile mean of ten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.baselines import make_profiler
+from repro.workloads.base import Workload
+
+
+@dataclass
+class OverheadResult:
+    """Slowdowns for one profiler across the suite."""
+
+    profiler: str
+    slowdowns: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median(self) -> float:
+        values = sorted(self.slowdowns.values())
+        if not values:
+            return 0.0
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2
+
+
+def measure_overhead(
+    workload: Workload,
+    profiler_name: str,
+    scale: float = 1.0,
+    baseline_wall: Optional[float] = None,
+) -> float:
+    """Slowdown of one profiler on one workload."""
+    if baseline_wall is None:
+        bare = workload.make_process(scale)
+        bare.run()
+        baseline_wall = bare.clock.wall
+    process = workload.make_process(scale)
+    profiler = make_profiler(profiler_name, process)
+    profiler.start()
+    process.run()
+    profiler.stop()
+    return process.clock.wall / baseline_wall
+
+
+def overhead_table(
+    workloads: Iterable[Workload],
+    profiler_names: Iterable[str],
+    scale: float = 1.0,
+) -> List[OverheadResult]:
+    """The full Table 3 grid: every profiler on every workload."""
+    workloads = list(workloads)
+    names = list(profiler_names)
+    baselines = {}
+    for workload in workloads:
+        bare = workload.make_process(scale)
+        bare.run()
+        baselines[workload.name] = bare.clock.wall
+    results = []
+    for name in names:
+        result = OverheadResult(profiler=name)
+        for workload in workloads:
+            result.slowdowns[workload.name] = measure_overhead(
+                workload, name, scale, baseline_wall=baselines[workload.name]
+            )
+        results.append(result)
+    return results
+
+
+def format_overhead_table(results: List[OverheadResult]) -> str:
+    """Render results as the paper's Table 3 layout."""
+    if not results:
+        return "(no results)"
+    workload_names = list(results[0].slowdowns)
+    short = [name[:10] for name in workload_names]
+    header = f"{'profiler':<18}" + "".join(f"{s:>11}" for s in short) + f"{'Median':>9}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        row = f"{result.profiler:<18}"
+        for name in workload_names:
+            row += f"{result.slowdowns[name]:>10.2f}x"
+        row += f"{result.median:>8.2f}x"
+        lines.append(row)
+    return "\n".join(lines)

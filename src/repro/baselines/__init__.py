@@ -1,0 +1,34 @@
+"""The comparison profilers of the paper's Figure 1, reimplemented on the
+simulated runtime with each original's *mechanism*:
+
+* deterministic tracers (cProfile, profile, line_profiler, pprofile_det,
+  yappi, memory_profiler) — built on ``sys.settrace``-style callbacks with
+  realistic probe costs, exhibiting the function bias of §6.2;
+* in-process samplers (pprofile_stat, pyinstrument) — signal/timer driven,
+  blind to native code and subthreads exactly as the paper describes;
+* out-of-process samplers (py-spy, Austin) — zero probe cost, RSS-based
+  memory for Austin (the §6.3 inaccuracy);
+* allocation interposers (Fil, Memray) — deterministic per-event work,
+  peak-only reporting (Fil) and copious logs (Memray);
+* the classical rate-based memory sampler of §3.2 (Table 2's baseline).
+"""
+
+from repro.baselines.base import BaselineReport, Capabilities, Profiler
+from repro.baselines.registry import (
+    all_profilers,
+    cpu_profilers,
+    make_profiler,
+    memory_profilers,
+    profiler_names,
+)
+
+__all__ = [
+    "BaselineReport",
+    "Capabilities",
+    "Profiler",
+    "all_profilers",
+    "cpu_profilers",
+    "memory_profilers",
+    "make_profiler",
+    "profiler_names",
+]

@@ -1,0 +1,42 @@
+"""Austin — out-of-process frame sampler with optional memory mode.
+
+Samples every 100 µs from outside the process (overhead ≈ 1.0x) and
+streams one stack record per sample to its output — the log that grows by
+~2 MB/s in the paper's §6.5 measurement. The memory mode reads the
+target's **RSS**, which §6.3 shows to be a wildly inaccurate proxy for
+allocation.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import costs
+from repro.baselines.base import Capabilities
+from repro.baselines.external import ExternalSampler
+
+
+class AustinCpuBaseline(ExternalSampler):
+    name = "austin_cpu"
+    capabilities = Capabilities(
+        granularity="lines",
+        unmodified_code=True,
+        threads=True,
+        multiprocessing=True,
+    )
+    interval = costs.AUSTIN_INTERVAL
+    record_bytes = costs.AUSTIN_RECORD_BYTES
+    sample_rss = False
+
+
+class AustinFullBaseline(ExternalSampler):
+    name = "austin_full"
+    capabilities = Capabilities(
+        granularity="lines",
+        unmodified_code=True,
+        threads=True,
+        multiprocessing=True,
+        profiles_memory=True,
+        memory_kind="rss",
+    )
+    interval = costs.AUSTIN_INTERVAL
+    record_bytes = costs.AUSTIN_RECORD_BYTES
+    sample_rss = True

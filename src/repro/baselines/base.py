@@ -1,0 +1,113 @@
+"""Common interface for all profilers in the comparison (Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProfilerError
+
+LineKey = Tuple[str, int]
+FuncKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """The feature columns of the paper's Figure 1."""
+
+    granularity: str  # "lines" | "functions" | "both"
+    unmodified_code: bool = True
+    threads: bool = False
+    multiprocessing: bool = False
+    python_vs_c_time: bool = False
+    system_time: bool = False
+    profiles_memory: bool = False
+    memory_kind: str = ""  # "", "rss", "peak", "allocations", "trends"
+    python_vs_c_memory: bool = False
+    gpu: bool = False
+    memory_trends: bool = False
+    copy_volume: bool = False
+    detects_leaks: bool = False
+
+
+@dataclass
+class BaselineReport:
+    """What a baseline profiler produces. Fields a given profiler does not
+    measure stay at their empty defaults."""
+
+    profiler: str
+    #: Seconds attributed per line (CPU profilers at line granularity).
+    line_times: Dict[LineKey, float] = field(default_factory=dict)
+    #: Seconds attributed per function (function-granularity profilers).
+    function_times: Dict[FuncKey, float] = field(default_factory=dict)
+    #: Memory attributed per line, MB (meaning depends on memory_kind).
+    line_memory_mb: Dict[LineKey, float] = field(default_factory=dict)
+    peak_memory_mb: Optional[float] = None
+    total_samples: int = 0
+    #: Bytes of profiler log/output produced during the run (§6.5).
+    log_bytes: int = 0
+
+    def function_time(self, name: str) -> float:
+        return sum(t for (_f, fn), t in self.function_times.items() if fn == name)
+
+    def line_time(self, lineno: int, filename: Optional[str] = None) -> float:
+        return sum(
+            t
+            for (file, line), t in self.line_times.items()
+            if line == lineno and (filename is None or file == filename)
+        )
+
+    @property
+    def total_reported_time(self) -> float:
+        if self.line_times:
+            return sum(self.line_times.values())
+        return sum(self.function_times.values())
+
+
+class Profiler:
+    """Base class: attach to a process, run, report.
+
+    Lifecycle: ``p = SomeProfiler(process); p.start(); process.run();
+    report = p.stop()``.
+    """
+
+    #: Short identifier used in benchmark tables (e.g. "cProfile").
+    name: str = "base"
+    capabilities: Capabilities = Capabilities(granularity="lines")
+
+    def __init__(self, process) -> None:
+        self.process = process
+        self._running = False
+
+    # -- template methods -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            raise ProfilerError(f"{self.name} already started")
+        self._running = True
+        self._install()
+
+    def stop(self) -> BaselineReport:
+        if not self._running:
+            raise ProfilerError(f"{self.name} was not started")
+        self._running = False
+        self._uninstall()
+        return self._report()
+
+    @classmethod
+    def run(cls, process, **kwargs) -> BaselineReport:
+        profiler = cls(process, **kwargs)
+        profiler.start()
+        process.run()
+        return profiler.stop()
+
+    # -- hooks subclasses implement -------------------------------------------------------
+
+    def _install(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _uninstall(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _report(self) -> BaselineReport:  # pragma: no cover - abstract
+        raise NotImplementedError

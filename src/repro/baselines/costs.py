@@ -1,0 +1,63 @@
+"""Calibrated per-event probe costs for the baseline profilers.
+
+All costs are in **interpreter-opcode equivalents** (multiplied by the
+VM's ``op_cost`` at runtime), because that is the quantity that determines
+a profiler's slowdown: overhead-per-hook divided by work-per-hook. Real
+magnitudes informed the starting points — a CPython opcode is ~30 ns, a C
+trace callback a few hundred ns, a Python trace callback 5–20 µs, a
+``/proc`` RSS read ~10 µs — and the constants were then calibrated so the
+simulated Table 3 medians land near the paper's. The *mechanisms* (which
+events each profiler pays for) are fixed; only these scalars were tuned.
+"""
+
+# -- deterministic tracers -------------------------------------------------
+
+#: cProfile: C callback on call/return and c_call/c_return (paper: 1.73x).
+CPROFILE_EVENT_OPS = 14.7
+#: profile: the same events through a pure-Python callback (paper: 15.1x).
+PROFILE_EVENT_OPS = 265.0
+#: line_profiler: C callback per line event in decorated functions (2.21x).
+LINE_PROFILER_LINE_OPS = 6.3
+#: pprofile deterministic: Python callback on *every* line event (36.8x).
+PPROFILE_DET_LINE_OPS = 187.0
+PPROFILE_DET_CALL_OPS = 45.0
+#: yappi: C callback, but heavier bookkeeping than cProfile (3.2x/3.6x).
+YAPPI_WALL_EVENT_OPS = 43.0
+YAPPI_CPU_EVENT_OPS = 51.0
+#: memory_profiler: Python callback + RSS read on every line (37.1x).
+MEMORY_PROFILER_LINE_OPS = 188.0
+
+# -- in-process samplers -------------------------------------------------
+
+#: pprofile statistical / pyinstrument handler cost per sample.
+STAT_SAMPLER_HANDLER_OPS = 2.0
+#: pyinstrument additionally pays a tiny per-call check (setprofile path).
+PYINSTRUMENT_CALL_OPS = 8.4
+
+# -- allocation interposers -------------------------------------------------
+
+#: Fil: live-map update on every allocation event (paper: 2.71x).
+FIL_EVENT_OPS = 4.5
+#: Fil: stack capture whenever a new peak is recorded.
+FIL_PEAK_CAPTURE_OPS = 30.0
+#: Memray: log-record serialization on every event (paper: 3.98x).
+MEMRAY_EVENT_OPS = 7.9
+#: Memray log record size on disk, bytes (drives ~3MB/s log growth).
+MEMRAY_RECORD_BYTES = 48
+#: Rate-based sampler: cost per taken sample (the §3.2 comparison).
+RATE_SAMPLE_OPS = 10.0
+RATE_HOOK_OPS = 0.25
+
+# -- external samplers -------------------------------------------------
+
+#: py-spy sampling interval (seconds, wall).
+PYSPY_INTERVAL = 0.01
+#: Austin sampling interval (seconds, wall; Austin defaults to 100 us).
+AUSTIN_INTERVAL = 0.0005
+#: Austin bytes per log record (one stack line per sample).
+AUSTIN_RECORD_BYTES = 130
+
+# -- sampling intervals for in-process samplers -----------------------------
+
+STAT_SAMPLER_INTERVAL = 0.01
+PYINSTRUMENT_INTERVAL = 0.001

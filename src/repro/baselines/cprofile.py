@@ -1,0 +1,27 @@
+"""cProfile — CPython's built-in deterministic function profiler.
+
+C-implemented callback on call/return and c_call/c_return events only
+(no line events), which keeps it relatively fast (paper median: 1.73x)
+but function-granular and function-biased (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import costs
+from repro.baselines.base import Capabilities
+from repro.baselines.tracer_base import FunctionTracer
+
+
+class CProfileBaseline(FunctionTracer):
+    name = "cProfile"
+    capabilities = Capabilities(
+        granularity="functions",
+        unmodified_code=True,
+        threads=False,
+    )
+    cost_call_ops = costs.CPROFILE_EVENT_OPS
+    cost_return_ops = costs.CPROFILE_EVENT_OPS
+    cost_c_call_ops = costs.CPROFILE_EVENT_OPS
+    cost_c_return_ops = costs.CPROFILE_EVENT_OPS
+    cost_line_ops = 0.0  # PyEval_SetProfile does not receive line events
+    clock_kind = "cpu"

@@ -1,0 +1,111 @@
+"""Out-of-process sampling profilers (py-spy, Austin).
+
+These profilers attach from a separate process and read the target's
+frames through ptrace/process_vm_readv, so they impose (virtually) no
+overhead on the target — the paper measures both at ~1.0x. The simulation
+models them as clock observers: every ``interval`` of wall time they
+snapshot ``sys._current_frames()`` without charging any cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.base import BaselineReport, LineKey, Profiler
+from repro.core.attribution import profiled_location
+from repro.memory.samplefile import SampleFile
+
+
+class ExternalSampler(Profiler):
+    """Wall-clock frame sampler running outside the profiled process."""
+
+    interval: float = 0.01
+    #: Bytes appended to the profiler's output per sampled stack.
+    record_bytes: int = 0
+    #: Whether each sample also reads the target's RSS (Austin memory mode).
+    sample_rss: bool = False
+
+    def __init__(self, process) -> None:
+        super().__init__(process)
+        self._line_times: Dict[LineKey, float] = {}
+        self._line_memory_mb: Dict[LineKey, float] = {}
+        self._accumulated = 0.0
+        self._samples = 0
+        self._last_rss: Optional[int] = None
+        self.logfile = SampleFile(self.name)
+
+    # -- install: observe the wall clock ---------------------------------------
+
+    def _install(self) -> None:
+        self.process.clock.subscribe(self._on_advance)
+        if self.sample_rss:
+            self._last_rss = self.process.rss()
+        # Multiprocessing support: attach a sampler to every forked child
+        # (py-spy and Austin follow child processes).
+        if self.capabilities.multiprocessing:
+            self.process.child_observers.append(self._attach_to_child)
+
+    def _uninstall(self) -> None:
+        self.process.clock.unsubscribe(self._on_advance)
+
+    def _attach_to_child(self, child) -> None:
+        accumulator = [0.0]
+
+        def on_child_advance(wall_dt: float, _cpu_dt: float) -> None:
+            accumulator[0] += wall_dt
+            while accumulator[0] >= self.interval:
+                accumulator[0] -= self.interval
+                self._sample_process(child)
+
+        child.clock.subscribe(on_child_advance)
+
+    def _on_advance(self, wall_dt: float, _cpu_dt: float) -> None:
+        self._accumulated += wall_dt
+        while self._accumulated >= self.interval:
+            self._accumulated -= self.interval
+            self._sample()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _sample(self) -> None:
+        self._sample_process(self.process)
+
+    def _sample_process(self, process) -> None:
+        self._samples += 1
+        frames = process.current_frames()
+        for _ident, frame in frames.items():
+            location = profiled_location(frame, process.profiled_filenames)
+            if location is None:
+                continue
+            key = (location[0], location[1])
+            self._line_times[key] = self._line_times.get(key, 0.0) + self.interval
+            if self.record_bytes:
+                self.logfile.append_bytes(self.record_bytes)
+        if self.sample_rss and process is self.process:
+            rss = process.rss()
+            delta_mb = (rss - self._last_rss) / (1024 * 1024)
+            self._last_rss = rss
+            main_frame = frames.get(process.main_thread.ident)
+            location = (
+                profiled_location(main_frame, process.profiled_filenames)
+                if main_frame is not None
+                else None
+            )
+            if location is not None and delta_mb != 0.0:
+                key = (location[0], location[1])
+                self._line_memory_mb[key] = (
+                    self._line_memory_mb.get(key, 0.0) + delta_mb
+                )
+
+    def _report(self) -> BaselineReport:
+        peak = None
+        if self.sample_rss:
+            peak = self.process.rss() / (1024 * 1024)
+        return BaselineReport(
+            profiler=self.name,
+            line_times=dict(self._line_times),
+            line_memory_mb=dict(self._line_memory_mb),
+            peak_memory_mb=peak,
+            total_samples=self._samples,
+            log_bytes=self.logfile.size_bytes,
+        )

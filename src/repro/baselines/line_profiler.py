@@ -1,0 +1,26 @@
+"""line_profiler — line-granularity deterministic profiler.
+
+Requires ``@profile`` decorators (code must be modified) and traces line
+events only inside decorated functions, through a C callback (paper
+median: 2.21x). Does not handle threads.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import costs
+from repro.baselines.base import Capabilities
+from repro.baselines.tracer_base import LineTracer
+
+
+class LineProfilerBaseline(LineTracer):
+    name = "line_profiler"
+    capabilities = Capabilities(
+        granularity="lines",
+        unmodified_code=False,  # needs @profile decorators
+        threads=False,
+    )
+    cost_line_ops = costs.LINE_PROFILER_LINE_OPS
+    cost_call_ops = costs.LINE_PROFILER_LINE_OPS * 0.5
+    cost_return_ops = costs.LINE_PROFILER_LINE_OPS * 0.5
+    clock_kind = "cpu"
+    trace_all_files = False  # only decorated (profiled-file) functions

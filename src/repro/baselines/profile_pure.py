@@ -1,0 +1,25 @@
+"""profile — the pure-Python sibling of cProfile.
+
+Identical mechanism, but the callback is Python code, an order of
+magnitude costlier per event (paper median: 15.1x).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import costs
+from repro.baselines.base import Capabilities
+from repro.baselines.tracer_base import FunctionTracer
+
+
+class ProfileBaseline(FunctionTracer):
+    name = "profile"
+    capabilities = Capabilities(
+        granularity="functions",
+        unmodified_code=True,
+    )
+    cost_call_ops = costs.PROFILE_EVENT_OPS
+    cost_return_ops = costs.PROFILE_EVENT_OPS
+    cost_c_call_ops = costs.PROFILE_EVENT_OPS
+    cost_c_return_ops = costs.PROFILE_EVENT_OPS
+    cost_line_ops = 0.0
+    clock_kind = "cpu"

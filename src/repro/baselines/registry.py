@@ -1,0 +1,103 @@
+"""Registry of every profiler in the comparison (Figure 1 rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.baselines.austin import AustinCpuBaseline, AustinFullBaseline
+from repro.baselines.base import Profiler
+from repro.baselines.cprofile import CProfileBaseline
+from repro.baselines.fil import FilBaseline
+from repro.baselines.line_profiler import LineProfilerBaseline
+from repro.baselines.memory_profiler_rss import MemoryProfilerBaseline
+from repro.baselines.memray import MemrayBaseline
+from repro.baselines.pprofile import PProfileDetBaseline, PProfileStatBaseline
+from repro.baselines.profile_pure import ProfileBaseline
+from repro.baselines.pyinstrument import PyInstrumentBaseline
+from repro.baselines.pyspy import PySpyBaseline
+from repro.baselines.rate_sampler import RateBasedSampler
+from repro.baselines.scalene_adapter import (
+    ScaleneCpuBaseline,
+    ScaleneCpuGpuBaseline,
+    ScaleneFullBaseline,
+)
+from repro.baselines.tracemalloc_like import TracemallocBaseline
+from repro.baselines.yappi import YappiCpuBaseline, YappiWallBaseline
+from repro.errors import ProfilerError
+
+#: Order mirrors the paper's Table 3 rows.
+_REGISTRY: Dict[str, Type[Profiler]] = {
+    cls.name: cls
+    for cls in (
+        PySpyBaseline,
+        CProfileBaseline,
+        YappiWallBaseline,
+        YappiCpuBaseline,
+        PProfileStatBaseline,
+        PProfileDetBaseline,
+        LineProfilerBaseline,
+        ProfileBaseline,
+        PyInstrumentBaseline,
+        AustinCpuBaseline,
+        AustinFullBaseline,
+        MemrayBaseline,
+        FilBaseline,
+        MemoryProfilerBaseline,
+        RateBasedSampler,
+        TracemallocBaseline,
+        ScaleneCpuBaseline,
+        ScaleneCpuGpuBaseline,
+        ScaleneFullBaseline,
+    )
+}
+
+#: The CPU-profiler rows of Figure 7 / Table 3.
+CPU_PROFILER_NAMES = [
+    "py_spy",
+    "cProfile",
+    "yappi_wall",
+    "yappi_cpu",
+    "pprofile_stat",
+    "pprofile_det",
+    "line_profiler",
+    "profile",
+    "pyinstrument",
+    "austin_cpu",
+    "scalene_cpu",
+    "scalene_cpu_gpu",
+]
+
+#: The memory-profiler rows of Figure 8.
+MEMORY_PROFILER_NAMES = [
+    "austin_full",
+    "memray",
+    "fil",
+    "memory_profiler",
+    "scalene_full",
+]
+
+
+def profiler_names() -> List[str]:
+    return list(_REGISTRY)
+
+
+def make_profiler(name: str, process, **kwargs) -> Profiler:
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ProfilerError(
+            f"unknown profiler {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(process, **kwargs)
+
+
+def all_profilers() -> Dict[str, Type[Profiler]]:
+    return dict(_REGISTRY)
+
+
+def cpu_profilers() -> List[str]:
+    return list(CPU_PROFILER_NAMES)
+
+
+def memory_profilers() -> List[str]:
+    return list(MEMORY_PROFILER_NAMES)

@@ -1,0 +1,96 @@
+"""Adapters presenting Scalene through the baseline-profiler interface,
+so the benchmark harness can drive all sixteen configurations uniformly
+(the three Scalene rows of Figure 1 / Table 3)."""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineReport, Capabilities, Profiler
+from repro.core import Scalene
+
+
+class _ScaleneAdapter(Profiler):
+    mode = "full"
+
+    def __init__(self, process) -> None:
+        super().__init__(process)
+        self._scalene = Scalene(process, mode=self.mode)
+        self.profile = None
+
+    def _install(self) -> None:
+        self._scalene.start()
+
+    def _uninstall(self) -> None:
+        self.profile = self._scalene.stop()
+
+    def _report(self) -> BaselineReport:
+        profile = self.profile
+        line_times = {}
+        total = (
+            profile.cpu_python_time
+            + profile.cpu_native_time
+            + profile.cpu_system_time
+        )
+        for line in profile.lines:
+            seconds = line.cpu_total_percent / 100.0 * total
+            if seconds > 0:
+                line_times[(line.filename, line.lineno)] = seconds
+        line_memory = {
+            (line.filename, line.lineno): line.mem_peak_mb
+            for line in profile.lines
+            if line.mem_peak_mb > 0
+        }
+        return BaselineReport(
+            profiler=self.name,
+            line_times=line_times,
+            line_memory_mb=line_memory,
+            peak_memory_mb=profile.peak_footprint_mb or None,
+            total_samples=profile.cpu_samples,
+            log_bytes=profile.sample_log_bytes,
+        )
+
+
+class ScaleneCpuBaseline(_ScaleneAdapter):
+    name = "scalene_cpu"
+    mode = "cpu"
+    capabilities = Capabilities(
+        granularity="both",
+        unmodified_code=True,
+        threads=True,
+        multiprocessing=True,
+        python_vs_c_time=True,
+        system_time=True,
+    )
+
+
+class ScaleneCpuGpuBaseline(_ScaleneAdapter):
+    name = "scalene_cpu_gpu"
+    mode = "cpu+gpu"
+    capabilities = Capabilities(
+        granularity="both",
+        unmodified_code=True,
+        threads=True,
+        multiprocessing=True,
+        python_vs_c_time=True,
+        system_time=True,
+        gpu=True,
+    )
+
+
+class ScaleneFullBaseline(_ScaleneAdapter):
+    name = "scalene_full"
+    mode = "full"
+    capabilities = Capabilities(
+        granularity="both",
+        unmodified_code=True,
+        threads=True,
+        multiprocessing=True,
+        python_vs_c_time=True,
+        system_time=True,
+        profiles_memory=True,
+        memory_kind="trends",
+        python_vs_c_memory=True,
+        gpu=True,
+        memory_trends=True,
+        copy_volume=True,
+        detects_leaks=True,
+    )

@@ -1,0 +1,109 @@
+"""tracemalloc — the standard-library approach to leak hunting (§3.4).
+
+The paper describes the status quo Scalene's leak detector replaces:
+activate ``tracemalloc`` (which records size, allocation site and stack
+for *every* object — "just activating tracemalloc can slow Python
+applications down by 4x"), insert snapshot calls, and manually diff
+snapshots to find growing sites.
+
+This baseline reproduces that mechanism: deterministic per-event tracking
+of every live allocation with stack attribution, an explicit snapshot
+API, and snapshot diffing that surfaces the top-growing sites. Its
+overhead comes from paying the bookkeeping cost on every single
+allocation event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines._interpose import AllocationInterposer
+from repro.baselines.base import BaselineReport, Capabilities, LineKey
+
+#: Per-event bookkeeping cost, opcode-equivalents (paper: ~4x slowdown).
+TRACEMALLOC_EVENT_OPS = 10.5
+
+
+@dataclass
+class SnapshotDiff:
+    """One growing site surfaced by diffing two snapshots."""
+
+    filename: str
+    lineno: int
+    growth_bytes: int
+    count_growth: int
+
+
+class TracemallocBaseline(AllocationInterposer):
+    """Deterministic allocation tracker with snapshot diffing."""
+
+    name = "tracemalloc"
+    capabilities = Capabilities(
+        granularity="lines",
+        unmodified_code=False,  # requires inserted snapshot calls
+        profiles_memory=True,
+        memory_kind="allocations",
+    )
+
+    def __init__(self, process) -> None:
+        super().__init__(process)
+        self._live: Dict[int, Tuple[int, Optional[LineKey]]] = {}
+        self._snapshots: List[Dict[LineKey, Tuple[int, int]]] = []
+
+    # -- the per-event tracking (the 4x) ---------------------------------------
+
+    def observe(self, signed_bytes: int, domain: str, address: int, thread) -> None:
+        self.event_count += 1
+        self.charge(thread, TRACEMALLOC_EVENT_OPS)
+        if signed_bytes >= 0:
+            location = self.attribution(thread)
+            key: Optional[LineKey] = (location[0], location[1]) if location else None
+            self._live[address] = (signed_bytes, key)
+        else:
+            self._live.pop(address, None)
+
+    # -- the manual snapshot workflow ---------------------------------------
+
+    def take_snapshot(self) -> int:
+        """Record per-site live (bytes, count); returns the snapshot index."""
+        aggregate: Dict[LineKey, Tuple[int, int]] = {}
+        for nbytes, key in self._live.values():
+            if key is None:
+                continue
+            total, count = aggregate.get(key, (0, 0))
+            aggregate[key] = (total + nbytes, count + 1)
+        self._snapshots.append(aggregate)
+        return len(self._snapshots) - 1
+
+    def compare_snapshots(self, first: int, second: int, top: int = 10) -> List[SnapshotDiff]:
+        """The post-hoc diff the programmer inspects by hand."""
+        before = self._snapshots[first]
+        after = self._snapshots[second]
+        diffs = []
+        for key in set(before) | set(after):
+            b_bytes, b_count = before.get(key, (0, 0))
+            a_bytes, a_count = after.get(key, (0, 0))
+            if a_bytes != b_bytes:
+                diffs.append(
+                    SnapshotDiff(
+                        filename=key[0],
+                        lineno=key[1],
+                        growth_bytes=a_bytes - b_bytes,
+                        count_growth=a_count - b_count,
+                    )
+                )
+        diffs.sort(key=lambda d: d.growth_bytes, reverse=True)
+        return diffs[:top]
+
+    def _report(self) -> BaselineReport:
+        mb = 1024 * 1024
+        live_by_line: Dict[LineKey, float] = {}
+        for nbytes, key in self._live.values():
+            if key is not None:
+                live_by_line[key] = live_by_line.get(key, 0.0) + nbytes / mb
+        return BaselineReport(
+            profiler=self.name,
+            line_memory_mb=live_by_line,
+            total_samples=self.event_count,
+        )

@@ -1,0 +1,158 @@
+"""Shared machinery for deterministic (tracing) profilers.
+
+These profilers install a trace function; CPython invokes it on call,
+line, and return events, and the callback's own execution time — the
+*probe effect* — is charged to the profiled process. Function-granularity
+tracers time call→return spans; line-granularity tracers time
+line→next-event spans. Both measure with the process clocks, which include
+the probe cost: that is precisely the function bias of §6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import BaselineReport, FuncKey, LineKey, Profiler
+from repro.runtime import tracing
+
+
+class _TraceFn:
+    """Adapter giving the TraceManager its cost attributes."""
+
+    def __init__(self, owner, cost_call, cost_line, cost_return, cost_c_call, cost_c_return):
+        self.owner = owner
+        self.cost_call = cost_call
+        self.cost_line = cost_line
+        self.cost_return = cost_return
+        self.cost_c_call = cost_c_call
+        self.cost_c_return = cost_c_return
+
+    def __call__(self, frame, event, arg) -> None:
+        self.owner.on_event(frame, event, arg)
+
+
+class TracingProfiler(Profiler):
+    """Base for settrace-based profilers."""
+
+    #: Probe costs in opcode units; subclasses override.
+    cost_call_ops: float = 0.0
+    cost_line_ops: float = 0.0
+    cost_return_ops: float = 0.0
+    cost_c_call_ops: float = 0.0
+    cost_c_return_ops: float = 0.0
+    #: Which clock the profiler reads ("wall" or "cpu").
+    clock_kind: str = "cpu"
+
+    def __init__(self, process) -> None:
+        super().__init__(process)
+        self._saved_trace = None
+        self._trace_fn: Optional[_TraceFn] = None
+
+    # -- install/uninstall -------------------------------------------------------
+
+    def _install(self) -> None:
+        op_cost = self.process.vm.config.op_cost
+        self._trace_fn = _TraceFn(
+            self,
+            cost_call=self.cost_call_ops * op_cost,
+            cost_line=self.cost_line_ops * op_cost,
+            cost_return=self.cost_return_ops * op_cost,
+            cost_c_call=self.cost_c_call_ops * op_cost,
+            cost_c_return=self.cost_c_return_ops * op_cost,
+        )
+        self._saved_trace = self.process.trace.gettrace()
+        self.process.trace.settrace(self._trace_fn)
+
+    def _uninstall(self) -> None:
+        self.process.trace.settrace(self._saved_trace)
+
+    # -- clock -------------------------------------------------------
+
+    def now(self) -> float:
+        clock = self.process.clock
+        return clock.wall if self.clock_kind == "wall" else clock.cpu
+
+    # -- event hook (subclasses implement) ------------------------------------
+
+    def on_event(self, frame, event, arg) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class FunctionTracer(TracingProfiler):
+    """Times call→return spans per function (cProfile-family mechanism).
+
+    Reports *inclusive* time per function: the sum of the spans between
+    each call event and its matching return. Native (c_call/c_return)
+    spans are attributed to the named builtin.
+    """
+
+    def __init__(self, process) -> None:
+        super().__init__(process)
+        self._function_times: Dict[FuncKey, float] = {}
+        # Per-frame entry timestamps; native spans keyed by (frame id, name).
+        self._entries: List[Tuple[object, FuncKey, float]] = []
+        self._events = 0
+
+    def on_event(self, frame, event, arg) -> None:
+        self._events += 1
+        if event == tracing.EVENT_CALL:
+            key = (frame.code.filename, frame.code.name)
+            self._entries.append((frame, key, self.now()))
+        elif event == tracing.EVENT_RETURN:
+            self._close_span(frame)
+        elif event == tracing.EVENT_C_CALL:
+            key = ("<native>", str(arg))
+            self._entries.append((frame, key, self.now()))
+        elif event == tracing.EVENT_C_RETURN:
+            self._close_span(frame)
+
+    def _close_span(self, frame) -> None:
+        # Spans nest strictly because we attach before the program starts;
+        # the module frame's final return has no matching entry — ignore it.
+        if not self._entries:
+            return
+        _entry_frame, key, t0 = self._entries.pop()
+        elapsed = self.now() - t0
+        self._function_times[key] = self._function_times.get(key, 0.0) + elapsed
+
+    def _report(self) -> BaselineReport:
+        return BaselineReport(
+            profiler=self.name,
+            function_times=dict(self._function_times),
+            total_samples=self._events,
+        )
+
+
+class LineTracer(TracingProfiler):
+    """Times line→next-event spans per line (line_profiler mechanism)."""
+
+    #: When False, events from files outside the profiled set are ignored
+    #: (line_profiler only instruments decorated functions).
+    trace_all_files = True
+
+    def __init__(self, process) -> None:
+        super().__init__(process)
+        self._line_times: Dict[LineKey, float] = {}
+        self._current: Optional[Tuple[LineKey, float]] = None
+        self._events = 0
+
+    def on_event(self, frame, event, arg) -> None:
+        self._events += 1
+        now = self.now()
+        in_scope = (
+            self.trace_all_files
+            or frame.code.filename in self.process.profiled_filenames
+        )
+        if self._current is not None:
+            key, t0 = self._current
+            self._line_times[key] = self._line_times.get(key, 0.0) + (now - t0)
+            self._current = None
+        if event == tracing.EVENT_LINE and in_scope:
+            self._current = ((frame.code.filename, frame.lineno), now)
+
+    def _report(self) -> BaselineReport:
+        return BaselineReport(
+            profiler=self.name,
+            line_times=dict(self._line_times),
+            total_samples=self._events,
+        )

@@ -1,0 +1,42 @@
+"""yappi — deterministic function profiler with wall and CPU modes.
+
+Thread-aware, C callback, but with heavier per-event bookkeeping than
+cProfile (paper medians: 3.17x wall, 3.62x CPU). The paper also finds it
+among the most *inaccurate* CPU profilers (§6.2) — in this reproduction
+that inaccuracy emerges from the same function bias mechanism, amplified
+by the larger per-event cost.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import costs
+from repro.baselines.base import Capabilities
+from repro.baselines.tracer_base import FunctionTracer
+
+
+class YappiWallBaseline(FunctionTracer):
+    name = "yappi_wall"
+    capabilities = Capabilities(
+        granularity="functions",
+        unmodified_code=True,
+        threads=True,
+    )
+    cost_call_ops = costs.YAPPI_WALL_EVENT_OPS
+    cost_return_ops = costs.YAPPI_WALL_EVENT_OPS
+    cost_c_call_ops = costs.YAPPI_WALL_EVENT_OPS
+    cost_c_return_ops = costs.YAPPI_WALL_EVENT_OPS
+    clock_kind = "wall"
+
+
+class YappiCpuBaseline(FunctionTracer):
+    name = "yappi_cpu"
+    capabilities = Capabilities(
+        granularity="functions",
+        unmodified_code=True,
+        threads=True,
+    )
+    cost_call_ops = costs.YAPPI_CPU_EVENT_OPS
+    cost_return_ops = costs.YAPPI_CPU_EVENT_OPS
+    cost_c_call_ops = costs.YAPPI_CPU_EVENT_OPS
+    cost_c_return_ops = costs.YAPPI_CPU_EVENT_OPS
+    clock_kind = "cpu"

@@ -1,0 +1,26 @@
+"""SCALENE — the paper's contribution, reimplemented on the simulated runtime.
+
+The public entry point is :class:`~repro.core.scalene.Scalene`; the
+submodules implement the paper's individual algorithms:
+
+* :mod:`~repro.core.cpu_profiler` — signal-delay CPU attribution (§2.1)
+* :mod:`~repro.core.thread_attrib` — subthread attribution (§2.2)
+* :mod:`~repro.core.memory_profiler` — threshold-based sampling (§3.1–3.3)
+* :mod:`~repro.core.leak_detector` — sampling leak detection (§3.4)
+* :mod:`~repro.core.copy_volume` — copy-volume profiling (§3.5)
+* :mod:`~repro.core.gpu_profiler` — GPU sampling (§4)
+* :mod:`~repro.core.rdp`, :mod:`~repro.core.filtering` — UI data reduction (§5)
+"""
+
+from repro.core.config import MODE_CPU, MODE_CPU_GPU, MODE_FULL, ScaleneConfig
+from repro.core.scalene import Scalene
+from repro.core.profile_data import ProfileData
+
+__all__ = [
+    "Scalene",
+    "ScaleneConfig",
+    "ProfileData",
+    "MODE_CPU",
+    "MODE_CPU_GPU",
+    "MODE_FULL",
+]

@@ -1,0 +1,30 @@
+"""Stack-walking attribution.
+
+Scalene attributes every sample "by obtaining the current thread's call
+stack from the interpreter and skipping over frames until one within
+profiled source code is found" (§3.3). In the real system this runs as a
+C++ extension module for speed; here it is a plain function over simulated
+frames.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+Location = Tuple[str, int, str]  # (filename, lineno, function)
+
+
+def profiled_location(frame, profiled_filenames: Set[str]) -> Optional[Location]:
+    """Walk ``frame`` outward to the innermost frame in profiled code."""
+    while frame is not None:
+        if frame.code.filename in profiled_filenames:
+            return (frame.code.filename, frame.lineno, frame.code.name)
+        frame = frame.back
+    return None
+
+
+def thread_location(thread, profiled_filenames: Set[str]) -> Optional[Location]:
+    """Attribution for a thread (None when it has no profiled frame)."""
+    if thread is None or thread.frame is None:
+        return None
+    return profiled_location(thread.frame, profiled_filenames)

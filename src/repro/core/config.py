@@ -1,0 +1,80 @@
+"""Scalene configuration.
+
+All profiler *overhead* costs are expressed in interpreter-opcode
+equivalents (``*_ops``): the simulated interpreter's opcode is tens of
+virtual microseconds (versus tens of real nanoseconds in CPython), so
+expressing hook costs relative to the opcode cost keeps the
+overhead-to-work ratio — the quantity the paper's Tables 3/Figure 7
+measure — faithful under the time scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProfilerError
+from repro.units import SCALENE_CPU_INTERVAL, SCALENE_THRESHOLD
+
+MODE_CPU = "cpu"
+MODE_CPU_GPU = "cpu+gpu"
+MODE_FULL = "full"
+
+_MODES = (MODE_CPU, MODE_CPU_GPU, MODE_FULL)
+
+
+@dataclass
+class ScaleneConfig:
+    """Tunables for a Scalene run (defaults match the paper/release)."""
+
+    mode: str = MODE_FULL
+    #: CPU sampling interval q (§2.1).
+    cpu_sampling_interval: float = SCALENE_CPU_INTERVAL
+    #: Memory sampling threshold T: "a prime number slightly above 10MB".
+    memory_threshold: int = SCALENE_THRESHOLD
+    #: memcpy sampling rate, "a multiple of the allocation sampling rate"
+    #: (§3.5) — here half the allocation threshold.
+    copy_sampling_rate: int = SCALENE_THRESHOLD // 2
+    #: Leak-report filters (§3.4).
+    leak_likelihood_threshold: float = 0.95
+    leak_growth_slope_threshold: float = 0.01
+    #: UI reduction (§5).
+    timeline_points: int = 100
+    report_min_percent: float = 1.0
+    report_max_lines: int = 300
+    #: Offer/enable NVML per-PID accounting at startup (§4).
+    enable_gpu_per_pid_accounting: bool = True
+    #: Start with profiling paused; the program turns it on around the
+    #: region of interest via the ``profile_start()``/``profile_stop()``
+    #: builtins (the real Scalene's ``--off`` + programmatic API).
+    start_paused: bool = False
+    #: Ablation switch: disable the §2.1 signal-delay inference and
+    #: attribute each sample's full elapsed time as Python time (what a
+    #: naive sampling profiler does). For the ablation benchmark only.
+    use_delay_inference: bool = True
+
+    # -- overhead model (opcode-equivalents, see module docstring) ----------
+    signal_handler_cost_ops: float = 2.0
+    stack_walk_cost_ops: float = 0.5
+    gpu_query_cost_ops: float = 1.0
+    alloc_hook_cost_ops: float = 0.73
+    free_check_cost_ops: float = 0.02
+    memcpy_hook_cost_ops: float = 0.4
+    sample_write_cost_ops: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ProfilerError(f"unknown Scalene mode {self.mode!r}; use one of {_MODES}")
+        if self.cpu_sampling_interval <= 0:
+            raise ProfilerError("cpu_sampling_interval must be positive")
+        if self.memory_threshold <= 0:
+            raise ProfilerError("memory_threshold must be positive")
+        if self.copy_sampling_rate <= 0:
+            raise ProfilerError("copy_sampling_rate must be positive")
+
+    @property
+    def profiles_memory(self) -> bool:
+        return self.mode == MODE_FULL
+
+    @property
+    def profiles_gpu(self) -> bool:
+        return self.mode in (MODE_CPU_GPU, MODE_FULL)

@@ -1,0 +1,50 @@
+"""Profile-line filtering (paper §5).
+
+Scalene reports only lines responsible for at least 1 % of execution time
+(CPU or GPU) or at least 1 % of total memory consumption — *plus the
+preceding and following line* for context — and guarantees the profile
+never exceeds 300 lines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.stats import LineKey, LineStats
+
+
+def significant_lines(
+    lines: Dict[LineKey, LineStats],
+    total_cpu_time: float,
+    total_alloc_mb: float,
+    *,
+    min_percent: float = 1.0,
+    max_lines: int = 300,
+) -> List[LineKey]:
+    """Select the line keys to report, ordered by file and line number."""
+    threshold = min_percent / 100.0
+    significant: List[Tuple[float, LineKey]] = []
+    for key, stats in lines.items():
+        cpu_share = stats.total_cpu_time / total_cpu_time if total_cpu_time > 0 else 0.0
+        gpu_share = stats.gpu_utilization
+        mem_share = stats.malloc_mb / total_alloc_mb if total_alloc_mb > 0 else 0.0
+        score = max(cpu_share, gpu_share, mem_share)
+        if score >= threshold:
+            significant.append((score, key))
+
+    # Keep the most significant lines within the budget; each selected line
+    # brings its two neighbours, so budget at a third of the cap.
+    significant.sort(reverse=True)
+    core_budget = max(max_lines // 3, 1)
+    selected = {key for _score, key in significant[:core_budget]}
+
+    with_neighbours = set()
+    for filename, lineno in selected:
+        with_neighbours.add((filename, lineno))
+        with_neighbours.add((filename, lineno - 1))
+        with_neighbours.add((filename, lineno + 1))
+    # Drop non-existent line numbers (e.g. line 0).
+    result = sorted(k for k in with_neighbours if k[1] >= 1)
+    if len(result) > max_lines:  # the hard guarantee
+        result = result[:max_lines]
+    return result

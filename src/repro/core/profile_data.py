@@ -1,0 +1,384 @@
+"""The finished profile: Scalene's output data model (paper §5).
+
+Built from :class:`~repro.core.stats.ScaleneStats` when profiling stops:
+lines are filtered to the significant ones (≥1 % plus neighbours, ≤300),
+memory timelines are reduced with RDP + downsampling to ≤100 points, and
+the result renders as rich text (CLI) or JSON (the web UI payload).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ScaleneConfig
+from repro.core.filtering import significant_lines
+from repro.core.leak_detector import LeakReport
+from repro.core.rdp import reduce_timeline
+from repro.core.stats import ScaleneStats
+
+
+@dataclass
+class LineReport:
+    """One reported line (a row of the paper's Fig. 2 table)."""
+
+    filename: str
+    lineno: int
+    function: str
+    source: str
+    cpu_python_percent: float
+    cpu_native_percent: float
+    cpu_system_percent: float
+    mem_avg_mb: float
+    mem_peak_mb: float
+    mem_python_percent: float
+    #: Share of the program's total allocation activity on this line
+    #: (the "activity" column of the paper's Fig. 2), percent.
+    mem_activity_percent: float
+    timeline: List[Tuple[float, float]]
+    copy_mb_s: float
+    gpu_percent: float
+    gpu_mem_peak_mb: float
+
+    @property
+    def cpu_total_percent(self) -> float:
+        return (
+            self.cpu_python_percent
+            + self.cpu_native_percent
+            + self.cpu_system_percent
+        )
+
+
+@dataclass
+class FunctionReport:
+    """Per-function aggregate (Scalene reports lines *and* functions)."""
+
+    filename: str
+    function: str
+    cpu_python_percent: float
+    cpu_native_percent: float
+    cpu_system_percent: float
+    malloc_mb: float
+    copy_mb: float
+    gpu_percent: float
+
+    @property
+    def cpu_total_percent(self) -> float:
+        return (
+            self.cpu_python_percent
+            + self.cpu_native_percent
+            + self.cpu_system_percent
+        )
+
+
+@dataclass
+class ProfileData:
+    """Everything Scalene reports for one run."""
+
+    mode: str
+    elapsed: float
+    cpu_python_time: float
+    cpu_native_time: float
+    cpu_system_time: float
+    cpu_samples: int
+    mem_samples: int
+    peak_footprint_mb: float
+    total_copy_mb: float
+    gpu_mean_utilization: float
+    gpu_mem_peak_mb: float
+    lines: List[LineReport] = field(default_factory=list)
+    functions: List[FunctionReport] = field(default_factory=list)
+    memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
+    leaks: List[LeakReport] = field(default_factory=list)
+    sample_log_bytes: int = 0
+
+    # -- rendering -------------------------------------------------------
+
+    #: Valid sort keys for :meth:`render_text` (Fig. 2's sortable columns).
+    SORT_KEYS = {
+        "line": lambda l: (l.filename, l.lineno),
+        "cpu": lambda l: -l.cpu_total_percent,
+        "memory": lambda l: -l.mem_peak_mb,
+        "copy": lambda l: -l.copy_mb_s,
+        "gpu": lambda l: -l.gpu_percent,
+    }
+
+    def render_text(self, max_width: int = 100, sort_by: str = "line") -> str:
+        """Rich-text-style CLI report.
+
+        ``sort_by`` mirrors the web UI's sortable column headers:
+        ``line`` (default), ``cpu``, ``memory``, ``copy``, or ``gpu``.
+        """
+        key = self.SORT_KEYS.get(sort_by)
+        if key is None:
+            raise ValueError(
+                f"unknown sort_by {sort_by!r}; use one of {sorted(self.SORT_KEYS)}"
+            )
+        out: List[str] = []
+        total = self.cpu_python_time + self.cpu_native_time + self.cpu_system_time
+        out.append(f"Scalene profile [{self.mode}] — elapsed {self.elapsed:.2f}s "
+                   f"(CPU samples: {self.cpu_samples}, memory samples: {self.mem_samples})")
+        if total > 0:
+            out.append(
+                f"  time: {100 * self.cpu_python_time / total:.0f}% Python | "
+                f"{100 * self.cpu_native_time / total:.0f}% native | "
+                f"{100 * self.cpu_system_time / total:.0f}% system"
+            )
+        if self.mem_samples:
+            out.append(f"  peak memory: {self.peak_footprint_mb:.1f} MB | "
+                       f"copy volume: {self.total_copy_mb:.1f} MB")
+        if self.gpu_mean_utilization > 0:
+            out.append(f"  GPU: {100 * self.gpu_mean_utilization:.0f}% util | "
+                       f"peak {self.gpu_mem_peak_mb:.1f} MB")
+        header = (
+            f"{'line':>5} {'py%':>5} {'nat%':>5} {'sys%':>5} "
+            f"{'avgMB':>7} {'pkMB':>7} {'cp MB/s':>8} {'gpu%':>5}  source"
+        )
+        out.append(header)
+        out.append("-" * min(len(header) + 20, max_width))
+        for line in sorted(self.lines, key=key):
+            src = line.source[: max_width - 60]
+            out.append(
+                f"{line.lineno:>5} {line.cpu_python_percent:>5.1f} "
+                f"{line.cpu_native_percent:>5.1f} {line.cpu_system_percent:>5.1f} "
+                f"{line.mem_avg_mb:>7.1f} {line.mem_peak_mb:>7.1f} "
+                f"{line.copy_mb_s:>8.2f} {100 * line.gpu_percent:>5.1f}  {src}"
+            )
+        hot_functions = [f for f in self.functions if f.cpu_total_percent >= 1.0]
+        if hot_functions:
+            out.append("")
+            out.append(f"{'function':<22} {'py%':>5} {'nat%':>5} {'sys%':>5} "
+                       f"{'allocMB':>8} {'gpu%':>5}")
+            for fn in hot_functions:
+                out.append(
+                    f"{fn.function:<22} {fn.cpu_python_percent:>5.1f} "
+                    f"{fn.cpu_native_percent:>5.1f} {fn.cpu_system_percent:>5.1f} "
+                    f"{fn.malloc_mb:>8.1f} {100 * fn.gpu_percent:>5.1f}"
+                )
+        if self.leaks:
+            out.append("")
+            out.append("Possible memory leaks (likelihood ≥ 95%):")
+            for leak in self.leaks:
+                out.append(f"  {leak}")
+        return "\n".join(out)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready payload (what the web UI consumes)."""
+        return {
+            "mode": self.mode,
+            "elapsed_s": self.elapsed,
+            "cpu": {
+                "python_s": self.cpu_python_time,
+                "native_s": self.cpu_native_time,
+                "system_s": self.cpu_system_time,
+                "samples": self.cpu_samples,
+            },
+            "memory": {
+                "samples": self.mem_samples,
+                "peak_mb": self.peak_footprint_mb,
+                "timeline": self.memory_timeline,
+                "sample_log_bytes": self.sample_log_bytes,
+            },
+            "copy_volume_mb": self.total_copy_mb,
+            "gpu": {
+                "mean_utilization": self.gpu_mean_utilization,
+                "peak_mb": self.gpu_mem_peak_mb,
+            },
+            "leaks": [
+                {
+                    "filename": leak.filename,
+                    "lineno": leak.lineno,
+                    "function": leak.function,
+                    "likelihood": leak.likelihood,
+                    "leak_rate_mb_s": leak.leak_rate_mb_s,
+                }
+                for leak in self.leaks
+            ],
+            "functions": [
+                {
+                    "filename": fn.filename,
+                    "function": fn.function,
+                    "cpu_python_percent": fn.cpu_python_percent,
+                    "cpu_native_percent": fn.cpu_native_percent,
+                    "cpu_system_percent": fn.cpu_system_percent,
+                    "malloc_mb": fn.malloc_mb,
+                    "copy_mb": fn.copy_mb,
+                    "gpu_percent": fn.gpu_percent,
+                }
+                for fn in self.functions
+            ],
+            "lines": [
+                {
+                    "filename": line.filename,
+                    "lineno": line.lineno,
+                    "function": line.function,
+                    "source": line.source,
+                    "cpu_python_percent": line.cpu_python_percent,
+                    "cpu_native_percent": line.cpu_native_percent,
+                    "cpu_system_percent": line.cpu_system_percent,
+                    "mem_avg_mb": line.mem_avg_mb,
+                    "mem_peak_mb": line.mem_peak_mb,
+                    "mem_python_percent": line.mem_python_percent,
+                    "mem_activity_percent": line.mem_activity_percent,
+                    "timeline": line.timeline,
+                    "copy_mb_s": line.copy_mb_s,
+                    "gpu_percent": line.gpu_percent,
+                    "gpu_mem_peak_mb": line.gpu_mem_peak_mb,
+                }
+                for line in self.lines
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # -- lookups used by tests and benchmarks -----------------------------------
+
+    def line(self, lineno: int, filename: Optional[str] = None) -> Optional[LineReport]:
+        for entry in self.lines:
+            if entry.lineno == lineno and (filename is None or entry.filename == filename):
+                return entry
+        return None
+
+    def function(self, name: str) -> Optional[FunctionReport]:
+        for entry in self.functions:
+            if entry.function == name:
+                return entry
+        return None
+
+
+def build_profile(
+    stats: ScaleneStats,
+    config: ScaleneConfig,
+    *,
+    source_lines: Dict[str, List[str]],
+    leaks: List[LeakReport],
+    sample_log_bytes: int = 0,
+) -> ProfileData:
+    """Assemble the final :class:`ProfileData` from raw statistics."""
+    elapsed = stats.elapsed
+    total_cpu = stats.total_cpu_time
+    keys = significant_lines(
+        stats.lines,
+        total_cpu,
+        stats.total_alloc_mb,
+        min_percent=config.report_min_percent,
+        max_lines=config.report_max_lines,
+    )
+    line_reports: List[LineReport] = []
+    for filename, lineno in keys:
+        stats_line = stats.lines.get((filename, lineno))
+        lines_of_file = source_lines.get(filename, [])
+        source = (
+            lines_of_file[lineno - 1] if 1 <= lineno <= len(lines_of_file) else ""
+        )
+        if stats_line is None:
+            # A context neighbour with no samples of its own.
+            line_reports.append(
+                LineReport(
+                    filename=filename,
+                    lineno=lineno,
+                    function="",
+                    source=source,
+                    cpu_python_percent=0.0,
+                    cpu_native_percent=0.0,
+                    cpu_system_percent=0.0,
+                    mem_avg_mb=0.0,
+                    mem_peak_mb=0.0,
+                    mem_python_percent=0.0,
+                    mem_activity_percent=0.0,
+                    timeline=[],
+                    copy_mb_s=0.0,
+                    gpu_percent=0.0,
+                    gpu_mem_peak_mb=0.0,
+                )
+            )
+            continue
+        share = (lambda t: 100.0 * t / total_cpu if total_cpu > 0 else 0.0)
+        mem_python_percent = (
+            100.0 * stats_line.python_alloc_mb / stats_line.malloc_mb
+            if stats_line.malloc_mb > 0
+            else 0.0
+        )
+        line_reports.append(
+            LineReport(
+                filename=filename,
+                lineno=lineno,
+                function=stats_line.function,
+                source=source,
+                cpu_python_percent=share(stats_line.python_time),
+                cpu_native_percent=share(stats_line.native_time),
+                cpu_system_percent=share(stats_line.system_time),
+                mem_avg_mb=stats_line.avg_footprint_mb,
+                mem_peak_mb=stats_line.peak_footprint_mb,
+                mem_python_percent=mem_python_percent,
+                mem_activity_percent=(
+                    100.0 * stats_line.malloc_mb / stats.total_alloc_mb
+                    if stats.total_alloc_mb > 0
+                    else 0.0
+                ),
+                timeline=reduce_timeline(stats_line.timeline, config.timeline_points),
+                copy_mb_s=stats_line.copy_mb / elapsed if elapsed > 0 else 0.0,
+                gpu_percent=stats_line.gpu_utilization,
+                gpu_mem_peak_mb=stats_line.gpu_mem_peak_mb,
+            )
+        )
+    gpu_mean = (
+        stats.gpu_util_sum / stats.gpu_sample_count if stats.gpu_sample_count else 0.0
+    )
+    function_reports = _aggregate_functions(stats, total_cpu, elapsed)
+    return ProfileData(
+        mode=config.mode,
+        elapsed=elapsed,
+        cpu_python_time=stats.total_python_time,
+        cpu_native_time=stats.total_native_time,
+        cpu_system_time=stats.total_system_time,
+        cpu_samples=stats.cpu_sample_count,
+        mem_samples=stats.mem_sample_count,
+        peak_footprint_mb=stats.peak_footprint_mb,
+        total_copy_mb=stats.total_copy_mb,
+        gpu_mean_utilization=gpu_mean,
+        gpu_mem_peak_mb=stats.gpu_mem_peak_mb,
+        lines=line_reports,
+        functions=function_reports,
+        memory_timeline=reduce_timeline(stats.memory_timeline, config.timeline_points),
+        leaks=leaks,
+        sample_log_bytes=sample_log_bytes,
+    )
+
+
+def _aggregate_functions(
+    stats: ScaleneStats, total_cpu: float, elapsed: float
+) -> List[FunctionReport]:
+    """Aggregate per-line counters into per-function rows."""
+    grouped: Dict[Tuple[str, str], List] = {}
+    for stats_line in stats.lines.values():
+        if not stats_line.function:
+            continue
+        grouped.setdefault((stats_line.filename, stats_line.function), []).append(
+            stats_line
+        )
+    share = (lambda t: 100.0 * t / total_cpu if total_cpu > 0 else 0.0)
+    reports = []
+    for (filename, function), group in sorted(grouped.items()):
+        gpu_samples = sum(line.gpu_samples for line in group)
+        gpu_util = (
+            sum(line.gpu_util_sum for line in group) / gpu_samples
+            if gpu_samples
+            else 0.0
+        )
+        reports.append(
+            FunctionReport(
+                filename=filename,
+                function=function,
+                cpu_python_percent=share(sum(l.python_time for l in group)),
+                cpu_native_percent=share(sum(l.native_time for l in group)),
+                cpu_system_percent=share(sum(l.system_time for l in group)),
+                malloc_mb=sum(l.malloc_mb for l in group),
+                copy_mb=sum(l.copy_mb for l in group),
+                gpu_percent=gpu_util,
+            )
+        )
+    reports.sort(key=lambda r: r.cpu_total_percent, reverse=True)
+    return reports

@@ -1,0 +1,96 @@
+"""Ramer–Douglas–Peucker timeline reduction (paper §5).
+
+Scalene bounds the number of points it ships in its JSON payload by
+running RDP over each memory-footprint log with an ε chosen to reduce the
+series to ~100 points, then — because RDP alone cannot *guarantee* a bound
+— randomly downsampling to exactly the target if needed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _perpendicular_distance(point: Point, start: Point, end: Point) -> float:
+    (px, py), (sx, sy), (ex, ey) = point, start, end
+    dx, dy = ex - sx, ey - sy
+    if dx == 0.0 and dy == 0.0:
+        return ((px - sx) ** 2 + (py - sy) ** 2) ** 0.5
+    # Distance from point to the infinite line through start-end.
+    return abs(dy * px - dx * py + ex * sy - ey * sx) / (dx * dx + dy * dy) ** 0.5
+
+
+def rdp(points: Sequence[Point], epsilon: float) -> List[Point]:
+    """Classic recursive RDP. Endpoints are always preserved."""
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    n = len(points)
+    if n <= 2:
+        return list(points)
+    # Iterative stack formulation to avoid deep host recursion.
+    keep = [False] * n
+    keep[0] = keep[-1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        start, end = stack.pop()
+        if end - start < 2:
+            continue
+        max_dist = -1.0
+        max_index = start + 1
+        p_start, p_end = points[start], points[end]
+        for i in range(start + 1, end):
+            dist = _perpendicular_distance(points[i], p_start, p_end)
+            if dist > max_dist:
+                max_dist = dist
+                max_index = i
+        if max_dist > epsilon:
+            keep[max_index] = True
+            stack.append((start, max_index))
+            stack.append((max_index, end))
+    return [p for p, k in zip(points, keep) if k]
+
+
+def _epsilon_for_target(points: Sequence[Point], target: int) -> float:
+    """Binary-search an ε that brings RDP output near ``target`` points."""
+    if not points:
+        return 0.0
+    ys = [p[1] for p in points]
+    span = max(ys) - min(ys)
+    if span == 0.0:
+        return 0.0
+    low, high = 0.0, span
+    best = high
+    for _ in range(24):
+        mid = (low + high) / 2
+        count = len(rdp(points, mid))
+        if count > target:
+            low = mid
+        else:
+            best = mid
+            high = mid
+    return best
+
+
+def reduce_timeline(points: Sequence[Point], target: int = 100, seed: int = 0) -> List[Point]:
+    """Reduce ``points`` to at most ``target`` points, Scalene-style.
+
+    First RDP with an ε tuned to approach ``target``; if the result still
+    exceeds the bound, randomly downsample to *exactly* ``target`` points
+    (endpoints preserved, order maintained, deterministic via ``seed``).
+    """
+    if target < 2:
+        raise ValueError(f"target must be at least 2, got {target}")
+    points = list(points)
+    if len(points) <= target:
+        return points
+    epsilon = _epsilon_for_target(points, target)
+    reduced = rdp(points, epsilon)
+    if len(reduced) <= target:
+        return reduced
+    rng = random.Random(seed)
+    interior = list(range(1, len(reduced) - 1))
+    chosen = sorted(rng.sample(interior, target - 2))
+    return [reduced[0]] + [reduced[i] for i in chosen] + [reduced[-1]]

@@ -1,0 +1,193 @@
+"""Per-line statistics accumulated while Scalene runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.units import MiB
+
+LineKey = Tuple[str, int]  # (filename, lineno)
+
+
+@dataclass
+class LineStats:
+    """Counters for one line of profiled source (paper Fig. 2 columns)."""
+
+    filename: str = ""
+    lineno: int = 0
+    function: str = ""
+
+    # CPU (§2): seconds attributed by the signal-delay algorithm.
+    python_time: float = 0.0
+    native_time: float = 0.0
+    system_time: float = 0.0
+    cpu_samples: int = 0
+
+    # Memory (§3): megabytes attributed by threshold sampling.
+    malloc_mb: float = 0.0
+    free_mb: float = 0.0
+    python_alloc_mb: float = 0.0  # the python-domain share of malloc_mb
+    mem_samples: int = 0
+    #: Footprint observed at samples attributed to this line.
+    footprint_sum_mb: float = 0.0
+    peak_footprint_mb: float = 0.0
+    #: Per-line memory timeline (wall seconds, footprint MB).
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    # Copy volume (§3.5).
+    copy_mb: float = 0.0
+
+    # GPU (§4).
+    gpu_util_sum: float = 0.0
+    gpu_samples: int = 0
+    gpu_mem_peak_mb: float = 0.0
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def total_cpu_time(self) -> float:
+        return self.python_time + self.native_time + self.system_time
+
+    @property
+    def avg_footprint_mb(self) -> float:
+        if not self.mem_samples:
+            return 0.0
+        return self.footprint_sum_mb / self.mem_samples
+
+    @property
+    def net_mb(self) -> float:
+        return self.malloc_mb - self.free_mb
+
+    @property
+    def gpu_utilization(self) -> float:
+        """Mean utilization over samples landing on this line (0..1)."""
+        if not self.gpu_samples:
+            return 0.0
+        return self.gpu_util_sum / self.gpu_samples
+
+
+class ScaleneStats:
+    """All statistics for one profiling session."""
+
+    def __init__(self) -> None:
+        self.lines: Dict[LineKey, LineStats] = {}
+        self.start_wall = 0.0
+        self.start_cpu = 0.0
+        self.stop_wall = 0.0
+        self.stop_cpu = 0.0
+        self.total_python_time = 0.0
+        self.total_native_time = 0.0
+        self.total_system_time = 0.0
+        self.cpu_sample_count = 0
+        self.mem_sample_count = 0
+        #: Whole-program memory timeline (wall seconds, footprint MB).
+        self.memory_timeline: List[Tuple[float, float]] = []
+        self.peak_footprint_mb = 0.0
+        self.current_footprint_mb = 0.0
+        self.total_copy_mb = 0.0
+        self.total_alloc_mb = 0.0
+        self.gpu_util_sum = 0.0
+        self.gpu_sample_count = 0
+        self.gpu_mem_peak_mb = 0.0
+
+    # -- accessors -------------------------------------------------------
+
+    def line(self, filename: str, lineno: int, function: str = "") -> LineStats:
+        key = (filename, lineno)
+        stats = self.lines.get(key)
+        if stats is None:
+            stats = LineStats(filename=filename, lineno=lineno, function=function)
+            self.lines[key] = stats
+        elif function and not stats.function:
+            stats.function = function
+        return stats
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.stop_wall - self.start_wall, 0.0)
+
+    @property
+    def total_cpu_time(self) -> float:
+        return self.total_python_time + self.total_native_time + self.total_system_time
+
+    # -- recording helpers -------------------------------------------------------
+
+    def record_cpu(
+        self,
+        location: Optional[Tuple[str, int, str]],
+        python: float,
+        native: float,
+        system: float,
+    ) -> None:
+        self.total_python_time += python
+        self.total_native_time += native
+        self.total_system_time += system
+        if location is None:
+            return
+        filename, lineno, function = location
+        stats = self.line(filename, lineno, function)
+        stats.python_time += python
+        stats.native_time += native
+        stats.system_time += system
+        stats.cpu_samples += 1
+
+    def record_memory_sample(
+        self,
+        location: Optional[Tuple[str, int, str]],
+        delta_bytes: int,
+        python_fraction: float,
+        footprint_bytes: int,
+        wall: float,
+    ) -> None:
+        self.mem_sample_count += 1
+        footprint_mb = footprint_bytes / MiB
+        self.current_footprint_mb = footprint_mb
+        if footprint_mb > self.peak_footprint_mb:
+            self.peak_footprint_mb = footprint_mb
+        self.memory_timeline.append((wall, footprint_mb))
+        delta_mb = delta_bytes / MiB
+        if delta_mb > 0:
+            self.total_alloc_mb += delta_mb
+        if location is None:
+            return
+        filename, lineno, function = location
+        stats = self.line(filename, lineno, function)
+        stats.mem_samples += 1
+        stats.footprint_sum_mb += footprint_mb
+        if footprint_mb > stats.peak_footprint_mb:
+            stats.peak_footprint_mb = footprint_mb
+        stats.timeline.append((wall, footprint_mb))
+        if delta_mb > 0:
+            stats.malloc_mb += delta_mb
+            stats.python_alloc_mb += delta_mb * python_fraction
+        else:
+            stats.free_mb += -delta_mb
+
+    def record_copy(self, location: Optional[Tuple[str, int, str]], nbytes: int) -> None:
+        mb = nbytes / MiB
+        self.total_copy_mb += mb
+        if location is None:
+            return
+        filename, lineno, function = location
+        self.line(filename, lineno, function).copy_mb += mb
+
+    def record_gpu(
+        self,
+        location: Optional[Tuple[str, int, str]],
+        utilization: float,
+        memory_bytes: int,
+    ) -> None:
+        self.gpu_sample_count += 1
+        self.gpu_util_sum += utilization
+        mem_mb = memory_bytes / MiB
+        if mem_mb > self.gpu_mem_peak_mb:
+            self.gpu_mem_peak_mb = mem_mb
+        if location is None:
+            return
+        filename, lineno, function = location
+        stats = self.line(filename, lineno, function)
+        stats.gpu_util_sum += utilization
+        stats.gpu_samples += 1
+        if mem_mb > stats.gpu_mem_peak_mb:
+            stats.gpu_mem_peak_mb = mem_mb

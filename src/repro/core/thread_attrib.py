@@ -1,0 +1,151 @@
+"""Subthread attribution support (paper §2.2).
+
+Two cooperating pieces:
+
+* :class:`ThreadStatusTable` — Scalene's per-thread *executing/sleeping*
+  flags, updated by the monkey-patched blocking calls.
+* :class:`ThreadPatches` — the monkey patches themselves: ``join`` and
+  ``lock.acquire`` are replaced with versions that block in slices of the
+  interpreter switch interval (``sys.getswitchinterval()``), so the main
+  thread keeps re-entering the interpreter loop and signals keep flowing.
+
+Classification of a subthread as running Python vs. native code uses the
+call-opcode map built at startup by bytecode disassembly: a thread whose
+current instruction index parks on a CALL/CALL_METHOD opcode is — with
+high likelihood — inside a long native call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.interp.objects import BlockRequest
+
+EXECUTING = "executing"
+SLEEPING = "sleeping"
+
+
+class ThreadStatusTable:
+    """Scalene's own view of which threads are currently executing."""
+
+    def __init__(self) -> None:
+        self._status: Dict[int, str] = {}
+
+    def set_executing(self, thread) -> None:
+        self._status[thread.ident] = EXECUTING
+
+    def set_sleeping(self, thread) -> None:
+        self._status[thread.ident] = SLEEPING
+
+    def is_executing(self, thread) -> bool:
+        """Threads default to executing until a patched call marks them."""
+        return self._status.get(thread.ident, EXECUTING) == EXECUTING
+
+
+def is_in_native_call(thread, call_opcode_map: Dict[int, frozenset]) -> bool:
+    """The §2.2 heuristic: is the thread parked on a call opcode?"""
+    frame = thread.frame
+    if frame is None:
+        return False
+    indices = call_opcode_map.get(id(frame.code))
+    if not indices:
+        return False
+    return frame.lasti in indices
+
+
+class ThreadPatches:
+    """Monkey patches for blocking threading calls (install/uninstall)."""
+
+    def __init__(self, process, status: ThreadStatusTable) -> None:
+        self._process = process
+        self._status = status
+        self._original_join = None
+        self._original_acquire = None
+        self.installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> None:
+        if self.installed:
+            return
+        threading = self._process.threading
+        self._original_join = threading.join_impl
+        self._original_acquire = threading.acquire_impl
+        threading.join_impl = self._patched_join
+        threading.acquire_impl = self._patched_acquire
+        self.installed = True
+
+    def uninstall(self) -> None:
+        if not self.installed:
+            return
+        threading = self._process.threading
+        threading.join_impl = self._original_join
+        threading.acquire_impl = self._original_acquire
+        self.installed = False
+
+    # -- the patched implementations ----------------------------------------------
+
+    def _patched_join(self, ctx, target, timeout: Optional[float] = None):
+        """Join in switch-interval slices so signals keep being delivered."""
+        process = self._process
+        status = self._status
+        thread = ctx.thread
+        interval = process.getswitchinterval()
+        deadline = None if timeout is None else process.clock.wall + timeout
+
+        if target.state == "finished":
+            return None
+        status.set_sleeping(thread)
+
+        def on_wake():
+            done = target.state == "finished"
+            timed_out = deadline is not None and process.clock.wall >= deadline
+            if done or timed_out:
+                status.set_executing(thread)
+                return None
+            return BlockRequest(
+                deadline=process.clock.wall + interval,
+                wake_check=lambda: target.state == "finished",
+                on_wake=on_wake,
+                interruptible=False,
+            )
+
+        return BlockRequest(
+            deadline=process.clock.wall + interval,
+            wake_check=lambda: target.state == "finished",
+            on_wake=on_wake,
+            interruptible=False,
+        )
+
+    def _patched_acquire(self, ctx, lock, timeout: Optional[float] = None):
+        """Acquire in switch-interval slices (same rationale as join)."""
+        process = self._process
+        status = self._status
+        thread = ctx.thread
+        interval = process.getswitchinterval()
+        deadline = None if timeout is None else process.clock.wall + timeout
+
+        if lock.try_acquire(thread):
+            return None
+        status.set_sleeping(thread)
+
+        def on_wake():
+            if lock.try_acquire(thread):
+                status.set_executing(thread)
+                return None
+            if deadline is not None and process.clock.wall >= deadline:
+                status.set_executing(thread)
+                return None
+            return BlockRequest(
+                deadline=process.clock.wall + interval,
+                wake_check=lambda: not lock.locked,
+                on_wake=on_wake,
+                interruptible=False,
+            )
+
+        return BlockRequest(
+            deadline=process.clock.wall + interval,
+            wake_check=lambda: not lock.locked,
+            on_wake=on_wake,
+            interruptible=False,
+        )

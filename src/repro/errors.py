@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Scalene reproduction.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch everything we raise with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CompileError(ReproError):
+    """The mini-language compiler rejected a source program.
+
+    Carries the source location when available so workload authors can find
+    the offending construct.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None) -> None:
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+class VMError(ReproError):
+    """A runtime fault inside the simulated interpreter (e.g. a NameError
+    in the simulated program, a stack underflow, or an arity mismatch)."""
+
+
+class HeapError(ReproError):
+    """Invalid heap operation: double free, free of an unknown pointer,
+    or exhaustion of the simulated address space."""
+
+
+class SchedulerError(ReproError):
+    """Invalid scheduling operation, such as joining a thread from itself
+    or deadlock detected among simulated threads."""
+
+
+class SignalError(ReproError):
+    """Invalid signal/timer configuration."""
+
+
+class ProfilerError(ReproError):
+    """A profiler was driven incorrectly (started twice, stopped before
+    started, or asked to report before a run completed)."""
+
+
+class GpuError(ReproError):
+    """Invalid GPU operation: allocating beyond device memory or freeing an
+    unknown device buffer."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid or references unknown parameters."""

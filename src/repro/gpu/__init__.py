@@ -1,0 +1,5 @@
+"""Simulated NVIDIA-style GPU device and NVML-like query interface."""
+
+from repro.gpu.device import GpuDevice, GpuKernel, NvmlQuery
+
+__all__ = ["GpuDevice", "GpuKernel", "NvmlQuery"]

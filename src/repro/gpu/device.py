@@ -1,0 +1,159 @@
+"""A simulated GPU device (paper §4).
+
+Scalene's GPU profiler needs exactly two quantities at each CPU sample:
+current **utilization** and current **memory consumption**, ideally
+accounted *per process ID* (NVML per-PID accounting). The simulated device
+provides both via :class:`NvmlQuery`.
+
+Kernels are launched by the simulated native libraries (``simtorch``); a
+kernel occupies the device for a wall-time interval. Utilization over a
+query window is the busy fraction of that window. When per-PID accounting
+is disabled the device reports aggregates across all tenants, including an
+optional synthetic background tenant — reproducing the accuracy hazard the
+paper notes for shared GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import GpuError
+from repro.units import GiB
+
+
+@dataclass
+class GpuKernel:
+    """One kernel execution interval on the device."""
+
+    pid: int
+    start: float
+    end: float
+    name: str = "kernel"
+
+
+@dataclass
+class _DeviceBuffer:
+    pid: int
+    nbytes: int
+    address: int
+
+
+class GpuDevice:
+    """Single simulated GPU with busy-interval utilization accounting."""
+
+    def __init__(self, memory_total: int = 8 * GiB, *, utilization_window: float = 0.5) -> None:
+        self.memory_total = memory_total
+        self.utilization_window = utilization_window
+        self._kernels: List[GpuKernel] = []
+        self._buffers: Dict[int, _DeviceBuffer] = {}
+        self._next_address = 0x10_0000_0000
+        self._memory_by_pid: Dict[int, int] = {}
+        #: Whether NVML per-process accounting mode is enabled on the device.
+        self.per_pid_accounting = False
+        # Lifetime stats.
+        self.kernels_launched = 0
+        self.busy_seconds_total = 0.0
+
+    # -- configuration ---------------------------------------------------------
+
+    def enable_per_pid_accounting(self) -> None:
+        """Enable per-PID accounting (requires root on real hardware; the
+        simulation just flips the mode, as Scalene does after offering)."""
+        self.per_pid_accounting = True
+
+    # -- kernels ---------------------------------------------------------
+
+    def launch_kernel(self, pid: int, start: float, duration: float, name: str = "kernel") -> GpuKernel:
+        """Record a kernel occupying the device for ``[start, start+duration)``."""
+        if duration < 0:
+            raise GpuError(f"negative kernel duration {duration}")
+        kernel = GpuKernel(pid=pid, start=start, end=start + duration, name=name)
+        self._kernels.append(kernel)
+        self.kernels_launched += 1
+        self.busy_seconds_total += duration
+        return kernel
+
+    # -- memory ---------------------------------------------------------
+
+    def alloc(self, pid: int, nbytes: int) -> int:
+        """Allocate device memory on behalf of ``pid``; returns an address."""
+        if nbytes < 0:
+            raise GpuError(f"negative GPU allocation {nbytes}")
+        if self.memory_used() + nbytes > self.memory_total:
+            raise GpuError(
+                f"GPU out of memory: requested {nbytes}, "
+                f"used {self.memory_used()}/{self.memory_total}"
+            )
+        address = self._next_address
+        self._next_address += max(nbytes, 256)
+        self._buffers[address] = _DeviceBuffer(pid=pid, nbytes=nbytes, address=address)
+        self._memory_by_pid[pid] = self._memory_by_pid.get(pid, 0) + nbytes
+        return address
+
+    def free(self, address: int) -> None:
+        buffer = self._buffers.pop(address, None)
+        if buffer is None:
+            raise GpuError(f"free of unknown device address {address:#x}")
+        self._memory_by_pid[buffer.pid] -= buffer.nbytes
+
+    def memory_used(self, pid: int | None = None) -> int:
+        """Device memory in use, either for one PID or device-wide."""
+        if pid is None:
+            return sum(self._memory_by_pid.values())
+        return self._memory_by_pid.get(pid, 0)
+
+    # -- utilization ---------------------------------------------------------
+
+    def utilization(self, now: float, pid: int | None = None, window: float | None = None) -> float:
+        """Busy fraction of the trailing ``window`` ending at ``now``.
+
+        With ``pid`` given, counts only that process's kernels (per-PID
+        accounting); otherwise counts all tenants.
+        """
+        window = window if window is not None else self.utilization_window
+        if window <= 0:
+            raise GpuError(f"non-positive utilization window {window}")
+        window_start = max(now - window, 0.0)
+        busy = 0.0
+        for kernel in reversed(self._kernels):
+            if kernel.end <= window_start:
+                # Kernels are appended in start order; once one ends before
+                # the window we can stop scanning (ends are monotone enough
+                # for single-stream devices).
+                break
+            if pid is not None and kernel.pid != pid:
+                continue
+            overlap = min(kernel.end, now) - max(kernel.start, window_start)
+            if overlap > 0:
+                busy += overlap
+        return min(busy / window, 1.0)
+
+    def prune(self, before: float) -> None:
+        """Drop kernel history ending before ``before`` (bounds memory)."""
+        self._kernels = [k for k in self._kernels if k.end >= before]
+
+
+@dataclass
+class NvmlQuery:
+    """NVML-style read-only query facade bound to one device.
+
+    ``snapshot(now, pid)`` returns (utilization, memory_bytes) with
+    per-PID granularity when the device has per-PID accounting enabled,
+    otherwise device-wide aggregates (the less accurate shared mode).
+    """
+
+    device: GpuDevice
+    background_pid: int = field(default=-1)
+
+    def snapshot(self, now: float, pid: int) -> Tuple[float, int]:
+        if self.device.per_pid_accounting:
+            return (
+                self.device.utilization(now, pid=pid),
+                self.device.memory_used(pid),
+            )
+        return (self.device.utilization(now), self.device.memory_used())
+
+    @property
+    def has_per_pid_accounting(self) -> bool:
+        return self.device.per_pid_accounting

@@ -1,0 +1,22 @@
+"""The simulated CPython-like interpreter.
+
+A restricted Python subset is compiled (via the host ``ast`` module) to a
+small bytecode (:mod:`repro.interp.astcompile`), which the virtual machine
+(:mod:`repro.interp.vm`) executes on virtual time with CPython's signal,
+GIL, tracing and allocation semantics — the properties Scalene's
+algorithms rely on.
+"""
+
+from repro.interp.astcompile import compile_source
+from repro.interp.code import CodeObject, Instruction
+from repro.interp.disassembler import disassemble, build_call_opcode_map
+from repro.interp import opcodes
+
+__all__ = [
+    "compile_source",
+    "CodeObject",
+    "Instruction",
+    "disassemble",
+    "build_call_opcode_map",
+    "opcodes",
+]

@@ -1,0 +1,215 @@
+"""Built-in functions available to every simulated workload.
+
+Builtins are *native* functions: they run outside the interpreter loop
+(signals deferred, §2.1) and consume native CPU time proportional to their
+work. Costs are expressed in multiples of the interpreter's per-opcode
+cost so the Python-to-native speed ratio is stable across configurations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.interp.objects import (
+    NativeFunction,
+    PyBuffer,
+    SimDict,
+    SimList,
+    sim_len,
+)
+from repro.runtime.threads import SimLock
+
+
+def _ops(ctx, n: float) -> None:
+    """Consume native CPU time equivalent to ``n`` interpreter opcodes."""
+    ctx.consume(n * ctx.process.vm.config.op_cost)
+
+
+def install_builtins(process) -> None:
+    """Populate ``process.builtins`` with the standard native functions."""
+
+    def builtin(name: str, doc: str = ""):
+        def register(fn):
+            process.builtins[name] = NativeFunction(name, fn, doc)
+            return fn
+
+        return register
+
+    # -- core data/introspection builtins ------------------------------------
+
+    @builtin("range", "range(stop) / range(start, stop[, step])")
+    def _range(ctx, args, kwargs):
+        _ops(ctx, 0.5)
+        try:
+            return range(*args)
+        except (TypeError, ValueError) as exc:
+            raise VMError(f"range() failed: {exc}") from None
+
+    @builtin("len")
+    def _len(ctx, args, kwargs):
+        _ops(ctx, 0.3)
+        return sim_len(args[0])
+
+    @builtin("print")
+    def _print(ctx, args, kwargs):
+        _ops(ctx, 2)
+        ctx.process.stdout.append(" ".join(str(a) for a in args))
+        return None
+
+    @builtin("abs")
+    def _abs(ctx, args, kwargs):
+        _ops(ctx, 0.3)
+        return abs(args[0])
+
+    @builtin("min")
+    def _min(ctx, args, kwargs):
+        values = args[0].items if isinstance(args[0], SimList) else args
+        _ops(ctx, 0.1 * max(len(values), 1))
+        return min(values)
+
+    @builtin("max")
+    def _max(ctx, args, kwargs):
+        values = args[0].items if isinstance(args[0], SimList) else args
+        _ops(ctx, 0.1 * max(len(values), 1))
+        return max(values)
+
+    @builtin("sum")
+    def _sum(ctx, args, kwargs):
+        values = args[0].items if isinstance(args[0], SimList) else args[0]
+        _ops(ctx, 0.1 * max(sim_len(values), 1))
+        try:
+            return sum(values)
+        except TypeError as exc:
+            raise VMError(f"sum() failed: {exc}") from None
+
+    @builtin("int")
+    def _int(ctx, args, kwargs):
+        _ops(ctx, 0.3)
+        return int(args[0])
+
+    @builtin("float")
+    def _float(ctx, args, kwargs):
+        _ops(ctx, 0.3)
+        return float(args[0])
+
+    @builtin("str")
+    def _str(ctx, args, kwargs):
+        _ops(ctx, 0.5)
+        return str(args[0]) if args else ""
+
+    @builtin("bool")
+    def _bool(ctx, args, kwargs):
+        _ops(ctx, 0.2)
+        return bool(args[0])
+
+    @builtin("list")
+    def _list(ctx, args, kwargs):
+        _ops(ctx, 0.5)
+        if not args:
+            return SimList(ctx.process.mem, [], ctx.thread)
+        source = args[0]
+        if isinstance(source, SimList):
+            return SimList(ctx.process.mem, list(source.items), ctx.thread)
+        return SimList(ctx.process.mem, list(source), ctx.thread)
+
+    @builtin("dict")
+    def _dict(ctx, args, kwargs):
+        _ops(ctx, 0.5)
+        return SimDict(ctx.process.mem, {}, ctx.thread)
+
+    # -- memory levers ------------------------------------
+
+    @builtin("py_buffer", "Allocate a pure-Python buffer of n bytes")
+    def _py_buffer(ctx, args, kwargs):
+        _ops(ctx, 1)
+        return PyBuffer(ctx.process.mem, int(args[0]), ctx.thread)
+
+    @builtin("scratch", "Allocate-and-free a transient Python object of n bytes")
+    def _scratch(ctx, args, kwargs):
+        _ops(ctx, 1)
+        ctx.scratch(int(args[0]))
+        return None
+
+    # -- time levers ------------------------------------
+
+    @builtin("native_work", "Spin in native code for the given virtual seconds")
+    def _native_work(ctx, args, kwargs):
+        ctx.consume(float(args[0]))
+        return None
+
+    @builtin("native_ops", "Spin in native code for n opcode-equivalents")
+    def _native_ops(ctx, args, kwargs):
+        _ops(ctx, float(args[0]))
+        return None
+
+    # Case-study helpers (§7, Rich): a runtime-checkable isinstance is
+    # ~20x the cost of hasattr on the same object.
+    @builtin("isinstance_protocol", "isinstance against a runtime_checkable Protocol")
+    def _isinstance_protocol(ctx, args, kwargs):
+        _ops(ctx, 20)
+        return True
+
+    @builtin("hasattr_check", "hasattr() — the cheap replacement")
+    def _hasattr_check(ctx, args, kwargs):
+        _ops(ctx, 1)
+        return True
+
+    @builtin("is_main", 'The ``__name__ == "__main__"`` analog for mp workloads')
+    def _is_main(ctx, args, kwargs):
+        _ops(ctx, 0.2)
+        return ctx.process.is_main_process
+
+    # Region profiling: the scalene_profiler.start()/stop() analog. Both
+    # are no-ops when no profiler is attached, so instrumented programs
+    # run unmodified without one.
+    @builtin("profile_start", "Resume an attached profiler (region profiling)")
+    def _profile_start(ctx, args, kwargs):
+        _ops(ctx, 1)
+        control = ctx.process.profiler_control
+        if control is not None:
+            control.resume()
+        return None
+
+    @builtin("profile_stop", "Pause an attached profiler (region profiling)")
+    def _profile_stop(ctx, args, kwargs):
+        _ops(ctx, 1)
+        control = ctx.process.profiler_control
+        if control is not None:
+            control.pause()
+        return None
+
+    # -- threading ------------------------------------
+
+    @builtin("spawn", "Start a thread running fn(*args); returns the thread")
+    def _spawn(ctx, args, kwargs):
+        _ops(ctx, 10)
+        if not args:
+            raise VMError("spawn() needs a function argument")
+        return ctx.process.threading.spawn(args[0], tuple(args[1:]))
+
+    @builtin("join", "Join a thread (optionally with a timeout)")
+    def _join(ctx, args, kwargs):
+        _ops(ctx, 2)
+        timeout = kwargs.get("timeout", args[1] if len(args) > 1 else None)
+        return ctx.process.threading.join_impl(ctx, args[0], timeout)
+
+    @builtin("sleep", "time.sleep analog (interruptible)")
+    def _sleep(ctx, args, kwargs):
+        _ops(ctx, 1)
+        return ctx.process.threading.sleep_impl(ctx, float(args[0]))
+
+    @builtin("make_lock")
+    def _make_lock(ctx, args, kwargs):
+        _ops(ctx, 1)
+        return SimLock(str(args[0]) if args else "lock")
+
+    @builtin("lock_acquire")
+    def _lock_acquire(ctx, args, kwargs):
+        _ops(ctx, 1)
+        timeout = kwargs.get("timeout", args[1] if len(args) > 1 else None)
+        return ctx.process.threading.acquire_impl(ctx, args[0], timeout)
+
+    @builtin("lock_release")
+    def _lock_release(ctx, args, kwargs):
+        _ops(ctx, 1)
+        args[0].release(ctx.thread)
+        return None

@@ -1,0 +1,32 @@
+"""Simulated native libraries: NumPy-, pandas-, torch- and IO-like modules.
+
+Each library performs its work as *native* execution (signals deferred),
+allocates through the system-allocator shim (native domain), and produces
+the memcpy/GPU traffic that Scalene's copy-volume and GPU profilers
+observe. Workloads receive them via ``SimProcess.install_library``.
+"""
+
+from repro.interp.libs.simnp import make_simnp
+from repro.interp.libs.simdf import make_simdf
+from repro.interp.libs.simtorch import make_simtorch
+from repro.interp.libs.simio import make_simio
+from repro.interp.libs.simmp import make_simmp
+
+
+def install_standard_libraries(process) -> None:
+    """Install the full library suite under conventional names."""
+    process.install_library("np", make_simnp())
+    process.install_library("pd", make_simdf())
+    process.install_library("torch", make_simtorch())
+    process.install_library("io", make_simio())
+    process.install_library("mp", make_simmp())
+
+
+__all__ = [
+    "make_simnp",
+    "make_simdf",
+    "make_simtorch",
+    "make_simio",
+    "make_simmp",
+    "install_standard_libraries",
+]

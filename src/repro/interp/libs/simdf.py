@@ -1,0 +1,187 @@
+"""``simdf`` — a pandas-like DataFrame library.
+
+Reproduces the three pandas behaviours behind the paper's case studies
+(§7): **chained indexing** (``df[col][i]`` copies the column on every
+outer index), **concat** (copies all data by default), and **groupby**
+(copies the groups). Each copy is real native allocation plus memcpy
+traffic — visible as copy volume in Scalene.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.interp.nativelib import NativeModule
+from repro.interp.objects import HeapBacked
+
+ITEM_BYTES = 8
+#: Native cost per element processed, in opcode units.
+ELEM_COST_OPS = 0.12
+
+
+def _op_cost(ctx) -> float:
+    return ctx.process.vm.config.op_cost
+
+
+def _elem_cost(ctx, n: int) -> float:
+    return max(n, 1) * ELEM_COST_OPS * _op_cost(ctx)
+
+
+class SimSeries(HeapBacked):
+    """One column of a DataFrame (may own a copied buffer)."""
+
+    __slots__ = ("length", "_backing")
+
+    def __init__(self, ctx, length: int) -> None:
+        super().__init__(ctx.process.mem, ctx.thread)
+        self.length = length
+        self._backing = ctx.alloc(length * ITEM_BYTES, tag="simdf-series")
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * ITEM_BYTES
+
+    def _destroy_storage(self) -> None:
+        self._mem.native_free(self._backing, self._thread)
+
+    def sim_getitem(self, ctx, index):
+        ctx.consume(0.5 * _op_cost(ctx))
+        if isinstance(index, int):
+            return 0.0
+        raise VMError(f"invalid series index {index!r}")
+
+    def sim_getattr(self, name: str):
+        if name == "nbytes":
+            return self.nbytes
+        return super().sim_getattr(name)
+
+    def _method_table(self):
+        return {"sum": lambda ctx, a, k: self._sum(ctx)}
+
+    def _sum(self, ctx) -> float:
+        ctx.consume(_elem_cost(ctx, self.length))
+        return float(self.length)
+
+    def __len__(self) -> int:
+        return self.length
+
+
+class SimDataFrame(HeapBacked):
+    """A columnar frame of ``ncols`` float64 columns of ``nrows`` rows."""
+
+    __slots__ = ("nrows", "columns", "_backing")
+
+    def __init__(self, ctx, nrows: int, columns) -> None:
+        super().__init__(ctx.process.mem, ctx.thread)
+        if nrows < 0:
+            raise VMError(f"negative row count {nrows}")
+        self.nrows = nrows
+        self.columns = list(columns)
+        self._backing = ctx.alloc(self.nbytes, tag="simdf-frame")
+
+    @property
+    def ncols(self) -> int:
+        return len(self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        return self.nrows * self.ncols * ITEM_BYTES
+
+    def _destroy_storage(self) -> None:
+        self._mem.native_free(self._backing, self._thread)
+
+    # Chained indexing: df[col] returns a fresh *copy* of the column (the
+    # pandas returning-a-view-versus-a-copy pitfall), so df[col][i] in a
+    # loop copies nrows*8 bytes per iteration.
+    def sim_getitem(self, ctx, key):
+        if key not in self.columns:
+            raise VMError(f"no such column: {key!r}")
+        series = SimSeries(ctx, self.nrows)
+        ctx.memcpy(series.nbytes)
+        ctx.consume(_elem_cost(ctx, self.nrows) * 0.5)
+        return series
+
+    def sim_getattr(self, name: str):
+        if name == "nbytes":
+            return self.nbytes
+        if name == "nrows":
+            return self.nrows
+        return super().sim_getattr(name)
+
+    def _method_table(self):
+        return {"column_view": lambda ctx, a, k: self._column_view(ctx, a[0])}
+
+    def _column_view(self, ctx, key) -> SimSeries:
+        """The hoisted, copy-free access path (what the fix uses).
+
+        Models ``df.loc[:, col]`` producing a view: a small series header
+        with no buffer copy. We still allocate a tiny header object.
+        """
+        if key not in self.columns:
+            raise VMError(f"no such column: {key!r}")
+        series = SimSeries(ctx, 0)
+        series.length = self.nrows  # shares the frame's buffer; no copy
+        ctx.consume(2 * _op_cost(ctx))
+        return series
+
+    def __len__(self) -> int:
+        return self.nrows
+
+
+def make_simdf() -> NativeModule:
+    """Build the ``simdf`` module."""
+    module = NativeModule("pd")
+
+    def _frame(ctx, args, kwargs):
+        nrows = int(args[0])
+        ncols = int(args[1]) if len(args) > 1 else 4
+        columns = [f"c{i}" for i in range(ncols)]
+        frame = SimDataFrame(ctx, nrows, columns)
+        ctx.consume(_elem_cost(ctx, nrows * ncols) * 0.2)
+        return frame
+
+    module.register("frame", _frame, "frame(nrows[, ncols]): build a DataFrame")
+
+    def _concat(ctx, args, kwargs):
+        """pandas.concat: copies *all* the data by default (§7)."""
+        frames = args[0].items if hasattr(args[0], "items") else list(args)
+        total_rows = 0
+        total_bytes = 0
+        ncols = None
+        for frame in frames:
+            if not isinstance(frame, SimDataFrame):
+                raise VMError("pd.concat expects DataFrames")
+            total_rows += frame.nrows
+            total_bytes += frame.nbytes
+            ncols = frame.ncols if ncols is None else ncols
+        result = SimDataFrame(ctx, total_rows, [f"c{i}" for i in range(ncols or 0)])
+        ctx.memcpy(total_bytes)
+        ctx.consume(_elem_cost(ctx, total_rows * (ncols or 1)) * 0.3)
+        return result
+
+    module.register("concat", _concat)
+
+    def _groupby_sum(ctx, args, kwargs):
+        """groupby + aggregate: copies the group data (pandas #37139)."""
+        frame = args[0]
+        ngroups = int(args[1]) if len(args) > 1 else 16
+        if not isinstance(frame, SimDataFrame):
+            raise VMError("pd.groupby_sum expects a DataFrame")
+        # The copy of all groups, then the reduction.
+        ctx.memcpy(frame.nbytes)
+        scratch = ctx.alloc(frame.nbytes, tag="simdf-groups")
+        ctx.consume(_elem_cost(ctx, frame.nrows * frame.ncols))
+        ctx.free(scratch)
+        return SimDataFrame(ctx, ngroups, frame.columns)
+
+    module.register("groupby_sum", _groupby_sum)
+
+    def _groupby_sum_restructured(ctx, args, kwargs):
+        """The fixed formulation: aggregates in place, no group copies."""
+        frame = args[0]
+        ngroups = int(args[1]) if len(args) > 1 else 16
+        ctx.consume(_elem_cost(ctx, frame.nrows * frame.ncols))
+        return SimDataFrame(ctx, ngroups, frame.columns)
+
+    module.register("groupby_sum_restructured", _groupby_sum_restructured)
+
+    return module

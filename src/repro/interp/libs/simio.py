@@ -1,0 +1,51 @@
+"""``simio`` — blocking IO primitives.
+
+IO waits advance wall time without consuming CPU — the "system time"
+Scalene reports separately (and most profilers cannot see at all). Used by
+the ``async_tree_io`` workload family of Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.interp.nativelib import NativeModule
+
+#: Modeled throughput of the simulated storage/network, bytes per second.
+IO_BYTES_PER_SECOND = 200 * 1024 * 1024
+
+
+def make_simio() -> NativeModule:
+    """Build the ``simio`` module."""
+    module = NativeModule("io")
+
+    def _wait(ctx, args, kwargs):
+        """Block for the given number of seconds (e.g. network latency)."""
+        seconds = float(args[0])
+        if seconds < 0:
+            raise VMError(f"negative IO wait {seconds}")
+        return ctx.io_wait(seconds)
+
+    module.register("wait", _wait)
+
+    def _read(ctx, args, kwargs):
+        """Read ``nbytes`` from storage: latency plus a native copy into a
+        fresh native buffer that is immediately handed to Python (churn)."""
+        nbytes = int(args[0])
+        if nbytes < 0:
+            raise VMError(f"negative read size {nbytes}")
+        ctx.scratch(nbytes)
+        ctx.memcpy(nbytes)
+        return ctx.io_wait(nbytes / IO_BYTES_PER_SECOND)
+
+    module.register("read", _read)
+
+    def _write(ctx, args, kwargs):
+        nbytes = int(args[0])
+        if nbytes < 0:
+            raise VMError(f"negative write size {nbytes}")
+        ctx.memcpy(nbytes)
+        return ctx.io_wait(nbytes / IO_BYTES_PER_SECOND)
+
+    module.register("write", _write)
+
+    return module

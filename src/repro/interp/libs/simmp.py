@@ -1,0 +1,83 @@
+"""``simmp`` — a multiprocessing library (the Figure 1 column).
+
+``mp.run_workers(fn, n)`` forks ``n`` child processes, each re-importing
+the parent's module (the semantics of multiprocessing's *spawn* start
+method: the module body runs again in the child) and then executing
+``fn(worker_id)``. Children run on independent clocks — there is no GIL
+between processes — and the parent blocks until the slowest child
+finishes, so the parent's wall time advances by ``max(child wall times)``.
+
+Profilers with multiprocessing support (Scalene, py-spy, Austin) attach to
+each child through ``SimProcess.child_observers``; profilers without it
+simply never see the children's work — reproducing exactly what the
+paper's Figure 1 "Multiprocessing" column encodes.
+
+Caveat (as with real ``spawn``): the parent module's top level re-executes
+in every child, so workloads using ``mp`` should keep module-level work
+idempotent and cheap (definitions only), as real multiprocessing programs
+guard with ``if __name__ == "__main__"``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.interp.code import SimFunction
+from repro.interp.nativelib import NativeModule
+
+#: Hard cap on forked children (a runaway-workload backstop).
+MAX_WORKERS = 64
+
+
+def make_simmp() -> NativeModule:
+    """Build the ``mp`` module."""
+    module = NativeModule("mp")
+
+    def _run_workers(ctx, args, kwargs):
+        if len(args) < 2:
+            raise VMError("mp.run_workers(fn, nworkers) requires two arguments")
+        fn, nworkers = args[0], int(args[1])
+        if not isinstance(fn, SimFunction):
+            raise VMError("mp.run_workers requires a simulated Python function")
+        if not 0 < nworkers <= MAX_WORKERS:
+            raise VMError(f"worker count must be in 1..{MAX_WORKERS}, got {nworkers}")
+        if len(fn.code.params) != 1:
+            raise VMError("the worker function must take exactly one argument (worker id)")
+
+        parent = ctx.process
+        if parent.source is None:
+            raise VMError("mp.run_workers requires a source-loaded process")
+        # Import here to avoid a cycle (process -> builtins -> libs).
+        from repro.runtime.process import SimProcess
+        from repro.interp.libs import install_standard_libraries
+
+        ctx.consume(20 * parent.vm.config.op_cost * nworkers)  # fork cost
+        walls = []
+        for worker_id in range(nworkers):
+            child_source = (
+                parent.source + f"\n_mp_result = {fn.name}({worker_id})\n"
+            )
+            child = SimProcess(
+                child_source,
+                filename=parent.filename,
+                pid=parent.pid + 1 + worker_id,
+                vm_config=parent.vm.config,
+                gpu=parent.gpu,
+            )
+            child.is_main_process = False
+            install_standard_libraries(child)
+            parent.children.append(child)
+            for observer in parent.child_observers:
+                observer(child)
+            child.run()
+            walls.append(child.clock.wall)
+
+        # The children ran in parallel with each other; the parent waits
+        # for the slowest one.
+        return ctx.io_wait(max(walls))
+
+    module.register(
+        "run_workers",
+        _run_workers,
+        "Fork n children each running fn(worker_id); wait for all",
+    )
+    return module

@@ -1,0 +1,144 @@
+"""``simtorch`` — a PyTorch-like GPU tensor library.
+
+Tensors live in device memory; operations launch kernels on the simulated
+GPU. Host<->device transfers are memcpys with a direction tag (the GPU leg
+of copy volume, §3.5). Utilization and device memory are what Scalene's
+GPU profiler samples (§4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.interp.nativelib import NativeModule
+from repro.interp.objects import HeapBacked
+
+ITEM_BYTES = 4  # float32, as ML workloads typically use
+
+#: Kernel seconds per element for a generic elementwise op.
+KERNEL_ELEM_SECONDS = 2e-9
+#: Native (CPU-side) launch overhead per kernel, in opcode units.
+LAUNCH_COST_OPS = 4
+
+
+def _op_cost(ctx) -> float:
+    return ctx.process.vm.config.op_cost
+
+
+class SimTensor(HeapBacked):
+    """A tensor resident in simulated GPU memory."""
+
+    __slots__ = ("length", "_device_addr", "_process")
+
+    def __init__(self, ctx, length: int) -> None:
+        super().__init__(ctx.process.mem, ctx.thread)
+        if length < 0:
+            raise VMError(f"negative tensor size {length}")
+        self.length = length
+        self._process = ctx.process  # for the device free at destroy time
+        self._device_addr = ctx.gpu_alloc(length * ITEM_BYTES)
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * ITEM_BYTES
+
+    def _destroy_storage(self) -> None:
+        self._process.gpu.free(self._device_addr)
+
+    def sim_binop(self, ctx, symbol: str, other) -> "SimTensor":
+        if symbol not in ("+", "-", "*", "/"):
+            raise VMError(f"tensors do not support operator {symbol!r}")
+        _launch(ctx, self.length, f"elementwise{symbol}")
+        return SimTensor(ctx, self.length)
+
+    def sim_rbinop(self, ctx, symbol: str, other) -> "SimTensor":
+        return self.sim_binop(ctx, symbol, other)
+
+    def sim_getattr(self, name: str):
+        if name == "nbytes":
+            return self.nbytes
+        return super().sim_getattr(name)
+
+    def _method_table(self):
+        return {
+            "to_host": lambda ctx, a, k: self._to_host(ctx),
+            "item": lambda ctx, a, k: self._item(ctx),
+        }
+
+    def _to_host(self, ctx) -> None:
+        """Device->host copy (synchronizes first)."""
+        ctx.memcpy(self.nbytes, direction="d2h")
+        return ctx.gpu_sync()
+
+    def _item(self, ctx):
+        ctx.memcpy(ITEM_BYTES, direction="d2h")
+        return ctx.gpu_sync()  # .item() forces a synchronization
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def _launch(ctx, elements: int, name: str, scale: float = 1.0) -> None:
+    ctx.consume(LAUNCH_COST_OPS * _op_cost(ctx))
+    duration = max(elements, 1) * KERNEL_ELEM_SECONDS * scale
+    # Scale kernel time up so GPU activity is visible at virtual-time
+    # resolution (same scaling philosophy as the interpreter op cost).
+    duration *= _op_cost(ctx) / 50e-9
+    ctx.gpu_launch(duration, name)
+
+
+def make_simtorch() -> NativeModule:
+    """Build the ``simtorch`` module."""
+    module = NativeModule("torch")
+
+    def _tensor(ctx, args, kwargs):
+        """Create a device tensor from host data: an h2d copy."""
+        n = int(args[0])
+        tensor = SimTensor(ctx, n)
+        ctx.memcpy(tensor.nbytes, direction="h2d")
+        ctx.consume(2 * _op_cost(ctx))
+        return tensor
+
+    module.register("tensor", _tensor)
+
+    def _empty(ctx, args, kwargs):
+        """Device allocation without a host copy."""
+        return SimTensor(ctx, int(args[0]))
+
+    module.register("empty", _empty)
+
+    def _matmul(ctx, args, kwargs):
+        a, b = args
+        if not (isinstance(a, SimTensor) and isinstance(b, SimTensor)):
+            raise VMError("torch.matmul expects tensors")
+        n = int(round(a.length ** 0.5))
+        _launch(ctx, n * n * n, "matmul", scale=0.05)
+        return SimTensor(ctx, a.length)
+
+    module.register("matmul", _matmul)
+
+    def _forward(ctx, args, kwargs):
+        """One forward pass over a batch: a few chained kernels."""
+        batch = args[0]
+        if not isinstance(batch, SimTensor):
+            raise VMError("torch.forward expects a tensor")
+        for layer in ("conv1", "conv2", "fc"):
+            _launch(ctx, batch.length, layer, scale=4.0)
+        return SimTensor(ctx, max(batch.length // 10, 1))
+
+    module.register("forward", _forward)
+
+    def _backward(ctx, args, kwargs):
+        loss = args[0]
+        if not isinstance(loss, SimTensor):
+            raise VMError("torch.backward expects a tensor")
+        _launch(ctx, loss.length * 10, "backward", scale=8.0)
+        return None
+
+    module.register("backward", _backward)
+
+    def _synchronize(ctx, args, kwargs):
+        return ctx.gpu_sync()
+
+    module.register("synchronize", _synchronize)
+
+    return module

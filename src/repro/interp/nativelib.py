@@ -1,0 +1,37 @@
+"""Base plumbing for simulated native libraries.
+
+A :class:`NativeModule` is the analog of an imported C-extension module: a
+namespace of :class:`~repro.interp.objects.NativeFunction` values exposed
+to workloads as a global (``process.install_library("np", simnp.make())``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import VMError
+from repro.interp.objects import NativeFunction
+
+
+class NativeModule:
+    """A namespace of native functions (C-extension module analog)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._attrs: Dict[str, object] = {}
+
+    def register(self, name: str, fn: Callable, doc: str = "") -> None:
+        """Expose ``fn(ctx, args, kwargs)`` as ``module.name`` in workloads."""
+        self._attrs[name] = NativeFunction(f"{self.name}.{name}", fn, doc)
+
+    def register_value(self, name: str, value: object) -> None:
+        self._attrs[name] = value
+
+    def sim_getattr(self, name: str):
+        try:
+            return self._attrs[name]
+        except KeyError:
+            raise VMError(f"module {self.name!r} has no attribute {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NativeModule {self.name}>"

@@ -1,0 +1,391 @@
+"""Runtime value model of the simulated interpreter.
+
+Scalars (ints, floats, strings, bools, None) are host Python values; their
+allocator churn is modelled statistically by the VM. Containers and
+library objects that can hold *significant* memory are **heap-backed**:
+they carry a reference count and one or more allocations in the simulated
+heap, so that creating, growing, and dropping them produces the exact
+malloc/free streams Scalene's memory profiler and leak detector observe.
+
+Reference counting is deliberately simple (see DESIGN.md): references are
+counted at *storage points* — name bindings, container slots — not on the
+evaluation stack. Temporaries that are never stored are released by the VM
+at well-defined discard points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import VMError
+
+
+class HeapBacked:
+    """Base class for simulated values with real (simulated) heap storage."""
+
+    __slots__ = ("rc", "_mem", "_thread")
+
+    def __init__(self, mem, thread=None) -> None:
+        #: Reference count from storage points (0 = floating temporary).
+        self.rc = 0
+        self._mem = mem
+        self._thread = thread
+        mem.register_object(self)
+
+    # -- refcount protocol (driven by the VM) ---------------------------------
+
+    def incref(self) -> None:
+        self.rc += 1
+
+    def decref(self) -> None:
+        self.rc -= 1
+        if self.rc <= 0:
+            self.destroy()
+
+    def release_if_floating(self) -> None:
+        """Free this object if nothing ever stored a reference to it."""
+        if self.rc == 0:
+            self.destroy()
+
+    def destroy(self) -> None:
+        """Free all owned allocations and drop references to children."""
+        if self.rc < 0:
+            return  # already destroyed
+        self.rc = -1
+        self._destroy_storage()
+        self._mem.unregister_object(self)
+
+    def _destroy_storage(self) -> None:  # pragma: no cover - abstract hook
+        raise NotImplementedError
+
+    # -- attribute protocol ---------------------------------
+
+    def sim_getattr(self, name: str):
+        """Look up an attribute/method for the simulated program."""
+        method = self._method_table().get(name)
+        if method is None:
+            raise VMError(f"{type(self).__name__} has no attribute {name!r}")
+        return BoundMethod(self, name, method)
+
+    def _method_table(self) -> Dict[str, Callable]:
+        return {}
+
+
+def incref(value: Any) -> None:
+    """Increment the reference count if ``value`` is heap-backed."""
+    if isinstance(value, HeapBacked):
+        value.incref()
+
+
+def decref(value: Any) -> None:
+    """Decrement the reference count if ``value`` is heap-backed."""
+    if isinstance(value, HeapBacked):
+        value.decref()
+
+
+def release_temp(value: Any) -> None:
+    """Free ``value`` if it is a heap-backed floating temporary."""
+    if isinstance(value, HeapBacked):
+        value.release_if_floating()
+
+
+class SimList(HeapBacked):
+    """A list with CPython-like geometric capacity growth.
+
+    Growth reallocations produce malloc+free pairs through the Python
+    allocator, the churn signature that distinguishes rate-based from
+    threshold-based sampling (§3.2).
+    """
+
+    __slots__ = ("items", "_capacity", "_handle")
+
+    HEADER_BYTES = 56
+
+    def __init__(self, mem, items: Optional[List[Any]] = None, thread=None) -> None:
+        super().__init__(mem, thread)
+        self.items: List[Any] = items if items is not None else []
+        self._capacity = max(len(self.items), 0)
+        self._handle = mem.py_alloc(self._size_for(self._capacity), thread)
+        for item in self.items:
+            incref(item)
+
+    @classmethod
+    def _size_for(cls, capacity: int) -> int:
+        return cls.HEADER_BYTES + 8 * capacity
+
+    def _grow_to(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        # CPython's list growth pattern (over-allocation ~1/8).
+        new_capacity = needed + (needed >> 3) + 6
+        old_handle = self._handle
+        self._handle = self._mem.py_alloc(self._size_for(new_capacity), self._thread)
+        self._mem.py_free(old_handle, self._thread)
+        self._capacity = new_capacity
+
+    # -- operations used by the VM and native methods --------------------------
+
+    def append(self, value: Any) -> None:
+        self._grow_to(len(self.items) + 1)
+        self.items.append(value)
+        incref(value)
+
+    def pop(self, index: int = -1) -> Any:
+        try:
+            value = self.items.pop(index)
+        except IndexError:
+            raise VMError("pop from empty list or index out of range") from None
+        decref(value)
+        return value
+
+    def clear(self) -> None:
+        for item in self.items:
+            decref(item)
+        self.items.clear()
+
+    def getitem(self, index: Any) -> Any:
+        try:
+            if isinstance(index, slice):
+                return SimList(self._mem, list(self.items[index]), self._thread)
+            return self.items[index]
+        except (IndexError, TypeError) as exc:
+            raise VMError(f"list index error: {exc}") from None
+
+    def setitem(self, index: int, value: Any) -> None:
+        try:
+            old = self.items[index]
+        except IndexError:
+            raise VMError("list assignment index out of range") from None
+        incref(value)
+        decref(old)
+        self.items[index] = value
+
+    def _destroy_storage(self) -> None:
+        for item in self.items:
+            decref(item)
+        self.items.clear()
+        self._mem.py_free(self._handle, self._thread)
+
+    def _method_table(self) -> Dict[str, Callable]:
+        return {
+            "append": lambda ctx, args, kwargs: self.append(args[0]),
+            "pop": lambda ctx, args, kwargs: self.pop(args[0] if args else -1),
+            "clear": lambda ctx, args, kwargs: self.clear(),
+            "sort": lambda ctx, args, kwargs: self.items.sort(),
+            "reverse": lambda ctx, args, kwargs: self.items.reverse(),
+        }
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimList({self.items!r})"
+
+
+class SimDict(HeapBacked):
+    """A dict with slot-table growth through the Python allocator."""
+
+    __slots__ = ("data", "_capacity", "_handle")
+
+    HEADER_BYTES = 64
+    SLOT_BYTES = 104
+
+    def __init__(self, mem, data: Optional[Dict[Any, Any]] = None, thread=None) -> None:
+        super().__init__(mem, thread)
+        self.data: Dict[Any, Any] = data if data is not None else {}
+        self._capacity = max(8, len(self.data))
+        self._handle = mem.py_alloc(self._size_for(self._capacity), thread)
+        for value in self.data.values():
+            incref(value)
+
+    @classmethod
+    def _size_for(cls, capacity: int) -> int:
+        return cls.HEADER_BYTES + cls.SLOT_BYTES * capacity
+
+    def _maybe_grow(self) -> None:
+        if len(self.data) * 3 < self._capacity * 2:
+            return
+        new_capacity = self._capacity * 2
+        old_handle = self._handle
+        self._handle = self._mem.py_alloc(self._size_for(new_capacity), self._thread)
+        self._mem.py_free(old_handle, self._thread)
+        self._capacity = new_capacity
+
+    def getitem(self, key: Any) -> Any:
+        try:
+            return self.data[key]
+        except KeyError:
+            raise VMError(f"KeyError: {key!r}") from None
+        except TypeError as exc:
+            raise VMError(f"unhashable key: {exc}") from None
+
+    def setitem(self, key: Any, value: Any) -> None:
+        old = self.data.get(key)
+        incref(value)
+        if old is not None or key in self.data:
+            decref(old)
+        self.data[key] = value
+        self._maybe_grow()
+
+    def delitem(self, key: Any) -> None:
+        try:
+            old = self.data.pop(key)
+        except KeyError:
+            raise VMError(f"KeyError: {key!r}") from None
+        decref(old)
+
+    def contains(self, key: Any) -> bool:
+        return key in self.data
+
+    def _destroy_storage(self) -> None:
+        for value in self.data.values():
+            decref(value)
+        self.data.clear()
+        self._mem.py_free(self._handle, self._thread)
+
+    def _method_table(self) -> Dict[str, Callable]:
+        return {
+            "get": lambda ctx, args, kwargs: self.data.get(args[0], args[1] if len(args) > 1 else None),
+            "keys": lambda ctx, args, kwargs: list(self.data.keys()),
+            "values": lambda ctx, args, kwargs: list(self.data.values()),
+            "items": lambda ctx, args, kwargs: [list(kv) for kv in self.data.items()],
+            "pop": lambda ctx, args, kwargs: self.delitem_and_return(args[0]),
+            "clear": lambda ctx, args, kwargs: self._clear_all(),
+        }
+
+    def delitem_and_return(self, key: Any) -> Any:
+        value = self.getitem(key)
+        self.delitem(key)
+        return value
+
+    def _clear_all(self) -> None:
+        for value in self.data.values():
+            decref(value)
+        self.data.clear()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimDict({self.data!r})"
+
+
+class BoundMethod:
+    """A method bound to a heap-backed or native-library object."""
+
+    __slots__ = ("receiver", "name", "fn")
+
+    def __init__(self, receiver: Any, name: str, fn: Callable) -> None:
+        self.receiver = receiver
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BoundMethod {type(self.receiver).__name__}.{self.name}>"
+
+
+class NativeFunction:
+    """A function implemented in "native code" (outside the interpreter).
+
+    Invoking a native function does not check for signals until it returns
+    — the deferral Scalene's CPU profiler turns to its advantage (§2.1).
+
+    ``fn(ctx, args, kwargs)`` receives a :class:`NativeContext` (defined in
+    the VM module) through which it consumes native CPU time, allocates
+    native memory, performs memcpys, launches GPU kernels, or blocks.
+    """
+
+    __slots__ = ("name", "fn", "doc")
+
+    def __init__(self, name: str, fn: Callable, doc: str = "") -> None:
+        self.name = name
+        self.fn = fn
+        self.doc = doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NativeFunction {self.name}>"
+
+
+class BlockRequest:
+    """Returned by a native function to suspend the calling thread.
+
+    The scheduler wakes the thread when ``deadline`` (absolute virtual wall
+    time) passes or ``wake_check()`` returns true, whichever comes first.
+    On wake, ``on_wake()`` is consulted: it may return a value (pushed as
+    the call's result) or another :class:`BlockRequest` to re-block — the
+    mechanism behind Scalene's monkey-patched joins with timeouts (§2.2).
+
+    ``interruptible`` marks blocks that a pending signal may cut short on
+    the main thread (sleeps and IO are; lock/join waits are not, which is
+    precisely why Scalene must monkey-patch them).
+    """
+
+    __slots__ = ("deadline", "wake_check", "on_wake", "interruptible", "is_io", "started_at")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        wake_check: Optional[Callable[[], bool]] = None,
+        on_wake: Optional[Callable[[], Any]] = None,
+        interruptible: bool = False,
+        is_io: bool = False,
+    ) -> None:
+        if deadline is None and wake_check is None:
+            raise VMError("BlockRequest needs a deadline or a wake condition")
+        self.deadline = deadline
+        self.wake_check = wake_check
+        self.on_wake = on_wake
+        self.interruptible = interruptible
+        self.is_io = is_io
+        self.started_at: float = 0.0
+
+
+class PyBuffer(HeapBacked):
+    """An opaque Python-domain byte buffer of a chosen size.
+
+    Workloads use ``py_buffer(n)`` to create *pure Python* memory of
+    arbitrary size (a ``bytearray`` analog) — the lever for Python-side
+    footprint growth, leak workloads, and the Python-vs-native memory
+    attribution experiments.
+    """
+
+    __slots__ = ("nbytes", "_handle")
+
+    def __init__(self, mem, nbytes: int, thread=None) -> None:
+        super().__init__(mem, thread)
+        self.nbytes = nbytes
+        self._handle = mem.py_alloc(nbytes, thread)
+
+    def _destroy_storage(self) -> None:
+        self._mem.py_free(self._handle, self._thread)
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PyBuffer({self.nbytes})"
+
+
+def sim_len(value: Any) -> int:
+    """``len()`` over host and simulated containers."""
+    if isinstance(value, (SimList, SimDict)):
+        return len(value)
+    try:
+        return len(value)
+    except TypeError:
+        raise VMError(f"object of type {type(value).__name__} has no len()") from None
+
+
+def sim_iter(value: Any) -> Iterable:
+    """``iter()`` over host and simulated containers."""
+    if isinstance(value, SimList):
+        return iter(list(value.items))
+    if isinstance(value, SimDict):
+        return iter(list(value.data.keys()))
+    try:
+        return iter(value)
+    except TypeError:
+        raise VMError(f"{type(value).__name__} object is not iterable") from None

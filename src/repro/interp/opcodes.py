@@ -1,0 +1,77 @@
+"""Opcode definitions for the simulated interpreter.
+
+Opcodes are plain strings for debuggability. The set mirrors a simplified
+CPython 3.x instruction set. The distinguished **call opcodes** — ``CALL``
+and ``CALL_METHOD`` — matter to Scalene's thread-attribution algorithm
+(paper §2.2): a thread whose current instruction is a call opcode for an
+extended period is, with high likelihood, executing native code.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+LOAD_CONST = "LOAD_CONST"
+LOAD_NAME = "LOAD_NAME"
+STORE_NAME = "STORE_NAME"
+DELETE_NAME = "DELETE_NAME"
+LOAD_ATTR = "LOAD_ATTR"
+LOAD_METHOD = "LOAD_METHOD"
+BINARY_SUBSCR = "BINARY_SUBSCR"
+STORE_SUBSCR = "STORE_SUBSCR"
+BINARY_OP = "BINARY_OP"
+COMPARE_OP = "COMPARE_OP"
+UNARY_OP = "UNARY_OP"
+CALL = "CALL"
+CALL_METHOD = "CALL_METHOD"
+RETURN_VALUE = "RETURN_VALUE"
+JUMP = "JUMP"
+POP_JUMP_IF_FALSE = "POP_JUMP_IF_FALSE"
+POP_JUMP_IF_TRUE = "POP_JUMP_IF_TRUE"
+JUMP_IF_FALSE_OR_POP = "JUMP_IF_FALSE_OR_POP"
+JUMP_IF_TRUE_OR_POP = "JUMP_IF_TRUE_OR_POP"
+GET_ITER = "GET_ITER"
+FOR_ITER = "FOR_ITER"
+BUILD_LIST = "BUILD_LIST"
+BUILD_TUPLE = "BUILD_TUPLE"
+BUILD_MAP = "BUILD_MAP"
+BUILD_SLICE = "BUILD_SLICE"
+UNPACK_SEQUENCE = "UNPACK_SEQUENCE"
+LIST_APPEND = "LIST_APPEND"
+POP_TOP = "POP_TOP"
+MAKE_FUNCTION = "MAKE_FUNCTION"
+NOP = "NOP"
+
+#: Opcodes that perform a call; see module docstring.
+CALL_OPCODES: FrozenSet[str] = frozenset({CALL, CALL_METHOD})
+
+#: Opcodes after which CPython checks the "eval breaker" (pending signals,
+#: GIL switch requests). Real CPython checks on backward jumps and calls;
+#: the simulated VM additionally checks on every instruction boundary of
+#: the main thread, which is a conservative superset with identical
+#: observable semantics for Scalene's algorithms.
+EVAL_BREAKER_OPCODES: FrozenSet[str] = frozenset(
+    {JUMP, POP_JUMP_IF_FALSE, POP_JUMP_IF_TRUE, FOR_ITER, CALL, CALL_METHOD, RETURN_VALUE}
+)
+
+#: Opcodes that create a fresh small Python object (used by the VM's
+#: small-object churn model: each allocates through the PyMem hooks).
+ALLOCATING_OPCODES: FrozenSet[str] = frozenset(
+    {BINARY_OP, UNARY_OP, BUILD_TUPLE, BUILD_SLICE}
+)
+
+ALL_OPCODES: FrozenSet[str] = frozenset(
+    {
+        LOAD_CONST, LOAD_NAME, STORE_NAME, DELETE_NAME, LOAD_ATTR, LOAD_METHOD,
+        BINARY_SUBSCR, STORE_SUBSCR, BINARY_OP, COMPARE_OP, UNARY_OP, CALL,
+        CALL_METHOD, RETURN_VALUE, JUMP, POP_JUMP_IF_FALSE, POP_JUMP_IF_TRUE,
+        JUMP_IF_FALSE_OR_POP, JUMP_IF_TRUE_OR_POP, GET_ITER, FOR_ITER,
+        BUILD_LIST, BUILD_TUPLE, BUILD_MAP, BUILD_SLICE, UNPACK_SEQUENCE,
+        LIST_APPEND, POP_TOP, MAKE_FUNCTION, NOP,
+    }
+)
+
+
+def is_call_opcode(opcode: str) -> bool:
+    """Whether ``opcode`` is one of the call instructions (§2.2)."""
+    return opcode in CALL_OPCODES

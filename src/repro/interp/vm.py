@@ -1,0 +1,706 @@
+"""The simulated interpreter's evaluation loop.
+
+The VM executes compiled bytecode on virtual time and reproduces the four
+CPython behaviours Scalene's algorithms are built on:
+
+1. **Signals are checked at bytecode boundaries** of the **main thread**
+   only; a native call runs to completion with signals pending (§2.1).
+2. **The GIL**: one thread executes at a time; the scheduler preempts at
+   the switch interval (§2.2).
+3. **Tracing** fires call/line/return (and c_call/c_return) events with a
+   real probe cost (§6.2's function bias).
+4. **Every Python object allocation** flows through the PyMem hooks, and
+   native library allocations flow through the system-allocator shim
+   (§3.1), including the small-object churn of interpreter temporaries.
+"""
+
+from __future__ import annotations
+
+import operator as host_operator
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.errors import VMError
+from repro.interp import opcodes as op
+from repro.interp.code import CodeObject, Frame, SimFunction
+from repro.interp.objects import (
+    BlockRequest,
+    BoundMethod,
+    HeapBacked,
+    NativeFunction,
+    SimDict,
+    SimList,
+    decref,
+    incref,
+    release_temp,
+    sim_iter,
+)
+from repro.runtime import tracing
+
+# run_slice exit statuses
+PREEMPTED = "preempted"
+BLOCKED = "blocked"
+FINISHED = "finished"
+
+_ITER_EXHAUSTED = object()
+
+
+@dataclass
+class VMConfig:
+    """Tunables of the simulated interpreter.
+
+    ``op_cost`` is the virtual CPU cost of one bytecode instruction. It is
+    deliberately large relative to real CPython (tens of microseconds vs.
+    tens of nanoseconds) so that paper-scale virtual durations (~10 s per
+    benchmark) stay tractable on the host; all profiler intervals live in
+    the same virtual time base, so ratios are preserved.
+    """
+
+    op_cost: float = 50e-6
+    #: Model small-object churn: each object-creating opcode allocates a
+    #: small Python object through the PyMem hooks; a bounded FIFO frees
+    #: old ones, so churn adds allocation volume but ~zero net footprint.
+    churn_enabled: bool = True
+    churn_object_bytes: int = 28
+    churn_fifo_depth: int = 32
+    #: Size of a frame object allocated per Python call.
+    frame_object_bytes: int = 368
+
+
+_BINARY_FUNCS = {
+    "+": host_operator.add,
+    "-": host_operator.sub,
+    "*": host_operator.mul,
+    "/": host_operator.truediv,
+    "//": host_operator.floordiv,
+    "%": host_operator.mod,
+    "**": host_operator.pow,
+    "<<": host_operator.lshift,
+    ">>": host_operator.rshift,
+    "&": host_operator.and_,
+    "|": host_operator.or_,
+    "^": host_operator.xor,
+}
+
+_COMPARE_FUNCS = {
+    "==": host_operator.eq,
+    "!=": host_operator.ne,
+    "<": host_operator.lt,
+    "<=": host_operator.le,
+    ">": host_operator.gt,
+    ">=": host_operator.ge,
+    "is": lambda a, b: a is b,
+    "is not": lambda a, b: a is not b,
+}
+
+
+class NativeContext:
+    """Capabilities handed to native functions (see NativeFunction).
+
+    Native code consumes CPU time *without signal checks*, allocates
+    native memory through the shim, copies bytes (copy volume), performs
+    blocking IO, and launches GPU kernels.
+    """
+
+    __slots__ = ("process", "thread")
+
+    def __init__(self, process, thread) -> None:
+        self.process = process
+        self.thread = thread
+
+    # -- time ----------------------------------------------------------------
+
+    def consume(self, seconds: float) -> None:
+        """Execute natively for ``seconds`` of CPU time (signals deferred)."""
+        if seconds <= 0:
+            return
+        process = self.process
+        process.clock.advance_cpu(seconds)
+        self.thread.cpu_time += seconds
+        if process.ground_truth is not None:
+            process.ground_truth.record_native_time(self.thread, seconds)
+
+    # -- memory ----------------------------------------------------------------
+
+    def alloc(self, nbytes: int, *, touch: bool = True, tag: str = "native"):
+        """Allocate native memory (e.g. an array buffer)."""
+        return self.process.mem.native_alloc(nbytes, self.thread, touch=touch, tag=tag)
+
+    def free(self, alloc) -> None:
+        self.process.mem.native_free(alloc, self.thread)
+
+    def touch(self, alloc, nbytes: Optional[int] = None) -> None:
+        """Write pages of a native allocation (raises its RSS share)."""
+        self.process.mem.shim.touch(alloc, nbytes)
+
+    def scratch(self, nbytes: int) -> None:
+        """Transient Python-domain allocation volume (no footprint change)."""
+        self.process.mem.py_scratch(nbytes, self.thread)
+
+    def py_alloc(self, nbytes: int):
+        """Persistent Python-domain allocation (e.g. boxed result objects)."""
+        return self.process.mem.py_alloc(nbytes, self.thread)
+
+    def py_free(self, handle) -> None:
+        self.process.mem.py_free(handle, self.thread)
+
+    def memcpy(self, nbytes: int, direction: str = "host") -> None:
+        self.process.mem.memcpy(nbytes, self.thread, direction)
+
+    # -- blocking ----------------------------------------------------------------
+
+    def io_wait(self, seconds: float) -> Optional[BlockRequest]:
+        """Blocking IO: wall time passes, no CPU is consumed."""
+        if seconds <= 0:
+            return None
+        return BlockRequest(
+            deadline=self.process.clock.wall + seconds,
+            interruptible=True,
+            is_io=True,
+        )
+
+    # -- GPU ----------------------------------------------------------------
+
+    def gpu_launch(self, duration: float, name: str = "kernel"):
+        """Launch an asynchronous kernel occupying the device for ``duration``."""
+        device = self.process.gpu
+        kernel = device.launch_kernel(self.process.pid, self.process.clock.wall, duration, name)
+        if self.process.ground_truth is not None:
+            self.process.ground_truth.record_gpu_time(self.thread, duration)
+        return kernel
+
+    def gpu_alloc(self, nbytes: int) -> int:
+        return self.process.gpu.alloc(self.process.pid, nbytes)
+
+    def gpu_free(self, address: int) -> None:
+        self.process.gpu.free(address)
+
+    def gpu_sync(self) -> Optional[BlockRequest]:
+        """Wait for all of this process's kernels to finish (system time)."""
+        device = self.process.gpu
+        now = self.process.clock.wall
+        end = max(
+            (k.end for k in device._kernels if k.pid == self.process.pid),
+            default=now,
+        )
+        if end <= now:
+            return None
+        return BlockRequest(deadline=end, interruptible=True, is_io=True)
+
+    # -- misc ----------------------------------------------------------------
+
+    @property
+    def clock(self):
+        return self.process.clock
+
+    @property
+    def mem(self):
+        return self.process.mem
+
+
+class VM:
+    """Executes simulated threads one GIL slice at a time."""
+
+    def __init__(self, process, config: Optional[VMConfig] = None) -> None:
+        self.process = process
+        self.config = config or VMConfig()
+        self.instruction_count = 0
+
+    # -- frame management ----------------------------------------------------------
+
+    def make_frame(self, fn: SimFunction, args: tuple, thread, back: Optional[Frame]) -> Frame:
+        code = fn.code
+        if len(args) != len(code.params):
+            raise VMError(
+                f"{fn.name}() takes {len(code.params)} arguments but {len(args)} were given"
+            )
+        frame = Frame(code, fn.globals, back=back)
+        frame.py_handle = self.process.mem.py_alloc(self.config.frame_object_bytes, thread)
+        for name, value in zip(code.params, args):
+            incref(value)
+            frame.locals[name] = value
+        return frame
+
+    def make_module_frame(self, code: CodeObject, globals_dict: dict, thread) -> Frame:
+        frame = Frame(code, globals_dict)
+        frame.locals = globals_dict  # module scope: locals IS globals
+        frame.py_handle = self.process.mem.py_alloc(self.config.frame_object_bytes, thread)
+        return frame
+
+    def _teardown_frame(self, frame: Frame, retval: Any, thread) -> None:
+        is_module = frame.locals is frame.globals
+        if isinstance(retval, HeapBacked):
+            retval.rc += 1  # protect from the locals sweep below
+        if not is_module:
+            for value in frame.locals.values():
+                decref(value)
+            frame.locals.clear()
+        if frame.py_handle is not None:
+            self.process.mem.py_free(frame.py_handle, thread)
+            frame.py_handle = None
+        if isinstance(retval, HeapBacked):
+            retval.rc -= 1  # back to floating/stored state; no destroy check
+
+    # -- churn model ----------------------------------------------------------
+
+    def _churn(self, thread) -> None:
+        mem = self.process.mem
+        handle = mem.py_alloc(self.config.churn_object_bytes, thread)
+        fifo = thread.churn
+        fifo.append(handle)
+        if len(fifo) > self.config.churn_fifo_depth:
+            mem.py_free(fifo.popleft(), thread)
+
+    def flush_churn(self, thread) -> None:
+        mem = self.process.mem
+        while thread.churn:
+            mem.py_free(thread.churn.popleft(), thread)
+
+    # -- the eval loop ----------------------------------------------------------
+
+    def run_slice(self, thread, wall_deadline: float) -> str:
+        """Run ``thread`` until preemption, blocking, or completion."""
+        process = self.process
+        clock = process.clock
+        signals = process.signals
+        trace = process.trace
+        config = self.config
+        ground_truth = process.ground_truth
+        churn_enabled = config.churn_enabled
+
+        # Resume from a block, if any (handles signal wake-ups and
+        # retry-style blocks such as Scalene's patched join).
+        if thread.block is not None:
+            status = self._resume_from_block(thread)
+            if status is not None:
+                return status
+
+        frame = thread.frame
+        if frame is None:
+            return FINISHED
+
+        while True:
+            instructions = frame.code.instructions
+            pc = frame.pc
+            if pc >= len(instructions):
+                raise VMError(f"pc out of range in {frame.code.name}")
+            instr = instructions[pc]
+            opcode = instr.opcode
+
+            # Trace 'line' events when execution reaches a new line.
+            if trace.active and instr.lineno != frame.last_traced_line:
+                frame.lineno = instr.lineno
+                frame.last_traced_line = instr.lineno
+                trace.fire(thread, frame, tracing.EVENT_LINE)
+
+            frame.lineno = instr.lineno
+            frame.lasti = pc
+
+            # Charge the interpreter cost of this instruction.
+            clock.advance_cpu(config.op_cost)
+            thread.cpu_time += config.op_cost
+            if ground_truth is not None:
+                ground_truth.record_python_time(thread, config.op_cost)
+
+            self.instruction_count += 1
+            frame.pc = pc + 1
+
+            # Small-object churn for object-creating opcodes.
+            if churn_enabled and opcode in op.ALLOCATING_OPCODES:
+                self._churn(thread)
+
+            # ---- execute ----------------------------------------------------
+            stack = frame.stack
+            if opcode == op.LOAD_CONST:
+                stack.append(frame.code.constants[instr.arg])
+            elif opcode == op.LOAD_NAME:
+                frame = self._op_load_name(frame, instr.arg)
+            elif opcode == op.STORE_NAME:
+                self._op_store_name(frame, instr.arg, stack.pop())
+            elif opcode == op.BINARY_OP:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(self._op_binary(thread, instr.arg, left, right))
+            elif opcode == op.COMPARE_OP:
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(self._op_compare(instr.arg, left, right))
+            elif opcode == op.UNARY_OP:
+                stack.append(self._op_unary(instr.arg, stack.pop()))
+            elif opcode == op.JUMP:
+                frame.pc = instr.arg
+            elif opcode == op.POP_JUMP_IF_FALSE:
+                if not stack.pop():
+                    frame.pc = instr.arg
+            elif opcode == op.POP_JUMP_IF_TRUE:
+                if stack.pop():
+                    frame.pc = instr.arg
+            elif opcode == op.JUMP_IF_FALSE_OR_POP:
+                if not stack[-1]:
+                    frame.pc = instr.arg
+                else:
+                    stack.pop()
+            elif opcode == op.JUMP_IF_TRUE_OR_POP:
+                if stack[-1]:
+                    frame.pc = instr.arg
+                else:
+                    stack.pop()
+            elif opcode == op.GET_ITER:
+                stack.append(sim_iter(stack.pop()))
+            elif opcode == op.FOR_ITER:
+                value = next(stack[-1], _ITER_EXHAUSTED)
+                if value is _ITER_EXHAUSTED:
+                    stack.pop()
+                    frame.pc = instr.arg
+                else:
+                    stack.append(value)
+            elif opcode in (op.CALL, op.CALL_METHOD):
+                result = self._op_call(thread, frame, instr.arg)
+                if result is _CALL_PUSHED_FRAME:
+                    frame = thread.frame
+                elif isinstance(result, BlockRequest):
+                    self._enter_block(thread, result)
+                    return BLOCKED
+                else:
+                    stack.append(result)
+            elif opcode == op.RETURN_VALUE:
+                retval = stack.pop()
+                if trace.active:
+                    trace.fire(thread, frame, tracing.EVENT_RETURN, retval)
+                self._teardown_frame(frame, retval, thread)
+                caller = frame.back
+                thread.frame = caller
+                if caller is None:
+                    thread.result = retval
+                    self.flush_churn(thread)
+                    return FINISHED
+                caller.stack.append(retval)
+                frame = caller
+            elif opcode == op.POP_TOP:
+                release_temp(stack.pop())
+            elif opcode == op.BUILD_LIST:
+                count = instr.arg
+                items = stack[len(stack) - count :] if count else []
+                del stack[len(stack) - count :]
+                stack.append(SimList(self.process.mem, list(items), thread))
+            elif opcode == op.BUILD_TUPLE:
+                count = instr.arg
+                items = tuple(stack[len(stack) - count :]) if count else ()
+                del stack[len(stack) - count :]
+                stack.append(items)
+            elif opcode == op.BUILD_MAP:
+                count = instr.arg
+                data = {}
+                if count:
+                    flat = stack[len(stack) - 2 * count :]
+                    del stack[len(stack) - 2 * count :]
+                    for i in range(0, 2 * count, 2):
+                        data[flat[i]] = flat[i + 1]
+                stack.append(SimDict(self.process.mem, data, thread))
+            elif opcode == op.BUILD_SLICE:
+                if instr.arg == 3:
+                    step = stack.pop()
+                else:
+                    step = None
+                stop = stack.pop()
+                start = stack.pop()
+                stack.append(slice(start, stop, step))
+            elif opcode == op.BINARY_SUBSCR:
+                index = stack.pop()
+                container = stack.pop()
+                stack.append(self._op_subscr(thread, container, index))
+            elif opcode == op.STORE_SUBSCR:
+                index = stack.pop()
+                container = stack.pop()
+                value = stack.pop()
+                self._op_store_subscr(thread, container, index, value)
+            elif opcode == op.LIST_APPEND:
+                value = stack.pop()
+                accumulator = stack[-instr.arg]
+                if not isinstance(accumulator, SimList):
+                    raise VMError("LIST_APPEND target is not a list")
+                accumulator.append(value)  # append increfs heap-backed values
+            elif opcode == op.UNPACK_SEQUENCE:
+                value = stack.pop()
+                items = self._sequence_items(value)
+                if len(items) != instr.arg:
+                    raise VMError(
+                        f"cannot unpack {len(items)} values into {instr.arg} targets"
+                    )
+                for item in reversed(items):
+                    stack.append(item)
+            elif opcode == op.LOAD_ATTR:
+                stack.append(self._op_load_attr(stack.pop(), instr.arg))
+            elif opcode == op.LOAD_METHOD:
+                stack.append(self._op_load_attr(stack.pop(), instr.arg))
+            elif opcode == op.MAKE_FUNCTION:
+                code = frame.code.constants[instr.arg]
+                stack.append(SimFunction(code, frame.globals))
+            elif opcode == op.DELETE_NAME:
+                self._op_delete_name(frame, instr.arg)
+            elif opcode == op.NOP:
+                pass
+            else:  # pragma: no cover - compiler emits only known opcodes
+                raise VMError(f"unknown opcode {opcode}")
+
+            # ---- eval breaker ----------------------------------------------
+            if thread.is_main and signals.has_pending:
+                signals.deliver_pending(thread)
+            if clock.wall >= wall_deadline:
+                return PREEMPTED
+
+    # -- resume / blocking ----------------------------------------------------------
+
+    def _enter_block(self, thread, block: BlockRequest) -> None:
+        block.started_at = self.process.clock.wall
+        thread.block = block
+        thread.block_location = (
+            thread.frame.location() if thread.frame is not None else None
+        )
+        thread.state = "waiting"
+
+    def _resume_from_block(self, thread) -> Optional[str]:
+        """Handle a thread waking from a block; returns a status to bubble
+        up (BLOCKED if it re-blocked) or None to continue executing."""
+        process = self.process
+        block = thread.block
+        now = process.clock.wall
+        waited = now - block.started_at
+        if waited > 0 and process.ground_truth is not None:
+            process.ground_truth.record_system_time(
+                thread, waited, location=getattr(thread, "block_location", None)
+            )
+        satisfied = False
+        if block.wake_check is not None and block.wake_check():
+            satisfied = True
+        elif block.deadline is not None and now >= block.deadline - 1e-12:
+            satisfied = True
+
+        # Re-entering the interpreter loop: pending signals are delivered
+        # now (this is what makes Scalene's timeout-based monkey patches
+        # restore signal flow, and what interrupts sleeps).
+        if thread.is_main and process.signals.has_pending:
+            process.signals.deliver_pending(thread)
+
+        if not satisfied:
+            # Woken early (signal interruption): re-block for the remainder.
+            block.started_at = process.clock.wall
+            thread.block = block
+            thread.state = "waiting"
+            return BLOCKED
+
+        thread.block = None
+        if block.on_wake is not None:
+            outcome = block.on_wake()
+            if isinstance(outcome, BlockRequest):
+                self._enter_block(thread, outcome)
+                return BLOCKED
+            result = outcome
+        else:
+            result = None
+        thread.frame.stack.append(result)
+        thread.state = "runnable"
+        return None
+
+    # -- opcode helpers ----------------------------------------------------------
+
+    def _op_load_name(self, frame: Frame, name: str):
+        if name in frame.locals:
+            frame.stack.append(frame.locals[name])
+        elif name in frame.globals:
+            frame.stack.append(frame.globals[name])
+        elif name in self.process.builtins:
+            frame.stack.append(self.process.builtins[name])
+        else:
+            raise VMError(f"NameError: name {name!r} is not defined")
+        return frame
+
+    @staticmethod
+    def _target_namespace(frame: Frame, name: str) -> dict:
+        if name in frame.code.global_names:
+            return frame.globals
+        return frame.locals
+
+    def _op_store_name(self, frame: Frame, name: str, value: Any) -> None:
+        namespace = self._target_namespace(frame, name)
+        old = namespace.get(name)
+        incref(value)
+        namespace[name] = value
+        if old is not None and old is not value:
+            decref(old)
+
+    def _op_delete_name(self, frame: Frame, name: str) -> None:
+        namespace = self._target_namespace(frame, name)
+        try:
+            old = namespace.pop(name)
+        except KeyError:
+            raise VMError(f"NameError: name {name!r} is not defined") from None
+        decref(old)
+
+    def _op_binary(self, thread, symbol: str, left: Any, right: Any):
+        if hasattr(left, "sim_binop"):
+            result = left.sim_binop(NativeContext(self.process, thread), symbol, right)
+        elif hasattr(right, "sim_rbinop"):
+            result = right.sim_rbinop(NativeContext(self.process, thread), symbol, left)
+        else:
+            fn = _BINARY_FUNCS.get(symbol)
+            if fn is None:
+                raise VMError(f"unsupported binary operator {symbol!r}")
+            try:
+                result = fn(left, right)
+            except (TypeError, ZeroDivisionError, ValueError) as exc:
+                raise VMError(f"binary op {symbol!r} failed: {exc}") from None
+        release_temp(left)
+        if right is not result:
+            release_temp(right)
+        return result
+
+    def _op_compare(self, symbol: str, left: Any, right: Any):
+        if symbol in ("in", "not in"):
+            if isinstance(right, SimDict):
+                contained = right.contains(left)
+            elif isinstance(right, SimList):
+                contained = left in right.items
+            else:
+                try:
+                    contained = left in right
+                except TypeError as exc:
+                    raise VMError(f"'in' failed: {exc}") from None
+            return contained if symbol == "in" else not contained
+        fn = _COMPARE_FUNCS.get(symbol)
+        if fn is None:
+            raise VMError(f"unsupported comparison {symbol!r}")
+        try:
+            return fn(left, right)
+        except TypeError as exc:
+            raise VMError(f"comparison {symbol!r} failed: {exc}") from None
+
+    @staticmethod
+    def _op_unary(symbol: str, value: Any):
+        try:
+            if symbol == "-":
+                return -value
+            if symbol == "+":
+                return +value
+            if symbol == "not":
+                return not value
+            if symbol == "~":
+                return ~value
+        except TypeError as exc:
+            raise VMError(f"unary {symbol!r} failed: {exc}") from None
+        raise VMError(f"unsupported unary operator {symbol!r}")
+
+    def _op_subscr(self, thread, container: Any, index: Any):
+        if isinstance(container, SimList):
+            return container.getitem(index)
+        if isinstance(container, SimDict):
+            return container.getitem(index)
+        if hasattr(container, "sim_getitem"):
+            return container.sim_getitem(NativeContext(self.process, thread), index)
+        try:
+            return container[index]
+        except (TypeError, KeyError, IndexError) as exc:
+            raise VMError(f"subscript failed: {exc}") from None
+
+    def _op_store_subscr(self, thread, container: Any, index: Any, value: Any) -> None:
+        if isinstance(container, SimList):
+            container.setitem(index, value)
+        elif isinstance(container, SimDict):
+            container.setitem(index, value)
+        elif hasattr(container, "sim_setitem"):
+            container.sim_setitem(NativeContext(self.process, thread), index, value)
+        else:
+            raise VMError(
+                f"object of type {type(container).__name__} does not support item assignment"
+            )
+
+    @staticmethod
+    def _sequence_items(value: Any) -> Tuple[Any, ...]:
+        if isinstance(value, SimList):
+            return tuple(value.items)
+        if isinstance(value, (tuple, list)):
+            return tuple(value)
+        raise VMError(f"cannot unpack object of type {type(value).__name__}")
+
+    def _op_load_attr(self, value: Any, name: str):
+        if hasattr(value, "sim_getattr"):
+            return value.sim_getattr(name)
+        raise VMError(
+            f"object of type {type(value).__name__} has no attribute access"
+        )
+
+    # -- calls ----------------------------------------------------------
+
+    def _op_call(self, thread, frame: Frame, call_arg) -> Any:
+        """Execute CALL/CALL_METHOD. Returns the call result, a
+        BlockRequest, or the _CALL_PUSHED_FRAME sentinel for Python calls."""
+        npos, kwnames = call_arg
+        stack = frame.stack
+        kwargs = {}
+        if kwnames:
+            values = stack[len(stack) - len(kwnames) :]
+            del stack[len(stack) - len(kwnames) :]
+            kwargs = dict(zip(kwnames, values))
+        args = tuple(stack[len(stack) - npos :]) if npos else ()
+        if npos:
+            del stack[len(stack) - npos :]
+        callee = stack.pop()
+
+        if isinstance(callee, SimFunction):
+            if kwargs:
+                raise VMError(
+                    f"keyword arguments to simulated functions are not supported"
+                )
+            new_frame = self.make_frame(callee, args, thread, back=frame)
+            thread.frame = new_frame
+            if self.process.trace.active:
+                self.process.trace.fire(thread, new_frame, tracing.EVENT_CALL)
+            return _CALL_PUSHED_FRAME
+
+        trace = self.process.trace
+        ctx = NativeContext(self.process, thread)
+        if isinstance(callee, BoundMethod):
+            if trace.active:
+                trace.fire(thread, frame, tracing.EVENT_C_CALL, callee.name)
+            result = callee.fn(ctx, args, kwargs)
+        elif isinstance(callee, NativeFunction):
+            if trace.active:
+                trace.fire(thread, frame, tracing.EVENT_C_CALL, callee.name)
+            result = callee.fn(ctx, args, kwargs)
+        else:
+            raise VMError(f"object of type {type(callee).__name__} is not callable")
+
+        if isinstance(result, BlockRequest):
+            # Keep trace call/return events balanced: fire c_return at the
+            # moment of blocking (deterministic tracers then measure the
+            # CPU-side cost of the call, not the wait — as in CPython,
+            # where the C function returns only after the wait, but our
+            # tracers read the CPU clock, which does not advance while
+            # blocked).
+            if trace.active:
+                trace.fire(
+                    thread,
+                    frame,
+                    tracing.EVENT_C_RETURN,
+                    callee.name if hasattr(callee, "name") else "?",
+                )
+            return result
+        for arg in args:
+            release_temp(arg)
+        for value in kwargs.values():
+            release_temp(value)
+        # A floating receiver (e.g. ``make()[0:10].tolist()``) dies with
+        # the call unless the result depends on it.
+        if isinstance(callee, BoundMethod) and callee.receiver is not result:
+            release_temp(callee.receiver)
+        if trace.active:
+            trace.fire(
+                thread,
+                frame,
+                tracing.EVENT_C_RETURN,
+                callee.name if hasattr(callee, "name") else "?",
+            )
+        return result
+
+
+_CALL_PUSHED_FRAME = object()

@@ -1,0 +1,37 @@
+"""Simulated memory subsystem.
+
+Layers, bottom to top (mirroring the real stack Scalene interposes on):
+
+* :mod:`repro.memory.sysalloc` — the "system allocator" (glibc malloc /
+  mmap analog). Tracks mapped regions and resident (touched) pages, which
+  is what makes RSS an *inaccurate proxy* for allocated memory (paper §6.3).
+* :mod:`repro.memory.shim` — the LD_PRELOAD-style interposition layer. All
+  system-allocator traffic flows through it; profilers register listeners.
+  Implements the per-thread *in-allocator* flag of §3.1 that prevents
+  double-counting when the Python allocator itself calls malloc.
+* :mod:`repro.memory.pymalloc` — a pymalloc-style object allocator (pools
+  carved from arenas obtained via the shim; large requests fall through to
+  the system allocator).
+* :mod:`repro.memory.hooks` — the ``PyMem_SetAllocator`` analog: the domain
+  API the interpreter uses for every Python object, replaceable at runtime.
+* :mod:`repro.memory.samplefile` — the append-only sampling file connecting
+  the shim to the profiler, with byte-size accounting (used by the
+  log-growth experiment of §6.5).
+"""
+
+from repro.memory.sysalloc import Allocation, SystemAllocator
+from repro.memory.shim import AllocatorShim, AllocEvent, MemcpyEvent
+from repro.memory.pymalloc import PyMalloc
+from repro.memory.hooks import PyMemHooks
+from repro.memory.samplefile import SampleFile
+
+__all__ = [
+    "Allocation",
+    "SystemAllocator",
+    "AllocatorShim",
+    "AllocEvent",
+    "MemcpyEvent",
+    "PyMalloc",
+    "PyMemHooks",
+    "SampleFile",
+]

@@ -1,0 +1,58 @@
+"""The ``PyMem_SetAllocator`` analog.
+
+Every Python-object allocation the interpreter performs goes through a
+:class:`PyMemHooks` instance. A profiler may *wrap* the current allocator
+(exactly what Scalene does with ``PyMem_SetAllocator``): the wrapper
+observes each request, then delegates to the previous allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.memory.pymalloc import PyAllocation, PyMalloc
+
+
+class PyMemAllocator(Protocol):
+    """The allocator interface installable via :class:`PyMemHooks`."""
+
+    def alloc(self, nbytes: int, thread=None) -> PyAllocation:  # pragma: no cover
+        ...
+
+    def free(self, handle: PyAllocation, thread=None) -> None:  # pragma: no cover
+        ...
+
+
+class PyMemHooks:
+    """Replaceable dispatch point for the interpreter's object allocations."""
+
+    def __init__(self, pymalloc: PyMalloc) -> None:
+        self._default = pymalloc
+        self._current: PyMemAllocator = pymalloc
+
+    # -- PyMem_GetAllocator / PyMem_SetAllocator -------------------------------
+
+    def get_allocator(self) -> PyMemAllocator:
+        """Return the currently installed allocator (for wrapping)."""
+        return self._current
+
+    def set_allocator(self, allocator: PyMemAllocator) -> None:
+        """Install ``allocator`` as the Python object allocator."""
+        self._current = allocator
+
+    def reset(self) -> None:
+        """Restore the default (pymalloc) allocator."""
+        self._current = self._default
+
+    # -- interpreter-facing API -------------------------------
+
+    def alloc(self, nbytes: int, thread=None) -> PyAllocation:
+        return self._current.alloc(nbytes, thread=thread)
+
+    def free(self, handle: PyAllocation, thread=None) -> None:
+        self._current.free(handle, thread=thread)
+
+    @property
+    def pymalloc(self) -> PyMalloc:
+        """The underlying default allocator (for statistics)."""
+        return self._default

@@ -1,0 +1,20 @@
+"""Simulated operating-system/runtime substrate.
+
+This package provides the pieces of a CPython-like process that Scalene's
+algorithms interact with: a virtual clock, interval timers with POSIX-like
+signal-delivery semantics, a GIL scheduler over simulated threads, a
+``sys.settrace`` analog, and the :class:`~repro.runtime.process.SimProcess`
+composition root.
+"""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.signals import SignalManager, Timers, SIGVTALRM, SIGALRM, SIGPROF
+
+__all__ = [
+    "VirtualClock",
+    "SignalManager",
+    "Timers",
+    "SIGVTALRM",
+    "SIGALRM",
+    "SIGPROF",
+]

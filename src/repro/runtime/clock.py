@@ -1,0 +1,100 @@
+"""The simulation's notion of time.
+
+The simulated process runs on *virtual time*, fully decoupled from host
+time. Two time bases exist, mirroring POSIX process clocks:
+
+* **wall time** (``CLOCK_MONOTONIC`` / ``time.perf_counter``): advances
+  whenever anything happens — CPU work, blocking IO, idle waits.
+* **process CPU time** (``time.process_time``): advances only while some
+  simulated thread is executing on the (single, GIL-guarded) CPU.
+
+Because the simulated interpreter holds a GIL, at most one thread consumes
+CPU at any instant, so process CPU time is the sum of per-thread CPU times
+(per-thread accounting is kept by the scheduler on each thread object).
+
+Observers may subscribe to time advancement; the
+:class:`~repro.runtime.signals.SignalManager` uses this to expire interval
+timers at exactly the right virtual instant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+AdvanceCallback = Callable[[float, float], None]
+"""Callback invoked as ``cb(wall_dt, cpu_dt)`` after every clock advance."""
+
+
+class VirtualClock:
+    """Monotonic virtual wall clock plus process CPU clock.
+
+    Invariants:
+
+    * both clocks are monotonically non-decreasing;
+    * CPU time never advances faster than wall time
+      (``cpu_dt <= wall_dt`` on every step).
+    """
+
+    __slots__ = ("_wall", "_cpu", "_observers")
+
+    def __init__(self) -> None:
+        self._wall = 0.0
+        self._cpu = 0.0
+        self._observers: List[AdvanceCallback] = []
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def wall(self) -> float:
+        """Current virtual wall time, seconds (``perf_counter`` analog)."""
+        return self._wall
+
+    @property
+    def cpu(self) -> float:
+        """Current process CPU time, seconds (``process_time`` analog)."""
+        return self._cpu
+
+    # -- observers ----------------------------------------------------------
+
+    def subscribe(self, callback: AdvanceCallback) -> None:
+        """Register ``callback(wall_dt, cpu_dt)`` to fire after advances."""
+        self._observers.append(callback)
+
+    def unsubscribe(self, callback: AdvanceCallback) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        try:
+            self._observers.remove(callback)
+        except ValueError:
+            pass
+
+    # -- advancing ----------------------------------------------------------
+
+    def advance_cpu(self, dt: float) -> None:
+        """A thread executed on-CPU for ``dt`` seconds.
+
+        Advances both wall and CPU clocks.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        if dt == 0.0:
+            return
+        self._wall += dt
+        self._cpu += dt
+        for cb in self._observers:
+            cb(dt, dt)
+
+    def advance_wall(self, dt: float) -> None:
+        """Wall time passed with no simulated CPU execution (IO wait, idle).
+
+        Advances the wall clock only.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        if dt == 0.0:
+            return
+        self._wall += dt
+        for cb in self._observers:
+            cb(dt, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(wall={self._wall:.6f}, cpu={self._cpu:.6f})"

@@ -1,0 +1,154 @@
+"""Exact per-line resource accounting (the experiments' oracle).
+
+When enabled on a :class:`~repro.runtime.process.SimProcess`, the VM and
+native context report every quantum of CPU time, every logical allocation
+and free, every memcpy, and every GPU kernel with its source-line
+attribution. Accuracy experiments (Figs. 5 and 6) compare profiler output
+against this record; the paper had to approximate it with high-resolution
+timers (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+LineKey = Tuple[str, int]  # (filename, lineno)
+
+
+@dataclass
+class LineTruth:
+    """Ground truth for one source line."""
+
+    python_time: float = 0.0
+    native_time: float = 0.0
+    system_time: float = 0.0
+    python_alloc_bytes: int = 0
+    python_free_bytes: int = 0
+    native_alloc_bytes: int = 0
+    native_free_bytes: int = 0
+    copy_bytes: int = 0
+    gpu_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.python_time + self.native_time + self.system_time
+
+    @property
+    def net_bytes(self) -> int:
+        return (
+            self.python_alloc_bytes
+            - self.python_free_bytes
+            + self.native_alloc_bytes
+            - self.native_free_bytes
+        )
+
+
+class GroundTruth:
+    """Collects exact per-line and per-function resource usage."""
+
+    def __init__(self) -> None:
+        self.lines: Dict[LineKey, LineTruth] = {}
+        self.functions: Dict[Tuple[str, str], float] = {}  # (file, func) -> seconds
+        self.profiler_overhead = 0.0
+        self.footprint_series: List[Tuple[float, int]] = []
+        self.peak_footprint = 0
+        self.total_python_time = 0.0
+        self.total_native_time = 0.0
+        self.total_system_time = 0.0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _line(self, key: LineKey) -> LineTruth:
+        truth = self.lines.get(key)
+        if truth is None:
+            truth = LineTruth()
+            self.lines[key] = truth
+        return truth
+
+    @staticmethod
+    def _location(thread) -> Optional[Tuple[str, int, str]]:
+        if thread is None or thread.frame is None:
+            return None
+        return thread.frame.location()
+
+    # -- recording (called by the VM / native context) ---------------------------
+
+    def record_python_time(self, thread, seconds: float) -> None:
+        loc = self._location(thread)
+        self.total_python_time += seconds
+        if loc is None:
+            return
+        filename, lineno, func = loc
+        self._line((filename, lineno)).python_time += seconds
+        self.functions[(filename, func)] = self.functions.get((filename, func), 0.0) + seconds
+
+    def record_native_time(self, thread, seconds: float) -> None:
+        loc = self._location(thread)
+        self.total_native_time += seconds
+        if loc is None:
+            return
+        filename, lineno, func = loc
+        self._line((filename, lineno)).native_time += seconds
+        self.functions[(filename, func)] = self.functions.get((filename, func), 0.0) + seconds
+
+    def record_system_time(self, thread, seconds: float, location=None) -> None:
+        loc = location if location is not None else self._location(thread)
+        self.total_system_time += seconds
+        if loc is None:
+            return
+        filename, lineno, _func = loc
+        self._line((filename, lineno)).system_time += seconds
+
+    def record_alloc(self, thread, nbytes: int, domain: str) -> None:
+        loc = self._location(thread)
+        if loc is None:
+            return
+        truth = self._line(loc[:2])
+        if domain == "python":
+            truth.python_alloc_bytes += nbytes
+        else:
+            truth.native_alloc_bytes += nbytes
+
+    def record_free(self, thread, nbytes: int, domain: str) -> None:
+        loc = self._location(thread)
+        if loc is None:
+            return
+        truth = self._line(loc[:2])
+        if domain == "python":
+            truth.python_free_bytes += nbytes
+        else:
+            truth.native_free_bytes += nbytes
+
+    def record_memcpy(self, thread, nbytes: int) -> None:
+        loc = self._location(thread)
+        if loc is None:
+            return
+        self._line(loc[:2]).copy_bytes += nbytes
+
+    def record_gpu_time(self, thread, seconds: float) -> None:
+        loc = self._location(thread)
+        if loc is None:
+            return
+        self._line(loc[:2]).gpu_time += seconds
+
+    def record_overhead(self, seconds: float) -> None:
+        self.profiler_overhead += seconds
+
+    def record_footprint(self, wall: float, footprint: int) -> None:
+        self.footprint_series.append((wall, footprint))
+        if footprint > self.peak_footprint:
+            self.peak_footprint = footprint
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def total_time(self) -> float:
+        return self.total_python_time + self.total_native_time + self.total_system_time
+
+    def function_time(self, func: str, filename: Optional[str] = None) -> float:
+        total = 0.0
+        for (file, name), seconds in self.functions.items():
+            if name == func and (filename is None or file == filename):
+                total += seconds
+        return total

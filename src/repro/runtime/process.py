@@ -1,0 +1,183 @@
+"""The simulated process: composition root of the whole substrate.
+
+A :class:`SimProcess` bundles the virtual clock, signal manager, memory
+subsystem, GPU device, tracer, threading services, and the VM, and runs a
+compiled workload to completion. Profilers attach to a process *before*
+``run()`` through exactly the hook surface their real counterparts use:
+
+* ``process.signals`` — ``signal.setitimer`` / handlers (sampling profilers)
+* ``process.trace`` — ``sys.settrace`` (deterministic profilers)
+* ``process.mem.hooks`` — ``PyMem_SetAllocator`` (Python allocations)
+* ``process.mem.shim`` — LD_PRELOAD malloc/free/memcpy interposition
+* ``process.threading`` — monkey-patchable blocking calls, ``enumerate()``
+* ``process.current_frames()`` — ``sys._current_frames()``
+* ``process.nvml`` — GPU utilization/memory queries
+* ``process.rss()`` — ``/proc/self/status`` VmRSS (RSS-proxy profilers)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import VMError
+from repro.gpu.device import GpuDevice, NvmlQuery
+from repro.interp.astcompile import compile_source
+from repro.interp.code import CodeObject, SimFunction
+from repro.interp.disassembler import build_call_opcode_map
+from repro.interp.vm import VM, VMConfig
+from repro.interp.objects import decref
+from repro.runtime.clock import VirtualClock
+from repro.runtime.ground_truth import GroundTruth
+from repro.runtime.memsys import MemSubsystem
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.signals import SignalManager
+from repro.runtime.threads import RUNNABLE, SimThread, SimThreading
+from repro.runtime.tracing import TraceManager
+from repro.units import DEFAULT_SWITCH_INTERVAL
+
+
+class SimProcess:
+    """One simulated Python process executing one workload."""
+
+    def __init__(
+        self,
+        source: Optional[str] = None,
+        *,
+        filename: str = "<workload>",
+        vm_config: Optional[VMConfig] = None,
+        collect_ground_truth: bool = False,
+        switch_interval: float = DEFAULT_SWITCH_INTERVAL,
+        gpu: Optional[GpuDevice] = None,
+        base_rss_bytes: int = 24 * 1024 * 1024,
+        pid: int = 4242,
+    ) -> None:
+        self.pid = pid
+        self.clock = VirtualClock()
+        self.signals = SignalManager(self.clock)
+        self.ground_truth: Optional[GroundTruth] = GroundTruth() if collect_ground_truth else None
+        self.mem = MemSubsystem(self.clock, ground_truth=self.ground_truth, base_rss_bytes=base_rss_bytes)
+        self.gpu = gpu or GpuDevice()
+        self.nvml = NvmlQuery(self.gpu)
+        self.trace = TraceManager(self)
+        self.threading = SimThreading(self)
+        self.vm = VM(self, vm_config)
+        self.scheduler = Scheduler(self, switch_interval)
+        self.filename = filename
+        #: Files whose lines profilers attribute to (the "profiled code").
+        self.profiled_filenames = {filename}
+        self.globals: Dict[str, Any] = {}
+        self.builtins: Dict[str, Any] = {}
+        self.stdout: list = []
+        self.main_thread = SimThread("MainThread", is_main=True)
+        self.threading.register(self.main_thread)
+        self.source: Optional[str] = None
+        self.code: Optional[CodeObject] = None
+        #: Callables run when the program exits, *before* interpreter
+        #: teardown (the ``atexit`` analog profilers detach through).
+        self.atexit_hooks: list = []
+        #: Observers invoked with each child SimProcess the program forks
+        #: (before the child runs). Profilers with multiprocessing support
+        #: attach to children through this hook.
+        self.child_observers: list = []
+        #: Children forked by this process (for inspection).
+        self.children: list = []
+        #: False inside an mp child (the ``__name__ == "__main__"`` analog;
+        #: exposed to workloads as the ``is_main()`` builtin).
+        self.is_main_process = True
+        #: The attached profiler exposing pause()/resume(), if any — the
+        #: target of the ``profile_start()``/``profile_stop()`` builtins.
+        self.profiler_control = None
+        self.call_opcode_map: Dict[int, frozenset] = {}
+        self._ran = False
+        # Populate builtins (import here to avoid a cycle at module level).
+        from repro.interp.builtins import install_builtins
+
+        install_builtins(self)
+        if source is not None:
+            self.load(source)
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self, source: str) -> None:
+        """Compile ``source`` and prepare the main thread to run it."""
+        self.source = source
+        self.code = compile_source(source, self.filename)
+        self.call_opcode_map = build_call_opcode_map(self.code)
+        frame = self.vm.make_module_frame(self.code, self.globals, self.main_thread)
+        self.main_thread.frame = frame
+        self.main_thread.state = RUNNABLE
+
+    def install_library(self, name: str, library: Any) -> None:
+        """Expose a native library object as a global (an ``import`` analog)."""
+        self.globals[name] = library
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, max_wall: Optional[float] = None) -> None:
+        """Run every thread to completion."""
+        if self.code is None:
+            raise VMError("no workload loaded; call load() first")
+        if self._ran:
+            raise VMError("a SimProcess can only run once; create a fresh one")
+        self._ran = True
+        try:
+            self.scheduler.run(max_wall=max_wall)
+        finally:
+            for hook in self.atexit_hooks:
+                hook()
+            self._finalize()
+
+    def _finalize(self) -> None:
+        # Interpreter shutdown: module globals are torn down, releasing any
+        # retained containers (their frees are visible to profilers).
+        for value in list(self.globals.values()):
+            decref(value)
+        self.globals.clear()
+        for thread in self.threading.threads:
+            self.vm.flush_churn(thread)
+
+    # -- thread support (called by SimThreading.spawn) ---------------------------
+
+    def start_thread(self, thread: SimThread, fn: SimFunction, args: tuple) -> None:
+        self.threading.register(thread)
+        thread.frame = self.vm.make_frame(fn, args, thread, back=None)
+        thread.state = RUNNABLE
+        thread.started_at = self.clock.wall
+
+    # -- profiler-facing conveniences ---------------------------
+
+    def current_frames(self):
+        """``sys._current_frames()`` analog."""
+        return self.threading.current_frames()
+
+    def charge_overhead(self, thread, seconds: float) -> None:
+        """Charge profiler-hook CPU time to the running thread.
+
+        Advances the virtual clocks (so timers keep firing on schedule,
+        exactly as real profiler overhead perturbs timing) and books the
+        time in the ground truth's overhead bucket rather than to any
+        program line.
+        """
+        if seconds <= 0:
+            return
+        self.clock.advance_cpu(seconds)
+        if thread is not None:
+            thread.cpu_time += seconds
+        if self.ground_truth is not None:
+            self.ground_truth.record_overhead(seconds)
+
+    def rss(self) -> int:
+        """Resident set size in bytes (``/proc/self/status`` analog)."""
+        return self.mem.rss()
+
+    def cpu_time(self) -> float:
+        """``time.process_time()`` analog."""
+        return self.clock.cpu
+
+    def wall_time(self) -> float:
+        """``time.perf_counter()`` analog."""
+        return self.clock.wall
+
+    def getswitchinterval(self) -> float:
+        """``sys.getswitchinterval()`` analog."""
+        return self.scheduler.switch_interval

@@ -1,0 +1,127 @@
+"""The GIL scheduler.
+
+Exactly one simulated thread executes at a time. The scheduler round-robins
+runnable threads with a configurable switch interval (CPython's
+``sys.getswitchinterval()``, default 5 ms), wakes blocked threads when
+their deadlines pass or wait conditions become true, advances wall time
+across idle gaps (all threads blocked in IO), and wakes an *interruptibly*
+blocked main thread early when a signal is pending — mirroring EINTR
+semantics for ``time.sleep`` while leaving ``join``/``acquire`` waits
+signal-starved (the behaviour Scalene's monkey patches fix, §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SchedulerError
+from repro.interp import vm as vm_mod
+from repro.runtime import threads as th
+
+
+class Scheduler:
+    """Drives the VM over the process's threads until all finish."""
+
+    def __init__(self, process, switch_interval: float = 0.005) -> None:
+        self.process = process
+        self.switch_interval = switch_interval
+        self._rr_cursor = 0
+        #: Number of context switches performed (diagnostics).
+        self.switch_count = 0
+
+    # -- wake handling ----------------------------------------------------------
+
+    def _wake_ready(self) -> None:
+        process = self.process
+        now = process.clock.wall
+        signals_pending = process.signals.has_pending
+        for thread in process.threading.threads:
+            if thread.state != th.WAITING or thread.block is None:
+                continue
+            block = thread.block
+            if block.wake_check is not None and block.wake_check():
+                thread.state = th.RUNNABLE
+            elif block.deadline is not None and now >= block.deadline - 1e-12:
+                thread.state = th.RUNNABLE
+            elif signals_pending and block.interruptible and thread.is_main:
+                thread.state = th.RUNNABLE
+
+    def _earliest_deadline(self) -> Optional[float]:
+        deadlines = [
+            t.block.deadline
+            for t in self.process.threading.threads
+            if t.state == th.WAITING and t.block is not None and t.block.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _runnable(self) -> List:
+        return [t for t in self.process.threading.threads if t.state == th.RUNNABLE]
+
+    def _pick(self, runnable: List):
+        # Round-robin over thread identities for fairness.
+        runnable.sort(key=lambda t: t.ident)
+        for thread in runnable:
+            if thread.ident > self._rr_cursor:
+                self._rr_cursor = thread.ident
+                return thread
+        self._rr_cursor = runnable[0].ident
+        return runnable[0]
+
+    # -- the main loop ----------------------------------------------------------
+
+    def run(self, max_wall: Optional[float] = None) -> None:
+        """Run all threads to completion (or until ``max_wall``)."""
+        process = self.process
+        vm = process.vm
+        while True:
+            self._wake_ready()
+            runnable = self._runnable()
+            if not runnable:
+                waiting = [
+                    t for t in process.threading.threads if t.state == th.WAITING
+                ]
+                if not waiting:
+                    return  # all threads finished
+                earliest = self._earliest_deadline()
+                if earliest is None:
+                    raise SchedulerError(
+                        "deadlock: all threads waiting on conditions with no deadline"
+                    )
+                # If the main thread sleeps interruptibly, wall-clock timer
+                # expirations must wake it (EINTR) — don't leap past them.
+                main = process.main_thread
+                if (
+                    main.state == th.WAITING
+                    and main.block is not None
+                    and main.block.interruptible
+                ):
+                    timer_deadline = process.signals.next_wall_deadline()
+                    if timer_deadline is not None and timer_deadline < earliest:
+                        earliest = max(timer_deadline, process.clock.wall)
+                gap = earliest - process.clock.wall
+                if gap > 0:
+                    process.clock.advance_wall(gap)
+                # Signals may have become pending from a REAL timer during
+                # the idle gap; the wake pass at loop top handles them.
+                continue
+
+            if max_wall is not None and process.clock.wall >= max_wall:
+                raise SchedulerError(
+                    f"run exceeded max_wall={max_wall}s (virtual); possible runaway workload"
+                )
+
+            thread = self._pick(runnable)
+            self.switch_count += 1
+            deadline = process.clock.wall + self.switch_interval
+            earliest = self._earliest_deadline()
+            if earliest is not None and earliest < deadline:
+                deadline = max(earliest, process.clock.wall)
+            status = vm.run_slice(thread, deadline)
+            if status == vm_mod.FINISHED:
+                thread.state = th.FINISHED
+                thread.finished_at = process.clock.wall
+                vm.flush_churn(thread)
+            elif status == vm_mod.BLOCKED:
+                thread.state = th.WAITING
+            else:  # preempted
+                thread.state = th.RUNNABLE

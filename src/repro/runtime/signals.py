@@ -1,0 +1,189 @@
+"""POSIX-like interval timers and signal delivery for the simulated process.
+
+This module reproduces the three properties of CPython signal handling that
+Scalene's CPU profiler exploits (paper §2):
+
+1. **Main-thread-only delivery.** Pending signals are only delivered when
+   the *main* simulated thread is executing in the interpreter loop.
+2. **Deferred delivery.** The interpreter checks for pending signals only at
+   bytecode boundaries. While a native call runs, signals stay pending; the
+   handler observes them *late*, and the delay is measurable on the process
+   CPU clock. This is the signal-delay insight of §2.1.
+3. **Pending collapse.** Multiple expirations of the same timer while
+   deferred collapse into a single pending signal, exactly as a POSIX signal
+   (non-realtime) would.
+
+Timers come in the three POSIX flavours: ``ITIMER_REAL`` ticks on wall time
+and raises ``SIGALRM``; ``ITIMER_VIRTUAL`` ticks on process CPU time and
+raises ``SIGVTALRM``; ``ITIMER_PROF`` ticks on CPU+system time and raises
+``SIGPROF`` (in this simulation system time is not separately modelled at
+the timer level, so PROF ticks on CPU time like VIRTUAL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import SignalError
+
+# Signal numbers mirror Linux for familiarity.
+SIGALRM = 14
+SIGPROF = 27
+SIGVTALRM = 26
+
+
+class Timers:
+    """Names for the itimer kinds (mirrors the ``signal`` module)."""
+
+    ITIMER_REAL = "real"
+    ITIMER_VIRTUAL = "virtual"
+    ITIMER_PROF = "prof"
+
+
+_TIMER_SIGNAL = {
+    Timers.ITIMER_REAL: SIGALRM,
+    Timers.ITIMER_VIRTUAL: SIGVTALRM,
+    Timers.ITIMER_PROF: SIGPROF,
+}
+
+SignalHandler = Callable[[int], None]
+"""Handlers receive the signal number; they inspect the process directly."""
+
+
+@dataclass
+class _IntervalTimer:
+    kind: str
+    interval: float
+    deadline: float  # in the timer's own time base
+    fired_at_wall: float = 0.0  # wall time of most recent expiry
+
+
+class SignalManager:
+    """Tracks interval timers, pending signals, and handler dispatch.
+
+    The manager subscribes to the process clock; the interpreter calls
+    :meth:`deliver_pending` at bytecode boundaries of the main thread.
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._timers: Dict[str, _IntervalTimer] = {}
+        self._pending: Dict[int, float] = {}  # signum -> wall time first raised
+        self._handlers: Dict[int, SignalHandler] = {}
+        #: Number of timer expirations that collapsed into an already
+        #: pending signal (useful for diagnostics and tests).
+        self.collapsed_count = 0
+        #: Total signals delivered to handlers.
+        self.delivered_count = 0
+        clock.subscribe(self._on_advance)
+
+    # -- configuration -------------------------------------------------------
+
+    def setitimer(self, kind: str, interval: float) -> None:
+        """Arm (or with ``interval == 0`` disarm) a repeating interval timer.
+
+        Mirrors ``signal.setitimer(which, seconds, interval)`` with
+        ``seconds == interval`` (the common profiling configuration).
+        """
+        if kind not in _TIMER_SIGNAL:
+            raise SignalError(f"unknown itimer kind: {kind!r}")
+        if interval < 0:
+            raise SignalError(f"negative timer interval: {interval}")
+        if interval == 0:
+            self._timers.pop(kind, None)
+            return
+        base = self._time_base(kind)
+        self._timers[kind] = _IntervalTimer(kind, interval, base + interval)
+
+    def getitimer(self, kind: str) -> float:
+        """Return the armed interval for ``kind`` (0.0 when disarmed)."""
+        timer = self._timers.get(kind)
+        return timer.interval if timer else 0.0
+
+    def set_handler(self, signum: int, handler: Optional[SignalHandler]) -> None:
+        """Install or (with ``None``) remove a handler for ``signum``."""
+        if handler is None:
+            self._handlers.pop(signum, None)
+        else:
+            self._handlers[signum] = handler
+
+    def get_handler(self, signum: int) -> Optional[SignalHandler]:
+        return self._handlers.get(signum)
+
+    def raise_signal(self, signum: int) -> None:
+        """Mark ``signum`` pending (as ``os.kill(pid, signum)`` would)."""
+        if signum in self._pending:
+            self.collapsed_count += 1
+        else:
+            self._pending[signum] = self._clock.wall
+
+    # -- clock integration ---------------------------------------------------
+
+    def _time_base(self, kind: str) -> float:
+        if kind == Timers.ITIMER_REAL:
+            return self._clock.wall
+        return self._clock.cpu
+
+    def _on_advance(self, wall_dt: float, cpu_dt: float) -> None:
+        for timer in self._timers.values():
+            base = self._time_base(timer.kind)
+            # Catch up over any number of missed intervals; all expirations
+            # collapse into one pending signal.
+            fired = False
+            while base >= timer.deadline:
+                timer.deadline += timer.interval
+                if fired:
+                    self.collapsed_count += 1
+                fired = True
+            if fired:
+                timer.fired_at_wall = self._clock.wall
+                self.raise_signal(_TIMER_SIGNAL[timer.kind])
+
+    def next_wall_deadline(self) -> Optional[float]:
+        """Wall time of the next ITIMER_REAL expiry (None when disarmed).
+
+        The scheduler uses this to avoid leaping over timer expirations
+        when every thread is blocked: a sleeping main thread must still be
+        woken at each wall-timer tick (EINTR semantics).
+        """
+        deadlines = [
+            t.deadline for t in self._timers.values() if t.kind == Timers.ITIMER_REAL
+        ]
+        return min(deadlines) if deadlines else None
+
+    # -- delivery -------------------------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        """Whether any signal awaits delivery."""
+        return bool(self._pending)
+
+    def deliver_pending(self, thread) -> int:
+        """Deliver all pending signals to their handlers.
+
+        Called by the interpreter at a bytecode boundary of the **main**
+        thread only; delivering from a subthread is a semantics violation
+        and raises. Returns the number of handlers invoked.
+        """
+        if not self._pending:
+            return 0
+        if thread is not None and not thread.is_main:
+            raise SignalError("signals may only be delivered to the main thread")
+        delivered = 0
+        # Snapshot: handlers may cause new signals to become pending; those
+        # wait for the next boundary, as in a real kernel.
+        pending = sorted(self._pending)
+        for signum in pending:
+            self._pending.pop(signum, None)
+            handler = self._handlers.get(signum)
+            if handler is not None:
+                handler(signum)
+                delivered += 1
+                self.delivered_count += 1
+        return delivered
+
+    def clear(self) -> None:
+        """Drop all pending signals and disarm all timers."""
+        self._pending.clear()
+        self._timers.clear()

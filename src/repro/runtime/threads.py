@@ -1,0 +1,191 @@
+"""Simulated threads, locks, and the monkey-patchable threading surface.
+
+CPython facts reproduced here (paper §2, §2.2):
+
+* Only the **main** thread receives signals.
+* A main thread blocked in ``Thread.join`` or ``Lock.acquire`` (no
+  timeout) does not re-enter the interpreter loop, so pending signals are
+  not delivered until it wakes — the starvation Scalene fixes by
+  *monkey patching* the blocking calls to use timeouts.
+* ``threading.enumerate()`` and ``sys._current_frames()`` expose every
+  thread and its current Python frame; Scalene's subthread attribution is
+  built on them.
+
+The patch points live on :class:`SimThreading` (``join_impl``,
+``acquire_impl``, ``sleep_impl``): replacing these attributes is the
+simulation's analog of redefining ``threading.Thread.join`` at runtime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SchedulerError, VMError
+from repro.interp.code import Frame, SimFunction
+from repro.interp.objects import BlockRequest
+
+NEW = "new"
+RUNNABLE = "runnable"
+WAITING = "waiting"
+FINISHED = "finished"
+
+#: Sentinel distinguishing "no pending result" from a pending None result.
+NO_RESULT = object()
+
+
+class SimThread:
+    """One simulated OS thread running simulated Python code."""
+
+    _next_ident = 1
+
+    def __init__(self, name: str, *, is_main: bool = False) -> None:
+        self.ident = SimThread._next_ident
+        SimThread._next_ident += 1
+        self.name = name
+        self.is_main = is_main
+        self.state = NEW
+        self.frame: Optional[Frame] = None
+        self.cpu_time = 0.0
+        self.block: Optional[BlockRequest] = None
+        #: Source location of the call that blocked (for system-time GT).
+        self.block_location = None
+        #: Value to push on the frame stack when resuming from a block.
+        self.pending_result: Any = NO_RESULT
+        self.result: Any = None
+        #: FIFO of small-object churn allocations owned by this thread.
+        self.churn: deque = deque()
+        self.started_at = 0.0
+        self.finished_at = 0.0
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state not in (FINISHED,)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimThread {self.name!r} ident={self.ident} {self.state}>"
+
+
+class SimLock:
+    """A simulated ``threading.Lock``."""
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self.owner: Optional[SimThread] = None
+
+    @property
+    def locked(self) -> bool:
+        return self.owner is not None
+
+    def try_acquire(self, thread: SimThread) -> bool:
+        if self.owner is None:
+            self.owner = thread
+            return True
+        return False
+
+    def release(self, thread: SimThread) -> None:
+        if self.owner is not thread:
+            raise VMError(f"release of {self.name} by non-owner thread {thread.name}")
+        self.owner = None
+
+    def sim_getattr(self, name: str):
+        # Lock methods are provided natively by the builtins module, which
+        # routes through the patchable SimThreading implementations.
+        raise VMError(
+            "use lock_acquire(lock)/lock_release(lock) builtins in workloads"
+        )
+
+
+class SimThreading:
+    """The process's threading services, with Scalene's patch points.
+
+    The three ``*_impl`` attributes are *monkey-patchable*: profilers may
+    replace them with wrappers (and must restore them afterwards). Each
+    impl returns ``None`` for "completed immediately" or a
+    :class:`BlockRequest` to suspend the calling thread.
+    """
+
+    def __init__(self, process) -> None:
+        self._process = process
+        self.threads: List[SimThread] = []
+        self.join_impl: Callable = self.default_join_impl
+        self.acquire_impl: Callable = self.default_acquire_impl
+        self.sleep_impl: Callable = self.default_sleep_impl
+
+    # -- thread management ---------------------------------------------------
+
+    def register(self, thread: SimThread) -> None:
+        self.threads.append(thread)
+
+    def spawn(self, fn: SimFunction, args: tuple, thread_name: str = "") -> SimThread:
+        """Create and start a thread running ``fn(*args)``."""
+        if not isinstance(fn, SimFunction):
+            raise VMError("spawn() requires a simulated Python function")
+        name = thread_name or f"Thread-{len(self.threads)}"
+        thread = SimThread(name)
+        self._process.start_thread(thread, fn, args)
+        return thread
+
+    def enumerate(self) -> List[SimThread]:
+        """All live threads (``threading.enumerate()`` analog)."""
+        return [t for t in self.threads if t.is_alive]
+
+    def current_frames(self) -> Dict[int, Frame]:
+        """``sys._current_frames()`` analog."""
+        return {t.ident: t.frame for t in self.threads if t.is_alive and t.frame is not None}
+
+    # -- default (unpatched) blocking implementations --------------------------
+
+    def default_join_impl(self, ctx, target: SimThread, timeout: Optional[float] = None):
+        """Block until ``target`` finishes. Without a timeout the wait is
+        **not interruptible** — the signal-starvation behaviour of CPython's
+        ``join`` that Scalene works around."""
+        if target is ctx.thread:
+            raise SchedulerError("a thread cannot join itself")
+        if target.state == FINISHED:
+            return None
+        deadline = None
+        if timeout is not None:
+            deadline = ctx.process.clock.wall + timeout
+        return BlockRequest(
+            deadline=deadline,
+            wake_check=lambda: target.state == FINISHED,
+            interruptible=False,
+        )
+
+    def default_acquire_impl(self, ctx, lock: SimLock, timeout: Optional[float] = None):
+        """Acquire ``lock``, blocking (uninterruptibly) until available."""
+        thread = ctx.thread
+        if lock.try_acquire(thread):
+            return None
+
+        def on_wake():
+            if lock.try_acquire(thread):
+                return None  # acquired; push None as the call result
+            if timeout is not None and ctx.process.clock.wall >= wake_deadline:
+                return None  # timed out (workloads treat acquire as void)
+            return BlockRequest(
+                deadline=wake_deadline,
+                wake_check=lambda: not lock.locked,
+                on_wake=on_wake,
+                interruptible=False,
+            )
+
+        wake_deadline = None
+        if timeout is not None:
+            wake_deadline = ctx.process.clock.wall + timeout
+        return BlockRequest(
+            deadline=wake_deadline,
+            wake_check=lambda: not lock.locked,
+            on_wake=on_wake,
+            interruptible=False,
+        )
+
+    def default_sleep_impl(self, ctx, seconds: float):
+        """``time.sleep`` analog — interruptible by signals, as in CPython."""
+        if seconds <= 0:
+            return None
+        return BlockRequest(
+            deadline=ctx.process.clock.wall + seconds,
+            interruptible=True,
+        )

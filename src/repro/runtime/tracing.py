@@ -1,0 +1,82 @@
+"""The ``sys.settrace`` / ``PyEval_SetTrace`` analog.
+
+Deterministic profilers (cProfile, profile, line_profiler, pprofile,
+memory_profiler) are built on tracing callbacks. Tracing has a *probe
+effect*: every callback invocation costs CPU time inside the profiled
+process. The paper shows (§6.2) that this effect is biased — call events
+fire on function entry/exit, so function-call-heavy code is dilated more
+than inlined code ("function bias").
+
+A trace function declares its per-event costs; the manager charges them to
+the traced thread's virtual CPU time before invoking the callback. Setting
+all costs to zero gives an idealized, physically impossible profiler —
+useful for separating mechanism bias from overhead in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+EVENT_CALL = "call"
+EVENT_LINE = "line"
+EVENT_RETURN = "return"
+EVENT_C_CALL = "c_call"
+EVENT_C_RETURN = "c_return"
+
+
+class TraceFunction(Protocol):
+    """Interface for trace callbacks (see module docstring for costs)."""
+
+    #: Virtual CPU seconds charged per event of each kind.
+    cost_call: float
+    cost_line: float
+    cost_return: float
+    cost_c_call: float
+    cost_c_return: float
+
+    def __call__(self, frame, event: str, arg: Any) -> None:  # pragma: no cover
+        ...
+
+
+class TraceManager:
+    """Dispatches interpreter events to the installed trace function."""
+
+    def __init__(self, process) -> None:
+        self._process = process
+        self._trace_fn: Optional[TraceFunction] = None
+        #: Events dispatched (for tests and diagnostics).
+        self.events_fired = 0
+
+    # -- sys.settrace ----------------------------------------------------------
+
+    def settrace(self, trace_fn: Optional[TraceFunction]) -> None:
+        self._trace_fn = trace_fn
+
+    def gettrace(self) -> Optional[TraceFunction]:
+        return self._trace_fn
+
+    @property
+    def active(self) -> bool:
+        return self._trace_fn is not None
+
+    # -- event dispatch ----------------------------------------------------------
+
+    def fire(self, thread, frame, event: str, arg: Any = None) -> None:
+        """Charge the probe cost and invoke the trace callback."""
+        fn = self._trace_fn
+        if fn is None:
+            return
+        cost = _COST_ATTR[event](fn)
+        if cost:
+            self._process.charge_overhead(thread, cost)
+        self.events_fired += 1
+        fn(frame, event, arg)
+
+
+_COST_ATTR = {
+    EVENT_CALL: lambda fn: fn.cost_call,
+    EVENT_LINE: lambda fn: fn.cost_line,
+    EVENT_RETURN: lambda fn: fn.cost_return,
+    EVENT_C_CALL: lambda fn: fn.cost_c_call,
+    EVENT_C_RETURN: lambda fn: fn.cost_c_return,
+}

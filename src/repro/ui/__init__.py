@@ -1,0 +1,13 @@
+"""Output backends for Scalene profiles (paper §5).
+
+* :mod:`repro.ui.json_output` — the JSON profile payload.
+* :mod:`repro.ui.html_output` — a single self-contained HTML page with
+  the JSON embedded (avoiding CORS, trivially shareable — §5).
+* Rich-text CLI rendering lives on
+  :meth:`repro.core.profile_data.ProfileData.render_text`.
+"""
+
+from repro.ui.json_output import write_json
+from repro.ui.html_output import render_html, write_html
+
+__all__ = ["write_json", "render_html", "write_html"]

@@ -1,0 +1,145 @@
+"""Self-contained HTML profile output (paper §5).
+
+The real Scalene ships a JavaScript/Vega-Lite UI; "to avoid CORS issues,
+SCALENE produces a single HTML payload that includes the actual JSON-based
+profile", which also makes profiles trivial to upload, share, or archive.
+This backend reproduces that design: one HTML file, the profile JSON
+embedded in a ``<script type="application/json">`` block, and a small
+dependency-free renderer that draws the per-line table and a memory
+timeline as inline SVG.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.core.profile_data import ProfileData
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>Scalene profile — {title}</title>
+<style>
+  body {{ font-family: -apple-system, "Segoe UI", sans-serif; margin: 2rem; }}
+  h1 {{ font-size: 1.2rem; }}
+  table {{ border-collapse: collapse; font-size: 0.85rem; }}
+  th, td {{ padding: 2px 8px; text-align: right; }}
+  td.src {{ text-align: left; font-family: monospace; white-space: pre; }}
+  .bar {{ display: inline-block; height: 10px; }}
+  .py  {{ background: #4878cf; }}
+  .nat {{ background: #9ecae9; }}
+  .sys {{ background: #c9d6e8; }}
+  .mem {{ background: #6acc65; }}
+  .cp  {{ background: #e8c24a; }}
+  .gpu {{ background: #d65f5f; }}
+  .leak {{ color: #b30000; font-weight: bold; }}
+</style>
+</head>
+<body>
+<h1>Scalene profile [{mode}] — {title}</h1>
+<p>elapsed {elapsed:.2f}s · peak memory {peak:.1f} MB ·
+copy volume {copy:.1f} MB · GPU {gpu:.0f}%</p>
+<h2>Memory timeline</h2>
+{timeline_svg}
+<h2>Line profile</h2>
+<table>
+<tr><th>line</th><th>time</th><th>py%</th><th>nat%</th><th>sys%</th>
+<th>avg MB</th><th>peak MB</th><th>copy MB/s</th><th>gpu%</th>
+<th class="src">source</th></tr>
+{rows}
+</table>
+{leaks}
+<script type="application/json" id="scalene-profile">
+{payload}
+</script>
+</body>
+</html>
+"""
+
+
+def _timeline_svg(points: List[Tuple[float, float]], width: int = 640, height: int = 120) -> str:
+    if len(points) < 2:
+        return "<p>(no memory timeline)</p>"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y1 = max(ys) or 1.0
+    span_x = (x1 - x0) or 1.0
+
+    def sx(x: float) -> float:
+        return (x - x0) / span_x * (width - 10) + 5
+
+    def sy(y: float) -> float:
+        return height - 5 - y / y1 * (height - 20)
+
+    path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{path}" fill="none" stroke="#4878cf" stroke-width="1.5"/>'
+        f'<text x="5" y="12" font-size="10">{y1:.1f} MB</text>'
+        "</svg>"
+    )
+
+
+def _cpu_bar(line) -> str:
+    total = line.cpu_total_percent
+    if total <= 0:
+        return ""
+    parts = []
+    for cls, pct in (
+        ("py", line.cpu_python_percent),
+        ("nat", line.cpu_native_percent),
+        ("sys", line.cpu_system_percent),
+    ):
+        if pct > 0:
+            parts.append(f'<span class="bar {cls}" style="width:{pct * 2:.0f}px"></span>')
+    return "".join(parts)
+
+
+def render_html(profile: ProfileData, title: str = "profile") -> str:
+    """Render the profile as one self-contained HTML page."""
+    rows = []
+    for line in profile.lines:
+        rows.append(
+            "<tr>"
+            f"<td>{line.lineno}</td>"
+            f"<td>{_cpu_bar(line)}</td>"
+            f"<td>{line.cpu_python_percent:.1f}</td>"
+            f"<td>{line.cpu_native_percent:.1f}</td>"
+            f"<td>{line.cpu_system_percent:.1f}</td>"
+            f"<td>{line.mem_avg_mb:.1f}</td>"
+            f"<td>{line.mem_peak_mb:.1f}</td>"
+            f"<td>{line.copy_mb_s:.2f}</td>"
+            f"<td>{100 * line.gpu_percent:.0f}</td>"
+            f'<td class="src">{html.escape(line.source)}</td>'
+            "</tr>"
+        )
+    leaks = ""
+    if profile.leaks:
+        items = "".join(
+            f'<li class="leak">{html.escape(str(leak))}</li>' for leak in profile.leaks
+        )
+        leaks = f"<h2>Possible leaks</h2><ul>{items}</ul>"
+    return _PAGE.format(
+        title=html.escape(title),
+        mode=profile.mode,
+        elapsed=profile.elapsed,
+        peak=profile.peak_footprint_mb,
+        copy=profile.total_copy_mb,
+        gpu=100 * profile.gpu_mean_utilization,
+        timeline_svg=_timeline_svg(profile.memory_timeline),
+        rows="\n".join(rows),
+        leaks=leaks,
+        payload=json.dumps(profile.to_dict()),
+    )
+
+
+def write_html(profile: ProfileData, path: Union[str, Path], title: str = "profile") -> Path:
+    """Write the HTML payload to ``path``; returns the path written."""
+    path = Path(path)
+    path.write_text(render_html(profile, title), encoding="utf-8")
+    return path

@@ -1,0 +1,19 @@
+"""JSON profile output.
+
+Scalene emits its profile as JSON both standalone and embedded in the
+HTML payload; downstream tooling (CI dashboards, diffing) consumes it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.core.profile_data import ProfileData
+
+
+def write_json(profile: ProfileData, path: Union[str, Path], indent: int = 2) -> Path:
+    """Write the profile JSON to ``path``; returns the path written."""
+    path = Path(path)
+    path.write_text(profile.to_json(indent=indent) + "\n", encoding="utf-8")
+    return path

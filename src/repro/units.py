@@ -1,0 +1,78 @@
+"""Time and size units used throughout the simulation.
+
+The simulated runtime measures time in *virtual seconds* (floats) and memory
+in bytes (ints). These helpers keep magic numbers out of the rest of the
+code and provide human-readable formatting for reports.
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+
+# -- sizes -----------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Size of a simulated OS page. Matches the common 4 KiB page used by the
+#: paper's experimental platform; RSS is counted in units of this.
+PAGE_SIZE = 4 * KiB
+
+#: Scalene's memory sampling threshold: "a prime number slightly above
+#: 10MB" (§3.2). This is the same value the open-source release uses.
+SCALENE_THRESHOLD = 10_485_767
+
+#: Default CPU sampling interval (the quantum ``q`` of §2.1), seconds.
+SCALENE_CPU_INTERVAL = 0.01
+
+#: CPython's default thread switch interval (``sys.getswitchinterval()``).
+DEFAULT_SWITCH_INTERVAL = 0.005
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count in a compact human-readable form.
+
+    >>> format_bytes(532)
+    '532B'
+    >>> format_bytes(10 * MiB)
+    '10.0MB'
+    """
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    if n < KiB:
+        return f"{sign}{int(n)}B"
+    if n < MiB:
+        return f"{sign}{n / KiB:.1f}KB"
+    if n < GiB:
+        return f"{sign}{n / MiB:.1f}MB"
+    return f"{sign}{n / GiB:.2f}GB"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_seconds(0.000002)
+    '2.0us'
+    >>> format_seconds(12.5)
+    '12.50s'
+    """
+    if t < MICROSECOND:
+        return f"{t / NANOSECOND:.0f}ns"
+    if t < MILLISECOND:
+        return f"{t / MICROSECOND:.1f}us"
+    if t < SECOND:
+        return f"{t / MILLISECOND:.1f}ms"
+    return f"{t:.2f}s"
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of whole pages needed to hold ``nbytes``."""
+    if nbytes <= 0:
+        return 0
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE

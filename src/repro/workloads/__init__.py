@@ -1,0 +1,17 @@
+"""Workloads: the paper's benchmark suite and accuracy microbenchmarks.
+
+Each workload is mini-language source parameterized by a ``scale`` factor
+(1.0 reproduces the paper's ≥10-virtual-second runs; benchmarks default to
+a faster scale controlled by the ``REPRO_SCALE`` environment variable).
+"""
+
+from repro.workloads.base import Workload, baseline_wall_time
+from repro.workloads.registry import get_workload, pyperf_suite, workload_names
+
+__all__ = [
+    "Workload",
+    "baseline_wall_time",
+    "get_workload",
+    "pyperf_suite",
+    "workload_names",
+]

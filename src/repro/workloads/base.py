@@ -1,0 +1,53 @@
+"""Workload plumbing."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+
+
+def default_scale() -> float:
+    """Benchmark scale factor; override with ``REPRO_SCALE`` (1.0 = paper)."""
+    try:
+        return float(os.environ.get("REPRO_SCALE", "0.2"))
+    except ValueError:
+        return 0.2
+
+
+@dataclass
+class Workload:
+    """A runnable mini-language program with paper-faithful behaviour."""
+
+    name: str
+    #: Builds the source for a given scale in (0, 1].
+    source_builder: Callable[[float], str]
+    description: str = ""
+    install_libs: bool = True
+    #: Loop repetitions at scale=1.0 (the Table 1 "Repetitions" column).
+    repetitions: int = 0
+
+    def source(self, scale: float = 1.0) -> str:
+        return self.source_builder(scale)
+
+    def make_process(self, scale: float = 1.0, **kwargs) -> SimProcess:
+        """Build a fresh process ready to run this workload."""
+        process = SimProcess(
+            self.source(scale), filename=f"{self.name}.py", **kwargs
+        )
+        if self.install_libs:
+            install_standard_libraries(process)
+        return process
+
+    def scaled_repetitions(self, scale: float) -> int:
+        return max(int(self.repetitions * scale), 1)
+
+
+def baseline_wall_time(workload: Workload, scale: float = 1.0) -> float:
+    """Unprofiled virtual wall time (the denominator of every slowdown)."""
+    process = workload.make_process(scale)
+    process.run()
+    return process.clock.wall

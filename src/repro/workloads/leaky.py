@@ -1,0 +1,63 @@
+"""Leak workloads for §3.4's detector.
+
+``LEAKY``: a request handler retains one buffer per request in a cache
+that is never evicted — the classic accidental-reference leak.
+``BALANCED``: the same allocation pattern with proper release, which must
+*not* be reported (the false-positive control).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _leaky_source(scale: float) -> str:
+    requests = max(int(35 * scale), 25)
+    return f"""
+cache = []
+processed = 0
+
+def handle_request(req):
+    global processed
+    payload = py_buffer(11000000)
+    cache.append(payload)
+    processed = processed + 1
+    return processed
+
+for req in range({requests}):
+    handle_request(req)
+print(processed)
+"""
+
+
+def _balanced_source(scale: float) -> str:
+    requests = max(int(35 * scale), 25)
+    return f"""
+processed = 0
+
+def handle_request(req):
+    global processed
+    payload = py_buffer(11000000)
+    processed = processed + 1
+    del payload
+    return processed
+
+for req in range({requests}):
+    handle_request(req)
+print(processed)
+"""
+
+
+LEAKY = Workload(
+    name="leaky",
+    source_builder=_leaky_source,
+    description="Request handler that accidentally retains every payload",
+    install_libs=False,
+)
+
+BALANCED = Workload(
+    name="balanced",
+    source_builder=_balanced_source,
+    description="Same allocation pattern with proper release (control)",
+    install_libs=False,
+)

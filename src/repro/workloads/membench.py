@@ -1,0 +1,41 @@
+"""The memory-accuracy benchmark of §6.3 (Figure 6).
+
+Allocates a single 512 MiB array, then *accesses* (writes) a varying
+fraction of it. Interposition-based profilers see the allocation
+regardless; RSS-based profilers only see the touched pages — plus
+unrelated residency noise — and mis-report accordingly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+#: 512 MiB of float64 elements.
+ARRAY_ELEMENTS = 67_108_864
+ARRAY_MB = 512.0
+
+_TEMPLATE = """
+a = np.empty({elements})
+np.touch(a, {fraction})
+hold = 0
+for i in range(400):
+    hold = hold + i
+del a
+done = 1
+"""
+
+
+def membench(touch_fraction: float) -> Workload:
+    """Build the Figure 6 workload for one touched fraction (0..1)."""
+    if not 0.0 <= touch_fraction <= 1.0:
+        raise ValueError(f"touch_fraction must be in [0,1], got {touch_fraction}")
+
+    def build(scale: float) -> str:  # scale has no effect here by design
+        return _TEMPLATE.format(elements=ARRAY_ELEMENTS, fraction=touch_fraction)
+
+    return Workload(
+        name=f"membench_{int(touch_fraction * 100):03d}",
+        source_builder=build,
+        description="512 MiB allocation with partial access (Fig. 6)",
+        install_libs=True,
+    )

@@ -1,0 +1,66 @@
+"""The function-bias microbenchmark of §6.2 (Figure 5).
+
+Two semantically identical functions: ``with_call`` invokes a helper
+inside its loop, ``inlined`` inlines the same logic. The experiment varies
+the share of work done by each variant and compares each profiler's
+reported time for the call-using variant against the ground truth:
+trace-based profilers dilate the call-heavy variant (function bias);
+sampling profilers do not.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+def helper(i):
+    return i * 3 - 1
+
+def with_call(n):
+    t = 0
+    for i in range(n):
+        t = t + helper(i)
+    return t
+
+def inlined(n):
+    t = 0
+    for i in range(n):
+        t = t + i * 3 - 1
+    return t
+
+a = with_call({call_iters})
+b = inlined({inline_iters})
+print(a - b)
+"""
+
+#: Lines (1-based in the generated source) belonging to each variant,
+#: used when aggregating line-granularity reports to per-variant times.
+WITH_CALL_LINES = range(1, 9)   # helper + with_call bodies
+INLINED_LINES = range(10, 15)
+WITH_CALL_FUNCTIONS = ("with_call", "helper")
+INLINED_FUNCTIONS = ("inlined",)
+
+
+def microbenchmark(call_fraction: float, total_iters: int = 12000) -> Workload:
+    """Build the microbenchmark with the given work split.
+
+    ``call_fraction`` is the fraction of loop iterations given to the
+    function-call variant (the x-axis of Figure 5).
+    """
+    if not 0.0 <= call_fraction <= 1.0:
+        raise ValueError(f"call_fraction must be in [0,1], got {call_fraction}")
+    call_iters = int(total_iters * call_fraction)
+    inline_iters = total_iters - call_iters
+
+    def build(scale: float) -> str:
+        return _TEMPLATE.format(
+            call_iters=max(int(call_iters * scale), 1),
+            inline_iters=max(int(inline_iters * scale), 1),
+        )
+
+    return Workload(
+        name=f"microbench_{int(call_fraction * 100):03d}",
+        source_builder=build,
+        description="Function-bias microbenchmark (Fig. 5)",
+        install_libs=False,
+    )

@@ -1,0 +1,11 @@
+"""Mini-language re-creations of the Table 1 pyperformance suite.
+
+Each module documents the behavioural profile it reproduces: opcode count
+(virtual runtime), call density (tracer overhead), allocation volume
+(rate-based sample count, Table 2), and footprint movement (threshold
+sample count, Table 2).
+"""
+
+from repro.workloads.pyperf.registry import PYPERF_WORKLOADS
+
+__all__ = ["PYPERF_WORKLOADS"]

@@ -1,0 +1,134 @@
+"""async_tree_io — the four async-task-tree variants.
+
+The real benchmark builds a tree of asyncio tasks; on a single-threaded
+event loop the observable behaviour is interleaved short IO waits and task
+bookkeeping. Profile common to all variants: per-cycle construction and
+teardown of a task tree whose buffers exceed the sampling threshold —
+the footprint *oscillates*, so threshold-based sampling takes a couple of
+samples per cycle and the Table 2 rate/threshold ratio is only 2–4x
+(unlike the flat-footprint CPU benchmarks).
+
+Variants: ``none`` (pure task overhead), ``io`` (longer waits),
+``cpu_io_mixed`` (extra Python work), ``memoization`` (a cache cuts the
+allocation volume).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+_TEMPLATE = """
+def spin(n):
+    acc = 0
+    for i in range(n):
+        acc = acc + i % 9
+    return acc
+
+def build_tree(width):
+    tree = []
+    for node in range(width):
+        tree.append(py_buffer(1300000))
+        scratch({scratch_bytes})
+    return tree
+
+def run_cycle(cycle):
+    tree = build_tree(10)
+    waited = 0
+    for node in range(10):
+        io.wait({io_wait})
+        waited = waited + spin({spin_ops})
+    tree.clear()
+    return waited
+
+total = 0
+for cycle in range({cycles}):
+    total = total + run_cycle(cycle)
+print(total)
+"""
+
+_MEMO_TEMPLATE = """
+def spin(n):
+    acc = 0
+    for i in range(n):
+        acc = acc + i % 9
+    return acc
+
+cache = {{}}
+
+def cached_spin(key, n):
+    if key in cache:
+        return cache[key]
+    value = spin(n)
+    cache[key] = value
+    return value
+
+def build_tree(width):
+    tree = []
+    for node in range(width):
+        tree.append(py_buffer(1300000))
+        scratch({scratch_bytes})
+    return tree
+
+def run_cycle(cycle):
+    tree = build_tree(10)
+    waited = 0
+    for node in range(10):
+        io.wait({io_wait})
+        waited = waited + cached_spin(node % 4, {spin_ops})
+    tree.clear()
+    return waited
+
+total = 0
+for cycle in range({cycles}):
+    total = total + run_cycle(cycle)
+print(total)
+"""
+
+
+def _builder(template: str, cycles: int, io_wait: float, spin_ops: int, scratch_bytes: int):
+    def build(scale: float) -> str:
+        return template.format(
+            cycles=max(int(cycles * scale), 2),
+            io_wait=io_wait,
+            spin_ops=spin_ops,
+            scratch_bytes=scratch_bytes,
+        )
+
+    return build
+
+
+ASYNC_TREE_IO_NONE = Workload(
+    name="async_tree_io_none",
+    source_builder=_builder(
+        _TEMPLATE, cycles=105, io_wait=0.0005, spin_ops=20, scratch_bytes=1500000
+    ),
+    description="Async task tree: pure task overhead, oscillating footprint",
+    repetitions=22,
+)
+
+ASYNC_TREE_IO_IO = Workload(
+    name="async_tree_io_io",
+    source_builder=_builder(
+        _TEMPLATE, cycles=92, io_wait=0.004, spin_ops=14, scratch_bytes=1600000
+    ),
+    description="Async task tree: IO-dominated variant",
+    repetitions=9,
+)
+
+ASYNC_TREE_IO_MIXED = Workload(
+    name="async_tree_io_cpu_io_mixed",
+    source_builder=_builder(
+        _TEMPLATE, cycles=82, io_wait=0.0015, spin_ops=26, scratch_bytes=3260000
+    ),
+    description="Async task tree: mixed CPU and IO",
+    repetitions=14,
+)
+
+ASYNC_TREE_IO_MEMOIZATION = Workload(
+    name="async_tree_io_memoization",
+    source_builder=_builder(
+        _MEMO_TEMPLATE, cycles=82, io_wait=0.009, spin_ops=40, scratch_bytes=1060000
+    ),
+    description="Async task tree: memoized computation (lower volume)",
+    repetitions=16,
+)

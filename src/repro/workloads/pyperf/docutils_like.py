@@ -1,0 +1,56 @@
+"""docutils — reStructuredText document processing.
+
+Profile: deeply nested pure-Python processing with the *lowest* allocation
+volume in the suite (Table 2 row: 20 rate samples vs 5 threshold samples)
+and a slowly growing then released document structure.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _source(scale: float) -> str:
+    sections = max(int(48 * scale), 3)
+    spike_every = max(sections // 3, 1)
+    return f"""
+def parse_inline(seed, n):
+    acc = 0
+    for i in range(n):
+        acc = acc + (seed * 17 + i) % 101
+    return acc
+
+def parse_paragraph(seed):
+    total = 0
+    for sentence in range(8):
+        total = total + parse_inline(seed + sentence, 10)
+    return total
+
+def parse_section(doc, seed):
+    body = 0
+    for para in range(5):
+        body = body + parse_paragraph(seed * 7 + para)
+    doc.append(body)
+    scratch(1900000)
+    return body
+
+doc = []
+spikes = []
+total = 0
+for section in range({sections}):
+    total = total + parse_section(doc, section)
+    if section % {spike_every} == 1:
+        spikes.append(py_buffer(12000000))
+    if section % {spike_every} == 3:
+        spikes.clear()
+doc.clear()
+print(total)
+"""
+
+
+WORKLOAD = Workload(
+    name="docutils",
+    source_builder=_source,
+    description="Document processing: deep calls, low allocation volume",
+    repetitions=5,
+)

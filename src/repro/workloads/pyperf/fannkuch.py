@@ -1,0 +1,57 @@
+"""fannkuch — the pancake-flipping benchmark.
+
+Profile: pure-Python list manipulation in tight loops; enormous transient
+allocation volume with an essentially flat footprint. Table 2 row:
+rate-based sampling takes ~85x more samples than threshold-based.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _source(scale: float) -> str:
+    outer = max(int(620 * scale), 3)
+    spike_every = max(outer // 2, 1)
+    return f"""
+def flip(perm, k):
+    i = 0
+    j = k - 1
+    while i < j:
+        tmp = perm[i]
+        perm[i] = perm[j]
+        perm[j] = tmp
+        i = i + 1
+        j = j - 1
+    return perm
+
+def fannkuch_round(n):
+    perm = []
+    for i in range(n):
+        perm.append(i)
+    flips = 0
+    for i in range(12):
+        k = perm[0] + 1
+        flip(perm, k)
+        flips = flips + 1
+    scratch(3450000)
+    return flips
+
+total = 0
+spikes = []
+for rep in range({outer}):
+    total = total + fannkuch_round(9)
+    if rep % {spike_every} == 1:
+        spikes.append(py_buffer(12000000))
+    if rep % {spike_every} == 3:
+        spikes.clear()
+print(total)
+"""
+
+
+WORKLOAD = Workload(
+    name="fannkuch",
+    source_builder=_source,
+    description="Pancake flipping: pure Python, huge churn, flat footprint",
+    repetitions=3,
+)

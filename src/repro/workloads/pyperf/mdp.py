@@ -1,0 +1,51 @@
+"""mdp — Markov decision process solving (value iteration flavour).
+
+Profile: dict-heavy pure Python with moderate transient volume and a flat
+footprint. Table 2 row: ~53x rate-vs-threshold sample ratio.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _source(scale: float) -> str:
+    sweeps = max(int(300 * scale), 3)
+    spike_every = max(sweeps // 3, 1)
+    return f"""
+def bellman_update(values, states, gamma):
+    best = 0
+    for s in range(states):
+        q = values[s] * gamma + s % 7
+        if q > best:
+            best = q
+        values[s] = q
+    return best
+
+def sweep(values, states):
+    best = bellman_update(values, states, 0.95)
+    scratch(2750000)
+    scratch(2750000)
+    return best
+
+values = {{}}
+for s in range(40):
+    values[s] = 0
+result = 0
+spikes = []
+for it in range({sweeps}):
+    result = sweep(values, 40)
+    if it % {spike_every} == 1:
+        spikes.append(py_buffer(12000000))
+    if it % {spike_every} == 3:
+        spikes.clear()
+print(result)
+"""
+
+
+WORKLOAD = Workload(
+    name="mdp",
+    source_builder=_source,
+    description="Value iteration: dict-heavy Python, moderate churn",
+    repetitions=5,
+)

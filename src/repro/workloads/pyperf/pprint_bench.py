@@ -1,0 +1,46 @@
+"""pprint — pretty-printing a large structure.
+
+Profile: string building produces the *largest* transient allocation
+volume of the suite (Table 2 row: 7976 rate samples vs 23 threshold
+samples, a 347x ratio) with occasional real footprint spikes as large
+intermediate buffers are assembled and released.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _source(scale: float) -> str:
+    outer = max(int(760 * scale), 2)
+    spike_every = 70
+    return f"""
+def format_node(depth, width):
+    acc = 0
+    for i in range(width):
+        acc = acc + (depth * 31 + i) % 97
+    for i in range(11):
+        scratch(5100000)
+    return acc
+
+def render(reps):
+    total = 0
+    big = []
+    for rep in range(reps):
+        total = total + format_node(rep % 6, 20)
+        if rep % {spike_every} == 0:
+            big.append(py_buffer(12500000))
+        if rep % {spike_every} == 3:
+            big.clear()
+    return total
+
+print(render({outer}))
+"""
+
+
+WORKLOAD = Workload(
+    name="pprint",
+    source_builder=_source,
+    description="Pretty printer: extreme string churn, occasional spikes",
+    repetitions=7,
+)

@@ -1,0 +1,53 @@
+"""raytrace — the pure-Python ray tracer.
+
+Profile: the most call-dense benchmark in the suite (vector math through
+small functions), which is what makes deterministic function tracers pay
+dearly here (Table 3: line_profiler 11.6x, profile 20.9x on this row).
+Moderate transient volume; flat footprint (~31x Table 2 ratio).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _source(scale: float) -> str:
+    rays = max(int(520 * scale), 4)
+    spike_every = max(rays // 4, 1)
+    return f"""
+def dot(ax, ay, az, bx, by, bz):
+    return ax * bx + ay * by + az * bz
+
+def scale_add(ax, ay, az, t):
+    return ax + t * 2 - ay * t + az
+
+def trace_ray(seed):
+    x = seed % 13
+    y = (seed * 7) % 11
+    z = (seed * 3) % 5
+    acc = 0
+    for bounce in range(6):
+        d = dot(x, y, z, z, y, x)
+        acc = acc + scale_add(d, x, y, bounce)
+        x = (x + 1) % 13
+    scratch(2170000)
+    return acc
+
+total = 0
+spikes = []
+for ray in range({rays}):
+    total = total + trace_ray(ray)
+    if ray % {spike_every} == 1:
+        spikes.append(py_buffer(12000000))
+    if ray % {spike_every} == 3:
+        spikes.clear()
+print(total)
+"""
+
+
+WORKLOAD = Workload(
+    name="raytrace",
+    source_builder=_source,
+    description="Ray tracer: call-dense vector math, moderate churn",
+    repetitions=25,
+)

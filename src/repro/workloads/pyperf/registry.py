@@ -1,0 +1,35 @@
+"""The Table 1 suite, in the paper's order."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.base import Workload
+from repro.workloads.pyperf.async_tree_io import (
+    ASYNC_TREE_IO_IO,
+    ASYNC_TREE_IO_MEMOIZATION,
+    ASYNC_TREE_IO_MIXED,
+    ASYNC_TREE_IO_NONE,
+)
+from repro.workloads.pyperf.docutils_like import WORKLOAD as DOCUTILS
+from repro.workloads.pyperf.fannkuch import WORKLOAD as FANNKUCH
+from repro.workloads.pyperf.mdp import WORKLOAD as MDP
+from repro.workloads.pyperf.pprint_bench import WORKLOAD as PPRINT
+from repro.workloads.pyperf.raytrace import WORKLOAD as RAYTRACE
+from repro.workloads.pyperf.sympy_like import WORKLOAD as SYMPY
+
+PYPERF_WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload
+    for workload in (
+        ASYNC_TREE_IO_NONE,
+        ASYNC_TREE_IO_IO,
+        ASYNC_TREE_IO_MIXED,
+        ASYNC_TREE_IO_MEMOIZATION,
+        DOCUTILS,
+        FANNKUCH,
+        MDP,
+        PPRINT,
+        RAYTRACE,
+        SYMPY,
+    )
+}

@@ -1,0 +1,48 @@
+"""sympy — symbolic expression manipulation.
+
+Profile: builds and discards large expression trees constantly — the
+second-largest allocation volume of the suite with an almost perfectly
+flat footprint, giving Table 2's extreme 676x rate-vs-threshold ratio.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _source(scale: float) -> str:
+    outer = max(int(420 * scale), 4)
+    spike_every = max(outer // 5, 1)
+    return f"""
+def expand_term(coeff, power):
+    acc = coeff
+    for i in range(power):
+        acc = acc * 3 + i - coeff % 5
+    return acc
+
+def simplify_round(size):
+    total = 0
+    for term in range(size):
+        total = total + expand_term(term % 9, 3)
+    for chunk in range(16):
+        scratch(5200000)
+    return total
+
+result = 0
+spikes = []
+for rep in range({outer}):
+    result = result + simplify_round(8)
+    if rep % {spike_every} == 1:
+        spikes.append(py_buffer(12000000))
+    if rep % {spike_every} == 3:
+        spikes.clear()
+print(result)
+"""
+
+
+WORKLOAD = Workload(
+    name="sympy",
+    source_builder=_source,
+    description="Symbolic math: huge expression-tree churn, flat footprint",
+    repetitions=25,
+)

@@ -1,0 +1,33 @@
+"""Top-level workload lookup."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.leaky import BALANCED, LEAKY
+from repro.workloads.pyperf.registry import PYPERF_WORKLOADS
+
+_EXTRA: Dict[str, Workload] = {
+    LEAKY.name: LEAKY,
+    BALANCED.name: BALANCED,
+}
+
+
+def pyperf_suite() -> Dict[str, Workload]:
+    """The Table 1 benchmark suite, in the paper's order."""
+    return dict(PYPERF_WORKLOADS)
+
+
+def workload_names() -> List[str]:
+    return list(PYPERF_WORKLOADS) + list(_EXTRA)
+
+
+def get_workload(name: str) -> Workload:
+    workload = PYPERF_WORKLOADS.get(name) or _EXTRA.get(name)
+    if workload is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        )
+    return workload

@@ -1,0 +1,76 @@
+"""Tests for the analysis drivers (overhead, accuracy, feature matrix)."""
+
+import pytest
+
+from repro.analysis.accuracy import cpu_accuracy_experiment, memory_accuracy_experiment
+from repro.analysis.comparison import feature_matrix
+from repro.analysis.overhead import (
+    OverheadResult,
+    format_overhead_table,
+    measure_overhead,
+    overhead_table,
+)
+from repro.workloads import get_workload
+
+
+def test_measure_overhead_external_sampler_is_free():
+    workload = get_workload("raytrace")
+    slowdown = measure_overhead(workload, "py_spy", scale=0.05)
+    assert slowdown == pytest.approx(1.0, abs=0.02)
+
+
+def test_measure_overhead_tracer_costs():
+    workload = get_workload("raytrace")
+    slowdown = measure_overhead(workload, "pprofile_det", scale=0.05)
+    assert slowdown > 5.0
+
+
+def test_overhead_table_and_median():
+    workloads = [get_workload("raytrace"), get_workload("docutils")]
+    results = overhead_table(workloads, ["py_spy", "cProfile"], scale=0.05)
+    assert [r.profiler for r in results] == ["py_spy", "cProfile"]
+    for result in results:
+        assert set(result.slowdowns) == {"raytrace", "docutils"}
+    table = format_overhead_table(results)
+    assert "cProfile" in table and "Median" in table
+
+
+def test_overhead_result_median():
+    result = OverheadResult("x", {"a": 1.0, "b": 3.0, "c": 2.0})
+    assert result.median == 2.0
+    result = OverheadResult("x", {"a": 1.0, "b": 3.0})
+    assert result.median == 2.0
+    assert OverheadResult("x", {}).median == 0.0
+
+
+def test_format_empty_table():
+    assert format_overhead_table([]) == "(no results)"
+
+
+def test_cpu_accuracy_sampler_on_diagonal():
+    results = cpu_accuracy_experiment(
+        ["py_spy", "cProfile"], call_fractions=(0.5,), scale=0.3
+    )
+    pyspy_point = results["py_spy"][0]
+    cprofile_point = results["cProfile"][0]
+    assert abs(pyspy_point.relative_error) < 0.2
+    assert cprofile_point.relative_error > 1.0  # the function bias
+
+
+def test_memory_accuracy_shapes():
+    results = memory_accuracy_experiment(
+        ["scalene_full", "memory_profiler"], touch_fractions=(0.0, 1.0)
+    )
+    scalene_points = {p.touch_fraction: p.reported_mb for p in results["scalene_full"]}
+    rss_points = {p.touch_fraction: p.reported_mb for p in results["memory_profiler"]}
+    assert scalene_points[0.0] == pytest.approx(512, rel=0.02)
+    assert rss_points[0.0] < 50
+    assert rss_points[1.0] > 400
+
+
+def test_feature_matrix_renders():
+    text = feature_matrix({"scalene_full": 1.32})
+    assert "scalene_full" in text
+    assert "1.32x" in text
+    assert "rate_sampler" not in text  # not a Figure 1 row
+    assert "Copy vol" in text

@@ -1,0 +1,232 @@
+"""Tests for the baseline profiler suite (Figure 1 rows)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.baselines import make_profiler, profiler_names
+from repro.baselines.registry import cpu_profilers, memory_profilers
+from repro.errors import ProfilerError
+from repro.units import MiB
+
+CALL_HEAVY = (
+    "def hot(n):\n"
+    "    s = 0\n"
+    "    for i in range(n):\n"
+    "        s = s + i\n"
+    "    return s\n"
+    "def caller(n):\n"
+    "    t = 0\n"
+    "    for i in range(n):\n"
+    "        t = t + hot(20)\n"
+    "    return t\n"
+    "x = caller(120)\n"
+)
+
+MEMORY_HEAVY = (
+    "keep = []\n"
+    "for i in range(4):\n"
+    "    keep.append(py_buffer(12000000))\n"
+    "tmp = py_buffer(30000000)\n"
+    "del tmp\n"
+    "keep.clear()\n"
+)
+
+
+def run_with(name, source, **kwargs):
+    process = SimProcess(source, filename="w.py", **kwargs)
+    profiler = make_profiler(name, process)
+    profiler.start()
+    process.run()
+    return profiler.stop(), process
+
+
+def baseline_wall(source):
+    process = SimProcess(source, filename="w.py")
+    process.run()
+    return process.clock.wall
+
+
+def test_registry_contains_all_figure1_rows():
+    names = profiler_names()
+    for expected in (
+        "py_spy", "cProfile", "yappi_wall", "yappi_cpu", "pprofile_stat",
+        "pprofile_det", "line_profiler", "profile", "pyinstrument",
+        "austin_cpu", "austin_full", "memray", "fil", "memory_profiler",
+        "rate_sampler", "scalene_cpu", "scalene_cpu_gpu", "scalene_full",
+    ):
+        assert expected in names
+    assert set(cpu_profilers()) <= set(names)
+    assert set(memory_profilers()) <= set(names)
+
+
+def test_unknown_profiler_rejected():
+    process = SimProcess("x = 1\n", filename="w.py")
+    with pytest.raises(ProfilerError):
+        make_profiler("nonexistent", process)
+
+
+@pytest.mark.parametrize("name", profiler_names())
+def test_every_profiler_runs_cleanly(name):
+    report, _process = run_with(name, CALL_HEAVY)
+    assert report.profiler == name
+
+
+def test_external_samplers_impose_no_overhead():
+    base = baseline_wall(CALL_HEAVY)
+    for name in ("py_spy", "austin_cpu"):
+        _report, process = run_with(name, CALL_HEAVY)
+        assert process.clock.wall / base == pytest.approx(1.0, abs=0.01)
+
+
+def test_deterministic_tracers_impose_probe_overhead():
+    base = baseline_wall(CALL_HEAVY)
+    _report, process = run_with("pprofile_det", CALL_HEAVY)
+    slow_det = process.clock.wall / base
+    _report, process = run_with("cProfile", CALL_HEAVY)
+    slow_cprof = process.clock.wall / base
+    assert slow_det > 10          # pure-Python line tracing is brutal
+    assert 1.02 < slow_cprof < 4  # C function tracing is mild
+    assert slow_det > 5 * slow_cprof
+
+
+def test_cprofile_reports_function_times():
+    report, process = run_with("cProfile", CALL_HEAVY)
+    hot = report.function_time("hot")
+    caller = report.function_time("caller")
+    assert hot > 0
+    # caller's inclusive time includes hot.
+    assert caller >= hot
+
+
+def test_pprofile_stat_misses_native_time():
+    """The §2 failure mode: signal-starved sampling reports ~zero native."""
+    source = (
+        "s = 0\n"
+        "for i in range(3000):\n"
+        "    s = s + 1\n"
+        "native_work(1.5)\n"  # line 4
+    )
+    report, _ = run_with("pprofile_stat", source)
+    native_line = report.line_time(4)
+    python_line = report.line_time(3)
+    # The single deferred signal charges at most ~one interval to line 4,
+    # although it consumed the majority of the runtime.
+    assert python_line > 0
+    assert native_line < 0.1
+
+
+def test_pprofile_stat_misses_subthread_time():
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(5000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    report, _ = run_with("pprofile_stat", source)
+    assert report.line_time(4) == 0.0  # the worker's hot line: invisible
+
+
+def test_pyspy_sees_subthreads():
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(5000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    report, _ = run_with("py_spy", source)
+    assert report.line_time(4) > 0
+
+
+def test_memory_profiler_reports_rss_deltas():
+    report, _ = run_with("memory_profiler", MEMORY_HEAVY)
+    assert report.peak_memory_mb is not None
+    assert report.line_memory_mb  # some deltas recorded
+
+
+def test_fil_and_memray_report_accurate_peak():
+    for name, tolerance in (("fil", 0.02), ("memray", 0.07)):
+        report, _ = run_with(name, MEMORY_HEAVY)
+        # True peak: 4 x 12 MB retained + 30 MB transient (plus churn noise).
+        expected = (4 * 12_000_000 + 30_000_000) / MiB
+        assert report.peak_memory_mb == pytest.approx(expected, rel=tolerance + 0.05)
+
+
+def test_fil_peak_snapshot_contains_retaining_line():
+    report, _ = run_with("fil", MEMORY_HEAVY)
+    assert any(line == 3 for (_f, line) in report.line_memory_mb)
+
+
+def test_memray_log_grows_with_every_event():
+    # CALL_HEAVY produces thousands of churn allocation events.
+    report, _ = run_with("memray", CALL_HEAVY)
+    assert report.total_samples > 1000
+    assert report.log_bytes >= report.total_samples * 40
+
+
+def test_austin_log_grows_with_samples():
+    report, _ = run_with("austin_cpu", CALL_HEAVY)
+    assert report.log_bytes > 0
+    assert report.log_bytes >= report.total_samples * 100
+
+
+def test_rate_sampler_counts_allocation_volume():
+    # 200 x 2 MB transients: ~0.8 GB of alloc+free volume, but each stays
+    # below the 10 MB threshold, so the footprint never moves far enough
+    # for threshold sampling to fire — while rate sampling fires ~once per
+    # 10 MB of volume.
+    source = "for i in range(200):\n    scratch(2000000)\n"
+    report, process = run_with("rate_sampler", source)
+    assert report.total_samples >= 30
+
+    from repro.core import Scalene
+
+    process2 = SimProcess(source, filename="w.py")
+    scalene = Scalene(process2, mode="full")
+    scalene.start()
+    process2.run()
+    scalene.stop()
+    assert scalene.memory_profiler.sample_count <= 2
+    assert report.total_samples > 10 * max(scalene.memory_profiler.sample_count, 1)
+
+
+def test_rate_sampler_rejects_bad_rate():
+    process = SimProcess("x = 1\n", filename="w.py")
+    from repro.baselines.rate_sampler import RateBasedSampler
+
+    with pytest.raises(ValueError):
+        RateBasedSampler(process, rate=0)
+
+
+def test_profiler_lifecycle_misuse():
+    process = SimProcess("x = 1\n", filename="w.py")
+    profiler = make_profiler("cProfile", process)
+    with pytest.raises(ProfilerError):
+        profiler.stop()
+    profiler.start()
+    with pytest.raises(ProfilerError):
+        profiler.start()
+
+
+def test_capabilities_match_figure1_key_facts():
+    from repro.baselines import all_profilers
+
+    caps = {name: cls.capabilities for name, cls in all_profilers().items()}
+    # Scalene (all) is the only row with copy volume and leak detection.
+    assert caps["scalene_full"].copy_volume
+    assert caps["scalene_full"].detects_leaks
+    assert not any(
+        c.copy_volume for n, c in caps.items() if n != "scalene_full"
+    )
+    # RSS-based profilers are marked as such.
+    assert caps["memory_profiler"].memory_kind == "rss"
+    assert caps["austin_full"].memory_kind == "rss"
+    # Peak-only profilers.
+    assert caps["fil"].memory_kind == "peak"
+    assert caps["memray"].memory_kind == "peak"
+    # line_profiler and memory_profiler need modified code.
+    assert not caps["line_profiler"].unmodified_code
+    assert not caps["memory_profiler"].unmodified_code

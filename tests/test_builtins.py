@@ -1,0 +1,91 @@
+"""Tests for the workload builtin functions."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.runtime.process import SimProcess
+
+
+def run_capture(source):
+    process = SimProcess(source, filename="b.py")
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured.update(process.globals)
+        from repro.interp.objects import incref
+
+        for value in captured.values():
+            incref(value)
+        original()
+
+    process._finalize = capture
+    process.run()
+    return process, captured
+
+
+def test_numeric_builtins():
+    _, g = run_capture(
+        "a = abs(-5)\n"
+        "b = min(3, 1, 2)\n"
+        "c = max(3, 1, 2)\n"
+        "d = int(3.7)\n"
+        "e = float(2)\n"
+        "f = bool(0)\n"
+        "g = str(12)\n"
+    )
+    assert (g["a"], g["b"], g["c"], g["d"], g["e"], g["f"], g["g"]) == (
+        5, 1, 3, 3, 2.0, False, "12",
+    )
+
+
+def test_sum_min_max_over_simlist():
+    _, g = run_capture("xs = [4, 1, 3]\ns = sum(xs)\nlo = min(xs)\nhi = max(xs)\n")
+    assert (g["s"], g["lo"], g["hi"]) == (8, 1, 4)
+
+
+def test_list_and_dict_constructors():
+    _, g = run_capture("xs = list()\nxs.append(1)\nys = list(xs)\nd = dict()\nd['a'] = 1\n")
+    assert g["ys"].items == [1]
+    assert g["d"].data == {"a": 1}
+
+
+def test_range_errors():
+    with pytest.raises(VMError, match="range"):
+        SimProcess("r = range(1, 2, 0)\nfor i in r:\n    pass\n", filename="b.py").run()
+
+
+def test_len_on_unsized():
+    with pytest.raises(VMError, match="len"):
+        SimProcess("n = len(5)\n", filename="b.py").run()
+
+
+def test_print_multiple_args():
+    process, _ = run_capture("print('a', 1, 2.5)\n")
+    assert process.stdout == ["a 1 2.5"]
+
+
+def test_native_work_and_ops_consume_time():
+    process, _ = run_capture("native_work(0.25)\nnative_ops(100)\n")
+    op_cost = process.vm.config.op_cost
+    assert process.clock.cpu >= 0.25 + 100 * op_cost
+
+
+def test_case_study_helpers_cost_ratio():
+    slow, _ = run_capture("for i in range(200):\n    x = isinstance_protocol(i)\n")
+    fast, _ = run_capture("for i in range(200):\n    x = hasattr_check(i)\n")
+    # isinstance against a runtime-checkable protocol is ~20x hasattr; end
+    # to end the loop overhead dilutes it, but the gap stays large.
+    assert slow.clock.wall > 1.5 * fast.clock.wall
+
+
+def test_spawn_requires_function():
+    with pytest.raises(VMError):
+        SimProcess("t = spawn(5)\n", filename="b.py").run()
+    with pytest.raises(VMError):
+        SimProcess("t = spawn()\n", filename="b.py").run()
+
+
+def test_py_buffer_len():
+    _, g = run_capture("b = py_buffer(12345)\nn = len(b)\n")
+    assert g["n"] == 12345

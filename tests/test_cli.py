@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fannkuch" in out
+    assert "cProfile" in out
+    assert "scalene" in out
+
+
+def test_profile_named_workload(capsys):
+    assert main(["profile", "--workload", "raytrace", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Scalene profile [full]" in out
+
+
+def test_profile_with_baseline(capsys):
+    code = main(
+        [
+            "profile",
+            "--workload",
+            "docutils",
+            "--scale",
+            "0.05",
+            "--profiler",
+            "cProfile",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cProfile" in out
+    assert "parse_section" in out
+
+
+def test_profile_source_file(tmp_path, capsys):
+    source = tmp_path / "prog.py"
+    source.write_text("x = 0\nfor i in range(200):\n    x = x + i\nprint(x)\n")
+    json_path = tmp_path / "p.json"
+    html_path = tmp_path / "p.html"
+    code = main(
+        [
+            "profile",
+            str(source),
+            "--mode",
+            "cpu",
+            "--json",
+            str(json_path),
+            "--html",
+            str(html_path),
+        ]
+    )
+    assert code == 0
+    data = json.loads(json_path.read_text())
+    assert data["mode"] == "cpu"
+    assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_profile_requires_target():
+    with pytest.raises(SystemExit):
+        main(["profile"])
+
+
+def test_profile_rejects_bad_mode(tmp_path):
+    source = tmp_path / "p.py"
+    source.write_text("x = 1\n")
+    with pytest.raises(SystemExit):
+        main(["profile", str(source), "--mode", "warp"])

@@ -1,0 +1,80 @@
+"""Tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.clock import VirtualClock
+
+
+def test_initial_state():
+    clock = VirtualClock()
+    assert clock.wall == 0.0
+    assert clock.cpu == 0.0
+
+
+def test_advance_cpu_moves_both_clocks():
+    clock = VirtualClock()
+    clock.advance_cpu(0.5)
+    assert clock.wall == pytest.approx(0.5)
+    assert clock.cpu == pytest.approx(0.5)
+
+
+def test_advance_wall_moves_only_wall():
+    clock = VirtualClock()
+    clock.advance_wall(0.25)
+    assert clock.wall == pytest.approx(0.25)
+    assert clock.cpu == 0.0
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance_cpu(-1.0)
+    with pytest.raises(ValueError):
+        clock.advance_wall(-0.1)
+
+
+def test_zero_advance_is_noop_and_skips_observers():
+    clock = VirtualClock()
+    calls = []
+    clock.subscribe(lambda w, c: calls.append((w, c)))
+    clock.advance_cpu(0.0)
+    clock.advance_wall(0.0)
+    assert calls == []
+
+
+def test_observers_receive_deltas():
+    clock = VirtualClock()
+    seen = []
+    clock.subscribe(lambda w, c: seen.append((w, c)))
+    clock.advance_cpu(0.1)
+    clock.advance_wall(0.2)
+    assert seen == [(0.1, 0.1), (0.2, 0.0)]
+
+
+def test_unsubscribe():
+    clock = VirtualClock()
+    seen = []
+    cb = lambda w, c: seen.append(1)  # noqa: E731
+    clock.subscribe(cb)
+    clock.advance_cpu(0.1)
+    clock.unsubscribe(cb)
+    clock.advance_cpu(0.1)
+    assert len(seen) == 1
+    # Unsubscribing twice is harmless.
+    clock.unsubscribe(cb)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.floats(min_value=0, max_value=10)), max_size=50))
+def test_monotonicity_and_cpu_bound(steps):
+    """Wall is monotone; CPU never exceeds wall."""
+    clock = VirtualClock()
+    last_wall = 0.0
+    for is_cpu, dt in steps:
+        if is_cpu:
+            clock.advance_cpu(dt)
+        else:
+            clock.advance_wall(dt)
+        assert clock.wall >= last_wall
+        last_wall = clock.wall
+    assert clock.cpu <= clock.wall + 1e-9

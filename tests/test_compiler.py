@@ -1,0 +1,164 @@
+"""Tests for the mini-language compiler and disassembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CompileError
+from repro.interp import opcodes as op
+from repro.interp.astcompile import compile_source
+from repro.interp.code import CodeObject
+from repro.interp.disassembler import build_call_opcode_map, disassemble, iter_code_objects
+
+
+def test_compiles_module_with_function():
+    code = compile_source("def f(x):\n    return x + 1\ny = 7\n")
+    names = [i.opcode for i in code.instructions]
+    assert op.MAKE_FUNCTION in names
+    assert op.STORE_NAME in names
+
+
+def test_line_numbers_are_attached():
+    code = compile_source("a = 1\nb = 2\n")
+    lines = {i.lineno for i in code.instructions if i.opcode == op.STORE_NAME}
+    assert lines == {1, 2}
+
+
+def test_call_opcode_for_function_call():
+    code = compile_source("f(1, 2)\n")
+    calls = [i for i in code.instructions if i.opcode == op.CALL]
+    assert len(calls) == 1
+    assert calls[0].arg == (2, ())
+
+
+def test_method_call_uses_call_method():
+    code = compile_source("xs.append(1)\n")
+    assert any(i.opcode == op.CALL_METHOD for i in code.instructions)
+    assert any(i.opcode == op.LOAD_METHOD and i.arg == "append" for i in code.instructions)
+
+
+def test_keyword_arguments():
+    code = compile_source("f(1, key=2)\n")
+    call = next(i for i in code.instructions if i.opcode == op.CALL)
+    assert call.arg == (1, ("key",))
+
+
+def test_loop_compilation_has_jump_back():
+    code = compile_source("for i in range(3):\n    x = i\n")
+    assert any(i.opcode == op.FOR_ITER for i in code.instructions)
+    assert any(i.opcode == op.GET_ITER for i in code.instructions)
+
+
+def test_while_break_continue():
+    source = (
+        "i = 0\n"
+        "while True:\n"
+        "    i = i + 1\n"
+        "    if i > 3:\n"
+        "        break\n"
+        "    continue\n"
+    )
+    code = compile_source(source)
+    jumps = [i for i in code.instructions if i.opcode == op.JUMP]
+    assert jumps  # break and continue compile to jumps
+    for instr in code.instructions:
+        if instr.opcode in (op.JUMP, op.POP_JUMP_IF_FALSE, op.POP_JUMP_IF_TRUE):
+            assert 0 <= instr.arg <= len(code.instructions)
+
+
+def test_global_declaration_collected():
+    code = compile_source("def f():\n    global g\n    g = 1\n")
+    fn_code = next(c for c in code.constants if isinstance(c, CodeObject))
+    assert fn_code.global_names == ("g",)
+
+
+def test_slice_compilation():
+    code = compile_source("y = xs[1:5]\n")
+    assert any(i.opcode == op.BUILD_SLICE for i in code.instructions)
+
+
+def test_unsupported_constructs_raise():
+    for bad in [
+        "import os\n",
+        "class C:\n    pass\n",
+        "x = [i for xs in y for i in xs]\n",  # multi-generator
+        "a = b = 1\n",
+        "def f(*args):\n    pass\n",
+        "def f(x=1):\n    pass\n",
+        "a < b < c\n",
+        "f(*xs)\n",
+        "try:\n    pass\nexcept Exception:\n    pass\n",
+    ]:
+        with pytest.raises(CompileError):
+            compile_source(bad)
+
+
+def test_syntax_error_becomes_compile_error():
+    with pytest.raises(CompileError):
+        compile_source("def f(:\n")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError):
+        compile_source("break\n")
+
+
+def test_return_outside_function_rejected():
+    with pytest.raises(CompileError):
+        compile_source("return 1\n")
+
+
+def test_docstrings_are_skipped():
+    code = compile_source('"""module doc"""\nx = 1\n')
+    consts = [c for c in code.constants if c == "module doc"]
+    assert not consts
+
+
+def test_const_pool_interning():
+    code = compile_source("a = 5\nb = 5\nc = 5.0\n")
+    # int 5 interned once; 5.0 is distinct (type-sensitive interning).
+    fives = [c for c in code.constants if isinstance(c, int) and c == 5 and not isinstance(c, bool)]
+    floats = [c for c in code.constants if isinstance(c, float)]
+    assert len(fives) == 1
+    assert len(floats) == 1
+
+
+# -- disassembler ---------------------------------------------------------------
+
+
+def test_disassemble_renders_listing():
+    code = compile_source("x = 1\nf(x)\n")
+    listing = disassemble(code)
+    assert "LOAD_CONST" in listing
+    assert "CALL" in listing
+
+
+def test_call_opcode_map_covers_nested_functions():
+    source = "def f():\n    g()\n\nf()\n"
+    code = compile_source(source)
+    call_map = build_call_opcode_map(code)
+    assert len(call_map) == 2  # module + f
+    for code_object in iter_code_objects(code):
+        expected = {
+            i for i, ins in enumerate(code_object.instructions) if ins.opcode in op.CALL_OPCODES
+        }
+        assert call_map[id(code_object)] == expected
+
+
+@given(st.integers(min_value=-1000, max_value=1000), st.integers(min_value=-1000, max_value=1000))
+def test_arithmetic_matches_host_python(a, b):
+    """Property: compiled arithmetic agrees with host Python."""
+    from repro.runtime.process import SimProcess
+
+    source = f"r = ({a} + {b}) * 3 - {a} // 7 + {b} % 5\n"
+    process = SimProcess(source, filename="prop.py")
+    # Hold onto the result before finalization clears globals.
+    result = {}
+    original = process._finalize
+
+    def capture():
+        result["r"] = process.globals.get("r")
+        original()
+
+    process._finalize = capture
+    process.run()
+    assert result["r"] == (a + b) * 3 - a // 7 + b % 5

@@ -1,0 +1,93 @@
+"""Tests for comprehension and subscript-augassign support."""
+
+import pytest
+
+from repro.errors import CompileError, VMError
+from repro.interp.astcompile import compile_source
+from repro.runtime.process import SimProcess
+
+
+def run_and_capture(source):
+    process = SimProcess(source, filename="comp.py")
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured.update(process.globals)
+        from repro.interp.objects import incref
+
+        for value in captured.values():
+            incref(value)
+        original()
+
+    process._finalize = capture
+    process.run()
+    return process, captured
+
+
+def test_list_comprehension():
+    _, g = run_and_capture("xs = [i * 2 for i in range(5)]\n")
+    assert g["xs"].items == [0, 2, 4, 6, 8]
+
+
+def test_list_comprehension_with_filter():
+    _, g = run_and_capture("xs = [i for i in range(10) if i % 3 == 0]\n")
+    assert g["xs"].items == [0, 3, 6, 9]
+
+
+def test_list_comprehension_over_simlist():
+    _, g = run_and_capture("src = [1, 2, 3]\nxs = [v + 10 for v in src]\n")
+    assert g["xs"].items == [11, 12, 13]
+
+
+def test_generator_expression_materializes():
+    _, g = run_and_capture("total = sum(i * i for i in range(5))\n")
+    assert g["total"] == 30
+
+
+def test_nested_usage_in_call():
+    _, g = run_and_capture("n = len([i for i in range(7) if i > 2])\n")
+    assert g["n"] == 4
+
+
+def test_comprehension_result_is_heap_backed():
+    process, _ = run_and_capture("xs = [i for i in range(100)]\ndel xs\n")
+    assert process.mem.logical_footprint() == 0
+
+
+def test_multi_generator_rejected():
+    with pytest.raises(CompileError):
+        compile_source("x = [i + j for i in a for j in b]\n")
+
+
+def test_augassign_on_dict_subscript():
+    _, g = run_and_capture(
+        "d = {'a': 1}\n"
+        "d['a'] += 5\n"
+        "d['a'] *= 2\n"
+        "v = d['a']\n"
+    )
+    assert g["v"] == 12
+
+
+def test_augassign_on_list_subscript():
+    _, g = run_and_capture("xs = [1, 2, 3]\nxs[1] += 10\n")
+    assert g["xs"].items == [1, 12, 3]
+
+
+def test_augassign_subscript_missing_key_raises():
+    with pytest.raises(VMError, match="KeyError"):
+        SimProcess("d = {}\nd['missing'] += 1\n", filename="c.py").run()
+
+
+def test_augassign_on_attribute_still_rejected():
+    with pytest.raises(CompileError):
+        compile_source("obj.field += 1\n")
+
+
+def test_comprehension_matches_host_semantics():
+    source = "xs = [i * 3 - 1 for i in range(20) if i % 2 == 1]\n"
+    _, g = run_and_capture(source)
+    namespace = {}
+    exec(source, {"range": range}, namespace)  # noqa: S102 - oracle
+    assert g["xs"].items == namespace["xs"]

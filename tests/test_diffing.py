@@ -1,0 +1,82 @@
+"""Tests for profile diffing (the before/after verification loop of §7)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.analysis.diffing import diff_profiles
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+
+BEFORE = (
+    "total = 0\n"
+    "for i in range(6000):\n"
+    "    total = total + i * 3 - 1\n"  # line 3: the slow scalar loop
+    "buf = py_buffer(60000000)\n"
+    "a = np.zeros(1000000)\n"
+    "b = np.copy(a)\n"
+    "del buf\n"
+)
+
+AFTER = (
+    "x = np.zeros(6000)\n"
+    "y = x * 3.0\n"
+    "total = y.sum()\n"  # vectorized replacement
+    "buf = py_buffer(20000000)\n"  # smaller buffer after the fix
+    "a = np.zeros(1000000)\n"
+    "b = a[0:1000000]\n"  # view instead of copy
+    "del buf\n"
+)
+
+
+def profile(source):
+    process = SimProcess(source, filename="opt.py")
+    install_standard_libraries(process)
+    return Scalene.run(process, mode="full")
+
+
+P_BEFORE = profile(BEFORE)
+P_AFTER = profile(AFTER)
+DIFF = diff_profiles(P_BEFORE, P_AFTER)
+
+
+def test_headline_speedup():
+    assert DIFF.speedup > 3.0
+    assert DIFF.elapsed_before > DIFF.elapsed_after
+
+
+def test_memory_savings():
+    assert DIFF.memory_saved_mb > 30
+
+
+def test_copy_volume_eliminated():
+    assert DIFF.copy_mb_before > DIFF.copy_mb_after
+
+
+def test_hottest_improvement_is_the_scalar_loop():
+    improvements = DIFF.hottest_improvements(top=3)
+    assert improvements[0].lineno == 3
+    assert improvements[0].cpu_percent_delta < -20
+
+
+def test_lines_unique_to_one_profile_are_covered():
+    linenos = {d.lineno for d in DIFF.line_deltas}
+    before_lines = {l.lineno for l in P_BEFORE.lines}
+    after_lines = {l.lineno for l in P_AFTER.lines}
+    assert linenos == before_lines | after_lines
+
+
+def test_regressions_detection():
+    # Diffing a profile against itself: no regressions, 1.0x speedup.
+    self_diff = diff_profiles(P_BEFORE, P_BEFORE)
+    assert self_diff.speedup == pytest.approx(1.0)
+    assert self_diff.regressions() == []
+    # Reversed diff: the slow loop shows up as a regression.
+    reversed_diff = diff_profiles(P_AFTER, P_BEFORE)
+    assert any(d.lineno == 3 for d in reversed_diff.regressions())
+
+
+def test_render_text():
+    text = DIFF.render_text()
+    assert "speedup" in text
+    assert "peak memory" in text
+    assert "biggest line improvements" in text

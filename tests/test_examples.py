@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs cleanly and says what it should.
+
+Examples are the public face of the library; a broken example is a broken
+deliverable, so each is executed in-process (fast path where possible).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.stem for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+#: A phrase each example's stdout must contain (proves the scenario ran).
+EXPECTED_PHRASES = {
+    "quickstart": "What to look for",
+    "leak_hunt": "Leak detector verdict",
+    "gpu_training": "mean GPU utilization",
+    "copy_volume_pandas": "speedup",
+    "vectorization": "speedup from vectorizing",
+    "compare_profilers": "scalene (full)",
+    "multiprocess_pool": "parent wall time",
+    "optimize_loop": "verification diff",
+    "model_cost_triage": "Triage",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_PHRASES)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    path = Path(__file__).parent.parent / "examples" / f"{name}.py"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_PHRASES[name] in out

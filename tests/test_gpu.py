@@ -1,0 +1,94 @@
+"""Tests for the simulated GPU device and NVML query facade (paper §4)."""
+
+import pytest
+
+from repro.errors import GpuError
+from repro.gpu.device import GpuDevice, NvmlQuery
+from repro.units import GiB, MiB
+
+
+def test_kernel_utilization_within_window():
+    gpu = GpuDevice(utilization_window=1.0)
+    gpu.launch_kernel(pid=1, start=0.0, duration=0.5)
+    # Query at t=1.0 over [0,1]: busy 0.5 of 1.0.
+    assert gpu.utilization(1.0) == pytest.approx(0.5)
+
+
+def test_utilization_is_clamped_to_one():
+    gpu = GpuDevice(utilization_window=1.0)
+    gpu.launch_kernel(pid=1, start=0.0, duration=2.0)
+    assert gpu.utilization(1.0) == 1.0
+
+
+def test_utilization_per_pid():
+    gpu = GpuDevice(utilization_window=1.0)
+    gpu.launch_kernel(pid=1, start=0.0, duration=0.25)
+    gpu.launch_kernel(pid=2, start=0.25, duration=0.5)
+    assert gpu.utilization(1.0, pid=1) == pytest.approx(0.25)
+    assert gpu.utilization(1.0, pid=2) == pytest.approx(0.5)
+    assert gpu.utilization(1.0) == pytest.approx(0.75)
+
+
+def test_utilization_window_excludes_old_kernels():
+    gpu = GpuDevice(utilization_window=0.5)
+    gpu.launch_kernel(pid=1, start=0.0, duration=0.1)
+    assert gpu.utilization(10.0) == 0.0
+
+
+def test_memory_accounting_per_pid():
+    gpu = GpuDevice()
+    a = gpu.alloc(pid=1, nbytes=100 * MiB)
+    gpu.alloc(pid=2, nbytes=50 * MiB)
+    assert gpu.memory_used(1) == 100 * MiB
+    assert gpu.memory_used() == 150 * MiB
+    gpu.free(a)
+    assert gpu.memory_used(1) == 0
+
+
+def test_oom_raises():
+    gpu = GpuDevice(memory_total=1 * GiB)
+    gpu.alloc(pid=1, nbytes=1 * GiB)
+    with pytest.raises(GpuError):
+        gpu.alloc(pid=1, nbytes=1)
+
+
+def test_free_unknown_address_raises():
+    gpu = GpuDevice()
+    with pytest.raises(GpuError):
+        gpu.free(0xDEAD)
+
+
+def test_negative_values_rejected():
+    gpu = GpuDevice()
+    with pytest.raises(GpuError):
+        gpu.alloc(1, -1)
+    with pytest.raises(GpuError):
+        gpu.launch_kernel(1, 0.0, -0.5)
+    with pytest.raises(GpuError):
+        gpu.utilization(1.0, window=0.0)
+
+
+def test_nvml_snapshot_respects_accounting_mode():
+    """Without per-PID accounting the query aggregates all tenants (§4)."""
+    gpu = GpuDevice(utilization_window=1.0)
+    nvml = NvmlQuery(gpu)
+    gpu.alloc(pid=1, nbytes=10 * MiB)
+    gpu.alloc(pid=99, nbytes=30 * MiB)  # another tenant
+    gpu.launch_kernel(pid=99, start=0.0, duration=1.0)
+
+    util, mem = nvml.snapshot(now=1.0, pid=1)
+    assert util == 1.0  # sees the other tenant's kernels
+    assert mem == 40 * MiB
+
+    gpu.enable_per_pid_accounting()
+    util, mem = nvml.snapshot(now=1.0, pid=1)
+    assert util == 0.0
+    assert mem == 10 * MiB
+
+
+def test_prune_drops_old_kernels():
+    gpu = GpuDevice()
+    gpu.launch_kernel(1, 0.0, 0.1)
+    gpu.launch_kernel(1, 5.0, 0.1)
+    gpu.prune(before=1.0)
+    assert len(gpu._kernels) == 1

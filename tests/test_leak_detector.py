@@ -1,0 +1,132 @@
+"""Unit tests for the leak detector's scoring and filtering (paper §3.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import ScaleneConfig
+from repro.core.leak_detector import LeakDetector, leak_likelihood
+
+LOC_A = ("app.py", 10, "grow")
+LOC_B = ("app.py", 20, "churn")
+
+GROWING_TIMELINE = [(0.0, 10.0), (5.0, 100.0)]
+FLAT_TIMELINE = [(0.0, 100.0), (5.0, 100.0)]
+
+
+def make_detector():
+    return LeakDetector(ScaleneConfig())
+
+
+def feed_growth(detector, location, n, footprint_start=0, freed=False, nbytes=1 << 20):
+    """Simulate n consecutive high-water growth samples at a site."""
+    footprint = footprint_start
+    for i in range(n):
+        footprint += 20 << 20
+        detector.on_growth_sample(
+            footprint=footprint,
+            address=0x1000 + i,
+            nbytes=nbytes,
+            location=location,
+            wall=float(i),
+        )
+        if freed:
+            detector.on_free(0x1000 + i)
+    return footprint
+
+
+# -- the likelihood formula ----------------------------------------------------
+
+
+def test_likelihood_formula_matches_paper():
+    # 1 - (frees+1)/(mallocs-frees+2)
+    assert leak_likelihood(10, 0) == pytest.approx(1 - 1 / 12)
+    assert leak_likelihood(10, 10) == pytest.approx(1 - 11 / 2)
+    assert leak_likelihood(0, 0) == pytest.approx(0.5)
+
+
+def test_likelihood_needs_about_20_observations_for_95():
+    assert leak_likelihood(17, 0) < 0.95
+    assert leak_likelihood(18, 0) >= 0.95
+
+
+def test_likelihood_rejects_invalid_scores():
+    with pytest.raises(ValueError):
+        leak_likelihood(1, 2)
+    with pytest.raises(ValueError):
+        leak_likelihood(-1, 0)
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_never_freed_likelihood_monotone(n):
+    """More never-freed observations → monotonically higher likelihood."""
+    if n == 0:
+        return
+    assert leak_likelihood(n, 0) >= leak_likelihood(n - 1, 0)
+
+
+# -- detector behaviour ----------------------------------------------------
+
+
+def test_leaking_site_is_reported():
+    detector = make_detector()
+    feed_growth(detector, LOC_A, 30, freed=False)
+    detector.finalize()
+    reports = detector.report(GROWING_TIMELINE, elapsed=5.0)
+    assert len(reports) == 1
+    assert reports[0].lineno == 10
+    assert reports[0].likelihood >= 0.95
+    assert reports[0].leak_rate_mb_s > 0
+
+
+def test_reclaimed_site_is_not_reported():
+    detector = make_detector()
+    feed_growth(detector, LOC_A, 30, freed=True)
+    detector.finalize()
+    assert detector.report(GROWING_TIMELINE, elapsed=5.0) == []
+
+
+def test_flat_memory_suppresses_all_reports():
+    """The ≥1% overall-growth filter (§3.4)."""
+    detector = make_detector()
+    feed_growth(detector, LOC_A, 30, freed=False)
+    detector.finalize()
+    assert detector.report(FLAT_TIMELINE, elapsed=5.0) == []
+
+
+def test_too_few_observations_not_reported():
+    detector = make_detector()
+    feed_growth(detector, LOC_A, 5, freed=False)
+    detector.finalize()
+    assert detector.report(GROWING_TIMELINE, elapsed=5.0) == []
+
+
+def test_non_high_water_growth_ignored():
+    detector = make_detector()
+    detector.on_growth_sample(
+        footprint=100 << 20, address=1, nbytes=1 << 20, location=LOC_A, wall=0.0
+    )
+    # Lower footprint: not a new maximum → not tracked.
+    detector.on_growth_sample(
+        footprint=50 << 20, address=2, nbytes=1 << 20, location=LOC_A, wall=1.0
+    )
+    mallocs, _frees = detector.site_score(LOC_A)
+    assert mallocs == 1
+
+
+def test_free_checks_are_counted():
+    detector = make_detector()
+    feed_growth(detector, LOC_A, 3)
+    for addr in range(100):
+        detector.on_free(addr)
+    assert detector.free_checks == 100
+
+
+def test_reports_sorted_by_leak_rate():
+    detector = make_detector()
+    footprint = feed_growth(detector, LOC_A, 25, nbytes=1 << 20)
+    feed_growth(detector, LOC_B, 25, footprint_start=footprint, nbytes=16 << 20)
+    detector.finalize()
+    reports = detector.report(GROWING_TIMELINE, elapsed=5.0)
+    assert len(reports) == 2
+    assert reports[0].lineno == 20  # the bigger leaker first
+    assert reports[0].leak_rate_mb_s > reports[1].leak_rate_mb_s

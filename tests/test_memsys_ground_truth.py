@@ -1,0 +1,114 @@
+"""Tests for the memory-subsystem facade and the ground-truth oracle."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.ground_truth import GroundTruth
+from repro.runtime.memsys import MemSubsystem
+
+
+class FakeFrame:
+    def __init__(self, filename="gt.py", lineno=7, name="fn"):
+        self._loc = (filename, lineno, name)
+        self.back = None
+
+    def location(self):
+        return self._loc
+
+
+class FakeThread:
+    def __init__(self, frame=None):
+        self.frame = frame or FakeFrame()
+        self.ident = 1
+        self.is_main = True
+
+
+def test_logical_footprint_tracks_both_domains():
+    mem = MemSubsystem(VirtualClock())
+    py = mem.py_alloc(1000)
+    native = mem.native_alloc(2000)
+    assert mem.logical_footprint() == 3000
+    mem.py_free(py)
+    assert mem.logical_footprint() == 2000
+    mem.native_free(native)
+    assert mem.logical_footprint() == 0
+
+
+def test_peak_footprint_updates():
+    mem = MemSubsystem(VirtualClock())
+    a = mem.py_alloc(5000)
+    mem.py_free(a)
+    b = mem.py_alloc(3000)
+    assert mem.peak_footprint >= 5000
+    mem.py_free(b)
+
+
+def test_scratch_is_footprint_neutral():
+    mem = MemSubsystem(VirtualClock())
+    mem.py_scratch(10_000_000)
+    assert mem.logical_footprint() == 0
+    assert mem.pymalloc.total_bytes_allocated >= 10_000_000
+
+
+def test_rss_reflects_native_touch_only():
+    mem = MemSubsystem(VirtualClock(), base_rss_bytes=0)
+    mem.native_alloc(1_000_000, touch=False)
+    untouched_rss = mem.rss()
+    mem.native_alloc(1_000_000, touch=True)
+    assert mem.rss() > untouched_rss
+
+
+def test_ground_truth_time_attribution():
+    gt = GroundTruth()
+    thread = FakeThread()
+    gt.record_python_time(thread, 0.5)
+    gt.record_native_time(thread, 0.25)
+    gt.record_system_time(thread, 0.1)
+    line = gt.lines[("gt.py", 7)]
+    assert line.python_time == 0.5
+    assert line.native_time == 0.25
+    assert line.system_time == 0.1
+    assert line.total_time == pytest.approx(0.85)
+    assert gt.total_time == pytest.approx(0.85)
+    assert gt.function_time("fn") == pytest.approx(0.75)  # cpu only
+
+
+def test_ground_truth_memory_attribution():
+    gt = GroundTruth()
+    thread = FakeThread()
+    gt.record_alloc(thread, 1000, "python")
+    gt.record_alloc(thread, 2000, "native")
+    gt.record_free(thread, 400, "python")
+    line = gt.lines[("gt.py", 7)]
+    assert line.python_alloc_bytes == 1000
+    assert line.native_alloc_bytes == 2000
+    assert line.net_bytes == 2600
+
+
+def test_ground_truth_handles_threadless_events():
+    gt = GroundTruth()
+    gt.record_python_time(None, 1.0)
+    gt.record_alloc(None, 100, "python")
+    assert gt.total_python_time == 1.0
+    assert gt.lines == {}
+
+
+def test_ground_truth_explicit_location_for_system_time():
+    gt = GroundTruth()
+    gt.record_system_time(None, 2.0, location=("io.py", 3, "wait"))
+    assert gt.lines[("io.py", 3)].system_time == 2.0
+
+
+def test_ground_truth_overhead_bucket():
+    gt = GroundTruth()
+    gt.record_overhead(0.125)
+    assert gt.profiler_overhead == 0.125
+
+
+def test_ground_truth_footprint_series():
+    gt = GroundTruth()
+    gt.record_footprint(0.0, 100)
+    gt.record_footprint(1.0, 500)
+    gt.record_footprint(2.0, 200)
+    assert gt.peak_footprint == 500
+    assert len(gt.footprint_series) == 3

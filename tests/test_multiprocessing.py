@@ -1,0 +1,107 @@
+"""Tests for the multiprocessing substrate and profiler support (Fig. 1)."""
+
+import pytest
+
+from repro.baselines import make_profiler
+from repro.core import Scalene
+from repro.errors import VMError
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+
+MP_SOURCE = (
+    "def worker(wid):\n"
+    "    s = 0\n"
+    "    for i in range(2000):\n"
+    "        s = s + 1\n"  # line 4: the children's hot line
+    "    return s\n"
+    "if is_main():\n"  # the __main__ guard, as real mp code needs
+    "    mp.run_workers(worker, 3)\n"
+    "tail = 0\n"
+    "for i in range(200):\n"
+    "    tail = tail + 1\n"  # line 10: the parent's tail loop
+)
+
+
+def make_process(source=MP_SOURCE):
+    process = SimProcess(source, filename="mp.py")
+    install_standard_libraries(process)
+    return process
+
+
+def test_children_run_and_parent_waits_for_slowest():
+    process = make_process()
+    process.run()
+    assert len(process.children) == 3
+    child_walls = [c.clock.wall for c in process.children]
+    # Parent wall covers the slowest child (parallel children).
+    assert process.clock.wall >= max(child_walls)
+    # But nowhere near the *sum* (they did not serialize).
+    assert process.clock.wall < sum(child_walls)
+
+
+def test_children_re_import_module():
+    # Module-level definitions exist in children (spawn semantics): each
+    # child computed _mp_result.
+    process = make_process()
+    process.run()
+    for child in process.children:
+        assert child.stdout == []  # worker prints nothing
+        assert child.clock.cpu > 0
+
+
+def test_scalene_profiles_child_work():
+    process = make_process()
+    prof = Scalene.run(process, mode="cpu")
+    hot = prof.line(4)
+    assert hot is not None
+    # The children's loop dominates the whole session.
+    assert hot.cpu_python_percent > 25
+
+
+def test_pyspy_follows_children():
+    process = make_process()
+    profiler = make_profiler("py_spy", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    assert report.line_time(4) > 0
+
+
+def test_pprofile_stat_misses_children():
+    """Profilers without multiprocessing support never see child work."""
+    process = make_process()
+    profiler = make_profiler("pprofile_stat", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    assert report.line_time(4) == 0.0
+    # It does see the parent's tail loop.
+    assert report.line_time(10) >= 0.0
+
+
+def test_run_workers_validation():
+    for bad_source in (
+        "if is_main():\n    mp.run_workers(5, 2)\n",  # not a function
+        "def w(a, b):\n    return a\nif is_main():\n    mp.run_workers(w, 2)\n",  # arity
+        "def w(a):\n    return a\nif is_main():\n    mp.run_workers(w, 0)\n",  # count
+        "def w(a):\n    return a\nif is_main():\n    mp.run_workers(w)\n",  # missing count
+    ):
+        process = make_process(bad_source)
+        with pytest.raises(VMError):
+            process.run()
+
+
+def test_children_share_the_gpu_device():
+    source = (
+        "def worker(wid):\n"
+        "    t = torch.tensor(10000)\n"
+        "    u = t * 2.0\n"
+        "    torch.synchronize()\n"
+        "    return wid\n"
+        "if is_main():\n"
+        "    mp.run_workers(worker, 2)\n"
+    )
+    process = make_process(source)
+    process.run()
+    # Both children launched kernels on the shared device.
+    assert process.gpu.kernels_launched >= 2

@@ -1,0 +1,122 @@
+"""Tests for profile assembly: filtering, function aggregation, rendering."""
+
+import pytest
+
+from repro.core.config import ScaleneConfig
+from repro.core.filtering import significant_lines
+from repro.core.profile_data import build_profile
+from repro.core.stats import LineStats, ScaleneStats
+
+
+def make_stats(num_lines: int, hot_lines=(5,)) -> ScaleneStats:
+    stats = ScaleneStats()
+    stats.start_wall = 0.0
+    stats.stop_wall = 10.0
+    for lineno in range(1, num_lines + 1):
+        line = stats.line("app.py", lineno, f"fn{lineno % 3}")
+        if lineno in hot_lines:
+            line.python_time = 5.0
+            stats.total_python_time += 5.0
+        else:
+            line.python_time = 0.001
+            stats.total_python_time += 0.001
+    return stats
+
+
+def test_significant_lines_keeps_hot_plus_neighbours():
+    stats = make_stats(50, hot_lines=(25,))
+    keys = significant_lines(stats.lines, stats.total_cpu_time, 0.0)
+    linenos = [lineno for _f, lineno in keys]
+    assert 25 in linenos
+    assert 24 in linenos and 26 in linenos
+    assert 10 not in linenos  # a cold line far from the hot one
+
+
+def test_significant_lines_min_line_is_one():
+    stats = make_stats(3, hot_lines=(1,))
+    keys = significant_lines(stats.lines, stats.total_cpu_time, 0.0)
+    assert all(lineno >= 1 for _f, lineno in keys)
+
+
+def test_300_line_guarantee():
+    """§5: a profile never contains more than 300 lines."""
+    stats = ScaleneStats()
+    stats.total_python_time = 1000.0
+    for lineno in range(1, 2001):
+        line = stats.line("big.py", lineno)
+        line.python_time = 0.5  # everything is "significant"
+    keys = significant_lines(stats.lines, stats.total_cpu_time, 0.0, max_lines=300)
+    assert len(keys) <= 300
+
+
+def test_memory_significance_counts_too():
+    stats = ScaleneStats()
+    stats.total_python_time = 100.0
+    cold = stats.line("app.py", 3)
+    cold.python_time = 0.0001
+    allocator = stats.line("app.py", 7)
+    allocator.malloc_mb = 50.0
+    stats.total_alloc_mb = 50.0
+    keys = significant_lines(stats.lines, stats.total_cpu_time, stats.total_alloc_mb)
+    assert ("app.py", 7) in keys
+    assert ("app.py", 3) not in keys
+
+
+def test_build_profile_populates_lines_and_functions():
+    stats = make_stats(10, hot_lines=(5,))
+    config = ScaleneConfig()
+    profile = build_profile(
+        stats,
+        config,
+        source_lines={"app.py": [f"line {i}" for i in range(1, 11)]},
+        leaks=[],
+    )
+    hot = profile.line(5)
+    assert hot is not None
+    assert hot.source == "line 5"
+    assert hot.cpu_python_percent > 90
+    assert profile.functions
+    top = profile.functions[0]
+    assert top.cpu_total_percent >= profile.functions[-1].cpu_total_percent
+    assert profile.function(top.function) is top
+
+
+def test_neighbour_lines_have_empty_stats():
+    stats = make_stats(10, hot_lines=(5,))
+    # Remove line 4 from stats entirely: it should still appear (context)
+    # with zeroed columns.
+    del stats.lines[("app.py", 4)]
+    profile = build_profile(
+        stats,
+        config=ScaleneConfig(),
+        source_lines={"app.py": [f"l{i}" for i in range(1, 11)]},
+        leaks=[],
+    )
+    neighbour = profile.line(4)
+    assert neighbour is not None
+    assert neighbour.cpu_total_percent == 0.0
+
+
+def test_to_json_parses():
+    import json
+
+    stats = make_stats(10)
+    profile = build_profile(
+        stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[]
+    )
+    payload = json.loads(profile.to_json())
+    assert payload["cpu"]["samples"] == 0
+    assert isinstance(payload["lines"], list)
+
+
+def test_mem_python_percent():
+    stats = ScaleneStats()
+    stats.total_python_time = 1.0
+    line = stats.line("app.py", 2)
+    line.python_time = 1.0
+    line.malloc_mb = 10.0
+    line.python_alloc_mb = 7.5
+    profile = build_profile(
+        stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[]
+    )
+    assert profile.line(2).mem_python_percent == pytest.approx(75.0)

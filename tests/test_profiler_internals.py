@@ -1,0 +1,167 @@
+"""Unit tests for profiler internals: attribution, tracers, samplers."""
+
+import pytest
+
+from repro import SimProcess
+from repro.core.attribution import profiled_location, thread_location
+from repro.core.config import ScaleneConfig
+from repro.core.copy_volume import CopyVolumeProfiler
+from repro.core.memory_profiler import MemoryProfiler
+from repro.core.stats import ScaleneStats
+from repro.errors import ProfilerError
+from repro.interp.code import CodeObject, Frame
+
+
+def frame_for(filename: str, lineno: int, back=None, name="fn"):
+    code = CodeObject(name=name, filename=filename)
+    frame = Frame(code, {})
+    frame.lineno = lineno
+    frame.back = back
+    return frame
+
+
+# -- attribution -----------------------------------------------------------
+
+
+def test_profiled_location_skips_library_frames():
+    app_frame = frame_for("app.py", 10, name="caller")
+    lib_frame = frame_for("<native>", 99, back=app_frame, name="lib_fn")
+    location = profiled_location(lib_frame, {"app.py"})
+    assert location == ("app.py", 10, "caller")
+
+
+def test_profiled_location_none_outside_profiled_code():
+    lib_frame = frame_for("lib.py", 5)
+    assert profiled_location(lib_frame, {"app.py"}) is None
+
+
+def test_thread_location_without_frame():
+    class T:
+        frame = None
+
+    assert thread_location(T(), {"app.py"}) is None
+    assert thread_location(None, {"app.py"}) is None
+
+
+# -- memory profiler unit behaviour -----------------------------------------
+
+
+def make_mem_profiler(threshold=10 * 1024 * 1024):
+    process = SimProcess("x = 1\n", filename="m.py")
+    config = ScaleneConfig(memory_threshold=threshold)
+    profiler = MemoryProfiler(process, config, ScaleneStats())
+    profiler.install()
+    return process, profiler
+
+
+def test_memory_profiler_double_install_rejected():
+    process, profiler = make_mem_profiler()
+    with pytest.raises(ProfilerError):
+        profiler.install()
+    profiler.uninstall()
+    profiler.uninstall()  # idempotent
+
+
+def test_threshold_crossing_in_both_directions():
+    process, profiler = make_mem_profiler(threshold=1000)
+    thread = process.main_thread
+    profiler.observe(1500, "python", 0x1, thread)
+    assert profiler.sample_count == 1  # growth crossing
+    profiler.observe(-1500, "python", 0x1, thread)
+    assert profiler.sample_count == 2  # decline crossing
+    profiler.uninstall()
+
+
+def test_sub_threshold_oscillation_never_samples():
+    process, profiler = make_mem_profiler(threshold=1000)
+    thread = process.main_thread
+    for i in range(100):
+        profiler.observe(600, "python", i, thread)
+        profiler.observe(-600, "python", i, thread)
+    assert profiler.sample_count == 0
+    assert profiler.event_count == 200
+    profiler.uninstall()
+
+
+def test_python_fraction_reflects_window_mix():
+    process, profiler = make_mem_profiler(threshold=1000)
+    stats = profiler._stats
+    thread = process.main_thread
+    profiler.observe(300, "python", 1, thread)
+    profiler.observe(900, "native", 2, thread)  # crossing: 25% python
+    assert profiler.sample_count == 1
+    record = profiler.samplefile.all_records()[-1]
+    assert ",0.250," in record
+    profiler.uninstall()
+
+
+def test_observe_charges_overhead():
+    process, profiler = make_mem_profiler()
+    before = process.clock.cpu
+    profiler.observe(10, "python", 1, process.main_thread)
+    assert process.clock.cpu > before
+    profiler.uninstall()
+
+
+# -- copy volume unit behaviour -----------------------------------------
+
+
+class _Memcpy:
+    def __init__(self, nbytes, thread):
+        self.nbytes = nbytes
+        self.thread = thread
+        self.direction = "host"
+
+
+def test_copy_volume_rate_sampling():
+    process = SimProcess("x = 1\n", filename="m.py")
+    config = ScaleneConfig(copy_sampling_rate=1000)
+    stats = ScaleneStats()
+    profiler = CopyVolumeProfiler(process, config, stats)
+    profiler.install()
+    thread = process.main_thread
+    profiler.on_memcpy(_Memcpy(2500, thread))
+    assert profiler.sample_count == 2  # two full 1000-byte units
+    profiler.on_memcpy(_Memcpy(500, thread))
+    assert profiler.sample_count == 3  # the residue carried over
+    profiler.uninstall()
+    assert stats.total_copy_mb > 0
+
+
+def test_copy_volume_double_install_rejected():
+    process = SimProcess("x = 1\n", filename="m.py")
+    profiler = CopyVolumeProfiler(process, ScaleneConfig(), ScaleneStats())
+    profiler.install()
+    with pytest.raises(ProfilerError):
+        profiler.install()
+    profiler.uninstall()
+
+
+# -- config validation -----------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ProfilerError):
+        ScaleneConfig(mode="turbo")
+    with pytest.raises(ProfilerError):
+        ScaleneConfig(cpu_sampling_interval=0)
+    with pytest.raises(ProfilerError):
+        ScaleneConfig(memory_threshold=-1)
+    with pytest.raises(ProfilerError):
+        ScaleneConfig(copy_sampling_rate=0)
+
+
+def test_config_mode_properties():
+    assert not ScaleneConfig(mode="cpu").profiles_memory
+    assert not ScaleneConfig(mode="cpu").profiles_gpu
+    assert ScaleneConfig(mode="cpu+gpu").profiles_gpu
+    assert ScaleneConfig(mode="full").profiles_memory
+    assert ScaleneConfig(mode="full").profiles_gpu
+
+
+def test_scalene_config_mode_conflict():
+    from repro.core import Scalene
+
+    process = SimProcess("x = 1\n", filename="m.py")
+    with pytest.raises(ProfilerError):
+        Scalene(process, config=ScaleneConfig(mode="cpu"), mode="full")

@@ -1,0 +1,95 @@
+"""Tests for the RDP timeline reduction (paper §5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rdp import rdp, reduce_timeline
+
+
+def test_short_series_unchanged():
+    points = [(0.0, 0.0), (1.0, 1.0)]
+    assert rdp(points, 0.1) == points
+    assert reduce_timeline(points, 100) == points
+
+
+def test_collinear_points_are_removed():
+    points = [(float(i), 2.0 * i) for i in range(100)]
+    reduced = rdp(points, 0.01)
+    assert reduced == [points[0], points[-1]]
+
+
+def test_spike_is_preserved():
+    points = [(float(i), 0.0) for i in range(50)]
+    points[25] = (25.0, 100.0)
+    reduced = rdp(points, 1.0)
+    assert (25.0, 100.0) in reduced
+
+
+def test_negative_epsilon_rejected():
+    with pytest.raises(ValueError):
+        rdp([(0, 0), (1, 1), (2, 2)], -1.0)
+
+
+def test_reduce_timeline_bounds_points_exactly():
+    # A noisy sawtooth that RDP alone cannot compress: the fallback random
+    # downsampling must guarantee the bound.
+    points = [(float(i), float((-1) ** i) * (1 + i % 7)) for i in range(5000)]
+    reduced = reduce_timeline(points, 100)
+    assert len(reduced) <= 100
+    assert reduced[0] == points[0]
+    assert reduced[-1] == points[-1]
+
+
+def test_reduce_timeline_deterministic():
+    points = [(float(i), float((-1) ** i) * (1 + i % 7)) for i in range(3000)]
+    assert reduce_timeline(points, 100, seed=7) == reduce_timeline(points, 100, seed=7)
+
+
+def test_reduce_timeline_invalid_target():
+    with pytest.raises(ValueError):
+        reduce_timeline([(0, 0), (1, 1), (2, 0)], 1)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e4, allow_nan=False),
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=400,
+    ),
+    st.floats(min_value=0, max_value=100),
+)
+def test_rdp_properties(raw_points, epsilon):
+    """Output is a subsequence, endpoints preserved, never larger."""
+    points = sorted(set(raw_points))
+    if len(points) < 2:
+        return
+    reduced = rdp(points, epsilon)
+    assert reduced[0] == points[0]
+    assert reduced[-1] == points[-1]
+    assert len(reduced) <= len(points)
+    it = iter(points)
+    assert all(p in it for p in reduced)  # subsequence check
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e4, allow_nan=False),
+            st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        ),
+        min_size=2,
+        max_size=1000,
+    ),
+    st.integers(min_value=2, max_value=150),
+)
+def test_reduce_timeline_always_bounded(raw_points, target):
+    points = sorted(set(raw_points))
+    if len(points) < 2:
+        return
+    reduced = reduce_timeline(points, target)
+    assert len(reduced) <= target
+    assert reduced[0] == points[0]
+    assert reduced[-1] == points[-1]

@@ -1,0 +1,158 @@
+"""Tests for region profiling (profile_start/stop) and the tracemalloc
+baseline (§3.4's status quo)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.baselines import make_profiler
+from repro.baselines.tracemalloc_like import TracemallocBaseline
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+
+
+# -- region profiling -----------------------------------------------------
+
+
+def test_start_paused_profiles_only_the_region():
+    source = (
+        "s = 0\n"
+        "for i in range(4000):\n"
+        "    s = s + 1\n"  # line 3: OUTSIDE the profiled region
+        "profile_start()\n"
+        "t = 0\n"
+        "for i in range(4000):\n"
+        "    t = t + 1\n"  # line 7: INSIDE the region
+        "profile_stop()\n"
+        "u = 0\n"
+        "for i in range(4000):\n"
+        "    u = u + 1\n"  # line 11: outside again
+    )
+    process = SimProcess(source, filename="r.py")
+    config = ScaleneConfig(mode="cpu", start_paused=True)
+    scalene = Scalene(process, config=config)
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    inside = profile.line(7)
+    assert inside is not None
+    assert inside.cpu_python_percent > 30
+    outside = profile.line(3)
+    outside_pct = outside.cpu_python_percent if outside else 0.0
+    assert inside.cpu_python_percent > 5 * max(outside_pct, 1.0)
+
+
+def test_memory_sampling_paused_region_excluded():
+    source = (
+        "profile_stop()\n"
+        "a = py_buffer(50000000)\n"  # unprofiled allocation
+        "del a\n"
+        "profile_start()\n"
+        "b = py_buffer(30000000)\n"  # profiled allocation (line 5)
+        "del b\n"
+    )
+    process = SimProcess(source, filename="r.py")
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    assert profile.peak_footprint_mb == pytest.approx(30 * 1e6 / (1 << 20), rel=0.1)
+    assert profile.line(2) is None or profile.line(2).mem_peak_mb == 0
+
+
+def test_profile_toggles_are_noops_without_profiler():
+    process = SimProcess("profile_start()\nprofile_stop()\nx = 1\n", filename="r.py")
+    process.run()  # must not raise
+
+
+def test_pause_resume_idempotent():
+    process = SimProcess("x = 1\n", filename="r.py")
+    scalene = Scalene(process, mode="cpu")
+    scalene.start()
+    scalene.pause()
+    scalene.pause()
+    scalene.resume()
+    scalene.resume()
+    process.run()
+    scalene.stop()
+
+
+# -- tracemalloc baseline -----------------------------------------------------
+
+
+def test_tracemalloc_overhead_is_about_4x():
+    """§3.4: 'just activating tracemalloc can slow applications by 4x'."""
+    source = "s = 0\nfor i in range(8000):\n    s = s + i * 2\n"
+    bare = SimProcess(source, filename="t.py")
+    bare.run()
+    process = SimProcess(source, filename="t.py")
+    profiler = make_profiler("tracemalloc", process)
+    profiler.start()
+    process.run()
+    profiler.stop()
+    slowdown = process.clock.wall / bare.clock.wall
+    assert 2.5 < slowdown < 6.5
+
+
+def test_tracemalloc_snapshot_diff_finds_growth():
+    source = (
+        "cache = []\n"
+        "snap()\n"
+        "for i in range(10):\n"
+        "    cache.append(py_buffer(1000000))\n"  # line 4: the grower
+        "snap()\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    profiler = TracemallocBaseline(process)
+    from repro.interp.objects import NativeFunction
+
+    process.builtins["snap"] = NativeFunction(
+        "snap", lambda ctx, a, k: profiler.take_snapshot()
+    )
+    profiler.start()
+    process.run()
+    diffs = profiler.compare_snapshots(0, 1)
+    profiler.stop()
+    assert diffs
+    top = diffs[0]
+    assert top.lineno == 4
+    assert top.growth_bytes >= 10_000_000
+    # 10 buffers plus incidental interpreter allocations (list growth).
+    assert 10 <= top.count_growth <= 15
+
+
+def test_tracemalloc_tracks_live_not_freed():
+    source = (
+        "keep = py_buffer(5000000)\n"
+        "drop = py_buffer(7000000)\n"
+        "del drop\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    profiler = TracemallocBaseline(process)
+    profiler.start()
+    process.run()
+    # Snapshot semantics: freed allocations leave the live set; we check
+    # via the per-event registry before teardown using event counts.
+    report = profiler.stop()
+    assert report.total_samples > 4  # saw the events
+
+
+def test_scalene_leak_detection_is_far_cheaper_than_tracemalloc():
+    """The headline of §3.4: leak detection piggybacks at ~Scalene-full
+    cost (~1.3x) instead of tracemalloc's ~4x."""
+    source = "s = 0\nfor i in range(8000):\n    s = s + i\n"
+    bare = SimProcess(source, filename="t.py")
+    bare.run()
+
+    with_scalene = SimProcess(source, filename="t.py")
+    Scalene.run(with_scalene, mode="full")
+    scalene_slowdown = with_scalene.clock.wall / bare.clock.wall
+
+    with_tm = SimProcess(source, filename="t.py")
+    profiler = make_profiler("tracemalloc", with_tm)
+    profiler.start()
+    with_tm.run()
+    profiler.stop()
+    tm_slowdown = with_tm.clock.wall / bare.clock.wall
+
+    assert scalene_slowdown < 2.0
+    assert tm_slowdown > 1.6 * scalene_slowdown

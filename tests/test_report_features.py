@@ -1,0 +1,84 @@
+"""Tests for report features: sorting, activity column, inference ablation."""
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+from repro.interp.libs import install_standard_libraries
+
+SOURCE = (
+    "s = 0\n"
+    "for i in range(3000):\n"
+    "    s = s + i\n"
+    "buf = py_buffer(40000000)\n"
+    "a = np.zeros(2000000)\n"
+    "b = np.copy(a)\n"
+    "del buf\n"
+)
+
+
+def make_profile(config=None):
+    process = SimProcess(SOURCE, filename="r.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, config=config, mode=None if config else "full")
+    scalene.start()
+    process.run()
+    return scalene.stop()
+
+
+PROFILE = make_profile()
+
+
+def test_sort_by_cpu_puts_hottest_first():
+    text = PROFILE.render_text(sort_by="cpu")
+    rows = [l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]
+    first_line_number = int(rows[0].split()[0])
+    assert first_line_number == 5  # np.zeros: the most CPU-expensive line
+
+
+def test_sort_by_memory_puts_biggest_first():
+    text = PROFILE.render_text(sort_by="memory")
+    rows = [l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]
+    first_line_number = int(rows[0].split()[0])
+    assert first_line_number in (4, 5, 6)  # an allocating line
+
+
+def test_sort_by_unknown_key_raises():
+    with pytest.raises(ValueError, match="sort_by"):
+        PROFILE.render_text(sort_by="altitude")
+
+
+def test_activity_percentages_sum_to_about_100():
+    total_activity = sum(l.mem_activity_percent for l in PROFILE.lines)
+    assert 80 <= total_activity <= 101
+
+
+def test_activity_highlights_allocating_lines():
+    buf_line = PROFILE.line(4)
+    loop_line = PROFILE.line(3)
+    assert buf_line.mem_activity_percent > 20
+    if loop_line is not None:
+        assert buf_line.mem_activity_percent > loop_line.mem_activity_percent
+
+
+def test_activity_in_json():
+    data = PROFILE.to_dict()
+    assert all("mem_activity_percent" in line for line in data["lines"])
+
+
+def test_inference_ablation_flag():
+    source = "s = 0\nfor i in range(2000):\n    s = s + 1\nnative_work(1.0)\n"
+
+    def native_fraction(use_inference):
+        process = SimProcess(source, filename="abl.py")
+        config = ScaleneConfig(mode="cpu", use_delay_inference=use_inference)
+        scalene = Scalene(process, config=config)
+        scalene.start()
+        process.run()
+        profile = scalene.stop()
+        total = profile.cpu_python_time + profile.cpu_native_time
+        return profile.cpu_native_time / total if total else 0.0
+
+    assert native_fraction(True) > 0.4
+    assert native_fraction(False) < 0.05

@@ -1,0 +1,123 @@
+"""Tests for the sampling file and the ScaleneStats accumulator."""
+
+import pytest
+
+from repro.core.stats import ScaleneStats
+from repro.memory.samplefile import SampleFile
+
+
+def test_samplefile_append_and_size():
+    sf = SampleFile()
+    sf.append("malloc,1.0,1048576,0.5,0xdead,app.py:3")
+    assert sf.record_count == 1
+    assert sf.size_bytes == len("malloc,1.0,1048576,0.5,0xdead,app.py:3") + 1
+
+
+def test_samplefile_drain_semantics():
+    sf = SampleFile()
+    sf.append("a")
+    sf.append("b")
+    assert sf.drain() == ["a", "b"]
+    assert sf.drain() == []
+    sf.append("c")
+    assert sf.drain() == ["c"]
+    assert sf.all_records() == ["a", "b", "c"]
+
+
+def test_samplefile_append_bytes_counts_without_storing():
+    sf = SampleFile()
+    for _ in range(1000):
+        sf.append_bytes(48)
+    assert sf.size_bytes == 48_000
+    assert sf.record_count == 1000
+    assert sf.all_records() == []  # content not retained
+
+
+def test_samplefile_clear():
+    sf = SampleFile()
+    sf.append("x")
+    sf.append_bytes(10)
+    sf.clear()
+    assert sf.size_bytes == 0
+    assert sf.record_count == 0
+    assert sf.drain() == []
+
+
+# -- stats -----------------------------------------------------------------
+
+
+def test_stats_line_interning():
+    stats = ScaleneStats()
+    a = stats.line("f.py", 3, "fn")
+    b = stats.line("f.py", 3)
+    assert a is b
+    assert a.function == "fn"
+
+
+def test_stats_function_backfill():
+    stats = ScaleneStats()
+    stats.line("f.py", 3)  # no function yet
+    line = stats.line("f.py", 3, "late")
+    assert line.function == "late"
+
+
+def test_record_cpu_totals_and_line():
+    stats = ScaleneStats()
+    stats.record_cpu(("f.py", 3, "fn"), 0.01, 0.02, 0.003)
+    stats.record_cpu(None, 0.01, 0.0, 0.0)  # unattributable sample
+    assert stats.total_python_time == pytest.approx(0.02)
+    assert stats.total_native_time == pytest.approx(0.02)
+    line = stats.lines[("f.py", 3)]
+    assert line.cpu_samples == 1
+    assert line.python_time == pytest.approx(0.01)
+
+
+def test_record_memory_sample_growth_and_decline():
+    stats = ScaleneStats()
+    mb = 1024 * 1024
+    stats.record_memory_sample(("f.py", 5, "fn"), 12 * mb, 0.8, 12 * mb, 1.0)
+    stats.record_memory_sample(("f.py", 6, "fn"), -12 * mb, 0.0, 0, 2.0)
+    grow = stats.lines[("f.py", 5)]
+    shrink = stats.lines[("f.py", 6)]
+    assert grow.malloc_mb == pytest.approx(12.0)
+    assert grow.python_alloc_mb == pytest.approx(9.6)
+    assert shrink.free_mb == pytest.approx(12.0)
+    assert stats.peak_footprint_mb == pytest.approx(12.0)
+    assert len(stats.memory_timeline) == 2
+    assert grow.timeline == [(1.0, 12.0)]
+
+
+def test_line_derived_properties():
+    stats = ScaleneStats()
+    line = stats.line("f.py", 1)
+    assert line.avg_footprint_mb == 0.0
+    assert line.gpu_utilization == 0.0
+    mb = 1024 * 1024
+    stats.record_memory_sample(("f.py", 1, ""), mb, 1.0, 10 * mb, 0.5)
+    stats.record_memory_sample(("f.py", 1, ""), mb, 1.0, 20 * mb, 1.5)
+    assert line.avg_footprint_mb == pytest.approx(15.0)
+    assert line.peak_footprint_mb == pytest.approx(20.0)
+
+
+def test_record_gpu():
+    stats = ScaleneStats()
+    stats.record_gpu(("f.py", 2, "fn"), 0.5, 100 * 1024 * 1024)
+    stats.record_gpu(("f.py", 2, "fn"), 1.0, 50 * 1024 * 1024)
+    line = stats.lines[("f.py", 2)]
+    assert line.gpu_utilization == pytest.approx(0.75)
+    assert line.gpu_mem_peak_mb == pytest.approx(100.0)
+
+
+def test_record_copy():
+    stats = ScaleneStats()
+    stats.record_copy(("f.py", 4, "fn"), 5 * 1024 * 1024)
+    stats.record_copy(None, 1024 * 1024)
+    assert stats.total_copy_mb == pytest.approx(6.0)
+    assert stats.lines[("f.py", 4)].copy_mb == pytest.approx(5.0)
+
+
+def test_elapsed():
+    stats = ScaleneStats()
+    stats.start_wall = 1.0
+    stats.stop_wall = 4.5
+    assert stats.elapsed == pytest.approx(3.5)

@@ -1,0 +1,130 @@
+"""Integration tests: Scalene's CPU profiling on the simulated runtime (§2)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.errors import ProfilerError
+
+
+def profile(source, mode="cpu", **process_kwargs):
+    process = SimProcess(source, filename="t.py", **process_kwargs)
+    return Scalene.run(process, mode=mode), process
+
+
+def test_python_vs_native_time_separation():
+    """§2.1: pure-Python loops vs long native calls must be teased apart."""
+    source = (
+        "s = 0\n"
+        "for i in range(8000):\n"
+        "    s = s + i * 2\n"  # line 3: pure Python
+        "native_work(2.0)\n"  # line 4: one long native call
+    )
+    prof, _ = profile(source)
+    python_line = prof.line(3)
+    native_line = prof.line(4)
+    assert python_line is not None and native_line is not None
+    # The hot Python line is overwhelmingly Python time.
+    assert python_line.cpu_python_percent > 5 * python_line.cpu_native_percent
+    # The native line is overwhelmingly native time.
+    assert native_line.cpu_native_percent > 5 * native_line.cpu_python_percent
+    # Rough magnitudes: both halves are substantial.
+    assert python_line.cpu_python_percent > 20
+    assert native_line.cpu_native_percent > 20
+
+
+def test_system_time_for_blocking_io():
+    source = (
+        "s = 0\n"
+        "for i in range(2000):\n"
+        "    s = s + 1\n"
+        "sleep(1.0)\n"  # line 4
+    )
+    prof, _ = profile(source)
+    line = prof.line(4)
+    assert line is not None
+    assert line.cpu_system_percent > 30
+    assert prof.cpu_system_time == pytest.approx(1.0, rel=0.3)
+
+
+def test_cpu_accuracy_against_ground_truth():
+    """Reported per-line shares should track the oracle within a few %."""
+    source = (
+        "def light():\n"
+        "    t = 0\n"
+        "    for i in range(300):\n"
+        "        t = t + 1\n"
+        "    return t\n"
+        "def heavy():\n"
+        "    t = 0\n"
+        "    for i in range(2700):\n"
+        "        t = t + 1\n"
+        "    return t\n"
+        "a = light()\n"
+        "b = heavy()\n"
+    )
+    process = SimProcess(source, filename="t.py", collect_ground_truth=True)
+    prof = Scalene.run(process, mode="cpu")
+    gt = process.ground_truth
+    gt_light = gt.function_time("light") / gt.total_time
+    gt_heavy = gt.function_time("heavy") / gt.total_time
+
+    def reported_share(lines):
+        return sum(
+            prof.line(lineno).cpu_total_percent / 100
+            for lineno in lines
+            if prof.line(lineno)
+        )
+
+    rep_light = reported_share(range(1, 6))
+    rep_heavy = reported_share(range(6, 11))
+    assert rep_heavy == pytest.approx(gt_heavy, abs=0.12)
+    assert rep_light == pytest.approx(gt_light, abs=0.12)
+    assert rep_heavy > 4 * rep_light
+
+
+def test_sampling_overhead_is_low():
+    """CPU-only Scalene should cost only a few percent (paper: ~1.02x)."""
+    source = "s = 0\nfor i in range(20000):\n    s = s + 1\n"
+    bare = SimProcess(source, filename="t.py")
+    bare.run()
+    base = bare.clock.wall
+
+    process = SimProcess(source, filename="t.py")
+    Scalene.run(process, mode="cpu")
+    slowdown = process.clock.wall / base
+    assert slowdown < 1.10
+    assert slowdown >= 1.0
+
+
+def test_start_stop_misuse_raises():
+    process = SimProcess("x = 1\n", filename="t.py")
+    scalene = Scalene(process, mode="cpu")
+    with pytest.raises(ProfilerError):
+        scalene.stop()
+    scalene.start()
+    with pytest.raises(ProfilerError):
+        scalene.start()
+    process.run()
+    scalene.stop()
+    with pytest.raises(ProfilerError):
+        scalene.stop()
+
+
+def test_timer_and_handler_restored_after_stop():
+    process = SimProcess("x = 1\n", filename="t.py")
+    scalene = Scalene(process, mode="cpu")
+    scalene.start()
+    process.run()
+    scalene.stop()
+    from repro.runtime.signals import SIGALRM, Timers
+
+    assert process.signals.getitimer(Timers.ITIMER_REAL) == 0.0
+    assert process.signals.get_handler(SIGALRM) is None
+    assert not process.threading.join_impl.__name__.startswith("_patched")
+
+
+def test_invalid_mode_rejected():
+    process = SimProcess("x = 1\n", filename="t.py")
+    with pytest.raises(ProfilerError):
+        Scalene(process, mode="bogus")

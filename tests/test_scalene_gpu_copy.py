@@ -1,0 +1,126 @@
+"""Integration tests: GPU profiling (§4) and copy volume (§3.5)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+from repro.interp.libs import install_standard_libraries
+
+
+def run(source, mode="full", config=None):
+    process = SimProcess(source, filename="t.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, config=config, mode=None if config else mode)
+    scalene.start()
+    process.run()
+    return scalene, scalene.stop(), process
+
+
+def test_gpu_utilization_attributed_to_busy_region():
+    source = (
+        "t = torch.tensor(400000)\n"
+        "u = torch.forward(t)\n"
+        "torch.synchronize()\n"  # line 3: where the program waits on GPU
+        "s = 0\n"
+        "for i in range(4000):\n"
+        "    s = s + 1\n"  # lines 5-6: CPU-only tail, GPU idle
+    )
+    _, prof, _ = run(source, mode="cpu+gpu")
+    sync_line = prof.line(3)
+    cpu_line = prof.line(6)
+    assert sync_line is not None
+    assert sync_line.gpu_percent > 0.5
+    if cpu_line is not None:
+        assert cpu_line.gpu_percent < sync_line.gpu_percent
+    assert prof.gpu_mean_utilization > 0.05
+
+
+def test_gpu_memory_tracked():
+    source = (
+        "t = torch.tensor(2000000)\n"
+        "torch.synchronize()\n"
+        "s = 0\n"
+        "for i in range(3000):\n"
+        "    s = s + 1\n"
+    )
+    _, prof, _ = run(source, mode="cpu+gpu")
+    assert prof.gpu_mem_peak_mb == pytest.approx(8.0, rel=0.3)  # 2M * 4B
+
+
+def test_per_pid_accounting_enabled_at_start():
+    source = "x = 1\n"
+    _, _, process = run(source, mode="cpu+gpu")
+    assert process.gpu.per_pid_accounting
+
+
+def test_per_pid_accounting_can_be_declined():
+    config = ScaleneConfig(mode="cpu+gpu", enable_gpu_per_pid_accounting=False)
+    source = "x = 1\n"
+    _, _, process = run(source, config=config)
+    assert not process.gpu.per_pid_accounting
+
+
+def test_cpu_mode_skips_gpu_and_memory():
+    source = "t = torch.tensor(100000)\ntorch.synchronize()\n"
+    scalene, prof, _ = run(source, mode="cpu")
+    assert scalene.gpu_profiler is None
+    assert scalene.memory_profiler is None
+    assert prof.gpu_mean_utilization == 0.0
+    assert prof.mem_samples == 0
+
+
+def test_copy_volume_for_explicit_copies():
+    source = (
+        "a = np.zeros(3000000)\n"  # 24 MB
+        "total = 0\n"
+        "for i in range(10):\n"
+        "    b = np.copy(a)\n"  # line 4: 24 MB copied per iteration
+        "    del b\n"
+        "    total = total + 1\n"
+    )
+    _, prof, _ = run(source)
+    line = prof.line(4)
+    assert line is not None
+    assert line.copy_mb_s > 0
+    assert prof.total_copy_mb == pytest.approx(240 * 1e6 / (1024 * 1024), rel=0.15)
+
+
+def test_copy_volume_for_gpu_transfers():
+    source = (
+        "t = torch.tensor(4000000)\n"  # 16 MB h2d
+        "h = t.to_host()\n"  # 16 MB d2h
+    )
+    _, prof, _ = run(source)
+    assert prof.total_copy_mb > 20
+
+
+def test_chained_indexing_shows_copy_volume():
+    """The pandas case study (§7): df[col][i] in a loop copies the column
+    every iteration; hoisting eliminates the copies."""
+    chained = (
+        "df = pd.frame(500000, 4)\n"
+        "total = 0\n"
+        "for i in range(30):\n"
+        "    v = df['c0'][i]\n"  # line 4: copies 4 MB per iteration
+        "    total = total + v\n"
+    )
+    hoisted = (
+        "df = pd.frame(500000, 4)\n"
+        "col = df.column_view('c0')\n"
+        "total = 0\n"
+        "for i in range(30):\n"
+        "    v = col[i]\n"
+        "    total = total + v\n"
+    )
+    _, prof_chained, p1 = run(chained)
+    _, prof_hoisted, p2 = run(hoisted)
+    assert prof_chained.total_copy_mb > 20 * prof_hoisted.total_copy_mb + 1
+    # And the chained version is much slower end to end.
+    assert p1.clock.wall > 3 * p2.clock.wall
+
+
+def test_no_copy_volume_without_copies():
+    source = "s = 0\nfor i in range(2000):\n    s = s + 1\n"
+    _, prof, _ = run(source)
+    assert prof.total_copy_mb == 0.0

@@ -1,0 +1,151 @@
+"""Integration tests: Scalene's memory profiling (§3)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.core.config import ScaleneConfig
+from repro.interp.libs import install_standard_libraries
+from repro.units import MiB
+
+
+def run_full(source, config=None):
+    process = SimProcess(source, filename="t.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, config=config, mode=None if config else "full")
+    scalene.start()
+    process.run()
+    return scalene, scalene.stop(), process
+
+
+def test_threshold_sampling_captures_significant_growth():
+    source = (
+        "keep = []\n"
+        "for i in range(6):\n"
+        "    keep.append(py_buffer(12000000))\n"  # each append crosses T
+        "keep.clear()\n"
+    )
+    scalene, prof, _ = run_full(source)
+    assert scalene.memory_profiler.sample_count >= 6
+    line = prof.line(3)
+    assert line is not None
+    assert line.mem_peak_mb >= 60
+    assert prof.peak_footprint_mb >= 68
+
+
+def test_footprint_neutral_churn_takes_no_samples():
+    """§3.2: allocation volume with no footprint change → ~zero samples."""
+    source = (
+        "for i in range(300):\n"
+        "    scratch(1000000)\n"  # 300 MB of volume, footprint flat
+    )
+    scalene, prof, _ = run_full(source)
+    assert scalene.memory_profiler.event_count > 600
+    assert scalene.memory_profiler.sample_count <= 1
+
+
+def test_python_vs_native_memory_attribution():
+    source = (
+        "a = py_buffer(40000000)\n"  # line 1: Python-domain
+        "b = np.zeros(5000000)\n"  # line 2: native-domain (40 MB)
+        "del a\n"
+        "del b\n"
+    )
+    _, prof, _ = run_full(source)
+    py_line = prof.line(1)
+    native_line = prof.line(2)
+    assert py_line is not None and native_line is not None
+    assert py_line.mem_python_percent > 90
+    assert native_line.mem_python_percent < 10
+
+
+def test_memory_timeline_records_rise_and_fall():
+    source = (
+        "a = py_buffer(50000000)\n"
+        "b = py_buffer(50000000)\n"
+        "del a\n"
+        "del b\n"
+        "c = py_buffer(15000000)\n"
+        "del c\n"
+    )
+    _, prof, _ = run_full(source)
+    timeline = prof.memory_timeline
+    assert len(timeline) >= 4
+    peaks = max(mb for _t, mb in timeline)
+    assert peaks >= 90
+    assert timeline[-1][1] < 20  # returned close to zero at the end
+
+
+def test_interposition_reports_allocated_not_resident():
+    """§6.3: Scalene reports allocation, not RSS — untouched memory counts."""
+    source = "a = np.empty(67108864)\ndel a\n"  # 512 MiB, untouched
+    _, prof, process = run_full(source)
+    assert prof.peak_footprint_mb == pytest.approx(512, rel=0.02)
+    # While RSS barely moved (the pages were never written).
+    assert process.rss() < 100 * MiB
+
+
+def test_leak_detection_end_to_end():
+    config = ScaleneConfig()
+    source = (
+        "leaky = []\n"
+        "junk = 0\n"
+        "def grow():\n"
+        "    global junk\n"
+        "    leaky.append(py_buffer(11000000))\n"  # line 5: never freed
+        "    junk = junk + 1\n"
+        "for i in range(25):\n"
+        "    grow()\n"
+    )
+    scalene, prof, _ = run_full(source, config=config)
+    assert prof.leaks, "expected the leaking line to be reported"
+    leak = prof.leaks[0]
+    assert leak.lineno == 5
+    assert leak.likelihood >= 0.95
+    assert leak.leak_rate_mb_s > 0
+
+
+def test_no_leak_reported_for_balanced_allocation():
+    source = (
+        "for i in range(25):\n"
+        "    tmp = py_buffer(11000000)\n"
+        "    del tmp\n"
+    )
+    _, prof, _ = run_full(source)
+    assert prof.leaks == []
+
+
+def test_sample_log_is_small():
+    """§6.5: Scalene's sampling log stays tiny (KBs, not MBs)."""
+    source = (
+        "keep = []\n"
+        "for i in range(10):\n"
+        "    keep.append(py_buffer(12000000))\n"
+        "keep.clear()\n"
+    )
+    scalene, prof, _ = run_full(source)
+    assert 0 < prof.sample_log_bytes < 64 * 1024
+
+
+def test_allocator_hooks_restored_after_stop():
+    source = "x = py_buffer(1000)\ndel x\n"
+    process = SimProcess(source, filename="t.py")
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    scalene.stop()
+    assert process.mem.hooks.get_allocator() is process.mem.pymalloc
+    assert not process.mem.shim.has_listeners
+
+
+def test_memory_mode_overhead_is_moderate():
+    """Full mode costs more than CPU mode but far less than tracing (§6.5)."""
+    source = "s = 0\nfor i in range(15000):\n    s = s + i\n"
+    bare = SimProcess(source, filename="t.py")
+    bare.run()
+    base = bare.clock.wall
+
+    process = SimProcess(source, filename="t.py")
+    Scalene.run(process, mode="full")
+    slowdown = process.clock.wall / base
+    assert 1.0 <= slowdown < 2.5

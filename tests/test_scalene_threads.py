@@ -1,0 +1,134 @@
+"""Integration tests: Scalene's subthread attribution (§2.2)."""
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.core.thread_attrib import ThreadStatusTable, is_in_native_call
+
+
+def test_monkey_patched_join_keeps_signals_flowing():
+    """With Scalene attached, a main-thread join no longer starves signals."""
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(6000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    prof = Scalene.run(process, mode="cpu")
+    duration = process.clock.wall
+    expected_samples = duration / 0.01
+    # Without the patches the count collapses to a handful (see
+    # test_threads_scheduler.py); with them we get most of the samples.
+    assert prof.cpu_samples >= expected_samples * 0.5
+
+
+def test_subthread_python_time_is_attributed():
+    """pprofile(stat.)-style profilers see nothing in subthreads; Scalene
+    attributes their Python execution to the right line."""
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(8000):\n"
+        "        s = s + 1\n"  # line 4: hot loop inside the subthread
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    prof = Scalene.run(process, mode="cpu")
+    hot = prof.line(4)
+    assert hot is not None
+    assert hot.cpu_python_percent > 25
+    assert hot.cpu_python_percent > hot.cpu_native_percent
+
+
+def test_subthread_native_time_uses_call_opcode_heuristic():
+    source = (
+        "def worker():\n"
+        "    native_work(2.0)\n"  # line 2: long native call in a subthread
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    prof = Scalene.run(process, mode="cpu")
+    line = prof.line(2)
+    assert line is not None
+    assert line.cpu_native_percent > 30
+    assert line.cpu_native_percent > 5 * max(line.cpu_python_percent, 0.1)
+
+
+def test_sleeping_main_thread_not_charged():
+    """While main joins (patched → flagged sleeping), the worker gets the
+    CPU attribution, not the join line."""
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(8000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"  # line 6
+    )
+    process = SimProcess(source, filename="t.py")
+    prof = Scalene.run(process, mode="cpu")
+    join_line = prof.line(6)
+    worker_line = prof.line(4)
+    assert worker_line is not None
+    worker_cpu = worker_line.cpu_python_percent + worker_line.cpu_native_percent
+    join_cpu = 0.0
+    if join_line is not None:
+        join_cpu = join_line.cpu_python_percent + join_line.cpu_native_percent
+    assert worker_cpu > 5 * max(join_cpu, 1.0)
+
+
+def test_status_table_defaults_to_executing():
+    table = ThreadStatusTable()
+
+    class T:
+        ident = 77
+
+    thread = T()
+    assert table.is_executing(thread)
+    table.set_sleeping(thread)
+    assert not table.is_executing(thread)
+    table.set_executing(thread)
+    assert table.is_executing(thread)
+
+
+def test_is_in_native_call_heuristic():
+    source = "def f():\n    pass\nx = 1\n"
+    process = SimProcess(source, filename="t.py")
+    thread = process.main_thread
+    # Park the frame's lasti on a CALL instruction artificially.
+    frame = thread.frame
+    from repro.interp.opcodes import CALL_OPCODES
+
+    call_indices = [
+        i for i, ins in enumerate(frame.code.instructions) if ins.opcode in CALL_OPCODES
+    ]
+    non_call_indices = [
+        i
+        for i, ins in enumerate(frame.code.instructions)
+        if ins.opcode not in CALL_OPCODES
+    ]
+    if call_indices:
+        frame.lasti = call_indices[0]
+        assert is_in_native_call(thread, process.call_opcode_map)
+    frame.lasti = non_call_indices[0]
+    assert not is_in_native_call(thread, process.call_opcode_map)
+
+
+def test_patches_restore_cleanly():
+    source = "x = 1\n"
+    process = SimProcess(source, filename="t.py")
+    original_join = process.threading.join_impl
+    original_acquire = process.threading.acquire_impl
+    scalene = Scalene(process, mode="cpu")
+    scalene.start()
+    assert process.threading.join_impl is not original_join
+    process.run()
+    scalene.stop()
+    assert process.threading.join_impl is original_join
+    assert process.threading.acquire_impl is original_acquire

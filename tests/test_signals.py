@@ -1,0 +1,136 @@
+"""Tests for interval timers and signal-delivery semantics (paper §2)."""
+
+import pytest
+
+from repro.errors import SignalError
+from repro.runtime.clock import VirtualClock
+from repro.runtime.signals import (
+    SIGALRM,
+    SIGVTALRM,
+    SignalManager,
+    Timers,
+)
+
+
+class FakeThread:
+    def __init__(self, is_main=True):
+        self.is_main = is_main
+        self.ident = 1 if is_main else 2
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def signals(clock):
+    return SignalManager(clock)
+
+
+def test_virtual_timer_fires_on_cpu_time(clock, signals):
+    signals.setitimer(Timers.ITIMER_VIRTUAL, 0.01)
+    clock.advance_wall(1.0)  # wall-only time must NOT fire a virtual timer
+    assert not signals.has_pending
+    clock.advance_cpu(0.011)
+    assert signals.has_pending
+
+
+def test_real_timer_fires_on_wall_time(clock, signals):
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    clock.advance_wall(0.02)
+    assert signals.has_pending
+
+
+def test_multiple_expirations_collapse(clock, signals):
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    clock.advance_wall(0.10)  # ten intervals at once
+    delivered = []
+    signals.set_handler(SIGALRM, lambda s: delivered.append(s))
+    count = signals.deliver_pending(FakeThread())
+    assert count == 1
+    assert delivered == [SIGALRM]
+    assert signals.collapsed_count >= 9
+
+
+def test_timer_rearms_after_delivery(clock, signals):
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    delivered = []
+    signals.set_handler(SIGALRM, lambda s: delivered.append(clock.wall))
+    for _ in range(5):
+        clock.advance_wall(0.01)
+        signals.deliver_pending(FakeThread())
+    assert len(delivered) == 5
+
+
+def test_delivery_refused_for_subthread(clock, signals):
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    clock.advance_wall(0.02)
+    with pytest.raises(SignalError):
+        signals.deliver_pending(FakeThread(is_main=False))
+
+
+def test_no_handler_means_signal_dropped(clock, signals):
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    clock.advance_wall(0.02)
+    assert signals.deliver_pending(FakeThread()) == 0
+    assert not signals.has_pending
+
+
+def test_disarm_with_zero_interval(clock, signals):
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    signals.setitimer(Timers.ITIMER_REAL, 0)
+    clock.advance_wall(1.0)
+    assert not signals.has_pending
+    assert signals.getitimer(Timers.ITIMER_REAL) == 0.0
+
+
+def test_getitimer_reports_interval(signals):
+    signals.setitimer(Timers.ITIMER_VIRTUAL, 0.5)
+    assert signals.getitimer(Timers.ITIMER_VIRTUAL) == 0.5
+
+
+def test_invalid_timer_kind_rejected(signals):
+    with pytest.raises(SignalError):
+        signals.setitimer("bogus", 0.1)
+    with pytest.raises(SignalError):
+        signals.setitimer(Timers.ITIMER_REAL, -1.0)
+
+
+def test_raise_signal_directly(signals):
+    signals.raise_signal(SIGVTALRM)
+    got = []
+    signals.set_handler(SIGVTALRM, lambda s: got.append(s))
+    signals.deliver_pending(FakeThread())
+    assert got == [SIGVTALRM]
+
+
+def test_handler_removal(signals):
+    signals.set_handler(SIGALRM, lambda s: None)
+    assert signals.get_handler(SIGALRM) is not None
+    signals.set_handler(SIGALRM, None)
+    assert signals.get_handler(SIGALRM) is None
+
+
+def test_deferred_delivery_measures_delay(clock, signals):
+    """The core of §2.1: a signal that fires during 'native' execution is
+    observed late; the delay equals the native execution time beyond q."""
+    q = 0.01
+    signals.setitimer(Timers.ITIMER_VIRTUAL, q)
+    observed = []
+    last_cpu = [0.0]
+
+    def handler(signum):
+        elapsed = clock.cpu - last_cpu[0]
+        last_cpu[0] = clock.cpu
+        observed.append(elapsed)
+
+    signals.set_handler(SIGVTALRM, handler)
+    # Simulate a 50 ms native call: CPU advances with no delivery chances.
+    clock.advance_cpu(0.05)
+    # Interpreter regains control: deliver at the next opcode boundary.
+    signals.deliver_pending(FakeThread())
+    assert observed and observed[0] == pytest.approx(0.05)
+    # Scalene's inference: python += q, native += T - q.
+    native = observed[0] - q
+    assert native == pytest.approx(0.04)

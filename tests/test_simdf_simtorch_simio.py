@@ -1,0 +1,149 @@
+"""Tests for the pandas-, torch- and IO-like native libraries."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+
+
+def run(source, **kwargs):
+    process = SimProcess(source, filename="lib.py", **kwargs)
+    install_standard_libraries(process)
+    process.run()
+    return process
+
+
+def copied_bytes(process):
+    return sum(l.copy_bytes for l in process.ground_truth.lines.values())
+
+
+# -- simdf ---------------------------------------------------------------
+
+
+def test_frame_allocates_columnar_storage():
+    process = run("df = pd.frame(100000, 4)\nn = len(df)\n")
+    assert process.mem.sysalloc.total_bytes_allocated >= 100000 * 4 * 8
+
+
+def test_chained_indexing_copies_column():
+    process = run(
+        "df = pd.frame(100000, 4)\ns = df['c0']\n", collect_ground_truth=True
+    )
+    assert copied_bytes(process) == 100000 * 8
+
+
+def test_column_view_does_not_copy():
+    process = run(
+        "df = pd.frame(100000, 4)\ns = df.column_view('c0')\nn = len(s)\n",
+        collect_ground_truth=True,
+    )
+    assert copied_bytes(process) == 0
+
+
+def test_missing_column_raises():
+    with pytest.raises(VMError, match="no such column"):
+        run("df = pd.frame(10, 2)\ns = df['nope']\n")
+
+
+def test_concat_copies_all_data():
+    process = run(
+        "a = pd.frame(50000, 4)\nb = pd.frame(50000, 4)\nc = pd.concat([a, b])\nn = len(c)\n",
+        collect_ground_truth=True,
+    )
+    assert copied_bytes(process) == 2 * 50000 * 4 * 8
+    # The concatenated frame has all rows.
+    assert process.stdout == []
+
+
+def test_groupby_copies_groups_but_restructured_does_not():
+    chained = run(
+        "df = pd.frame(200000, 4)\ng = pd.groupby_sum(df, 8)\n",
+        collect_ground_truth=True,
+    )
+    fixed = run(
+        "df = pd.frame(200000, 4)\ng = pd.groupby_sum_restructured(df, 8)\n",
+        collect_ground_truth=True,
+    )
+    assert copied_bytes(chained) >= 200000 * 4 * 8
+    assert copied_bytes(fixed) == 0
+    assert chained.mem.peak_footprint > fixed.mem.peak_footprint
+
+
+# -- simtorch ---------------------------------------------------------------
+
+
+def test_tensor_uploads_to_device():
+    process = run("t = torch.tensor(100000)\n", collect_ground_truth=True)
+    assert copied_bytes(process) == 400_000  # float32 h2d
+    # Device memory freed at teardown when the tensor is destroyed.
+    assert process.gpu.memory_used() == 0
+
+
+def test_tensor_ops_launch_kernels():
+    process = run("t = torch.tensor(100000)\nu = t * 2.0\ntorch.synchronize()\n")
+    assert process.gpu.kernels_launched >= 1
+    assert process.gpu.busy_seconds_total > 0
+
+
+def test_forward_backward_pipeline():
+    process = run(
+        "t = torch.tensor(50000)\n"
+        "out = torch.forward(t)\n"
+        "torch.backward(out)\n"
+        "torch.synchronize()\n"
+    )
+    assert process.gpu.kernels_launched >= 4  # 3 layers + backward
+
+
+def test_synchronize_accrues_system_time():
+    process = run(
+        "t = torch.tensor(500000)\nu = torch.forward(t)\ntorch.synchronize()\nx = 1\n",
+        collect_ground_truth=True,
+    )
+    assert process.ground_truth.total_system_time > 0
+
+
+def test_item_synchronizes_and_copies_back():
+    process = run(
+        "t = torch.tensor(1000)\nv = t.item()\n", collect_ground_truth=True
+    )
+    assert copied_bytes(process) >= 4004  # h2d + 4-byte d2h
+
+
+def test_tensor_oom():
+    with pytest.raises(Exception):
+        run("t = torch.empty(10000000000)\n")
+
+
+# -- simio ---------------------------------------------------------------
+
+
+def test_io_wait_blocks_wall_only():
+    process = run("io.wait(0.25)\n")
+    assert process.clock.wall >= 0.25
+    assert process.clock.cpu < 0.01
+
+
+def test_io_read_models_throughput_and_copy():
+    process = run("io.read(20000000)\n", collect_ground_truth=True)
+    # 20 MB at 200 MB/s ≈ 0.1 s of wall time.
+    assert process.clock.wall >= 0.09
+    assert copied_bytes(process) == 20_000_000
+
+
+def test_io_write():
+    process = run("io.write(10000000)\n")
+    assert process.clock.wall >= 0.04
+
+
+def test_negative_io_rejected():
+    with pytest.raises(VMError, match="negative"):
+        run("io.wait(-1)\n")
+    with pytest.raises(VMError, match="negative"):
+        run("io.read(-1)\n")
+
+
+def test_unknown_module_attribute():
+    with pytest.raises(VMError, match="no attribute"):
+        run("io.fly()\n")

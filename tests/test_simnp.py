@@ -1,0 +1,145 @@
+"""Tests for the simnp (NumPy-like) native library."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+from repro.units import MiB
+
+
+def run(source, **kwargs):
+    process = SimProcess(source, filename="np.py", **kwargs)
+    install_standard_libraries(process)
+    process.run()
+    return process
+
+
+def test_zeros_allocates_native_touched():
+    process = run("a = np.zeros(1000000)\ndel a\n")
+    sysalloc = process.mem.sysalloc
+    assert sysalloc.total_bytes_allocated >= 8_000_000
+    assert process.mem.native_live_bytes == 0  # freed by del
+
+
+def test_empty_is_untouched_until_written():
+    process = run("a = np.empty(10000000)\nhold = len(a)\ndel a\n")
+    # 80 MB mapped but RSS stays near baseline.
+    assert process.rss() < 40 * MiB
+
+
+def test_touch_fraction_raises_rss():
+    source = "a = np.empty(10000000)\nnp.touch(a, 0.5)\nx = 1\n"
+    process = SimProcess(source, filename="np.py")
+    install_standard_libraries(process)
+    base_rss = process.rss()
+    process.run()
+    # ~40 MB of the 80 MB buffer became resident (measured pre-teardown is
+    # not possible here, but peak pages persist in the counter history via
+    # sysalloc totals). Run again keeping the array alive:
+    process2 = SimProcess("a = np.empty(10000000)\nnp.touch(a, 0.5)\nprobe()\n", filename="np.py")
+    install_standard_libraries(process2)
+    from repro.interp.objects import NativeFunction
+
+    seen = {}
+    process2.builtins["probe"] = NativeFunction(
+        "probe", lambda ctx, a, k: seen.update(rss=ctx.process.rss())
+    )
+    process2.run()
+    assert seen["rss"] - base_rss >= 38 * MiB
+
+
+def test_elementwise_ops_consume_native_time():
+    process = run(
+        "a = np.zeros(500000)\nb = a + a\nc = b * 2.0\n",
+        collect_ground_truth=True,
+    )
+    gt = process.ground_truth
+    assert gt.total_native_time > 0.1
+    # Elementwise results are fresh arrays; all freed at teardown.
+    assert process.mem.native_live_bytes == 0
+
+
+def test_scalar_array_ops_commute():
+    run("a = np.zeros(1000)\nb = 2.0 * a\nc = a * 2.0\n")
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(VMError, match="mismatch"):
+        run("a = np.zeros(10)\nb = np.zeros(20)\nc = a + b\n")
+
+
+def test_copy_emits_memcpy():
+    process = run("a = np.zeros(1000000)\nb = np.copy(a)\n", collect_ground_truth=True)
+    copied = sum(l.copy_bytes for l in process.ground_truth.lines.values())
+    assert copied == 8_000_000
+
+
+def test_slice_returns_view_without_copy():
+    process = run(
+        "a = np.zeros(1000000)\nv = a[0:1000]\nn = len(v)\n",
+        collect_ground_truth=True,
+    )
+    copied = sum(l.copy_bytes for l in process.ground_truth.lines.values())
+    assert copied == 0
+    # No second 8 MB buffer was allocated for the view.
+    assert process.mem.sysalloc.total_bytes_allocated < 12_000_000
+
+
+def test_view_keeps_parent_alive():
+    source = (
+        "def make_view():\n"
+        "    a = np.zeros(1000000)\n"
+        "    return a[0:500]\n"
+        "v = make_view()\n"
+        "n = len(v)\n"
+    )
+    process = SimProcess(source, filename="np.py")
+    install_standard_libraries(process)
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured["live"] = process.mem.native_live_bytes
+        original()
+
+    process._finalize = capture
+    process.run()
+    # The parent buffer must still be live while the view exists.
+    assert captured["live"] >= 8_000_000
+    assert process.mem.native_live_bytes == 0  # and freed at teardown
+
+
+def test_tolist_crosses_the_boundary():
+    process = run(
+        "a = np.zeros(10000)\nxs = a.tolist()\nn = len(xs)\n",
+        collect_ground_truth=True,
+    )
+    copied = sum(l.copy_bytes for l in process.ground_truth.lines.values())
+    assert copied == 80_000
+
+
+def test_array_attributes():
+    process = SimProcess("a = np.zeros(100)\nnb = a.nbytes\nsz = a.size\n", filename="np.py")
+    install_standard_libraries(process)
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured.update(nb=process.globals["nb"], sz=process.globals["sz"])
+        original()
+
+    process._finalize = capture
+    process.run()
+    assert captured["nb"] == 800
+    assert captured["sz"] == 100
+
+
+def test_index_out_of_range():
+    with pytest.raises(VMError, match="out of range"):
+        run("a = np.zeros(10)\nx = a[10]\n")
+
+
+def test_negative_size_rejected():
+    with pytest.raises(VMError, match="negative"):
+        run("a = np.zeros(-1)\n")

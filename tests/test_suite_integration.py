@@ -1,0 +1,50 @@
+"""Integration: every suite workload profiles cleanly under every mode."""
+
+import pytest
+
+from repro.core import Scalene
+from repro.workloads import pyperf_suite
+
+
+@pytest.mark.parametrize("name", list(pyperf_suite()))
+def test_workload_profiles_under_full_mode(name):
+    workload = pyperf_suite()[name]
+    process = workload.make_process(scale=0.05)
+    profile = Scalene.run(process, mode="full")
+    # Sanity of the produced profile.
+    assert profile.elapsed > 0
+    assert profile.cpu_samples >= 0
+    assert len(profile.lines) <= 300
+    total = (
+        profile.cpu_python_time + profile.cpu_native_time + profile.cpu_system_time
+    )
+    assert total <= process.clock.wall * 1.05
+    # Hooks fully removed afterwards.
+    assert not process.mem.shim.has_listeners
+    assert process.mem.hooks.get_allocator() is process.mem.pymalloc
+    assert process.trace.gettrace() is None
+
+
+@pytest.mark.parametrize("mode", ["cpu", "cpu+gpu", "full"])
+def test_modes_on_one_workload(mode):
+    workload = pyperf_suite()["raytrace"]
+    process = workload.make_process(scale=0.05)
+    profile = Scalene.run(process, mode=mode)
+    assert profile.mode == mode
+    if mode == "cpu":
+        assert profile.mem_samples == 0
+    if mode == "full":
+        assert profile.mem_samples >= 0
+
+
+def test_profile_totals_are_consistent():
+    workload = pyperf_suite()["pprint"]
+    process = workload.make_process(scale=0.1)
+    profile = Scalene.run(process, mode="full")
+    # Per-line CPU percentages never exceed 100 and sum to <= ~100.
+    for line in profile.lines:
+        assert 0 <= line.cpu_total_percent <= 100.01
+    assert sum(l.cpu_total_percent for l in profile.lines) <= 101.0
+    # Timeline points are time-ordered.
+    times = [t for t, _mb in profile.memory_timeline]
+    assert times == sorted(times)

@@ -1,0 +1,118 @@
+"""Tests for the simulated system allocator (mapped vs. resident memory)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeapError
+from repro.memory.sysalloc import SystemAllocator
+from repro.units import MiB, PAGE_SIZE
+
+
+def test_malloc_returns_unique_addresses():
+    alloc = SystemAllocator()
+    a = alloc.malloc(100)
+    b = alloc.malloc(100)
+    assert a.address != b.address
+
+
+def test_untouched_allocation_adds_no_rss():
+    alloc = SystemAllocator(base_rss_bytes=0)
+    alloc.malloc(512 * MiB, touch=False)
+    assert alloc.rss_bytes() == 0
+    assert alloc.mapped_bytes() == 512 * MiB
+
+
+def test_touch_adds_page_granular_rss():
+    alloc = SystemAllocator(base_rss_bytes=0)
+    a = alloc.malloc(10 * PAGE_SIZE)
+    alloc.touch(a, 1)  # touching one byte makes one page resident
+    assert alloc.rss_bytes() == PAGE_SIZE
+    alloc.touch(a, 5 * PAGE_SIZE)
+    assert alloc.rss_bytes() == 5 * PAGE_SIZE
+
+
+def test_touch_is_monotone():
+    alloc = SystemAllocator(base_rss_bytes=0)
+    a = alloc.malloc(4 * PAGE_SIZE)
+    alloc.touch(a, 2 * PAGE_SIZE)
+    alloc.touch(a, PAGE_SIZE)  # re-touching fewer bytes changes nothing
+    assert alloc.rss_bytes() == 2 * PAGE_SIZE
+
+
+def test_touch_clamps_to_allocation_size():
+    alloc = SystemAllocator(base_rss_bytes=0)
+    a = alloc.malloc(100)
+    alloc.touch(a, 10_000)
+    assert a.touched_bytes == 100
+
+
+def test_free_returns_rss_and_mapped():
+    alloc = SystemAllocator(base_rss_bytes=0)
+    a = alloc.malloc(1 * MiB, touch=True)
+    assert alloc.rss_bytes() > 0
+    alloc.free(a)
+    assert alloc.rss_bytes() == 0
+    assert alloc.mapped_bytes() == 0
+
+
+def test_double_free_raises():
+    alloc = SystemAllocator()
+    a = alloc.malloc(64)
+    alloc.free(a)
+    with pytest.raises(HeapError):
+        alloc.free(a)
+
+
+def test_touch_after_free_raises():
+    alloc = SystemAllocator()
+    a = alloc.malloc(64)
+    alloc.free(a)
+    with pytest.raises(HeapError):
+        alloc.touch(a)
+
+
+def test_negative_malloc_raises():
+    alloc = SystemAllocator()
+    with pytest.raises(HeapError):
+        alloc.malloc(-1)
+
+
+def test_lookup_and_is_live():
+    alloc = SystemAllocator()
+    a = alloc.malloc(64)
+    assert alloc.is_live(a.address)
+    assert alloc.lookup(a.address) is a
+    alloc.free(a)
+    assert not alloc.is_live(a.address)
+    with pytest.raises(HeapError):
+        alloc.lookup(a.address)
+
+
+def test_peak_mapped_tracks_high_water():
+    alloc = SystemAllocator()
+    a = alloc.malloc(10 * MiB)
+    b = alloc.malloc(20 * MiB)
+    alloc.free(a)
+    alloc.free(b)
+    assert alloc.peak_mapped_bytes == 30 * MiB
+    assert alloc.mapped_bytes() == 0
+
+
+def test_base_rss_floor():
+    alloc = SystemAllocator(base_rss_bytes=24 * MiB)
+    assert alloc.rss_bytes() == 24 * MiB
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10 * MiB), min_size=1, max_size=50))
+def test_mapped_bytes_invariant(sizes):
+    """mapped == sum(live sizes); freeing everything returns to zero."""
+    alloc = SystemAllocator(base_rss_bytes=0)
+    live = [alloc.malloc(n, touch=True) for n in sizes]
+    assert alloc.mapped_bytes() == sum(sizes)
+    # RSS is page-rounded and therefore >= mapped for touched regions.
+    assert alloc.rss_bytes() >= alloc.mapped_bytes()
+    for a in live:
+        alloc.free(a)
+    assert alloc.mapped_bytes() == 0
+    assert alloc.rss_bytes() == 0
+    assert alloc.live_count == 0

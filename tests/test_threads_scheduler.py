@@ -1,0 +1,233 @@
+"""Tests for threading, the GIL scheduler, and blocking semantics (§2.2)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.runtime.process import SimProcess
+from repro.runtime.signals import SIGALRM, Timers
+
+
+def test_threads_run_and_join():
+    source = (
+        "results = []\n"
+        "def worker(n):\n"
+        "    s = 0\n"
+        "    for i in range(n):\n"
+        "        s = s + i\n"
+        "    results.append(s)\n"
+        "t1 = spawn(worker, 100)\n"
+        "t2 = spawn(worker, 50)\n"
+        "join(t1)\n"
+        "join(t2)\n"
+        "total = len(results)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured["results"] = sorted(process.globals["results"].items)
+        original()
+
+    process._finalize = capture
+    process.run()
+    assert captured["results"] == [sum(range(50)), sum(range(100))]
+
+
+def test_subthreads_consume_cpu_time():
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(200):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    process.run()
+    sub = [t for t in process.threading.threads if not t.is_main][0]
+    assert sub.cpu_time > 0
+    assert process.main_thread.cpu_time > 0
+    total = sum(t.cpu_time for t in process.threading.threads)
+    assert total == pytest.approx(process.clock.cpu)
+
+
+def test_gil_interleaving_is_fair():
+    """Two CPU-bound threads should finish at roughly the same time."""
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(2000):\n"
+        "        s = s + 1\n"
+        "t1 = spawn(worker)\n"
+        "t2 = spawn(worker)\n"
+        "join(t1)\n"
+        "join(t2)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    process.run()
+    subs = [t for t in process.threading.threads if not t.is_main]
+    finish = sorted(t.finished_at for t in subs)
+    assert finish[1] - finish[0] < 0.1 * finish[1] + 0.01
+
+
+def test_blocking_join_starves_signal_delivery():
+    """The §2.2 premise: an unpatched main-thread join defers signals."""
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(3000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    delivered = []
+    process.signals.set_handler(SIGALRM, lambda s: delivered.append(process.clock.wall))
+    process.signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    process.run()
+    # Expirations happened all through the run but collapsed while the main
+    # thread was blocked in join; only a handful of deliveries occur.
+    assert process.signals.collapsed_count > len(delivered)
+
+
+def test_timeout_join_restores_signal_delivery():
+    """With a timeout (Scalene's monkey patch strategy), the main thread
+    wakes periodically and delivery resumes."""
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(3000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "done = 0\n"
+        "while done == 0:\n"
+        "    join(t, 0.005)\n"
+        "    if is_finished(t):\n"
+        "        done = 1\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    # Small helper builtin for this test.
+    from repro.interp.objects import NativeFunction
+
+    process.builtins["is_finished"] = NativeFunction(
+        "is_finished", lambda ctx, args, kwargs: args[0].state == "finished"
+    )
+    delivered = []
+    process.signals.set_handler(SIGALRM, lambda s: delivered.append(process.clock.wall))
+    process.signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    process.run()
+    duration = process.clock.wall
+    expected = duration / 0.01
+    assert len(delivered) >= expected * 0.5
+
+
+def test_sleep_is_interruptible_by_signals():
+    source = "sleep(0.1)\nx = 1\n"
+    process = SimProcess(source, filename="t.py")
+    delivered = []
+    process.signals.set_handler(SIGALRM, lambda s: delivered.append(process.clock.wall))
+    process.signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    process.run()
+    # ~10 deliveries during the sleep.
+    assert len(delivered) >= 5
+    assert process.clock.wall >= 0.1
+
+
+def test_sleep_advances_wall_not_cpu():
+    process = SimProcess("sleep(0.5)\n", filename="t.py")
+    process.run()
+    assert process.clock.wall >= 0.5
+    assert process.clock.cpu < 0.01
+
+
+def test_system_time_ground_truth_for_sleep():
+    process = SimProcess("sleep(0.2)\n", filename="t.py", collect_ground_truth=True)
+    process.run()
+    line = process.ground_truth.lines[("t.py", 1)]
+    assert line.system_time == pytest.approx(0.2, abs=0.02)
+
+
+def test_locks_provide_mutual_exclusion():
+    source = (
+        "lock = make_lock('m')\n"
+        "shared = []\n"
+        "def worker(tag):\n"
+        "    lock_acquire(lock)\n"
+        "    shared.append(tag)\n"
+        "    shared.append(tag)\n"
+        "    lock_release(lock)\n"
+        "t1 = spawn(worker, 1)\n"
+        "t2 = spawn(worker, 2)\n"
+        "join(t1)\n"
+        "join(t2)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured["shared"] = list(process.globals["shared"].items)
+        original()
+
+    process._finalize = capture
+    process.run()
+    shared = captured["shared"]
+    # Entries from each thread must be adjacent (critical section held).
+    assert shared in ([1, 1, 2, 2], [2, 2, 1, 1])
+
+
+def test_join_self_raises():
+    source = "def f():\n    pass\nt = spawn(f)\njoin(t)\n"
+    process = SimProcess(source, filename="t.py")
+    process.run()  # sanity: normal join works
+
+    source_bad = "join(current())\n"
+    process = SimProcess(source_bad, filename="t.py")
+    from repro.interp.objects import NativeFunction
+
+    process.builtins["current"] = NativeFunction("current", lambda ctx, args, kwargs: ctx.thread)
+    with pytest.raises(SchedulerError):
+        process.run()
+
+
+def test_deadlock_detection():
+    source = (
+        "lock = make_lock('m')\n"
+        "lock_acquire(lock)\n"
+        "lock_acquire(lock)\n"  # self-deadlock, no timeout
+    )
+    process = SimProcess(source, filename="t.py")
+    with pytest.raises(SchedulerError, match="deadlock"):
+        process.run()
+
+
+def test_current_frames_exposes_all_threads():
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(2000):\n"
+        "        s = s + 1\n"
+        "t = spawn(worker)\n"
+        "frames_seen = probe()\n"
+        "join(t)\n"
+    )
+    process = SimProcess(source, filename="t.py")
+    from repro.interp.objects import NativeFunction
+
+    seen = {}
+
+    def probe(ctx, args, kwargs):
+        seen.update(ctx.process.current_frames())
+        return len(seen)
+
+    process.builtins["probe"] = NativeFunction("probe", probe)
+    process.run()
+    assert len(seen) == 2  # main + worker
+
+
+def test_max_wall_guard():
+    source = "while True:\n    x = 1\n"
+    process = SimProcess(source, filename="t.py")
+    with pytest.raises(SchedulerError, match="max_wall"):
+        process.run(max_wall=0.1)

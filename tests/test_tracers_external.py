@@ -1,0 +1,149 @@
+"""Tests for the tracer machinery and the external (out-of-process) sampler."""
+
+import pytest
+
+from repro import SimProcess
+from repro.baselines import make_profiler
+from repro.baselines.external import ExternalSampler
+from repro.baselines.base import Capabilities
+from repro.runtime import tracing
+
+CALLS = (
+    "def inner():\n"
+    "    x = 1\n"
+    "    return x\n"
+    "def outer():\n"
+    "    return inner() + inner()\n"
+    "r = outer()\n"
+    "n = len([1, 2])\n"
+)
+
+
+def test_function_tracer_nested_inclusive_times():
+    process = SimProcess(CALLS, filename="t.py")
+    profiler = make_profiler("cProfile", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    inner = report.function_time("inner")
+    outer = report.function_time("outer")
+    assert inner > 0
+    assert outer >= inner  # inclusive timing
+    # Native builtins appear under their own names (c_call spans).
+    assert report.function_time("len") > 0
+
+
+def test_function_tracer_handles_module_return():
+    """The module frame's return has no matching call entry; no crash,
+    no bogus entries."""
+    process = SimProcess("x = 1\n", filename="t.py")
+    profiler = make_profiler("cProfile", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    assert all(fn != "<module>" for _f, fn in report.function_times)
+
+
+def test_line_tracer_attributes_hot_line():
+    source = "s = 0\nfor i in range(500):\n    s = s + i\ny = 1\n"
+    process = SimProcess(source, filename="t.py")
+    profiler = make_profiler("line_profiler", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    assert report.line_time(3) > 5 * report.line_time(4)
+
+
+def test_line_tracer_scoping():
+    """line_profiler only traces decorated (profiled-file) functions."""
+    process = SimProcess("x = 1\n", filename="t.py")
+    profiler = make_profiler("line_profiler", process)
+    assert profiler.trace_all_files is False
+
+
+def test_trace_manager_charges_costs():
+    process = SimProcess("s = 0\nfor i in range(100):\n    s = s + 1\n", filename="t.py")
+
+    class CountingTrace:
+        cost_call = cost_return = cost_c_call = cost_c_return = 0.0
+        cost_line = 1e-3
+        events = 0
+
+        def __call__(self, frame, event, arg):
+            if event == tracing.EVENT_LINE:
+                CountingTrace.events += 1
+
+    process.trace.settrace(CountingTrace())
+    process.run()
+    # Each line event charged 1 ms of virtual CPU.
+    assert CountingTrace.events > 50
+    assert process.clock.cpu >= CountingTrace.events * 1e-3
+
+
+def test_trace_restore_after_stop():
+    process = SimProcess("x = 1\n", filename="t.py")
+    profiler = make_profiler("pprofile_det", process)
+    profiler.start()
+    process.run()
+    profiler.stop()
+    assert process.trace.gettrace() is None
+
+
+# -- external sampler -----------------------------------------------------
+
+
+def test_external_sampler_counts_and_interval():
+    source = "s = 0\nfor i in range(2000):\n    s = s + 1\n"
+    process = SimProcess(source, filename="t.py")
+    profiler = make_profiler("py_spy", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    expected = process.clock.wall / 0.01
+    assert report.total_samples == pytest.approx(expected, abs=2)
+    # Total attributed time ≈ wall time.
+    assert report.total_reported_time == pytest.approx(
+        process.clock.wall, rel=0.1
+    )
+
+
+def test_external_sampler_sees_through_native_calls():
+    """Out-of-process samplers read frames even during native execution
+    (they don't depend on signal delivery)."""
+    source = "native_work(1.0)\nx = 1\n"
+    process = SimProcess(source, filename="t.py")
+    profiler = make_profiler("py_spy", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    # The native call's line received nearly all the samples — unlike
+    # pprofile_stat, which reports ~zero for it.
+    assert report.line_time(1) > 0.8
+
+
+def test_austin_rss_mode_records_memory():
+    source = "buf = py_buffer(50000000)\nsleep(0.1)\ndel buf\nsleep(0.05)\n"
+    process = SimProcess(source, filename="t.py")
+    profiler = make_profiler("austin_full", process)
+    profiler.start()
+    process.run()
+    report = profiler.stop()
+    assert report.peak_memory_mb is not None
+    assert report.log_bytes > 0
+
+
+def test_external_sampler_subclassing_guard():
+    """A subclass without multiprocessing capability never registers a
+    child observer."""
+
+    class LocalSampler(ExternalSampler):
+        name = "local"
+        capabilities = Capabilities(granularity="lines", multiprocessing=False)
+        interval = 0.01
+
+    process = SimProcess("x = 1\n", filename="t.py")
+    sampler = LocalSampler(process)
+    sampler.start()
+    assert process.child_observers == []
+    process.run()
+    sampler.stop()

@@ -1,0 +1,97 @@
+"""Tests for the JSON and HTML output backends (§5)."""
+
+import json
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+from repro.ui import render_html, write_html, write_json
+
+SOURCE = (
+    "def hot(n):\n"
+    "    s = 0\n"
+    "    for i in range(n):\n"
+    "        s = s + i\n"
+    "    return s\n"
+    "x = hot(2000)\n"
+    "buf = py_buffer(15000000)\n"
+    "a = np.zeros(1000000)\n"
+    "b = np.copy(a)\n"
+    "del buf\n"
+)
+
+
+def make_profile():
+    process = SimProcess(SOURCE, filename="app.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    return scalene.stop()
+
+
+PROFILE = make_profile()
+
+
+def test_json_roundtrip(tmp_path):
+    path = write_json(PROFILE, tmp_path / "profile.json")
+    data = json.loads(path.read_text())
+    assert data["mode"] == "full"
+    assert data["elapsed_s"] > 0
+    assert data["lines"], "expected reported lines"
+    assert data["functions"], "expected function aggregates"
+    for line in data["lines"]:
+        assert set(line) >= {
+            "filename",
+            "lineno",
+            "source",
+            "cpu_python_percent",
+            "mem_peak_mb",
+            "timeline",
+            "copy_mb_s",
+            "gpu_percent",
+        }
+
+
+def test_json_timeline_is_bounded():
+    data = PROFILE.to_dict()
+    assert len(data["memory"]["timeline"]) <= 100
+    for line in data["lines"]:
+        assert len(line["timeline"]) <= 100
+
+
+def test_html_is_self_contained():
+    page = render_html(PROFILE, title="app.py")
+    assert page.startswith("<!DOCTYPE html>")
+    assert "scalene-profile" in page
+    # The embedded JSON parses back to the same payload.
+    marker = '<script type="application/json" id="scalene-profile">'
+    start = page.index(marker) + len(marker)
+    end = page.index("</script>", start)
+    embedded = json.loads(page[start:end])
+    # Normalize tuples (timelines) to lists for comparison.
+    assert embedded == json.loads(json.dumps(PROFILE.to_dict()))
+    # No external resources (the CORS-avoidance property of §5).
+    assert "http://" not in page and "https://" not in page
+    assert "<svg" in page  # the memory timeline rendering
+
+
+def test_html_escapes_source(tmp_path):
+    # A line containing markup must not break the page.
+    process = SimProcess("x = 1  # <b>&\n", filename="esc.py")
+    scalene = Scalene(process, mode="cpu")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    page = render_html(profile)
+    assert "<b>&" not in page
+
+    path = write_html(profile, tmp_path / "p.html")
+    assert path.exists()
+
+
+def test_render_text_mentions_key_sections():
+    text = PROFILE.render_text()
+    assert "Scalene profile [full]" in text
+    assert "py%" in text and "cp MB/s" in text
+    assert "hot" in text  # the function table

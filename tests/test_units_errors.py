@@ -1,0 +1,85 @@
+"""Tests for the units helpers and the exception hierarchy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import errors
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    PAGE_SIZE,
+    SCALENE_THRESHOLD,
+    format_bytes,
+    format_seconds,
+    pages_for,
+)
+
+
+def test_format_bytes():
+    assert format_bytes(532) == "532B"
+    assert format_bytes(10 * MiB) == "10.0MB"
+    assert format_bytes(2 * GiB) == "2.00GB"
+    assert format_bytes(1536) == "1.5KB"
+    assert format_bytes(-10 * MiB) == "-10.0MB"
+
+
+def test_format_seconds():
+    assert format_seconds(2e-6) == "2.0us"
+    assert format_seconds(12.5) == "12.50s"
+    assert format_seconds(5e-9) == "5ns"
+    assert format_seconds(0.25) == "250.0ms"
+
+
+def test_pages_for():
+    assert pages_for(0) == 0
+    assert pages_for(-5) == 0
+    assert pages_for(1) == 1
+    assert pages_for(PAGE_SIZE) == 1
+    assert pages_for(PAGE_SIZE + 1) == 2
+
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+def test_pages_for_bounds(n):
+    pages = pages_for(n)
+    assert pages * PAGE_SIZE >= n
+    assert (pages - 1) * PAGE_SIZE < n or pages == 0
+
+
+def test_scalene_threshold_is_prime_above_10mb():
+    """§3.2: 'a prime number slightly above 10MB'."""
+    assert SCALENE_THRESHOLD > 10 * 1000 * 1000
+    assert SCALENE_THRESHOLD < 11 * MiB
+    n = SCALENE_THRESHOLD
+    factor = 2
+    while factor * factor <= n:
+        assert n % factor != 0, f"{n} divisible by {factor}"
+        factor += 1
+
+
+def test_exception_hierarchy():
+    for exc_type in (
+        errors.CompileError,
+        errors.VMError,
+        errors.HeapError,
+        errors.SchedulerError,
+        errors.SignalError,
+        errors.ProfilerError,
+        errors.GpuError,
+        errors.WorkloadError,
+    ):
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_compile_error_carries_line():
+    err = errors.CompileError("bad thing", lineno=42)
+    assert err.lineno == 42
+    assert "line 42" in str(err)
+    err = errors.CompileError("no location")
+    assert err.lineno is None
+
+
+def test_units_relationships():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB

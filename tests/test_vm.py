@@ -1,0 +1,257 @@
+"""Tests for the VM: semantics, memory modelling, refcounting."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.interp.vm import VMConfig
+from repro.runtime.process import SimProcess
+
+
+def run_and_capture(source, **kwargs):
+    """Run a workload and return (process, final module globals)."""
+    process = SimProcess(source, filename="t.py", **kwargs)
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured.update(process.globals)
+        # Keep heap-backed values alive through module teardown so tests
+        # can inspect them after the run.
+        from repro.interp.objects import incref
+
+        for value in captured.values():
+            incref(value)
+        original()
+
+    process._finalize = capture
+    process.run()
+    return process, captured
+
+
+def test_arithmetic_and_control_flow():
+    source = (
+        "total = 0\n"
+        "for i in range(10):\n"
+        "    if i % 2 == 0:\n"
+        "        total = total + i\n"
+        "    else:\n"
+        "        total = total - 1\n"
+        "while total < 30:\n"
+        "    total = total + 7\n"
+    )
+    _, g = run_and_capture(source)
+    expected = 0
+    for i in range(10):
+        expected = expected + i if i % 2 == 0 else expected - 1
+    while expected < 30:
+        expected += 7
+    assert g["total"] == expected
+
+
+def test_function_calls_and_recursion():
+    source = (
+        "def fib(n):\n"
+        "    if n < 2:\n"
+        "        return n\n"
+        "    return fib(n - 1) + fib(n - 2)\n"
+        "r = fib(10)\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["r"] == 55
+
+
+def test_bool_ops_and_ternary():
+    source = (
+        "a = 1 < 2 and 3 < 4\n"
+        "b = 1 > 2 or 5\n"
+        "c = 10 if a else 20\n"
+        "d = not a\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["a"] is True
+    assert g["b"] == 5
+    assert g["c"] == 10
+    assert g["d"] is False
+
+
+def test_containers():
+    source = (
+        "xs = [1, 2, 3]\n"
+        "xs.append(4)\n"
+        "d = {'a': 1}\n"
+        "d['b'] = 2\n"
+        "n = len(xs) + len(d)\n"
+        "first = xs[0]\n"
+        "tail = xs[1:3]\n"
+        "has = 'a' in d\n"
+        "a, b = (10, 20)\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["xs"].items == [1, 2, 3, 4]
+    assert g["d"].data == {"a": 1, "b": 2}
+    assert g["n"] == 6
+    assert g["first"] == 1
+    assert g["tail"].items == [2, 3]
+    assert g["has"] is True
+    assert g["a"] == 10 and g["b"] == 20
+
+
+def test_dict_iteration_and_methods():
+    source = (
+        "d = {'x': 1, 'y': 2}\n"
+        "total = 0\n"
+        "for k in d:\n"
+        "    total = total + d[k]\n"
+        "vals = d.values()\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["total"] == 3
+    assert g["vals"] == [1, 2]
+
+
+def test_globals_from_function():
+    source = (
+        "counter = 0\n"
+        "def bump():\n"
+        "    global counter\n"
+        "    counter = counter + 1\n"
+        "bump()\n"
+        "bump()\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["counter"] == 2
+
+
+def test_name_error():
+    with pytest.raises(VMError, match="NameError"):
+        SimProcess("x = missing\n", filename="t.py").run()
+
+
+def test_arity_error():
+    source = "def f(a, b):\n    return a\nf(1)\n"
+    with pytest.raises(VMError, match="takes 2 arguments"):
+        SimProcess(source, filename="t.py").run()
+
+
+def test_python_time_ground_truth_attribution():
+    source = (
+        "x = 0\n"
+        "for i in range(100):\n"
+        "    x = x + 1\n"  # line 3: the hot line
+        "y = 1\n"
+    )
+    process, _ = run_and_capture(source, collect_ground_truth=True)
+    gt = process.ground_truth
+    hot = gt.lines[("t.py", 3)]
+    cold = gt.lines[("t.py", 4)]
+    assert hot.python_time > cold.python_time * 10
+
+
+def test_native_time_ground_truth():
+    source = "native_work(0.5)\nx = 1\n"
+    process, _ = run_and_capture(source, collect_ground_truth=True)
+    line = process.ground_truth.lines[("t.py", 1)]
+    assert line.native_time == pytest.approx(0.5, rel=1e-6)
+
+
+def test_memory_footprint_lifecycle():
+    source = (
+        "buf = py_buffer(5000000)\n"
+        "del buf\n"
+    )
+    process, _ = run_and_capture(source)
+    assert process.mem.peak_footprint >= 5_000_000
+    assert process.mem.logical_footprint() < 100_000  # churn residue only
+
+
+def test_list_retains_and_releases_buffers():
+    source = (
+        "keep = []\n"
+        "for i in range(5):\n"
+        "    keep.append(py_buffer(1000000))\n"
+        "keep.clear()\n"
+    )
+    process, _ = run_and_capture(source)
+    assert process.mem.peak_footprint >= 5_000_000
+    assert process.mem.logical_footprint() < 200_000
+
+
+def test_rebinding_frees_old_object():
+    source = (
+        "x = py_buffer(3000000)\n"
+        "x = py_buffer(1000)\n"  # rebinding frees the 3 MB buffer
+        "y = 1\n"
+    )
+    process, _ = run_and_capture(source)
+    # After rebinding, the big buffer is gone from the live footprint.
+    assert process.mem.peak_footprint >= 3_000_000
+
+
+def test_function_locals_released_on_return():
+    source = (
+        "def f():\n"
+        "    tmp = py_buffer(2000000)\n"
+        "    return 1\n"
+        "r = f()\n"
+    )
+    process, _ = run_and_capture(source)
+    assert process.mem.logical_footprint() < 200_000
+
+
+def test_returned_object_survives_frame_teardown():
+    source = (
+        "def make():\n"
+        "    b = py_buffer(1000000)\n"
+        "    return b\n"
+        "kept = make()\n"
+        "n = len(kept)\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["n"] == 1_000_000
+
+
+def test_pop_top_releases_floating_temporary():
+    source = "py_buffer(4000000)\nx = 1\n"
+    process, _ = run_and_capture(source)
+    assert process.mem.logical_footprint() < 200_000
+
+
+def test_churn_generates_allocation_volume_without_footprint():
+    source = (
+        "x = 0\n"
+        "for i in range(200):\n"
+        "    x = x + i * 2 - 1\n"
+    )
+    config = VMConfig()
+    process, _ = run_and_capture(source, vm_config=config)
+    pym = process.mem.pymalloc
+    assert pym.total_bytes_allocated > 10_000  # plenty of churn volume
+    assert process.mem.logical_footprint() < 50_000
+
+
+def test_churn_can_be_disabled():
+    source = "x = 1 + 2\n"
+    config = VMConfig(churn_enabled=False)
+    process, _ = run_and_capture(source, vm_config=config)
+    # Only frame objects allocate.
+    assert process.mem.pymalloc.total_allocs < 5
+
+
+def test_stdout_capture():
+    process, _ = run_and_capture("print('hello', 42)\n")
+    assert process.stdout == ["hello 42"]
+
+
+def test_process_runs_only_once():
+    process = SimProcess("x = 1\n", filename="t.py")
+    process.run()
+    with pytest.raises(VMError):
+        process.run()
+
+
+def test_wall_time_advances_with_op_cost():
+    config = VMConfig(op_cost=1e-3)
+    process, _ = run_and_capture("x = 1\ny = 2\n", vm_config=config)
+    # A handful of instructions at 1 ms each.
+    assert process.clock.wall >= 4e-3
+    assert process.clock.cpu == pytest.approx(process.clock.wall)

@@ -1,0 +1,216 @@
+"""Edge-case tests for the VM and compiler semantics."""
+
+import pytest
+
+from repro.errors import VMError
+from repro.runtime.process import SimProcess
+from repro.interp.libs import install_standard_libraries
+
+
+def run_and_capture(source, libs=False):
+    process = SimProcess(source, filename="c.py")
+    if libs:
+        install_standard_libraries(process)
+    captured = {}
+    original = process._finalize
+
+    def capture():
+        captured.update(process.globals)
+        from repro.interp.objects import incref
+
+        for value in captured.values():
+            incref(value)
+        original()
+
+    process._finalize = capture
+    process.run()
+    return process, captured
+
+
+def test_and_short_circuits():
+    # If the right operand were evaluated, boom() would raise.
+    source = (
+        "def flag():\n"
+        "    return 0\n"
+        "x = flag() and missing_name\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["x"] == 0
+
+
+def test_or_short_circuits():
+    source = "x = 1 or missing_name\n"
+    _, g = run_and_capture(source)
+    assert g["x"] == 1
+
+
+def test_ternary_evaluates_single_branch():
+    source = "x = 5 if 1 < 2 else missing_name\n"
+    _, g = run_and_capture(source)
+    assert g["x"] == 5
+
+
+def test_nested_and_mutual_function_calls():
+    source = (
+        "def even(n):\n"
+        "    if n == 0:\n"
+        "        return 1\n"
+        "    return odd(n - 1)\n"
+        "def odd(n):\n"
+        "    if n == 0:\n"
+        "        return 0\n"
+        "    return even(n - 1)\n"
+        "a = even(10)\n"
+        "b = odd(10)\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["a"] == 1 and g["b"] == 0
+
+
+def test_while_with_break_and_continue():
+    source = (
+        "total = 0\n"
+        "i = 0\n"
+        "while True:\n"
+        "    i = i + 1\n"
+        "    if i % 2 == 0:\n"
+        "        continue\n"
+        "    if i > 9:\n"
+        "        break\n"
+        "    total = total + i\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["total"] == 1 + 3 + 5 + 7 + 9
+
+
+def test_subscript_store_in_loop():
+    source = (
+        "d = {}\n"
+        "for i in range(5):\n"
+        "    d[i] = i * i\n"
+        "xs = [0, 0, 0]\n"
+        "xs[1] = 42\n"
+        "v = d[3] + xs[1]\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["v"] == 51
+
+
+def test_negative_indexing():
+    _, g = run_and_capture("xs = [1, 2, 3]\nlast = xs[-1]\n")
+    assert g["last"] == 3
+
+
+def test_unpack_mismatch_raises():
+    with pytest.raises(VMError, match="unpack"):
+        SimProcess("a, b = (1, 2, 3)\n", filename="c.py").run()
+
+
+def test_unpack_non_sequence_raises():
+    with pytest.raises(VMError, match="unpack"):
+        SimProcess("a, b = 5\n", filename="c.py").run()
+
+
+def test_calling_non_callable_raises():
+    with pytest.raises(VMError, match="not callable"):
+        SimProcess("x = 5\nx()\n", filename="c.py").run()
+
+
+def test_kwargs_on_native_function():
+    # Keyword arguments flow into native calls cleanly (join's timeout).
+    source = (
+        "def f():\n"
+        "    pass\n"
+        "t = spawn(f)\n"
+        "join(t, timeout=1.0)\n"
+    )
+    run_and_capture(source)
+
+
+def test_kwargs_on_sim_function_rejected():
+    source = "def f(a):\n    return a\nx = f(a=1)\n"
+    with pytest.raises(VMError, match="keyword"):
+        SimProcess(source, filename="c.py").run()
+
+
+def test_division_by_zero_is_vmerror():
+    with pytest.raises(VMError, match="binary op"):
+        SimProcess("x = 1 // 0\n", filename="c.py").run()
+
+
+def test_string_operations():
+    _, g = run_and_capture(
+        "s = 'ab' + 'cd'\n"
+        "n = len(s)\n"
+        "r = s * 2\n"
+        "has = 'bc' in s\n"
+    )
+    assert g["s"] == "abcd"
+    assert g["n"] == 4
+    assert g["r"] == "abcdabcd"
+    assert g["has"] is True
+
+
+def test_is_comparison():
+    _, g = run_and_capture("a = None\nx = a is None\ny = a is not None\n")
+    assert g["x"] is True and g["y"] is False
+
+
+def test_attribute_on_plain_value_raises():
+    with pytest.raises(VMError, match="attribute"):
+        SimProcess("x = 5\ny = x.real\n", filename="c.py").run()
+
+
+def test_array_slice_with_step_raises(libs=True):
+    process = SimProcess("a = np.zeros(100)\nv = a[0:10:2]\n", filename="c.py")
+    install_standard_libraries(process)
+    with pytest.raises(VMError, match="step"):
+        process.run()
+
+
+def test_del_inside_function_releases_local():
+    source = (
+        "def f():\n"
+        "    b = py_buffer(5000000)\n"
+        "    del b\n"
+        "    return 1\n"
+        "x = f()\n"
+    )
+    process, _ = run_and_capture(source)
+    assert process.mem.logical_footprint() == 0
+
+
+def test_deeply_nested_calls():
+    source = (
+        "def f(n):\n"
+        "    if n == 0:\n"
+        "        return 0\n"
+        "    return 1 + f(n - 1)\n"
+        "depth = f(200)\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["depth"] == 200
+
+
+def test_module_globals_visible_in_functions():
+    source = (
+        "CONST = 17\n"
+        "def read_const():\n"
+        "    return CONST * 2\n"
+        "x = read_const()\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["x"] == 34
+
+
+def test_local_shadows_global():
+    source = (
+        "v = 1\n"
+        "def shadow():\n"
+        "    v = 99\n"
+        "    return v\n"
+        "a = shadow()\n"
+        "b = v\n"
+    )
+    _, g = run_and_capture(source)
+    assert g["a"] == 99 and g["b"] == 1

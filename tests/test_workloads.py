@@ -1,0 +1,116 @@
+"""Tests for the workload suite."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import get_workload, pyperf_suite, workload_names
+from repro.workloads.base import default_scale
+from repro.workloads.membench import ARRAY_MB, membench
+from repro.workloads.microbench import microbenchmark
+
+
+def test_suite_has_ten_members_in_paper_order():
+    names = list(pyperf_suite())
+    assert names == [
+        "async_tree_io_none",
+        "async_tree_io_io",
+        "async_tree_io_cpu_io_mixed",
+        "async_tree_io_memoization",
+        "docutils",
+        "fannkuch",
+        "mdp",
+        "pprint",
+        "raytrace",
+        "sympy",
+    ]
+
+
+@pytest.mark.parametrize("name", list(pyperf_suite()))
+def test_each_workload_runs_at_small_scale(name):
+    workload = get_workload(name)
+    process = workload.make_process(scale=0.05)
+    process.run()
+    assert process.stdout  # every workload prints its result
+    assert process.clock.wall > 0
+    # Nothing leaks at teardown.
+    assert process.mem.logical_footprint() < 100_000
+
+
+def test_workloads_are_deterministic():
+    workload = get_workload("raytrace")
+    runs = []
+    for _ in range(2):
+        process = workload.make_process(scale=0.05)
+        process.run()
+        runs.append((process.clock.wall, process.vm.instruction_count, process.stdout))
+    assert runs[0] == runs[1]
+
+
+def test_scale_changes_duration_roughly_linearly():
+    workload = get_workload("fannkuch")
+    small = workload.make_process(scale=0.05)
+    small.run()
+    big = workload.make_process(scale=0.2)
+    big.run()
+    ratio = big.clock.wall / small.clock.wall
+    assert 2.0 < ratio < 8.0
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(WorkloadError):
+        get_workload("quicksort3000")
+
+
+def test_workload_names_includes_leak_workloads():
+    names = workload_names()
+    assert "leaky" in names and "balanced" in names
+
+
+def test_leaky_workload_grows_balanced_does_not():
+    leaky = get_workload("leaky").make_process(scale=1.0)
+    leaky.run()
+    balanced = get_workload("balanced").make_process(scale=1.0)
+    balanced.run()
+    assert leaky.mem.peak_footprint > 5 * balanced.mem.peak_footprint
+
+
+def test_microbenchmark_fraction_validation():
+    with pytest.raises(ValueError):
+        microbenchmark(1.5)
+    with pytest.raises(ValueError):
+        microbenchmark(-0.1)
+
+
+def test_microbenchmark_split_controls_work():
+    heavy_call = microbenchmark(0.9).make_process(0.2, collect_ground_truth=True)
+    heavy_call.run()
+    gt = heavy_call.ground_truth
+    call_time = gt.function_time("with_call") + gt.function_time("helper")
+    inline_time = gt.function_time("inlined")
+    assert call_time > 3 * inline_time
+
+
+def test_membench_fraction_validation():
+    with pytest.raises(ValueError):
+        membench(2.0)
+
+
+def test_membench_allocates_512_mib():
+    process = membench(0.0).make_process()
+    process.run()
+    assert process.mem.peak_footprint / (1024 * 1024) == pytest.approx(
+        ARRAY_MB, rel=0.01
+    )
+
+
+def test_default_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.7")
+    assert default_scale() == 0.7
+    monkeypatch.setenv("REPRO_SCALE", "junk")
+    assert default_scale() == 0.2
+
+
+def test_scaled_repetitions():
+    workload = get_workload("raytrace")
+    assert workload.scaled_repetitions(1.0) == workload.repetitions
+    assert workload.scaled_repetitions(0.001) == 1
