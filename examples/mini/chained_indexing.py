@@ -1,0 +1,5 @@
+df = pd.frame(400, 4)
+total = 0.0
+for i in range(400):
+    total = total + df['c0'][i]
+print(total)

@@ -1,0 +1,5 @@
+acc = pd.frame(1)
+for i in range(40):
+    chunk = pd.frame(20)
+    acc = pd.concat(acc, chunk)
+print(len(acc))

@@ -1,0 +1,10 @@
+def worker():
+    s = 0
+    for i in range(4000):
+        s = s + 1
+
+t1 = spawn(worker)
+t2 = spawn(worker)
+join(t1)
+join(t2)
+print('done')

@@ -1,0 +1,6 @@
+n = 256
+total = 0.0
+for i in range(50):
+    scratch = np.zeros(n)
+    total = total + scratch.sum()
+print(total)

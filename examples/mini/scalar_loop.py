@@ -1,0 +1,6 @@
+n = 2000
+a = np.arange(n)
+b = np.zeros(n)
+for i in range(n):
+    b[i] = a[i] * 2.0
+print(b.sum())

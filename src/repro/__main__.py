@@ -1,19 +1,25 @@
 """Command-line interface.
 
 Profile a mini-language workload file (or a named built-in workload)
-under Scalene or any baseline profiler::
+under Scalene or any baseline profiler, lint it for performance
+anti-patterns, or disassemble it::
 
     python -m repro profile app.py --mode full --html profile.html
     python -m repro profile --workload pprint --profiler cProfile
+    python -m repro lint app.py --profile
+    python -m repro dis app.py
     python -m repro list
 
 Mirrors ``scalene yourprogram.py``: the CLI builds a simulated process,
-attaches the profiler, runs, and renders the report.
+attaches the profiler, runs, and renders the report. ``lint --profile``
+triangulates the static findings with a Scalene run, ranking them by
+measured cost and suppressing the ones on insignificant lines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json as json_module
 import sys
 from pathlib import Path
 
@@ -46,6 +52,28 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", metavar="PATH", help="also write the JSON profile")
     run.add_argument("--html", metavar="PATH", help="also write the HTML profile")
 
+    lint = sub.add_parser("lint", help="static performance lints for a workload")
+    lint.add_argument("file", nargs="?", help="mini-language source file")
+    lint.add_argument("--workload", help="a named built-in workload instead of a file")
+    lint.add_argument("--scale", type=float, default=1.0, help="workload scale (built-ins)")
+    lint.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the program under Scalene and triangulate findings with measured cost",
+    )
+    lint.add_argument(
+        "--min-percent",
+        type=float,
+        default=None,
+        help="suppression threshold for --profile (default 1.0, the paper's §5 cutoff)",
+    )
+    lint.add_argument("--json", metavar="PATH", help="also write findings as JSON")
+
+    dis = sub.add_parser("dis", help="disassemble a workload with CFG block boundaries")
+    dis.add_argument("file", nargs="?", help="mini-language source file")
+    dis.add_argument("--workload", help="a named built-in workload instead of a file")
+    dis.add_argument("--scale", type=float, default=1.0, help="workload scale (built-ins)")
+
     sub.add_parser("list", help="list workloads and profilers")
     return parser
 
@@ -54,7 +82,7 @@ def _make_process(args):
     if args.workload:
         return get_workload(args.workload).make_process(args.scale)
     if not args.file:
-        raise SystemExit("profile: provide a source file or --workload NAME")
+        raise SystemExit(f"{args.command}: provide a source file or --workload NAME")
     source = Path(args.file).read_text(encoding="utf-8")
     process = SimProcess(source, filename=Path(args.file).name)
     install_standard_libraries(process)
@@ -97,6 +125,61 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.triangulate import DEFAULT_MIN_PERCENT, attach_lint, triangulate
+    from repro.staticcheck import lint_code
+
+    process = _make_process(args)
+    findings = lint_code(process.code, filename=process.filename)
+
+    if args.profile:
+        min_percent = DEFAULT_MIN_PERCENT if args.min_percent is None else args.min_percent
+        scalene = Scalene(process, mode="full")
+        scalene.start()
+        process.run()
+        profile = scalene.stop()
+        triangulated = triangulate(findings, profile, min_percent=min_percent)
+        attach_lint(profile, triangulated)
+        print(profile.render_text())
+        if args.json:
+            payload = [t.to_dict() for t in triangulated]
+            Path(args.json).write_text(json_module.dumps(payload, indent=2), encoding="utf-8")
+            print(f"wrote {args.json}")
+        return 0
+
+    if not findings:
+        print(f"{process.filename}: no performance lints")
+    for finding in findings:
+        print(str(finding))
+    if args.json:
+        payload = [
+            {
+                "detector": f.detector,
+                "filename": f.filename,
+                "lineno": f.lineno,
+                "function": f.function,
+                "message": f.message,
+                "suggestion": f.suggestion,
+            }
+            for f in findings
+        ]
+        Path(args.json).write_text(json_module.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_dis(args) -> int:
+    from repro.interp.disassembler import disassemble, iter_code_objects
+
+    process = _make_process(args)
+    listings = [
+        disassemble(code_object, show_blocks=True)
+        for code_object in iter_code_objects(process.code)
+    ]
+    print("\n\n".join(listings))
+    return 0
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name in workload_names():
@@ -112,6 +195,10 @@ def main(argv=None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "lint":
+            return _cmd_lint(args)
+        if args.command == "dis":
+            return _cmd_dis(args)
         return _cmd_profile(args)
     except BrokenPipeError:
         # Output piped to a pager/head that exited early — not an error.

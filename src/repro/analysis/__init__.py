@@ -1,4 +1,4 @@
-"""Experiment drivers: overhead, accuracy, and the feature matrix."""
+"""Experiment drivers: overhead, accuracy, feature matrix, triangulation."""
 
 from repro.analysis.overhead import OverheadResult, measure_overhead, overhead_table
 from repro.analysis.accuracy import (
@@ -7,6 +7,12 @@ from repro.analysis.accuracy import (
 )
 from repro.analysis.comparison import feature_matrix
 from repro.analysis.diffing import ProfileDiff, diff_profiles
+from repro.analysis.triangulate import (
+    TriangulatedFinding,
+    attach_lint,
+    lint_and_triangulate,
+    triangulate,
+)
 
 __all__ = [
     "ProfileDiff",
@@ -17,4 +23,8 @@ __all__ = [
     "cpu_accuracy_experiment",
     "memory_accuracy_experiment",
     "feature_matrix",
+    "TriangulatedFinding",
+    "attach_lint",
+    "lint_and_triangulate",
+    "triangulate",
 ]

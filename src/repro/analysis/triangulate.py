@@ -1,0 +1,162 @@
+"""Triangulate static lint findings with a dynamic Scalene profile.
+
+The lints (:mod:`repro.staticcheck.lints`) say *this line has an
+anti-pattern shape*; the profile says *this line costs something*. Joined
+on the (filename, line) attribution key both sides share, each finding
+gains measured evidence: its share of CPU time, of allocation activity,
+and of copy volume. Findings on lines the profile filtered out (below
+the paper's §5 1 % significance threshold) are **suppressed** — the
+anti-pattern exists but demonstrably does not matter — and the rest are
+ranked by measured cost, most expensive first. That ordering is the
+whole point: a static linter alone drowns users in cold-path noise,
+a profiler alone cannot explain *why* a line is slow; the join does both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.profile_data import LineReport, ProfileData
+from repro.staticcheck.lints import Finding
+
+#: The paper's §5 reporting threshold: lines below this share of every
+#: measured dimension are insignificant.
+DEFAULT_MIN_PERCENT = 1.0
+
+
+@dataclass
+class TriangulatedFinding:
+    """A lint finding annotated with its measured cost."""
+
+    finding: Finding
+    #: Share of total CPU time on the finding's line (Python+native+system).
+    cpu_percent: float
+    #: Share of total allocation activity on the line.
+    mem_activity_percent: float
+    #: Share of total copy volume on the line.
+    copy_percent: float
+    #: Ranking key: the sum of the three shares.
+    score: float
+    #: True when the profile shows the line is too cold to matter.
+    suppressed: bool
+    #: Why it was suppressed ("" when active).
+    reason: str = ""
+
+    @property
+    def lineno(self) -> int:
+        return self.finding.lineno
+
+    @property
+    def detector(self) -> str:
+        return self.finding.detector
+
+    def __str__(self) -> str:
+        state = f"suppressed: {self.reason}" if self.suppressed else f"{self.score:.1f}% measured"
+        return (
+            f"[{self.finding.detector}] {self.finding.filename}:{self.finding.lineno} "
+            f"({state}): {self.finding.message} — {self.finding.suggestion}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "detector": self.finding.detector,
+            "filename": self.finding.filename,
+            "lineno": self.finding.lineno,
+            "function": self.finding.function,
+            "message": self.finding.message,
+            "suggestion": self.finding.suggestion,
+            "cpu_percent": self.cpu_percent,
+            "mem_activity_percent": self.mem_activity_percent,
+            "copy_percent": self.copy_percent,
+            "score": self.score,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+def _line_index(profile: ProfileData) -> Dict[Tuple[str, int], LineReport]:
+    return {(line.filename, line.lineno): line for line in profile.lines}
+
+
+def _copy_percent(profile: ProfileData, line: LineReport) -> float:
+    if profile.total_copy_mb <= 0 or profile.elapsed <= 0:
+        return 0.0
+    line_copy_mb = line.copy_mb_s * profile.elapsed
+    return 100.0 * line_copy_mb / profile.total_copy_mb
+
+
+def triangulate(
+    findings: Iterable[Finding],
+    profile: ProfileData,
+    *,
+    min_percent: float = DEFAULT_MIN_PERCENT,
+) -> List[TriangulatedFinding]:
+    """Join ``findings`` with ``profile`` and rank by measured cost.
+
+    Returns active findings first (highest score first), then suppressed
+    ones (same order), so ``result[0]`` is always the most expensive
+    confirmed anti-pattern.
+    """
+    index = _line_index(profile)
+    out: List[TriangulatedFinding] = []
+    for finding in findings:
+        line = index.get((finding.filename, finding.lineno))
+        if line is None:
+            out.append(
+                TriangulatedFinding(
+                    finding=finding,
+                    cpu_percent=0.0,
+                    mem_activity_percent=0.0,
+                    copy_percent=0.0,
+                    score=0.0,
+                    suppressed=True,
+                    reason=f"line not in profile (below the {min_percent:g}% threshold)",
+                )
+            )
+            continue
+        cpu = line.cpu_total_percent
+        mem = line.mem_activity_percent
+        copy = _copy_percent(profile, line)
+        score = cpu + mem + copy
+        cold = cpu < min_percent and mem < min_percent and copy < min_percent
+        out.append(
+            TriangulatedFinding(
+                finding=finding,
+                cpu_percent=cpu,
+                mem_activity_percent=mem,
+                copy_percent=copy,
+                score=score,
+                suppressed=cold,
+                reason=(
+                    f"all measured shares below {min_percent:g}%" if cold else ""
+                ),
+            )
+        )
+    out.sort(key=lambda t: (t.suppressed, -t.score, t.finding.lineno))
+    return out
+
+
+def attach_lint(
+    profile: ProfileData, triangulated: List[TriangulatedFinding]
+) -> ProfileData:
+    """Embed triangulated findings in the profile so every report backend
+    (text, JSON, HTML) renders them alongside the measurements."""
+    profile.lint_findings = list(triangulated)
+    return profile
+
+
+def lint_and_triangulate(
+    source: str,
+    profile: ProfileData,
+    filename: str = "<workload>",
+    *,
+    min_percent: float = DEFAULT_MIN_PERCENT,
+) -> List[TriangulatedFinding]:
+    """Convenience: lint ``source`` and triangulate against ``profile``."""
+    from repro.staticcheck.lints import lint_source
+
+    findings = lint_source(source, filename)
+    triangulated = triangulate(findings, profile, min_percent=min_percent)
+    attach_lint(profile, triangulated)
+    return triangulated

@@ -92,6 +92,11 @@ class ProfileData:
     memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
     leaks: List[LeakReport] = field(default_factory=list)
     sample_log_bytes: int = 0
+    #: Triangulated static-analysis findings
+    #: (:class:`repro.analysis.triangulate.TriangulatedFinding`), attached
+    #: via :func:`repro.analysis.triangulate.attach_lint`; rendered by
+    #: every output backend.
+    lint_findings: List = field(default_factory=list)
 
     # -- rendering -------------------------------------------------------
 
@@ -161,6 +166,22 @@ class ProfileData:
             out.append("Possible memory leaks (likelihood ≥ 95%):")
             for leak in self.leaks:
                 out.append(f"  {leak}")
+        if self.lint_findings:
+            active = [t for t in self.lint_findings if not t.suppressed]
+            suppressed = [t for t in self.lint_findings if t.suppressed]
+            out.append("")
+            out.append("Performance lints (static analysis × profile):")
+            for rank, t in enumerate(active, start=1):
+                out.append(
+                    f"  #{rank} line {t.finding.lineno:>4} [{t.finding.detector}] "
+                    f"{t.score:5.1f}% measured — {t.finding.message}"
+                )
+                out.append(f"       fix: {t.finding.suggestion}")
+            if suppressed:
+                out.append(
+                    f"  ({len(suppressed)} finding(s) suppressed: "
+                    f"lines below the significance threshold)"
+                )
         return "\n".join(out)
 
     def to_dict(self) -> Dict:
@@ -185,6 +206,7 @@ class ProfileData:
                 "mean_utilization": self.gpu_mean_utilization,
                 "peak_mb": self.gpu_mem_peak_mb,
             },
+            "lint": [t.to_dict() for t in self.lint_findings],
             "leaks": [
                 {
                     "filename": leak.filename,

@@ -24,6 +24,7 @@ offending line.
 from __future__ import annotations
 
 import ast
+import os
 from typing import List, Optional, Tuple
 
 from repro.errors import CompileError
@@ -66,21 +67,43 @@ _UNARYOP_SYMBOLS = {
 }
 
 
-def compile_source(source: str, filename: str = "<workload>") -> CodeObject:
-    """Compile ``source`` (the restricted subset) to a module code object."""
+def compile_source(
+    source: str, filename: str = "<workload>", *, verify: Optional[bool] = None
+) -> CodeObject:
+    """Compile ``source`` (the restricted subset) to a module code object.
+
+    ``verify`` runs the bytecode verifier
+    (:func:`repro.staticcheck.verify_code`) over the emitted code object
+    and every nested function body, raising
+    :class:`~repro.staticcheck.VerificationError` on malformed output —
+    a guard against compiler bugs reaching the VM. Default: off, unless
+    the ``REPRO_VERIFY`` environment variable is truthy (the test suite
+    turns it on, so every workload the tests compile is verified).
+    """
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
         raise CompileError(f"syntax error: {exc.msg}", exc.lineno) from None
     compiler = _Compiler(filename)
-    return compiler.compile_module(tree)
+    code = compiler.compile_module(tree)
+    if verify is None:
+        verify = os.environ.get("REPRO_VERIFY", "").lower() in ("1", "true", "on")
+    if verify:
+        # Local import: staticcheck depends on interp, not vice versa.
+        from repro.staticcheck.verifier import verify_code
+
+        verify_code(code)
+    return code
 
 
 class _LoopContext:
     """Jump-patching bookkeeping for one enclosing loop."""
 
-    def __init__(self, continue_target: int) -> None:
+    def __init__(self, continue_target: int, is_for: bool = False) -> None:
         self.continue_target = continue_target
+        #: ``for`` loops keep their iterator on the operand stack for the
+        #: loop's whole extent; ``break`` must pop it on the way out.
+        self.is_for = is_for
         self.break_fixups: List[int] = []
 
 
@@ -192,6 +215,13 @@ class _Compiler:
         elif isinstance(node, ast.Break):
             if not loops:
                 raise CompileError("'break' outside loop", line)
+            if loops[-1].is_for:
+                # The loop iterator sits on the stack below the body's
+                # temporaries; breaking without popping it would leak it
+                # (FOR_ITER's exit edge pops it, but break bypasses that
+                # edge) — the verifier rejects the resulting depth
+                # mismatch at the loop-exit merge point.
+                code.emit(op.POP_TOP, None, line)
             fixup = code.emit(op.JUMP, None, line)
             loops[-1].break_fixups.append(fixup)
         elif isinstance(node, ast.Continue):
@@ -274,7 +304,7 @@ class _Compiler:
         start = len(code)
         exit_fixup = code.emit(op.FOR_ITER, None, node.lineno)
         self._store_target(node.target, code)
-        loop = _LoopContext(continue_target=start)
+        loop = _LoopContext(continue_target=start, is_for=True)
         loops.append(loop)
         self._compile_body(node.body, code, loops, is_module)
         loops.pop()

@@ -15,11 +15,34 @@ from repro.interp.code import CodeObject
 from repro.interp.opcodes import is_call_opcode
 
 
-def disassemble(code: CodeObject) -> str:
-    """Human-readable listing of a code object (dis.dis analog)."""
+def disassemble(code: CodeObject, *, show_blocks: bool = False) -> str:
+    """Human-readable listing of a code object (dis.dis analog).
+
+    With ``show_blocks`` the listing is annotated with the basic-block
+    boundaries of the control-flow graph: each block's index, its
+    predecessors/successors, and whether it heads a natural loop — the
+    view ``python -m repro dis`` prints.
+    """
+    block_headers = {}
+    if show_blocks:
+        # Local import: staticcheck builds on interp, not the reverse.
+        from repro.staticcheck.cfg import build_cfg
+
+        cfg = build_cfg(code)
+        loop_headers = {loop.header for loop in cfg.natural_loops()}
+        for block in cfg.blocks:
+            preds = ",".join(f"B{p}" for p in block.predecessors) or "-"
+            succs = ",".join(f"B{s}" for s in block.successors) or "-"
+            tag = "  <loop header>" if block.index in loop_headers else ""
+            block_headers[block.start] = (
+                f"  -- B{block.index} (preds: {preds}; succs: {succs}){tag}"
+            )
     lines: List[str] = [f"Disassembly of {code.name} ({code.filename}):"]
     last_lineno = None
     for index, instr in enumerate(code.instructions):
+        header = block_headers.get(index)
+        if header is not None:
+            lines.append(header)
         line_field = f"{instr.lineno:>4}" if instr.lineno != last_lineno else "    "
         last_lineno = instr.lineno
         arg = "" if instr.arg is None else repr(instr.arg)

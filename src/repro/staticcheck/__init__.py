@@ -1,0 +1,56 @@
+"""Static analysis over the simulated bytecode (verifier, CFG, lints).
+
+This package turns the repository from "measures" into "measures *and*
+diagnoses": a bytecode **verifier** hardens the VM against malformed
+code objects, a **CFG/dataflow framework** provides basic blocks,
+dominators, natural loops and reaching definitions, and a **lint pass**
+statically recognizes the performance anti-patterns of the paper's §7
+case studies. :mod:`repro.analysis.triangulate` joins lint findings with
+a Scalene profile to rank them by measured cost.
+
+Layering: ``staticcheck`` sits beside the profilers and imports only
+``repro.interp`` (plus ``repro.errors``) — it never touches the runtime.
+"""
+
+from repro.staticcheck.cfg import CFG, BasicBlock, Loop, build_cfg
+from repro.staticcheck.dataflow import (
+    ReachingDefinitions,
+    SymbolicTrace,
+    ValueNode,
+    invariant_names,
+    reaching_definitions,
+    symbolic_trace,
+    variant_names,
+)
+from repro.staticcheck.effects import jump_edge_delta, stack_effect
+from repro.staticcheck.lints import DETECTORS, Finding, lint_code, lint_source
+from repro.staticcheck.verifier import (
+    DeadCode,
+    VerificationError,
+    VerificationReport,
+    verify_code,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "DETECTORS",
+    "DeadCode",
+    "Finding",
+    "Loop",
+    "ReachingDefinitions",
+    "SymbolicTrace",
+    "ValueNode",
+    "VerificationError",
+    "VerificationReport",
+    "build_cfg",
+    "invariant_names",
+    "jump_edge_delta",
+    "lint_code",
+    "lint_source",
+    "reaching_definitions",
+    "stack_effect",
+    "symbolic_trace",
+    "variant_names",
+    "verify_code",
+]

@@ -1,0 +1,223 @@
+"""Control-flow graph, dominators, and natural-loop detection.
+
+Built once per :class:`~repro.interp.code.CodeObject`, the CFG is the
+shared substrate of the verifier (stack simulation per basic block), the
+dataflow analyses (reaching definitions), and the performance lints
+(anything "inside a loop" is defined by natural-loop membership here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.interp import opcodes as op
+from repro.interp.code import CodeObject
+from repro.staticcheck.effects import BRANCHES, TERMINATORS, jump_target
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<B{self.index} [{self.start}:{self.end}] -> {self.successors}>"
+
+
+@dataclass
+class Loop:
+    """A natural loop: a back edge ``tail -> header`` plus its body."""
+
+    header: int
+    #: Block indices belonging to the loop (header included).
+    blocks: FrozenSet[int]
+    #: The block whose back edge defines the loop.
+    tail: int
+    #: Source line of the loop header (the ``for``/``while`` line).
+    header_line: int
+
+
+class CFG:
+    """The control-flow graph of one code object."""
+
+    def __init__(self, code: CodeObject, blocks: List[BasicBlock]) -> None:
+        self.code = code
+        self.blocks = blocks
+        #: instruction index -> owning block index.
+        self.block_of_instr: Dict[int, int] = {}
+        for block in blocks:
+            for i in block.instruction_indices():
+                self.block_of_instr[i] = block.index
+        self._dominators: Optional[List[Set[int]]] = None
+        self._loops: Optional[List[Loop]] = None
+
+    # -- reachability --------------------------------------------------------
+
+    def reachable_blocks(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        if not self.blocks:
+            return set()
+        seen: Set[int] = set()
+        work = [0]
+        while work:
+            b = work.pop()
+            if b in seen:
+                continue
+            seen.add(b)
+            work.extend(self.blocks[b].successors)
+        return seen
+
+    # -- dominators ----------------------------------------------------------
+
+    def dominators(self) -> List[Set[int]]:
+        """``dominators()[b]`` = set of blocks dominating block ``b``.
+
+        Classic iterative forward dataflow over reachable blocks;
+        unreachable blocks dominate nothing and are dominated by all
+        (the conventional lattice top), which keeps loop detection from
+        tripping over dead code.
+        """
+        if self._dominators is not None:
+            return self._dominators
+        n = len(self.blocks)
+        reachable = self.reachable_blocks()
+        all_blocks = set(range(n))
+        dom: List[Set[int]] = [set(all_blocks) for _ in range(n)]
+        if n:
+            dom[0] = {0}
+        changed = True
+        while changed:
+            changed = False
+            for b in range(1, n):
+                if b not in reachable:
+                    continue
+                preds = [p for p in self.blocks[b].predecessors if p in reachable]
+                if not preds:
+                    continue
+                new = set.intersection(*(dom[p] for p in preds)) | {b}
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    # -- loops ----------------------------------------------------------------
+
+    def natural_loops(self) -> List[Loop]:
+        """All natural loops (back edge ``t -> h`` with ``h`` dominating ``t``).
+
+        Loops sharing a header are merged, so a ``while`` with two back
+        edges (e.g. an explicit ``continue``) is reported once.
+        """
+        if self._loops is not None:
+            return self._loops
+        dom = self.dominators()
+        reachable = self.reachable_blocks()
+        bodies: Dict[int, Set[int]] = {}
+        tails: Dict[int, int] = {}
+        for block in self.blocks:
+            if block.index not in reachable:
+                continue
+            for succ in block.successors:
+                if succ in dom[block.index]:  # back edge: succ dominates block
+                    body = bodies.setdefault(succ, {succ})
+                    tails.setdefault(succ, block.index)
+                    # Walk predecessors backwards from the tail to the header.
+                    work = [block.index]
+                    while work:
+                        b = work.pop()
+                        if b in body:
+                            continue
+                        body.add(b)
+                        work.extend(
+                            p for p in self.blocks[b].predecessors if p in reachable
+                        )
+        loops = []
+        for header, body in sorted(bodies.items()):
+            first = self.blocks[header].start
+            line = self.code.instructions[first].lineno if first < len(self.code.instructions) else 0
+            loops.append(
+                Loop(
+                    header=header,
+                    blocks=frozenset(body),
+                    tail=tails[header],
+                    header_line=line,
+                )
+            )
+        self._loops = loops
+        return loops
+
+    def innermost_loop_of(self, instr_index: int) -> Optional[Loop]:
+        """The smallest natural loop containing ``instr_index``, if any."""
+        block = self.block_of_instr.get(instr_index)
+        if block is None:
+            return None
+        best: Optional[Loop] = None
+        for loop in self.natural_loops():
+            if block in loop.blocks:
+                if best is None or len(loop.blocks) < len(best.blocks):
+                    best = loop
+        return best
+
+    def loop_instruction_indices(self, loop: Loop) -> List[int]:
+        """All instruction indices inside ``loop``, in program order."""
+        out: List[int] = []
+        for b in sorted(loop.blocks):
+            out.extend(self.blocks[b].instruction_indices())
+        return out
+
+
+def build_cfg(code: CodeObject) -> CFG:
+    """Partition ``code`` into basic blocks and wire the edges."""
+    instructions = code.instructions
+    n = len(instructions)
+    if n == 0:
+        return CFG(code, [])
+
+    leaders: Set[int] = {0}
+    for index, instr in enumerate(instructions):
+        target = jump_target(instr)
+        if target is not None and 0 <= target < n:
+            leaders.add(target)
+        if instr.opcode in TERMINATORS or instr.opcode in BRANCHES:
+            if index + 1 < n:
+                leaders.add(index + 1)
+
+    starts = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    for bi, start in enumerate(starts):
+        end = starts[bi + 1] if bi + 1 < len(starts) else n
+        blocks.append(BasicBlock(index=bi, start=start, end=end))
+
+    start_to_block = {b.start: b.index for b in blocks}
+    for block in blocks:
+        last = instructions[block.end - 1]
+        opcode = last.opcode
+        succ_instrs: List[int] = []
+        if opcode == op.RETURN_VALUE:
+            pass
+        elif opcode == op.JUMP:
+            succ_instrs.append(int(last.arg))
+        elif opcode in BRANCHES:
+            succ_instrs.append(block.end)  # fallthrough
+            succ_instrs.append(int(last.arg))
+        else:
+            succ_instrs.append(block.end)
+        for target in succ_instrs:
+            succ_block = start_to_block.get(target)
+            if succ_block is None:
+                continue  # invalid target: the verifier reports it
+            if succ_block not in block.successors:
+                block.successors.append(succ_block)
+                blocks[succ_block].predecessors.append(block.index)
+
+    return CFG(code, blocks)

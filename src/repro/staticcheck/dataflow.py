@@ -1,0 +1,224 @@
+"""Dataflow analyses over the bytecode CFG.
+
+Three analyses power the performance lints:
+
+* **Reaching definitions** — classic forward may-analysis over names
+  (``STORE_NAME`` is the only definition point in this instruction set;
+  parameters are entry definitions).
+* **Loop variance** — a name is *invariant* in a natural loop iff no
+  instruction inside the loop (re)defines it. This is deliberately
+  conservative: invariance of a name means the loop reads a value bound
+  before entry, which is exactly the hoisting precondition the lints need.
+* **Symbolic operand recovery** — a block-local abstract stack that
+  rebuilds expression trees (who produced each operand), so detectors can
+  pattern-match shapes like ``df['c0'][i]`` without re-parsing source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.interp import opcodes as op
+from repro.interp.code import CodeObject
+from repro.staticcheck.cfg import CFG, Loop
+from repro.staticcheck.effects import stack_effect
+
+# -- reaching definitions ----------------------------------------------------
+
+#: A definition site: (instruction index, name). Index -1 marks entry
+#: definitions (parameters and, at module level, pre-installed globals).
+DefSite = Tuple[int, str]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Per-block IN/OUT sets of definition sites."""
+
+    in_sets: List[Set[DefSite]]
+    out_sets: List[Set[DefSite]]
+
+    def defs_reaching_block(self, block_index: int, name: str) -> Set[DefSite]:
+        return {d for d in self.in_sets[block_index] if d[1] == name}
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefinitions:
+    """Iterative forward may-analysis: which stores can reach each block."""
+    code = cfg.code
+    n = len(cfg.blocks)
+    gen: List[Dict[str, DefSite]] = []
+    kill_names: List[Set[str]] = []
+    for block in cfg.blocks:
+        last_def: Dict[str, DefSite] = {}
+        killed: Set[str] = set()
+        for i in block.instruction_indices():
+            instr = code.instructions[i]
+            if instr.opcode == op.STORE_NAME:
+                last_def[instr.arg] = (i, instr.arg)
+                killed.add(instr.arg)
+            elif instr.opcode == op.DELETE_NAME:
+                last_def.pop(instr.arg, None)
+                killed.add(instr.arg)
+        gen.append(last_def)
+        kill_names.append(killed)
+
+    entry: Set[DefSite] = {(-1, p) for p in code.params}
+    in_sets: List[Set[DefSite]] = [set() for _ in range(n)]
+    out_sets: List[Set[DefSite]] = [set() for _ in range(n)]
+    if n:
+        in_sets[0] = set(entry)
+    changed = True
+    while changed:
+        changed = False
+        for bi in range(n):
+            in_set = set(entry) if bi == 0 else set()
+            for p in cfg.blocks[bi].predecessors:
+                in_set |= out_sets[p]
+            out_set = {d for d in in_set if d[1] not in kill_names[bi]}
+            out_set |= set(gen[bi].values())
+            if in_set != in_sets[bi] or out_set != out_sets[bi]:
+                in_sets[bi] = in_set
+                out_sets[bi] = out_set
+                changed = True
+    return ReachingDefinitions(in_sets=in_sets, out_sets=out_sets)
+
+
+# -- loop variance ----------------------------------------------------------
+
+
+def variant_names(cfg: CFG, loop: Loop) -> FrozenSet[str]:
+    """Names (re)defined anywhere inside ``loop``."""
+    out: Set[str] = set()
+    for i in cfg.loop_instruction_indices(loop):
+        instr = cfg.code.instructions[i]
+        if instr.opcode in (op.STORE_NAME, op.DELETE_NAME):
+            out.add(instr.arg)
+    return frozenset(out)
+
+
+def invariant_names(cfg: CFG, loop: Loop) -> FrozenSet[str]:
+    """Names *read* in the loop but never defined inside it."""
+    read: Set[str] = set()
+    for i in cfg.loop_instruction_indices(loop):
+        instr = cfg.code.instructions[i]
+        if instr.opcode == op.LOAD_NAME:
+            read.add(instr.arg)
+    return frozenset(read - variant_names(cfg, loop))
+
+
+# -- symbolic operand recovery ----------------------------------------------
+
+#: Pseudo-opcode for values flowing in from outside the current block.
+OPAQUE = "OPAQUE"
+#: Pseudo-opcode for the pieces of an UNPACK_SEQUENCE.
+UNPACKED = "UNPACKED"
+
+
+class ValueNode:
+    """One abstractly-computed stack value and the expression that made it."""
+
+    __slots__ = ("index", "opcode", "arg", "operands", "lineno")
+
+    def __init__(self, index: int, opcode: str, arg, operands: tuple, lineno: int) -> None:
+        self.index = index
+        self.opcode = opcode
+        self.arg = arg
+        self.operands = operands
+        self.lineno = lineno
+
+    def walk(self) -> Iterator["ValueNode"]:
+        """This node and every node in its operand tree (pre-order)."""
+        yield self
+        for operand in self.operands:
+            yield from operand.walk()
+
+    def name_roots(self) -> Set[str]:
+        """All names loaded anywhere in this expression tree."""
+        return {n.arg for n in self.walk() if n.opcode == op.LOAD_NAME}
+
+    def is_transparent(self) -> bool:
+        """True when the tree contains no calls, iterator values, or
+        values of unknown provenance — i.e. its result is a pure function
+        of the names and constants it mentions."""
+        for node in self.walk():
+            if node.opcode in (OPAQUE, UNPACKED, op.CALL, op.CALL_METHOD, op.FOR_ITER):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.opcode}({self.arg!r})@{self.index}>"
+
+
+@dataclass
+class SymbolicTrace:
+    """Result of abstractly executing every block of a code object."""
+
+    #: instruction index -> the node describing the value(s) it pushed, or
+    #: for stores, the operation itself (operands hold the stored value).
+    nodes: Dict[int, ValueNode]
+
+    def node(self, index: int) -> Optional[ValueNode]:
+        return self.nodes.get(index)
+
+
+def symbolic_trace(code: CodeObject, cfg: CFG) -> SymbolicTrace:
+    """Abstractly execute each basic block with an expression-tree stack.
+
+    Values entering a block from predecessors are :data:`OPAQUE` — the
+    analysis is block-local, which is precise enough for the lints (the
+    compiler emits each source expression within one block) and keeps the
+    trace linear in code size.
+    """
+    instructions = code.instructions
+    nodes: Dict[int, ValueNode] = {}
+    for block in cfg.blocks:
+        stack: List[ValueNode] = []
+        for i in block.instruction_indices():
+            instr = instructions[i]
+            pops, pushes = stack_effect(instr)
+            if pops > len(stack):
+                # Operands computed in a predecessor block.
+                missing = pops - len(stack)
+                filler = [
+                    ValueNode(-1, OPAQUE, None, (), instr.lineno)
+                    for _ in range(missing)
+                ]
+                stack[:0] = filler
+            operands = tuple(stack[len(stack) - pops :]) if pops else ()
+            if pops:
+                del stack[len(stack) - pops :]
+            node = ValueNode(i, instr.opcode, instr.arg, operands, instr.lineno)
+            nodes[i] = node
+            if instr.opcode == op.UNPACK_SEQUENCE:
+                for _ in range(pushes):
+                    stack.append(ValueNode(i, UNPACKED, instr.arg, operands, instr.lineno))
+            elif pushes:
+                stack.append(node)
+    return SymbolicTrace(nodes=nodes)
+
+
+def callee_name(node: ValueNode) -> Optional[str]:
+    """The syntactic name of a call's target (``f(...)`` or ``obj.m(...)``)."""
+    if node.opcode not in (op.CALL, op.CALL_METHOD) or not node.operands:
+        return None
+    callee = node.operands[0]
+    if callee.opcode in (op.LOAD_NAME, op.LOAD_METHOD, op.LOAD_ATTR):
+        return callee.arg
+    return None
+
+
+def call_arguments(node: ValueNode) -> Tuple[ValueNode, ...]:
+    """Positional+keyword argument nodes of a CALL/CALL_METHOD node."""
+    if node.opcode not in (op.CALL, op.CALL_METHOD):
+        return ()
+    return node.operands[1:]
+
+
+def method_receiver(node: ValueNode) -> Optional[ValueNode]:
+    """The receiver expression of a CALL_METHOD node."""
+    if node.opcode != op.CALL_METHOD or not node.operands:
+        return None
+    callee = node.operands[0]
+    if callee.opcode == op.LOAD_METHOD and callee.operands:
+        return callee.operands[0]
+    return None

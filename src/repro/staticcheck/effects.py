@@ -1,0 +1,129 @@
+"""Per-opcode stack effects and control-flow classification.
+
+The verifier and the CFG builder both need to know, for every opcode,
+how many operands it pops, how many results it pushes, and where control
+can go next. This module is the single authority for those facts; it
+mirrors the operational semantics of :mod:`repro.interp.vm` exactly, and
+the differential test in ``tests/test_staticcheck_verifier.py`` keeps it
+honest by verifying every code object the compiler can produce.
+
+Two opcodes have *edge-dependent* effects and are special-cased
+everywhere instead of appearing in the table:
+
+* ``FOR_ITER`` — fallthrough pushes the next element (net +1); the
+  jump edge (iterator exhausted) pops the iterator (net -1).
+* ``JUMP_IF_FALSE_OR_POP`` / ``JUMP_IF_TRUE_OR_POP`` — the jump edge
+  keeps TOS (net 0); the fallthrough edge pops it (net -1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.interp import opcodes as op
+from repro.interp.code import Instruction
+
+#: opcode -> (pops, pushes) for every opcode whose effect is static and
+#: independent of its argument.
+_FIXED_EFFECTS = {
+    op.LOAD_CONST: (0, 1),
+    op.LOAD_NAME: (0, 1),
+    op.STORE_NAME: (1, 0),
+    op.DELETE_NAME: (0, 0),
+    op.LOAD_ATTR: (1, 1),
+    op.LOAD_METHOD: (1, 1),
+    op.BINARY_SUBSCR: (2, 1),
+    op.STORE_SUBSCR: (3, 0),
+    op.BINARY_OP: (2, 1),
+    op.COMPARE_OP: (2, 1),
+    op.UNARY_OP: (1, 1),
+    op.RETURN_VALUE: (1, 0),
+    op.JUMP: (0, 0),
+    op.POP_JUMP_IF_FALSE: (1, 0),
+    op.POP_JUMP_IF_TRUE: (1, 0),
+    op.GET_ITER: (1, 1),
+    op.LIST_APPEND: (1, 0),
+    op.POP_TOP: (1, 0),
+    op.MAKE_FUNCTION: (0, 1),
+    op.NOP: (0, 0),
+}
+
+#: Opcodes that transfer control unconditionally (no fallthrough).
+TERMINATORS = frozenset({op.JUMP, op.RETURN_VALUE})
+
+#: Opcodes with both a jump edge and a fallthrough edge.
+BRANCHES = frozenset(
+    {
+        op.POP_JUMP_IF_FALSE,
+        op.POP_JUMP_IF_TRUE,
+        op.JUMP_IF_FALSE_OR_POP,
+        op.JUMP_IF_TRUE_OR_POP,
+        op.FOR_ITER,
+    }
+)
+
+#: Opcodes carrying a jump-target argument.
+JUMP_OPCODES = BRANCHES | {op.JUMP}
+
+
+def stack_effect(instr: Instruction) -> Tuple[int, int]:
+    """(pops, pushes) for ``instr`` on its *fallthrough* edge.
+
+    For the edge-dependent branch opcodes this returns the fallthrough
+    behaviour; callers handling jump edges must consult
+    :func:`jump_edge_delta` instead.
+    """
+    opcode = instr.opcode
+    fixed = _FIXED_EFFECTS.get(opcode)
+    if fixed is not None:
+        return fixed
+    arg = instr.arg
+    if opcode in (op.BUILD_LIST, op.BUILD_TUPLE):
+        return (int(arg), 1)
+    if opcode == op.BUILD_MAP:
+        return (2 * int(arg), 1)
+    if opcode == op.BUILD_SLICE:
+        return (int(arg), 1)
+    if opcode == op.UNPACK_SEQUENCE:
+        return (1, int(arg))
+    if opcode in (op.CALL, op.CALL_METHOD):
+        npos, kwnames = arg
+        return (1 + int(npos) + len(kwnames), 1)
+    if opcode == op.FOR_ITER:
+        return (0, 1)  # fallthrough: next element pushed above the iterator
+    if opcode in (op.JUMP_IF_FALSE_OR_POP, op.JUMP_IF_TRUE_OR_POP):
+        return (1, 0)  # fallthrough pops the tested value
+    raise KeyError(f"unknown opcode {opcode!r}")
+
+
+def jump_edge_delta(instr: Instruction) -> int:
+    """Net stack delta along the *jump* edge of a branch/jump opcode."""
+    opcode = instr.opcode
+    if opcode == op.FOR_ITER:
+        return -1  # exhausted: the iterator is popped
+    if opcode in (op.JUMP_IF_FALSE_OR_POP, op.JUMP_IF_TRUE_OR_POP):
+        return 0  # short-circuit value stays on the stack
+    if opcode in (op.POP_JUMP_IF_FALSE, op.POP_JUMP_IF_TRUE):
+        return -1
+    if opcode == op.JUMP:
+        return 0
+    raise KeyError(f"opcode {opcode!r} has no jump edge")
+
+
+def successors(index: int, instr: Instruction) -> List[int]:
+    """Instruction indices control can reach after ``instr`` at ``index``."""
+    opcode = instr.opcode
+    if opcode == op.RETURN_VALUE:
+        return []
+    if opcode == op.JUMP:
+        return [int(instr.arg)]
+    if opcode in BRANCHES:
+        return [index + 1, int(instr.arg)]
+    return [index + 1]
+
+
+def jump_target(instr: Instruction) -> Optional[int]:
+    """The jump-target argument of ``instr``, or None for non-jumps."""
+    if instr.opcode in JUMP_OPCODES:
+        return int(instr.arg) if instr.arg is not None else None
+    return None

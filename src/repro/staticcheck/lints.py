@@ -1,0 +1,416 @@
+"""Profile-guided performance anti-pattern detectors (paper §7, statically).
+
+Each of Scalene's §7 case studies — chained DataFrame indexing, concat
+growth in loops, scalar loops over native arrays, invariant work inside
+loops, and GIL-serialized threads — is a *statically recognizable* shape
+in our bytecode. These detectors find those shapes; on their own they are
+style hints, and joined with a Scalene profile
+(:mod:`repro.analysis.triangulate`) they become ranked, evidence-backed
+optimization advice.
+
+Every detector reports a :class:`Finding` anchored to a source line — the
+same attribution unit the profilers use, which is what makes the
+triangulation join exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.interp import opcodes as op
+from repro.interp.code import CodeObject
+from repro.interp.disassembler import iter_code_objects
+from repro.staticcheck.cfg import CFG, Loop, build_cfg
+from repro.staticcheck.dataflow import (
+    SymbolicTrace,
+    ValueNode,
+    call_arguments,
+    callee_name,
+    invariant_names,
+    method_receiver,
+    symbolic_trace,
+    variant_names,
+)
+
+#: Callables whose result is a fresh allocation — hoisting candidates
+#: when called with invariant arguments inside a loop.
+ALLOCATING_CALLEES = frozenset(
+    {"zeros", "ones", "empty", "arange", "frame", "py_buffer", "list", "dict",
+     "column_view", "frombuffer"}
+)
+
+#: Calls that block (release the virtual GIL): a thread worker looping
+#: over these overlaps usefully with other threads.
+BLOCKING_CALLEES = frozenset({"sleep", "wait", "read", "write", "join", "io_wait"})
+
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "//", "%", "**"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static performance finding, anchored to a source line."""
+
+    detector: str
+    filename: str
+    lineno: int
+    function: str
+    message: str
+    suggestion: str
+
+    def __str__(self) -> str:
+        where = f"{self.filename}:{self.lineno}"
+        return f"[{self.detector}] {where} ({self.function}): {self.message} — {self.suggestion}"
+
+
+#: Detector identifiers, in report order.
+DETECTORS = (
+    "chained-df-indexing",
+    "concat-growth-in-loop",
+    "scalar-loop-vectorize",
+    "loop-invariant-hoist",
+    "gil-serialized-threads",
+)
+
+
+class _CodeAnalysis:
+    """Per-code-object analysis state shared by the detectors."""
+
+    def __init__(self, code: CodeObject) -> None:
+        self.code = code
+        self.cfg: CFG = build_cfg(code)
+        self.trace: SymbolicTrace = symbolic_trace(code, self.cfg)
+        self.loops: List[Loop] = self.cfg.natural_loops()
+        self._invariants: Dict[int, frozenset] = {}
+        self._variants: Dict[int, frozenset] = {}
+
+    def invariants(self, loop: Loop) -> frozenset:
+        if loop.header not in self._invariants:
+            self._invariants[loop.header] = invariant_names(self.cfg, loop)
+        return self._invariants[loop.header]
+
+    def variants(self, loop: Loop) -> frozenset:
+        if loop.header not in self._variants:
+            self._variants[loop.header] = variant_names(self.cfg, loop)
+        return self._variants[loop.header]
+
+    def loop_nodes(self, loop: Loop) -> List[ValueNode]:
+        nodes = []
+        for i in self.cfg.loop_instruction_indices(loop):
+            node = self.trace.node(i)
+            if node is not None:
+                nodes.append(node)
+        return nodes
+
+    def loop_variable(self, loop: Loop) -> Optional[str]:
+        """The ``for`` target name: STORE_NAME right after the header FOR_ITER."""
+        header = self.cfg.blocks[loop.header]
+        first = self.code.instructions[header.start]
+        if first.opcode != op.FOR_ITER:
+            return None
+        nxt = header.start + 1
+        if nxt < len(self.code.instructions):
+            instr = self.code.instructions[nxt]
+            if instr.opcode == op.STORE_NAME:
+                return instr.arg
+        return None
+
+
+def _is_invariant_tree(node: ValueNode, invariants: frozenset) -> bool:
+    """A pure expression over invariant names and constants."""
+    return node.is_transparent() and node.name_roots() <= invariants
+
+
+# -- detector 1: chained DataFrame indexing ---------------------------------
+
+
+def _detect_chained_indexing(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None:
+    for loop in analysis.loops:
+        invariants = analysis.invariants(loop)
+        for node in analysis.loop_nodes(loop):
+            if node.opcode != op.BINARY_SUBSCR:
+                continue
+            inner = node.operands[0] if node.operands else None
+            if inner is None or inner.opcode != op.BINARY_SUBSCR:
+                continue
+            base, key = inner.operands
+            if base.opcode != op.LOAD_NAME or base.arg not in invariants:
+                continue
+            if key.opcode != op.LOAD_CONST:
+                continue
+            const = analysis.code.constants[key.arg]
+            if not isinstance(const, str):
+                continue
+            findings.append(
+                _Raw(
+                    "chained-df-indexing",
+                    node.lineno,
+                    f"chained indexing {base.arg}[{const!r}][...] inside a loop "
+                    f"copies the column on every iteration",
+                    f"hoist the outer index out of the loop "
+                    f"(e.g. col = {base.arg}.column_view({const!r}))",
+                )
+            )
+
+
+# -- detector 2: concat/append growth in loops ------------------------------
+
+
+def _detect_concat_growth(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None:
+    code = analysis.code
+    for loop in analysis.loops:
+        for node in analysis.loop_nodes(loop):
+            if node.opcode in (op.CALL, op.CALL_METHOD) and callee_name(node) == "concat":
+                findings.append(
+                    _Raw(
+                        "concat-growth-in-loop",
+                        node.lineno,
+                        "concat inside a loop copies all accumulated data "
+                        "every iteration (quadratic copy volume)",
+                        "collect pieces in a list and concat once after the loop",
+                    )
+                )
+            elif node.opcode == op.STORE_NAME:
+                # x = x + [...] — list growth by re-concatenation.
+                value = node.operands[0] if node.operands else None
+                if (
+                    value is not None
+                    and value.opcode == op.BINARY_OP
+                    and value.arg == "+"
+                    and len(value.operands) == 2
+                    and value.operands[0].opcode == op.LOAD_NAME
+                    and value.operands[0].arg == node.arg
+                    and value.operands[1].opcode in (op.BUILD_LIST, op.BUILD_TUPLE)
+                ):
+                    findings.append(
+                        _Raw(
+                            "concat-growth-in-loop",
+                            node.lineno,
+                            f"{node.arg} = {node.arg} + [...] in a loop rebuilds "
+                            f"the whole sequence every iteration",
+                            f"use {node.arg}.append(...) instead",
+                        )
+                    )
+
+
+# -- detector 3: scalar element loops over arrays ---------------------------
+
+
+def _detect_scalar_loop(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None:
+    for loop in analysis.loops:
+        loop_var = analysis.loop_variable(loop)
+        if loop_var is None:
+            continue
+        invariants = analysis.invariants(loop)
+
+        def element_access(node: ValueNode) -> Optional[str]:
+            """Name of an invariant container indexed by the loop variable."""
+            if node.opcode not in (op.BINARY_SUBSCR, op.STORE_SUBSCR):
+                return None
+            if node.opcode == op.BINARY_SUBSCR:
+                base, index = node.operands
+            else:
+                _, base, index = node.operands
+            if base.opcode != op.LOAD_NAME or base.arg not in invariants:
+                return None
+            if loop_var in index.name_roots():
+                return base.arg
+            return None
+
+        for node in analysis.loop_nodes(loop):
+            hit: Optional[Tuple[str, int]] = None
+            if node.opcode == op.BINARY_OP and node.arg in ARITHMETIC_OPS:
+                for sub in node.walk():
+                    name = element_access(sub)
+                    if name is not None:
+                        hit = (name, node.lineno)
+                        break
+            elif node.opcode == op.STORE_SUBSCR:
+                name = element_access(node)
+                if name is not None:
+                    hit = (name, node.lineno)
+            if hit is not None:
+                name, lineno = hit
+                findings.append(
+                    _Raw(
+                        "scalar-loop-vectorize",
+                        lineno,
+                        f"element-at-a-time loop over {name!r} "
+                        f"(~10 interpreter opcodes per element)",
+                        "replace the loop with a vectorized array operation "
+                        "(one native op over the whole array)",
+                    )
+                )
+
+
+# -- detector 4: loop-invariant allocations and attribute lookups ------------
+
+
+def _detect_invariant_hoist(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None:
+    for loop in analysis.loops:
+        invariants = analysis.invariants(loop)
+        for node in analysis.loop_nodes(loop):
+            if node.opcode in (op.CALL, op.CALL_METHOD):
+                name = callee_name(node)
+                if name not in ALLOCATING_CALLEES:
+                    continue
+                args = call_arguments(node)
+                if not all(_is_invariant_tree(a, invariants) for a in args):
+                    continue
+                receiver = method_receiver(node)
+                if receiver is not None and not _is_invariant_tree(receiver, invariants):
+                    continue
+                findings.append(
+                    _Raw(
+                        "loop-invariant-hoist",
+                        node.lineno,
+                        f"loop-invariant allocation {name}(...) runs every iteration",
+                        "allocate once before the loop and reuse the object",
+                    )
+                )
+            elif node.opcode == op.LOAD_ATTR:
+                base = node.operands[0] if node.operands else None
+                if base is None or not _is_invariant_tree(base, invariants):
+                    continue
+                findings.append(
+                    _Raw(
+                        "loop-invariant-hoist",
+                        node.lineno,
+                        f"loop-invariant attribute lookup .{node.arg} "
+                        f"repeats every iteration",
+                        f"bind it to a local before the loop "
+                        f"(e.g. {node.arg} = obj.{node.arg})",
+                    )
+                )
+
+
+# -- detector 5: GIL-serialized thread workers ------------------------------
+
+
+def _module_functions(module_code: CodeObject) -> Dict[str, CodeObject]:
+    """Map module-level function names to their code objects."""
+    out: Dict[str, CodeObject] = {}
+    instructions = module_code.instructions
+    for i, instr in enumerate(instructions):
+        if instr.opcode != op.MAKE_FUNCTION:
+            continue
+        if i + 1 < len(instructions) and instructions[i + 1].opcode == op.STORE_NAME:
+            const = module_code.constants[instr.arg]
+            if isinstance(const, CodeObject):
+                out[instructions[i + 1].arg] = const
+    return out
+
+
+def _worker_is_cpu_bound(worker: CodeObject) -> Optional[int]:
+    """Line of a worker loop that never blocks (GIL-serialized), if any."""
+    analysis = _CodeAnalysis(worker)
+    for loop in analysis.loops:
+        blocks_somewhere = False
+        has_work = False
+        for node in analysis.loop_nodes(loop):
+            if node.opcode in (op.CALL, op.CALL_METHOD):
+                name = callee_name(node)
+                if name in BLOCKING_CALLEES:
+                    blocks_somewhere = True
+                else:
+                    has_work = True
+            elif node.opcode in (op.BINARY_OP, op.BINARY_SUBSCR, op.STORE_SUBSCR):
+                has_work = True
+        if has_work and not blocks_somewhere:
+            return loop.header_line
+    return None
+
+
+def _detect_gil_serialization(
+    module_code: CodeObject, analyses: Dict[int, _CodeAnalysis], findings_by_code
+) -> None:
+    functions = _module_functions(module_code)
+    reported: Set[str] = set()
+    for code_id, analysis in analyses.items():
+        for node in analysis.trace.nodes.values():
+            if node.opcode not in (op.CALL, op.CALL_METHOD):
+                continue
+            if callee_name(node) != "spawn":
+                continue
+            args = call_arguments(node)
+            if not args or args[0].opcode != op.LOAD_NAME:
+                continue
+            fname = args[0].arg
+            worker = functions.get(fname)
+            if worker is None or fname in reported:
+                continue
+            loop_line = _worker_is_cpu_bound(worker)
+            if loop_line is None:
+                continue
+            reported.add(fname)
+            findings_by_code[code_id].append(
+                _Raw(
+                    "gil-serialized-threads",
+                    node.lineno,
+                    f"thread worker {fname!r} loops without blocking "
+                    f"(line {loop_line}): Python bytecode and non-releasing "
+                    f"native calls serialize on the GIL",
+                    "use mp.run_workers for CPU-bound work; keep threads "
+                    "for blocking IO",
+                )
+            )
+
+
+# -- driver -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Raw:
+    detector: str
+    lineno: int
+    message: str
+    suggestion: str
+
+
+def lint_code(code: CodeObject, filename: Optional[str] = None) -> List[Finding]:
+    """Run every detector over ``code`` and all nested function bodies."""
+    filename = filename or code.filename
+    analyses: Dict[int, _CodeAnalysis] = {}
+    order: List[CodeObject] = []
+    for code_object in iter_code_objects(code):
+        analyses[id(code_object)] = _CodeAnalysis(code_object)
+        order.append(code_object)
+
+    findings_by_code: Dict[int, List[_Raw]] = {id(c): [] for c in order}
+    for code_object in order:
+        analysis = analyses[id(code_object)]
+        raws = findings_by_code[id(code_object)]
+        _detect_chained_indexing(analysis, raws)
+        _detect_concat_growth(analysis, raws)
+        _detect_scalar_loop(analysis, raws)
+        _detect_invariant_hoist(analysis, raws)
+    _detect_gil_serialization(code, analyses, findings_by_code)
+
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for code_object in order:
+        for raw in findings_by_code[id(code_object)]:
+            key = (raw.detector, raw.lineno, raw.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(
+                    detector=raw.detector,
+                    filename=filename,
+                    lineno=raw.lineno,
+                    function=code_object.name,
+                    message=raw.message,
+                    suggestion=raw.suggestion,
+                )
+            )
+    findings.sort(key=lambda f: (f.lineno, f.detector))
+    return findings
+
+
+def lint_source(source: str, filename: str = "<workload>") -> List[Finding]:
+    """Compile ``source`` (with verification) and lint the result."""
+    from repro.interp.astcompile import compile_source
+
+    code = compile_source(source, filename, verify=True)
+    return lint_code(code, filename)

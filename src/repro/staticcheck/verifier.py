@@ -1,0 +1,275 @@
+"""Bytecode verifier: reject malformed code objects before they run.
+
+The VM trusts its input; a bad jump target or an unbalanced stack
+corrupts the interpreter state in ways that surface far from the cause
+(or worse, silently skew profiles). The verifier catches these at
+compile time by abstract interpretation of stack *depths* over the CFG:
+
+* every jump target must land on an instruction of the same code object;
+* every opcode argument must be well-formed (const-pool and name indices
+  in bounds, operator symbols known, operand counts non-negative);
+* the stack never underflows, and every control-flow merge point is
+  reached with one consistent stack depth along all incoming edges;
+* control cannot fall off the end of the code object;
+* unreachable instructions are reported as dead-code warnings (the
+  compiler legitimately emits a dead implicit return after an explicit
+  one, so dead code warns rather than fails).
+
+``verify_code`` raises :class:`VerificationError` on the first hard
+violation and returns a :class:`VerificationReport` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.interp import opcodes as op
+from repro.interp.code import CodeObject, Instruction
+from repro.staticcheck.cfg import CFG, build_cfg
+from repro.staticcheck.effects import (
+    BRANCHES,
+    JUMP_OPCODES,
+    TERMINATORS,
+    jump_edge_delta,
+    stack_effect,
+)
+
+_BINARY_SYMBOLS = frozenset("+ - * / // % ** << >> & | ^".split())
+_COMPARE_SYMBOLS = frozenset(
+    ["==", "!=", "<", "<=", ">", ">=", "in", "not in", "is", "is not"]
+)
+_UNARY_SYMBOLS = frozenset(["-", "+", "not", "~"])
+
+
+class VerificationError(ReproError):
+    """A code object failed bytecode verification.
+
+    Carries the code object name and the offending instruction index so
+    diagnostics pinpoint the exact instruction.
+    """
+
+    def __init__(self, message: str, code_name: str, index: Optional[int] = None) -> None:
+        self.code_name = code_name
+        self.index = index
+        where = f"{code_name}" if index is None else f"{code_name}@{index}"
+        super().__init__(f"verification failed in {where}: {message}")
+
+
+@dataclass
+class DeadCode:
+    """One maximal run of unreachable instructions."""
+
+    start: int
+    end: int
+    lineno: int
+
+    def __str__(self) -> str:
+        return f"instructions [{self.start}:{self.end}) (line {self.lineno}) are unreachable"
+
+
+@dataclass
+class VerificationReport:
+    """Result of verifying one code object (and, recursively, its children)."""
+
+    code_name: str
+    max_stack_depth: int
+    instruction_count: int
+    dead_code: List[DeadCode] = field(default_factory=list)
+    children: List["VerificationReport"] = field(default_factory=list)
+
+    @property
+    def warning_count(self) -> int:
+        return len(self.dead_code) + sum(c.warning_count for c in self.children)
+
+    def all_reports(self) -> List["VerificationReport"]:
+        out = [self]
+        for child in self.children:
+            out.extend(child.all_reports())
+        return out
+
+
+def _check_argument(code: CodeObject, index: int, instr: Instruction) -> None:
+    """Validate the argument of one instruction (no stack knowledge needed)."""
+    opcode = instr.opcode
+    arg = instr.arg
+    name = code.name
+    if opcode not in op.ALL_OPCODES:
+        raise VerificationError(f"unknown opcode {opcode!r}", name, index)
+    if opcode in (op.LOAD_CONST, op.MAKE_FUNCTION):
+        if not isinstance(arg, int) or not (0 <= arg < len(code.constants)):
+            raise VerificationError(
+                f"{opcode} const index {arg!r} out of range "
+                f"(pool size {len(code.constants)})",
+                name,
+                index,
+            )
+        if opcode == op.MAKE_FUNCTION and not isinstance(
+            code.constants[arg], CodeObject
+        ):
+            raise VerificationError(
+                f"MAKE_FUNCTION const #{arg} is not a code object", name, index
+            )
+    elif opcode in (op.LOAD_NAME, op.STORE_NAME, op.DELETE_NAME, op.LOAD_ATTR, op.LOAD_METHOD):
+        if not isinstance(arg, str) or not arg:
+            raise VerificationError(
+                f"{opcode} needs a non-empty name, got {arg!r}", name, index
+            )
+    elif opcode in JUMP_OPCODES:
+        if not isinstance(arg, int) or not (0 <= arg < len(code.instructions)):
+            raise VerificationError(
+                f"{opcode} target {arg!r} out of range "
+                f"(code has {len(code.instructions)} instructions)",
+                name,
+                index,
+            )
+    elif opcode in (op.BUILD_LIST, op.BUILD_TUPLE, op.BUILD_MAP, op.UNPACK_SEQUENCE):
+        if not isinstance(arg, int) or arg < 0:
+            raise VerificationError(
+                f"{opcode} count must be a non-negative int, got {arg!r}", name, index
+            )
+    elif opcode == op.BUILD_SLICE:
+        if arg not in (2, 3):
+            raise VerificationError(
+                f"BUILD_SLICE arg must be 2 or 3, got {arg!r}", name, index
+            )
+    elif opcode == op.LIST_APPEND:
+        if not isinstance(arg, int) or arg < 1:
+            raise VerificationError(
+                f"LIST_APPEND depth must be a positive int, got {arg!r}", name, index
+            )
+    elif opcode in (op.CALL, op.CALL_METHOD):
+        ok = (
+            isinstance(arg, tuple)
+            and len(arg) == 2
+            and isinstance(arg[0], int)
+            and arg[0] >= 0
+            and isinstance(arg[1], tuple)
+            and all(isinstance(k, str) for k in arg[1])
+        )
+        if not ok:
+            raise VerificationError(
+                f"{opcode} arg must be (npos, kwnames), got {arg!r}", name, index
+            )
+    elif opcode == op.BINARY_OP:
+        if arg not in _BINARY_SYMBOLS:
+            raise VerificationError(f"unknown binary operator {arg!r}", name, index)
+    elif opcode == op.COMPARE_OP:
+        if arg not in _COMPARE_SYMBOLS:
+            raise VerificationError(f"unknown comparison {arg!r}", name, index)
+    elif opcode == op.UNARY_OP:
+        if arg not in _UNARY_SYMBOLS:
+            raise VerificationError(f"unknown unary operator {arg!r}", name, index)
+
+
+def _simulate_stack(code: CodeObject, cfg: CFG) -> int:
+    """Propagate stack depths over the CFG; returns the max depth seen."""
+    name = code.name
+    instructions = code.instructions
+    entry_depth: Dict[int, int] = {0: 0}
+    work: List[int] = [0]
+    max_depth = 0
+
+    def flow_to(block_index: int, depth: int, from_index: int) -> None:
+        known = entry_depth.get(block_index)
+        if known is None:
+            entry_depth[block_index] = depth
+            work.append(block_index)
+        elif known != depth:
+            raise VerificationError(
+                f"inconsistent stack depth at merge point "
+                f"(instruction {cfg.blocks[block_index].start}): "
+                f"{known} vs {depth} arriving from instruction {from_index}",
+                name,
+                cfg.blocks[block_index].start,
+            )
+
+    while work:
+        bi = work.pop()
+        block = cfg.blocks[bi]
+        depth = entry_depth[bi]
+        for i in block.instruction_indices():
+            instr = instructions[i]
+            pops, pushes = stack_effect(instr)
+            if depth < pops:
+                raise VerificationError(
+                    f"stack underflow: {instr.opcode} needs {pops} operands, "
+                    f"stack has {depth}",
+                    name,
+                    i,
+                )
+            if instr.opcode == op.LIST_APPEND and depth - 1 < instr.arg:
+                raise VerificationError(
+                    f"LIST_APPEND reaches below the stack "
+                    f"(depth {depth - 1} after pop, needs {instr.arg})",
+                    name,
+                    i,
+                )
+            fall_depth = depth - pops + pushes
+            opcode = instr.opcode
+            if opcode in BRANCHES or opcode == op.JUMP:
+                jump_depth = depth + jump_edge_delta(instr)
+                if jump_depth < 0:
+                    raise VerificationError(
+                        f"stack underflow on jump edge of {opcode}", name, i
+                    )
+                target_block = cfg.block_of_instr[int(instr.arg)]
+                flow_to(target_block, jump_depth, i)
+                max_depth = max(max_depth, jump_depth)
+            depth = fall_depth
+            max_depth = max(max_depth, depth)
+
+        last = instructions[block.end - 1]
+        if last.opcode == op.RETURN_VALUE or last.opcode == op.JUMP:
+            continue
+        # Fallthrough edge.
+        if block.end >= len(instructions):
+            raise VerificationError(
+                "control falls off the end of the code object", name, block.end - 1
+            )
+        flow_to(cfg.block_of_instr[block.end], depth, block.end - 1)
+
+    return max_depth
+
+
+def _dead_code(code: CodeObject, cfg: CFG) -> List[DeadCode]:
+    """Maximal runs of instructions in unreachable blocks."""
+    reachable = cfg.reachable_blocks()
+    dead_instrs: List[int] = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            dead_instrs.extend(block.instruction_indices())
+    runs: List[DeadCode] = []
+    for i in sorted(dead_instrs):
+        if runs and runs[-1].end == i:
+            runs[-1].end = i + 1
+        else:
+            runs.append(DeadCode(start=i, end=i + 1, lineno=code.instructions[i].lineno))
+    return runs
+
+
+def verify_code(code: CodeObject, *, recurse: bool = True) -> VerificationReport:
+    """Verify ``code`` (and nested function bodies when ``recurse``).
+
+    Raises :class:`VerificationError` on the first hard violation;
+    returns a report with dead-code warnings and the computed maximum
+    stack depth otherwise.
+    """
+    if not code.instructions:
+        raise VerificationError("code object has no instructions", code.name)
+    for index, instr in enumerate(code.instructions):
+        _check_argument(code, index, instr)
+    cfg = build_cfg(code)
+    max_depth = _simulate_stack(code, cfg)
+    report = VerificationReport(
+        code_name=code.name,
+        max_stack_depth=max_depth,
+        instruction_count=len(code.instructions),
+        dead_code=_dead_code(code, cfg),
+    )
+    if recurse:
+        for const in code.constants:
+            if isinstance(const, CodeObject):
+                report.children.append(verify_code(const, recurse=True))
+    return report

@@ -37,6 +37,9 @@ _PAGE = """<!DOCTYPE html>
   .cp  {{ background: #e8c24a; }}
   .gpu {{ background: #d65f5f; }}
   .leak {{ color: #b30000; font-weight: bold; }}
+  .lint {{ margin: 4px 0; }}
+  .lint .det {{ font-family: monospace; background: #eef2f8; padding: 1px 4px; }}
+  .lint.cold {{ color: #888; }}
 </style>
 </head>
 <body>
@@ -52,6 +55,7 @@ copy volume {copy:.1f} MB · GPU {gpu:.0f}%</p>
 <th class="src">source</th></tr>
 {rows}
 </table>
+{lints}
 {leaks}
 <script type="application/json" id="scalene-profile">
 {payload}
@@ -124,6 +128,22 @@ def render_html(profile: ProfileData, title: str = "profile") -> str:
             f'<li class="leak">{html.escape(str(leak))}</li>' for leak in profile.leaks
         )
         leaks = f"<h2>Possible leaks</h2><ul>{items}</ul>"
+    lints = ""
+    if profile.lint_findings:
+        items = []
+        for t in profile.lint_findings:
+            cls = "lint cold" if t.suppressed else "lint"
+            cost = (
+                "suppressed (below threshold)"
+                if t.suppressed
+                else f"{t.score:.1f}% measured"
+            )
+            items.append(
+                f'<li class="{cls}"><span class="det">{html.escape(t.finding.detector)}</span> '
+                f"line {t.finding.lineno} — {cost}: "
+                f"{html.escape(t.finding.message)}; {html.escape(t.finding.suggestion)}</li>"
+            )
+        lints = f"<h2>Performance lints</h2><ul>{''.join(items)}</ul>"
     return _PAGE.format(
         title=html.escape(title),
         mode=profile.mode,
@@ -133,6 +153,7 @@ def render_html(profile: ProfileData, title: str = "profile") -> str:
         gpu=100 * profile.gpu_mean_utilization,
         timeline_svg=_timeline_svg(profile.memory_timeline),
         rows="\n".join(rows),
+        lints=lints,
         leaks=leaks,
         payload=json.dumps(profile.to_dict()),
     )

@@ -1,0 +1,12 @@
+"""Test-suite configuration.
+
+Turns the bytecode verifier on for every compile performed anywhere in
+the tests (``REPRO_VERIFY=1``): each workload, example source, and ad-hoc
+program a test compiles is verified before it runs, so a compiler
+regression that emits malformed bytecode fails loudly at the source
+instead of corrupting a VM run somewhere downstream.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_VERIFY", "1")

@@ -1,0 +1,148 @@
+"""Direct tests for the disassembler and the dis/lint CLI paths."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.interp.astcompile import compile_source
+from repro.interp.code import CodeObject
+from repro.interp.disassembler import (
+    build_call_opcode_map,
+    disassemble,
+    iter_code_objects,
+)
+from repro.interp.opcodes import is_call_opcode
+
+LOOP_SOURCE = "total = 0\nfor i in range(10):\n    total = total + i\nprint(total)\n"
+
+
+def test_disassemble_lists_every_instruction():
+    code = compile_source(LOOP_SOURCE, "loop.py")
+    text = disassemble(code)
+    assert text.startswith("Disassembly of <module> (loop.py):")
+    # One listing line per instruction, plus the heading.
+    assert len(text.splitlines()) == len(code.instructions) + 1
+    assert "FOR_ITER" in text
+    assert "STORE_NAME" in text and "'total'" in text
+
+
+def test_disassemble_show_blocks_annotates_cfg():
+    code = compile_source(LOOP_SOURCE, "loop.py")
+    text = disassemble(code, show_blocks=True)
+    assert "-- B0" in text
+    assert "<loop header>" in text
+    assert "preds:" in text and "succs:" in text
+    # Block annotations add lines; the plain listing is a subsequence.
+    plain = disassemble(code)
+    plain_lines = plain.splitlines()
+    annotated_lines = text.splitlines()
+    assert [l for l in annotated_lines if not l.lstrip().startswith("--")] == plain_lines
+
+
+def test_iter_code_objects_yields_nested_bodies():
+    source = (
+        "def outer():\n"
+        "    def inner():\n"
+        "        return 1\n"
+        "    return inner()\n"
+        "print(outer())\n"
+    )
+    code = compile_source(source, "nest.py")
+    names = [c.name for c in iter_code_objects(code)]
+    assert names == ["<module>", "outer", "inner"]
+
+
+def test_build_call_opcode_map_finds_all_calls():
+    source = (
+        "def f(x):\n"
+        "    return x + 1\n"
+        "y = f(1)\n"
+        "print(f(y))\n"
+    )
+    code = compile_source(source, "calls.py")
+    call_map = build_call_opcode_map(code)
+    for code_object in iter_code_objects(code):
+        expected = {
+            i
+            for i, instr in enumerate(code_object.instructions)
+            if is_call_opcode(instr.opcode)
+        }
+        assert call_map[id(code_object)] == expected
+    # The module body calls f twice and print once.
+    assert len(call_map[id(code)]) == 3
+
+
+def test_build_call_opcode_map_empty_code():
+    code = compile_source("x = 1\n", "noop.py")
+    call_map = build_call_opcode_map(code)
+    assert call_map[id(code)] == frozenset()
+
+
+# -- CLI: python -m repro dis ------------------------------------------------
+
+
+def test_dis_cli_on_source_file(tmp_path, capsys):
+    path = tmp_path / "prog.py"
+    path.write_text(LOOP_SOURCE)
+    assert main(["dis", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Disassembly of <module> (prog.py):" in out
+    assert "-- B" in out
+    assert "<loop header>" in out
+
+
+def test_dis_cli_on_workload(capsys):
+    assert main(["dis", "--workload", "fannkuch", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Disassembly of" in out
+    # Nested function bodies get their own listings.
+    assert out.count("Disassembly of") > 1
+
+
+def test_dis_cli_requires_target():
+    with pytest.raises(SystemExit):
+        main(["dis"])
+
+
+# -- CLI: python -m repro lint -----------------------------------------------
+
+
+def test_lint_cli_static_only(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(
+        "out = []\nfor i in range(100):\n    out = out + [i]\nprint(len(out))\n"
+    )
+    json_path = tmp_path / "findings.json"
+    assert main(["lint", str(path), "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "concat-growth-in-loop" in out
+    data = json.loads(json_path.read_text())
+    assert data[0]["detector"] == "concat-growth-in-loop"
+    assert data[0]["lineno"] == 3
+
+
+def test_lint_cli_clean_file(tmp_path, capsys):
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\nprint(x)\n")
+    assert main(["lint", str(path)]) == 0
+    assert "no performance lints" in capsys.readouterr().out
+
+
+def test_lint_cli_with_profile(tmp_path, capsys):
+    path = tmp_path / "hot.py"
+    path.write_text(
+        "n = 2000\n"
+        "a = np.arange(n)\n"
+        "b = np.zeros(n)\n"
+        "for i in range(n):\n"
+        "    b[i] = a[i] * 2.0\n"
+        "print(b.sum())\n"
+    )
+    json_path = tmp_path / "tri.json"
+    assert main(["lint", str(path), "--profile", "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Performance lints" in out
+    assert "measured" in out
+    data = json.loads(json_path.read_text())
+    assert any(e["detector"] == "scalar-loop-vectorize" and e["score"] > 0 for e in data)

@@ -23,6 +23,7 @@ EXPECTED_PHRASES = {
     "vectorization": "speedup from vectorizing",
     "compare_profilers": "scalene (full)",
     "multiprocess_pool": "parent wall time",
+    "lint_demo": "Triangulation verdict",
     "optimize_loop": "verification diff",
     "model_cost_triage": "Triage",
 }

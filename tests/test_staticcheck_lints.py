@@ -1,0 +1,219 @@
+"""Each §7 anti-pattern detector fires on its planted shape and stays
+quiet on the repaired version."""
+
+from repro.staticcheck import DETECTORS, lint_source
+
+
+def _detectors(findings):
+    return {f.detector for f in findings}
+
+
+# -- detector 1: chained DataFrame indexing ----------------------------------
+
+
+def test_chained_indexing_detected():
+    source = (
+        "df = pd.frame(100)\n"
+        "total = 0.0\n"
+        "for i in range(100):\n"
+        "    total = total + df['c0'][i]\n"
+        "print(total)\n"
+    )
+    findings = lint_source(source, "chained.py")
+    assert "chained-df-indexing" in _detectors(findings)
+    hit = next(f for f in findings if f.detector == "chained-df-indexing")
+    assert hit.lineno == 4
+    assert "df" in hit.message
+
+
+def test_hoisted_column_view_is_clean():
+    source = (
+        "df = pd.frame(100)\n"
+        "col = df.column_view('c0')\n"
+        "total = 0.0\n"
+        "for i in range(100):\n"
+        "    total = total + col[i]\n"
+        "print(total)\n"
+    )
+    assert "chained-df-indexing" not in _detectors(lint_source(source, "clean.py"))
+
+
+def test_chained_indexing_outside_loop_not_flagged():
+    source = "df = pd.frame(10)\nv = df['c0'][3]\nprint(v)\n"
+    assert "chained-df-indexing" not in _detectors(lint_source(source, "once.py"))
+
+
+# -- detector 2: concat growth in loops --------------------------------------
+
+
+def test_concat_in_loop_detected():
+    source = (
+        "acc = pd.frame(1)\n"
+        "for i in range(50):\n"
+        "    chunk = pd.frame(10)\n"
+        "    acc = pd.concat(acc, chunk)\n"
+        "print(len(acc))\n"
+    )
+    findings = lint_source(source, "concat.py")
+    assert "concat-growth-in-loop" in _detectors(findings)
+    hit = next(f for f in findings if f.detector == "concat-growth-in-loop")
+    assert hit.lineno == 4
+
+
+def test_list_reconcat_detected():
+    source = (
+        "out = []\n"
+        "for i in range(100):\n"
+        "    out = out + [i]\n"
+        "print(len(out))\n"
+    )
+    findings = lint_source(source, "grow.py")
+    assert "concat-growth-in-loop" in _detectors(findings)
+
+
+def test_append_accumulation_is_clean():
+    source = (
+        "out = []\n"
+        "for i in range(100):\n"
+        "    out.append(i)\n"
+        "print(len(out))\n"
+    )
+    assert "concat-growth-in-loop" not in _detectors(lint_source(source, "ok.py"))
+
+
+def test_concat_after_loop_is_clean():
+    source = (
+        "pieces = []\n"
+        "for i in range(10):\n"
+        "    pieces.append(pd.frame(5))\n"
+        "merged = pd.concat(pieces)\n"
+        "print(len(merged))\n"
+    )
+    assert "concat-growth-in-loop" not in _detectors(lint_source(source, "ok2.py"))
+
+
+# -- detector 3: scalar element loops over arrays ----------------------------
+
+
+def test_scalar_loop_detected():
+    source = (
+        "n = 500\n"
+        "a = np.arange(n)\n"
+        "b = np.zeros(n)\n"
+        "for i in range(n):\n"
+        "    b[i] = a[i] * 2.0\n"
+        "print(b.sum())\n"
+    )
+    findings = lint_source(source, "scalar.py")
+    assert "scalar-loop-vectorize" in _detectors(findings)
+    hit = next(f for f in findings if f.detector == "scalar-loop-vectorize")
+    assert hit.lineno == 5
+
+
+def test_vectorized_version_is_clean():
+    source = (
+        "n = 500\n"
+        "a = np.arange(n)\n"
+        "b = a * 2.0\n"
+        "print(b.sum())\n"
+    )
+    assert "scalar-loop-vectorize" not in _detectors(lint_source(source, "vec.py"))
+
+
+# -- detector 4: loop-invariant work -----------------------------------------
+
+
+def test_invariant_allocation_detected():
+    source = (
+        "n = 64\n"
+        "total = 0.0\n"
+        "for i in range(20):\n"
+        "    scratch = np.zeros(n)\n"
+        "    total = total + scratch.sum()\n"
+        "print(total)\n"
+    )
+    findings = lint_source(source, "hoist.py")
+    assert "loop-invariant-hoist" in _detectors(findings)
+    hit = next(f for f in findings if f.detector == "loop-invariant-hoist")
+    assert hit.lineno == 4
+    assert "zeros" in hit.message
+
+
+def test_variant_allocation_is_clean():
+    source = (
+        "total = 0.0\n"
+        "for i in range(20):\n"
+        "    scratch = np.zeros(i + 1)\n"
+        "    total = total + scratch.sum()\n"
+        "print(total)\n"
+    )
+    findings = lint_source(source, "varies.py")
+    assert not any(
+        f.detector == "loop-invariant-hoist" and "zeros" in f.message
+        for f in findings
+    )
+
+
+# -- detector 5: GIL-serialized thread workers -------------------------------
+
+
+def test_cpu_bound_thread_workers_detected():
+    source = (
+        "def worker():\n"
+        "    s = 0\n"
+        "    for i in range(5000):\n"
+        "        s = s + 1\n"
+        "t1 = spawn(worker)\n"
+        "t2 = spawn(worker)\n"
+        "join(t1)\n"
+        "join(t2)\n"
+    )
+    findings = lint_source(source, "threads.py")
+    assert "gil-serialized-threads" in _detectors(findings)
+    hit = next(f for f in findings if f.detector == "gil-serialized-threads")
+    assert "worker" in hit.message
+
+
+def test_io_bound_thread_workers_are_clean():
+    source = (
+        "def worker():\n"
+        "    for i in range(10):\n"
+        "        sleep(0.01)\n"
+        "t = spawn(worker)\n"
+        "join(t)\n"
+    )
+    assert "gil-serialized-threads" not in _detectors(lint_source(source, "io.py"))
+
+
+# -- driver behaviour --------------------------------------------------------
+
+
+def test_all_detectors_exist():
+    assert len(DETECTORS) == 5
+
+
+def test_findings_sorted_and_deduped():
+    source = (
+        "df = pd.frame(100)\n"
+        "out = []\n"
+        "total = 0.0\n"
+        "for i in range(100):\n"
+        "    total = total + df['c0'][i]\n"
+        "    out = out + [i]\n"
+        "print(total)\n"
+    )
+    findings = lint_source(source, "multi.py")
+    linenos = [f.lineno for f in findings]
+    assert linenos == sorted(linenos)
+    keys = [(f.detector, f.lineno, f.message) for f in findings]
+    assert len(keys) == len(set(keys))
+
+
+def test_clean_program_has_no_findings():
+    source = (
+        "n = 100\n"
+        "a = np.arange(n)\n"
+        "b = a * 2.0\n"
+        "print(b.sum())\n"
+    )
+    assert lint_source(source, "clean.py") == []

@@ -1,0 +1,245 @@
+"""Bytecode verifier tests: every workload verifies; corruption is rejected."""
+
+import pytest
+
+from repro.interp.astcompile import compile_source
+from repro.interp.code import CodeObject, Instruction
+from repro.interp import opcodes as op
+from repro.staticcheck import (
+    VerificationError,
+    build_cfg,
+    verify_code,
+)
+from repro.workloads import get_workload, workload_names
+
+
+def _instr(opcode, arg=None, lineno=1):
+    return Instruction(opcode, arg, lineno)
+
+
+def _make_code(instructions, constants=(), name="f"):
+    return CodeObject(
+        name=name,
+        filename="<test>",
+        params=[],
+        instructions=list(instructions),
+        constants=list(constants),
+    )
+
+
+# -- every workload (including the pyperf suite) verifies cleanly ------------
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_bytecode_verifies(name):
+    workload = get_workload(name)
+    code = compile_source(workload.source(0.05), f"{name}.py", verify=True)
+    report = verify_code(code)
+    # Depth bound is a real number for every code object.
+    for sub in report.all_reports():
+        assert sub.max_stack_depth >= 0
+
+
+def test_compile_source_env_toggle(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "0")
+    compile_source("x = 1\n")  # no verification, still compiles
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    compile_source("x = 1\n")
+
+
+# -- corrupted code objects are rejected with precise diagnostics ------------
+
+
+def test_bad_jump_target_rejected():
+    code = _make_code(
+        [
+            _instr(op.LOAD_CONST, 0),
+            _instr(op.POP_JUMP_IF_FALSE, 99),
+            _instr(op.LOAD_CONST, 0),
+            _instr(op.RETURN_VALUE),
+        ],
+        constants=[None],
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(code)
+    assert "target 99" in str(excinfo.value)
+    assert "out of range" in str(excinfo.value)
+    assert "f@1" in str(excinfo.value)
+
+
+def test_const_index_out_of_bounds_rejected():
+    code = _make_code(
+        [_instr(op.LOAD_CONST, 5), _instr(op.RETURN_VALUE)],
+        constants=[None],
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(code)
+    assert "const index 5 out of range" in str(excinfo.value)
+
+
+def test_stack_underflow_rejected():
+    code = _make_code(
+        [_instr(op.BINARY_OP, "+"), _instr(op.RETURN_VALUE)],
+        constants=[],
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(code)
+    assert "underflow" in str(excinfo.value)
+
+
+def test_unbalanced_merge_rejected():
+    # One branch pushes an extra value before the merge point.
+    code = _make_code(
+        [
+            _instr(op.LOAD_CONST, 0),         # 0: depth 1
+            _instr(op.POP_JUMP_IF_FALSE, 4),  # 1: depth 0 on both edges
+            _instr(op.LOAD_CONST, 0),         # 2: depth 1
+            _instr(op.LOAD_CONST, 0),         # 3: depth 2 -> falls into 4
+            _instr(op.LOAD_CONST, 0),         # 4: merge: depth 0 vs 2
+            _instr(op.RETURN_VALUE),
+        ],
+        constants=[None],
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(code)
+    assert "depth" in str(excinfo.value)
+
+
+def test_falls_off_end_rejected():
+    code = _make_code([_instr(op.LOAD_CONST, 0)], constants=[None])
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(code)
+    assert "falls off" in str(excinfo.value)
+
+
+def test_make_function_requires_code_constant():
+    code = _make_code(
+        [
+            _instr(op.MAKE_FUNCTION, 0),
+            _instr(op.STORE_NAME, "g"),
+            _instr(op.LOAD_CONST, 0),
+            _instr(op.RETURN_VALUE),
+        ],
+        constants=["not-a-code-object"],
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(code)
+    assert "MAKE_FUNCTION" in str(excinfo.value)
+
+
+def test_nested_code_objects_verified_recursively():
+    bad_inner = _make_code(
+        [_instr(op.BINARY_OP, "+"), _instr(op.RETURN_VALUE)], name="inner"
+    )
+    outer = _make_code(
+        [
+            _instr(op.MAKE_FUNCTION, 0),
+            _instr(op.STORE_NAME, "inner"),
+            _instr(op.LOAD_CONST, 1),
+            _instr(op.RETURN_VALUE),
+        ],
+        constants=[bad_inner, None],
+        name="outer",
+    )
+    with pytest.raises(VerificationError) as excinfo:
+        verify_code(outer)
+    assert "inner" in str(excinfo.value)
+    # Without recursion the outer object alone is fine.
+    verify_code(outer, recurse=False)
+
+
+# -- dead code is a warning, not an error ------------------------------------
+
+
+def test_dead_code_reported_as_warning():
+    source = (
+        "def f():\n"
+        "    for i in range(3):\n"
+        "        if i > 1:\n"
+        "            break\n"
+        "            continue\n"
+        "    return i\n"
+        "print(f())\n"
+    )
+    code = compile_source(source, verify=True)
+    report = verify_code(code)
+    assert report.warning_count > 0
+    dead = [d for sub in report.all_reports() for d in sub.dead_code]
+    assert dead, "the continue-after-break should be unreachable"
+
+
+def test_explicit_return_dead_tail_is_tolerated():
+    # The compiler emits an implicit `return None` after an explicit
+    # return; that tail is dead but legal.
+    code = compile_source("def f():\n    return 1\nprint(f())\n", verify=True)
+    report = verify_code(code)
+    assert all(
+        isinstance(d.start, int) for sub in report.all_reports() for d in sub.dead_code
+    )
+
+
+# -- for-loop break leaves a clean stack (the bug the verifier surfaced) -----
+
+
+def test_break_in_for_loop_pops_iterator():
+    source = (
+        "total = 0\n"
+        "for i in range(10):\n"
+        "    if i == 3:\n"
+        "        break\n"
+        "    total = total + i\n"
+        "print(total)\n"
+    )
+    code = compile_source(source, verify=True)
+    report = verify_code(code)
+    assert report.max_stack_depth >= 1
+
+
+def test_nested_break_verifies():
+    source = (
+        "hits = 0\n"
+        "for i in range(4):\n"
+        "    for j in range(4):\n"
+        "        if j == 2:\n"
+        "            break\n"
+        "        hits = hits + 1\n"
+        "print(hits)\n"
+    )
+    compile_source(source, verify=True)
+
+
+def test_break_in_while_loop_verifies():
+    source = (
+        "i = 0\n"
+        "while True:\n"
+        "    i = i + 1\n"
+        "    if i == 5:\n"
+        "        break\n"
+        "print(i)\n"
+    )
+    compile_source(source, verify=True)
+
+
+# -- CFG structure sanity ----------------------------------------------------
+
+
+def test_cfg_loop_detection():
+    code = compile_source(
+        "total = 0\nfor i in range(5):\n    total = total + i\nprint(total)\n"
+    )
+    cfg = build_cfg(code)
+    loops = cfg.natural_loops()
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.header in {b.index for b in cfg.blocks}
+    assert cfg.blocks[loop.header].index in loop.blocks
+
+
+def test_cfg_dominators_entry_dominates_all():
+    code = compile_source(
+        "x = 0\nif x:\n    y = 1\nelse:\n    y = 2\nprint(y)\n"
+    )
+    cfg = build_cfg(code)
+    doms = cfg.dominators()
+    for block_index in cfg.reachable_blocks():
+        assert 0 in doms[block_index]

@@ -1,0 +1,116 @@
+"""Triangulation: lint findings ranked by measured cost, cold ones suppressed."""
+
+import pytest
+
+from repro import SimProcess
+from repro.analysis import lint_and_triangulate, triangulate
+from repro.core import Scalene
+from repro.interp.libs import install_standard_libraries
+from repro.staticcheck import Finding, lint_source
+from repro.ui import render_html
+
+# The same anti-pattern twice: a scalar element loop over a large array
+# (hot) and over a 4-element array that runs once (cold). Static analysis
+# flags both; the profile shows only one matters.
+HOT_COLD_SOURCE = (
+    "small = np.arange(4)\n"
+    "tiny = np.zeros(4)\n"
+    "for i in range(4):\n"
+    "    tiny[i] = small[i] * 2.0\n"  # line 4: cold instance
+    "big = np.arange(4000)\n"
+    "out = np.zeros(4000)\n"
+    "for i in range(4000):\n"
+    "    out[i] = big[i] * 2.0\n"  # line 8: hot instance
+    "print(out.sum())\n"
+)
+
+
+@pytest.fixture(scope="module")
+def hot_cold():
+    process = SimProcess(HOT_COLD_SOURCE, filename="hotcold.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    triangulated = lint_and_triangulate(
+        HOT_COLD_SOURCE, profile, "hotcold.py"
+    )
+    return profile, triangulated
+
+
+def test_both_instances_found_statically():
+    findings = lint_source(HOT_COLD_SOURCE, "hotcold.py")
+    scalar = [f for f in findings if f.detector == "scalar-loop-vectorize"]
+    assert {f.lineno for f in scalar} >= {4, 8}
+
+
+def test_cold_instance_suppressed(hot_cold):
+    _, triangulated = hot_cold
+    cold = [t for t in triangulated if t.lineno == 4]
+    assert cold
+    assert all(t.suppressed for t in cold)
+    assert all("threshold" in t.reason or "below" in t.reason for t in cold)
+
+
+def test_hot_instance_ranks_first(hot_cold):
+    _, triangulated = hot_cold
+    assert triangulated[0].lineno == 8
+    assert not triangulated[0].suppressed
+    assert triangulated[0].score >= 1.0
+    # Active findings come before suppressed ones.
+    states = [t.suppressed for t in triangulated]
+    assert states == sorted(states)
+
+
+def test_lint_section_in_text_report(hot_cold):
+    profile, _ = hot_cold
+    text = profile.render_text()
+    assert "Performance lints" in text
+    assert "scalar-loop-vectorize" in text
+    assert "#1 line    8" in text
+
+
+def test_lint_in_json_payload(hot_cold):
+    profile, _ = hot_cold
+    payload = profile.to_dict()
+    assert "lint" in payload
+    entries = payload["lint"]
+    assert any(e["lineno"] == 8 and not e["suppressed"] for e in entries)
+    assert any(e["lineno"] == 4 and e["suppressed"] for e in entries)
+
+
+def test_lint_in_html_report(hot_cold):
+    profile, _ = hot_cold
+    html = render_html(profile, "hotcold")
+    assert "Performance lints" in html
+    assert "scalar-loop-vectorize" in html
+    assert 'class="lint cold"' in html  # the suppressed instance
+    assert "measured" in html
+
+
+def test_finding_off_profile_is_suppressed():
+    process = SimProcess("x = 1\nprint(x)\n", filename="p.py")
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    ghost = Finding(
+        detector="scalar-loop-vectorize",
+        filename="p.py",
+        lineno=999,
+        function="<module>",
+        message="planted",
+        suggestion="n/a",
+    )
+    result = triangulate([ghost], profile)
+    assert result[0].suppressed
+    assert "not in profile" in result[0].reason
+
+
+def test_min_percent_zero_keeps_everything(hot_cold):
+    profile, _ = hot_cold
+    findings = lint_source(HOT_COLD_SOURCE, "hotcold.py")
+    loose = triangulate(findings, profile, min_percent=0.0)
+    on_profile = [t for t in loose if "not in profile" not in t.reason]
+    assert all(not t.suppressed for t in on_profile)
