@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Parallel benchmark suite driver for the simulated VM.
+
+Fans the pyperf workload registry out across worker processes, reports
+host-side interpreter throughput (VM instructions per host second) and
+simulated wall time per workload, and appends a trend record to
+``BENCH_vm.json`` at the repo root.
+
+Results are cached per ``(bench, git tree hash, scale, reps)`` so re-runs
+on an unchanged tree are free; the cache is bypassed when the working
+tree is dirty (the tree hash no longer identifies the code being
+measured) or with ``--no-cache``.
+
+Exit codes: 0 ok, 1 usage/error, 2 perf-smoke regression
+(``--check-regression`` and suite wall time more than 2x the recorded
+baseline in ``benchmarks/bench_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+CACHE_PATH = REPO_ROOT / "benchmarks" / "out" / "bench_cache.json"
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "bench_baseline.json"
+TREND_PATH = REPO_ROOT / "BENCH_vm.json"
+
+QUICK_SCALE = 0.05
+QUICK_REPS = 1
+DEFAULT_REPS = 3
+
+#: Perf-smoke threshold: fail when the suite takes more than this multiple
+#: of the recorded baseline wall time.
+REGRESSION_FACTOR = 2.0
+
+
+def _git(*args: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except OSError:
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def git_state() -> tuple:
+    """(commit, tree_hash, dirty) of the working copy; empty when not git."""
+    commit = _git("rev-parse", "HEAD")
+    tree = _git("rev-parse", "HEAD^{tree}")
+    dirty = bool(_git("status", "--porcelain"))
+    return commit, tree, dirty
+
+
+def run_bench(name: str, scale: float, reps: int) -> dict:
+    """Run one workload ``reps`` times; report the best host throughput.
+
+    Executed inside a worker process. Imports live here so the parent can
+    fan out before paying the package import cost per worker.
+    """
+    from repro.workloads.pyperf.registry import PYPERF_WORKLOADS
+
+    workload = PYPERF_WORKLOADS[name]
+    best_ops = 0.0
+    instructions = 0
+    sim_wall = 0.0
+    for _ in range(max(1, reps)):
+        process = workload.make_process(scale)
+        start = time.perf_counter()
+        process.run()
+        elapsed = time.perf_counter() - start
+        instructions = process.vm.instruction_count
+        sim_wall = process.clock.wall
+        ops = instructions / elapsed if elapsed > 0 else 0.0
+        if ops > best_ops:
+            best_ops = ops
+    return {
+        "bench": name,
+        "ops_per_sec": round(best_ops, 1),
+        "instructions": instructions,
+        "sim_wall_s": round(sim_wall, 6),
+    }
+
+
+def _load_json(path: Path, default):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return default
+
+
+def _dump_json(path: Path, payload) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small scale ({QUICK_SCALE}), {QUICK_REPS} rep — CI smoke mode")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: REPRO_SCALE or 0.2)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help=f"repetitions per bench, best-of (default {DEFAULT_REPS})")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: os.cpu_count())")
+    parser.add_argument("--only", default="",
+                        help="comma-separated workload names to run")
+    parser.add_argument("--output", type=Path, default=TREND_PATH,
+                        help="trend file to append to (default BENCH_vm.json)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the per-tree result cache")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="exit 2 when suite wall time exceeds "
+                             f"{REGRESSION_FACTOR}x the recorded baseline")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="write benchmarks/bench_baseline.json from this run")
+    args = parser.parse_args(argv)
+
+    from repro.workloads.pyperf.registry import PYPERF_WORKLOADS
+
+    if args.quick:
+        scale = args.scale if args.scale is not None else QUICK_SCALE
+        reps = args.reps if args.reps is not None else QUICK_REPS
+    else:
+        if args.scale is not None:
+            scale = args.scale
+        else:
+            scale = float(os.environ.get("REPRO_SCALE", "0.2"))
+        reps = args.reps if args.reps is not None else DEFAULT_REPS
+
+    names = sorted(PYPERF_WORKLOADS)
+    if args.only:
+        wanted = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in wanted if n not in PYPERF_WORKLOADS]
+        if unknown:
+            print(f"unknown workloads: {', '.join(unknown)}", file=sys.stderr)
+            return 1
+        names = wanted
+
+    commit, tree, dirty = git_state()
+    use_cache = not args.no_cache and tree and not dirty
+    cache = _load_json(CACHE_PATH, {}) if use_cache else {}
+    py_tag = f"py{sys.version_info[0]}.{sys.version_info[1]}"
+
+    def cache_key(name: str) -> str:
+        return f"{name}:{tree}:{scale}:{reps}:{py_tag}"
+
+    results = {}
+    to_run = []
+    for name in names:
+        cached = cache.get(cache_key(name)) if use_cache else None
+        if cached is not None:
+            results[name] = dict(cached, cached=True)
+        else:
+            to_run.append(name)
+
+    suite_start = time.perf_counter()
+    if to_run:
+        jobs = args.jobs or os.cpu_count() or 1
+        jobs = max(1, min(jobs, len(to_run)))
+        if jobs == 1:
+            fresh = [run_bench(name, scale, reps) for name in to_run]
+        else:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                fresh = list(
+                    pool.map(run_bench, to_run, [scale] * len(to_run), [reps] * len(to_run))
+                )
+        for record in fresh:
+            results[record["bench"]] = record
+            if use_cache:
+                cache[cache_key(record["bench"])] = {
+                    k: v for k, v in record.items() if k != "cached"
+                }
+    suite_wall = time.perf_counter() - suite_start
+
+    if use_cache and to_run:
+        _dump_json(CACHE_PATH, cache)
+
+    geo = geomean([results[n]["ops_per_sec"] for n in names])
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": commit,
+        "tree": tree,
+        "dirty": dirty,
+        "python": py_tag,
+        "scale": scale,
+        "reps": reps,
+        "suite_wall_s": round(suite_wall, 3),
+        "geomean_ops_per_sec": round(geo, 1),
+        "results": {
+            n: {k: v for k, v in results[n].items() if k != "bench"} for n in names
+        },
+    }
+
+    trend = _load_json(args.output, [])
+    if not isinstance(trend, list):
+        trend = []
+    trend.append(record)
+    _dump_json(args.output, trend)
+
+    width = max(len(n) for n in names)
+    for name in names:
+        r = results[name]
+        tag = " (cached)" if r.get("cached") else ""
+        print(f"{name:<{width}}  {r['ops_per_sec']:>12,.0f} ops/s  "
+              f"sim {r['sim_wall_s']:.3f}s{tag}")
+    print(f"geomean: {geo:,.0f} ops/s   suite wall: {suite_wall:.2f}s"
+          f"   -> {args.output}")
+
+    if args.record_baseline:
+        _dump_json(BASELINE_PATH, {
+            "suite_wall_s": record["suite_wall_s"],
+            "geomean_ops_per_sec": record["geomean_ops_per_sec"],
+            "scale": scale,
+            "reps": reps,
+            "commit": commit,
+        })
+        print(f"baseline recorded -> {BASELINE_PATH}")
+
+    if args.check_regression:
+        baseline = _load_json(BASELINE_PATH, None)
+        if not baseline or "suite_wall_s" not in baseline:
+            print("no recorded baseline; skipping regression check", file=sys.stderr)
+        else:
+            # Only comparable when every bench actually ran here.
+            measured = suite_wall if to_run == names else None
+            if measured is None:
+                print("cached results present; regression check needs --no-cache",
+                      file=sys.stderr)
+            elif measured > REGRESSION_FACTOR * baseline["suite_wall_s"]:
+                print(
+                    f"PERF REGRESSION: suite wall {measured:.2f}s > "
+                    f"{REGRESSION_FACTOR}x baseline {baseline['suite_wall_s']:.2f}s",
+                    file=sys.stderr,
+                )
+                return 2
+            else:
+                print(
+                    f"perf-smoke ok: {measured:.2f}s <= "
+                    f"{REGRESSION_FACTOR}x baseline {baseline['suite_wall_s']:.2f}s"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

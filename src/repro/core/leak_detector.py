@@ -10,7 +10,7 @@ object was reclaimed — and a new object is tracked.
 The leak likelihood uses Laplace's Rule of Succession over the site's
 history::
 
-    P(leak) = 1 - (frees + 1) / (mallocs - frees + 2)
+    P(leak) = 1 - (frees + 1) / (mallocs + 2)
 
 Reports are filtered to likelihood ≥ 95 % with overall footprint growth of
 at least 1 %, and prioritized by *leak rate* (MB/s allocated at the site).
@@ -28,10 +28,16 @@ Location = Tuple[str, int, str]
 
 
 def leak_likelihood(mallocs: int, frees: int) -> float:
-    """Laplace's Rule of Succession, as the paper formulates it."""
+    """Laplace's Rule of Succession: P(not freed) with add-one smoothing.
+
+    Always a valid probability in [0, 1). Equivalently
+    ``(mallocs - frees + 1) / (mallocs + 2)``, so with ``frees == 0`` it
+    matches the paper's never-freed progression (>= 95 % after 18
+    observations) exactly.
+    """
     if mallocs < 0 or frees < 0 or frees > mallocs:
         raise ValueError(f"invalid leak score ({mallocs} mallocs, {frees} frees)")
-    return 1.0 - (frees + 1) / (mallocs - frees + 2)
+    return 1.0 - (frees + 1) / (mallocs + 2)
 
 
 @dataclass

@@ -31,6 +31,18 @@ class VMError(ReproError):
     in the simulated program, a stack underflow, or an arity mismatch)."""
 
 
+class SimRuntimeError(VMError):
+    """A runtime error *of the simulated program itself* — the analog of a
+    Python exception the program could catch (NameError, TypeError,
+    ZeroDivisionError, KeyError, IndexError...).
+
+    The VM unwinds these through ``try``/``except`` blocks set up by
+    ``SETUP_EXCEPT``; uncaught, they propagate to the host caller exactly
+    like any :class:`VMError`. Interpreter-integrity faults (pc out of
+    range, malformed bytecode) remain plain ``VMError`` and are never
+    catchable in-language."""
+
+
 class HeapError(ReproError):
     """Invalid heap operation: double free, free of an unknown pointer,
     or exhaustion of the simulated address space."""

@@ -10,7 +10,8 @@ Supported subset: module-level statements, ``def`` (positional parameters
 only), ``global``, assignment (name / subscript / tuple-unpacking
 targets), augmented assignment on names and subscripts,
 ``if``/``elif``/``else``, ``while``, ``for`` over iterables,
-``break``/``continue``, ``return``, ``del``, ``pass``, expression
+``break``/``continue``, ``return``, ``del``, ``pass``,
+``try``/``except`` (single bare handler, no else/finally), expression
 statements; literals (numbers, strings, booleans, None, lists, tuples,
 dicts), single-generator list comprehensions and generator expressions
 (materialized eagerly, loop target leaks Python-2-style), names,
@@ -24,8 +25,10 @@ offending line.
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
-from typing import List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CompileError
 from repro.interp import opcodes as op
@@ -67,6 +70,30 @@ _UNARYOP_SYMBOLS = {
 }
 
 
+#: LRU cache of compiled module code objects, keyed by
+#: ``(sha256(source), filename, verify)``. The verify flag is part of the
+#: key because a verified and an unverified compile of the same source are
+#: different artifacts: a cached unverified code object must never satisfy
+#: a ``REPRO_VERIFY=1`` compile (and vice versa).
+_CODE_CACHE: "OrderedDict[Tuple[str, str, bool], CodeObject]" = OrderedDict()
+_CODE_CACHE_MAX = 128
+_CODE_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+
+
+def clear_code_cache() -> None:
+    """Drop all cached code objects and reset hit/miss counters."""
+    _CODE_CACHE.clear()
+    _CODE_CACHE_STATS["hits"] = 0
+    _CODE_CACHE_STATS["misses"] = 0
+
+
+def code_cache_stats() -> Dict[str, int]:
+    """A snapshot of the compile cache's hit/miss counters and size."""
+    stats = dict(_CODE_CACHE_STATS)
+    stats["size"] = len(_CODE_CACHE)
+    return stats
+
+
 def compile_source(
     source: str, filename: str = "<workload>", *, verify: Optional[bool] = None
 ) -> CodeObject:
@@ -79,37 +106,65 @@ def compile_source(
     a guard against compiler bugs reaching the VM. Default: off, unless
     the ``REPRO_VERIFY`` environment variable is truthy (the test suite
     turns it on, so every workload the tests compile is verified).
+
+    Results are cached by (source hash, filename, verify flag) so repeated
+    runs of the same workload skip parsing, lowering, and verification.
+    Cached code objects are shared: callers must treat them as immutable.
+    Set ``REPRO_CODE_CACHE=0`` to disable the cache.
     """
+    if verify is None:
+        verify = os.environ.get("REPRO_VERIFY", "").lower() in ("1", "true", "on")
+    verify = bool(verify)
+
+    key: Optional[Tuple[str, str, bool]] = None
+    if os.environ.get("REPRO_CODE_CACHE", "1").lower() not in ("0", "false", "off"):
+        key = (hashlib.sha256(source.encode("utf-8")).hexdigest(), filename, verify)
+        cached = _CODE_CACHE.get(key)
+        if cached is not None:
+            _CODE_CACHE_STATS["hits"] += 1
+            _CODE_CACHE.move_to_end(key)
+            return cached
+        _CODE_CACHE_STATS["misses"] += 1
+
     try:
         tree = ast.parse(source, filename=filename)
     except SyntaxError as exc:
         raise CompileError(f"syntax error: {exc.msg}", exc.lineno) from None
     compiler = _Compiler(filename)
     code = compiler.compile_module(tree)
-    if verify is None:
-        verify = os.environ.get("REPRO_VERIFY", "").lower() in ("1", "true", "on")
     if verify:
         # Local import: staticcheck depends on interp, not vice versa.
         from repro.staticcheck.verifier import verify_code
 
         verify_code(code)
+    if key is not None:
+        _CODE_CACHE[key] = code
+        if len(_CODE_CACHE) > _CODE_CACHE_MAX:
+            _CODE_CACHE.popitem(last=False)
     return code
 
 
 class _LoopContext:
     """Jump-patching bookkeeping for one enclosing loop."""
 
-    def __init__(self, continue_target: int, is_for: bool = False) -> None:
+    def __init__(self, continue_target: int, is_for: bool = False, try_depth: int = 0) -> None:
         self.continue_target = continue_target
         #: ``for`` loops keep their iterator on the operand stack for the
         #: loop's whole extent; ``break`` must pop it on the way out.
         self.is_for = is_for
+        #: Number of enclosing ``try`` blocks at loop entry; ``break`` and
+        #: ``continue`` must POP_BLOCK any blocks entered since, or a later
+        #: exception would wrongly unwind into an already-exited handler.
+        self.try_depth = try_depth
         self.break_fixups: List[int] = []
 
 
 class _Compiler:
     def __init__(self, filename: str) -> None:
         self.filename = filename
+        #: Current ``try`` nesting depth (per code object; saved/restored
+        #: around nested function bodies).
+        self._try_depth = 0
 
     # -- entry points ---------------------------------------------------------
 
@@ -138,7 +193,10 @@ class _Compiler:
             if isinstance(stmt, ast.Global):
                 global_names.extend(stmt.names)
         code.global_names = tuple(global_names)
+        saved_try_depth = self._try_depth
+        self._try_depth = 0
         self._compile_body(node.body, code, loops=[], is_module=False)
+        self._try_depth = saved_try_depth
         code.emit(op.LOAD_CONST, code.const_index(None), self._last_line(code))
         code.emit(op.RETURN_VALUE, None, self._last_line(code))
         return code
@@ -212,9 +270,13 @@ class _Compiler:
             self._compile_while(node, code, loops, is_module)
         elif isinstance(node, ast.For):
             self._compile_for(node, code, loops, is_module)
+        elif isinstance(node, ast.Try):
+            self._compile_try(node, code, loops, is_module)
         elif isinstance(node, ast.Break):
             if not loops:
                 raise CompileError("'break' outside loop", line)
+            for _ in range(self._try_depth - loops[-1].try_depth):
+                code.emit(op.POP_BLOCK, None, line)
             if loops[-1].is_for:
                 # The loop iterator sits on the stack below the body's
                 # temporaries; breaking without popping it would leak it
@@ -227,6 +289,8 @@ class _Compiler:
         elif isinstance(node, ast.Continue):
             if not loops:
                 raise CompileError("'continue' outside loop", line)
+            for _ in range(self._try_depth - loops[-1].try_depth):
+                code.emit(op.POP_BLOCK, None, line)
             code.emit(op.JUMP, loops[-1].continue_target, line)
         elif isinstance(node, ast.Return):
             if is_module:
@@ -286,7 +350,7 @@ class _Compiler:
         start = len(code)
         self._expr(node.test, code)
         exit_fixup = code.emit(op.POP_JUMP_IF_FALSE, None, node.lineno)
-        loop = _LoopContext(continue_target=start)
+        loop = _LoopContext(continue_target=start, try_depth=self._try_depth)
         loops.append(loop)
         self._compile_body(node.body, code, loops, is_module)
         loops.pop()
@@ -304,7 +368,7 @@ class _Compiler:
         start = len(code)
         exit_fixup = code.emit(op.FOR_ITER, None, node.lineno)
         self._store_target(node.target, code)
-        loop = _LoopContext(continue_target=start, is_for=True)
+        loop = _LoopContext(continue_target=start, is_for=True, try_depth=self._try_depth)
         loops.append(loop)
         self._compile_body(node.body, code, loops, is_module)
         loops.pop()
@@ -313,6 +377,35 @@ class _Compiler:
         code.patch_jump(exit_fixup, end)
         for fixup in loop.break_fixups:
             code.patch_jump(fixup, end)
+
+    def _compile_try(self, node: ast.Try, code: CodeObject, loops, is_module: bool) -> None:
+        """Lower ``try``/bare-``except`` to SETUP_EXCEPT / POP_BLOCK.
+
+        The handler is entered (by the VM's unwinder) at exactly the
+        operand-stack depth recorded at SETUP_EXCEPT, so the verifier can
+        model the exception edge as a plain branch with stack delta 0.
+        """
+        line = node.lineno
+        if node.orelse:
+            raise CompileError("try/else is not supported", line)
+        if node.finalbody:
+            raise CompileError("try/finally is not supported", line)
+        if len(node.handlers) != 1:
+            raise CompileError("only a single except handler is supported", line)
+        handler = node.handlers[0]
+        if handler.type is not None or handler.name is not None:
+            raise CompileError(
+                "only bare 'except:' handlers are supported", handler.lineno
+            )
+        setup_ix = code.emit(op.SETUP_EXCEPT, None, line)
+        self._try_depth += 1
+        self._compile_body(node.body, code, loops, is_module)
+        self._try_depth -= 1
+        code.emit(op.POP_BLOCK, None, self._last_line(code))
+        end_fixup = code.emit(op.JUMP, None, self._last_line(code))
+        code.patch_jump(setup_ix, len(code))
+        self._compile_body(handler.body, code, loops, is_module)
+        code.patch_jump(end_fixup, len(code))
 
     # -- expressions ---------------------------------------------------------
 

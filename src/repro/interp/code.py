@@ -35,6 +35,12 @@ class CodeObject:
     #: Names declared ``global`` inside this code object.
     global_names: Tuple[str, ...] = ()
     firstlineno: int = 1
+    #: Threaded-dispatch entries precomputed by the VM (see
+    #: ``repro.interp.vm``): one ``(kind, arg, lineno, churn, cache)``
+    #: tuple per instruction, with constants pre-resolved and inline-cache
+    #: slots attached. Built lazily on first execution and invalidated by
+    #: any mutation of the instruction stream.
+    _threaded: Optional[list] = field(default=None, repr=False, compare=False)
 
     def const_index(self, value: Any) -> int:
         """Intern ``value`` in the constant pool and return its index.
@@ -55,12 +61,14 @@ class CodeObject:
 
     def emit(self, opcode: str, arg: Any = None, lineno: int = 0) -> int:
         """Append an instruction; returns its index (for jump patching)."""
+        self._threaded = None
         self.instructions.append(Instruction(opcode, arg, lineno))
         return len(self.instructions) - 1
 
     def patch_jump(self, index: int, target: int) -> None:
         """Set the jump target of the instruction at ``index``."""
         old = self.instructions[index]
+        self._threaded = None
         self.instructions[index] = Instruction(old.opcode, target, old.lineno)
 
     def __len__(self) -> int:
@@ -106,6 +114,7 @@ class Frame:
         "py_handle",
         "last_traced_line",
         "lasti",
+        "block_stack",
     )
 
     def __init__(self, code: CodeObject, globals_dict: dict, back: Optional["Frame"] = None) -> None:
@@ -124,6 +133,9 @@ class Frame:
         #: native call this stays parked on the CALL instruction — the
         #: signature Scalene's thread attribution keys on (§2.2).
         self.lasti = 0
+        #: Active ``try`` blocks: ``(handler_pc, stack_depth)`` entries
+        #: pushed by SETUP_EXCEPT (lazily created; None = no handlers).
+        self.block_stack: Optional[list] = None
 
     @property
     def current_instruction(self) -> Optional["Instruction"]:

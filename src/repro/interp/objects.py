@@ -17,19 +17,22 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
-from repro.errors import VMError
+from repro.errors import SimRuntimeError, VMError
 
 
 class HeapBacked:
     """Base class for simulated values with real (simulated) heap storage."""
 
-    __slots__ = ("rc", "_mem", "_thread")
+    __slots__ = ("rc", "_mem", "_thread", "_methods")
 
     def __init__(self, mem, thread=None) -> None:
         #: Reference count from storage points (0 = floating temporary).
         self.rc = 0
         self._mem = mem
         self._thread = thread
+        #: Memoized BoundMethods, lazily created (None = none yet). Method
+        #: tables are per-instance and immutable, so memoization is safe.
+        self._methods: Optional[Dict[str, "BoundMethod"]] = None
         mem.register_object(self)
 
     # -- refcount protocol (driven by the VM) ---------------------------------
@@ -62,10 +65,19 @@ class HeapBacked:
 
     def sim_getattr(self, name: str):
         """Look up an attribute/method for the simulated program."""
+        cache = self._methods
+        if cache is not None:
+            bound = cache.get(name)
+            if bound is not None:
+                return bound
         method = self._method_table().get(name)
         if method is None:
-            raise VMError(f"{type(self).__name__} has no attribute {name!r}")
-        return BoundMethod(self, name, method)
+            raise SimRuntimeError(f"{type(self).__name__} has no attribute {name!r}")
+        bound = BoundMethod(self, name, method)
+        if cache is None:
+            cache = self._methods = {}
+        cache[name] = bound
+        return bound
 
     def _method_table(self) -> Dict[str, Callable]:
         return {}
@@ -134,7 +146,7 @@ class SimList(HeapBacked):
         try:
             value = self.items.pop(index)
         except IndexError:
-            raise VMError("pop from empty list or index out of range") from None
+            raise SimRuntimeError("pop from empty list or index out of range") from None
         decref(value)
         return value
 
@@ -149,13 +161,13 @@ class SimList(HeapBacked):
                 return SimList(self._mem, list(self.items[index]), self._thread)
             return self.items[index]
         except (IndexError, TypeError) as exc:
-            raise VMError(f"list index error: {exc}") from None
+            raise SimRuntimeError(f"list index error: {exc}") from None
 
     def setitem(self, index: int, value: Any) -> None:
         try:
             old = self.items[index]
         except IndexError:
-            raise VMError("list assignment index out of range") from None
+            raise SimRuntimeError("list assignment index out of range") from None
         incref(value)
         decref(old)
         self.items[index] = value
@@ -218,9 +230,9 @@ class SimDict(HeapBacked):
         try:
             return self.data[key]
         except KeyError:
-            raise VMError(f"KeyError: {key!r}") from None
+            raise SimRuntimeError(f"KeyError: {key!r}") from None
         except TypeError as exc:
-            raise VMError(f"unhashable key: {exc}") from None
+            raise SimRuntimeError(f"unhashable key: {exc}") from None
 
     def setitem(self, key: Any, value: Any) -> None:
         old = self.data.get(key)
@@ -234,7 +246,7 @@ class SimDict(HeapBacked):
         try:
             old = self.data.pop(key)
         except KeyError:
-            raise VMError(f"KeyError: {key!r}") from None
+            raise SimRuntimeError(f"KeyError: {key!r}") from None
         decref(old)
 
     def contains(self, key: Any) -> bool:
@@ -376,7 +388,7 @@ def sim_len(value: Any) -> int:
     try:
         return len(value)
     except TypeError:
-        raise VMError(f"object of type {type(value).__name__} has no len()") from None
+        raise SimRuntimeError(f"object of type {type(value).__name__} has no len()") from None
 
 
 def sim_iter(value: Any) -> Iterable:
@@ -388,4 +400,4 @@ def sim_iter(value: Any) -> Iterable:
     try:
         return iter(value)
     except TypeError:
-        raise VMError(f"{type(value).__name__} object is not iterable") from None
+        raise SimRuntimeError(f"{type(value).__name__} object is not iterable") from None

@@ -41,6 +41,12 @@ LIST_APPEND = "LIST_APPEND"
 POP_TOP = "POP_TOP"
 MAKE_FUNCTION = "MAKE_FUNCTION"
 NOP = "NOP"
+#: Push an exception-handler block: arg is the handler's instruction
+#: index; the VM records the operand-stack depth so unwinding can
+#: truncate back to it. Control falls through to the protected body.
+SETUP_EXCEPT = "SETUP_EXCEPT"
+#: Pop the innermost handler block (leaving a ``try`` body normally).
+POP_BLOCK = "POP_BLOCK"
 
 #: Opcodes that perform a call; see module docstring.
 CALL_OPCODES: FrozenSet[str] = frozenset({CALL, CALL_METHOD})
@@ -67,7 +73,7 @@ ALL_OPCODES: FrozenSet[str] = frozenset(
         CALL_METHOD, RETURN_VALUE, JUMP, POP_JUMP_IF_FALSE, POP_JUMP_IF_TRUE,
         JUMP_IF_FALSE_OR_POP, JUMP_IF_TRUE_OR_POP, GET_ITER, FOR_ITER,
         BUILD_LIST, BUILD_TUPLE, BUILD_MAP, BUILD_SLICE, UNPACK_SEQUENCE,
-        LIST_APPEND, POP_TOP, MAKE_FUNCTION, NOP,
+        LIST_APPEND, POP_TOP, MAKE_FUNCTION, NOP, SETUP_EXCEPT, POP_BLOCK,
     }
 )
 

@@ -12,15 +12,26 @@ CPython behaviours Scalene's algorithms are built on:
 4. **Every Python object allocation** flows through the PyMem hooks, and
    native library allocations flow through the system-allocator shim
    (§3.1), including the small-object churn of interpreter temporaries.
+
+Dispatch design (see DESIGN.md, "Threaded dispatch"): instructions are
+precompiled into *threaded entries* ``(kind, arg, lineno, churn, cache)``
+cached on the code object; hot opcodes dispatch on small-int kinds inside
+the loop, cold opcodes through a handler table. Per-op accounting is
+batched and flushed at every observation point (signal delivery, trace
+events, calls, returns, slice exits), and the pending-signal check is
+batched to a configurable quantum (``REPRO_EVAL_QUANTUM``) while timer
+expirations are detected exactly via cached deadlines — so every signal is
+still delivered at an opcode boundary, preserving the paper's semantics.
 """
 
 from __future__ import annotations
 
 import operator as host_operator
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
-from repro.errors import VMError
+from repro.errors import SimRuntimeError, VMError
 from repro.interp import opcodes as op
 from repro.interp.code import CodeObject, Frame, SimFunction
 from repro.interp.objects import (
@@ -43,6 +54,22 @@ BLOCKED = "blocked"
 FINISHED = "finished"
 
 _ITER_EXHAUSTED = object()
+_CALL_PUSHED_FRAME = object()
+_MISSING = object()
+
+
+def _default_eval_quantum() -> int:
+    """Pending-signal check batching (ops), from ``REPRO_EVAL_QUANTUM``.
+
+    Timer expirations are detected exactly regardless of this value (via
+    cached deadlines); the quantum only bounds how many opcodes an
+    out-of-band ``raise_signal`` can wait before delivery.
+    """
+    raw = os.environ.get("REPRO_EVAL_QUANTUM", "8")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 8
 
 
 @dataclass
@@ -65,6 +92,9 @@ class VMConfig:
     churn_fifo_depth: int = 32
     #: Size of a frame object allocated per Python call.
     frame_object_bytes: int = 368
+    #: How many opcodes may execute between pending-signal checks (timer
+    #: deadlines are still honoured exactly; see DESIGN.md).
+    eval_quantum: int = field(default_factory=_default_eval_quantum)
 
 
 _BINARY_FUNCS = {
@@ -92,6 +122,119 @@ _COMPARE_FUNCS = {
     "is": lambda a, b: a is b,
     "is not": lambda a, b: a is not b,
 }
+
+#: Operand classes whose binary-op semantics are exactly the host's and
+#: which are never heap-backed (so skipping ``release_temp`` is a no-op).
+_HOST_OPERANDS = frozenset({int, float, bool, str, tuple, complex})
+
+
+# Small-int opcode kinds for threaded dispatch. Hot kinds are inlined in
+# ``run_slice`` (ordered by measured frequency); cold kinds go through the
+# ``VM._cold`` handler table.
+_K_LOAD_NAME = 0
+_K_LOAD_CONST = 1
+_K_BINARY_OP = 2
+_K_STORE_NAME = 3
+_K_COMPARE_OP = 4
+_K_POP_JUMP_IF_FALSE = 5
+_K_JUMP = 6
+_K_CALL = 7
+_K_FOR_ITER = 8
+_K_POP_JUMP_IF_TRUE = 9
+_K_BINARY_SUBSCR = 10
+_K_STORE_SUBSCR = 11
+_K_LOAD_ATTR = 12
+_K_RETURN_VALUE = 13
+_K_POP_TOP = 14
+_K_GET_ITER = 15
+_K_BUILD_LIST = 16
+_K_BUILD_TUPLE = 17
+_K_LIST_APPEND = 18
+_K_UNARY_OP = 19
+_K_JUMP_IF_FALSE_OR_POP = 20
+_K_JUMP_IF_TRUE_OR_POP = 21
+_K_BUILD_MAP = 22
+_K_BUILD_SLICE = 23
+_K_UNPACK_SEQUENCE = 24
+_K_MAKE_FUNCTION = 25
+_K_DELETE_NAME = 26
+_K_NOP = 27
+_K_SETUP_EXCEPT = 28
+_K_POP_BLOCK = 29
+_N_KINDS = 30
+
+_KIND = {
+    op.LOAD_NAME: _K_LOAD_NAME,
+    op.LOAD_CONST: _K_LOAD_CONST,
+    op.BINARY_OP: _K_BINARY_OP,
+    op.STORE_NAME: _K_STORE_NAME,
+    op.COMPARE_OP: _K_COMPARE_OP,
+    op.POP_JUMP_IF_FALSE: _K_POP_JUMP_IF_FALSE,
+    op.JUMP: _K_JUMP,
+    op.CALL: _K_CALL,
+    op.CALL_METHOD: _K_CALL,
+    op.FOR_ITER: _K_FOR_ITER,
+    op.POP_JUMP_IF_TRUE: _K_POP_JUMP_IF_TRUE,
+    op.BINARY_SUBSCR: _K_BINARY_SUBSCR,
+    op.STORE_SUBSCR: _K_STORE_SUBSCR,
+    op.LOAD_ATTR: _K_LOAD_ATTR,
+    op.LOAD_METHOD: _K_LOAD_ATTR,
+    op.RETURN_VALUE: _K_RETURN_VALUE,
+    op.POP_TOP: _K_POP_TOP,
+    op.GET_ITER: _K_GET_ITER,
+    op.BUILD_LIST: _K_BUILD_LIST,
+    op.BUILD_TUPLE: _K_BUILD_TUPLE,
+    op.LIST_APPEND: _K_LIST_APPEND,
+    op.UNARY_OP: _K_UNARY_OP,
+    op.JUMP_IF_FALSE_OR_POP: _K_JUMP_IF_FALSE_OR_POP,
+    op.JUMP_IF_TRUE_OR_POP: _K_JUMP_IF_TRUE_OR_POP,
+    op.BUILD_MAP: _K_BUILD_MAP,
+    op.BUILD_SLICE: _K_BUILD_SLICE,
+    op.UNPACK_SEQUENCE: _K_UNPACK_SEQUENCE,
+    op.MAKE_FUNCTION: _K_MAKE_FUNCTION,
+    op.DELETE_NAME: _K_DELETE_NAME,
+    op.NOP: _K_NOP,
+    op.SETUP_EXCEPT: _K_SETUP_EXCEPT,
+    op.POP_BLOCK: _K_POP_BLOCK,
+}
+
+
+def _build_entries(code: CodeObject) -> list:
+    """Precompute threaded-dispatch entries for ``code``.
+
+    One ``(kind, arg, lineno, churn, cache)`` tuple per instruction:
+    constants are pre-resolved (LOAD_CONST / MAKE_FUNCTION), operator
+    functions pre-bound (BINARY_OP / COMPARE_OP), and mutable inline-cache
+    slots attached (LOAD_NAME / LOAD_ATTR). Entries are cached on the code
+    object and shared across VMs (the inline caches are validated by
+    identity + version, so cross-process sharing is safe — see DESIGN.md).
+    """
+    entries = []
+    consts = code.constants
+    allocating = op.ALLOCATING_OPCODES
+    kinds = _KIND
+    for instr in code.instructions:
+        opcode = instr.opcode
+        kind = kinds.get(opcode)
+        if kind is None:
+            raise VMError(f"unknown opcode {opcode}")
+        arg = instr.arg
+        cache = None
+        if kind == _K_LOAD_CONST or kind == _K_MAKE_FUNCTION:
+            arg = consts[arg]
+        elif kind == _K_LOAD_NAME:
+            # [globals_dict, globals_version, value]
+            cache = [None, -1, None]
+        elif kind == _K_LOAD_ATTR:
+            # [receiver, bound method]
+            cache = [None, None]
+        elif kind == _K_BINARY_OP:
+            cache = _BINARY_FUNCS.get(arg)
+        elif kind == _K_COMPARE_OP:
+            cache = _COMPARE_FUNCS.get(arg)  # None for in / not in
+        entries.append((kind, arg, instr.lineno, opcode in allocating, cache))
+    code._threaded = entries
+    return entries
 
 
 class NativeContext:
@@ -205,13 +348,30 @@ class VM:
         self.process = process
         self.config = config or VMConfig()
         self.instruction_count = 0
+        #: Bumped on every store/delete into a globals namespace; validates
+        #: LOAD_NAME inline caches (globals and builtins resolutions).
+        self._globals_version = 0
+        cold = [None] * _N_KINDS
+        cold[_K_UNARY_OP] = self._h_unary
+        cold[_K_JUMP_IF_FALSE_OR_POP] = self._h_jump_if_false_or_pop
+        cold[_K_JUMP_IF_TRUE_OR_POP] = self._h_jump_if_true_or_pop
+        cold[_K_BUILD_MAP] = self._h_build_map
+        cold[_K_BUILD_SLICE] = self._h_build_slice
+        cold[_K_UNPACK_SEQUENCE] = self._h_unpack_sequence
+        cold[_K_MAKE_FUNCTION] = self._h_make_function
+        cold[_K_DELETE_NAME] = self._h_delete_name
+        cold[_K_NOP] = self._h_nop
+        cold[_K_SETUP_EXCEPT] = self._h_setup_except
+        cold[_K_POP_BLOCK] = self._h_pop_block
+        #: Handler table for cold opcodes: ``fn(thread, frame, entry, pc) -> pc``.
+        self._cold = cold
 
     # -- frame management ----------------------------------------------------------
 
     def make_frame(self, fn: SimFunction, args: tuple, thread, back: Optional[Frame]) -> Frame:
         code = fn.code
         if len(args) != len(code.params):
-            raise VMError(
+            raise SimRuntimeError(
                 f"{fn.name}() takes {len(code.params)} arguments but {len(args)} were given"
             )
         frame = Frame(code, fn.globals, back=back)
@@ -256,17 +416,75 @@ class VM:
         while thread.churn:
             mem.py_free(thread.churn.popleft(), thread)
 
+    # -- native context ----------------------------------------------------------
+
+    def _native_ctx(self, thread) -> NativeContext:
+        ctx = thread.native_ctx
+        if ctx is None:
+            ctx = thread.native_ctx = NativeContext(self.process, thread)
+        return ctx
+
     # -- the eval loop ----------------------------------------------------------
 
     def run_slice(self, thread, wall_deadline: float) -> str:
-        """Run ``thread`` until preemption, blocking, or completion."""
+        """Run ``thread`` until preemption, blocking, or completion.
+
+        The loop dispatches precompiled threaded entries (``_build_entries``)
+        on small-int kinds with all per-instruction state hoisted into
+        locals. Clock advancement takes a fast path (direct slot updates)
+        when the SignalManager is the only clock observer; timer expiry is
+        then detected via cached deadlines, which is semantically identical
+        because timers depend only on absolute clock values. Per-op
+        accounting (cpu_time, instruction_count, ground-truth Python time)
+        is batched and flushed at every externally observable point.
+        """
         process = self.process
         clock = process.clock
         signals = process.signals
         trace = process.trace
         config = self.config
         ground_truth = process.ground_truth
+        gt_enabled = ground_truth is not None
         churn_enabled = config.churn_enabled
+        op_cost = config.op_cost
+        quantum = config.eval_quantum
+        builtins_get = process.builtins.get
+        pending = signals._pending
+        is_main = thread.is_main
+        cold = self._cold
+        mem = process.mem
+        # Churn state, hoisted so the hot loop can inline _churn().
+        py_alloc = mem.py_alloc
+        py_free = mem.py_free
+        churn_bytes = config.churn_object_bytes
+        churn_depth = config.churn_fifo_depth
+        fifo = thread.churn
+        # Fast clock path only when the SignalManager is the sole observer;
+        # external samplers (py-spy/Austin baselines) subscribe to the clock
+        # and must see every advance.
+        fast_clock = len(clock._observers) <= 1
+
+        K_LOAD_NAME = _K_LOAD_NAME
+        K_LOAD_CONST = _K_LOAD_CONST
+        K_BINARY_OP = _K_BINARY_OP
+        K_STORE_NAME = _K_STORE_NAME
+        K_COMPARE_OP = _K_COMPARE_OP
+        K_POP_JUMP_IF_FALSE = _K_POP_JUMP_IF_FALSE
+        K_JUMP = _K_JUMP
+        K_CALL = _K_CALL
+        K_FOR_ITER = _K_FOR_ITER
+        K_POP_JUMP_IF_TRUE = _K_POP_JUMP_IF_TRUE
+        K_BINARY_SUBSCR = _K_BINARY_SUBSCR
+        K_STORE_SUBSCR = _K_STORE_SUBSCR
+        K_LOAD_ATTR = _K_LOAD_ATTR
+        K_RETURN_VALUE = _K_RETURN_VALUE
+        K_POP_TOP = _K_POP_TOP
+        K_GET_ITER = _K_GET_ITER
+        K_BUILD_LIST = _K_BUILD_LIST
+        K_BUILD_TUPLE = _K_BUILD_TUPLE
+        K_LIST_APPEND = _K_LIST_APPEND
+        MISSING = _MISSING
+        HOST = _HOST_OPERANDS
 
         # Resume from a block, if any (handles signal wake-ups and
         # retry-style blocks such as Scalene's patched join).
@@ -279,175 +497,384 @@ class VM:
         if frame is None:
             return FINISHED
 
-        while True:
-            instructions = frame.code.instructions
-            pc = frame.pc
-            if pc >= len(instructions):
-                raise VMError(f"pc out of range in {frame.code.name}")
-            instr = instructions[pc]
-            opcode = instr.opcode
+        trace_active = trace.active
+        next_cpu_dl, nwd = signals.next_deadlines()
+        next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
 
-            # Trace 'line' events when execution reaches a new line.
-            if trace.active and instr.lineno != frame.last_traced_line:
-                frame.lineno = instr.lineno
-                frame.last_traced_line = instr.lineno
-                trace.fire(thread, frame, tracing.EVENT_LINE)
+        ops_done = 0  # charged ops not yet flushed to thread.cpu_time
+        gt_ops = 0  # charged ops not yet flushed to ground truth (this line)
+        breaker = 0  # pending-signal check countdown (quantum batching)
 
-            frame.lineno = instr.lineno
-            frame.lasti = pc
-
-            # Charge the interpreter cost of this instruction.
-            clock.advance_cpu(config.op_cost)
-            thread.cpu_time += config.op_cost
-            if ground_truth is not None:
-                ground_truth.record_python_time(thread, config.op_cost)
-
-            self.instruction_count += 1
-            frame.pc = pc + 1
-
-            # Small-object churn for object-creating opcodes.
-            if churn_enabled and opcode in op.ALLOCATING_OPCODES:
-                self._churn(thread)
-
-            # ---- execute ----------------------------------------------------
+        while True:  # per-frame loop: re-hoists frame state after call/return
+            code = frame.code
+            entries = code._threaded
+            if entries is None:
+                entries = _build_entries(code)
+            n = len(entries)
             stack = frame.stack
-            if opcode == op.LOAD_CONST:
-                stack.append(frame.code.constants[instr.arg])
-            elif opcode == op.LOAD_NAME:
-                frame = self._op_load_name(frame, instr.arg)
-            elif opcode == op.STORE_NAME:
-                self._op_store_name(frame, instr.arg, stack.pop())
-            elif opcode == op.BINARY_OP:
-                right = stack.pop()
-                left = stack.pop()
-                stack.append(self._op_binary(thread, instr.arg, left, right))
-            elif opcode == op.COMPARE_OP:
-                right = stack.pop()
-                left = stack.pop()
-                stack.append(self._op_compare(instr.arg, left, right))
-            elif opcode == op.UNARY_OP:
-                stack.append(self._op_unary(instr.arg, stack.pop()))
-            elif opcode == op.JUMP:
-                frame.pc = instr.arg
-            elif opcode == op.POP_JUMP_IF_FALSE:
-                if not stack.pop():
-                    frame.pc = instr.arg
-            elif opcode == op.POP_JUMP_IF_TRUE:
-                if stack.pop():
-                    frame.pc = instr.arg
-            elif opcode == op.JUMP_IF_FALSE_OR_POP:
-                if not stack[-1]:
-                    frame.pc = instr.arg
-                else:
-                    stack.pop()
-            elif opcode == op.JUMP_IF_TRUE_OR_POP:
-                if stack[-1]:
-                    frame.pc = instr.arg
-                else:
-                    stack.pop()
-            elif opcode == op.GET_ITER:
-                stack.append(sim_iter(stack.pop()))
-            elif opcode == op.FOR_ITER:
-                value = next(stack[-1], _ITER_EXHAUSTED)
-                if value is _ITER_EXHAUSTED:
-                    stack.pop()
-                    frame.pc = instr.arg
-                else:
-                    stack.append(value)
-            elif opcode in (op.CALL, op.CALL_METHOD):
-                result = self._op_call(thread, frame, instr.arg)
-                if result is _CALL_PUSHED_FRAME:
-                    frame = thread.frame
-                elif isinstance(result, BlockRequest):
-                    self._enter_block(thread, result)
-                    return BLOCKED
-                else:
-                    stack.append(result)
-            elif opcode == op.RETURN_VALUE:
-                retval = stack.pop()
-                if trace.active:
-                    trace.fire(thread, frame, tracing.EVENT_RETURN, retval)
-                self._teardown_frame(frame, retval, thread)
-                caller = frame.back
-                thread.frame = caller
-                if caller is None:
-                    thread.result = retval
-                    self.flush_churn(thread)
-                    return FINISHED
-                caller.stack.append(retval)
-                frame = caller
-            elif opcode == op.POP_TOP:
-                release_temp(stack.pop())
-            elif opcode == op.BUILD_LIST:
-                count = instr.arg
-                items = stack[len(stack) - count :] if count else []
-                del stack[len(stack) - count :]
-                stack.append(SimList(self.process.mem, list(items), thread))
-            elif opcode == op.BUILD_TUPLE:
-                count = instr.arg
-                items = tuple(stack[len(stack) - count :]) if count else ()
-                del stack[len(stack) - count :]
-                stack.append(items)
-            elif opcode == op.BUILD_MAP:
-                count = instr.arg
-                data = {}
-                if count:
-                    flat = stack[len(stack) - 2 * count :]
-                    del stack[len(stack) - 2 * count :]
-                    for i in range(0, 2 * count, 2):
-                        data[flat[i]] = flat[i + 1]
-                stack.append(SimDict(self.process.mem, data, thread))
-            elif opcode == op.BUILD_SLICE:
-                if instr.arg == 3:
-                    step = stack.pop()
-                else:
-                    step = None
-                stop = stack.pop()
-                start = stack.pop()
-                stack.append(slice(start, stop, step))
-            elif opcode == op.BINARY_SUBSCR:
-                index = stack.pop()
-                container = stack.pop()
-                stack.append(self._op_subscr(thread, container, index))
-            elif opcode == op.STORE_SUBSCR:
-                index = stack.pop()
-                container = stack.pop()
-                value = stack.pop()
-                self._op_store_subscr(thread, container, index, value)
-            elif opcode == op.LIST_APPEND:
-                value = stack.pop()
-                accumulator = stack[-instr.arg]
-                if not isinstance(accumulator, SimList):
-                    raise VMError("LIST_APPEND target is not a list")
-                accumulator.append(value)  # append increfs heap-backed values
-            elif opcode == op.UNPACK_SEQUENCE:
-                value = stack.pop()
-                items = self._sequence_items(value)
-                if len(items) != instr.arg:
-                    raise VMError(
-                        f"cannot unpack {len(items)} values into {instr.arg} targets"
-                    )
-                for item in reversed(items):
-                    stack.append(item)
-            elif opcode == op.LOAD_ATTR:
-                stack.append(self._op_load_attr(stack.pop(), instr.arg))
-            elif opcode == op.LOAD_METHOD:
-                stack.append(self._op_load_attr(stack.pop(), instr.arg))
-            elif opcode == op.MAKE_FUNCTION:
-                code = frame.code.constants[instr.arg]
-                stack.append(SimFunction(code, frame.globals))
-            elif opcode == op.DELETE_NAME:
-                self._op_delete_name(frame, instr.arg)
-            elif opcode == op.NOP:
-                pass
-            else:  # pragma: no cover - compiler emits only known opcodes
-                raise VMError(f"unknown opcode {opcode}")
+            f_locals = frame.locals
+            f_globals = frame.globals
+            global_names = code.global_names
+            pc = frame.pc
+            cur_line = None  # force line bookkeeping on the first op
+            try:
+                while True:
+                    # ---- quantum breaker: batched pending-signal check ----
+                    breaker -= 1
+                    if breaker < 0:
+                        breaker = quantum
+                        if pending and is_main:
+                            frame.pc = pc
+                            frame.lasti = pc
+                            if ops_done:
+                                thread.cpu_time += ops_done * op_cost
+                                self.instruction_count += ops_done
+                                ops_done = 0
+                            if gt_ops:
+                                ground_truth.record_python_time(thread, gt_ops * op_cost)
+                                gt_ops = 0
+                            signals.deliver_pending(thread)
+                            trace_active = trace.active
+                            next_cpu_dl, nwd = signals.next_deadlines()
+                            next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
 
-            # ---- eval breaker ----------------------------------------------
-            if thread.is_main and signals.has_pending:
-                signals.deliver_pending(thread)
-            if clock.wall >= wall_deadline:
-                return PREEMPTED
+                    if pc >= n:
+                        raise VMError(f"pc out of range in {code.name}")
+                    entry = entries[pc]
+                    kind = entry[0]
+                    lineno = entry[2]
+                    pc += 1
+
+                    # ---- line bookkeeping (on transitions only) -----------
+                    if lineno != cur_line:
+                        if gt_ops:
+                            ground_truth.record_python_time(thread, gt_ops * op_cost)
+                            gt_ops = 0
+                        frame.lineno = lineno
+                        cur_line = lineno
+                        if trace_active and lineno != frame.last_traced_line:
+                            frame.last_traced_line = lineno
+                            frame.pc = pc - 1
+                            frame.lasti = pc - 1
+                            if ops_done:
+                                thread.cpu_time += ops_done * op_cost
+                                self.instruction_count += ops_done
+                                ops_done = 0
+                            trace.fire(thread, frame, tracing.EVENT_LINE)
+                            trace_active = trace.active
+                            next_cpu_dl, nwd = signals.next_deadlines()
+                            next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
+
+                    # ---- charge the interpreter cost of this instruction --
+                    if fast_clock:
+                        cpu = clock._cpu + op_cost
+                        wall = clock._wall + op_cost
+                        clock._cpu = cpu
+                        clock._wall = wall
+                    else:
+                        clock.advance_cpu(op_cost)
+                        cpu = clock._cpu
+                        wall = clock._wall
+                    ops_done += 1
+                    if gt_enabled:
+                        gt_ops += 1
+
+                    # Small-object churn for object-creating opcodes
+                    # (inlined _churn).
+                    if entry[3] and churn_enabled:
+                        fifo.append(py_alloc(churn_bytes, thread))
+                        if len(fifo) > churn_depth:
+                            py_free(fifo.popleft(), thread)
+
+                    # ---- execute ------------------------------------------
+                    if kind == K_LOAD_NAME:
+                        name = entry[1]
+                        value = f_locals.get(name, MISSING)
+                        if value is MISSING:
+                            c = entry[4]
+                            if c[0] is f_globals and c[1] == self._globals_version:
+                                value = c[2]
+                            else:
+                                value = f_globals.get(name, MISSING)
+                                if value is MISSING:
+                                    value = builtins_get(name, MISSING)
+                                    if value is MISSING:
+                                        raise SimRuntimeError(
+                                            f"NameError: name {name!r} is not defined"
+                                        )
+                                c[0] = f_globals
+                                c[1] = self._globals_version
+                                c[2] = value
+                        stack.append(value)
+                    elif kind == K_LOAD_CONST:
+                        stack.append(entry[1])
+                    elif kind == K_BINARY_OP:
+                        right = stack.pop()
+                        left = stack.pop()
+                        fn = entry[4]
+                        if (
+                            fn is not None
+                            and left.__class__ in HOST
+                            and right.__class__ in HOST
+                        ):
+                            try:
+                                stack.append(fn(left, right))
+                            except (TypeError, ZeroDivisionError, ValueError) as exc:
+                                raise SimRuntimeError(
+                                    f"binary op {entry[1]!r} failed: {exc}"
+                                ) from None
+                        else:
+                            stack.append(self._op_binary(thread, entry[1], left, right))
+                    elif kind == K_STORE_NAME:
+                        value = stack.pop()
+                        name = entry[1]
+                        if name in global_names:
+                            namespace = f_globals
+                        else:
+                            namespace = f_locals
+                        old = namespace.get(name)
+                        if isinstance(value, HeapBacked):
+                            value.rc += 1
+                        namespace[name] = value
+                        if namespace is f_globals:
+                            self._globals_version += 1
+                        if old is not None and old is not value:
+                            decref(old)
+                    elif kind == K_COMPARE_OP:
+                        right = stack.pop()
+                        left = stack.pop()
+                        fn = entry[4]
+                        if fn is not None:
+                            try:
+                                stack.append(fn(left, right))
+                            except TypeError as exc:
+                                raise SimRuntimeError(
+                                    f"comparison {entry[1]!r} failed: {exc}"
+                                ) from None
+                        else:
+                            stack.append(self._op_compare(entry[1], left, right))
+                    elif kind == K_POP_JUMP_IF_FALSE:
+                        if not stack.pop():
+                            pc = entry[1]
+                    elif kind == K_JUMP:
+                        pc = entry[1]
+                    elif kind == K_CALL:
+                        frame.pc = pc
+                        frame.lasti = pc - 1  # parked on the call (§2.2)
+                        if ops_done:
+                            thread.cpu_time += ops_done * op_cost
+                            self.instruction_count += ops_done
+                            ops_done = 0
+                        if gt_ops:
+                            ground_truth.record_python_time(thread, gt_ops * op_cost)
+                            gt_ops = 0
+                        result = self._op_call(thread, frame, entry[1])
+                        if result is _CALL_PUSHED_FRAME:
+                            frame = thread.frame
+                            trace_active = trace.active
+                            next_cpu_dl, nwd = signals.next_deadlines()
+                            next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
+                            break  # re-hoist the callee frame
+                        if isinstance(result, BlockRequest):
+                            self._enter_block(thread, result)
+                            if fast_clock:
+                                signals.poll()
+                            return BLOCKED
+                        stack.append(result)
+                        # Native code may have run long, armed timers, or
+                        # raised signals: refresh, deliver, maybe preempt.
+                        trace_active = trace.active
+                        if pending and is_main:
+                            signals.deliver_pending(thread)
+                            trace_active = trace.active
+                        next_cpu_dl, nwd = signals.next_deadlines()
+                        next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
+                        if clock._wall >= wall_deadline:
+                            if fast_clock:
+                                signals.poll()
+                            return PREEMPTED
+                    elif kind == K_FOR_ITER:
+                        value = next(stack[-1], _ITER_EXHAUSTED)
+                        if value is _ITER_EXHAUSTED:
+                            stack.pop()
+                            pc = entry[1]
+                        else:
+                            stack.append(value)
+                    elif kind == K_POP_JUMP_IF_TRUE:
+                        if stack.pop():
+                            pc = entry[1]
+                    elif kind == K_BINARY_SUBSCR:
+                        index = stack.pop()
+                        container = stack.pop()
+                        cls = container.__class__
+                        if cls is SimList or cls is SimDict:
+                            stack.append(container.getitem(index))
+                        else:
+                            stack.append(self._op_subscr(thread, container, index))
+                    elif kind == K_STORE_SUBSCR:
+                        index = stack.pop()
+                        container = stack.pop()
+                        value = stack.pop()
+                        cls = container.__class__
+                        if cls is SimList or cls is SimDict:
+                            container.setitem(index, value)
+                        else:
+                            self._op_store_subscr(thread, container, index, value)
+                    elif kind == K_LOAD_ATTR:
+                        obj = stack[-1]
+                        c = entry[4]
+                        if c[0] is obj:
+                            stack[-1] = c[1]
+                        else:
+                            value = self._op_load_attr(obj, entry[1])
+                            stack[-1] = value
+                            # Cache only memoized bound methods on heap-backed
+                            # receivers: those are immutable per instance, so
+                            # the identity guard can never serve a stale value
+                            # (computed attributes and native-module attrs are
+                            # re-resolved every time).
+                            if value.__class__ is BoundMethod and isinstance(obj, HeapBacked):
+                                c[0] = obj
+                                c[1] = value
+                    elif kind == K_RETURN_VALUE:
+                        retval = stack.pop()
+                        frame.pc = pc
+                        frame.lasti = pc - 1
+                        if ops_done:
+                            thread.cpu_time += ops_done * op_cost
+                            self.instruction_count += ops_done
+                            ops_done = 0
+                        if gt_ops:
+                            ground_truth.record_python_time(thread, gt_ops * op_cost)
+                            gt_ops = 0
+                        if trace_active:
+                            trace.fire(thread, frame, tracing.EVENT_RETURN, retval)
+                        self._teardown_frame(frame, retval, thread)
+                        caller = frame.back
+                        thread.frame = caller
+                        if caller is None:
+                            thread.result = retval
+                            self.flush_churn(thread)
+                            if fast_clock:
+                                signals.poll()
+                            return FINISHED
+                        caller.stack.append(retval)
+                        frame = caller
+                        trace_active = trace.active
+                        if pending and is_main:
+                            signals.deliver_pending(thread)
+                            trace_active = trace.active
+                        next_cpu_dl, nwd = signals.next_deadlines()
+                        next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
+                        if clock._wall >= wall_deadline:
+                            if fast_clock:
+                                signals.poll()
+                            return PREEMPTED
+                        break  # re-hoist the caller frame
+                    elif kind == K_POP_TOP:
+                        release_temp(stack.pop())
+                    elif kind == K_GET_ITER:
+                        stack.append(sim_iter(stack.pop()))
+                    elif kind == K_BUILD_LIST:
+                        count = entry[1]
+                        items = stack[len(stack) - count :] if count else []
+                        del stack[len(stack) - count :]
+                        stack.append(SimList(mem, list(items), thread))
+                    elif kind == K_BUILD_TUPLE:
+                        count = entry[1]
+                        items = tuple(stack[len(stack) - count :]) if count else ()
+                        del stack[len(stack) - count :]
+                        stack.append(items)
+                    elif kind == K_LIST_APPEND:
+                        value = stack.pop()
+                        accumulator = stack[-entry[1]]
+                        if not isinstance(accumulator, SimList):
+                            raise VMError("LIST_APPEND target is not a list")
+                        accumulator.append(value)  # append increfs heap-backed values
+                    else:
+                        handler = cold[kind]
+                        if handler is None:  # pragma: no cover - table is complete
+                            raise VMError(f"unknown opcode kind {kind}")
+                        pc = handler(thread, frame, entry, pc)
+
+                    # ---- eval breaker: timer deadlines & preemption -------
+                    if cpu >= next_cpu_dl or wall >= next_wall_dl:
+                        signals.poll()
+                        if pending and is_main:
+                            frame.pc = pc
+                            frame.lasti = pc - 1
+                            if ops_done:
+                                thread.cpu_time += ops_done * op_cost
+                                self.instruction_count += ops_done
+                                ops_done = 0
+                            if gt_ops:
+                                ground_truth.record_python_time(thread, gt_ops * op_cost)
+                                gt_ops = 0
+                            signals.deliver_pending(thread)
+                            trace_active = trace.active
+                        next_cpu_dl, nwd = signals.next_deadlines()
+                        next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
+                        if clock._wall >= wall_deadline:
+                            frame.pc = pc
+                            frame.lasti = pc - 1
+                            if ops_done:
+                                thread.cpu_time += ops_done * op_cost
+                                self.instruction_count += ops_done
+                                ops_done = 0
+                            if gt_ops:
+                                ground_truth.record_python_time(thread, gt_ops * op_cost)
+                                gt_ops = 0
+                            return PREEMPTED
+            except SimRuntimeError:
+                frame.pc = pc
+                frame.lasti = pc - 1 if pc else 0
+                thread.frame = frame
+                if ops_done:
+                    thread.cpu_time += ops_done * op_cost
+                    self.instruction_count += ops_done
+                    ops_done = 0
+                if gt_ops:
+                    ground_truth.record_python_time(thread, gt_ops * op_cost)
+                    gt_ops = 0
+                handler_frame = self._find_handler_frame(thread)
+                if handler_frame is None:
+                    if fast_clock:
+                        signals.poll()
+                    raise  # uncaught: propagate with frames intact
+                self._unwind_to_handler(thread, handler_frame)
+                frame = thread.frame
+                trace_active = trace.active
+                next_cpu_dl, nwd = signals.next_deadlines()
+                next_wall_dl = nwd if nwd < wall_deadline else wall_deadline
+                continue
+
+    # -- exception unwinding ----------------------------------------------------
+
+    def _find_handler_frame(self, thread) -> Optional[Frame]:
+        """Innermost frame with an active ``try`` block (no teardown)."""
+        frame = thread.frame
+        while frame is not None:
+            if frame.block_stack:
+                return frame
+            frame = frame.back
+        return None
+
+    def _unwind_to_handler(self, thread, handler_frame: Frame) -> None:
+        """Tear down frames above ``handler_frame`` and enter its handler."""
+        trace = self.process.trace
+        frame = thread.frame
+        while frame is not handler_frame:
+            if trace.active:
+                trace.fire(thread, frame, tracing.EVENT_RETURN, None)
+            self._teardown_frame(frame, None, thread)
+            frame = frame.back
+            thread.frame = frame
+        handler_pc, depth = handler_frame.block_stack.pop()
+        stack = handler_frame.stack
+        while len(stack) > depth:
+            release_temp(stack.pop())
+        handler_frame.pc = handler_pc
+        handler_frame.lasti = handler_pc
 
     # -- resume / blocking ----------------------------------------------------------
 
@@ -502,6 +929,88 @@ class VM:
         thread.state = "runnable"
         return None
 
+    # -- cold opcode handlers ----------------------------------------------------
+
+    def _h_unary(self, thread, frame: Frame, entry, pc: int) -> int:
+        stack = frame.stack
+        stack.append(self._op_unary(entry[1], stack.pop()))
+        return pc
+
+    def _h_jump_if_false_or_pop(self, thread, frame: Frame, entry, pc: int) -> int:
+        stack = frame.stack
+        if not stack[-1]:
+            return entry[1]
+        stack.pop()
+        return pc
+
+    def _h_jump_if_true_or_pop(self, thread, frame: Frame, entry, pc: int) -> int:
+        stack = frame.stack
+        if stack[-1]:
+            return entry[1]
+        stack.pop()
+        return pc
+
+    def _h_build_map(self, thread, frame: Frame, entry, pc: int) -> int:
+        count = entry[1]
+        stack = frame.stack
+        data = {}
+        if count:
+            flat = stack[len(stack) - 2 * count :]
+            del stack[len(stack) - 2 * count :]
+            for i in range(0, 2 * count, 2):
+                data[flat[i]] = flat[i + 1]
+        stack.append(SimDict(self.process.mem, data, thread))
+        return pc
+
+    def _h_build_slice(self, thread, frame: Frame, entry, pc: int) -> int:
+        stack = frame.stack
+        if entry[1] == 3:
+            step = stack.pop()
+        else:
+            step = None
+        stop = stack.pop()
+        start = stack.pop()
+        stack.append(slice(start, stop, step))
+        return pc
+
+    def _h_unpack_sequence(self, thread, frame: Frame, entry, pc: int) -> int:
+        stack = frame.stack
+        value = stack.pop()
+        items = self._sequence_items(value)
+        if len(items) != entry[1]:
+            raise SimRuntimeError(
+                f"cannot unpack {len(items)} values into {entry[1]} targets"
+            )
+        for item in reversed(items):
+            stack.append(item)
+        return pc
+
+    def _h_make_function(self, thread, frame: Frame, entry, pc: int) -> int:
+        # entry[1] is the pre-resolved CodeObject constant.
+        frame.stack.append(SimFunction(entry[1], frame.globals))
+        return pc
+
+    def _h_delete_name(self, thread, frame: Frame, entry, pc: int) -> int:
+        self._op_delete_name(frame, entry[1])
+        return pc
+
+    def _h_nop(self, thread, frame: Frame, entry, pc: int) -> int:
+        return pc
+
+    def _h_setup_except(self, thread, frame: Frame, entry, pc: int) -> int:
+        block_stack = frame.block_stack
+        if block_stack is None:
+            block_stack = frame.block_stack = []
+        block_stack.append((entry[1], len(frame.stack)))
+        return pc
+
+    def _h_pop_block(self, thread, frame: Frame, entry, pc: int) -> int:
+        block_stack = frame.block_stack
+        if not block_stack:
+            raise VMError("POP_BLOCK with no active block")
+        block_stack.pop()
+        return pc
+
     # -- opcode helpers ----------------------------------------------------------
 
     def _op_load_name(self, frame: Frame, name: str):
@@ -512,7 +1021,7 @@ class VM:
         elif name in self.process.builtins:
             frame.stack.append(self.process.builtins[name])
         else:
-            raise VMError(f"NameError: name {name!r} is not defined")
+            raise SimRuntimeError(f"NameError: name {name!r} is not defined")
         return frame
 
     @staticmethod
@@ -526,6 +1035,8 @@ class VM:
         old = namespace.get(name)
         incref(value)
         namespace[name] = value
+        if namespace is frame.globals:
+            self._globals_version += 1
         if old is not None and old is not value:
             decref(old)
 
@@ -534,14 +1045,16 @@ class VM:
         try:
             old = namespace.pop(name)
         except KeyError:
-            raise VMError(f"NameError: name {name!r} is not defined") from None
+            raise SimRuntimeError(f"NameError: name {name!r} is not defined") from None
+        if namespace is frame.globals:
+            self._globals_version += 1
         decref(old)
 
     def _op_binary(self, thread, symbol: str, left: Any, right: Any):
         if hasattr(left, "sim_binop"):
-            result = left.sim_binop(NativeContext(self.process, thread), symbol, right)
+            result = left.sim_binop(self._native_ctx(thread), symbol, right)
         elif hasattr(right, "sim_rbinop"):
-            result = right.sim_rbinop(NativeContext(self.process, thread), symbol, left)
+            result = right.sim_rbinop(self._native_ctx(thread), symbol, left)
         else:
             fn = _BINARY_FUNCS.get(symbol)
             if fn is None:
@@ -549,7 +1062,7 @@ class VM:
             try:
                 result = fn(left, right)
             except (TypeError, ZeroDivisionError, ValueError) as exc:
-                raise VMError(f"binary op {symbol!r} failed: {exc}") from None
+                raise SimRuntimeError(f"binary op {symbol!r} failed: {exc}") from None
         release_temp(left)
         if right is not result:
             release_temp(right)
@@ -565,7 +1078,7 @@ class VM:
                 try:
                     contained = left in right
                 except TypeError as exc:
-                    raise VMError(f"'in' failed: {exc}") from None
+                    raise SimRuntimeError(f"'in' failed: {exc}") from None
             return contained if symbol == "in" else not contained
         fn = _COMPARE_FUNCS.get(symbol)
         if fn is None:
@@ -573,7 +1086,7 @@ class VM:
         try:
             return fn(left, right)
         except TypeError as exc:
-            raise VMError(f"comparison {symbol!r} failed: {exc}") from None
+            raise SimRuntimeError(f"comparison {symbol!r} failed: {exc}") from None
 
     @staticmethod
     def _op_unary(symbol: str, value: Any):
@@ -587,7 +1100,7 @@ class VM:
             if symbol == "~":
                 return ~value
         except TypeError as exc:
-            raise VMError(f"unary {symbol!r} failed: {exc}") from None
+            raise SimRuntimeError(f"unary {symbol!r} failed: {exc}") from None
         raise VMError(f"unsupported unary operator {symbol!r}")
 
     def _op_subscr(self, thread, container: Any, index: Any):
@@ -596,11 +1109,11 @@ class VM:
         if isinstance(container, SimDict):
             return container.getitem(index)
         if hasattr(container, "sim_getitem"):
-            return container.sim_getitem(NativeContext(self.process, thread), index)
+            return container.sim_getitem(self._native_ctx(thread), index)
         try:
             return container[index]
         except (TypeError, KeyError, IndexError) as exc:
-            raise VMError(f"subscript failed: {exc}") from None
+            raise SimRuntimeError(f"subscript failed: {exc}") from None
 
     def _op_store_subscr(self, thread, container: Any, index: Any, value: Any) -> None:
         if isinstance(container, SimList):
@@ -608,9 +1121,9 @@ class VM:
         elif isinstance(container, SimDict):
             container.setitem(index, value)
         elif hasattr(container, "sim_setitem"):
-            container.sim_setitem(NativeContext(self.process, thread), index, value)
+            container.sim_setitem(self._native_ctx(thread), index, value)
         else:
-            raise VMError(
+            raise SimRuntimeError(
                 f"object of type {type(container).__name__} does not support item assignment"
             )
 
@@ -620,12 +1133,12 @@ class VM:
             return tuple(value.items)
         if isinstance(value, (tuple, list)):
             return tuple(value)
-        raise VMError(f"cannot unpack object of type {type(value).__name__}")
+        raise SimRuntimeError(f"cannot unpack object of type {type(value).__name__}")
 
     def _op_load_attr(self, value: Any, name: str):
         if hasattr(value, "sim_getattr"):
             return value.sim_getattr(name)
-        raise VMError(
+        raise SimRuntimeError(
             f"object of type {type(value).__name__} has no attribute access"
         )
 
@@ -636,39 +1149,42 @@ class VM:
         BlockRequest, or the _CALL_PUSHED_FRAME sentinel for Python calls."""
         npos, kwnames = call_arg
         stack = frame.stack
-        kwargs = {}
         if kwnames:
-            values = stack[len(stack) - len(kwnames) :]
-            del stack[len(stack) - len(kwnames) :]
+            nkw = len(kwnames)
+            values = stack[-nkw:]
+            del stack[-nkw:]
             kwargs = dict(zip(kwnames, values))
-        args = tuple(stack[len(stack) - npos :]) if npos else ()
+        else:
+            kwargs = {}
         if npos:
-            del stack[len(stack) - npos :]
+            args = tuple(stack[-npos:])
+            del stack[-npos:]
+        else:
+            args = ()
         callee = stack.pop()
 
         if isinstance(callee, SimFunction):
             if kwargs:
-                raise VMError(
-                    f"keyword arguments to simulated functions are not supported"
+                raise SimRuntimeError(
+                    "keyword arguments to simulated functions are not supported"
                 )
             new_frame = self.make_frame(callee, args, thread, back=frame)
             thread.frame = new_frame
-            if self.process.trace.active:
-                self.process.trace.fire(thread, new_frame, tracing.EVENT_CALL)
+            trace = self.process.trace
+            if trace.active:
+                trace.fire(thread, new_frame, tracing.EVENT_CALL)
             return _CALL_PUSHED_FRAME
 
         trace = self.process.trace
-        ctx = NativeContext(self.process, thread)
-        if isinstance(callee, BoundMethod):
-            if trace.active:
-                trace.fire(thread, frame, tracing.EVENT_C_CALL, callee.name)
-            result = callee.fn(ctx, args, kwargs)
-        elif isinstance(callee, NativeFunction):
+        ctx = self._native_ctx(thread)
+        if isinstance(callee, (BoundMethod, NativeFunction)):
             if trace.active:
                 trace.fire(thread, frame, tracing.EVENT_C_CALL, callee.name)
             result = callee.fn(ctx, args, kwargs)
         else:
-            raise VMError(f"object of type {type(callee).__name__} is not callable")
+            raise SimRuntimeError(
+                f"object of type {type(callee).__name__} is not callable"
+            )
 
         if isinstance(result, BlockRequest):
             # Keep trace call/return events balanced: fire c_return at the
@@ -678,29 +1194,17 @@ class VM:
             # tracers read the CPU clock, which does not advance while
             # blocked).
             if trace.active:
-                trace.fire(
-                    thread,
-                    frame,
-                    tracing.EVENT_C_RETURN,
-                    callee.name if hasattr(callee, "name") else "?",
-                )
+                trace.fire(thread, frame, tracing.EVENT_C_RETURN, callee.name)
             return result
         for arg in args:
             release_temp(arg)
-        for value in kwargs.values():
-            release_temp(value)
+        if kwargs:
+            for value in kwargs.values():
+                release_temp(value)
         # A floating receiver (e.g. ``make()[0:10].tolist()``) dies with
         # the call unless the result depends on it.
         if isinstance(callee, BoundMethod) and callee.receiver is not result:
             release_temp(callee.receiver)
         if trace.active:
-            trace.fire(
-                thread,
-                frame,
-                tracing.EVENT_C_RETURN,
-                callee.name if hasattr(callee, "name") else "?",
-            )
+            trace.fire(thread, frame, tracing.EVENT_C_RETURN, callee.name)
         return result
-
-
-_CALL_PUSHED_FRAME = object()

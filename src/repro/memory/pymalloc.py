@@ -31,7 +31,11 @@ ARENA_SIZE = 256 * 1024
 ARENA_USABLE_FRACTION = 0.9
 
 
-@dataclass
+#: Usable bytes contributed by one arena (float, as in the capacity math).
+_USABLE_PER_ARENA = ARENA_SIZE * ARENA_USABLE_FRACTION
+
+
+@dataclass(slots=True)
 class PyAllocation:
     """A live Python-object allocation handle."""
 
@@ -50,6 +54,9 @@ class PyMalloc:
         self._shim = shim
         self._arenas: List[Allocation] = []
         self._small_in_use = 0
+        # Cached _usable_capacity(); recomputed whenever _arenas changes so
+        # the hot alloc/free paths avoid a method call and float multiply.
+        self._usable = 0
         self._live: Dict[int, PyAllocation] = {}
         self._next_address = 0x5500_0000_0000
         # Statistics.
@@ -61,25 +68,26 @@ class PyMalloc:
     # -- capacity management -----------------------------------------------------
 
     def _usable_capacity(self) -> int:
-        return int(len(self._arenas) * ARENA_SIZE * ARENA_USABLE_FRACTION)
+        return self._usable
 
     def _ensure_capacity(self, nbytes: int, thread) -> None:
-        while self._small_in_use + nbytes > self._usable_capacity():
+        while self._small_in_use + nbytes > self._usable:
             # Arena mappings are internal allocator work: guard them so shim
             # listeners do not misattribute them as native program activity.
             with self._shim.allocator_guard(thread):
                 arena = self._shim.malloc(ARENA_SIZE, thread=thread, touch=True, tag="arena")
             self._arenas.append(arena)
+            self._usable = int(len(self._arenas) * _USABLE_PER_ARENA)
 
     def _maybe_release_arenas(self, thread) -> None:
         # Release trailing arenas once usage drops by more than two arenas'
         # worth of slack (mirrors pymalloc's lazy arena reclamation).
-        usable_per_arena = ARENA_SIZE * ARENA_USABLE_FRACTION
         while (
             len(self._arenas) > 1
-            and self._small_in_use < self._usable_capacity() - 2 * usable_per_arena
+            and self._small_in_use < self._usable - 2 * _USABLE_PER_ARENA
         ):
             arena = self._arenas.pop()
+            self._usable = int(len(self._arenas) * _USABLE_PER_ARENA)
             with self._shim.allocator_guard(thread):
                 self._shim.free(arena, thread=thread)
 
@@ -92,17 +100,16 @@ class PyMalloc:
         self.total_allocs += 1
         self.total_bytes_allocated += nbytes
         if nbytes <= SMALL_THRESHOLD:
-            self._ensure_capacity(nbytes, thread)
+            if self._small_in_use + nbytes > self._usable:
+                self._ensure_capacity(nbytes, thread)
             self._small_in_use += nbytes
             address = self._next_address
-            self._next_address += max(nbytes, 16)
-            py_alloc = PyAllocation(address=address, nbytes=nbytes, kind="small")
+            self._next_address = address + (nbytes if nbytes > 16 else 16)
+            py_alloc = PyAllocation(address, nbytes, "small")
         else:
             with self._shim.allocator_guard(thread):
                 backing = self._shim.malloc(nbytes, thread=thread, touch=True, tag="pyobj-large")
-            py_alloc = PyAllocation(
-                address=backing.address, nbytes=nbytes, kind="large", backing=backing
-            )
+            py_alloc = PyAllocation(backing.address, nbytes, "large", backing)
         self._live[py_alloc.address] = py_alloc
         return py_alloc
 
@@ -111,11 +118,14 @@ class PyMalloc:
         live = self._live.pop(py_alloc.address, None)
         if live is None:
             raise HeapError(f"pymalloc double free at {py_alloc.address:#x}")
+        nbytes = py_alloc.nbytes
         self.total_frees += 1
-        self.total_bytes_freed += py_alloc.nbytes
+        self.total_bytes_freed += nbytes
         if py_alloc.kind == "small":
-            self._small_in_use -= py_alloc.nbytes
-            self._maybe_release_arenas(thread)
+            in_use = self._small_in_use - nbytes
+            self._small_in_use = in_use
+            if len(self._arenas) > 1 and in_use < self._usable - 2 * _USABLE_PER_ARENA:
+                self._maybe_release_arenas(thread)
         else:
             assert py_alloc.backing is not None
             with self._shim.allocator_guard(thread):

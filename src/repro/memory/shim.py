@@ -138,37 +138,39 @@ class AllocatorShim:
     ) -> Allocation:
         """Allocate from the system allocator, publishing a malloc event."""
         alloc = self._sysalloc.malloc(nbytes, touch=touch, tag=tag)
-        self._publish(
-            "on_malloc",
-            AllocEvent(
-                kind="malloc",
-                nbytes=nbytes,
-                address=alloc.address,
-                domain=domain,
-                thread=thread,
-                wall=self._wall(),
-                cpu=self._cpu(),
-            ),
-            thread,
-        )
+        if self._listeners:  # skip event construction on the silent path
+            self._publish(
+                "on_malloc",
+                AllocEvent(
+                    kind="malloc",
+                    nbytes=nbytes,
+                    address=alloc.address,
+                    domain=domain,
+                    thread=thread,
+                    wall=self._wall(),
+                    cpu=self._cpu(),
+                ),
+                thread,
+            )
         return alloc
 
     def free(self, alloc: Allocation, *, thread=None, domain: str = DOMAIN_NATIVE) -> None:
         """Free to the system allocator, publishing a free event."""
         self._sysalloc.free(alloc)
-        self._publish(
-            "on_free",
-            AllocEvent(
-                kind="free",
-                nbytes=alloc.nbytes,
-                address=alloc.address,
-                domain=domain,
-                thread=thread,
-                wall=self._wall(),
-                cpu=self._cpu(),
-            ),
-            thread,
-        )
+        if self._listeners:  # skip event construction on the silent path
+            self._publish(
+                "on_free",
+                AllocEvent(
+                    kind="free",
+                    nbytes=alloc.nbytes,
+                    address=alloc.address,
+                    domain=domain,
+                    thread=thread,
+                    wall=self._wall(),
+                    cpu=self._cpu(),
+                ),
+                thread,
+            )
 
     def memcpy(self, nbytes: int, *, thread=None, direction: str = "host") -> None:
         """Record a memcpy of ``nbytes`` (the copy itself is abstract)."""

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 LineKey = Tuple[str, int]  # (filename, lineno)
 
 
-@dataclass
+@dataclass(slots=True)
 class LineTruth:
     """Ground truth for one source line."""
 
@@ -75,13 +75,24 @@ class GroundTruth:
     # -- recording (called by the VM / native context) ---------------------------
 
     def record_python_time(self, thread, seconds: float) -> None:
-        loc = self._location(thread)
+        # Hot path: called by the VM on every line transition. Inlines
+        # _location()/_line() to avoid tuple churn and extra calls.
         self.total_python_time += seconds
-        if loc is None:
+        if thread is None:
             return
-        filename, lineno, func = loc
-        self._line((filename, lineno)).python_time += seconds
-        self.functions[(filename, func)] = self.functions.get((filename, func), 0.0) + seconds
+        frame = thread.frame
+        if frame is None:
+            return
+        filename, lineno, func = frame.location()
+        lines = self.lines
+        key = (filename, lineno)
+        truth = lines.get(key)
+        if truth is None:
+            truth = lines[key] = LineTruth()
+        truth.python_time += seconds
+        functions = self.functions
+        fkey = (filename, func)
+        functions[fkey] = functions.get(fkey, 0.0) + seconds
 
     def record_native_time(self, thread, seconds: float) -> None:
         loc = self._location(thread)
@@ -101,20 +112,35 @@ class GroundTruth:
         self._line((filename, lineno)).system_time += seconds
 
     def record_alloc(self, thread, nbytes: int, domain: str) -> None:
-        loc = self._location(thread)
-        if loc is None:
+        # Hot path: called for every churn allocation; see record_python_time.
+        if thread is None:
             return
-        truth = self._line(loc[:2])
+        frame = thread.frame
+        if frame is None:
+            return
+        filename, lineno, _ = frame.location()
+        lines = self.lines
+        key = (filename, lineno)
+        truth = lines.get(key)
+        if truth is None:
+            truth = lines[key] = LineTruth()
         if domain == "python":
             truth.python_alloc_bytes += nbytes
         else:
             truth.native_alloc_bytes += nbytes
 
     def record_free(self, thread, nbytes: int, domain: str) -> None:
-        loc = self._location(thread)
-        if loc is None:
+        if thread is None:
             return
-        truth = self._line(loc[:2])
+        frame = thread.frame
+        if frame is None:
+            return
+        filename, lineno, _ = frame.location()
+        lines = self.lines
+        key = (filename, lineno)
+        truth = lines.get(key)
+        if truth is None:
+            truth = lines[key] = LineTruth()
         if domain == "python":
             truth.python_free_bytes += nbytes
         else:

@@ -32,16 +32,27 @@ class MemSubsystem:
     # -- python-domain allocations (via the PyMem hooks) ------------------------
 
     def py_alloc(self, nbytes: int, thread=None) -> PyAllocation:
-        handle = self.hooks.alloc(nbytes, thread=thread)
-        if self.ground_truth is not None:
-            self.ground_truth.record_alloc(thread, nbytes, "python")
-        self._update_peak()
+        # Hot path (object churn): dispatch straight to the installed
+        # allocator and inline _update_peak()/logical_footprint().
+        handle = self.hooks._current.alloc(nbytes, thread=thread)
+        gt = self.ground_truth
+        if gt is not None:
+            gt.record_alloc(thread, nbytes, "python")
+        pymalloc = self.pymalloc
+        footprint = (
+            pymalloc.total_bytes_allocated
+            - pymalloc.total_bytes_freed
+            + self._native_live_bytes
+        )
+        if footprint > self.peak_footprint:
+            self.peak_footprint = footprint
         return handle
 
     def py_free(self, handle: PyAllocation, thread=None) -> None:
-        self.hooks.free(handle, thread=thread)
-        if self.ground_truth is not None:
-            self.ground_truth.record_free(thread, handle.nbytes, "python")
+        self.hooks._current.free(handle, thread=thread)
+        gt = self.ground_truth
+        if gt is not None:
+            gt.record_free(thread, handle.nbytes, "python")
 
     def py_scratch(self, nbytes: int, thread=None) -> None:
         """Allocate-and-free a transient Python object of ``nbytes``.

@@ -23,7 +23,7 @@ the timer level, so PROF ticks on CPU time like VIRTUAL).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import SignalError
 
@@ -126,6 +126,17 @@ class SignalManager:
         return self._clock.cpu
 
     def _on_advance(self, wall_dt: float, cpu_dt: float) -> None:
+        self.poll()
+
+    def poll(self) -> None:
+        """Expire any timers whose deadline has passed on the current clock.
+
+        Timer state depends only on the clock's *absolute* time bases, so
+        polling at arbitrary points is semantically identical to polling on
+        every clock advance — the interpreter's fast path exploits this by
+        polling only when a cached deadline (see :meth:`next_deadlines`)
+        has been crossed.
+        """
         for timer in self._timers.values():
             base = self._time_base(timer.kind)
             # Catch up over any number of missed intervals; all expirations
@@ -139,6 +150,25 @@ class SignalManager:
             if fired:
                 timer.fired_at_wall = self._clock.wall
                 self.raise_signal(_TIMER_SIGNAL[timer.kind])
+
+    def next_deadlines(self) -> Tuple[float, float]:
+        """``(cpu_deadline, wall_deadline)`` of the earliest armed timers.
+
+        The CPU slot covers ITIMER_VIRTUAL and ITIMER_PROF (both tick on
+        process CPU time here); the wall slot covers ITIMER_REAL. Unarmed
+        slots are ``inf``, so callers can use plain ``>=`` comparisons as a
+        no-op fast path. The values are only a *hint* for when to call
+        :meth:`poll` next — they go stale whenever ``setitimer`` runs.
+        """
+        cpu_dl = float("inf")
+        wall_dl = float("inf")
+        for timer in self._timers.values():
+            if timer.kind == Timers.ITIMER_REAL:
+                if timer.deadline < wall_dl:
+                    wall_dl = timer.deadline
+            elif timer.deadline < cpu_dl:
+                cpu_dl = timer.deadline
+        return cpu_dl, wall_dl
 
     def next_wall_deadline(self) -> Optional[float]:
         """Wall time of the next ITIMER_REAL expiry (None when disarmed).

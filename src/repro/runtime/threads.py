@@ -57,6 +57,8 @@ class SimThread:
         self.churn: deque = deque()
         self.started_at = 0.0
         self.finished_at = 0.0
+        #: Per-thread NativeContext, cached by the VM on first native call.
+        self.native_ctx = None
 
     @property
     def is_alive(self) -> bool:

@@ -46,12 +46,17 @@ _FIXED_EFFECTS = {
     op.POP_TOP: (1, 0),
     op.MAKE_FUNCTION: (0, 1),
     op.NOP: (0, 0),
+    op.SETUP_EXCEPT: (0, 0),
+    op.POP_BLOCK: (0, 0),
 }
 
 #: Opcodes that transfer control unconditionally (no fallthrough).
 TERMINATORS = frozenset({op.JUMP, op.RETURN_VALUE})
 
-#: Opcodes with both a jump edge and a fallthrough edge.
+#: Opcodes with both a jump edge and a fallthrough edge. ``SETUP_EXCEPT``
+#: is modelled as a branch: its jump edge is the exception path into the
+#: handler, which enters at exactly the stack depth recorded when the
+#: block was pushed (the VM truncates the operand stack on unwind).
 BRANCHES = frozenset(
     {
         op.POP_JUMP_IF_FALSE,
@@ -59,6 +64,7 @@ BRANCHES = frozenset(
         op.JUMP_IF_FALSE_OR_POP,
         op.JUMP_IF_TRUE_OR_POP,
         op.FOR_ITER,
+        op.SETUP_EXCEPT,
     }
 )
 
@@ -103,6 +109,8 @@ def jump_edge_delta(instr: Instruction) -> int:
         return -1  # exhausted: the iterator is popped
     if opcode in (op.JUMP_IF_FALSE_OR_POP, op.JUMP_IF_TRUE_OR_POP):
         return 0  # short-circuit value stays on the stack
+    if opcode == op.SETUP_EXCEPT:
+        return 0  # handler entered at the depth recorded at SETUP_EXCEPT
     if opcode in (op.POP_JUMP_IF_FALSE, op.POP_JUMP_IF_TRUE):
         return -1
     if opcode == op.JUMP:

@@ -5,8 +5,321 @@ the tests (``REPRO_VERIFY=1``): each workload, example source, and ad-hoc
 program a test compiles is verified before it runs, so a compiler
 regression that emits malformed bytecode fails loudly at the source
 instead of corrupting a VM run somewhere downstream.
+
+Also hosts the seeded random-program generator used by the differential
+fuzzer (``test_vm_fuzz_differential.py``). It lives here so a failure is
+reproducible from the seed printed in the test id alone:
+
+    python -c "from tests.conftest import generate_program; \\
+               print(generate_program(1234))"
 """
 
+from __future__ import annotations
+
 import os
+import random
+from typing import List
 
 os.environ.setdefault("REPRO_VERIFY", "1")
+
+
+# ---------------------------------------------------------------------------
+# Seeded random-program generator (differential fuzzing)
+# ---------------------------------------------------------------------------
+#
+# Generates programs restricted to the subset where the simulated VM and
+# CPython agree observably:
+#
+# * integer arithmetic (+ - * // %) with divisors guarded nonzero;
+# * comparisons, and/or, if/else, bounded while (fuel counter), for+range;
+# * functions with positional parameters (reads restricted to names
+#   definitely assigned in the local scope, so CPython's UnboundLocalError
+#   semantics can never diverge from the VM's global fallback);
+# * lists (literal, append, guarded indexing) and dicts (literal,
+#   subscript store, .get with default, ``in``);
+# * try/except with deterministic failures (division by zero,
+#   out-of-range list index, missing dict key);
+# * printing of scalars only (container reprs differ between SimList
+#   and host list, so programs print lengths/sums/elements instead).
+#
+# Definite-assignment is tracked conservatively: bindings created inside
+# a branch, loop, or try body are forgotten at the join point, so every
+# read is from a name assigned on all paths.
+
+
+class _Scope:
+    def __init__(self, ints, lists, dicts):
+        self.ints = set(ints)
+        self.lists = set(lists)
+        self.dicts = set(dicts)
+
+    def snapshot(self):
+        return (set(self.ints), set(self.lists), set(self.dicts))
+
+    def restore(self, snap):
+        self.ints, self.lists, self.dicts = (set(s) for s in snap)
+
+
+class ProgramGenerator:
+    """Deterministic random program generator for differential fuzzing."""
+
+    GLOBAL_INTS = ["a", "b", "c", "d", "e"]
+    GLOBAL_LISTS = ["xs", "ys"]
+    GLOBAL_DICTS = ["m"]
+    LOCAL_INTS = ["t0", "t1", "t2"]
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.functions: List[str] = []  # names of generated functions
+        self.fuel_counter = 0
+
+    # -- expressions --------------------------------------------------------
+
+    def int_expr(self, scope: _Scope, depth: int = 0) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if depth >= 3 or roll < 0.35:
+            if scope.ints and rng.random() < 0.6:
+                return rng.choice(sorted(scope.ints))
+            return str(rng.randint(-50, 50))
+        if roll < 0.75:
+            left = self.int_expr(scope, depth + 1)
+            right = self.int_expr(scope, depth + 1)
+            op = rng.choice(["+", "-", "*", "//", "%"])
+            if op in ("//", "%"):
+                # x % 7 is in [0, 6] for any int x, so the divisor is >= 3.
+                return f"(({left}) {op} ((({right}) % 7) + 3))"
+            return f"(({left}) {op} ({right}))"
+        if roll < 0.85 and scope.lists:
+            xs = rng.choice(sorted(scope.lists))
+            idx = self.int_expr(scope, depth + 1)
+            return f"({xs}[(({idx}) % len({xs}))])"
+        if roll < 0.92 and scope.dicts:
+            mname = rng.choice(sorted(scope.dicts))
+            key = self.int_expr(scope, depth + 1)
+            default = rng.randint(-9, 9)
+            return f"({mname}.get((({key}) % 5), {default}))"
+        if scope.lists and rng.random() < 0.5:
+            xs = rng.choice(sorted(scope.lists))
+            return rng.choice([f"len({xs})", f"sum({xs})"])
+        return str(rng.randint(-20, 20))
+
+    def cond_expr(self, scope: _Scope) -> str:
+        rng = self.rng
+        left = self.int_expr(scope, 1)
+        right = self.int_expr(scope, 1)
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        cond = f"({left}) {op} ({right})"
+        if scope.dicts and rng.random() < 0.2:
+            mname = rng.choice(sorted(scope.dicts))
+            key = rng.randint(0, 6)
+            member = f"({key} in {mname})"
+            cond = f"{cond} {rng.choice(['and', 'or'])} {member}"
+        elif rng.random() < 0.25:
+            other = f"({self.int_expr(scope, 2)}) != 0"
+            cond = f"{cond} {rng.choice(['and', 'or'])} {other}"
+        return cond
+
+    # -- statements ---------------------------------------------------------
+
+    def statements(
+        self,
+        scope: _Scope,
+        indent: str,
+        count: int,
+        depth: int = 0,
+        in_function: bool = False,
+    ) -> List[str]:
+        lines: List[str] = []
+        for _ in range(count):
+            lines.extend(self.statement(scope, indent, depth, in_function))
+        if not lines:
+            lines.append(f"{indent}pass")
+        return lines
+
+    def statement(
+        self, scope: _Scope, indent: str, depth: int, in_function: bool
+    ) -> List[str]:
+        rng = self.rng
+        pool = self.LOCAL_INTS if in_function else self.GLOBAL_INTS
+        choices = ["assign", "assign", "print"]
+        # Fuel counters (_fN) bound every while loop; they must never be
+        # re-assigned by generated code or termination is lost.
+        augment_targets = [n for n in sorted(scope.ints) if not n.startswith("_f")]
+        if augment_targets:
+            choices.append("augment")
+        if depth < 2:
+            choices.extend(["if", "while", "for", "try"])
+        if not in_function:
+            if len(scope.lists) < len(self.GLOBAL_LISTS):
+                choices.append("newlist")
+            if scope.lists:
+                choices.extend(["append", "setitem"])
+            if len(scope.dicts) < len(self.GLOBAL_DICTS):
+                choices.append("newdict")
+            if scope.dicts:
+                choices.append("dictstore")
+            if self.functions:
+                choices.append("call")
+        kind = rng.choice(choices)
+
+        if kind == "assign":
+            target = rng.choice(pool)
+            line = f"{indent}{target} = {self.int_expr(scope)}"
+            scope.ints.add(target)
+            return [line]
+        if kind == "augment":
+            target = rng.choice(augment_targets)
+            op = rng.choice(["+", "-", "*"])
+            return [f"{indent}{target} {op}= {self.int_expr(scope)}"]
+        if kind == "print":
+            nargs = rng.randint(1, 3)
+            args = ", ".join(self.int_expr(scope, 1) for _ in range(nargs))
+            return [f"{indent}print({args})"]
+        if kind == "if":
+            cond = self.cond_expr(scope)
+            snap = scope.snapshot()
+            body = self.statements(scope, indent + "    ", rng.randint(1, 3),
+                                   depth + 1, in_function)
+            scope.restore(snap)
+            lines = [f"{indent}if {cond}:"] + body
+            if rng.random() < 0.6:
+                orelse = self.statements(scope, indent + "    ",
+                                         rng.randint(1, 2), depth + 1, in_function)
+                scope.restore(snap)
+                lines += [f"{indent}else:"] + orelse
+            return lines
+        if kind == "while":
+            fuel = f"_f{self.fuel_counter}"
+            self.fuel_counter += 1
+            scope.ints.add(fuel)
+            cond = self.cond_expr(scope)
+            snap = scope.snapshot()
+            body = self.statements(scope, indent + "    ", rng.randint(1, 3),
+                                   depth + 1, in_function)
+            scope.restore(snap)
+            return [
+                f"{indent}{fuel} = {rng.randint(1, 6)}",
+                f"{indent}while {fuel} > 0 and ({cond}):",
+                f"{indent}    {fuel} = {fuel} - 1",
+            ] + body
+        if kind == "for":
+            loop_var = "i" if in_function else rng.choice(["i", "j"])
+            bound = rng.randint(0, 5)
+            snap = scope.snapshot()
+            scope.ints.add(loop_var)
+            body = self.statements(scope, indent + "    ", rng.randint(1, 3),
+                                   depth + 1, in_function)
+            scope.restore(snap)
+            return [f"{indent}for {loop_var} in range({bound}):"] + body
+        if kind == "try":
+            target = rng.choice(pool)
+            snap = scope.snapshot()
+            pre = []
+            if rng.random() < 0.5:
+                pre = self.statement(scope, indent + "    ", depth + 1, in_function)
+            risky = self.risky_expr(scope)
+            scope.restore(snap)
+            lines = [f"{indent}try:"]
+            lines += pre
+            lines.append(f"{indent}    {target} = {risky}")
+            lines.append(f"{indent}except:")
+            lines.append(f"{indent}    {target} = {self.rng.randint(-5, 5)}")
+            scope.ints.add(target)
+            return lines
+        if kind == "newlist":
+            free = sorted(set(self.GLOBAL_LISTS) - scope.lists)
+            name = rng.choice(free)
+            elems = ", ".join(
+                self.int_expr(scope, 2) for _ in range(rng.randint(1, 4))
+            )
+            scope.lists.add(name)
+            return [f"{indent}{name} = [{elems}]"]
+        if kind == "append":
+            xs = rng.choice(sorted(scope.lists))
+            return [f"{indent}{xs}.append({self.int_expr(scope)})"]
+        if kind == "setitem":
+            xs = rng.choice(sorted(scope.lists))
+            idx = self.int_expr(scope, 1)
+            return [f"{indent}{xs}[(({idx}) % len({xs}))] = {self.int_expr(scope)}"]
+        if kind == "newdict":
+            free = sorted(set(self.GLOBAL_DICTS) - scope.dicts)
+            name = rng.choice(free)
+            pairs = ", ".join(
+                f"{rng.randint(0, 4)}: {self.int_expr(scope, 2)}"
+                for _ in range(rng.randint(1, 3))
+            )
+            scope.dicts.add(name)
+            return [f"{indent}{name} = {{{pairs}}}"]
+        if kind == "dictstore":
+            mname = rng.choice(sorted(scope.dicts))
+            key = self.int_expr(scope, 1)
+            return [f"{indent}{mname}[(({key}) % 5)] = {self.int_expr(scope)}"]
+        if kind == "call":
+            fname = rng.choice(self.functions)
+            target = rng.choice(pool)
+            args = ", ".join(self.int_expr(scope, 1) for _ in range(2))
+            scope.ints.add(target)
+            return [f"{indent}{target} = {fname}({args})"]
+        raise AssertionError(f"unhandled statement kind {kind}")
+
+    def risky_expr(self, scope: _Scope) -> str:
+        """An expression that deterministically raises, or is plainly safe."""
+        rng = self.rng
+        options = ["zerodiv", "safe"]
+        if scope.lists:
+            options.append("index")
+        if scope.dicts:
+            options.append("key")
+        choice = rng.choice(options)
+        if choice == "zerodiv":
+            e = self.int_expr(scope, 2)
+            return f"({self.int_expr(scope, 2)}) // (({e}) - ({e}))"
+        if choice == "index":
+            xs = rng.choice(sorted(scope.lists))
+            # Lists only grow by single appends from <=4 literal elements
+            # inside short programs; index 1000+ is always out of range.
+            return f"{xs}[{rng.randint(1000, 2000)}]"
+        if choice == "key":
+            mname = rng.choice(sorted(scope.dicts))
+            # Keys are always taken mod 5; 100+ is always missing.
+            return f"{mname}[{rng.randint(100, 200)}]"
+        return self.int_expr(scope)
+
+    # -- whole programs ------------------------------------------------------
+
+    def function_def(self, index: int) -> List[str]:
+        name = f"fn{index}"
+        scope = _Scope(["p0", "p1"], [], [])
+        lines = [f"def {name}(p0, p1):"]
+        lines += self.statements(scope, "    ", self.rng.randint(2, 4),
+                                 depth=1, in_function=True)
+        lines.append(f"    return {self.int_expr(scope)}")
+        self.functions.append(name)
+        return lines
+
+    def program(self) -> str:
+        rng = self.rng
+        lines: List[str] = []
+        for index in range(rng.randint(0, 2)):
+            lines += self.function_def(index)
+        scope = _Scope([], [], [])
+        # Seed a couple of bindings so early expressions have variables.
+        for name in rng.sample(self.GLOBAL_INTS, 2):
+            lines.append(f"{name} = {rng.randint(-10, 10)}")
+            scope.ints.add(name)
+        lines += self.statements(scope, "", rng.randint(6, 14))
+        # Deterministic tail: observe every binding through scalars only.
+        for name in sorted(scope.ints):
+            lines.append(f"print({name!r}, {name})")
+        for name in sorted(scope.lists):
+            lines.append(f"print({name!r}, len({name}), sum({name}))")
+        for name in sorted(scope.dicts):
+            for key in range(5):
+                lines.append(f"print({name!r}, {key}, {name}.get({key}, -1))")
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed: int) -> str:
+    """The program for ``seed`` — the fuzzer's reproduction entry point."""
+    return ProgramGenerator(seed).program()

@@ -1,0 +1,98 @@
+"""The compiled-code cache: hits, keying, and the REPRO_VERIFY regression.
+
+The regression this file pins down: the cache key must include the
+*resolved* verify flag. Toggling ``REPRO_VERIFY`` between two runs of the
+same source must recompile (distinct cache entries), never serve a code
+object compiled under the other verification setting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp.astcompile import (
+    clear_code_cache,
+    code_cache_stats,
+    compile_source,
+)
+
+SOURCE = "a = 1\nb = a + 2\nprint(b)\n"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_code_cache()
+    yield
+    clear_code_cache()
+
+
+def test_repeat_compile_hits_cache():
+    first = compile_source(SOURCE, "cache.py")
+    second = compile_source(SOURCE, "cache.py")
+    assert second is first  # shared immutable code object
+    stats = code_cache_stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["size"] == 1
+
+
+def test_distinct_sources_do_not_collide():
+    first = compile_source(SOURCE, "cache.py")
+    other = compile_source(SOURCE + "c = 9\n", "cache.py")
+    assert other is not first
+    assert code_cache_stats()["size"] == 2
+
+
+def test_filename_is_part_of_the_key():
+    first = compile_source(SOURCE, "one.py")
+    second = compile_source(SOURCE, "two.py")
+    assert second is not first
+    assert second.filename == "two.py"
+
+
+def test_verify_toggle_bypasses_cache(monkeypatch):
+    """Regression: REPRO_VERIFY toggled between runs must recompile."""
+    monkeypatch.setenv("REPRO_VERIFY", "0")
+    unverified = compile_source(SOURCE, "toggle.py")
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    verified = compile_source(SOURCE, "toggle.py")
+    assert verified is not unverified  # distinct entries, not a stale hit
+    stats = code_cache_stats()
+    assert stats["misses"] == 2
+    assert stats["hits"] == 0
+    assert stats["size"] == 2
+    # Each setting now hits its own entry.
+    assert compile_source(SOURCE, "toggle.py") is verified
+    monkeypatch.setenv("REPRO_VERIFY", "0")
+    assert compile_source(SOURCE, "toggle.py") is unverified
+    assert code_cache_stats()["hits"] == 2
+
+
+def test_explicit_verify_argument_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    explicit = compile_source(SOURCE, "explicit.py", verify=False)
+    env_resolved = compile_source(SOURCE, "explicit.py")
+    assert explicit is not env_resolved
+
+
+def test_cache_can_be_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_CACHE", "0")
+    first = compile_source(SOURCE, "off.py")
+    second = compile_source(SOURCE, "off.py")
+    assert second is not first
+    stats = code_cache_stats()
+    assert stats["size"] == 0
+    assert stats["hits"] == 0
+
+
+def test_cache_is_bounded_lru():
+    for index in range(200):
+        compile_source(f"x = {index}\n", "lru.py")
+    stats = code_cache_stats()
+    assert stats["size"] <= 128
+    # The most recent entry is still cached, the oldest evicted.
+    before = code_cache_stats()["hits"]
+    compile_source("x = 199\n", "lru.py")
+    assert code_cache_stats()["hits"] == before + 1
+    compile_source("x = 0\n", "lru.py")
+    assert code_cache_stats()["hits"] == before + 1  # miss: was evicted

@@ -38,10 +38,12 @@ def feed_growth(detector, location, n, footprint_start=0, freed=False, nbytes=1 
 
 
 def test_likelihood_formula_matches_paper():
-    # 1 - (frees+1)/(mallocs-frees+2)
+    # 1 - (frees+1)/(mallocs+2): Laplace's Rule of Succession, always a
+    # valid probability (the never-freed progression matches the paper).
     assert leak_likelihood(10, 0) == pytest.approx(1 - 1 / 12)
-    assert leak_likelihood(10, 10) == pytest.approx(1 - 11 / 2)
+    assert leak_likelihood(10, 10) == pytest.approx(1 - 11 / 12)
     assert leak_likelihood(0, 0) == pytest.approx(0.5)
+    assert 0.0 <= leak_likelihood(10, 10) < 1.0
 
 
 def test_likelihood_needs_about_20_observations_for_95():

@@ -1,0 +1,263 @@
+"""Property-based tests of profiler invariants against the ground truth.
+
+Three families of invariants, each driven by randomized schedules:
+
+* **CPU shares.** For every line the ground truth records, the Python,
+  native, and system components must account for the line's total time
+  exactly — their normalized shares sum to 1 within float tolerance —
+  and the per-line components must roll up to the process totals.
+* **Footprint.** Under any interleaving of allocations and frees of live
+  handles, the logical footprint is never negative and never exceeds the
+  recorded peak.
+* **Leak scores.** The Laplace leak likelihood is monotone: more
+  unreclaimed allocations ⇒ a higher score, more reclaims ⇒ a lower one;
+  and any schedule fed through the LeakDetector yields internally
+  consistent (mallocs, frees) counters.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ScaleneConfig
+from repro.core.leak_detector import LeakDetector, leak_likelihood
+from repro.runtime.clock import VirtualClock
+from repro.runtime.ground_truth import GroundTruth
+from repro.runtime.memsys import MemSubsystem
+
+
+class FakeFrame:
+    def __init__(self, filename="gt.py", lineno=1, name="fn"):
+        self._loc = (filename, lineno, name)
+        self.back = None
+
+    def location(self):
+        return self._loc
+
+
+class FakeThread:
+    def __init__(self, frame=None):
+        self.frame = frame or FakeFrame()
+        self.ident = 1
+        self.is_main = True
+
+
+# ---------------------------------------------------------------------------
+# CPU shares
+# ---------------------------------------------------------------------------
+
+time_events = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),  # lineno
+        st.sampled_from(["python", "native", "system"]),
+        st.floats(min_value=1e-6, max_value=0.5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def record_schedule(events):
+    gt = GroundTruth()
+    thread = FakeThread()
+    for lineno, kind, seconds in events:
+        thread.frame = FakeFrame(lineno=lineno)
+        if kind == "python":
+            gt.record_python_time(thread, seconds)
+        elif kind == "native":
+            gt.record_native_time(thread, seconds)
+        else:
+            gt.record_system_time(thread, seconds)
+    return gt
+
+
+@settings(max_examples=80, deadline=None)
+@given(time_events)
+def test_cpu_shares_sum_to_one_per_line(events):
+    gt = record_schedule(events)
+    for key, line in gt.lines.items():
+        total = line.total_time
+        assert total > 0
+        shares = (
+            line.python_time / total,
+            line.native_time / total,
+            line.system_time / total,
+        )
+        assert all(0.0 <= s <= 1.0 + 1e-9 for s in shares), (key, shares)
+        assert abs(sum(shares) - 1.0) < 1e-9, (key, shares)
+
+
+@settings(max_examples=80, deadline=None)
+@given(time_events)
+def test_per_line_times_roll_up_to_totals(events):
+    gt = record_schedule(events)
+    tol = 1e-9
+    assert abs(sum(l.python_time for l in gt.lines.values()) - gt.total_python_time) < tol
+    assert abs(sum(l.native_time for l in gt.lines.values()) - gt.total_native_time) < tol
+    assert abs(sum(l.system_time for l in gt.lines.values()) - gt.total_system_time) < tol
+
+
+# ---------------------------------------------------------------------------
+# Footprint
+# ---------------------------------------------------------------------------
+
+# A schedule is a list of (action, size) where action "alloc" allocates
+# `size` bytes and "free" releases the oldest (or newest) live handle.
+footprint_schedules = st.lists(
+    st.tuples(
+        st.sampled_from(["alloc", "free_oldest", "free_newest"]),
+        st.integers(min_value=1, max_value=600_000),
+        st.sampled_from(["python", "native"]),
+    ),
+    max_size=150,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(footprint_schedules)
+def test_footprint_never_negative_and_bounded_by_peak(schedule):
+    mem = MemSubsystem(VirtualClock(), ground_truth=GroundTruth())
+    thread = FakeThread()
+    live = []  # (domain, handle)
+    for action, size, domain in schedule:
+        if action == "alloc":
+            if domain == "python":
+                live.append(("python", mem.py_alloc(size, thread)))
+            else:
+                live.append(("native", mem.native_alloc(size, thread)))
+        elif live:
+            index = 0 if action == "free_oldest" else -1
+            dom, handle = live.pop(index)
+            if dom == "python":
+                mem.py_free(handle, thread)
+            else:
+                mem.native_free(handle, thread)
+        footprint = mem.logical_footprint()
+        assert footprint >= 0
+        assert footprint <= mem.peak_footprint
+    # Draining everything returns the footprint to zero exactly.
+    for dom, handle in live:
+        if dom == "python":
+            mem.py_free(handle, thread)
+        else:
+            mem.native_free(handle, thread)
+    assert mem.logical_footprint() == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(footprint_schedules)
+def test_ground_truth_net_bytes_match_footprint(schedule):
+    """The oracle's per-line net bytes equal the live footprint."""
+    gt = GroundTruth()
+    mem = MemSubsystem(VirtualClock(), ground_truth=gt)
+    thread = FakeThread()
+    live = []
+    for action, size, domain in schedule:
+        if action == "alloc":
+            if domain == "python":
+                live.append(("python", mem.py_alloc(size, thread)))
+            else:
+                live.append(("native", mem.native_alloc(size, thread)))
+        elif live:
+            index = 0 if action == "free_oldest" else -1
+            dom, handle = live.pop(index)
+            if dom == "python":
+                mem.py_free(handle, thread)
+            else:
+                mem.native_free(handle, thread)
+    net = sum(line.net_bytes for line in gt.lines.values())
+    assert net == mem.logical_footprint()
+
+
+# ---------------------------------------------------------------------------
+# Leak scores
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_leak_likelihood_monotone_in_reclaim_velocity(mallocs, frees):
+    frees = min(frees, mallocs)
+    score = leak_likelihood(mallocs, frees)
+    assert 0.0 <= score < 1.0
+    # One more reclaim (free) never raises the score.
+    if frees < mallocs:
+        assert leak_likelihood(mallocs, frees + 1) <= score
+    # One more unreclaimed allocation never lowers it.
+    assert leak_likelihood(mallocs + 1, frees) >= score
+
+
+leak_schedules = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),  # site index (lineno)
+        st.integers(min_value=1, max_value=100),  # growth per sample
+        st.booleans(),  # whether the tracked object gets freed
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(leak_schedules)
+def test_leak_detector_counters_consistent(schedule):
+    detector = LeakDetector(ScaleneConfig())
+    footprint = 0
+    address = 0
+    for lineno, growth, freed in schedule:
+        footprint += growth  # strictly growing: every sample is high-water
+        address += 1
+        detector.on_growth_sample(
+            footprint=footprint,
+            address=address,
+            nbytes=growth,
+            location=("leak.py", lineno, "fn"),
+            wall=float(address),
+        )
+        if freed:
+            detector.on_free(address)
+    detector.finalize()
+    for lineno in range(8):
+        mallocs, frees = detector.site_score(("leak.py", lineno, "fn"))
+        assert 0 <= frees <= mallocs
+        if mallocs:
+            score = leak_likelihood(mallocs, frees)
+            assert 0.0 <= score < 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(leak_schedules)
+def test_leak_detector_all_freed_scores_low(schedule):
+    """If every tracked object is reclaimed, no site can look leakier
+    than the same history with nothing reclaimed."""
+    def run(force_freed):
+        detector = LeakDetector(ScaleneConfig())
+        footprint = 0
+        address = 0
+        for lineno, growth, _ in schedule:
+            footprint += growth
+            address += 1
+            detector.on_growth_sample(
+                footprint=footprint,
+                address=address,
+                nbytes=growth,
+                location=("leak.py", lineno, "fn"),
+                wall=float(address),
+            )
+            if force_freed:
+                detector.on_free(address)
+        detector.finalize()
+        return detector
+
+    freed = run(True)
+    leaked = run(False)
+    for lineno in range(8):
+        loc = ("leak.py", lineno, "fn")
+        m_f, f_f = freed.site_score(loc)
+        m_l, f_l = leaked.site_score(loc)
+        assert m_f == m_l
+        if m_f:
+            assert leak_likelihood(m_f, f_f) <= leak_likelihood(m_l, f_l)

@@ -1,0 +1,119 @@
+"""Golden-file tests for the text and JSON report backends.
+
+A pinned workload is profiled end-to-end (the simulation runs on virtual
+time, so the resulting :class:`ProfileData` is bit-for-bit deterministic)
+and the rendered text/JSON output is compared against checked-in golden
+files in ``tests/golden/``.
+
+Volatile fields are normalized before comparison: path-like strings are
+reduced to basenames and floats are rounded, so the goldens are stable
+across machines and insignificant float-formatting drift.
+
+To regenerate after an intentional output change::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/test_report_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+UPDATE = os.environ.get("REPRO_UPDATE_GOLDEN", "") not in ("", "0")
+
+#: Pinned workload: a Python-heavy loop, a long native call, blocking
+#: sleep, persistent allocation growth, and transient allocation volume —
+#: one line for each column family of the report.
+SOURCE = (
+    "s = 0\n"
+    "for i in range(4000):\n"
+    "    s = s + i * 3\n"
+    "native_work(1.0)\n"
+    "sleep(0.5)\n"
+    "bufs = []\n"
+    "for j in range(16):\n"
+    "    bufs.append(py_buffer(1048576))\n"
+    "scratch(8388608)\n"
+    "print(s)\n"
+)
+
+
+def build_profile():
+    process = SimProcess(SOURCE, filename="golden.py")
+    return Scalene.run(process, mode="full")
+
+
+def normalize_text(text: str) -> str:
+    # Paths → basenames (keeps goldens machine-independent).
+    text = re.sub(r"(/[\w./-]+/)([\w.]+\.py)", r"\2", text)
+    # Collapse trailing whitespace the renderer may leave on padded rows.
+    return "\n".join(line.rstrip() for line in text.splitlines()) + "\n"
+
+
+def _round_floats(value, places=4):
+    if isinstance(value, float):
+        return round(value, places)
+    if isinstance(value, list):
+        return [_round_floats(v, places) for v in value]
+    if isinstance(value, dict):
+        return {k: _round_floats(v, places) for k, v in value.items()}
+    if isinstance(value, str) and "/" in value and value.endswith(".py"):
+        return value.rsplit("/", 1)[-1]
+    return value
+
+
+def normalize_json(payload: str) -> str:
+    data = _round_floats(json.loads(payload))
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+def check_golden(name: str, rendered: str):
+    path = GOLDEN_DIR / name
+    if UPDATE:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+        pytest.skip(f"golden {name} regenerated")
+    assert path.exists(), (
+        f"missing golden file {path}; run with REPRO_UPDATE_GOLDEN=1 to create"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert rendered == expected, (
+        f"{name} drifted from its golden copy; if the change is intentional, "
+        f"regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return build_profile()
+
+
+def test_text_report_matches_golden(profile):
+    check_golden("report_text.golden", normalize_text(profile.render_text()))
+
+
+def test_text_report_cpu_sort_matches_golden(profile):
+    check_golden(
+        "report_text_cpu_sort.golden",
+        normalize_text(profile.render_text(sort_by="cpu")),
+    )
+
+
+def test_json_report_matches_golden(profile):
+    check_golden("report_json.golden", normalize_json(profile.to_json()))
+
+
+def test_profile_is_deterministic():
+    """The premise of golden testing: two identical runs, identical output."""
+    first = build_profile()
+    second = build_profile()
+    assert first.to_json() == second.to_json()
+    assert first.render_text() == second.render_text()
