@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Profile-store benchmarks: merge throughput and round-trip latency.
+
+Measures the two hot paths of the :mod:`repro.serve` subsystem:
+
+* **merge throughput** — profiles merged per second by
+  ``merge_profiles`` over a pool of real (distinct) Scalene profiles,
+  both pairwise-incremental and N-way;
+* **store round-trip latency** — ``ProfileStore.put`` + ``get``
+  (serialise, hash, fsync-free atomic write, read back, verify hash).
+
+Appends a trend record to ``BENCH_store.json`` at the repo root via
+:func:`runner.append_trend`, so store performance is tracked run-to-run
+alongside the VM trend in ``BENCH_vm.json``.
+
+Usage::
+
+    python benchmarks/bench_store.py [--profiles N] [--reps N] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+for entry in (str(SRC), str(REPO_ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from runner import append_trend  # noqa: E402
+
+TREND_PATH = REPO_ROOT / "BENCH_store.json"
+
+
+def build_profiles(count: int):
+    """``count`` distinct real profiles (varying the sampling interval)."""
+    from repro.core.config import ScaleneConfig
+    from repro.core.scalene import Scalene
+    from repro.workloads import get_workload
+
+    profiles = []
+    for index in range(count):
+        process = get_workload("leaky" if index % 2 else "balanced").make_process(1.0)
+        config = ScaleneConfig(
+            mode="full", cpu_sampling_interval=0.01 * (1 + index * 0.2)
+        )
+        scalene = Scalene(process, config=config)
+        scalene.start()
+        process.run()
+        profiles.append(scalene.stop())
+    return profiles
+
+
+def bench_merge(profiles, reps: int) -> dict:
+    from repro.core.profile_data import merge_profiles
+
+    # Pairwise-incremental: the daemon's steady-state pattern (fold each
+    # new run into the rolling aggregate).
+    best_pairwise = 0.0
+    for _ in range(reps):
+        start = time.perf_counter()
+        merged = profiles[0]
+        for profile in profiles[1:]:
+            merged = merge_profiles([merged, profile])
+        elapsed = time.perf_counter() - start
+        best_pairwise = max(best_pairwise, (len(profiles) - 1) / elapsed)
+
+    # N-way: one-shot aggregation of a whole workload family.
+    best_nway = 0.0
+    for _ in range(reps):
+        start = time.perf_counter()
+        merge_profiles(profiles)
+        elapsed = time.perf_counter() - start
+        best_nway = max(best_nway, len(profiles) / elapsed)
+
+    return {
+        "pairwise_profiles_per_sec": round(best_pairwise, 1),
+        "nway_profiles_per_sec": round(best_nway, 1),
+    }
+
+
+def bench_round_trip(profiles, reps: int) -> dict:
+    from repro.serve import ProfileStore
+
+    put_ms, get_ms = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ProfileStore(Path(tmp) / "store")
+        for _ in range(reps):
+            for index, profile in enumerate(profiles):
+                start = time.perf_counter()
+                profile_id = store.put(
+                    profile, workload=f"bench-{index}", profiler="scalene"
+                )
+                put_ms.append(1000 * (time.perf_counter() - start))
+                start = time.perf_counter()
+                store.get(profile_id)
+                get_ms.append(1000 * (time.perf_counter() - start))
+    return {
+        "put_ms_median": round(statistics.median(put_ms), 3),
+        "get_ms_median": round(statistics.median(get_ms), 3),
+        "round_trip_ms_median": round(
+            statistics.median(p + g for p, g in zip(put_ms, get_ms)), 3
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profiles", type=int, default=8,
+                        help="distinct profiles in the pool (default 8)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions, best-of/median (default 3)")
+    parser.add_argument("--quick", action="store_true",
+                        help="4 profiles, 1 rep — CI smoke mode")
+    parser.add_argument("--output", type=Path, default=TREND_PATH,
+                        help="trend file to append to (default BENCH_store.json)")
+    args = parser.parse_args(argv)
+
+    count = 4 if args.quick else args.profiles
+    reps = 1 if args.quick else args.reps
+
+    profiles = build_profiles(count)
+    merge = bench_merge(profiles, reps)
+    round_trip = bench_round_trip(profiles, reps)
+
+    record = append_trend(args.output, {
+        "profiles": count,
+        "reps": reps,
+        "merge": merge,
+        "store": round_trip,
+    })
+
+    print(f"merge:  {merge['pairwise_profiles_per_sec']:>10,.1f} profiles/s pairwise   "
+          f"{merge['nway_profiles_per_sec']:>10,.1f} profiles/s N-way")
+    print(f"store:  put {round_trip['put_ms_median']:.3f} ms   "
+          f"get {round_trip['get_ms_median']:.3f} ms   "
+          f"round-trip {round_trip['round_trip_ms_median']:.3f} ms (median)")
+    print(f"-> {args.output} ({record['timestamp']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

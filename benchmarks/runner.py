@@ -121,6 +121,30 @@ def geomean(values) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def append_trend(path: Path, record: dict) -> dict:
+    """Append one run record to a BENCH trend file (a JSON list).
+
+    Stamps the record with timestamp, git state, and the Python version so
+    every trend file (BENCH_vm.json, BENCH_store.json, ...) is comparable
+    run-to-run. Returns the stamped record.
+    """
+    commit, tree, dirty = git_state()
+    stamped = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": commit,
+        "tree": tree,
+        "dirty": dirty,
+        "python": f"py{sys.version_info[0]}.{sys.version_info[1]}",
+        **record,
+    }
+    trend = _load_json(path, [])
+    if not isinstance(trend, list):
+        trend = []
+    trend.append(stamped)
+    _dump_json(path, trend)
+    return stamped
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -205,12 +229,7 @@ def main(argv=None) -> int:
         _dump_json(CACHE_PATH, cache)
 
     geo = geomean([results[n]["ops_per_sec"] for n in names])
-    record = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "commit": commit,
-        "tree": tree,
-        "dirty": dirty,
-        "python": py_tag,
+    record = append_trend(args.output, {
         "scale": scale,
         "reps": reps,
         "suite_wall_s": round(suite_wall, 3),
@@ -218,13 +237,7 @@ def main(argv=None) -> int:
         "results": {
             n: {k: v for k, v in results[n].items() if k != "bench"} for n in names
         },
-    }
-
-    trend = _load_json(args.output, [])
-    if not isinstance(trend, list):
-        trend = []
-    trend.append(record)
-    _dump_json(args.output, trend)
+    })
 
     width = max(len(n) for n in names)
     for name in names:

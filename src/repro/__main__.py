@@ -10,6 +10,14 @@ anti-patterns, or disassemble it::
     python -m repro dis app.py
     python -m repro list
 
+or run the continuous-profiling service (:mod:`repro.serve`)::
+
+    python -m repro serve --port 8000 --workers 4 --store ./profiles
+    python -m repro submit --workload pprint --url http://127.0.0.1:8000
+    python -m repro profiles --url http://127.0.0.1:8000
+    python -m repro profiles --url http://127.0.0.1:8000 --merge ID1 ID2
+    python -m repro profiles --url http://127.0.0.1:8000 --diff ID1 ID2
+
 Mirrors ``scalene yourprogram.py``: the CLI builds a simulated process,
 attaches the profiler, runs, and renders the report. ``lint --profile``
 triangulates the static findings with a Scalene run, ranking them by
@@ -75,6 +83,40 @@ def _build_parser() -> argparse.ArgumentParser:
     dis.add_argument("--scale", type=float, default=1.0, help="workload scale (built-ins)")
 
     sub.add_parser("list", help="list workloads and profilers")
+
+    serve = sub.add_parser("serve", help="run the continuous-profiling daemon")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="profiling worker processes")
+    serve.add_argument("--store", default="./profile-store",
+                       help="profile store directory")
+
+    submit = sub.add_parser("submit", help="submit a profiling job to a daemon")
+    submit.add_argument("--url", default="http://127.0.0.1:8000", help="daemon URL")
+    submit.add_argument("--workload", required=True, help="workload name (see 'list')")
+    submit.add_argument("--profiler", default="scalene",
+                        help="'scalene' or a baseline profiler name")
+    submit.add_argument("--mode", default="full", help="Scalene mode for the job")
+    submit.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return the job id immediately instead of polling")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for completion")
+
+    profiles = sub.add_parser("profiles", help="query a daemon's profile store")
+    profiles.add_argument("--url", default="http://127.0.0.1:8000", help="daemon URL")
+    profiles.add_argument("--workload", help="filter the listing by workload")
+    profiles.add_argument("--id", help="fetch one profile and render it as text")
+    profiles.add_argument("--json", action="store_true",
+                          help="with --id: print the raw JSON payload instead")
+    profiles.add_argument("--merge", nargs="+", metavar="ID",
+                          help="merge two or more stored profiles")
+    profiles.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                          help="diff two stored profiles")
+    profiles.add_argument("--trend", action="store_true",
+                          help="time-ordered headline numbers (honours --workload)")
     return parser
 
 
@@ -180,6 +222,70 @@ def _cmd_dis(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ProfileDaemon
+
+    daemon = ProfileDaemon(
+        args.store, workers=args.workers, host=args.host, port=args.port
+    )
+    daemon.start()
+    print(f"repro serve: listening on {daemon.url} "
+          f"({args.workers} workers, store: {args.store})", flush=True)
+    daemon.serve_forever()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    job = client.submit(
+        args.workload, profiler=args.profiler, mode=args.mode, scale=args.scale
+    )
+    print(f"submitted {job['id']} ({args.workload} under {args.profiler})")
+    if args.no_wait:
+        return 0
+    job = client.wait(job["id"], timeout=args.timeout)
+    print(f"{job['id']}: {job['status']} -> profile {job['profile_id']}")
+    return 0
+
+
+def _cmd_profiles(args) -> int:
+    from repro.serve import ServeClient
+
+    client = ServeClient(args.url)
+    if args.merge:
+        merged = client.merge(args.merge)
+        print(f"merged {len(args.merge)} profiles -> {merged['id']}")
+        return 0
+    if args.diff:
+        diff = client.diff(args.diff[0], args.diff[1])
+        print(json_module.dumps(diff, indent=2))
+        return 0
+    if args.id:
+        if args.json:
+            print(json_module.dumps(client.profile(args.id)["profile"], indent=2))
+        else:
+            print(client.profile_data(args.id).render_text())
+        return 0
+    if args.trend:
+        trend = client.trend(workload=args.workload or "")
+        print(json_module.dumps(trend, indent=2))
+        return 0
+    entries = client.profiles(workload=args.workload or "")
+    if not entries:
+        print("no stored profiles")
+        return 0
+    for e in entries:
+        merged = f" merged({len(e['parents'])})" if e["parents"] else ""
+        print(
+            f"{e['id'][:12]}  {e['workload'] or '-':<16} {e['profiler']:<10} "
+            f"{e['mode']:<10} {e['elapsed_s']:8.3f}s  {e['peak_mb']:8.1f}MB"
+            f"{merged}"
+        )
+    return 0
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name in workload_names():
@@ -199,6 +305,12 @@ def main(argv=None) -> int:
             return _cmd_lint(args)
         if args.command == "dis":
             return _cmd_dis(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "profiles":
+            return _cmd_profiles(args)
         return _cmd_profile(args)
     except BrokenPipeError:
         # Output piped to a pager/head that exited early — not an error.

@@ -5,12 +5,19 @@ re-profile, verify the change moved the needle. This module automates the
 comparison: per-line CPU/memory/copy deltas between a *before* and an
 *after* profile, plus the headline speedup, so the verification step is
 one function call.
+
+The two profiles may cover completely disjoint file/line sets (an
+optimization can rewrite a file wholesale); anything present on only one
+side diffs against zero. The same rule applies to the per-function and
+per-leak deltas, so the continuous-profiling service
+(:mod:`repro.serve`) can diff any two stored profiles without
+precondition checks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 from repro.core.profile_data import ProfileData
 
@@ -26,6 +33,60 @@ class LineDelta:
     mem_peak_mb_delta: float
     copy_mb_s_delta: float
 
+    def to_dict(self) -> Dict:
+        return {
+            "filename": self.filename,
+            "lineno": self.lineno,
+            "source": self.source,
+            "cpu_percent_delta": self.cpu_percent_delta,
+            "mem_peak_mb_delta": self.mem_peak_mb_delta,
+            "copy_mb_s_delta": self.copy_mb_s_delta,
+        }
+
+
+@dataclass
+class FunctionDelta:
+    """The change in one function's aggregate between two profiles."""
+
+    filename: str
+    function: str
+    cpu_percent_delta: float
+    malloc_mb_delta: float
+    copy_mb_delta: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "filename": self.filename,
+            "function": self.function,
+            "cpu_percent_delta": self.cpu_percent_delta,
+            "malloc_mb_delta": self.malloc_mb_delta,
+            "copy_mb_delta": self.copy_mb_delta,
+        }
+
+
+@dataclass
+class LeakDelta:
+    """The change in one leak site's score between two profiles.
+
+    A site reported only *before* shows a negative likelihood delta (the
+    leak was fixed); only *after*, a positive one (a new leak appeared).
+    """
+
+    filename: str
+    lineno: int
+    function: str
+    likelihood_delta: float
+    leak_rate_mb_s_delta: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "filename": self.filename,
+            "lineno": self.lineno,
+            "function": self.function,
+            "likelihood_delta": self.likelihood_delta,
+            "leak_rate_mb_s_delta": self.leak_rate_mb_s_delta,
+        }
+
 
 @dataclass
 class ProfileDiff:
@@ -38,6 +99,8 @@ class ProfileDiff:
     copy_mb_before: float
     copy_mb_after: float
     line_deltas: List[LineDelta] = field(default_factory=list)
+    function_deltas: List[FunctionDelta] = field(default_factory=list)
+    leak_deltas: List[LeakDelta] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -59,6 +122,24 @@ class ProfileDiff:
             (d for d in self.line_deltas if d.cpu_percent_delta > threshold_percent),
             key=lambda d: -d.cpu_percent_delta,
         )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready payload (served by the daemon's ``/diff`` endpoint)."""
+        speedup = self.speedup
+        return {
+            "elapsed_before_s": self.elapsed_before,
+            "elapsed_after_s": self.elapsed_after,
+            "speedup": speedup if speedup != float("inf") else None,
+            "peak_mb_before": self.peak_mb_before,
+            "peak_mb_after": self.peak_mb_after,
+            "memory_saved_mb": self.memory_saved_mb,
+            "copy_mb_before": self.copy_mb_before,
+            "copy_mb_after": self.copy_mb_after,
+            "lines": [d.to_dict() for d in self.line_deltas],
+            "functions": [d.to_dict() for d in self.function_deltas],
+            "leaks": [d.to_dict() for d in self.leak_deltas],
+            "regressions": [d.to_dict() for d in self.regressions()],
+        }
 
     def render_text(self) -> str:
         out = [
@@ -86,27 +167,41 @@ class ProfileDiff:
                     f"  {delta.filename}:{delta.lineno:<4} "
                     f"{delta.cpu_percent_delta:+6.1f}%  {delta.source.strip()[:50]}"
                 )
+        fixed = [d for d in self.leak_deltas if d.likelihood_delta < 0]
+        appeared = [d for d in self.leak_deltas if d.likelihood_delta > 0]
+        if fixed:
+            out.append("leaks fixed:")
+            for delta in fixed:
+                out.append(f"  {delta.filename}:{delta.lineno} ({delta.function})")
+        if appeared:
+            out.append("new leaks:")
+            for delta in appeared:
+                out.append(
+                    f"  {delta.filename}:{delta.lineno} ({delta.function}) "
+                    f"likelihood {delta.likelihood_delta:+.0%}"
+                )
         return "\n".join(out)
 
 
 def diff_profiles(before: ProfileData, after: ProfileData) -> ProfileDiff:
     """Compare two profiles line by line (matched on filename:lineno).
 
-    Lines present in only one profile are treated as 0 in the other —
-    an optimization that removes a line entirely shows as its full share
-    recovered.
+    Lines, functions, and leak sites present in only one profile are
+    treated as 0 in the other — an optimization that removes a line
+    entirely shows as its full share recovered, and the profiles may
+    have entirely disjoint file/line sets.
     """
-    keys = {(l.filename, l.lineno) for l in before.lines}
-    keys |= {(l.filename, l.lineno) for l in after.lines}
+    before_lines = {(l.filename, l.lineno): l for l in before.lines}
+    after_lines = {(l.filename, l.lineno): l for l in after.lines}
     deltas = []
-    for filename, lineno in sorted(keys):
-        b = before.line(lineno, filename)
-        a = after.line(lineno, filename)
+    for key in sorted(before_lines.keys() | after_lines.keys()):
+        b = before_lines.get(key)
+        a = after_lines.get(key)
         source = (a.source if a else (b.source if b else "")) or ""
         deltas.append(
             LineDelta(
-                filename=filename,
-                lineno=lineno,
+                filename=key[0],
+                lineno=key[1],
                 source=source,
                 cpu_percent_delta=(a.cpu_total_percent if a else 0.0)
                 - (b.cpu_total_percent if b else 0.0),
@@ -116,6 +211,43 @@ def diff_profiles(before: ProfileData, after: ProfileData) -> ProfileDiff:
                 - (b.copy_mb_s if b else 0.0),
             )
         )
+
+    before_fns = {(f.filename, f.function): f for f in before.functions}
+    after_fns = {(f.filename, f.function): f for f in after.functions}
+    function_deltas = []
+    for key in sorted(before_fns.keys() | after_fns.keys()):
+        b = before_fns.get(key)
+        a = after_fns.get(key)
+        function_deltas.append(
+            FunctionDelta(
+                filename=key[0],
+                function=key[1],
+                cpu_percent_delta=(a.cpu_total_percent if a else 0.0)
+                - (b.cpu_total_percent if b else 0.0),
+                malloc_mb_delta=(a.malloc_mb if a else 0.0)
+                - (b.malloc_mb if b else 0.0),
+                copy_mb_delta=(a.copy_mb if a else 0.0) - (b.copy_mb if b else 0.0),
+            )
+        )
+
+    before_leaks = {(l.filename, l.lineno, l.function): l for l in before.leaks}
+    after_leaks = {(l.filename, l.lineno, l.function): l for l in after.leaks}
+    leak_deltas = []
+    for key in sorted(before_leaks.keys() | after_leaks.keys()):
+        b = before_leaks.get(key)
+        a = after_leaks.get(key)
+        leak_deltas.append(
+            LeakDelta(
+                filename=key[0],
+                lineno=key[1],
+                function=key[2],
+                likelihood_delta=(a.likelihood if a else 0.0)
+                - (b.likelihood if b else 0.0),
+                leak_rate_mb_s_delta=(a.leak_rate_mb_s if a else 0.0)
+                - (b.leak_rate_mb_s if b else 0.0),
+            )
+        )
+
     return ProfileDiff(
         elapsed_before=before.elapsed,
         elapsed_after=after.elapsed,
@@ -124,4 +256,6 @@ def diff_profiles(before: ProfileData, after: ProfileData) -> ProfileDiff:
         copy_mb_before=before.total_copy_mb,
         copy_mb_after=after.total_copy_mb,
         line_deltas=deltas,
+        function_deltas=function_deltas,
+        leak_deltas=leak_deltas,
     )

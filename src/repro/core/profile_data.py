@@ -4,19 +4,33 @@ Built from :class:`~repro.core.stats.ScaleneStats` when profiling stops:
 lines are filtered to the significant ones (≥1 % plus neighbours, ≤300),
 memory timelines are reduced with RDP + downsampling to ≤100 points, and
 the result renders as rich text (CLI) or JSON (the web UI payload).
+
+Profiles also *round-trip*: :meth:`ProfileData.to_dict` emits a
+schema-versioned payload and :meth:`ProfileData.from_dict` restores it
+exactly (every counter, leak score, and lint finding), refusing any
+other schema version. :func:`merge_profiles` combines N profiles of the
+same program — concurrent workers or repeated runs — into one
+statistically coherent profile (see its docstring for the semantics);
+both are the foundation of the :mod:`repro.serve` profile store.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import ScaleneConfig
 from repro.core.filtering import significant_lines
-from repro.core.leak_detector import LeakReport
+from repro.core.leak_detector import LeakReport, leak_likelihood
 from repro.core.rdp import reduce_timeline
 from repro.core.stats import ScaleneStats
+from repro.errors import ProfilerError, ProfileSchemaError
+
+#: Version of the JSON payload emitted by :meth:`ProfileData.to_dict`.
+#: Bump whenever the shape changes; :meth:`ProfileData.from_dict` fails
+#: loudly on any mismatch rather than guessing.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -92,6 +106,12 @@ class ProfileData:
     memory_timeline: List[Tuple[float, float]] = field(default_factory=list)
     leaks: List[LeakReport] = field(default_factory=list)
     sample_log_bytes: int = 0
+    #: Total allocation volume (the denominator of every line's
+    #: ``mem_activity_percent`` — kept so merges can recover absolute
+    #: per-line malloc volume from the percentages).
+    total_alloc_mb: float = 0.0
+    #: GPU sample count (the weight of ``gpu_mean_utilization`` in merges).
+    gpu_samples: int = 0
     #: Triangulated static-analysis findings
     #: (:class:`repro.analysis.triangulate.TriangulatedFinding`), attached
     #: via :func:`repro.analysis.triangulate.attach_lint`; rendered by
@@ -185,8 +205,14 @@ class ProfileData:
         return "\n".join(out)
 
     def to_dict(self) -> Dict:
-        """JSON-ready payload (what the web UI consumes)."""
+        """JSON-ready payload (what the web UI consumes).
+
+        The payload is schema-versioned and complete: every counter needed
+        to rebuild an identical :class:`ProfileData` via :meth:`from_dict`
+        is present.
+        """
         return {
+            "schema": SCHEMA_VERSION,
             "mode": self.mode,
             "elapsed_s": self.elapsed,
             "cpu": {
@@ -198,6 +224,7 @@ class ProfileData:
             "memory": {
                 "samples": self.mem_samples,
                 "peak_mb": self.peak_footprint_mb,
+                "total_alloc_mb": self.total_alloc_mb,
                 "timeline": self.memory_timeline,
                 "sample_log_bytes": self.sample_log_bytes,
             },
@@ -205,6 +232,7 @@ class ProfileData:
             "gpu": {
                 "mean_utilization": self.gpu_mean_utilization,
                 "peak_mb": self.gpu_mem_peak_mb,
+                "samples": self.gpu_samples,
             },
             "lint": [t.to_dict() for t in self.lint_findings],
             "leaks": [
@@ -214,6 +242,8 @@ class ProfileData:
                     "function": leak.function,
                     "likelihood": leak.likelihood,
                     "leak_rate_mb_s": leak.leak_rate_mb_s,
+                    "mallocs": leak.mallocs,
+                    "frees": leak.frees,
                 }
                 for leak in self.leaks
             ],
@@ -254,6 +284,109 @@ class ProfileData:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    # -- deserialization -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ProfileData":
+        """Rebuild a profile from a :meth:`to_dict` payload, exactly.
+
+        Raises :class:`~repro.errors.ProfileSchemaError` when the payload
+        is not a dict, carries a different schema version, or is missing
+        required keys — a misread profile must never silently enter a
+        merge or a trend.
+        """
+        if not isinstance(payload, dict):
+            raise ProfileSchemaError(
+                f"profile payload must be a dict, got {type(payload).__name__}"
+            )
+        schema = payload.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ProfileSchemaError(
+                f"unsupported profile schema {schema!r}; "
+                f"this build reads schema {SCHEMA_VERSION}"
+            )
+        try:
+            cpu = payload["cpu"]
+            memory = payload["memory"]
+            gpu = payload["gpu"]
+            profile = cls(
+                mode=payload["mode"],
+                elapsed=payload["elapsed_s"],
+                cpu_python_time=cpu["python_s"],
+                cpu_native_time=cpu["native_s"],
+                cpu_system_time=cpu["system_s"],
+                cpu_samples=cpu["samples"],
+                mem_samples=memory["samples"],
+                peak_footprint_mb=memory["peak_mb"],
+                total_copy_mb=payload["copy_volume_mb"],
+                gpu_mean_utilization=gpu["mean_utilization"],
+                gpu_mem_peak_mb=gpu["peak_mb"],
+                sample_log_bytes=memory["sample_log_bytes"],
+                total_alloc_mb=memory["total_alloc_mb"],
+                gpu_samples=gpu["samples"],
+                memory_timeline=_as_timeline(memory["timeline"]),
+                lines=[
+                    LineReport(
+                        filename=entry["filename"],
+                        lineno=entry["lineno"],
+                        function=entry["function"],
+                        source=entry["source"],
+                        cpu_python_percent=entry["cpu_python_percent"],
+                        cpu_native_percent=entry["cpu_native_percent"],
+                        cpu_system_percent=entry["cpu_system_percent"],
+                        mem_avg_mb=entry["mem_avg_mb"],
+                        mem_peak_mb=entry["mem_peak_mb"],
+                        mem_python_percent=entry["mem_python_percent"],
+                        mem_activity_percent=entry["mem_activity_percent"],
+                        timeline=_as_timeline(entry["timeline"]),
+                        copy_mb_s=entry["copy_mb_s"],
+                        gpu_percent=entry["gpu_percent"],
+                        gpu_mem_peak_mb=entry["gpu_mem_peak_mb"],
+                    )
+                    for entry in payload["lines"]
+                ],
+                functions=[
+                    FunctionReport(
+                        filename=entry["filename"],
+                        function=entry["function"],
+                        cpu_python_percent=entry["cpu_python_percent"],
+                        cpu_native_percent=entry["cpu_native_percent"],
+                        cpu_system_percent=entry["cpu_system_percent"],
+                        malloc_mb=entry["malloc_mb"],
+                        copy_mb=entry["copy_mb"],
+                        gpu_percent=entry["gpu_percent"],
+                    )
+                    for entry in payload["functions"]
+                ],
+                leaks=[
+                    LeakReport(
+                        filename=entry["filename"],
+                        lineno=entry["lineno"],
+                        function=entry["function"],
+                        likelihood=entry["likelihood"],
+                        leak_rate_mb_s=entry["leak_rate_mb_s"],
+                        mallocs=entry["mallocs"],
+                        frees=entry["frees"],
+                    )
+                    for entry in payload["leaks"]
+                ],
+                lint_findings=[_lint_from_dict(entry) for entry in payload["lint"]],
+            )
+        except KeyError as exc:
+            raise ProfileSchemaError(
+                f"profile payload (schema {schema}) is missing key {exc}"
+            ) from None
+        return profile
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProfileData":
+        """Parse :meth:`to_json` output back into a :class:`ProfileData`."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ProfileSchemaError(f"profile is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
 
     # -- lookups used by tests and benchmarks -----------------------------------
 
@@ -367,6 +500,8 @@ def build_profile(
         memory_timeline=reduce_timeline(stats.memory_timeline, config.timeline_points),
         leaks=leaks,
         sample_log_bytes=sample_log_bytes,
+        total_alloc_mb=stats.total_alloc_mb,
+        gpu_samples=stats.gpu_sample_count,
     )
 
 
@@ -404,3 +539,306 @@ def _aggregate_functions(
         )
     reports.sort(key=lambda r: r.cpu_total_percent, reverse=True)
     return reports
+
+
+# ---------------------------------------------------------------------------
+# Serialization helpers
+# ---------------------------------------------------------------------------
+
+
+def _as_timeline(points: Iterable) -> List[Tuple[float, float]]:
+    """JSON turns timeline tuples into lists; restore the tuples."""
+    return [(wall, mb) for wall, mb in points]
+
+
+def _lint_from_dict(entry: Dict):
+    """Rebuild a triangulated lint finding from its ``to_dict`` payload.
+
+    Imported lazily: :mod:`repro.analysis.triangulate` imports this module,
+    so the reverse import must happen at call time.
+    """
+    from repro.analysis.triangulate import TriangulatedFinding
+    from repro.staticcheck.lints import Finding
+
+    return TriangulatedFinding(
+        finding=Finding(
+            detector=entry["detector"],
+            filename=entry["filename"],
+            lineno=entry["lineno"],
+            function=entry["function"],
+            message=entry["message"],
+            suggestion=entry["suggestion"],
+        ),
+        cpu_percent=entry["cpu_percent"],
+        mem_activity_percent=entry["mem_activity_percent"],
+        copy_percent=entry["copy_percent"],
+        score=entry["score"],
+        suppressed=entry["suppressed"],
+        reason=entry["reason"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Merging (the repro.serve aggregation semantics)
+# ---------------------------------------------------------------------------
+#
+# A merged profile answers "what did this program do across these runs?"
+# as if the runs had been one longer profiling session:
+#
+# * additive counters — CPU seconds (Python/native/system), CPU and
+#   memory sample counts, allocation volume, copy volume, sample-log
+#   bytes, elapsed time, leak malloc/free observations — are summed;
+# * high-water marks — whole-program and per-line peak footprint, GPU
+#   peak memory — take the max;
+# * fractions are *recombined from the underlying absolute quantities*,
+#   never averaged: per-line CPU percentages are converted back to
+#   seconds against their own profile's total, summed, and re-expressed
+#   against the merged total (i.e. sample-weighted); allocation-activity
+#   and Python-share percentages are recombined the same way via each
+#   profile's total_alloc_mb; GPU utilization is weighted by GPU sample
+#   counts; per-line average footprint is weighted by memory samples;
+# * leak likelihoods are re-derived by applying Laplace's Rule of
+#   Succession, 1 - (frees + 1) / (mallocs + 2), to the *summed*
+#   counters — never by averaging probabilities;
+# * timelines are concatenated on a shared virtual clock (each run's
+#   points shifted by the cumulative elapsed time of the runs before
+#   it) and re-reduced to the usual point budget.
+#
+# Because every combination rule is a sum, a max, or a weighted mean
+# whose weight is itself a summed counter carried on the profile, the
+# merge is associative and commutative up to float rounding.
+
+
+@dataclass
+class _LineAccumulator:
+    filename: str
+    lineno: int
+    function: str = ""
+    source: str = ""
+    python_s: float = 0.0
+    native_s: float = 0.0
+    system_s: float = 0.0
+    malloc_mb: float = 0.0
+    python_alloc_mb: float = 0.0
+    mem_avg_weighted: float = 0.0
+    mem_avg_weight: float = 0.0
+    mem_peak_mb: float = 0.0
+    copy_mb: float = 0.0
+    gpu_util_weighted: float = 0.0
+    gpu_weight: float = 0.0
+    gpu_mem_peak_mb: float = 0.0
+    timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass
+class _FunctionAccumulator:
+    filename: str
+    function: str
+    python_s: float = 0.0
+    native_s: float = 0.0
+    system_s: float = 0.0
+    malloc_mb: float = 0.0
+    copy_mb: float = 0.0
+    gpu_util_weighted: float = 0.0
+    gpu_weight: float = 0.0
+
+
+@dataclass
+class _LeakAccumulator:
+    filename: str
+    lineno: int
+    function: str
+    mallocs: int = 0
+    frees: int = 0
+    leaked_mb: float = 0.0
+
+
+def merge_profiles(
+    profiles: Sequence["ProfileData"], *, timeline_points: int = 100
+) -> "ProfileData":
+    """Merge N profiles of the same program into one (semantics above).
+
+    All profiles must share a mode; merging a ``cpu`` profile into a
+    ``full`` one would silently zero the memory columns, so it is an
+    error instead.
+    """
+    if not profiles:
+        raise ProfilerError("merge_profiles needs at least one profile")
+    modes = {p.mode for p in profiles}
+    if len(modes) > 1:
+        raise ProfilerError(
+            f"cannot merge profiles with different modes: {sorted(modes)}"
+        )
+    if len(profiles) == 1:
+        return profiles[0]
+
+    merged_elapsed = sum(p.elapsed for p in profiles)
+    merged_python = sum(p.cpu_python_time for p in profiles)
+    merged_native = sum(p.cpu_native_time for p in profiles)
+    merged_system = sum(p.cpu_system_time for p in profiles)
+    merged_total_cpu = merged_python + merged_native + merged_system
+    merged_alloc = sum(p.total_alloc_mb for p in profiles)
+    merged_gpu_samples = sum(p.gpu_samples for p in profiles)
+    gpu_util_weighted = sum(p.gpu_mean_utilization * p.gpu_samples for p in profiles)
+
+    lines: Dict[Tuple[str, int], _LineAccumulator] = {}
+    functions: Dict[Tuple[str, str], _FunctionAccumulator] = {}
+    leaks: Dict[Tuple[str, int, str], _LeakAccumulator] = {}
+    memory_timeline: List[Tuple[float, float]] = []
+    lint_findings: List = []
+    seen_lints = set()
+
+    offset = 0.0
+    for profile in profiles:
+        total_cpu = (
+            profile.cpu_python_time
+            + profile.cpu_native_time
+            + profile.cpu_system_time
+        )
+        seconds = (lambda pct: pct / 100.0 * total_cpu)
+        for line in profile.lines:
+            acc = lines.get((line.filename, line.lineno))
+            if acc is None:
+                acc = _LineAccumulator(filename=line.filename, lineno=line.lineno)
+                lines[(line.filename, line.lineno)] = acc
+            acc.function = acc.function or line.function
+            acc.source = acc.source or line.source
+            acc.python_s += seconds(line.cpu_python_percent)
+            acc.native_s += seconds(line.cpu_native_percent)
+            acc.system_s += seconds(line.cpu_system_percent)
+            # Recover absolute allocation volume from the percentages.
+            line_malloc = line.mem_activity_percent / 100.0 * profile.total_alloc_mb
+            acc.malloc_mb += line_malloc
+            acc.python_alloc_mb += line.mem_python_percent / 100.0 * line_malloc
+            acc.mem_avg_weighted += line.mem_avg_mb * profile.mem_samples
+            acc.mem_avg_weight += profile.mem_samples
+            acc.mem_peak_mb = max(acc.mem_peak_mb, line.mem_peak_mb)
+            acc.copy_mb += line.copy_mb_s * profile.elapsed
+            acc.gpu_util_weighted += line.gpu_percent * profile.gpu_samples
+            acc.gpu_weight += profile.gpu_samples
+            acc.gpu_mem_peak_mb = max(acc.gpu_mem_peak_mb, line.gpu_mem_peak_mb)
+            acc.timeline.extend((wall + offset, mb) for wall, mb in line.timeline)
+        for fn in profile.functions:
+            facc = functions.get((fn.filename, fn.function))
+            if facc is None:
+                facc = _FunctionAccumulator(filename=fn.filename, function=fn.function)
+                functions[(fn.filename, fn.function)] = facc
+            facc.python_s += seconds(fn.cpu_python_percent)
+            facc.native_s += seconds(fn.cpu_native_percent)
+            facc.system_s += seconds(fn.cpu_system_percent)
+            facc.malloc_mb += fn.malloc_mb
+            facc.copy_mb += fn.copy_mb
+            facc.gpu_util_weighted += fn.gpu_percent * profile.gpu_samples
+            facc.gpu_weight += profile.gpu_samples
+        for leak in profile.leaks:
+            key = (leak.filename, leak.lineno, leak.function)
+            lacc = leaks.get(key)
+            if lacc is None:
+                lacc = _LeakAccumulator(*key)
+                leaks[key] = lacc
+            lacc.mallocs += leak.mallocs
+            lacc.frees += leak.frees
+            lacc.leaked_mb += leak.leak_rate_mb_s * profile.elapsed
+        for lint in profile.lint_findings:
+            identity = (
+                lint.finding.detector,
+                lint.finding.filename,
+                lint.finding.lineno,
+                lint.finding.message,
+            )
+            if identity not in seen_lints:
+                seen_lints.add(identity)
+                lint_findings.append(lint)
+        memory_timeline.extend(
+            (wall + offset, mb) for wall, mb in profile.memory_timeline
+        )
+        offset += profile.elapsed
+
+    pct = (
+        (lambda s: 100.0 * s / merged_total_cpu)
+        if merged_total_cpu > 0
+        else (lambda s: 0.0)
+    )
+    line_reports = [
+        LineReport(
+            filename=acc.filename,
+            lineno=acc.lineno,
+            function=acc.function,
+            source=acc.source,
+            cpu_python_percent=pct(acc.python_s),
+            cpu_native_percent=pct(acc.native_s),
+            cpu_system_percent=pct(acc.system_s),
+            mem_avg_mb=(
+                acc.mem_avg_weighted / acc.mem_avg_weight if acc.mem_avg_weight else 0.0
+            ),
+            mem_peak_mb=acc.mem_peak_mb,
+            mem_python_percent=(
+                100.0 * acc.python_alloc_mb / acc.malloc_mb if acc.malloc_mb > 0 else 0.0
+            ),
+            mem_activity_percent=(
+                100.0 * acc.malloc_mb / merged_alloc if merged_alloc > 0 else 0.0
+            ),
+            timeline=reduce_timeline(acc.timeline, timeline_points),
+            copy_mb_s=acc.copy_mb / merged_elapsed if merged_elapsed > 0 else 0.0,
+            gpu_percent=(
+                acc.gpu_util_weighted / acc.gpu_weight if acc.gpu_weight else 0.0
+            ),
+            gpu_mem_peak_mb=acc.gpu_mem_peak_mb,
+        )
+        for acc in sorted(lines.values(), key=lambda a: (a.filename, a.lineno))
+    ]
+    function_reports = [
+        FunctionReport(
+            filename=facc.filename,
+            function=facc.function,
+            cpu_python_percent=pct(facc.python_s),
+            cpu_native_percent=pct(facc.native_s),
+            cpu_system_percent=pct(facc.system_s),
+            malloc_mb=facc.malloc_mb,
+            copy_mb=facc.copy_mb,
+            gpu_percent=(
+                facc.gpu_util_weighted / facc.gpu_weight if facc.gpu_weight else 0.0
+            ),
+        )
+        for facc in functions.values()
+    ]
+    function_reports.sort(key=lambda r: r.cpu_total_percent, reverse=True)
+    leak_reports = [
+        LeakReport(
+            filename=lacc.filename,
+            lineno=lacc.lineno,
+            function=lacc.function,
+            likelihood=leak_likelihood(lacc.mallocs, lacc.frees),
+            leak_rate_mb_s=(
+                lacc.leaked_mb / merged_elapsed if merged_elapsed > 0 else 0.0
+            ),
+            mallocs=lacc.mallocs,
+            frees=lacc.frees,
+        )
+        for lacc in leaks.values()
+    ]
+    leak_reports.sort(key=lambda r: r.leak_rate_mb_s, reverse=True)
+
+    return ProfileData(
+        mode=profiles[0].mode,
+        elapsed=merged_elapsed,
+        cpu_python_time=merged_python,
+        cpu_native_time=merged_native,
+        cpu_system_time=merged_system,
+        cpu_samples=sum(p.cpu_samples for p in profiles),
+        mem_samples=sum(p.mem_samples for p in profiles),
+        peak_footprint_mb=max(p.peak_footprint_mb for p in profiles),
+        total_copy_mb=sum(p.total_copy_mb for p in profiles),
+        gpu_mean_utilization=(
+            gpu_util_weighted / merged_gpu_samples if merged_gpu_samples else 0.0
+        ),
+        gpu_mem_peak_mb=max(p.gpu_mem_peak_mb for p in profiles),
+        lines=line_reports,
+        functions=function_reports,
+        memory_timeline=reduce_timeline(memory_timeline, timeline_points),
+        leaks=leak_reports,
+        sample_log_bytes=sum(p.sample_log_bytes for p in profiles),
+        total_alloc_mb=merged_alloc,
+        gpu_samples=merged_gpu_samples,
+        lint_findings=lint_findings,
+    )

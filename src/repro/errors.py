@@ -69,3 +69,21 @@ class GpuError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload definition is invalid or references unknown parameters."""
+
+
+class ProfileSchemaError(ReproError):
+    """A serialized profile does not match the schema this build expects:
+    wrong or missing schema version, or a payload missing required keys.
+
+    Raised loudly instead of best-effort parsing — a silently misread
+    profile would poison every merge and trend computed from it."""
+
+
+class StoreError(ReproError):
+    """Invalid profile-store operation: unknown profile id, corrupt object
+    file (content hash mismatch), or an index entry pointing nowhere."""
+
+
+class ServeError(ReproError):
+    """The profiling daemon was driven incorrectly (bad job payload,
+    unknown job id, or a client request the API cannot satisfy)."""

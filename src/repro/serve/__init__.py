@@ -1,0 +1,40 @@
+"""Continuous-profiling service: store, aggregate, and serve profiles.
+
+Single-run profiles are ephemeral; this package is what makes them
+compound (the Scaler/datacenter-profiling observation — value grows when
+profiles persist, merge across runs and processes, and stay queryable):
+
+* :mod:`repro.serve.store` — a versioned, content-addressed on-disk
+  profile store with an index keyed by
+  ``(workload, profiler, config hash, git tree hash)``;
+* :mod:`repro.serve.aggregate` — cross-run merging (via
+  :func:`repro.core.profile_data.merge_profiles`), trends, and
+  regression detection (via :mod:`repro.analysis.diffing`);
+* :mod:`repro.serve.jobs` — the profiling-job model and the worker-side
+  job executor;
+* :mod:`repro.serve.daemon` — ``python -m repro serve``: a
+  multiprocessing worker pool fed from a job queue behind a
+  stdlib-``http.server`` JSON API;
+* :mod:`repro.serve.client` — the urllib client used by
+  ``python -m repro submit`` / ``repro profiles``.
+"""
+
+from repro.serve.aggregate import diff_stored, find_regressions, merge_stored, trend
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ProfileDaemon
+from repro.serve.jobs import Job, execute_job
+from repro.serve.store import ProfileStore, config_hash, git_tree_hash
+
+__all__ = [
+    "ProfileDaemon",
+    "ProfileStore",
+    "ServeClient",
+    "Job",
+    "config_hash",
+    "diff_stored",
+    "execute_job",
+    "find_regressions",
+    "git_tree_hash",
+    "merge_stored",
+    "trend",
+]

@@ -1,0 +1,119 @@
+"""Cross-run aggregation over the profile store.
+
+Three operations, all working on stored profile ids:
+
+* :func:`merge_stored` — merge N stored profiles (concurrent workers,
+  repeated runs) into one statistically coherent profile and persist it
+  with ``parents`` provenance;
+* :func:`diff_stored` — before/after comparison of two stored profiles
+  via :mod:`repro.analysis.diffing`;
+* :func:`trend` / :func:`find_regressions` — the time-ordered history of
+  one index key and the consecutive-run regressions in it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diffing import ProfileDiff, diff_profiles
+from repro.core.profile_data import ProfileData, merge_profiles
+from repro.errors import StoreError
+from repro.serve.store import ProfileStore
+
+
+def merge_stored(
+    store: ProfileStore, ids: Sequence[str], *, workload: str = "", profiler: str = ""
+) -> Tuple[str, ProfileData]:
+    """Merge the stored profiles ``ids`` and persist the result.
+
+    The merged profile's index entry inherits the constituents' workload/
+    profiler/config/tree key when they agree (else the component is left
+    empty — a cross-workload merge has no single key) and records the
+    full ids of the constituents in ``parents``.
+    """
+    if len(ids) < 2:
+        raise StoreError("merge needs at least two profile ids")
+    full_ids = [store.resolve(profile_id) for profile_id in ids]
+    entries = [store.entry(profile_id) for profile_id in full_ids]
+    profiles = [store.get(profile_id) for profile_id in full_ids]
+    merged = merge_profiles(profiles)
+
+    def common(field: str, override: str = "") -> str:
+        if override:
+            return override
+        values = {e[field] for e in entries}
+        return values.pop() if len(values) == 1 else ""
+
+    merged_id = store.put(
+        merged,
+        workload=common("workload", workload),
+        profiler=common("profiler", profiler),
+        config=common("config_hash"),
+        tree_hash=common("tree_hash"),
+        parents=full_ids,
+    )
+    return merged_id, merged
+
+
+def diff_stored(store: ProfileStore, before_id: str, after_id: str) -> ProfileDiff:
+    """Diff two stored profiles (``after − before``)."""
+    return diff_profiles(store.get(before_id), store.get(after_id))
+
+
+def trend(
+    store: ProfileStore,
+    *,
+    workload: Optional[str] = None,
+    profiler: Optional[str] = None,
+    config_hash: Optional[str] = None,
+    tree_hash: Optional[str] = None,
+    include_merged: bool = False,
+) -> List[Dict]:
+    """Headline numbers over time for one slice of the index.
+
+    Returns the matching index entries sorted by ``created_at``; merged
+    profiles are excluded by default so a trend reflects individual runs,
+    not aggregates of them.
+    """
+    entries = store.find(
+        workload=workload,
+        profiler=profiler,
+        config_hash=config_hash,
+        tree_hash=tree_hash,
+    )
+    if not include_merged:
+        entries = [e for e in entries if not e["parents"]]
+    return sorted(entries, key=lambda e: e["created_at"])
+
+
+def find_regressions(
+    points: Sequence[Dict],
+    *,
+    elapsed_factor: float = 1.2,
+    peak_factor: float = 1.2,
+) -> List[Dict]:
+    """Consecutive-run regressions in a :func:`trend` result.
+
+    Flags any run whose elapsed time or peak footprint exceeds its
+    predecessor's by the given factor; each flag names both runs so the
+    caller can `diff_stored` them for the per-line story.
+    """
+    regressions: List[Dict] = []
+    for prev, curr in zip(points, points[1:]):
+        reasons = []
+        if prev["elapsed_s"] > 0 and curr["elapsed_s"] > elapsed_factor * prev["elapsed_s"]:
+            reasons.append(
+                f"elapsed {prev['elapsed_s']:.3f}s -> {curr['elapsed_s']:.3f}s"
+            )
+        if prev["peak_mb"] > 0 and curr["peak_mb"] > peak_factor * prev["peak_mb"]:
+            reasons.append(f"peak {prev['peak_mb']:.1f}MB -> {curr['peak_mb']:.1f}MB")
+        if reasons:
+            regressions.append(
+                {
+                    "before": prev["id"],
+                    "after": curr["id"],
+                    "workload": curr["workload"],
+                    "reasons": reasons,
+                }
+            )
+    return regressions

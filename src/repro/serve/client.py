@@ -1,0 +1,116 @@
+"""Stdlib HTTP client for the profiling daemon.
+
+Backs ``python -m repro submit`` / ``repro profiles`` and the test
+suite; every method maps to one daemon endpoint and returns parsed JSON
+(or a :class:`~repro.core.profile_data.ProfileData` where noted).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.profile_data import ProfileData
+from repro.errors import ServeError
+
+#: Job states that will never change again.
+TERMINAL_STATUSES = ("done", "error")
+
+
+class ServeClient:
+    """Talks to one daemon at ``url`` (e.g. ``http://127.0.0.1:8000``)."""
+
+    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(self, path: str, body: Optional[Dict] = None) -> Dict:
+        request = urllib.request.Request(self.url + path)
+        if body is not None:
+            request.data = json.dumps(body).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServeError(f"{path}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach daemon at {self.url}: {exc.reason}") from None
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> Dict:
+        return self._request("/health")
+
+    def submit(
+        self,
+        workload: str,
+        *,
+        profiler: str = "scalene",
+        mode: str = "full",
+        scale: float = 1.0,
+        config: Optional[Dict] = None,
+    ) -> Dict:
+        """Submit a job; returns the job dict (status ``queued``)."""
+        payload = {
+            "workload": workload,
+            "profiler": profiler,
+            "mode": mode,
+            "scale": scale,
+        }
+        if config:
+            payload["config"] = config
+        return self._request("/jobs", body=payload)["job"]
+
+    def job(self, job_id: str) -> Dict:
+        return self._request(f"/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[Dict]:
+        return self._request("/jobs")["jobs"]
+
+    def wait(self, job_id: str, *, timeout: float = 120.0, poll: float = 0.1) -> Dict:
+        """Poll until the job finishes; raises on job error or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["status"] in TERMINAL_STATUSES:
+                if job["status"] == "error":
+                    raise ServeError(f"job {job_id} failed: {job['error']}")
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['status']} after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def profiles(self, **filters: str) -> List[Dict]:
+        query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
+        return self._request(f"/profiles{'?' + query if query else ''}")["profiles"]
+
+    def profile(self, profile_id: str) -> Dict:
+        """The stored profile envelope: ``{"id", "meta", "profile"}``."""
+        return self._request(f"/profiles/{profile_id}")
+
+    def profile_data(self, profile_id: str) -> ProfileData:
+        """The stored profile as a :class:`ProfileData`."""
+        return ProfileData.from_dict(self.profile(profile_id)["profile"])
+
+    def merge(self, ids: Sequence[str]) -> Dict:
+        """Merge stored profiles; returns ``{"id", "profile"}``."""
+        return self._request("/merge", body={"ids": list(ids)})
+
+    def diff(self, before_id: str, after_id: str) -> Dict:
+        return self._request(f"/diff?a={before_id}&b={after_id}")["diff"]
+
+    def trend(self, **filters: str) -> Dict:
+        query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
+        return self._request(f"/trend{'?' + query if query else ''}")

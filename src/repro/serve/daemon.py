@@ -1,0 +1,336 @@
+"""The continuous-profiling daemon: job queue, worker pool, HTTP API.
+
+``python -m repro serve`` runs one of these. Architecture::
+
+    HTTP clients ──POST /jobs──▶ job queue ──dispatcher──▶ worker pool
+         ▲                                                (N processes,
+         │                                                 execute_job)
+         └──GET /profiles, /diff, /trend ◀── ProfileStore ◀── results
+
+* Submissions are validated synchronously (bad payloads fail the POST),
+  queued, and dispatched to a ``ProcessPoolExecutor`` — each worker runs
+  the workload under the simulated runtime and ships the finished
+  profile back as JSON text.
+* The daemon process is the store's only writer: worker results are
+  persisted on arrival, keyed by
+  ``(workload, profiler, config hash, git tree hash)``.
+* The API is stdlib ``http.server`` serving JSON; profile payloads
+  render through the existing :mod:`repro.ui` backends
+  (``render_json`` / ``render_html``).
+
+Endpoints::
+
+    GET  /health                  liveness + queue/worker/store counters
+    POST /jobs                    submit {workload, profiler?, mode?, scale?, config?}
+    GET  /jobs                    all jobs
+    GET  /jobs/<id>               one job (status, profile_id when done)
+    GET  /profiles                store index (?workload=&profiler=&...)
+    GET  /profiles/<id>           stored profile (?format=html for the web UI)
+    POST /merge                   {"ids": [...]} -> merged profile id
+    GET  /diff?a=<id>&b=<id>      per-line/function/leak deltas (b − a)
+    GET  /trend?workload=...      time-ordered headline numbers + regressions
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.profile_data import ProfileData
+from repro.errors import ReproError, ServeError, StoreError
+from repro.serve.aggregate import diff_stored, find_regressions, merge_stored, trend
+from repro.serve.jobs import Job, execute_job, new_job
+from repro.serve.store import ProfileStore, config_hash, git_tree_hash
+from repro.ui import render_html, render_json
+
+_SHUTDOWN = object()
+
+
+class ProfileDaemon:
+    """Job-serving daemon around a :class:`ProfileStore`."""
+
+    def __init__(
+        self,
+        store: Union[ProfileStore, str],
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.store = store if isinstance(store, ProfileStore) else ProfileStore(store)
+        self.workers = max(1, workers)
+        self.tree_hash = git_tree_hash()
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.RLock()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.profile_daemon = self
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        if self._started:
+            raise ServeError("daemon already started")
+        self._started = True
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        server = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._threads = [dispatcher, server]
+        dispatcher.start()
+        server.start()
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._queue.put(_SHUTDOWN)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (the ``python -m repro serve`` loop)."""
+        try:
+            while True:
+                threading.Event().wait(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # -- job management -------------------------------------------------
+
+    def submit(self, payload: Dict) -> Job:
+        """Validate and enqueue a job; returns it in ``queued`` state."""
+        job = new_job(payload)
+        with self._lock:
+            self._jobs[job.id] = job
+        self._queue.put(job.id)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def health(self) -> Dict:
+        with self._lock:
+            counts = {status: 0 for status in ("queued", "running", "done", "error")}
+            for job in self._jobs.values():
+                counts[job.status] += 1
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "jobs": counts,
+            "profiles": len(self.store),
+            "tree_hash": self.tree_hash,
+        }
+
+    def _dispatch_loop(self) -> None:
+        import time
+
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            with self._lock:
+                job = self._jobs[item]
+                job.status = "running"
+                job.started_at = time.time()
+            try:
+                future = self._pool.submit(execute_job, job.payload())
+            except RuntimeError:
+                # Pool already shut down — daemon is stopping.
+                with self._lock:
+                    job.status = "error"
+                    job.error = "daemon shut down before the job ran"
+                continue
+            future.add_done_callback(
+                lambda fut, job_id=job.id: self._on_job_done(job_id, fut)
+            )
+
+    def _on_job_done(self, job_id: str, future) -> None:
+        import time
+
+        with self._lock:
+            job = self._jobs[job_id]
+        try:
+            profile = ProfileData.from_json(future.result())
+            profile_id = self.store.put(
+                profile,
+                workload=job.workload,
+                profiler=job.profiler,
+                config=config_hash(
+                    {"mode": job.mode, "scale": job.scale, "overrides": job.config or {}}
+                ),
+                tree_hash=self.tree_hash,
+            )
+        except Exception as exc:  # noqa: BLE001 — job errors become job state
+            with self._lock:
+                job.status = "error"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+            return
+        with self._lock:
+            job.status = "done"
+            job.profile_id = profile_id
+            job.finished_at = time.time()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning :class:`ProfileDaemon`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def daemon(self) -> ProfileDaemon:
+        return self.server.profile_daemon
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # keep the test/CI output clean
+
+    # -- responses ------------------------------------------------------
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _json(self, payload: Dict, status: int = 200) -> None:
+        self._send(status, json.dumps(payload, indent=2) + "\n", "application/json")
+
+    def _error(self, status: int, message: str) -> None:
+        self._json({"error": message}, status=status)
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServeError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    # -- routing --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[0] for k, v in parse_qs(url.query).items()}
+        try:
+            if parts == ["health"]:
+                self._json(self.daemon.health())
+            elif parts == ["jobs"]:
+                self._json({"jobs": [j.to_dict() for j in self.daemon.jobs()]})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._json({"job": self.daemon.job(parts[1]).to_dict()})
+            elif parts == ["profiles"]:
+                entries = self.daemon.store.find(
+                    workload=query.get("workload"),
+                    profiler=query.get("profiler"),
+                    config_hash=query.get("config_hash"),
+                    tree_hash=query.get("tree_hash"),
+                )
+                self._json({"profiles": entries})
+            elif len(parts) == 2 and parts[0] == "profiles":
+                self._get_profile(parts[1], query)
+            elif parts == ["diff"]:
+                if "a" not in query or "b" not in query:
+                    raise ServeError("diff needs ?a=<id>&b=<id>")
+                diff = diff_stored(self.daemon.store, query["a"], query["b"])
+                self._json({"diff": diff.to_dict()})
+            elif parts == ["trend"]:
+                points = trend(
+                    self.daemon.store,
+                    workload=query.get("workload"),
+                    profiler=query.get("profiler"),
+                    config_hash=query.get("config_hash"),
+                    tree_hash=query.get("tree_hash"),
+                )
+                self._json(
+                    {"trend": points, "regressions": find_regressions(points)}
+                )
+            else:
+                self._error(404, f"unknown endpoint GET {url.path}")
+        except StoreError as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib casing
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                job = self.daemon.submit(self._read_body())
+                self._json({"job": job.to_dict()}, status=202)
+            elif parts == ["merge"]:
+                body = self._read_body()
+                ids = body.get("ids")
+                if not isinstance(ids, list) or len(ids) < 2:
+                    raise ServeError("merge needs {'ids': [<id>, <id>, ...]}")
+                merged_id, merged = merge_stored(self.daemon.store, ids)
+                self._json(
+                    {"id": merged_id, "profile": merged.to_dict()}, status=201
+                )
+            else:
+                self._error(404, f"unknown endpoint POST {url.path}")
+        except StoreError as exc:
+            self._error(404, str(exc))
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+    def _get_profile(self, profile_id: str, query: Dict) -> None:
+        store = self.daemon.store
+        profile = store.get(profile_id)
+        fmt = query.get("format", "json")
+        if fmt == "html":
+            self._send(200, render_html(profile, title=profile_id[:12]), "text/html")
+        elif fmt == "json":
+            entry = store.entry(profile_id)
+            payload = json.loads(render_json(profile))
+            self._json({"id": entry["id"], "meta": entry, "profile": payload})
+        else:
+            raise ServeError(f"unknown format {fmt!r}; use json or html")

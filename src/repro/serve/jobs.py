@@ -1,0 +1,207 @@
+"""Profiling jobs: the unit of work the daemon's worker pool executes.
+
+A job is ``workload + profiler + config``. :func:`execute_job` is the
+worker-side entry point — a module-level function taking and returning
+only picklable primitives, so it crosses the multiprocessing boundary:
+the payload dict goes in, the finished profile's JSON text comes back,
+and the daemon (the store's single writer) persists it.
+
+Baseline profilers produce :class:`~repro.baselines.base.BaselineReport`
+rather than :class:`~repro.core.profile_data.ProfileData`;
+:func:`profile_from_baseline` adapts them so every job's result lands in
+the same store and renders through the same backends (what the baseline
+measured fills the columns it has; the rest stay zero).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import ScaleneConfig
+from repro.core.profile_data import FunctionReport, LineReport, ProfileData
+from repro.errors import ServeError
+
+JOB_STATUSES = ("queued", "running", "done", "error")
+
+_job_counter = itertools.count(1)
+_job_counter_lock = threading.Lock()
+
+
+@dataclass
+class Job:
+    """One profiling job and its lifecycle state."""
+
+    id: str
+    workload: str
+    profiler: str = "scalene"
+    mode: str = "full"
+    scale: float = 1.0
+    config: Optional[Dict] = None
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    profile_id: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    def payload(self) -> Dict:
+        """The picklable worker input."""
+        return {
+            "workload": self.workload,
+            "profiler": self.profiler,
+            "mode": self.mode,
+            "scale": self.scale,
+            "config": self.config,
+        }
+
+
+def new_job(payload: Dict) -> Job:
+    """Validate a submission payload and build a queued :class:`Job`.
+
+    Validation happens here, in the daemon process, so a bad submission
+    fails the HTTP request synchronously instead of poisoning a worker.
+    """
+    from repro.baselines import profiler_names
+    from repro.core.config import _MODES
+    from repro.workloads import get_workload
+
+    if not isinstance(payload, dict):
+        raise ServeError("job payload must be a JSON object")
+    unknown = set(payload) - {"workload", "profiler", "mode", "scale", "config"}
+    if unknown:
+        raise ServeError(f"unknown job fields: {sorted(unknown)}")
+    workload = payload.get("workload")
+    if not workload:
+        raise ServeError("job payload needs a 'workload'")
+    get_workload(workload)  # raises WorkloadError on unknown names
+    profiler = payload.get("profiler", "scalene")
+    if profiler != "scalene" and profiler not in profiler_names():
+        raise ServeError(
+            f"unknown profiler {profiler!r}; "
+            f"use 'scalene' or one of {sorted(profiler_names())}"
+        )
+    mode = payload.get("mode", "full")
+    if profiler == "scalene" and mode not in _MODES:
+        raise ServeError(f"unknown Scalene mode {mode!r}; use one of {_MODES}")
+    scale = payload.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        raise ServeError(f"scale must be a positive number, got {scale!r}")
+    config = payload.get("config")
+    if config is not None:
+        if not isinstance(config, dict):
+            raise ServeError("config must be a JSON object of ScaleneConfig overrides")
+        valid = {f.name for f in dataclasses.fields(ScaleneConfig)}
+        bad = set(config) - valid
+        if bad:
+            raise ServeError(f"unknown config overrides: {sorted(bad)}")
+    with _job_counter_lock:
+        sequence = next(_job_counter)
+    return Job(
+        id=f"job-{sequence:06d}",
+        workload=workload,
+        profiler=profiler,
+        mode=mode,
+        scale=float(scale),
+        config=config,
+        submitted_at=time.time(),
+    )
+
+
+def execute_job(payload: Dict) -> str:
+    """Run one profiling job; returns the profile as JSON text.
+
+    Runs inside a worker process; everything in and out is picklable.
+    """
+    from repro.baselines import make_profiler
+    from repro.core import Scalene
+    from repro.workloads import get_workload
+
+    workload = get_workload(payload["workload"])
+    process = workload.make_process(payload.get("scale", 1.0))
+    profiler_name = payload.get("profiler", "scalene")
+    if profiler_name == "scalene":
+        overrides = payload.get("config") or {}
+        config = ScaleneConfig(mode=payload.get("mode", "full"), **overrides)
+        scalene = Scalene(process, config=config)
+        scalene.start()
+        process.run()
+        profile = scalene.stop()
+    else:
+        profiler = make_profiler(profiler_name, process)
+        profiler.start()
+        process.run()
+        report = profiler.stop()
+        profile = profile_from_baseline(report, elapsed=process.clock.wall)
+    return profile.to_json()
+
+
+def profile_from_baseline(report, elapsed: float) -> ProfileData:
+    """Adapt a :class:`BaselineReport` into the common profile model.
+
+    Baselines measure a subset of Scalene's dimensions: their attributed
+    time goes in the Python column (none of them split Python from
+    native), per-line memory fills the peak column, and everything they
+    cannot see stays zero. The mode records which profiler produced it.
+    """
+    total_time = sum(report.line_times.values()) or sum(
+        report.function_times.values()
+    )
+    pct = (lambda t: 100.0 * t / total_time if total_time > 0 else 0.0)
+    lines = [
+        LineReport(
+            filename=filename,
+            lineno=lineno,
+            function="",
+            source="",
+            cpu_python_percent=pct(seconds),
+            cpu_native_percent=0.0,
+            cpu_system_percent=0.0,
+            mem_avg_mb=0.0,
+            mem_peak_mb=report.line_memory_mb.get((filename, lineno), 0.0),
+            mem_python_percent=0.0,
+            mem_activity_percent=0.0,
+            timeline=[],
+            copy_mb_s=0.0,
+            gpu_percent=0.0,
+            gpu_mem_peak_mb=0.0,
+        )
+        for (filename, lineno), seconds in sorted(report.line_times.items())
+    ]
+    functions = [
+        FunctionReport(
+            filename=filename,
+            function=function,
+            cpu_python_percent=pct(seconds),
+            cpu_native_percent=0.0,
+            cpu_system_percent=0.0,
+            malloc_mb=0.0,
+            copy_mb=0.0,
+            gpu_percent=0.0,
+        )
+        for (filename, function), seconds in sorted(report.function_times.items())
+    ]
+    functions.sort(key=lambda r: r.cpu_total_percent, reverse=True)
+    return ProfileData(
+        mode=f"baseline:{report.profiler}",
+        elapsed=elapsed,
+        cpu_python_time=total_time,
+        cpu_native_time=0.0,
+        cpu_system_time=0.0,
+        cpu_samples=report.total_samples,
+        mem_samples=len(report.line_memory_mb),
+        peak_footprint_mb=report.peak_memory_mb or 0.0,
+        total_copy_mb=0.0,
+        gpu_mean_utilization=0.0,
+        gpu_mem_peak_mb=0.0,
+        lines=lines,
+        functions=functions,
+        sample_log_bytes=report.log_bytes,
+    )

@@ -1,0 +1,238 @@
+"""Content-addressed, versioned on-disk profile store.
+
+Layout under the store root::
+
+    objects/<id[:2]>/<id>.json    one canonical-JSON envelope per profile
+    index.json                    metadata for every stored profile
+
+Every object is an envelope ``{"store_format": 1, "profile": <payload>}``
+serialized as *canonical JSON* (sorted keys, minimal separators); the
+profile id is the SHA-256 of those bytes, so identical profiles dedupe to
+one object and any corruption is detected on read by re-hashing. The
+profile payload itself is schema-versioned
+(:data:`repro.core.profile_data.SCHEMA_VERSION`) and
+:meth:`~repro.core.profile_data.ProfileData.from_dict` fails loudly on a
+version this build cannot read.
+
+The index carries, per profile, the query key the aggregation engine
+works in — ``(workload, profiler, config_hash, tree_hash)`` — plus a few
+headline numbers (elapsed, peak, copy volume, sample counts) so listing
+and trend queries never have to open the objects themselves. Merged
+profiles record their constituent ids in ``parents``.
+
+Writes are atomic (temp file + ``os.replace``) and serialized by an
+in-process lock; the daemon funnels all persistence through one process,
+so no cross-process locking is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.config import ScaleneConfig
+from repro.core.profile_data import ProfileData
+from repro.errors import StoreError
+
+STORE_FORMAT = 1
+
+
+def canonical_json(payload: Dict) -> str:
+    """Deterministic JSON: sorted keys, minimal separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(config: Union[ScaleneConfig, Dict, None]) -> str:
+    """Stable hash of a profiling configuration (part of the index key)."""
+    if config is None:
+        return ""
+    if isinstance(config, ScaleneConfig):
+        config = dataclasses.asdict(config)
+    digest = hashlib.sha256(canonical_json(config).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def git_tree_hash(repo_root: Union[str, Path, None] = None) -> str:
+    """``HEAD^{tree}`` of the repo at ``repo_root`` ("" when unavailable)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD^{tree}"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except OSError:
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+class ProfileStore:
+    """A directory of content-addressed profiles plus a metadata index."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.index_path = self.root / "index.json"
+        self._lock = threading.RLock()
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        if not self.index_path.exists():
+            self._write_index({"format": STORE_FORMAT, "entries": []})
+
+    # -- write ----------------------------------------------------------
+
+    def put(
+        self,
+        profile: ProfileData,
+        *,
+        workload: str = "",
+        profiler: str = "scalene",
+        config: Union[ScaleneConfig, Dict, None] = None,
+        tree_hash: str = "",
+        parents: Sequence[str] = (),
+        created_at: Optional[float] = None,
+    ) -> str:
+        """Persist ``profile``; returns its content id (idempotent)."""
+        envelope = {"store_format": STORE_FORMAT, "profile": profile.to_dict()}
+        blob = canonical_json(envelope)
+        profile_id = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        entry = {
+            "id": profile_id,
+            "workload": workload,
+            "profiler": profiler,
+            "config_hash": config if isinstance(config, str) else config_hash(config),
+            "tree_hash": tree_hash,
+            "mode": profile.mode,
+            "elapsed_s": profile.elapsed,
+            "cpu_samples": profile.cpu_samples,
+            "mem_samples": profile.mem_samples,
+            "peak_mb": profile.peak_footprint_mb,
+            "copy_mb": profile.total_copy_mb,
+            "alloc_mb": profile.total_alloc_mb,
+            "leaks": len(profile.leaks),
+            "parents": list(parents),
+            "created_at": created_at if created_at is not None else time.time(),
+        }
+        with self._lock:
+            path = self._object_path(profile_id)
+            if not path.exists():
+                self._atomic_write(path, blob + "\n")
+            index = self._read_index()
+            if not any(e["id"] == profile_id for e in index["entries"]):
+                index["entries"].append(entry)
+                self._write_index(index)
+        return profile_id
+
+    # -- read -----------------------------------------------------------
+
+    def get(self, profile_id: str) -> ProfileData:
+        """Load a profile by id (or unique id prefix), verifying content."""
+        return ProfileData.from_dict(self.get_raw(profile_id)["profile"])
+
+    def get_raw(self, profile_id: str) -> Dict:
+        """The stored envelope, content-verified, as a dict."""
+        profile_id = self.resolve(profile_id)
+        path = self._object_path(profile_id)
+        try:
+            blob = path.read_text(encoding="utf-8")
+        except OSError:
+            raise StoreError(f"profile object {profile_id} missing from store") from None
+        digest = hashlib.sha256(blob.rstrip("\n").encode("utf-8")).hexdigest()
+        if digest != profile_id:
+            raise StoreError(
+                f"profile object {profile_id[:12]}… is corrupt "
+                f"(content hashes to {digest[:12]}…)"
+            )
+        envelope = json.loads(blob)
+        if envelope.get("store_format") != STORE_FORMAT:
+            raise StoreError(
+                f"unsupported store format {envelope.get('store_format')!r}; "
+                f"this build reads format {STORE_FORMAT}"
+            )
+        return envelope
+
+    def resolve(self, profile_id: str) -> str:
+        """Expand a unique id prefix to the full id."""
+        if not profile_id:
+            raise StoreError("empty profile id")
+        matches = [e["id"] for e in self.entries() if e["id"].startswith(profile_id)]
+        if not matches:
+            raise StoreError(f"unknown profile id {profile_id!r}")
+        if len(set(matches)) > 1:
+            raise StoreError(f"ambiguous profile id prefix {profile_id!r}")
+        return matches[0]
+
+    def entry(self, profile_id: str) -> Dict:
+        profile_id = self.resolve(profile_id)
+        for e in self.entries():
+            if e["id"] == profile_id:
+                return e
+        raise StoreError(f"profile {profile_id} has no index entry")
+
+    def entries(self) -> List[Dict]:
+        """All index entries, insertion-ordered."""
+        with self._lock:
+            return list(self._read_index()["entries"])
+
+    def find(
+        self,
+        *,
+        workload: Optional[str] = None,
+        profiler: Optional[str] = None,
+        config_hash: Optional[str] = None,
+        tree_hash: Optional[str] = None,
+    ) -> List[Dict]:
+        """Index entries matching every given component of the key."""
+        def match(entry: Dict) -> bool:
+            return (
+                (workload is None or entry["workload"] == workload)
+                and (profiler is None or entry["profiler"] == profiler)
+                and (config_hash is None or entry["config_hash"] == config_hash)
+                and (tree_hash is None or entry["tree_hash"] == tree_hash)
+            )
+
+        return [e for e in self.entries() if match(e)]
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __contains__(self, profile_id: str) -> bool:
+        try:
+            self.resolve(profile_id)
+        except StoreError:
+            return False
+        return True
+
+    # -- internals ------------------------------------------------------
+
+    def _object_path(self, profile_id: str) -> Path:
+        return self.objects_dir / profile_id[:2] / f"{profile_id}.json"
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _read_index(self) -> Dict:
+        try:
+            index = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise StoreError(f"cannot read store index {self.index_path}: {exc}")
+        if index.get("format") != STORE_FORMAT:
+            raise StoreError(
+                f"unsupported index format {index.get('format')!r}; "
+                f"this build reads format {STORE_FORMAT}"
+            )
+        return index
+
+    def _write_index(self, index: Dict) -> None:
+        self._atomic_write(self.index_path, json.dumps(index, indent=2) + "\n")

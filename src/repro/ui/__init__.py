@@ -7,7 +7,7 @@
   :meth:`repro.core.profile_data.ProfileData.render_text`.
 """
 
-from repro.ui.json_output import write_json
+from repro.ui.json_output import render_json, write_json
 from repro.ui.html_output import render_html, write_html
 
-__all__ = ["write_json", "render_html", "write_html"]
+__all__ = ["render_json", "write_json", "render_html", "write_html"]

@@ -12,8 +12,13 @@ from typing import Union
 from repro.core.profile_data import ProfileData
 
 
+def render_json(profile: ProfileData, indent: int = 2) -> str:
+    """The profile JSON payload as a string (what the HTTP API serves)."""
+    return profile.to_json(indent=indent) + "\n"
+
+
 def write_json(profile: ProfileData, path: Union[str, Path], indent: int = 2) -> Path:
     """Write the profile JSON to ``path``; returns the path written."""
     path = Path(path)
-    path.write_text(profile.to_json(indent=indent) + "\n", encoding="utf-8")
+    path.write_text(render_json(profile, indent=indent), encoding="utf-8")
     return path

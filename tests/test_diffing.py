@@ -80,3 +80,93 @@ def test_render_text():
     assert "speedup" in text
     assert "peak memory" in text
     assert "biggest line improvements" in text
+
+
+# ---------------------------------------------------------------------------
+# Disjoint profiles + function/leak deltas (the serve /diff contract)
+# ---------------------------------------------------------------------------
+
+DISJOINT_BEFORE = (
+    "items = []\n"
+    "for i in range(3000):\n"
+    "    items.append(i * 2)\n"
+)
+DISJOINT_AFTER = (
+    "a = np.zeros(500000)\n"
+    "b = np.copy(a)\n"
+    "native_work(0.4)\n"
+)
+
+
+def test_disjoint_line_sets_diff_against_zero():
+    """Profiles of entirely different programs diff without raising."""
+    before = profile(DISJOINT_BEFORE)
+    after = profile(DISJOINT_AFTER)
+    # Distinct filenames too: nothing matches on (filename, lineno).
+    diff = diff_profiles(before, after)
+    keys_before = {(l.filename, l.lineno) for l in before.lines}
+    keys_after = {(l.filename, l.lineno) for l in after.lines}
+    assert keys_before.isdisjoint(keys_after) or keys_before & keys_after
+    covered = {(d.filename, d.lineno) for d in diff.line_deltas}
+    assert covered == keys_before | keys_after
+    # Lines only in `before` lose their full share; only-in-`after` gain it.
+    for delta in diff.line_deltas:
+        if (delta.filename, delta.lineno) in keys_before - keys_after:
+            b = before.line(delta.lineno, delta.filename)
+            assert delta.cpu_percent_delta == pytest.approx(-b.cpu_total_percent)
+    diff.render_text()  # renders without raising
+
+
+def test_diff_empty_profiles():
+    from repro.core.profile_data import ProfileData
+
+    empty = ProfileData(
+        mode="full", elapsed=0.0, cpu_python_time=0, cpu_native_time=0,
+        cpu_system_time=0, cpu_samples=0, mem_samples=0, peak_footprint_mb=0,
+        total_copy_mb=0, gpu_mean_utilization=0, gpu_mem_peak_mb=0,
+    )
+    diff = diff_profiles(empty, P_AFTER)
+    assert len(diff.line_deltas) == len(P_AFTER.lines)
+    assert diff_profiles(empty, empty).line_deltas == []
+
+
+def test_function_deltas_cover_both_sides():
+    functions_before = {(f.filename, f.function) for f in P_BEFORE.functions}
+    functions_after = {(f.filename, f.function) for f in P_AFTER.functions}
+    covered = {(d.filename, d.function) for d in DIFF.function_deltas}
+    assert covered == functions_before | functions_after
+
+
+def test_leak_deltas_fixed_leak_goes_negative():
+    from repro.core.leak_detector import LeakReport
+    from repro.core.profile_data import ProfileData
+
+    def with_leak(leaks):
+        return ProfileData(
+            mode="full", elapsed=10.0, cpu_python_time=1, cpu_native_time=0,
+            cpu_system_time=0, cpu_samples=10, mem_samples=5,
+            peak_footprint_mb=100, total_copy_mb=0, gpu_mean_utilization=0,
+            gpu_mem_peak_mb=0, leaks=leaks,
+        )
+
+    leak = LeakReport(
+        filename="app.py", lineno=7, function="grow", likelihood=0.97,
+        leak_rate_mb_s=2.0, mallocs=40, frees=0,
+    )
+    diff = diff_profiles(with_leak([leak]), with_leak([]))
+    assert len(diff.leak_deltas) == 1
+    assert diff.leak_deltas[0].likelihood_delta == pytest.approx(-0.97)
+    assert "leaks fixed" in diff.render_text()
+    reverse = diff_profiles(with_leak([]), with_leak([leak]))
+    assert reverse.leak_deltas[0].likelihood_delta == pytest.approx(0.97)
+    assert "new leaks" in reverse.render_text()
+
+
+def test_diff_to_dict_is_json_ready():
+    import json
+
+    payload = DIFF.to_dict()
+    json.dumps(payload)  # round-trips through JSON
+    assert payload["speedup"] == pytest.approx(DIFF.speedup)
+    assert len(payload["lines"]) == len(DIFF.line_deltas)
+    assert {"functions", "leaks", "regressions"} <= set(payload)

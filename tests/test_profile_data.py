@@ -120,3 +120,103 @@ def test_mem_python_percent():
         stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[]
     )
     assert profile.line(2).mem_python_percent == pytest.approx(75.0)
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip (the profile store's contract)
+# ---------------------------------------------------------------------------
+
+
+def full_profile():
+    """A profile exercising every field family: CPU, memory, leaks, lints."""
+    from repro import SimProcess
+    from repro.analysis.triangulate import lint_and_triangulate
+    from repro.core import Scalene
+
+    source = (
+        "total = 0\n"
+        "for i in range(4000):\n"
+        "    total = total + i * 3\n"
+        "native_work(0.5)\n"
+        "bufs = []\n"
+        "for j in range(16):\n"
+        "    bufs.append(py_buffer(1048576))\n"
+        "print(total)\n"
+    )
+    process = SimProcess(source, filename="roundtrip.py")
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    lint_and_triangulate(source, profile, filename="roundtrip.py")
+    return profile
+
+
+def test_json_round_trip_is_exact():
+    from repro.core.profile_data import ProfileData
+
+    profile = full_profile()
+    restored = ProfileData.from_json(profile.to_json())
+    assert restored.to_dict() == profile.to_dict()
+    # Rendering works identically on the restored profile (lints included).
+    assert restored.render_text() == profile.render_text()
+
+
+def test_round_trip_restores_counters_and_leaks():
+    from repro.core.leak_detector import LeakReport
+    from repro.core.profile_data import ProfileData
+
+    stats = make_stats(10)
+    stats.total_alloc_mb = 12.5
+    profile = build_profile(
+        stats,
+        ScaleneConfig(),
+        source_lines={"app.py": []},
+        leaks=[
+            LeakReport(
+                filename="app.py", lineno=5, function="fn2", likelihood=0.96,
+                leak_rate_mb_s=1.25, mallocs=30, frees=0,
+            )
+        ],
+        sample_log_bytes=4096,
+    )
+    restored = ProfileData.from_json(profile.to_json())
+    assert restored.total_alloc_mb == 12.5
+    assert restored.sample_log_bytes == 4096
+    leak = restored.leaks[0]
+    assert (leak.mallocs, leak.frees) == (30, 0)
+    assert leak.likelihood == pytest.approx(0.96)
+    assert restored.memory_timeline == profile.memory_timeline
+
+
+def test_from_json_rejects_other_schema_versions():
+    import json
+
+    from repro.core.profile_data import SCHEMA_VERSION, ProfileData
+    from repro.errors import ProfileSchemaError
+
+    stats = make_stats(3)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    payload = profile.to_dict()
+    assert payload["schema"] == SCHEMA_VERSION
+
+    for bad_schema in (None, SCHEMA_VERSION - 1, SCHEMA_VERSION + 1, "2"):
+        tampered = dict(payload, schema=bad_schema)
+        with pytest.raises(ProfileSchemaError):
+            ProfileData.from_dict(tampered)
+    with pytest.raises(ProfileSchemaError):
+        ProfileData.from_json("not json {")
+    with pytest.raises(ProfileSchemaError):
+        ProfileData.from_dict([payload])
+
+
+def test_from_dict_fails_loudly_on_missing_keys():
+    from repro.core.profile_data import ProfileData
+    from repro.errors import ProfileSchemaError
+
+    stats = make_stats(3)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    payload = profile.to_dict()
+    del payload["memory"]["total_alloc_mb"]
+    with pytest.raises(ProfileSchemaError, match="missing key"):
+        ProfileData.from_dict(payload)

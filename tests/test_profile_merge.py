@@ -1,0 +1,290 @@
+"""Property tests for profile merge semantics (repro.serve aggregation).
+
+The merge rules (see ``repro.core.profile_data``): additive counters
+sum, high-water marks take the max, fractions recombine sample-weighted
+from the underlying absolute quantities, and leak likelihoods re-derive
+from the *summed* malloc/free counters via Laplace's Rule of Succession.
+Those rules make the merge associative and commutative up to float
+rounding — which is what lets the daemon merge worker profiles in any
+order and incrementally.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.core.leak_detector import LeakReport, leak_likelihood
+from repro.core.profile_data import (
+    FunctionReport,
+    LineReport,
+    ProfileData,
+    merge_profiles,
+)
+from repro.errors import ProfilerError
+
+# ---------------------------------------------------------------------------
+# Synthetic-profile strategy: draw raw per-line counters, then derive the
+# percentage fields exactly the way build_profile does, so every generated
+# profile is internally consistent.
+# ---------------------------------------------------------------------------
+
+mb = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+seconds = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def profiles(draw):
+    num_lines = draw(st.integers(min_value=0, max_value=5))
+    raw_lines = []
+    for index in range(num_lines):
+        lineno = draw(st.integers(min_value=1, max_value=8))
+        malloc = draw(mb)
+        raw_lines.append(
+            {
+                "filename": draw(st.sampled_from(["a.py", "b.py"])),
+                "lineno": lineno,
+                "python_s": draw(seconds),
+                "native_s": draw(seconds),
+                "system_s": draw(seconds),
+                "malloc_mb": malloc,
+                "python_alloc_mb": malloc * draw(st.floats(0.0, 1.0)),
+                "peak_mb": draw(mb),
+                "copy_mb": draw(mb),
+            }
+        )
+    # Collapse duplicate (filename, lineno) draws.
+    by_key = {}
+    for raw in raw_lines:
+        by_key[(raw["filename"], raw["lineno"])] = raw
+    raw_lines = list(by_key.values())
+
+    elapsed = draw(st.floats(min_value=0.1, max_value=100.0))
+    total_python = sum(r["python_s"] for r in raw_lines)
+    total_native = sum(r["native_s"] for r in raw_lines)
+    total_system = sum(r["system_s"] for r in raw_lines)
+    total_cpu = total_python + total_native + total_system
+    total_alloc = sum(r["malloc_mb"] for r in raw_lines)
+    pct = (lambda s: 100.0 * s / total_cpu if total_cpu > 0 else 0.0)
+
+    leaks = []
+    for key in draw(st.lists(st.sampled_from(["l1", "l2"]), unique=True)):
+        mallocs = draw(st.integers(min_value=1, max_value=50))
+        frees = draw(st.integers(min_value=0, max_value=mallocs))
+        leaks.append(
+            LeakReport(
+                filename="a.py",
+                lineno=1 if key == "l1" else 2,
+                function=key,
+                likelihood=leak_likelihood(mallocs, frees),
+                leak_rate_mb_s=draw(mb) / elapsed,
+                mallocs=mallocs,
+                frees=frees,
+            )
+        )
+
+    return ProfileData(
+        mode="full",
+        elapsed=elapsed,
+        cpu_python_time=total_python,
+        cpu_native_time=total_native,
+        cpu_system_time=total_system,
+        cpu_samples=draw(st.integers(min_value=0, max_value=10_000)),
+        mem_samples=draw(st.integers(min_value=1, max_value=10_000)),
+        peak_footprint_mb=max([r["peak_mb"] for r in raw_lines], default=0.0),
+        total_copy_mb=sum(r["copy_mb"] for r in raw_lines),
+        gpu_mean_utilization=draw(st.floats(0.0, 1.0)),
+        gpu_mem_peak_mb=draw(mb),
+        gpu_samples=draw(st.integers(min_value=0, max_value=1000)),
+        total_alloc_mb=total_alloc,
+        sample_log_bytes=draw(st.integers(min_value=0, max_value=1 << 20)),
+        leaks=leaks,
+        lines=[
+            LineReport(
+                filename=r["filename"],
+                lineno=r["lineno"],
+                function="f",
+                source="src",
+                cpu_python_percent=pct(r["python_s"]),
+                cpu_native_percent=pct(r["native_s"]),
+                cpu_system_percent=pct(r["system_s"]),
+                mem_avg_mb=r["peak_mb"] / 2,
+                mem_peak_mb=r["peak_mb"],
+                mem_python_percent=(
+                    100.0 * r["python_alloc_mb"] / r["malloc_mb"]
+                    if r["malloc_mb"] > 0
+                    else 0.0
+                ),
+                mem_activity_percent=(
+                    100.0 * r["malloc_mb"] / total_alloc if total_alloc > 0 else 0.0
+                ),
+                timeline=[(0.0, 0.0), (elapsed, r["peak_mb"])],
+                copy_mb_s=r["copy_mb"] / elapsed,
+                gpu_percent=draw(st.floats(0.0, 1.0)),
+                gpu_mem_peak_mb=draw(mb),
+            )
+            for r in raw_lines
+        ],
+        functions=[
+            FunctionReport(
+                filename=r["filename"],
+                function="f",
+                cpu_python_percent=pct(r["python_s"]),
+                cpu_native_percent=0.0,
+                cpu_system_percent=0.0,
+                malloc_mb=r["malloc_mb"],
+                copy_mb=r["copy_mb"],
+                gpu_percent=0.0,
+            )
+            for r in raw_lines[:1]
+        ],
+    )
+
+
+def counters(profile: ProfileData):
+    """The additive/max counters the merge must combine exactly."""
+    return {
+        "elapsed": profile.elapsed,
+        "python_s": profile.cpu_python_time,
+        "native_s": profile.cpu_native_time,
+        "system_s": profile.cpu_system_time,
+        "cpu_samples": profile.cpu_samples,
+        "mem_samples": profile.mem_samples,
+        "peak_mb": profile.peak_footprint_mb,
+        "copy_mb": profile.total_copy_mb,
+        "alloc_mb": profile.total_alloc_mb,
+        "gpu_samples": profile.gpu_samples,
+        "log_bytes": profile.sample_log_bytes,
+    }
+
+
+def assert_counters_close(left: ProfileData, right: ProfileData):
+    for name, a in counters(left).items():
+        b = counters(right)[name]
+        assert math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9), (name, a, b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=profiles(), b=profiles())
+def test_merge_commutative(a, b):
+    left = merge_profiles([a, b])
+    right = merge_profiles([b, a])
+    assert_counters_close(left, right)
+    assert {(l.filename, l.lineno) for l in left.lines} == {
+        (l.filename, l.lineno) for l in right.lines
+    }
+    for line in left.lines:
+        other = right.line(line.lineno, line.filename)
+        assert math.isclose(
+            line.cpu_total_percent, other.cpu_total_percent, abs_tol=1e-6
+        )
+        assert math.isclose(line.mem_peak_mb, other.mem_peak_mb, abs_tol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=profiles(), b=profiles(), c=profiles())
+def test_merge_associative(a, b, c):
+    left = merge_profiles([merge_profiles([a, b]), c])
+    right = merge_profiles([a, merge_profiles([b, c])])
+    assert_counters_close(left, right)
+    for line in left.lines:
+        other = right.line(line.lineno, line.filename)
+        assert other is not None
+        assert math.isclose(
+            line.cpu_total_percent, other.cpu_total_percent, abs_tol=1e-6
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(parts=st.lists(profiles(), min_size=2, max_size=4))
+def test_merged_counters_are_sums_and_maxes(parts):
+    merged = merge_profiles(parts)
+    assert merged.cpu_samples == sum(p.cpu_samples for p in parts)
+    assert merged.mem_samples == sum(p.mem_samples for p in parts)
+    assert merged.sample_log_bytes == sum(p.sample_log_bytes for p in parts)
+    assert math.isclose(
+        merged.total_copy_mb, sum(p.total_copy_mb for p in parts), abs_tol=1e-9
+    )
+    assert math.isclose(
+        merged.total_alloc_mb, sum(p.total_alloc_mb for p in parts), abs_tol=1e-9
+    )
+    assert merged.peak_footprint_mb == max(p.peak_footprint_mb for p in parts)
+    assert merged.gpu_mem_peak_mb == max(p.gpu_mem_peak_mb for p in parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(parts=st.lists(profiles(), min_size=2, max_size=4))
+def test_merged_leak_likelihood_is_laplace_on_summed_counters(parts):
+    merged = merge_profiles(parts)
+    for leak in merged.leaks:
+        key = (leak.filename, leak.lineno, leak.function)
+        mallocs = sum(
+            l.mallocs
+            for p in parts
+            for l in p.leaks
+            if (l.filename, l.lineno, l.function) == key
+        )
+        frees = sum(
+            l.frees
+            for p in parts
+            for l in p.leaks
+            if (l.filename, l.lineno, l.function) == key
+        )
+        assert leak.mallocs == mallocs
+        assert leak.frees == frees
+        assert leak.likelihood == pytest.approx(1.0 - (frees + 1) / (mallocs + 2))
+        assert leak.likelihood == pytest.approx(leak_likelihood(mallocs, frees))
+
+
+def test_merge_rejects_mixed_modes():
+    a = ProfileData(
+        mode="cpu", elapsed=1, cpu_python_time=1, cpu_native_time=0,
+        cpu_system_time=0, cpu_samples=1, mem_samples=0, peak_footprint_mb=0,
+        total_copy_mb=0, gpu_mean_utilization=0, gpu_mem_peak_mb=0,
+    )
+    b = ProfileData(
+        mode="full", elapsed=1, cpu_python_time=1, cpu_native_time=0,
+        cpu_system_time=0, cpu_samples=1, mem_samples=0, peak_footprint_mb=0,
+        total_copy_mb=0, gpu_mean_utilization=0, gpu_mem_peak_mb=0,
+    )
+    with pytest.raises(ProfilerError):
+        merge_profiles([a, b])
+    with pytest.raises(ProfilerError):
+        merge_profiles([])
+
+
+def test_merge_of_real_runs_matches_acceptance_semantics():
+    """Merging real Scalene profiles sums samples/volumes and maxes peaks."""
+    source = (
+        "bufs = []\n"
+        "for i in range(12):\n"
+        "    bufs.append(py_buffer(1048576))\n"
+        "total = 0\n"
+        "for i in range(3000):\n"
+        "    total = total + i\n"
+        "print(total)\n"
+    )
+
+    def run():
+        return Scalene.run(SimProcess(source, filename="merge_e2e.py"), mode="full")
+
+    parts = [run(), run(), run()]
+    merged = merge_profiles(parts)
+    assert merged.cpu_samples == sum(p.cpu_samples for p in parts)
+    assert merged.total_alloc_mb == pytest.approx(
+        sum(p.total_alloc_mb for p in parts)
+    )
+    assert merged.total_copy_mb == pytest.approx(
+        sum(p.total_copy_mb for p in parts)
+    )
+    assert merged.peak_footprint_mb == max(p.peak_footprint_mb for p in parts)
+    assert merged.elapsed == pytest.approx(sum(p.elapsed for p in parts))
+    # Line percentages recombine sample-weighted: identical runs keep them.
+    for line in parts[0].lines:
+        merged_line = merged.line(line.lineno, line.filename)
+        assert merged_line is not None
+        assert merged_line.cpu_total_percent == pytest.approx(
+            line.cpu_total_percent, abs=1e-6
+        )

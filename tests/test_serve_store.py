@@ -1,0 +1,153 @@
+"""Tests for the content-addressed profile store and aggregation engine."""
+
+import json
+
+import pytest
+
+from repro import SimProcess
+from repro.core import Scalene
+from repro.errors import StoreError
+from repro.serve import (
+    ProfileStore,
+    config_hash,
+    diff_stored,
+    find_regressions,
+    merge_stored,
+    trend,
+)
+
+SOURCE_A = (
+    "total = 0\n"
+    "for i in range(3000):\n"
+    "    total = total + i\n"
+    "print(total)\n"
+)
+SOURCE_B = (
+    "bufs = []\n"
+    "for j in range(12):\n"
+    "    bufs.append(py_buffer(1048576))\n"
+    "native_work(0.5)\n"
+)
+
+
+def run_profile(source, filename="store_test.py"):
+    return Scalene.run(SimProcess(source, filename=filename), mode="full")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ProfileStore(tmp_path / "store")
+
+
+def test_put_get_round_trip(store):
+    profile = run_profile(SOURCE_A)
+    profile_id = store.put(profile, workload="wl-a", profiler="scalene")
+    restored = store.get(profile_id)
+    assert restored.to_dict() == profile.to_dict()
+
+
+def test_content_addressing_dedupes_identical_profiles(store):
+    profile = run_profile(SOURCE_A)
+    first = store.put(profile, workload="wl-a")
+    second = store.put(profile, workload="wl-a")
+    assert first == second
+    assert len(store) == 1
+
+
+def test_distinct_profiles_get_distinct_ids(store):
+    id_a = store.put(run_profile(SOURCE_A), workload="wl-a")
+    id_b = store.put(run_profile(SOURCE_B), workload="wl-b")
+    assert id_a != id_b
+    assert len(store) == 2
+
+
+def test_prefix_resolution(store):
+    id_a = store.put(run_profile(SOURCE_A), workload="wl-a")
+    assert store.resolve(id_a[:12]) == id_a
+    assert id_a[:12] in store
+    with pytest.raises(StoreError, match="unknown profile id"):
+        store.get("0" * 64 if id_a[0] != "0" else "f" * 64)
+
+
+def test_index_filtering(store):
+    id_a = store.put(run_profile(SOURCE_A), workload="wl-a", tree_hash="t1")
+    id_b = store.put(run_profile(SOURCE_B), workload="wl-b", tree_hash="t2")
+    assert [e["id"] for e in store.find(workload="wl-a")] == [id_a]
+    assert [e["id"] for e in store.find(tree_hash="t2")] == [id_b]
+    assert store.find(workload="wl-a", tree_hash="t2") == []
+    assert {e["id"] for e in store.find()} == {id_a, id_b}
+
+
+def test_corrupt_object_detected(store):
+    profile_id = store.put(run_profile(SOURCE_A), workload="wl-a")
+    path = store._object_path(profile_id)
+    blob = json.loads(path.read_text())
+    blob["profile"]["cpu"]["samples"] += 1  # tamper
+    path.write_text(json.dumps(blob))
+    with pytest.raises(StoreError, match="corrupt"):
+        store.get(profile_id)
+
+
+def test_merge_stored_records_parents(store):
+    id_a = store.put(run_profile(SOURCE_A), workload="wl", tree_hash="t")
+    id_b = store.put(run_profile(SOURCE_B), workload="wl", tree_hash="t")
+    merged_id, merged = merge_stored(store, [id_a, id_b])
+    entry = store.entry(merged_id)
+    assert sorted(entry["parents"]) == sorted([id_a, id_b])
+    assert entry["workload"] == "wl"
+    assert entry["tree_hash"] == "t"
+    a, b = store.get(id_a), store.get(id_b)
+    assert merged.cpu_samples == a.cpu_samples + b.cpu_samples
+    assert merged.peak_footprint_mb == max(a.peak_footprint_mb, b.peak_footprint_mb)
+    with pytest.raises(StoreError, match="at least two"):
+        merge_stored(store, [id_a])
+
+
+def test_diff_stored(store):
+    id_a = store.put(run_profile(SOURCE_A), workload="wl")
+    id_b = store.put(run_profile(SOURCE_B), workload="wl")
+    diff = diff_stored(store, id_a, id_b)
+    payload = diff.to_dict()
+    assert payload["elapsed_before_s"] == store.get(id_a).elapsed
+    assert payload["lines"]  # disjoint programs still produce deltas
+
+
+def test_trend_orders_by_time_and_skips_merged(store):
+    id_a = store.put(run_profile(SOURCE_A), workload="wl", created_at=100.0)
+    id_b = store.put(run_profile(SOURCE_B), workload="wl", created_at=200.0)
+    merge_stored(store, [id_a, id_b])
+    points = trend(store, workload="wl")
+    assert [p["id"] for p in points] == [id_a, id_b]
+    all_points = trend(store, workload="wl", include_merged=True)
+    assert len(all_points) == 3
+
+
+def test_find_regressions_flags_consecutive_jumps():
+    points = [
+        {"id": "a", "workload": "wl", "elapsed_s": 1.0, "peak_mb": 10.0},
+        {"id": "b", "workload": "wl", "elapsed_s": 1.05, "peak_mb": 10.0},
+        {"id": "c", "workload": "wl", "elapsed_s": 2.5, "peak_mb": 30.0},
+    ]
+    flags = find_regressions(points)
+    assert len(flags) == 1
+    assert flags[0]["before"] == "b" and flags[0]["after"] == "c"
+    assert len(flags[0]["reasons"]) == 2
+
+
+def test_config_hash_stability_and_sensitivity():
+    from repro.core.config import ScaleneConfig
+
+    assert config_hash(None) == ""
+    assert config_hash({"a": 1}) == config_hash({"a": 1})
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+    assert config_hash(ScaleneConfig()) == config_hash(ScaleneConfig())
+    assert config_hash(ScaleneConfig()) != config_hash(ScaleneConfig(mode="cpu"))
+
+
+def test_store_reopens_from_disk(tmp_path):
+    first = ProfileStore(tmp_path / "store")
+    profile = run_profile(SOURCE_A)
+    profile_id = first.put(profile, workload="wl-a")
+    reopened = ProfileStore(tmp_path / "store")
+    assert reopened.get(profile_id).to_dict() == profile.to_dict()
+    assert reopened.entry(profile_id)["workload"] == "wl-a"
