@@ -18,6 +18,13 @@ or run the continuous-profiling service (:mod:`repro.serve`)::
     python -m repro profiles --url http://127.0.0.1:8000 --merge ID1 ID2
     python -m repro profiles --url http://127.0.0.1:8000 --diff ID1 ID2
 
+or chaos-test the service's self-healing (:mod:`repro.faults`) — a
+seeded, replayable fault schedule (worker crashes, torn store writes,
+signal/clock/allocator faults) driven through a live daemon::
+
+    python -m repro chaos --seed 1
+    python -m repro chaos --seed 1 --jobs 8 --torn-writes 2 --json
+
 Mirrors ``scalene yourprogram.py``: the CLI builds a simulated process,
 attaches the profiler, runs, and renders the report. ``lint --profile``
 triangulates the static findings with a Scalene run, ranking them by
@@ -117,6 +124,26 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="diff two stored profiles")
     profiles.add_argument("--trend", action="store_true",
                           help="time-ordered headline numbers (honours --workload)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run against a live daemon (self-healing check)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="chaos schedule seed")
+    chaos.add_argument("--jobs", type=int, default=8, help="concurrent jobs")
+    chaos.add_argument("--workers", type=int, default=2, help="worker processes")
+    chaos.add_argument("--store", default=None,
+                       help="store directory (default: a temp dir, removed after)")
+    chaos.add_argument("--exit-crashers", type=int, default=2,
+                       help="jobs whose worker hard-exits on attempt 1")
+    chaos.add_argument("--exception-crashers", type=int, default=2,
+                       help="jobs whose worker raises on attempt 1")
+    chaos.add_argument("--torn-writes", type=int, default=2,
+                       help="store writes to tear before healing")
+    chaos.add_argument("--drop-rate", type=float, default=0.1,
+                       help="per-expiry timer-signal drop probability")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
     return parser
 
 
@@ -286,6 +313,33 @@ def _cmd_profiles(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import contextlib
+    import tempfile
+
+    from repro.faults import run_chaos
+
+    with contextlib.ExitStack() as stack:
+        store_root = args.store or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-chaos-")
+        )
+        report = run_chaos(
+            args.seed,
+            store_root=store_root,
+            jobs=args.jobs,
+            workers=args.workers,
+            exit_crashers=args.exit_crashers,
+            exception_crashers=args.exception_crashers,
+            torn_writes=args.torn_writes,
+            signal_drop_rate=args.drop_rate,
+        )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name in workload_names():
@@ -311,6 +365,8 @@ def main(argv=None) -> int:
             return _cmd_submit(args)
         if args.command == "profiles":
             return _cmd_profiles(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         return _cmd_profile(args)
     except BrokenPipeError:
         # Output piped to a pager/head that exited early — not an error.

@@ -30,7 +30,8 @@ from repro.errors import ProfilerError, ProfileSchemaError
 #: Version of the JSON payload emitted by :meth:`ProfileData.to_dict`.
 #: Bump whenever the shape changes; :meth:`ProfileData.from_dict` fails
 #: loudly on any mismatch rather than guessing.
-SCHEMA_VERSION = 2
+#: v3 added the degraded-mode fields (``degraded``, ``faults``).
+SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -117,6 +118,15 @@ class ProfileData:
     #: via :func:`repro.analysis.triangulate.attach_lint`; rendered by
     #: every output backend.
     lint_findings: List = field(default_factory=list)
+    #: True when the run executed under injected (or detected) event-source
+    #: faults: the statistics are still bounded — see
+    #: :meth:`invariant_violations` — but sample counts and attributions
+    #: may be perturbed. Set by :func:`repro.faults.apply_fault_counters`.
+    degraded: bool = False
+    #: Per-fault-family counts of the faults that fired during the run
+    #: (e.g. ``{"signals_dropped": 3, "clock_jumps": 1}``); empty when the
+    #: run was clean.
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     # -- rendering -------------------------------------------------------
 
@@ -144,6 +154,14 @@ class ProfileData:
         total = self.cpu_python_time + self.cpu_native_time + self.cpu_system_time
         out.append(f"Scalene profile [{self.mode}] — elapsed {self.elapsed:.2f}s "
                    f"(CPU samples: {self.cpu_samples}, memory samples: {self.mem_samples})")
+        if self.degraded:
+            counters = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.fault_counters.items())
+            )
+            out.append(
+                f"  DEGRADED run — event-source faults observed: "
+                f"{counters or 'none recorded'}"
+            )
         if total > 0:
             out.append(
                 f"  time: {100 * self.cpu_python_time / total:.0f}% Python | "
@@ -214,6 +232,8 @@ class ProfileData:
         return {
             "schema": SCHEMA_VERSION,
             "mode": self.mode,
+            "degraded": self.degraded,
+            "faults": dict(self.fault_counters),
             "elapsed_s": self.elapsed,
             "cpu": {
                 "python_s": self.cpu_python_time,
@@ -312,6 +332,8 @@ class ProfileData:
             gpu = payload["gpu"]
             profile = cls(
                 mode=payload["mode"],
+                degraded=payload["degraded"],
+                fault_counters=dict(payload["faults"]),
                 elapsed=payload["elapsed_s"],
                 cpu_python_time=cpu["python_s"],
                 cpu_native_time=cpu["native_s"],
@@ -401,6 +423,129 @@ class ProfileData:
             if entry.function == name:
                 return entry
         return None
+
+    # -- bounded invariants (the degraded-mode contract) -------------------
+
+    def invariant_violations(self) -> List[str]:
+        """The bounded invariants every profile — degraded or not — obeys.
+
+        Returns human-readable violation strings (empty when the profile
+        is well-formed):
+
+        * no CPU time, sample count, footprint, copy/alloc volume, or
+          fault counter is negative;
+        * each line's three CPU percentages are in [0, 100] and sum to
+          ≤ 100 (within float tolerance);
+        * memory share/activity percentages are in [0, 100];
+        * leak likelihoods and GPU utilizations are in [0, 1].
+        """
+        violations: List[str] = []
+        eps = 1e-6
+
+        def check_nonneg(name: str, value) -> None:
+            if value < 0:
+                violations.append(f"{name} is negative: {value!r}")
+
+        check_nonneg("elapsed", self.elapsed)
+        check_nonneg("cpu_python_time", self.cpu_python_time)
+        check_nonneg("cpu_native_time", self.cpu_native_time)
+        check_nonneg("cpu_system_time", self.cpu_system_time)
+        check_nonneg("cpu_samples", self.cpu_samples)
+        check_nonneg("mem_samples", self.mem_samples)
+        check_nonneg("peak_footprint_mb", self.peak_footprint_mb)
+        check_nonneg("total_copy_mb", self.total_copy_mb)
+        check_nonneg("total_alloc_mb", self.total_alloc_mb)
+        check_nonneg("sample_log_bytes", self.sample_log_bytes)
+        if not 0.0 <= self.gpu_mean_utilization <= 1.0 + eps:
+            violations.append(
+                f"gpu_mean_utilization outside [0, 1]: {self.gpu_mean_utilization!r}"
+            )
+        for name, count in self.fault_counters.items():
+            check_nonneg(f"fault counter {name!r}", count)
+        for line in self.lines:
+            where = f"line {line.filename}:{line.lineno}"
+            for col in (
+                "cpu_python_percent",
+                "cpu_native_percent",
+                "cpu_system_percent",
+                "mem_python_percent",
+                "mem_activity_percent",
+            ):
+                value = getattr(line, col)
+                if not 0.0 <= value <= 100.0 + eps:
+                    violations.append(f"{where} {col} outside [0, 100]: {value!r}")
+            if line.cpu_total_percent > 100.0 + eps:
+                violations.append(
+                    f"{where} CPU percentages sum to "
+                    f"{line.cpu_total_percent:.4f} > 100"
+                )
+            check_nonneg(f"{where} mem_avg_mb", line.mem_avg_mb)
+            check_nonneg(f"{where} mem_peak_mb", line.mem_peak_mb)
+            check_nonneg(f"{where} copy_mb_s", line.copy_mb_s)
+            check_nonneg(f"{where} gpu_mem_peak_mb", line.gpu_mem_peak_mb)
+            if not 0.0 <= line.gpu_percent <= 1.0 + eps:
+                violations.append(
+                    f"{where} gpu_percent outside [0, 1]: {line.gpu_percent!r}"
+                )
+        for leak in self.leaks:
+            where = f"leak {leak.filename}:{leak.lineno}"
+            if not 0.0 <= leak.likelihood <= 1.0 + eps:
+                violations.append(
+                    f"{where} likelihood outside [0, 1]: {leak.likelihood!r}"
+                )
+            check_nonneg(f"{where} leak_rate_mb_s", leak.leak_rate_mb_s)
+            check_nonneg(f"{where} mallocs", leak.mallocs)
+            check_nonneg(f"{where} frees", leak.frees)
+        return violations
+
+    def clamp_bounded(self) -> "ProfileData":
+        """Force the bounded invariants to hold, in place.
+
+        Used on degraded profiles: injected event-source faults may
+        perturb sample counts and attribution, but the published numbers
+        must still be *bounded* — negatives clamp to zero, percentages to
+        [0, 100] (a line's three CPU percentages are rescaled
+        proportionally if their sum exceeds 100), likelihoods and GPU
+        utilizations to [0, 1]. Returns ``self`` for chaining.
+        """
+        clamp01 = lambda v: min(max(v, 0.0), 1.0)
+        self.elapsed = max(self.elapsed, 0.0)
+        self.cpu_python_time = max(self.cpu_python_time, 0.0)
+        self.cpu_native_time = max(self.cpu_native_time, 0.0)
+        self.cpu_system_time = max(self.cpu_system_time, 0.0)
+        self.cpu_samples = max(self.cpu_samples, 0)
+        self.mem_samples = max(self.mem_samples, 0)
+        self.peak_footprint_mb = max(self.peak_footprint_mb, 0.0)
+        self.total_copy_mb = max(self.total_copy_mb, 0.0)
+        self.total_alloc_mb = max(self.total_alloc_mb, 0.0)
+        self.sample_log_bytes = max(self.sample_log_bytes, 0)
+        self.gpu_mean_utilization = clamp01(self.gpu_mean_utilization)
+        self.gpu_mem_peak_mb = max(self.gpu_mem_peak_mb, 0.0)
+        for name in list(self.fault_counters):
+            self.fault_counters[name] = max(self.fault_counters[name], 0)
+        for line in self.lines:
+            line.cpu_python_percent = min(max(line.cpu_python_percent, 0.0), 100.0)
+            line.cpu_native_percent = min(max(line.cpu_native_percent, 0.0), 100.0)
+            line.cpu_system_percent = min(max(line.cpu_system_percent, 0.0), 100.0)
+            total = line.cpu_total_percent
+            if total > 100.0:
+                scale = 100.0 / total
+                line.cpu_python_percent *= scale
+                line.cpu_native_percent *= scale
+                line.cpu_system_percent *= scale
+            line.mem_python_percent = min(max(line.mem_python_percent, 0.0), 100.0)
+            line.mem_activity_percent = min(max(line.mem_activity_percent, 0.0), 100.0)
+            line.mem_avg_mb = max(line.mem_avg_mb, 0.0)
+            line.mem_peak_mb = max(line.mem_peak_mb, 0.0)
+            line.copy_mb_s = max(line.copy_mb_s, 0.0)
+            line.gpu_percent = clamp01(line.gpu_percent)
+            line.gpu_mem_peak_mb = max(line.gpu_mem_peak_mb, 0.0)
+        for leak in self.leaks:
+            leak.likelihood = clamp01(leak.likelihood)
+            leak.leak_rate_mb_s = max(leak.leak_rate_mb_s, 0.0)
+            leak.mallocs = max(leak.mallocs, 0)
+            leak.frees = max(leak.frees, 0)
+        return self
 
 
 def build_profile(
@@ -602,7 +747,10 @@ def _lint_from_dict(entry: Dict):
 #   counters — never by averaging probabilities;
 # * timelines are concatenated on a shared virtual clock (each run's
 #   points shifted by the cumulative elapsed time of the runs before
-#   it) and re-reduced to the usual point budget.
+#   it) and re-reduced to the usual point budget;
+# * degraded-mode accounting is pessimistic: the merged profile is
+#   degraded if *any* input was, and fault counters are summed key-wise
+#   (a merge never launders a faulty run into a clean one).
 #
 # Because every combination rule is a sum, a max, or a weighted mean
 # whose weight is itself a summed counter carried on the profile, the
@@ -819,6 +967,11 @@ def merge_profiles(
     ]
     leak_reports.sort(key=lambda r: r.leak_rate_mb_s, reverse=True)
 
+    merged_faults: Dict[str, int] = {}
+    for profile in profiles:
+        for name, count in profile.fault_counters.items():
+            merged_faults[name] = merged_faults.get(name, 0) + count
+
     return ProfileData(
         mode=profiles[0].mode,
         elapsed=merged_elapsed,
@@ -841,4 +994,6 @@ def merge_profiles(
         total_alloc_mb=merged_alloc,
         gpu_samples=merged_gpu_samples,
         lint_findings=lint_findings,
+        degraded=any(p.degraded for p in profiles),
+        fault_counters=merged_faults,
     )

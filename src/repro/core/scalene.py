@@ -174,13 +174,22 @@ class Scalene:
             leaks = self.leak_detector.report(
                 self.stats.memory_timeline, self.stats.elapsed
             )
-        return build_profile(
+        profile = build_profile(
             self.stats,
             self.config,
             source_lines=self._source_lines(),
             leaks=leaks,
             sample_log_bytes=self.sample_log_bytes,
         )
+        # Degraded-mode accounting: if a fault injector was threaded
+        # through the runtime, the profile says so (and how), and its
+        # bounded invariants are clamped rather than trusted.
+        faults = getattr(self.process, "faults", None)
+        if faults is not None:
+            from repro.faults import apply_fault_counters
+
+            apply_fault_counters(profile, faults)
+        return profile
 
     # -- helpers -------------------------------------------------------
 

@@ -79,6 +79,11 @@ class ProfileSchemaError(ReproError):
     profile would poison every merge and trend computed from it."""
 
 
+class FaultError(ReproError):
+    """An invalid fault-injection schedule: unknown spec fields, rates
+    outside [0, 1], or negative delays/counts."""
+
+
 class StoreError(ReproError):
     """Invalid profile-store operation: unknown profile id, corrupt object
     file (content hash mismatch), or an index entry pointing nowhere."""

@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the simulated runtime and the service.
+
+Scalene's statistics are only trustworthy if they stay bounded when the
+event sources misbehave: timer signals arrive late, get coalesced, or are
+lost outright while native code runs; allocations fail transiently; the
+process clock jumps; profiling workers crash mid-job; store writes tear.
+This package provides a *seed-driven fault plane* that reproduces those
+failure modes on demand — every decision comes from one seeded PRNG, so a
+fault schedule is a value (`FaultSpec`) and a chaos run is replayable.
+
+* :class:`FaultSpec` — a picklable description of which faults to inject
+  at which rates (plus the seed).
+* :class:`FaultInjector` — the decision engine threaded through
+  :mod:`repro.runtime.clock`, :mod:`repro.runtime.signals`,
+  :mod:`repro.runtime.memsys`, and :mod:`repro.serve`; it counts every
+  fault it fires so profiles can report exactly how degraded they are.
+* :func:`apply_fault_counters` — folds an injector's counters into a
+  finished profile, marking it ``degraded`` and clamping its invariants.
+* :func:`run_chaos` / :class:`ChaosReport` — the seeded end-to-end chaos
+  harness behind ``python -m repro chaos`` and ``tests/test_chaos.py``.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultSpec,
+    InjectedCrash,
+    apply_fault_counters,
+)
+from repro.faults.chaos import ChaosReport, run_chaos
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedCrash",
+    "apply_fault_counters",
+    "ChaosReport",
+    "run_chaos",
+]

@@ -1,0 +1,340 @@
+"""Seeded end-to-end chaos harness for the profiling service.
+
+:func:`run_chaos` drives a randomized-but-replayable fault schedule
+through a *real* daemon run: it starts a :class:`ProfileDaemon` on an
+ephemeral port, submits concurrent jobs over HTTP — each carrying its
+own deterministic :class:`~repro.faults.FaultSpec` (worker crashes and
+hard exits, runtime signal drops/coalesces/delays, clock jumps,
+allocator faults) — while the store tears its first writes, then checks
+the self-healing contract:
+
+* every submitted job completes **exactly once** (status ``done``, a
+  profile id, no lost or duplicated work);
+* every stored profile is flagged ``degraded`` with *accurate* fault
+  counters (verified by re-executing the job's deterministic payload
+  in-process and comparing counter-for-counter) and satisfies the
+  bounded invariants (:meth:`ProfileData.invariant_violations` empty);
+* the injected faults actually fired (pool breaks ≥ hard crashers,
+  retries ≥ exception crashers, torn writes as scheduled);
+* deleting ``index.json`` and reopening the store rebuilds the index
+  cleanly from the blobs (same profile ids).
+
+The same seed replays the same chaos run; ``python -m repro chaos`` and
+``tests/test_chaos.py`` both call this function.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faults.injector import FaultInjector, FaultSpec
+
+#: Cheap workloads the harness cycles through. Distinct names per job
+#: keep the circuit breaker (keyed by workload) out of the way of the
+#: exactly-once check; a dedicated breaker test trips it on purpose.
+CHAOS_WORKLOADS = (
+    "pprint",
+    "fannkuch",
+    "mdp",
+    "raytrace",
+    "balanced",
+    "leaky",
+    "docutils",
+    "sympy",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Everything :func:`run_chaos` measured and asserted."""
+
+    seed: int
+    jobs: List[Dict] = field(default_factory=list)
+    healing: Dict[str, int] = field(default_factory=dict)
+    store_faults: Dict[str, int] = field(default_factory=dict)
+    profiles_stored: int = 0
+    profiles_after_rebuild: int = 0
+    recovery: Dict[str, int] = field(default_factory=dict)
+    #: Exactly-once / fired-faults / rebuild failures (empty when ok).
+    problems: List[str] = field(default_factory=list)
+    #: Bounded-invariant violations across all stored profiles.
+    violations: List[str] = field(default_factory=list)
+    #: Jobs whose stored fault counters differ from a deterministic
+    #: in-process replay of the same payload.
+    counter_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.problems or self.violations or self.counter_mismatches)
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "jobs": self.jobs,
+            "healing": self.healing,
+            "store_faults": self.store_faults,
+            "profiles_stored": self.profiles_stored,
+            "profiles_after_rebuild": self.profiles_after_rebuild,
+            "recovery": self.recovery,
+            "problems": self.problems,
+            "violations": self.violations,
+            "counter_mismatches": self.counter_mismatches,
+        }
+
+    def summary(self) -> str:
+        done = sum(1 for j in self.jobs if j["status"] == "done")
+        lines = [
+            f"chaos seed {self.seed}: {'OK' if self.ok else 'FAILED'} — "
+            f"{done}/{len(self.jobs)} jobs done exactly once",
+            f"  healing: {self.healing}",
+            f"  store faults: {self.store_faults}; "
+            f"profiles {self.profiles_stored} stored, "
+            f"{self.profiles_after_rebuild} after index rebuild "
+            f"(recovery {self.recovery})",
+        ]
+        for name in ("problems", "violations", "counter_mismatches"):
+            for item in getattr(self, name):
+                lines.append(f"  {name[:-1]}: {item}")
+        return "\n".join(lines)
+
+
+def build_fault_schedules(
+    seed: int,
+    jobs: int,
+    *,
+    exit_crashers: int = 2,
+    exception_crashers: int = 2,
+    signal_drop_rate: float = 0.1,
+) -> List[FaultSpec]:
+    """The per-job fault schedules for one chaos run (deterministic).
+
+    Every job gets the runtime fault families (drop rate as given, plus
+    light coalesce/delay/clock/allocator rates); the first
+    ``exit_crashers`` jobs hard-exit their worker on attempt 1 (breaking
+    the pool), the next ``exception_crashers`` raise instead.
+    """
+    specs: List[FaultSpec] = []
+    for i in range(jobs):
+        crash_attempts = 0
+        crash_mode = "exception"
+        if i < exit_crashers:
+            crash_attempts, crash_mode = 1, "exit"
+        elif i < exit_crashers + exception_crashers:
+            crash_attempts, crash_mode = 1, "exception"
+        specs.append(
+            FaultSpec(
+                seed=seed * 1000 + i,  # unique stream per job
+                signal_drop_rate=signal_drop_rate,
+                signal_coalesce_rate=0.05,
+                signal_delay_rate=0.05,
+                clock_jump_rate=0.01,
+                clock_jump_s=0.02,
+                enomem_rate=0.02,
+                shim_reentrancy_rate=0.02,
+                crash_attempts=crash_attempts,
+                crash_mode=crash_mode,
+            )
+        )
+    return specs
+
+
+def run_chaos(
+    seed: int = 0,
+    *,
+    store_root: str,
+    jobs: int = 8,
+    workers: int = 2,
+    exit_crashers: int = 2,
+    exception_crashers: int = 2,
+    torn_writes: int = 2,
+    signal_drop_rate: float = 0.1,
+    scale: float = 0.3,
+    job_timeout_s: float = 60.0,
+    wait_s: float = 180.0,
+    verify_counters: bool = True,
+) -> ChaosReport:
+    """One seeded chaos run against a live daemon (see module docstring).
+
+    The defaults match the acceptance bar: 8 concurrent jobs, 4 worker
+    crashes (2 hard exits + 2 exceptions), 2 torn store writes, and a
+    10 % signal-drop rate on every job.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ProfileDaemon
+    from repro.serve.healing import RetryPolicy
+    from repro.serve.jobs import execute_job
+    from repro.serve.store import ProfileStore
+
+    report = ChaosReport(seed=seed)
+    specs = build_fault_schedules(
+        seed,
+        jobs,
+        exit_crashers=exit_crashers,
+        exception_crashers=exception_crashers,
+        signal_drop_rate=signal_drop_rate,
+    )
+    store = ProfileStore(store_root)
+    store.faults = FaultInjector(FaultSpec(seed=seed, torn_writes=torn_writes))
+    daemon = ProfileDaemon(
+        store,
+        workers=workers,
+        job_timeout_s=job_timeout_s,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.02, max_delay_s=0.2, seed=seed),
+    )
+    daemon.start()
+    try:
+        client = ServeClient(daemon.url)
+        workload_cycle = itertools.cycle(CHAOS_WORKLOADS)
+        submitted: List[Dict] = [
+            client.submit(
+                next(workload_cycle),
+                scale=scale,
+                faults=spec.to_dict(),
+            )
+            for spec in specs
+        ]
+        job_ids = [job["id"] for job in submitted]
+        _wait_all(client, job_ids, wait_s)
+        final = {job["id"]: job for job in client.jobs() if job["id"] in set(job_ids)}
+        report.healing = client.health()["healing"]
+
+        # -- exactly-once: every job done, with a stored profile --------
+        if len(final) != len(job_ids):
+            report.problems.append(
+                f"job ledger lost entries: submitted {len(job_ids)}, "
+                f"daemon reports {len(final)}"
+            )
+        for job_id in job_ids:
+            job = final.get(job_id)
+            if job is None:
+                continue
+            report.jobs.append(
+                {
+                    "id": job["id"],
+                    "workload": job["workload"],
+                    "status": job["status"],
+                    "attempts": job["attempts"],
+                    "crash_requeues": job["crash_requeues"],
+                    "profile_id": job["profile_id"],
+                    "error": job["error"],
+                }
+            )
+            if job["status"] != "done":
+                report.problems.append(
+                    f"{job_id} ({job['workload']}) ended "
+                    f"{job['status']}: {job['error']}"
+                )
+            elif not job["profile_id"]:
+                report.problems.append(f"{job_id} done but has no profile id")
+        done_profiles = [j["profile_id"] for j in report.jobs if j["profile_id"]]
+        if len(set(done_profiles)) != len(done_profiles):
+            report.problems.append(
+                "duplicated work: two jobs share a stored profile id "
+                "(distinct fault seeds must yield distinct profiles)"
+            )
+
+        # -- degraded profiles: flags, counters, bounded invariants ------
+        for entry in report.jobs:
+            if not entry["profile_id"]:
+                continue
+            profile = store.get(entry["profile_id"])
+            if not profile.degraded:
+                report.problems.append(
+                    f"{entry['id']} profile {entry['profile_id'][:12]} "
+                    f"not flagged degraded"
+                )
+            for name, count in profile.fault_counters.items():
+                if count < 0:
+                    report.violations.append(
+                        f"{entry['id']} fault counter {name} negative: {count}"
+                    )
+            report.violations.extend(
+                f"{entry['id']}: {violation}"
+                for violation in profile.invariant_violations()
+            )
+            if verify_counters:
+                mismatch = _replay_counters(
+                    execute_job, final[entry["id"]], profile.fault_counters
+                )
+                if mismatch:
+                    report.counter_mismatches.append(f"{entry['id']}: {mismatch}")
+
+        # -- the faults actually fired -----------------------------------
+        report.store_faults = store.faults.snapshot()
+        if exit_crashers and report.healing.get("pool_breaks", 0) < 1:
+            report.problems.append("no pool break despite scheduled hard exits")
+        if exit_crashers and report.healing.get("requeues", 0) < exit_crashers:
+            report.problems.append(
+                f"expected >= {exit_crashers} pool-break requeues, saw "
+                f"{report.healing.get('requeues', 0)}"
+            )
+        if exception_crashers and report.healing.get("retries", 0) < exception_crashers:
+            report.problems.append(
+                f"expected >= {exception_crashers} retries, saw "
+                f"{report.healing.get('retries', 0)}"
+            )
+        if report.store_faults.get("torn_writes", 0) != torn_writes:
+            report.problems.append(
+                f"expected {torn_writes} torn writes, injected "
+                f"{report.store_faults.get('torn_writes', 0)}"
+            )
+        report.profiles_stored = len(store)
+    finally:
+        daemon.stop()
+
+    # -- crash-safe store: the index is derived state ---------------------
+    before = sorted(entry["id"] for entry in store.entries())
+    store.index_path.unlink()
+    reopened = ProfileStore(store_root)
+    report.recovery = reopened.last_recovery  # opening the store heals it
+    after = sorted(entry["id"] for entry in reopened.entries())
+    report.profiles_after_rebuild = len(after)
+    if before != after:
+        report.problems.append(
+            f"index rebuild lost profiles: {len(before)} before, "
+            f"{len(after)} after"
+        )
+    return report
+
+
+def _wait_all(client, job_ids: List[str], wait_s: float) -> None:
+    """Poll until every job is terminal (jobs that error don't raise)."""
+    deadline = time.monotonic() + wait_s
+    pending = set(job_ids)
+    while pending and time.monotonic() < deadline:
+        for job in client.jobs():
+            if job["id"] in pending and job["status"] in ("done", "error"):
+                pending.discard(job["id"])
+        if pending:
+            time.sleep(0.05)
+
+
+def _replay_counters(
+    execute_job, job: Dict, stored_counters: Dict[str, int]
+) -> Optional[str]:
+    """Re-run the job's final attempt in-process; compare fault counters.
+
+    The simulated runtime and the injector PRNG are both deterministic,
+    so the stored counters must match a replay bit for bit (serve-side
+    families — torn writes, crash/hang — never appear in profile
+    counters; they are store/daemon accounting).
+    """
+    from repro.core.profile_data import ProfileData
+
+    payload = {
+        "workload": job["workload"],
+        "profiler": job["profiler"],
+        "mode": job["mode"],
+        "scale": job["scale"],
+        "config": job["config"],
+        "faults": job["faults"],
+        "attempt": job["attempts"],  # past the scheduled crashes
+    }
+    expected = ProfileData.from_json(execute_job(payload)).fault_counters
+    if expected != stored_counters:
+        return f"stored {stored_counters} != replayed {expected}"
+    return None

@@ -1,0 +1,250 @@
+"""The fault plane: seed-driven fault decisions plus per-fault accounting.
+
+A :class:`FaultSpec` says *what* may go wrong and how often; a
+:class:`FaultInjector` wraps it with one seeded PRNG and answers the
+point-of-injection questions the runtime asks ("does this timer expiry
+get dropped?", "does this allocation hit ENOMEM?"). Every fired fault is
+counted, and :func:`apply_fault_counters` carries those counts onto the
+finished profile so a degraded profile says precisely how it degraded.
+
+Fault families and where they are consulted:
+
+================  ==========================================  =====================
+family            consulted by                                 counter
+================  ==========================================  =====================
+signal drop       ``SignalManager.poll`` (per timer expiry)    ``signals_dropped``
+signal coalesce   ``SignalManager.poll`` (per timer expiry)    ``signals_coalesced``
+signal delay      ``SignalManager.poll`` (per raised signal)   ``signals_delayed``
+clock jump        ``VirtualClock.advance_*``                   ``clock_jumps``
+ENOMEM            ``MemSubsystem.py_alloc / native_alloc``     ``alloc_enomem``
+shim reentrancy   ``MemSubsystem.py_alloc / native_alloc``     ``shim_reentrancy``
+worker crash      ``serve.jobs.execute_job`` (per attempt)     (daemon-side stats)
+worker hang       ``serve.jobs.execute_job`` (per attempt)     (daemon-side stats)
+torn store write  ``serve.store.ProfileStore._atomic_write``   ``torn_writes``
+================  ==========================================  =====================
+
+The worker crash/hang faults are *schedules*, not rates: they key off the
+job's attempt number so a crashing job deterministically crashes on its
+first N attempts and then succeeds — the shape retry logic must survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import FaultError
+
+#: Worker-crash modes: raise an exception inside the worker (the pool
+#: survives) or hard-exit the worker process (BrokenProcessPool).
+CRASH_MODES = ("exception", "exit")
+
+
+class InjectedCrash(RuntimeError):
+    """Raised inside a worker by a scheduled ``crash_mode="exception"``.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the daemon's
+    healing path must treat it like any unexpected worker exception. It
+    is a module-level class so it pickles across the process boundary.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """A complete, picklable fault schedule (all faults off by default)."""
+
+    seed: int = 0
+    # -- timer-signal faults (runtime/signals.py) ----------------------
+    signal_drop_rate: float = 0.0
+    signal_coalesce_rate: float = 0.0
+    signal_delay_rate: float = 0.0
+    signal_delay_s: float = 0.02
+    # -- clock faults (runtime/clock.py) -------------------------------
+    clock_jump_rate: float = 0.0
+    clock_jump_s: float = 0.05
+    # -- allocator faults (runtime/memsys.py) --------------------------
+    enomem_rate: float = 0.0
+    shim_reentrancy_rate: float = 0.0
+    # -- serve-side faults ---------------------------------------------
+    #: Crash the worker while the job's attempt number is <= this.
+    crash_attempts: int = 0
+    crash_mode: str = "exception"
+    #: Stall the worker (sleeping ``hang_s`` real seconds) while the
+    #: job's attempt number is <= this — exercises job timeouts.
+    hang_attempts: int = 0
+    hang_s: float = 0.0
+    #: Tear the first N store writes (partial content, no atomic rename).
+    torn_writes: int = 0
+
+    _RATES = (
+        "signal_drop_rate",
+        "signal_coalesce_rate",
+        "signal_delay_rate",
+        "clock_jump_rate",
+        "enomem_rate",
+        "shim_reentrancy_rate",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._RATES:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.crash_mode not in CRASH_MODES:
+            raise FaultError(
+                f"crash_mode must be one of {CRASH_MODES}, got {self.crash_mode!r}"
+            )
+        for name in ("signal_delay_s", "clock_jump_s", "hang_s"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be >= 0")
+        for name in ("crash_attempts", "hang_attempts", "torn_writes"):
+            if getattr(self, name) < 0:
+                raise FaultError(f"{name} must be >= 0")
+
+    @property
+    def injects_runtime_faults(self) -> bool:
+        """Whether any in-process (profiler-visible) fault is enabled."""
+        return any(getattr(self, name) > 0.0 for name in self._RATES)
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultSpec":
+        """Validate and build a spec from a job-payload dict."""
+        if not isinstance(payload, dict):
+            raise FaultError("fault spec must be a JSON object")
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - valid
+        if unknown:
+            raise FaultError(f"unknown fault spec fields: {sorted(unknown)}")
+        return cls(**payload)
+
+
+class FaultInjector:
+    """Answers fault decisions from one seeded PRNG and counts the hits.
+
+    Decisions are consumed in runtime order; because the simulated
+    runtime itself is deterministic, the same spec (seed included)
+    replays the same fault schedule bit for bit.
+    """
+
+    def __init__(self, spec: Optional[FaultSpec] = None, **overrides) -> None:
+        self.spec = spec if spec is not None else FaultSpec(**overrides)
+        self._rng = random.Random(self.spec.seed)
+        self.counters: Dict[str, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the fault counters (only families that fired)."""
+        return dict(self.counters)
+
+    @property
+    def degrades_profile(self) -> bool:
+        """Whether an attached profile must be flagged ``degraded``.
+
+        True as soon as any runtime fault is *enabled*, not merely after
+        one fires: a schedule that may drop signals makes the resulting
+        statistics untrustworthy-by-construction even on a lucky run.
+        """
+        return self.spec.injects_runtime_faults or bool(self.counters)
+
+    def _chance(self, rate: float) -> bool:
+        return rate > 0.0 and self._rng.random() < rate
+
+    # -- timer-signal faults (consulted by SignalManager) ---------------
+
+    def timer_expiry_fate(self) -> str:
+        """``"deliver" | "drop" | "coalesce"`` for one timer expiry."""
+        if self._chance(self.spec.signal_drop_rate):
+            self.count("signals_dropped")
+            return "drop"
+        if self._chance(self.spec.signal_coalesce_rate):
+            self.count("signals_coalesced")
+            return "coalesce"
+        return "deliver"
+
+    def signal_delay(self) -> float:
+        """Extra delivery delay (seconds) for one raised timer signal."""
+        if self._chance(self.spec.signal_delay_rate):
+            self.count("signals_delayed")
+            return self.spec.signal_delay_s
+        return 0.0
+
+    # -- clock faults (consulted by VirtualClock) ------------------------
+
+    def clock_jump(self) -> float:
+        """Forward wall-clock jump (seconds) to fold into one advance."""
+        if self._chance(self.spec.clock_jump_rate):
+            self.count("clock_jumps")
+            return self.spec.clock_jump_s
+        return 0.0
+
+    # -- allocator faults (consulted by MemSubsystem) --------------------
+
+    def alloc_enomem(self) -> bool:
+        """Whether this allocation transiently fails with ENOMEM.
+
+        The runtime absorbs the failure by retrying (the allocation then
+        succeeds); the fault's observable effect is the counter plus the
+        perturbed event stream.
+        """
+        if self._chance(self.spec.enomem_rate):
+            self.count("alloc_enomem")
+            return True
+        return False
+
+    def shim_reentrancy(self) -> bool:
+        """Whether this allocation happens "inside the allocator".
+
+        A reentrant allocation bypasses the installed profiler hooks —
+        memory moves but no profiler event is published, the exact §3.1
+        hazard Scalene's in-allocator flag exists to contain.
+        """
+        if self._chance(self.spec.shim_reentrancy_rate):
+            self.count("shim_reentrancy")
+            return True
+        return False
+
+    # -- serve-side faults ------------------------------------------------
+
+    def worker_crash(self, attempt: int) -> Optional[str]:
+        """Crash mode for this execution attempt (None = run normally)."""
+        if attempt <= self.spec.crash_attempts:
+            return self.spec.crash_mode
+        return None
+
+    def worker_hang(self, attempt: int) -> float:
+        """Real seconds this attempt should stall before running."""
+        if attempt <= self.spec.hang_attempts:
+            return self.spec.hang_s
+        return 0.0
+
+    def tear_write(self) -> bool:
+        """Whether to tear the next store write (first N writes tear)."""
+        if self.counters.get("torn_writes", 0) < self.spec.torn_writes:
+            self.count("torn_writes")
+            return True
+        return False
+
+
+def apply_fault_counters(profile, injector: Optional[FaultInjector]):
+    """Fold ``injector``'s accounting into a finished profile.
+
+    Marks the profile ``degraded``, merges the fault counters, and clamps
+    the bounded invariants (percentages, likelihoods, volumes) so that a
+    degraded profile is still a *valid* profile. No-op without faults.
+    """
+    if injector is None or not injector.degrades_profile:
+        return profile
+    profile.degraded = True
+    for name, value in injector.snapshot().items():
+        profile.fault_counters[name] = profile.fault_counters.get(name, 0) + value
+    profile.clamp_bounded()
+    return profile

@@ -461,8 +461,10 @@ class VM:
         fifo = thread.churn
         # Fast clock path only when the SignalManager is the sole observer;
         # external samplers (py-spy/Austin baselines) subscribe to the clock
-        # and must see every advance.
-        fast_clock = len(clock._observers) <= 1
+        # and must see every advance. A fault injector also disables it:
+        # clock-jump faults are decided inside advance_cpu, which the fast
+        # path bypasses.
+        fast_clock = len(clock._observers) <= 1 and clock.faults is None
 
         K_LOAD_NAME = _K_LOAD_NAME
         K_LOAD_CONST = _K_LOAD_CONST

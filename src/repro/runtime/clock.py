@@ -33,14 +33,21 @@ class VirtualClock:
     * both clocks are monotonically non-decreasing;
     * CPU time never advances faster than wall time
       (``cpu_dt <= wall_dt`` on every step).
+
+    With a fault injector attached (``clock.faults``), an advance may
+    additionally carry a forward wall-clock *jump* — the NTP-step /
+    suspend-resume failure mode. Jumps only ever widen the wall side, so
+    both invariants hold under any fault schedule.
     """
 
-    __slots__ = ("_wall", "_cpu", "_observers")
+    __slots__ = ("_wall", "_cpu", "_observers", "faults")
 
     def __init__(self) -> None:
         self._wall = 0.0
         self._cpu = 0.0
         self._observers: List[AdvanceCallback] = []
+        #: Optional :class:`repro.faults.FaultInjector` (clock-jump faults).
+        self.faults = None
 
     # -- reading -----------------------------------------------------------
 
@@ -78,10 +85,13 @@ class VirtualClock:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
         if dt == 0.0:
             return
-        self._wall += dt
+        wall_dt = dt
+        if self.faults is not None:
+            wall_dt += self.faults.clock_jump()
+        self._wall += wall_dt
         self._cpu += dt
         for cb in self._observers:
-            cb(dt, dt)
+            cb(wall_dt, dt)
 
     def advance_wall(self, dt: float) -> None:
         """Wall time passed with no simulated CPU execution (IO wait, idle).
@@ -92,9 +102,12 @@ class VirtualClock:
             raise ValueError(f"cannot advance clock by negative dt={dt}")
         if dt == 0.0:
             return
-        self._wall += dt
+        wall_dt = dt
+        if self.faults is not None:
+            wall_dt += self.faults.clock_jump()
+        self._wall += wall_dt
         for cb in self._observers:
-            cb(dt, 0.0)
+            cb(wall_dt, 0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualClock(wall={self._wall:.6f}, cpu={self._cpu:.6f})"

@@ -28,13 +28,33 @@ class MemSubsystem:
         self.peak_footprint = 0
         #: Count of live heap-backed simulated objects (diagnostics).
         self.live_object_count = 0
+        #: Optional :class:`repro.faults.FaultInjector`. Two allocator
+        #: fault families are consulted on every allocation:
+        #:
+        #: * **ENOMEM** — the allocation transiently fails and is retried
+        #:   (the retry succeeds; only the fault counter and the perturbed
+        #:   timing remain observable);
+        #: * **shim reentrancy** — the allocation happens "inside the
+        #:   allocator": memory moves, but the installed profiler hooks
+        #:   never see the event (the §3.1 double-count hazard).
+        self.faults = None
 
     # -- python-domain allocations (via the PyMem hooks) ------------------------
 
     def py_alloc(self, nbytes: int, thread=None) -> PyAllocation:
         # Hot path (object churn): dispatch straight to the installed
         # allocator and inline _update_peak()/logical_footprint().
-        handle = self.hooks._current.alloc(nbytes, thread=thread)
+        faults = self.faults
+        if faults is not None:
+            faults.alloc_enomem()  # transient failure, absorbed by retry
+            if faults.shim_reentrancy():
+                # Reentrant path: go straight to pymalloc, bypassing any
+                # installed profiler wrapper — the event is unobserved.
+                handle = self.hooks._default.alloc(nbytes, thread=thread)
+            else:
+                handle = self.hooks._current.alloc(nbytes, thread=thread)
+        else:
+            handle = self.hooks._current.alloc(nbytes, thread=thread)
         gt = self.ground_truth
         if gt is not None:
             gt.record_alloc(thread, nbytes, "python")
@@ -67,6 +87,21 @@ class MemSubsystem:
     # -- native-domain allocations (via the shim) ------------------------
 
     def native_alloc(self, nbytes: int, thread=None, *, touch: bool = True, tag: str = "native") -> Allocation:
+        faults = self.faults
+        if faults is not None:
+            faults.alloc_enomem()  # transient failure, absorbed by retry
+            if faults.shim_reentrancy():
+                # Allocate under the in-allocator guard: the shim passes
+                # the request through but publishes no event.
+                with self.shim.allocator_guard(thread):
+                    alloc = self.shim.malloc(
+                        nbytes, thread=thread, touch=touch, tag=tag, domain=DOMAIN_NATIVE
+                    )
+                self._native_live_bytes += nbytes
+                if self.ground_truth is not None:
+                    self.ground_truth.record_alloc(thread, nbytes, "native")
+                self._update_peak()
+                return alloc
         alloc = self.shim.malloc(nbytes, thread=thread, touch=touch, tag=tag, domain=DOMAIN_NATIVE)
         self._native_live_bytes += nbytes
         if self.ground_truth is not None:

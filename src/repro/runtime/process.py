@@ -87,6 +87,9 @@ class SimProcess:
         #: The attached profiler exposing pause()/resume(), if any — the
         #: target of the ``profile_start()``/``profile_stop()`` builtins.
         self.profiler_control = None
+        #: The attached :class:`repro.faults.FaultInjector`, if any
+        #: (see :meth:`install_faults`).
+        self.faults = None
         self.call_opcode_map: Dict[int, frozenset] = {}
         self._ran = False
         # Populate builtins (import here to avoid a cycle at module level).
@@ -110,6 +113,20 @@ class SimProcess:
     def install_library(self, name: str, library: Any) -> None:
         """Expose a native library object as a global (an ``import`` analog)."""
         self.globals[name] = library
+
+    def install_faults(self, injector) -> None:
+        """Thread a :class:`repro.faults.FaultInjector` through the runtime.
+
+        Attaches the injector to the clock (jump faults), the signal
+        manager (drop/coalesce/delay faults), and the memory subsystem
+        (ENOMEM/reentrancy faults). Call before :meth:`run`; profilers
+        pick the injector up from ``process.faults`` when building the
+        final profile and flag it as degraded.
+        """
+        self.faults = injector
+        self.clock.faults = injector
+        self.signals.faults = injector
+        self.mem.faults = injector
 
     # -- execution ------------------------------------------------------------
 

@@ -13,6 +13,12 @@ Scalene's CPU profiler exploits (paper §2):
    deferred collapse into a single pending signal, exactly as a POSIX signal
    (non-realtime) would.
 
+A :class:`~repro.faults.FaultInjector` may be attached (``manager.faults``)
+to exercise the failure modes of this delivery machinery: individual timer
+expirations can be *dropped* (lost in the kernel), *coalesced* (forcibly
+merged into a neighbouring expiry), or *delayed* (held pending past their
+natural delivery boundary). Without an injector, behaviour is unchanged.
+
 Timers come in the three POSIX flavours: ``ITIMER_REAL`` ticks on wall time
 and raises ``SIGALRM``; ``ITIMER_VIRTUAL`` ticks on process CPU time and
 raises ``SIGVTALRM``; ``ITIMER_PROF`` ticks on CPU+system time and raises
@@ -71,6 +77,11 @@ class SignalManager:
         self._timers: Dict[str, _IntervalTimer] = {}
         self._pending: Dict[int, float] = {}  # signum -> wall time first raised
         self._handlers: Dict[int, SignalHandler] = {}
+        #: Optional :class:`repro.faults.FaultInjector`: timer expirations
+        #: may then be dropped, coalesced into the next expiry, or have
+        #: their delivery embargoed by an extra delay.
+        self.faults = None
+        self._embargo: Dict[int, float] = {}  # signum -> deliverable-at wall
         #: Number of timer expirations that collapsed into an already
         #: pending signal (useful for diagnostics and tests).
         self.collapsed_count = 0
@@ -137,6 +148,7 @@ class SignalManager:
         polling only when a cached deadline (see :meth:`next_deadlines`)
         has been crossed.
         """
+        faults = self.faults
         for timer in self._timers.values():
             base = self._time_base(timer.kind)
             # Catch up over any number of missed intervals; all expirations
@@ -144,12 +156,29 @@ class SignalManager:
             fired = False
             while base >= timer.deadline:
                 timer.deadline += timer.interval
+                if faults is not None:
+                    fate = faults.timer_expiry_fate()
+                    if fate == "drop":
+                        # Lost in the kernel: never becomes pending.
+                        continue
+                    if fate == "coalesce":
+                        # Forcibly merged into a neighbouring expiry: the
+                        # handler will observe one signal where two fired.
+                        self.collapsed_count += 1
+                        continue
                 if fired:
                     self.collapsed_count += 1
                 fired = True
             if fired:
                 timer.fired_at_wall = self._clock.wall
-                self.raise_signal(_TIMER_SIGNAL[timer.kind])
+                signum = _TIMER_SIGNAL[timer.kind]
+                self.raise_signal(signum)
+                if faults is not None:
+                    delay = faults.signal_delay()
+                    if delay > 0.0:
+                        due = self._clock.wall + delay
+                        if due > self._embargo.get(signum, 0.0):
+                            self._embargo[signum] = due
 
     def next_deadlines(self) -> Tuple[float, float]:
         """``(cpu_deadline, wall_deadline)`` of the earliest armed timers.
@@ -205,6 +234,14 @@ class SignalManager:
         # wait for the next boundary, as in a real kernel.
         pending = sorted(self._pending)
         for signum in pending:
+            if self._embargo:
+                # An injected delivery delay holds the signal pending past
+                # its natural boundary (late-arrival fault).
+                due = self._embargo.get(signum)
+                if due is not None:
+                    if self._clock.wall < due:
+                        continue
+                    del self._embargo[signum]
             self._pending.pop(signum, None)
             handler = self._handlers.get(signum)
             if handler is not None:
@@ -216,4 +253,5 @@ class SignalManager:
     def clear(self) -> None:
         """Drop all pending signals and disarm all timers."""
         self._pending.clear()
+        self._embargo.clear()
         self._timers.clear()

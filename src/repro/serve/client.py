@@ -59,8 +59,15 @@ class ServeClient:
         mode: str = "full",
         scale: float = 1.0,
         config: Optional[Dict] = None,
+        faults: Optional[Dict] = None,
+        timeout_s: Optional[float] = None,
     ) -> Dict:
-        """Submit a job; returns the job dict (status ``queued``)."""
+        """Submit a job; returns the job dict (status ``queued``).
+
+        ``faults`` is an optional :meth:`repro.faults.FaultSpec.to_dict`
+        payload (the job's fault schedule, for chaos testing);
+        ``timeout_s`` overrides the daemon's per-job wall-clock budget.
+        """
         payload = {
             "workload": workload,
             "profiler": profiler,
@@ -69,6 +76,10 @@ class ServeClient:
         }
         if config:
             payload["config"] = config
+        if faults:
+            payload["faults"] = faults
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
         return self._request("/jobs", body=payload)["job"]
 
     def job(self, job_id: str) -> Dict:

@@ -18,10 +18,41 @@
   render through the existing :mod:`repro.ui` backends
   (``render_json`` / ``render_html``).
 
+Self-healing (see DESIGN.md §8). The daemon assumes workers fail and
+heals around them rather than trusting them:
+
+* **Per-job timeouts** — a monitor thread enforces each job's
+  wall-clock budget (``timeout_s`` on the job, else the daemon default).
+  A queued-but-unstarted future is cancelled; a running one means a hung
+  worker, so the whole pool is recycled.
+* **Retry with backoff** — a failed attempt (worker exception, timeout,
+  unpersistable result) retries up to
+  :attr:`~repro.serve.healing.RetryPolicy.max_attempts` times with
+  seeded exponential backoff + jitter.
+* **Pool-break recovery** — a hard worker death (``os._exit``, segfault
+  analog) breaks every in-flight future with ``BrokenProcessPool``. The
+  first callback to notice respawns the pool and requeues all in-flight
+  jobs *exactly once per incident* (late callbacks hit an orphan guard);
+  a per-job ``crash_requeues`` cap stops a crash-looping job from
+  riding incidents forever.
+* **Circuit breaker** — repeated *clean* failures of one workload open
+  its circuit: further jobs for it fail fast without burning a worker
+  until a cooldown passes and a half-open probe succeeds. Pool-break
+  incidents are deliberately not charged to the breaker — the victim
+  set includes innocent bystanders.
+* **Graceful drain** — SIGTERM (or :meth:`ProfileDaemon.drain`) stops
+  accepting submissions, lets queued and in-flight jobs finish, then
+  shuts down; :meth:`ProfileDaemon.stop` joins every thread with a
+  deadline and cancels whatever is still pending.
+
+The dispatcher holds a worker-slot semaphore so a job's timeout clock
+only starts when a worker is actually free to run it.
+
 Endpoints::
 
-    GET  /health                  liveness + queue/worker/store counters
-    POST /jobs                    submit {workload, profiler?, mode?, scale?, config?}
+    GET  /health                  liveness + queue/worker/store/healing counters
+    POST /jobs                    submit {workload, profiler?, mode?, scale?,
+                                          config?, faults?, timeout_s?}
     GET  /jobs                    all jobs
     GET  /jobs/<id>               one job (status, profile_id when done)
     GET  /profiles                store index (?workload=&profiler=&...)
@@ -35,8 +66,11 @@ from __future__ import annotations
 
 import json
 import queue
+import signal as signal_module
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
@@ -44,11 +78,15 @@ from urllib.parse import parse_qs, urlparse
 from repro.core.profile_data import ProfileData
 from repro.errors import ReproError, ServeError, StoreError
 from repro.serve.aggregate import diff_stored, find_regressions, merge_stored, trend
+from repro.serve.healing import CircuitBreaker, RetryPolicy
 from repro.serve.jobs import Job, execute_job, new_job
 from repro.serve.store import ProfileStore, config_hash, git_tree_hash
 from repro.ui import render_html, render_json
 
 _SHUTDOWN = object()
+
+#: How often the monitor thread checks deadlines and due retries.
+_MONITOR_TICK_S = 0.02
 
 
 class ProfileDaemon:
@@ -61,19 +99,49 @@ class ProfileDaemon:
         workers: int = 2,
         host: str = "127.0.0.1",
         port: int = 0,
+        job_timeout_s: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        max_crash_requeues: int = 4,
     ) -> None:
         self.store = store if isinstance(store, ProfileStore) else ProfileStore(store)
         self.workers = max(1, workers)
+        self.job_timeout_s = float(job_timeout_s)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(5)
+        self.max_crash_requeues = max(0, int(max_crash_requeues))
         self.tree_hash = git_tree_hash()
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.RLock()
         self._queue: "queue.Queue" = queue.Queue()
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: job id -> the Future currently running it. Identity of the
+        #: mapped future is the orphan guard: a done-callback whose
+        #: future is no longer the mapped one was superseded by a
+        #: timeout or pool-break incident and must do nothing.
+        self._inflight: Dict[str, object] = {}
+        self._deadlines: Dict[str, float] = {}
+        #: job id -> monotonic instant its backoff expires.
+        self._retry_at: Dict[str, float] = {}
+        self._slots = threading.Semaphore(self.workers)
+        #: Healing counters, surfaced in ``/health``.
+        self.stats: Dict[str, int] = {
+            "retries": 0,
+            "requeues": 0,
+            "timeouts": 0,
+            "pool_breaks": 0,
+            "pool_respawns": 0,
+            "breaker_rejections": 0,
+            "store_write_retries": 0,
+        }
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.profile_daemon = self
         self._threads: List[threading.Thread] = []
         self._started = False
+        self._stopping = False
+        self._draining = False
+        self._stop_event = threading.Event()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -97,30 +165,85 @@ class ProfileDaemon:
         dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
+        monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-serve-monitor", daemon=True
+        )
         server = threading.Thread(
             target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
         )
-        self._threads = [dispatcher, server]
-        dispatcher.start()
-        server.start()
+        self._threads = [dispatcher, monitor, server]
+        for thread in self._threads:
+            thread.start()
 
     def stop(self) -> None:
-        if not self._started:
-            return
-        self._started = False
+        """Shut down now: cancel pending work, join every thread."""
+        with self._lock:
+            if not self._started or self._stopping:
+                return
+            self._stopping = True
+        self._stop_event.set()
         self._httpd.shutdown()
         self._httpd.server_close()
         self._queue.put(_SHUTDOWN)
+        with self._lock:
+            for job_id, future in list(self._inflight.items()):
+                future.cancel()  # running futures finish; queued ones die
+            for job_id in list(self._retry_at):
+                del self._retry_at[job_id]
+                job = self._jobs[job_id]
+                job.status = "error"
+                job.error = "daemon stopped before the retry ran"
+                job.finished_at = time.time()
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
         for thread in self._threads:
             thread.join(timeout=5)
+        stuck = [t.name for t in self._threads if t.is_alive()]
+        if stuck:
+            raise ServeError(f"daemon threads failed to stop: {stuck}")
+        self._started = False
+
+    def drain(self, deadline_s: float = 60.0) -> None:
+        """Graceful shutdown: finish accepted work first, then stop.
+
+        New submissions are rejected immediately; queued, retrying, and
+        in-flight jobs run to completion (or to their own give-up
+        points). After ``deadline_s`` whatever is left is cut off by
+        :meth:`stop`.
+        """
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                idle = (
+                    not self._inflight
+                    and not self._retry_at
+                    and self._queue.empty()
+                )
+            if idle:
+                break
+            time.sleep(_MONITOR_TICK_S)
+        self.stop()
 
     def serve_forever(self) -> None:
-        """Block until interrupted (the ``python -m repro serve`` loop)."""
+        """Block until SIGTERM/SIGINT (the ``python -m repro serve`` loop).
+
+        SIGTERM triggers a graceful drain; Ctrl-C stops immediately.
+        """
+        drain_requested = threading.Event()
         try:
-            while True:
-                threading.Event().wait(3600)
+            signal_module.signal(
+                signal_module.SIGTERM, lambda *_: drain_requested.set()
+            )
+        except ValueError:
+            pass  # not the main thread; signals handled by the embedder
+        try:
+            while not self._stop_event.is_set():
+                if drain_requested.is_set():
+                    self.drain()
+                    return
+                time.sleep(0.2)
         except KeyboardInterrupt:
             pass
         finally:
@@ -130,6 +253,9 @@ class ProfileDaemon:
 
     def submit(self, payload: Dict) -> Job:
         """Validate and enqueue a job; returns it in ``queued`` state."""
+        with self._lock:
+            if self._draining or self._stopping:
+                raise ServeError("daemon is draining; not accepting new jobs")
         job = new_job(payload)
         with self._lock:
             self._jobs[job.id] = job
@@ -152,63 +278,276 @@ class ProfileDaemon:
             counts = {status: 0 for status in ("queued", "running", "done", "error")}
             for job in self._jobs.values():
                 counts[job.status] += 1
+            healing = dict(self.stats)
+            draining = self._draining
         return {
-            "status": "ok",
+            "status": "draining" if draining else "ok",
             "workers": self.workers,
             "jobs": counts,
             "profiles": len(self.store),
             "tree_hash": self.tree_hash,
+            "healing": healing,
+            "breaker": self.breaker.states(),
         }
 
-    def _dispatch_loop(self) -> None:
-        import time
+    # -- dispatch -------------------------------------------------------
 
+    def _dispatch_loop(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            with self._lock:
-                job = self._jobs[item]
-                job.status = "running"
-                job.started_at = time.time()
-            try:
-                future = self._pool.submit(execute_job, job.payload())
-            except RuntimeError:
-                # Pool already shut down — daemon is stopping.
-                with self._lock:
-                    job.status = "error"
-                    job.error = "daemon shut down before the job ran"
-                continue
-            future.add_done_callback(
-                lambda fut, job_id=job.id: self._on_job_done(job_id, fut)
-            )
+            # Hold a worker slot before submitting so the job's timeout
+            # clock starts at (approximately) execution start, not while
+            # it waits behind other jobs in the pool's internal queue.
+            while not self._slots.acquire(timeout=0.1):
+                if self._stop_event.is_set():
+                    return
+            if not self._dispatch_one(item):
+                self._slots.release()
 
-    def _on_job_done(self, job_id: str, future) -> None:
-        import time
-
+    def _dispatch_one(self, job_id: str) -> bool:
+        """Submit one job to the pool; True iff it now holds the slot."""
         with self._lock:
             job = self._jobs[job_id]
+            if job.status != "queued" or self._stopping:
+                return False
+            if not self.breaker.allow(job.workload):
+                self.stats["breaker_rejections"] += 1
+                job.status = "error"
+                job.error = (
+                    f"circuit open for workload {job.workload!r} "
+                    f"(repeated failures); retry after cooldown"
+                )
+                job.finished_at = time.time()
+                return False
+            job.status = "running"
+            job.attempts += 1
+            job.started_at = time.time()
+            payload = job.payload()
         try:
-            profile = ProfileData.from_json(future.result())
-            profile_id = self.store.put(
-                profile,
-                workload=job.workload,
-                profiler=job.profiler,
-                config=config_hash(
-                    {"mode": job.mode, "scale": job.scale, "overrides": job.config or {}}
-                ),
-                tree_hash=self.tree_hash,
-            )
-        except Exception as exc:  # noqa: BLE001 — job errors become job state
+            future = self._pool.submit(execute_job, payload)
+        except BrokenProcessPool:
+            # The pool broke and no callback has respawned it yet.
+            with self._lock:
+                self.stats["pool_breaks"] += 1
+                survivors = self._pool_incident()
+                self._requeue_after_incident(
+                    self._jobs[job_id], "worker pool was broken at dispatch"
+                )
+                for other_id in survivors:
+                    self._requeue_after_incident(
+                        self._jobs[other_id],
+                        "worker pool broken by another job's crash",
+                    )
+                self._release_slots(len(survivors))
+            return False
+        except RuntimeError:
+            # Pool already shut down — daemon is stopping.
             with self._lock:
                 job.status = "error"
-                job.error = f"{type(exc).__name__}: {exc}"
+                job.error = "daemon shut down before the job ran"
                 job.finished_at = time.time()
+            return False
+        with self._lock:
+            self._inflight[job_id] = future
+            timeout = job.timeout_s if job.timeout_s else self.job_timeout_s
+            self._deadlines[job_id] = time.monotonic() + timeout
+        future.add_done_callback(
+            lambda fut, job_id=job_id: self._on_job_done(job_id, fut)
+        )
+        return True
+
+    # -- monitor (timeouts + due retries) -------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(_MONITOR_TICK_S):
+            now = time.monotonic()
+            with self._lock:
+                for job_id, due in list(self._retry_at.items()):
+                    if now >= due:
+                        del self._retry_at[job_id]
+                        self._queue.put(job_id)
+                expired = [
+                    job_id
+                    for job_id, deadline in self._deadlines.items()
+                    if now > deadline
+                ]
+                for job_id in expired:
+                    self._handle_timeout(job_id)
+
+    def _handle_timeout(self, job_id: str) -> None:
+        """One job blew its deadline (called with the lock held)."""
+        future = self._inflight.pop(job_id, None)
+        self._deadlines.pop(job_id, None)
+        if future is None:
+            return
+        job = self._jobs[job_id]
+        self.stats["timeouts"] += 1
+        self._slots.release()
+        timeout = job.timeout_s if job.timeout_s else self.job_timeout_s
+        if future.cancel():
+            # Never reached a worker; retry costs nothing.
+            self._record_failure(job, f"timed out after {timeout:.1f}s (unstarted)")
+            return
+        # The worker is running — and possibly hung. Recycle the whole
+        # pool: the hung process is killed, innocent in-flight jobs are
+        # requeued exactly once for this incident.
+        survivors = self._pool_incident()
+        for other_id in survivors:
+            self._requeue_after_incident(
+                self._jobs[other_id], "worker pool recycled after another job hung"
+            )
+        self._release_slots(len(survivors))
+        self._record_failure(job, f"timed out after {timeout:.1f}s (worker hung)")
+
+    # -- completion / healing -------------------------------------------
+
+    def _on_job_done(self, job_id: str, future) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or self._inflight.get(job_id) is not future:
+                return  # orphaned by a timeout or pool-break incident
+            del self._inflight[job_id]
+            self._deadlines.pop(job_id, None)
+            self._slots.release()
+            if future.cancelled():
+                job.status = "error"
+                job.error = "cancelled at daemon shutdown"
+                job.finished_at = time.time()
+                return
+            exc = future.exception()
+            if isinstance(exc, BrokenProcessPool):
+                # A worker died hard; every in-flight future is broken.
+                # First callback in wins: respawn the pool, requeue the
+                # whole in-flight set exactly once for this incident.
+                self.stats["pool_breaks"] += 1
+                survivors = self._pool_incident()
+                self._requeue_after_incident(job, "worker process died mid-job")
+                for other_id in survivors:
+                    self._requeue_after_incident(
+                        self._jobs[other_id],
+                        "worker pool broken by another job's crash",
+                    )
+                self._release_slots(len(survivors))
+                return
+        if exc is not None:
+            self._record_failure(job, f"{type(exc).__name__}: {exc}")
+            return
+        self._persist(job, future.result())
+
+    def _persist(self, job: Job, result_json: str) -> None:
+        """Store a finished profile, healing transient store failures."""
+        try:
+            profile = ProfileData.from_json(result_json)
+        except ReproError as exc:
+            self._record_failure(job, f"unreadable worker result: {exc}")
+            return
+        last_error: Optional[Exception] = None
+        profile_id = None
+        for attempt in range(3):
+            try:
+                profile_id = self.store.put(
+                    profile,
+                    workload=job.workload,
+                    profiler=job.profiler,
+                    config=config_hash(
+                        {
+                            "mode": job.mode,
+                            "scale": job.scale,
+                            "overrides": job.config or {},
+                        }
+                    ),
+                    tree_hash=self.tree_hash,
+                )
+                break
+            except StoreError as exc:
+                # E.g. an injected torn write: the partial object/index
+                # is healed by the next put (verify-and-rewrite).
+                last_error = exc
+                with self._lock:
+                    self.stats["store_write_retries"] += 1
+                time.sleep(0.01)
+        if profile_id is None:
+            self._record_failure(
+                job, f"store write failed after 3 attempts: {last_error}"
+            )
             return
         with self._lock:
+            self.breaker.record_success(job.workload)
             job.status = "done"
             job.profile_id = profile_id
             job.finished_at = time.time()
+
+    def _record_failure(self, job: Job, message: str) -> None:
+        """A clean failure: charge the breaker, retry or give up."""
+        with self._lock:
+            self.breaker.record_failure(job.workload)
+            if not self._stopping and self.retry.should_retry(job.attempts):
+                self.stats["retries"] += 1
+                job.status = "queued"
+                job.error = None
+                self._retry_at[job.id] = time.monotonic() + self.retry.delay(
+                    job.attempts
+                )
+                return
+            job.status = "error"
+            job.error = message
+            job.finished_at = time.time()
+
+    # -- pool-break incident handling ------------------------------------
+
+    def _pool_incident(self) -> List[str]:
+        """Respawn the pool; returns the orphaned in-flight job ids.
+
+        Called with the lock held. Clearing ``_inflight`` first is what
+        makes requeues exactly-once: every other broken future's
+        callback now fails the orphan-guard identity check and returns
+        without acting.
+        """
+        survivors = list(self._inflight)
+        self._inflight.clear()
+        self._deadlines.clear()
+        old_pool = self._pool
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.stats["pool_respawns"] += 1
+        if old_pool is not None:
+            threading.Thread(
+                target=_dispose_pool, args=(old_pool,), daemon=True
+            ).start()
+        return survivors
+
+    def _requeue_after_incident(self, job: Job, note: str) -> None:
+        """Requeue a pool-break victim (lock held), capped per job."""
+        job.crash_requeues += 1
+        if job.crash_requeues > self.max_crash_requeues:
+            job.status = "error"
+            job.error = (
+                f"gave up after {job.crash_requeues} pool-break requeues: {note}"
+            )
+            job.finished_at = time.time()
+            return
+        self.stats["requeues"] += 1
+        job.status = "queued"
+        job.error = None
+        self._queue.put(job.id)
+
+    def _release_slots(self, n: int) -> None:
+        for _ in range(n):
+            self._slots.release()
+
+
+def _dispose_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a broken/hung pool's workers and reap it, off-thread."""
+    try:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 — already-dead workers
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 — disposal must never propagate
+        pass
 
 
 class _Handler(BaseHTTPRequestHandler):

@@ -1,0 +1,135 @@
+"""Self-healing policies for the profiling daemon.
+
+Two small, deterministic-when-seeded primitives the daemon composes:
+
+* :class:`RetryPolicy` — exponential backoff with jitter. Attempt *n*
+  (1-based) waits ``base * 2**(n-1)`` seconds, capped at ``max_delay_s``
+  and stretched by up to ``jitter`` (a fraction) of itself so a burst of
+  failures doesn't retry in lockstep. The jitter stream is seeded, so a
+  chaos run replays the exact same schedule.
+* :class:`CircuitBreaker` — per-key (the daemon keys by workload name)
+  quarantine of repeat offenders. ``failure_threshold`` consecutive
+  failures open the circuit: further work for that key is rejected
+  without touching a worker until ``cooldown_s`` passes, at which point
+  exactly one probe is let through (*half-open*); its outcome closes or
+  re-opens the circuit.
+
+Both are plain in-process objects guarded by the daemon's own lock —
+they keep no threads and do no I/O.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+#: Circuit states (classic Nygard naming).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class RetryPolicy:
+    """Exponential backoff + seeded jitter (see module docstring)."""
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        *,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.max_attempts = max(1, int(max_attempts))
+        self.base_delay_s = float(base_delay_s)
+        self.max_delay_s = float(max_delay_s)
+        self.jitter = float(jitter)
+        self._rng = random.Random(seed)
+
+    def should_retry(self, attempts: int) -> bool:
+        """True while ``attempts`` (runs so far) leaves budget for one more."""
+        return attempts < self.max_attempts
+
+    def delay(self, attempts: int) -> float:
+        """Backoff before the retry that follows ``attempts`` failed runs."""
+        exp = min(max(attempts, 1) - 1, 16)  # clamp the exponent, not the float
+        base = min(self.max_delay_s, self.base_delay_s * (2 ** exp))
+        return base * (1.0 + self.jitter * self._rng.random())
+
+
+@dataclass
+class _Circuit:
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    #: Trips (closed/half-open -> open) over the circuit's lifetime.
+    trips: int = 0
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure quarantine (see module docstring)."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        *,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._circuits: Dict[str, _Circuit] = {}
+
+    def _circuit(self, key: str) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = self._circuits[key] = _Circuit()
+        return circuit
+
+    def allow(self, key: str) -> bool:
+        """May work for ``key`` proceed? (May transition open→half-open.)"""
+        circuit = self._circuit(key)
+        if circuit.state == OPEN:
+            if self._clock() - circuit.opened_at >= self.cooldown_s:
+                circuit.state = HALF_OPEN  # one probe goes through
+                return True
+            return False
+        if circuit.state == HALF_OPEN:
+            return False  # a probe is already in flight
+        return True
+
+    def record_success(self, key: str) -> None:
+        circuit = self._circuit(key)
+        circuit.state = CLOSED
+        circuit.consecutive_failures = 0
+
+    def record_failure(self, key: str) -> None:
+        circuit = self._circuit(key)
+        circuit.consecutive_failures += 1
+        if (
+            circuit.state == HALF_OPEN
+            or circuit.consecutive_failures >= self.failure_threshold
+        ):
+            if circuit.state != OPEN:
+                circuit.trips += 1
+            circuit.state = OPEN
+            circuit.opened_at = self._clock()
+
+    def state(self, key: str) -> str:
+        return self._circuit(key).state
+
+    def states(self) -> Dict[str, Dict]:
+        """Snapshot for ``/health``: every non-closed or tripped circuit."""
+        return {
+            key: {
+                "state": c.state,
+                "consecutive_failures": c.consecutive_failures,
+                "trips": c.trips,
+            }
+            for key, c in self._circuits.items()
+            if c.state != CLOSED or c.trips
+        }

@@ -42,12 +42,23 @@ class Job:
     mode: str = "full"
     scale: float = 1.0
     config: Optional[Dict] = None
+    #: Optional :meth:`repro.faults.FaultSpec.to_dict` payload — the fault
+    #: schedule the worker replays for this job (chaos testing).
+    faults: Optional[Dict] = None
+    #: Optional per-job wall-clock budget; the daemon's default applies
+    #: when None.
+    timeout_s: Optional[float] = None
     status: str = "queued"
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     profile_id: Optional[str] = None
     error: Optional[str] = None
+    #: Times this job was handed to a worker (first run plus retries).
+    attempts: int = 0
+    #: Times this job was requeued because a pool-break incident (worker
+    #: crash or hung-worker recycle) took its worker down mid-flight.
+    crash_requeues: int = 0
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -60,6 +71,8 @@ class Job:
             "mode": self.mode,
             "scale": self.scale,
             "config": self.config,
+            "faults": self.faults,
+            "attempt": self.attempts,
         }
 
 
@@ -75,7 +88,9 @@ def new_job(payload: Dict) -> Job:
 
     if not isinstance(payload, dict):
         raise ServeError("job payload must be a JSON object")
-    unknown = set(payload) - {"workload", "profiler", "mode", "scale", "config"}
+    unknown = set(payload) - {
+        "workload", "profiler", "mode", "scale", "config", "faults", "timeout_s",
+    }
     if unknown:
         raise ServeError(f"unknown job fields: {sorted(unknown)}")
     workload = payload.get("workload")
@@ -102,6 +117,18 @@ def new_job(payload: Dict) -> Job:
         bad = set(config) - valid
         if bad:
             raise ServeError(f"unknown config overrides: {sorted(bad)}")
+    faults = payload.get("faults")
+    if faults is not None:
+        if not isinstance(faults, dict):
+            raise ServeError("faults must be a JSON object (a FaultSpec payload)")
+        from repro.faults import FaultSpec
+
+        FaultSpec.from_dict(faults)  # raises FaultError on a bad schedule
+    timeout_s = payload.get("timeout_s")
+    if timeout_s is not None and (
+        not isinstance(timeout_s, (int, float)) or timeout_s <= 0
+    ):
+        raise ServeError(f"timeout_s must be a positive number, got {timeout_s!r}")
     with _job_counter_lock:
         sequence = next(_job_counter)
     return Job(
@@ -111,6 +138,8 @@ def new_job(payload: Dict) -> Job:
         mode=mode,
         scale=float(scale),
         config=config,
+        faults=faults,
+        timeout_s=float(timeout_s) if timeout_s is not None else None,
         submitted_at=time.time(),
     )
 
@@ -119,13 +148,49 @@ def execute_job(payload: Dict) -> str:
     """Run one profiling job; returns the profile as JSON text.
 
     Runs inside a worker process; everything in and out is picklable.
+
+    When the payload carries a ``faults`` schedule, the worker replays it
+    deterministically: a scheduled crash raises
+    :class:`~repro.faults.InjectedCrash` (clean failure) or hard-exits
+    the process (which breaks the whole pool — the daemon's
+    respawn-and-requeue path), a scheduled hang sleeps past the job's
+    deadline (the daemon's timeout path), and the remaining fault
+    families are threaded through the simulated runtime via
+    :meth:`~repro.runtime.process.SimProcess.install_faults`, producing a
+    ``degraded`` profile with accurate fault counters.
     """
+    import os
+    import time as real_time
+
     from repro.baselines import make_profiler
     from repro.core import Scalene
     from repro.workloads import get_workload
 
+    injector = None
+    faults_payload = payload.get("faults")
+    if faults_payload:
+        from repro.faults import FaultInjector, FaultSpec, InjectedCrash
+
+        injector = FaultInjector(FaultSpec.from_dict(faults_payload))
+        attempt = payload.get("attempt", 1)
+        crash = injector.worker_crash(attempt)
+        if crash == "exception":
+            raise InjectedCrash(
+                f"injected worker crash (attempt {attempt} of "
+                f"{injector.spec.crash_attempts} scheduled crashes)"
+            )
+        if crash == "exit":
+            # A segfault analog: no exception crosses the pipe, the pool
+            # breaks, and every in-flight future gets BrokenProcessPool.
+            os._exit(17)
+        hang_s = injector.worker_hang(attempt)
+        if hang_s > 0.0:
+            real_time.sleep(hang_s)  # hold the worker past its deadline
+
     workload = get_workload(payload["workload"])
     process = workload.make_process(payload.get("scale", 1.0))
+    if injector is not None:
+        process.install_faults(injector)
     profiler_name = payload.get("profiler", "scalene")
     if profiler_name == "scalene":
         overrides = payload.get("config") or {}
@@ -140,6 +205,10 @@ def execute_job(payload: Dict) -> str:
         process.run()
         report = profiler.stop()
         profile = profile_from_baseline(report, elapsed=process.clock.wall)
+        if injector is not None:
+            from repro.faults import apply_fault_counters
+
+            apply_fault_counters(profile, injector)
     return profile.to_json()
 
 

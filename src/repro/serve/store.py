@@ -23,6 +23,19 @@ profiles record their constituent ids in ``parents``.
 Writes are atomic (temp file + ``os.replace``) and serialized by an
 in-process lock; the daemon funnels all persistence through one process,
 so no cross-process locking is needed.
+
+Crash safety: every object gets a ``<id>.meta.json`` sidecar holding its
+index entry, so the index is *derived* state. Opening a store runs
+:meth:`ProfileStore.recover`: leftover ``*.tmp.*`` files from interrupted
+writes are swept, and a missing or unreadable ``index.json`` triggers a
+full rebuild from a blob scan — content-verified blobs re-enter the index
+(via their sidecar, or a minimal entry derived from the payload), corrupt
+blobs are moved to ``quarantine/``. Reads heal too: a torn index found by
+any query is rebuilt in place, and :meth:`ProfileStore.put` rewrites a
+corrupt existing object rather than trusting it. A
+:class:`repro.faults.FaultInjector` attached as ``store.faults`` can
+inject torn writes (truncated bytes land in the destination and the write
+raises) to exercise exactly these paths.
 """
 
 from __future__ import annotations
@@ -78,14 +91,130 @@ def git_tree_hash(repo_root: Union[str, Path, None] = None) -> str:
 class ProfileStore:
     """A directory of content-addressed profiles plus a metadata index."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], *, faults=None) -> None:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.index_path = self.root / "index.json"
+        self.quarantine_dir = self.root / "quarantine"
+        #: Optional :class:`repro.faults.FaultInjector`; consulted by
+        #: :meth:`_atomic_write` for torn-write faults.
+        self.faults = faults
         self._lock = threading.RLock()
         self.objects_dir.mkdir(parents=True, exist_ok=True)
-        if not self.index_path.exists():
-            self._write_index({"format": STORE_FORMAT, "entries": []})
+        #: What opening the store had to heal (see :meth:`recover`).
+        self.last_recovery = self.recover()
+
+    # -- recovery --------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Sweep interrupted writes and rebuild the index if unreadable.
+
+        Safe to call at any time (it runs on every open). Returns a small
+        report: ``tmp_swept`` temp files removed, ``index_rebuilt`` (0/1),
+        and ``objects_quarantined`` corrupt blobs moved aside.
+        """
+        with self._lock:
+            swept = 0
+            for tmp in self.root.rglob("*.tmp.*"):
+                try:
+                    tmp.unlink()
+                    swept += 1
+                except OSError:
+                    pass
+            rebuilt = 0
+            quarantined = 0
+            try:
+                self._read_index()
+            except StoreError:
+                quarantined = self._rebuild_index()
+                rebuilt = 1
+            return {
+                "tmp_swept": swept,
+                "index_rebuilt": rebuilt,
+                "objects_quarantined": quarantined,
+            }
+
+    def _rebuild_index(self) -> int:
+        """Regenerate ``index.json`` from a content-verified blob scan."""
+        entries: List[Dict] = []
+        quarantined = 0
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            if path.name.endswith(".meta.json"):
+                continue
+            profile_id = path.stem
+            try:
+                blob = path.read_text(encoding="utf-8")
+                digest = hashlib.sha256(
+                    blob.rstrip("\n").encode("utf-8")
+                ).hexdigest()
+                if digest != profile_id:
+                    raise ValueError("content hash mismatch")
+                envelope = json.loads(blob)
+            except (OSError, ValueError):
+                quarantined += 1
+                self._quarantine(path)
+                continue
+            entry = self._load_sidecar(profile_id)
+            if entry is None:
+                entry = self._entry_from_envelope(profile_id, envelope)
+            entries.append(entry)
+        entries.sort(key=lambda e: (e.get("created_at", 0.0), e["id"]))
+        self._write_index({"format": STORE_FORMAT, "entries": entries})
+        return quarantined
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt blob out of ``objects/`` (never delete evidence)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_dir / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_dir / f"{path.name}.{n}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass
+
+    def _load_sidecar(self, profile_id: str) -> Optional[Dict]:
+        """The ``.meta.json`` index entry for a blob, or None if unusable."""
+        try:
+            entry = json.loads(
+                self._meta_path(profile_id).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("id") != profile_id:
+            return None
+        return entry
+
+    @staticmethod
+    def _entry_from_envelope(profile_id: str, envelope: Dict) -> Dict:
+        """Minimal index entry for a blob with no usable sidecar.
+
+        The query key (workload/profiler/config/tree) lives only in the
+        sidecar; without one the blob is still listed — content intact,
+        headline numbers recovered from the payload — just unkeyed.
+        """
+        profile = envelope.get("profile") or {}
+        cpu = profile.get("cpu") or {}
+        memory = profile.get("memory") or {}
+        return {
+            "id": profile_id,
+            "workload": "",
+            "profiler": "",
+            "config_hash": "",
+            "tree_hash": "",
+            "mode": profile.get("mode", ""),
+            "elapsed_s": profile.get("elapsed_s", 0.0),
+            "cpu_samples": cpu.get("samples", 0),
+            "mem_samples": memory.get("samples", 0),
+            "peak_mb": memory.get("peak_mb", 0.0),
+            "copy_mb": profile.get("copy_volume_mb", 0.0),
+            "alloc_mb": memory.get("total_alloc_mb", 0.0),
+            "leaks": len(profile.get("leaks") or []),
+            "parents": [],
+            "created_at": 0.0,
+        }
 
     # -- write ----------------------------------------------------------
 
@@ -123,9 +252,15 @@ class ProfileStore:
         }
         with self._lock:
             path = self._object_path(profile_id)
-            if not path.exists():
+            # Self-healing write: an existing-but-corrupt object (torn by
+            # a crash mid-write) is rewritten, not trusted.
+            if not self._object_intact(path, profile_id):
                 self._atomic_write(path, blob + "\n")
-            index = self._read_index()
+            if self._load_sidecar(profile_id) is None:
+                self._atomic_write(
+                    self._meta_path(profile_id), json.dumps(entry, indent=2) + "\n"
+                )
+            index = self._read_index_healing()
             if not any(e["id"] == profile_id for e in index["entries"]):
                 index["entries"].append(entry)
                 self._write_index(index)
@@ -178,9 +313,9 @@ class ProfileStore:
         raise StoreError(f"profile {profile_id} has no index entry")
 
     def entries(self) -> List[Dict]:
-        """All index entries, insertion-ordered."""
+        """All index entries, insertion-ordered (heals a torn index)."""
         with self._lock:
-            return list(self._read_index()["entries"])
+            return list(self._read_index_healing()["entries"])
 
     def find(
         self,
@@ -216,8 +351,27 @@ class ProfileStore:
     def _object_path(self, profile_id: str) -> Path:
         return self.objects_dir / profile_id[:2] / f"{profile_id}.json"
 
+    def _meta_path(self, profile_id: str) -> Path:
+        return self.objects_dir / profile_id[:2] / f"{profile_id}.meta.json"
+
+    def _object_intact(self, path: Path, profile_id: str) -> bool:
+        """True iff the blob exists and re-hashes to its id."""
+        try:
+            blob = path.read_text(encoding="utf-8")
+        except OSError:
+            return False
+        digest = hashlib.sha256(blob.rstrip("\n").encode("utf-8")).hexdigest()
+        return digest == profile_id
+
     def _atomic_write(self, path: Path, text: str) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
+        faults = self.faults
+        if faults is not None and faults.tear_write():
+            # Injected crash mid-write: truncated bytes land directly in
+            # the destination (no temp/replace protection) and the caller
+            # sees the failure, exactly like a kill between write() calls.
+            path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+            raise StoreError(f"torn write (injected fault): {path}")
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(text, encoding="utf-8")
         os.replace(tmp, path)
@@ -227,12 +381,19 @@ class ProfileStore:
             index = json.loads(self.index_path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
             raise StoreError(f"cannot read store index {self.index_path}: {exc}")
-        if index.get("format") != STORE_FORMAT:
+        if not isinstance(index, dict) or index.get("format") != STORE_FORMAT:
             raise StoreError(
-                f"unsupported index format {index.get('format')!r}; "
-                f"this build reads format {STORE_FORMAT}"
+                f"unsupported index format; this build reads format {STORE_FORMAT}"
             )
         return index
+
+    def _read_index_healing(self) -> Dict:
+        """Read the index, rebuilding it from the blobs if unreadable."""
+        try:
+            return self._read_index()
+        except StoreError:
+            self._rebuild_index()
+            return self._read_index()
 
     def _write_index(self, index: Dict) -> None:
         self._atomic_write(self.index_path, json.dumps(index, indent=2) + "\n")

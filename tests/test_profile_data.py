@@ -220,3 +220,20 @@ def test_from_dict_fails_loudly_on_missing_keys():
     del payload["memory"]["total_alloc_mb"]
     with pytest.raises(ProfileSchemaError, match="missing key"):
         ProfileData.from_dict(payload)
+
+
+def test_schema_v3_requires_degraded_keys():
+    """v3 added `degraded`/`faults`; a payload without them must not parse."""
+    from repro.core.profile_data import ProfileData
+    from repro.errors import ProfileSchemaError
+
+    stats = make_stats(3)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    payload = profile.to_dict()
+    assert payload["degraded"] is False  # clean run
+    assert payload["faults"] == {}
+    for key in ("degraded", "faults"):
+        broken = dict(payload)
+        del broken[key]
+        with pytest.raises(ProfileSchemaError, match="missing key"):
+            ProfileData.from_dict(broken)

@@ -182,3 +182,33 @@ def test_baseline_profiler_jobs(client):
     profile = client.profile_data(done["profile_id"])
     assert profile.mode == "baseline:cProfile"
     assert profile.cpu_samples > 0
+
+
+def test_faulted_job_over_http_yields_degraded_profile(client):
+    """A job carrying a fault schedule round-trips the whole plane:
+    HTTP submit -> worker-side injection -> degraded profile persisted."""
+    job = client.submit(
+        "balanced",
+        scale=0.1,
+        faults={"seed": 5, "signal_drop_rate": 0.2, "enomem_rate": 0.05},
+    )
+    done = client.wait(job["id"], timeout=300)
+    profile = client.profile_data(done["profile_id"])
+    assert profile.degraded
+    assert profile.fault_counters  # something fired at these rates
+    assert profile.invariant_violations() == []
+
+
+def test_health_reports_healing_counters(client):
+    health = client.health()
+    assert set(health["healing"]) >= {
+        "retries", "requeues", "timeouts", "pool_breaks", "pool_respawns",
+    }
+    assert isinstance(health["breaker"], dict)
+
+
+def test_bad_fault_spec_fails_synchronously(client):
+    with pytest.raises(ServeError, match="signal_drop_rate"):
+        client.submit("leaky", faults={"signal_drop_rate": 3.0})
+    with pytest.raises(ServeError, match="timeout_s"):
+        client.submit("leaky", timeout_s=-5)

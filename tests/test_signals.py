@@ -134,3 +134,95 @@ def test_deferred_delivery_measures_delay(clock, signals):
     # Scalene's inference: python += q, native += T - q.
     native = observed[0] - q
     assert native == pytest.approx(0.04)
+
+
+def test_timer_firing_during_native_call_observed_exactly_once(clock, signals):
+    """A timer that fires mid-native-call is seen once, T − q late — even
+    when the native call spans a *second* expiry while the first is still
+    pending (the pending-collapse edge of §2.1)."""
+    q = 0.01
+    signals.setitimer(Timers.ITIMER_VIRTUAL, q)
+    observed_at = []
+    signals.set_handler(SIGVTALRM, lambda s: observed_at.append(clock.cpu))
+    # A 25 ms native call: the timer expires at 10 ms and AGAIN at 20 ms
+    # while the first signal is still pending — the second must collapse.
+    collapsed_before = signals.collapsed_count
+    clock.advance_cpu(0.025)
+    assert signals.has_pending
+    assert signals.collapsed_count == collapsed_before + 1
+    assert signals.deliver_pending(FakeThread()) == 1
+    assert observed_at == [pytest.approx(0.025)]
+    # The observable delay is T − q: 25 ms since arming, not the 10 ms q.
+    assert observed_at[0] - q == pytest.approx(0.015)
+    # No ghost second delivery at the next boundary.
+    assert signals.deliver_pending(FakeThread()) == 0
+    # The timer re-armed from its own schedule: the third expiry (30 ms
+    # of CPU) delivers exactly once more.
+    clock.advance_cpu(0.005)
+    assert signals.deliver_pending(FakeThread()) == 1
+    assert len(observed_at) == 2
+
+
+# -- injected signal faults (repro.faults) ---------------------------------
+
+
+def test_drop_fault_loses_expirations(clock, signals):
+    from repro.faults import FaultInjector
+
+    signals.faults = FaultInjector(signal_drop_rate=1.0, seed=1)
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    clock.advance_wall(0.1)
+    assert not signals.has_pending  # every expiry was lost in the kernel
+    assert signals.faults.counters["signals_dropped"] == 10
+
+
+def test_coalesce_fault_merges_expirations(clock, signals):
+    from repro.faults import FaultInjector
+
+    signals.faults = FaultInjector(signal_coalesce_rate=1.0, seed=1)
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    collapsed_before = signals.collapsed_count
+    clock.advance_wall(0.05)
+    # Coalesced expiries count as collapse but never become pending.
+    assert not signals.has_pending
+    assert signals.collapsed_count - collapsed_before == 5
+    assert signals.faults.counters["signals_coalesced"] == 5
+
+
+def test_delay_fault_embargoes_delivery(clock, signals):
+    """A delayed signal stays pending past its natural boundary and is
+    still delivered exactly once — with a measurably larger delay."""
+    from repro.faults import FaultInjector
+
+    signals.faults = FaultInjector(signal_delay_rate=1.0, signal_delay_s=0.03, seed=1)
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    delivered = []
+    signals.set_handler(SIGALRM, lambda s: delivered.append(clock.wall))
+    clock.advance_wall(0.01)
+    assert signals.has_pending
+    # The natural boundary: the embargo holds the signal back.
+    assert signals.deliver_pending(FakeThread()) == 0
+    assert signals.has_pending
+    # A second expiry while the first is embargoed collapses into it
+    # (and re-extends the embargo to 0.02 + 0.03).
+    clock.advance_wall(0.01)
+    assert signals.deliver_pending(FakeThread()) == 0
+    # Disarm so further expiries stop extending the embargo, then wait
+    # it out: exactly one delivery, measurably late.
+    signals.setitimer(Timers.ITIMER_REAL, 0)
+    clock.advance_wall(0.035)
+    assert signals.deliver_pending(FakeThread()) == 1
+    assert len(delivered) == 1
+    assert delivered[0] >= 0.02 + 0.03
+    assert signals.faults.counters["signals_delayed"] == 2
+
+
+def test_clear_resets_embargo(clock, signals):
+    from repro.faults import FaultInjector
+
+    signals.faults = FaultInjector(signal_delay_rate=1.0, signal_delay_s=10.0, seed=1)
+    signals.setitimer(Timers.ITIMER_REAL, 0.01)
+    clock.advance_wall(0.01)
+    signals.clear()
+    assert not signals.has_pending
+    assert not signals._embargo
