@@ -1,0 +1,180 @@
+"""Cross-flow analysis: boundary-detector hit-rate and analysis cost.
+
+Three questions decide whether the cross-flow plane earns its keep: do
+the three boundary detectors catch their planted shapes (and stay quiet
+on the repaired versions), does the runtime join confirm the chatty
+workload's loop with >1 crossing per iteration while reporting zero
+findings on the batched control, and is the whole boundary analysis —
+call graph plus three detectors — cheap enough to run on every compile.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import bench_scale, run_once, save_result
+
+from repro.analysis.crossflow import analyze_crossflow
+from repro.core import Scalene
+from repro.workloads import get_workload
+
+#: detector -> (planted source, expected line).
+PLANTED = {
+    "chatty-native-loop": (
+        "n = 100\n"
+        "src = np.arange(n)\n"
+        "dst = np.zeros(n)\n"
+        "for i in range(n):\n"
+        "    v = np.get(src, i)\n"
+        "    np.put(dst, i, v * 2.0)\n"
+        "print(dst.sum())\n",
+        5,
+    ),
+    "native-roundtrip-conversion": (
+        "a = np.arange(100)\n"
+        "l = a.tolist()\n"
+        "b = np.asarray(l)\n"
+        "print(b.sum())\n",
+        3,
+    ),
+    "tiny-crossing-overhead": (
+        "total = 0.0\n"
+        "for i in range(100):\n"
+        "    a = np.frombuffer(i)\n"
+        "    total = total + a.sum()\n"
+        "print(total)\n",
+        3,
+    ),
+}
+
+#: detector -> repaired source: the fix each suggestion describes.
+REPAIRED = {
+    "chatty-native-loop": (
+        "n = 100\n"
+        "src = np.arange(n)\n"
+        "dst = src * 2.0\n"
+        "print(dst.sum())\n"
+    ),
+    "native-roundtrip-conversion": (
+        "a = np.arange(100)\n"
+        "b = a * 1.0\n"
+        "print(b.sum())\n"
+    ),
+    "tiny-crossing-overhead": (
+        "a = np.arange(100)\n"
+        "total = a.sum()\n"
+        "print(total)\n"
+    ),
+}
+
+#: Boundary-free filler repeated to build the ms/KLoC corpus.
+_FILLER_BLOCK = (
+    "v{k} = 0\n"
+    "for i in range(10):\n"
+    "    v{k} = v{k} + i * 2 - 1\n"
+    "if v{k} > 10:\n"
+    "    v{k} = v{k} - 10\n"
+    "print(v{k})\n"
+)
+
+
+def _kloc_source(lines_target: int) -> str:
+    blocks = []
+    k = 0
+    while sum(b.count("\n") for b in blocks) < lines_target:
+        blocks.append(_FILLER_BLOCK.format(k=k))
+        k += 1
+    return "".join(blocks)
+
+
+def _crossflow_of(name: str, scale: float):
+    workload = get_workload(name)
+    process = workload.make_process(scale)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    findings = analyze_crossflow(
+        workload.source(scale),
+        profile,
+        f"{name}.py",
+        recorder=process.crossings,
+    )
+    return profile, findings
+
+
+def run_experiment():
+    from repro.staticcheck import boundary_findings_source
+
+    # 1. Static hit-rate on the planted corpus.
+    hits = {}
+    for detector, (source, lineno) in PLANTED.items():
+        found = boundary_findings_source(source, f"{detector}.py")
+        hits[detector] = any(
+            b.finding.detector == detector and b.finding.lineno == lineno
+            for b in found
+        )
+
+    # 2. False positives: any boundary finding on the repaired corpus.
+    false_positives = 0
+    for source in REPAIRED.values():
+        false_positives += len(boundary_findings_source(source, "repaired.py"))
+
+    # 3. The runtime join on the shipped chatty/batched pair.
+    scale = bench_scale()
+    chatty_profile, chatty = _crossflow_of("chatty", scale)
+    _, batched = _crossflow_of("batched", scale)
+    chatty_loop = [
+        f
+        for f in chatty
+        if f.detector == "chatty-native-loop" and f.crossings_per_iteration > 1
+    ]
+
+    # 4. Boundary-analysis cost per KLoC (host time, not virtual time).
+    source = _kloc_source(1000)
+    loc = source.count("\n")
+    t0 = time.perf_counter()
+    boundary_findings_source(source, "kloc.py")
+    boundary_s = time.perf_counter() - t0
+
+    return {
+        "hits": hits,
+        "false_positives": false_positives,
+        "chatty_findings": len(chatty),
+        "chatty_loop_confirmed": len(chatty_loop),
+        "chatty_crossings": chatty_profile.total_crossings,
+        "chatty_overhead_ms": 1000 * chatty_profile.total_crossing_overhead_s,
+        "batched_findings": len(batched),
+        "loc": loc,
+        "boundary_ms_per_kloc": 1000 * boundary_s * (1000 / loc),
+    }
+
+
+def test_crossflow(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    lines = ["detector                     planted pattern"]
+    for detector, hit in results["hits"].items():
+        lines.append(f"{detector:<28} {'HIT' if hit else 'MISS'}")
+    lines.append(
+        f"false positives on repaired corpus: {results['false_positives']}"
+    )
+    lines.append(
+        f"chatty workload: {results['chatty_findings']} findings "
+        f"({results['chatty_loop_confirmed']} loop sites >1 crossing/iter), "
+        f"{results['chatty_crossings']} crossings, "
+        f"overhead {results['chatty_overhead_ms']:.1f} ms"
+    )
+    lines.append(f"batched control: {results['batched_findings']} findings")
+    lines.append(
+        f"boundary analysis on {results['loc']} LoC: "
+        f"{results['boundary_ms_per_kloc']:.1f} ms/KLoC"
+    )
+    save_result("crossflow", "\n".join(lines))
+
+    assert all(results["hits"].values()), "every boundary detector must catch its plant"
+    assert results["false_positives"] == 0
+    assert results["chatty_loop_confirmed"] >= 2  # np.get and np.put sites
+    assert results["batched_findings"] == 0
+    # The boundary pass must stay compile-time cheap.
+    assert results["boundary_ms_per_kloc"] < 1000

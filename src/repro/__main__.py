@@ -7,6 +7,8 @@ anti-patterns, or disassemble it::
     python -m repro profile app.py --mode full --html profile.html
     python -m repro profile --workload pprint --profiler cProfile
     python -m repro lint app.py --profile
+    python -m repro lint app.py --fail-on high
+    python -m repro crossflow --workload chatty
     python -m repro dis app.py
     python -m repro list
 
@@ -83,6 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="suppression threshold for --profile (default 1.0, the paper's §5 cutoff)",
     )
     lint.add_argument("--json", metavar="PATH", help="also write findings as JSON")
+    lint.add_argument(
+        "--fail-on",
+        choices=("low", "medium", "high"),
+        help="exit nonzero when any finding is at or above this severity (CI gate)",
+    )
+
+    crossflow = sub.add_parser(
+        "crossflow",
+        help="native-boundary cross-flow analysis: boundary lints × measured crossings",
+    )
+    crossflow.add_argument("file", nargs="?", help="mini-language source file")
+    crossflow.add_argument("--workload", help="a named built-in workload instead of a file")
+    crossflow.add_argument("--scale", type=float, default=1.0, help="workload scale (built-ins)")
+    crossflow.add_argument("--json", metavar="PATH", help="also write findings as JSON")
 
     dis = sub.add_parser("dis", help="disassemble a workload with CFG block boundaries")
     dis.add_argument("file", nargs="?", help="mini-language source file")
@@ -194,6 +210,27 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _lint_gate(findings, fail_on) -> int:
+    """CI gate: nonzero exit when findings reach the --fail-on severity."""
+    if not fail_on:
+        return 0
+    from repro.staticcheck import DETECTOR_SEVERITY, SEVERITY_RANK
+
+    threshold = SEVERITY_RANK[fail_on]
+    over = [
+        f
+        for f in findings
+        if SEVERITY_RANK[DETECTOR_SEVERITY.get(f.detector, "low")] >= threshold
+    ]
+    if over:
+        print(
+            f"fail-on {fail_on}: {len(over)} finding(s) at or above threshold",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.triangulate import DEFAULT_MIN_PERCENT, attach_lint, triangulate
     from repro.staticcheck import lint_code
@@ -214,7 +251,7 @@ def _cmd_lint(args) -> int:
             payload = [t.to_dict() for t in triangulated]
             Path(args.json).write_text(json_module.dumps(payload, indent=2), encoding="utf-8")
             print(f"wrote {args.json}")
-        return 0
+        return _lint_gate(findings, args.fail_on)
 
     if not findings:
         print(f"{process.filename}: no performance lints")
@@ -232,6 +269,28 @@ def _cmd_lint(args) -> int:
             }
             for f in findings
         ]
+        Path(args.json).write_text(json_module.dumps(payload, indent=2), encoding="utf-8")
+        print(f"wrote {args.json}")
+    return _lint_gate(findings, args.fail_on)
+
+
+def _cmd_crossflow(args) -> int:
+    from repro.analysis.crossflow import analyze_crossflow
+
+    process = _make_process(args)
+    source, filename = process.source, process.filename
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    findings = analyze_crossflow(
+        source, profile, filename, recorder=process.crossings
+    )
+    print(profile.render_text())
+    if not findings:
+        print(f"{filename}: no cross-flow findings")
+    if args.json:
+        payload = [f.to_dict() for f in findings]
         Path(args.json).write_text(json_module.dumps(payload, indent=2), encoding="utf-8")
         print(f"wrote {args.json}")
     return 0
@@ -357,6 +416,8 @@ def main(argv=None) -> int:
             return _cmd_list()
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "crossflow":
+            return _cmd_crossflow(args)
         if args.command == "dis":
             return _cmd_dis(args)
         if args.command == "serve":

@@ -7,24 +7,36 @@ from repro.analysis.accuracy import (
 )
 from repro.analysis.comparison import feature_matrix
 from repro.analysis.diffing import ProfileDiff, diff_profiles
+from repro.analysis.crossflow import (
+    CrossFlowFinding,
+    analyze_crossflow,
+    attach_crossflow,
+    cross_flow,
+)
 from repro.analysis.triangulate import (
     TriangulatedFinding,
     attach_lint,
     lint_and_triangulate,
     triangulate,
+    triangulate_all,
 )
 
 __all__ = [
+    "CrossFlowFinding",
     "ProfileDiff",
     "diff_profiles",
     "OverheadResult",
     "measure_overhead",
     "overhead_table",
+    "analyze_crossflow",
+    "attach_crossflow",
     "cpu_accuracy_experiment",
+    "cross_flow",
     "memory_accuracy_experiment",
     "feature_matrix",
     "TriangulatedFinding",
     "attach_lint",
     "lint_and_triangulate",
     "triangulate",
+    "triangulate_all",
 ]

@@ -1,0 +1,240 @@
+"""Cross-flow analysis: static boundary findings × measured crossings.
+
+The boundary lints (:data:`repro.staticcheck.lints.BOUNDARY_DETECTORS`)
+say *this call shape crosses the Python↔native boundary wastefully*; the
+runtime's :class:`~repro.runtime.crossings.CrossingRecorder` says *this
+line crossed N times, paying M seconds of fixed marshalling overhead*.
+Joined on the (filename, line) key both sides share, each static finding
+gains measured evidence:
+
+* **crossings / crossings per iteration** — how chatty the site really
+  is. Iteration counts are not observable statically, so they are
+  estimated from the loop body itself: a boundary call inside a natural
+  loop executes once per iteration, so the *maximum* per-line crossing
+  count over the loop's body lines is the iteration count, and the
+  *sum* over the body divided by that maximum is crossings/iteration.
+* **overhead share** — the fraction of the line's boundary time that is
+  fixed crossing overhead rather than useful native work. A high share
+  is the smoking gun for the "chatty" anti-pattern: the program pays
+  for the trip, not the cargo.
+* **estimated savings** — what batching would buy. Collapsing N
+  crossings into one eliminates N-1 fixed overheads; removing a
+  redundant round-trip conversion eliminates all of its overhead.
+
+Findings whose line never crossed at runtime are kept but sorted last
+with zero measured columns — the shape exists but did not execute (dead
+or cold path), mirroring the suppression philosophy of
+:mod:`repro.analysis.triangulate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.profile_data import ProfileData
+from repro.staticcheck.lints import BoundaryFinding, boundary_findings_source
+
+#: Detector whose fix removes the crossing outright (vs. batching it).
+_ROUNDTRIP = "native-roundtrip-conversion"
+
+#: Per-line measured counters: (crossings, overhead_s, native_s,
+#: bytes_to_native, bytes_to_python).
+_Counters = Tuple[int, float, float, int, int]
+
+_ZERO: _Counters = (0, 0.0, 0.0, 0, 0)
+
+
+@dataclass
+class CrossFlowFinding:
+    """A static boundary finding annotated with measured crossing cost."""
+
+    detector: str
+    filename: str
+    lineno: int
+    function: str
+    message: str
+    suggestion: str
+    #: Measured crossings on the finding's line (exact, not sampled).
+    crossings: int
+    #: Loop-wide crossings per estimated iteration (0 outside loops).
+    crossings_per_iteration: float
+    #: Fixed crossing/marshalling overhead paid on the line.
+    overhead_s: float
+    #: Useful native work performed on the line.
+    native_s: float
+    #: Overhead as a share of the line's total boundary time.
+    overhead_share_percent: float
+    #: Bytes converted Python→native on the line.
+    bytes_to_native: int
+    #: Bytes converted native→Python on the line.
+    bytes_to_python: int
+    #: Overhead eliminated by the suggested rewrite.
+    estimated_savings_s: float
+
+    @property
+    def confirmed(self) -> bool:
+        """True when the runtime actually observed crossings here."""
+        return self.crossings > 0
+
+    def __str__(self) -> str:
+        per_iter = (
+            f", {self.crossings_per_iteration:.1f}/iteration"
+            if self.crossings_per_iteration > 0
+            else ""
+        )
+        state = (
+            f"{self.crossings} crossings{per_iter}, "
+            f"overhead {self.overhead_share_percent:.0f}% of boundary time"
+            if self.confirmed
+            else "not executed"
+        )
+        return (
+            f"[{self.detector}] {self.filename}:{self.lineno} ({state}): "
+            f"{self.message} — {self.suggestion}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "detector": self.detector,
+            "filename": self.filename,
+            "lineno": self.lineno,
+            "function": self.function,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "crossings": self.crossings,
+            "crossings_per_iteration": self.crossings_per_iteration,
+            "overhead_s": self.overhead_s,
+            "native_s": self.native_s,
+            "overhead_share_percent": self.overhead_share_percent,
+            "bytes_to_native": self.bytes_to_native,
+            "bytes_to_python": self.bytes_to_python,
+            "estimated_savings_s": self.estimated_savings_s,
+        }
+
+
+def _counters_from_profile(profile: ProfileData) -> Dict[Tuple[str, int], _Counters]:
+    return {
+        (line.filename, line.lineno): (
+            line.crossings,
+            line.crossing_overhead_s,
+            line.crossing_native_s,
+            line.bytes_to_native,
+            line.bytes_to_python,
+        )
+        for line in profile.lines
+        if line.crossings > 0
+    }
+
+
+def _counters_from_recorder(recorder) -> Dict[Tuple[str, int], _Counters]:
+    return {
+        key: (
+            c.crossings,
+            c.overhead_s,
+            c.native_s,
+            c.bytes_to_native,
+            c.bytes_to_python,
+        )
+        for key, c in recorder.lines.items()
+    }
+
+
+def _iteration_estimate(
+    finding: BoundaryFinding,
+    filename: str,
+    counters: Dict[Tuple[str, int], _Counters],
+) -> Tuple[int, int]:
+    """(estimated iterations, total loop-body crossings) for a loop finding.
+
+    A boundary call in the loop body fires once per iteration, so the
+    busiest body line gives the iteration count; summing over the body
+    gives the loop's total chattiness.
+    """
+    per_line = [counters.get((filename, ln), _ZERO)[0] for ln in finding.loop_lines]
+    if not per_line:
+        return 0, 0
+    return max(per_line), sum(per_line)
+
+
+def cross_flow(
+    boundary: Iterable[BoundaryFinding],
+    profile: Optional[ProfileData] = None,
+    *,
+    recorder=None,
+) -> List[CrossFlowFinding]:
+    """Join static boundary findings with measured crossing counters.
+
+    Counters come from ``recorder`` (a live
+    :class:`~repro.runtime.crossings.CrossingRecorder`, exact for every
+    line) when given, else from ``profile``'s per-line fields (exact,
+    but only for lines that survived the significance filter).
+    """
+    if recorder is not None:
+        counters = _counters_from_recorder(recorder)
+    elif profile is not None:
+        counters = _counters_from_profile(profile)
+    else:
+        counters = {}
+
+    out: List[CrossFlowFinding] = []
+    for b in boundary:
+        f = b.finding
+        crossings, overhead_s, native_s, to_native, to_python = counters.get(
+            (f.filename, f.lineno), _ZERO
+        )
+        iterations, loop_total = _iteration_estimate(b, f.filename, counters)
+        per_iteration = loop_total / iterations if iterations else 0.0
+        boundary_time = overhead_s + native_s
+        share = 100.0 * overhead_s / boundary_time if boundary_time > 0 else 0.0
+        if f.detector == _ROUNDTRIP:
+            # The fix removes the conversion: all of its overhead goes.
+            savings = overhead_s
+        elif crossings > 1:
+            # Batching collapses N crossings into one.
+            savings = overhead_s * (crossings - 1) / crossings
+        else:
+            savings = 0.0
+        out.append(
+            CrossFlowFinding(
+                detector=f.detector,
+                filename=f.filename,
+                lineno=f.lineno,
+                function=f.function,
+                message=f.message,
+                suggestion=f.suggestion,
+                crossings=crossings,
+                crossings_per_iteration=per_iteration,
+                overhead_s=overhead_s,
+                native_s=native_s,
+                overhead_share_percent=share,
+                bytes_to_native=to_native,
+                bytes_to_python=to_python,
+                estimated_savings_s=savings,
+            )
+        )
+    out.sort(key=lambda c: (c.crossings == 0, -c.overhead_s, c.lineno))
+    return out
+
+
+def attach_crossflow(
+    profile: ProfileData, findings: List[CrossFlowFinding]
+) -> ProfileData:
+    """Embed cross-flow findings in the profile so every report backend
+    (text, JSON, HTML) renders them alongside the measurements."""
+    profile.crossflow_findings = list(findings)
+    return profile
+
+
+def analyze_crossflow(
+    source: str,
+    profile: ProfileData,
+    filename: str = "<workload>",
+    *,
+    recorder=None,
+) -> List[CrossFlowFinding]:
+    """Convenience: boundary-lint ``source``, join with ``profile``, attach."""
+    boundary = boundary_findings_source(source, filename)
+    findings = cross_flow(boundary, profile, recorder=recorder)
+    attach_crossflow(profile, findings)
+    return findings

@@ -160,3 +160,24 @@ def lint_and_triangulate(
     triangulated = triangulate(findings, profile, min_percent=min_percent)
     attach_lint(profile, triangulated)
     return triangulated
+
+
+def triangulate_all(
+    source: str,
+    profile: ProfileData,
+    filename: str = "<workload>",
+    *,
+    min_percent: float = DEFAULT_MIN_PERCENT,
+    recorder=None,
+):
+    """Run both joins and attach them to ``profile``: the lint×cost
+    triangulation above plus the boundary×crossings cross-flow analysis
+    (:mod:`repro.analysis.crossflow`). Returns ``(triangulated,
+    crossflow)``; the profile renders both in every backend."""
+    from repro.analysis.crossflow import analyze_crossflow
+
+    triangulated = lint_and_triangulate(
+        source, profile, filename, min_percent=min_percent
+    )
+    crossflow = analyze_crossflow(source, profile, filename, recorder=recorder)
+    return triangulated, crossflow

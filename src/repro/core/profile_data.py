@@ -28,10 +28,19 @@ from repro.core.stats import ScaleneStats
 from repro.errors import ProfilerError, ProfileSchemaError
 
 #: Version of the JSON payload emitted by :meth:`ProfileData.to_dict`.
-#: Bump whenever the shape changes; :meth:`ProfileData.from_dict` fails
-#: loudly on any mismatch rather than guessing.
+#: Bump whenever the shape changes; :meth:`ProfileData.from_dict` reads
+#: the current version plus the listed older ones (absent fields default)
+#: and fails loudly on anything else rather than guessing.
 #: v3 added the degraded-mode fields (``degraded``, ``faults``).
-SCHEMA_VERSION = 3
+#: v4 added native-boundary crossing counters (per line and totals) and
+#: cross-flow findings (``crossflow``).
+SCHEMA_VERSION = 4
+
+#: Older payload versions :meth:`ProfileData.from_dict` still accepts.
+#: Fields introduced later default: v2 payloads load with
+#: ``degraded=False`` / no fault counters, v2/v3 with zero crossing
+#: counters and no cross-flow findings.
+READABLE_SCHEMAS = frozenset({2, 3, SCHEMA_VERSION})
 
 
 @dataclass
@@ -55,6 +64,13 @@ class LineReport:
     copy_mb_s: float
     gpu_percent: float
     gpu_mem_peak_mb: float
+    #: Native-boundary crossing counters (exact, from the runtime's
+    #: CrossingRecorder). Absolute quantities, so merges sum them.
+    crossings: int = 0
+    crossing_overhead_s: float = 0.0
+    crossing_native_s: float = 0.0
+    bytes_to_native: int = 0
+    bytes_to_python: int = 0
 
     @property
     def cpu_total_percent(self) -> float:
@@ -127,6 +143,15 @@ class ProfileData:
     #: (e.g. ``{"signals_dropped": 3, "clock_jumps": 1}``); empty when the
     #: run was clean.
     fault_counters: Dict[str, int] = field(default_factory=dict)
+    #: Whole-program native-boundary crossing totals (exact counts).
+    total_crossings: int = 0
+    total_crossing_overhead_s: float = 0.0
+    total_bytes_to_native: int = 0
+    total_bytes_to_python: int = 0
+    #: Cross-flow findings (:class:`repro.analysis.crossflow.CrossFlowFinding`):
+    #: static boundary findings joined with the measured crossing counters,
+    #: attached via :func:`repro.analysis.crossflow.attach_crossflow`.
+    crossflow_findings: List = field(default_factory=list)
 
     # -- rendering -------------------------------------------------------
 
@@ -220,6 +245,46 @@ class ProfileData:
                     f"  ({len(suppressed)} finding(s) suppressed: "
                     f"lines below the significance threshold)"
                 )
+        if self.total_crossings > 0:
+            out.append("")
+            out.append(
+                f"Native boundary: {self.total_crossings} crossings | "
+                f"overhead {self.total_crossing_overhead_s * 1000:.1f} ms | "
+                f"converted {self.total_bytes_to_native / 1e6:.2f} MB → native, "
+                f"{self.total_bytes_to_python / 1e6:.2f} MB → Python"
+            )
+            chatty = [
+                line
+                for line in sorted(self.lines, key=lambda l: -l.crossings)
+                if line.crossings > 0
+            ][:5]
+            for line in chatty:
+                out.append(
+                    f"  line {line.lineno:>4}: {line.crossings} crossings, "
+                    f"overhead {line.crossing_overhead_s * 1000:.1f} ms, "
+                    f"native {line.crossing_native_s * 1000:.1f} ms"
+                )
+        if self.crossflow_findings:
+            out.append("")
+            out.append("Cross-flow findings (boundary lints × measured crossings):")
+            for rank, f in enumerate(self.crossflow_findings, start=1):
+                out.append(
+                    f"  #{rank} line {f.lineno:>4} [{f.detector}] "
+                    f"{f.crossings} crossings"
+                    + (
+                        f" ({f.crossings_per_iteration:.1f}/iteration)"
+                        if f.crossings_per_iteration > 0
+                        else ""
+                    )
+                    + f", overhead {f.overhead_share_percent:.0f}% of line time "
+                    f"— {f.message}"
+                )
+                out.append(f"       fix: {f.suggestion}")
+                if f.estimated_savings_s > 0:
+                    out.append(
+                        f"       estimated savings if batched: "
+                        f"{f.estimated_savings_s * 1000:.1f} ms"
+                    )
         return "\n".join(out)
 
     def to_dict(self) -> Dict:
@@ -254,6 +319,13 @@ class ProfileData:
                 "peak_mb": self.gpu_mem_peak_mb,
                 "samples": self.gpu_samples,
             },
+            "crossings": {
+                "total": self.total_crossings,
+                "overhead_s": self.total_crossing_overhead_s,
+                "bytes_to_native": self.total_bytes_to_native,
+                "bytes_to_python": self.total_bytes_to_python,
+            },
+            "crossflow": [f.to_dict() for f in self.crossflow_findings],
             "lint": [t.to_dict() for t in self.lint_findings],
             "leaks": [
                 {
@@ -297,6 +369,11 @@ class ProfileData:
                     "copy_mb_s": line.copy_mb_s,
                     "gpu_percent": line.gpu_percent,
                     "gpu_mem_peak_mb": line.gpu_mem_peak_mb,
+                    "crossings": line.crossings,
+                    "crossing_overhead_s": line.crossing_overhead_s,
+                    "crossing_native_s": line.crossing_native_s,
+                    "bytes_to_native": line.bytes_to_native,
+                    "bytes_to_python": line.bytes_to_python,
                 }
                 for line in self.lines
             ],
@@ -311,29 +388,43 @@ class ProfileData:
     def from_dict(cls, payload: Dict) -> "ProfileData":
         """Rebuild a profile from a :meth:`to_dict` payload, exactly.
 
-        Raises :class:`~repro.errors.ProfileSchemaError` when the payload
-        is not a dict, carries a different schema version, or is missing
-        required keys — a misread profile must never silently enter a
-        merge or a trend.
+        Accepts the current schema plus the older versions listed in
+        ``READABLE_SCHEMAS`` (fields added since then default). Raises
+        :class:`~repro.errors.ProfileSchemaError` when the payload is not
+        a dict, carries any other schema version, or is missing required
+        keys — a misread profile must never silently enter a merge or a
+        trend.
         """
         if not isinstance(payload, dict):
             raise ProfileSchemaError(
                 f"profile payload must be a dict, got {type(payload).__name__}"
             )
         schema = payload.get("schema")
-        if schema != SCHEMA_VERSION:
+        if schema not in READABLE_SCHEMAS:
             raise ProfileSchemaError(
                 f"unsupported profile schema {schema!r}; "
-                f"this build reads schema {SCHEMA_VERSION}"
+                f"this build reads schemas {sorted(READABLE_SCHEMAS)}"
             )
+        crossings = payload.get("crossings", {})
         try:
             cpu = payload["cpu"]
             memory = payload["memory"]
             gpu = payload["gpu"]
             profile = cls(
                 mode=payload["mode"],
-                degraded=payload["degraded"],
-                fault_counters=dict(payload["faults"]),
+                # v2 predates degraded-mode accounting.
+                degraded=payload["degraded"] if schema >= 3 else False,
+                fault_counters=dict(payload["faults"]) if schema >= 3 else {},
+                # v2/v3 predate crossing counters (the .get defaults above
+                # and the per-line .get defaults below cover them).
+                total_crossings=crossings.get("total", 0),
+                total_crossing_overhead_s=crossings.get("overhead_s", 0.0),
+                total_bytes_to_native=crossings.get("bytes_to_native", 0),
+                total_bytes_to_python=crossings.get("bytes_to_python", 0),
+                crossflow_findings=[
+                    _crossflow_from_dict(entry)
+                    for entry in payload.get("crossflow", [])
+                ],
                 elapsed=payload["elapsed_s"],
                 cpu_python_time=cpu["python_s"],
                 cpu_native_time=cpu["native_s"],
@@ -365,6 +456,11 @@ class ProfileData:
                         copy_mb_s=entry["copy_mb_s"],
                         gpu_percent=entry["gpu_percent"],
                         gpu_mem_peak_mb=entry["gpu_mem_peak_mb"],
+                        crossings=entry.get("crossings", 0),
+                        crossing_overhead_s=entry.get("crossing_overhead_s", 0.0),
+                        crossing_native_s=entry.get("crossing_native_s", 0.0),
+                        bytes_to_native=entry.get("bytes_to_native", 0),
+                        bytes_to_python=entry.get("bytes_to_python", 0),
                     )
                     for entry in payload["lines"]
                 ],
@@ -456,6 +552,10 @@ class ProfileData:
         check_nonneg("total_copy_mb", self.total_copy_mb)
         check_nonneg("total_alloc_mb", self.total_alloc_mb)
         check_nonneg("sample_log_bytes", self.sample_log_bytes)
+        check_nonneg("total_crossings", self.total_crossings)
+        check_nonneg("total_crossing_overhead_s", self.total_crossing_overhead_s)
+        check_nonneg("total_bytes_to_native", self.total_bytes_to_native)
+        check_nonneg("total_bytes_to_python", self.total_bytes_to_python)
         if not 0.0 <= self.gpu_mean_utilization <= 1.0 + eps:
             violations.append(
                 f"gpu_mean_utilization outside [0, 1]: {self.gpu_mean_utilization!r}"
@@ -483,6 +583,11 @@ class ProfileData:
             check_nonneg(f"{where} mem_peak_mb", line.mem_peak_mb)
             check_nonneg(f"{where} copy_mb_s", line.copy_mb_s)
             check_nonneg(f"{where} gpu_mem_peak_mb", line.gpu_mem_peak_mb)
+            check_nonneg(f"{where} crossings", line.crossings)
+            check_nonneg(f"{where} crossing_overhead_s", line.crossing_overhead_s)
+            check_nonneg(f"{where} crossing_native_s", line.crossing_native_s)
+            check_nonneg(f"{where} bytes_to_native", line.bytes_to_native)
+            check_nonneg(f"{where} bytes_to_python", line.bytes_to_python)
             if not 0.0 <= line.gpu_percent <= 1.0 + eps:
                 violations.append(
                     f"{where} gpu_percent outside [0, 1]: {line.gpu_percent!r}"
@@ -521,6 +626,10 @@ class ProfileData:
         self.sample_log_bytes = max(self.sample_log_bytes, 0)
         self.gpu_mean_utilization = clamp01(self.gpu_mean_utilization)
         self.gpu_mem_peak_mb = max(self.gpu_mem_peak_mb, 0.0)
+        self.total_crossings = max(self.total_crossings, 0)
+        self.total_crossing_overhead_s = max(self.total_crossing_overhead_s, 0.0)
+        self.total_bytes_to_native = max(self.total_bytes_to_native, 0)
+        self.total_bytes_to_python = max(self.total_bytes_to_python, 0)
         for name in list(self.fault_counters):
             self.fault_counters[name] = max(self.fault_counters[name], 0)
         for line in self.lines:
@@ -540,6 +649,11 @@ class ProfileData:
             line.copy_mb_s = max(line.copy_mb_s, 0.0)
             line.gpu_percent = clamp01(line.gpu_percent)
             line.gpu_mem_peak_mb = max(line.gpu_mem_peak_mb, 0.0)
+            line.crossings = max(line.crossings, 0)
+            line.crossing_overhead_s = max(line.crossing_overhead_s, 0.0)
+            line.crossing_native_s = max(line.crossing_native_s, 0.0)
+            line.bytes_to_native = max(line.bytes_to_native, 0)
+            line.bytes_to_python = max(line.bytes_to_python, 0)
         for leak in self.leaks:
             leak.likelihood = clamp01(leak.likelihood)
             leak.leak_rate_mb_s = max(leak.leak_rate_mb_s, 0.0)
@@ -723,6 +837,32 @@ def _lint_from_dict(entry: Dict):
     )
 
 
+def _crossflow_from_dict(entry: Dict):
+    """Rebuild a cross-flow finding from its ``to_dict`` payload.
+
+    Imported lazily for the same reason as :func:`_lint_from_dict`:
+    :mod:`repro.analysis.crossflow` imports this module.
+    """
+    from repro.analysis.crossflow import CrossFlowFinding
+
+    return CrossFlowFinding(
+        detector=entry["detector"],
+        filename=entry["filename"],
+        lineno=entry["lineno"],
+        function=entry["function"],
+        message=entry["message"],
+        suggestion=entry["suggestion"],
+        crossings=entry["crossings"],
+        crossings_per_iteration=entry["crossings_per_iteration"],
+        overhead_s=entry["overhead_s"],
+        native_s=entry["native_s"],
+        overhead_share_percent=entry["overhead_share_percent"],
+        bytes_to_native=entry["bytes_to_native"],
+        bytes_to_python=entry["bytes_to_python"],
+        estimated_savings_s=entry["estimated_savings_s"],
+    )
+
+
 # ---------------------------------------------------------------------------
 # Merging (the repro.serve aggregation semantics)
 # ---------------------------------------------------------------------------
@@ -775,6 +915,11 @@ class _LineAccumulator:
     gpu_util_weighted: float = 0.0
     gpu_weight: float = 0.0
     gpu_mem_peak_mb: float = 0.0
+    crossings: int = 0
+    crossing_overhead_s: float = 0.0
+    crossing_native_s: float = 0.0
+    bytes_to_native: int = 0
+    bytes_to_python: int = 0
     timeline: List[Tuple[float, float]] = field(default_factory=list)
 
 
@@ -835,6 +980,8 @@ def merge_profiles(
     memory_timeline: List[Tuple[float, float]] = []
     lint_findings: List = []
     seen_lints = set()
+    crossflow_findings: List = []
+    seen_crossflow = set()
 
     offset = 0.0
     for profile in profiles:
@@ -865,6 +1012,11 @@ def merge_profiles(
             acc.gpu_util_weighted += line.gpu_percent * profile.gpu_samples
             acc.gpu_weight += profile.gpu_samples
             acc.gpu_mem_peak_mb = max(acc.gpu_mem_peak_mb, line.gpu_mem_peak_mb)
+            acc.crossings += line.crossings
+            acc.crossing_overhead_s += line.crossing_overhead_s
+            acc.crossing_native_s += line.crossing_native_s
+            acc.bytes_to_native += line.bytes_to_native
+            acc.bytes_to_python += line.bytes_to_python
             acc.timeline.extend((wall + offset, mb) for wall, mb in line.timeline)
         for fn in profile.functions:
             facc = functions.get((fn.filename, fn.function))
@@ -897,6 +1049,16 @@ def merge_profiles(
             if identity not in seen_lints:
                 seen_lints.add(identity)
                 lint_findings.append(lint)
+        for finding in profile.crossflow_findings:
+            identity = (
+                finding.detector,
+                finding.filename,
+                finding.lineno,
+                finding.message,
+            )
+            if identity not in seen_crossflow:
+                seen_crossflow.add(identity)
+                crossflow_findings.append(finding)
         memory_timeline.extend(
             (wall + offset, mb) for wall, mb in profile.memory_timeline
         )
@@ -932,6 +1094,11 @@ def merge_profiles(
                 acc.gpu_util_weighted / acc.gpu_weight if acc.gpu_weight else 0.0
             ),
             gpu_mem_peak_mb=acc.gpu_mem_peak_mb,
+            crossings=acc.crossings,
+            crossing_overhead_s=acc.crossing_overhead_s,
+            crossing_native_s=acc.crossing_native_s,
+            bytes_to_native=acc.bytes_to_native,
+            bytes_to_python=acc.bytes_to_python,
         )
         for acc in sorted(lines.values(), key=lambda a: (a.filename, a.lineno))
     ]
@@ -996,4 +1163,11 @@ def merge_profiles(
         lint_findings=lint_findings,
         degraded=any(p.degraded for p in profiles),
         fault_counters=merged_faults,
+        total_crossings=sum(p.total_crossings for p in profiles),
+        total_crossing_overhead_s=sum(
+            p.total_crossing_overhead_s for p in profiles
+        ),
+        total_bytes_to_native=sum(p.total_bytes_to_native for p in profiles),
+        total_bytes_to_python=sum(p.total_bytes_to_python for p in profiles),
+        crossflow_findings=crossflow_findings,
     )

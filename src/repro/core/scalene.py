@@ -181,6 +181,7 @@ class Scalene:
             leaks=leaks,
             sample_log_bytes=self.sample_log_bytes,
         )
+        self._attach_crossings(profile)
         # Degraded-mode accounting: if a fault injector was threaded
         # through the runtime, the profile says so (and how), and its
         # bounded invariants are clamped rather than trusted.
@@ -192,6 +193,31 @@ class Scalene:
         return profile
 
     # -- helpers -------------------------------------------------------
+
+    def _attach_crossings(self, profile: ProfileData) -> None:
+        """Fold the runtime's exact crossing counters into the profile.
+
+        Unlike the sampled columns, crossings come straight from the
+        CrossingRecorder (exact counts); only lines that survived the
+        significance filter carry per-line counters, but the totals cover
+        the whole run.
+        """
+        recorder = getattr(self.process, "crossings", None)
+        if recorder is None:
+            return
+        profile.total_crossings = recorder.total_crossings
+        profile.total_crossing_overhead_s = recorder.total_overhead_s
+        profile.total_bytes_to_native = recorder.total_bytes_to_native
+        profile.total_bytes_to_python = recorder.total_bytes_to_python
+        for line in profile.lines:
+            counters = recorder.lines.get((line.filename, line.lineno))
+            if counters is None:
+                continue
+            line.crossings = counters.crossings
+            line.crossing_overhead_s = counters.overhead_s
+            line.crossing_native_s = counters.native_s
+            line.bytes_to_native = counters.bytes_to_native
+            line.bytes_to_python = counters.bytes_to_python
 
     @property
     def sample_log_bytes(self) -> int:

@@ -31,6 +31,8 @@ class SimSeries(HeapBacked):
 
     __slots__ = ("length", "_backing")
 
+    native_domain = True
+
     def __init__(self, ctx, length: int) -> None:
         super().__init__(ctx.process.mem, ctx.thread)
         self.length = length
@@ -69,6 +71,8 @@ class SimDataFrame(HeapBacked):
     """A columnar frame of ``ncols`` float64 columns of ``nrows`` rows."""
 
     __slots__ = ("nrows", "columns", "_backing")
+
+    native_domain = True
 
     def __init__(self, ctx, nrows: int, columns) -> None:
         super().__init__(ctx.process.mem, ctx.thread)

@@ -37,6 +37,8 @@ class SimArray(HeapBacked):
 
     __slots__ = ("length", "_backing", "_view_of")
 
+    native_domain = True
+
     def __init__(self, ctx, length: int, *, touch: bool = True, view_of: Optional["SimArray"] = None) -> None:
         super().__init__(ctx.process.mem, ctx.thread)
         self.length = length
@@ -139,7 +141,7 @@ class SimArray(HeapBacked):
     def _m_tolist(self, ctx, args, kwargs) -> SimList:
         # Crossing the native->Python divide: every element is boxed into a
         # Python object (allocation churn) and the buffer is copied.
-        ctx.memcpy(self.nbytes)
+        ctx.marshal(self.nbytes, "to_python")
         ctx.consume(_elem_cost(ctx, self.length) * 4)
         ctx.scratch(self.length * 28)
         return SimList(ctx.process.mem, [0.0] * self.length, ctx.thread)
@@ -209,10 +211,73 @@ def make_simnp() -> NativeModule:
     def _frombuffer(ctx, args, kwargs):
         """Convert Python data to a native array: copies across the divide."""
         n = int(args[0])
-        ctx.memcpy(n * ITEM_BYTES)
+        ctx.marshal(n * ITEM_BYTES, "to_native")
         ctx.consume(_elem_cost(ctx, n) * 2)
         return SimArray(ctx, n)
 
     module.register("frombuffer", _frombuffer)
+
+    def _asarray(ctx, args, kwargs):
+        """Materialize a Python sequence as a native array (boxed → buffer)."""
+        value = args[0]
+        if isinstance(value, SimArray):
+            return value  # already native: no conversion, no copy
+        if isinstance(value, SimList):
+            n = len(value.items)
+        else:
+            n = int(value)
+        ctx.marshal(n * ITEM_BYTES, "to_native")
+        ctx.consume(_elem_cost(ctx, n) * 2)
+        return SimArray(ctx, n)
+
+    module.register("asarray", _asarray,
+                    "Convert a Python list to a native array (copies)")
+
+    def _get(ctx, args, kwargs):
+        """Read one element: a whole boundary crossing for 8 bytes."""
+        array, index = args[0], int(args[1])
+        if not isinstance(array, SimArray):
+            raise VMError("np.get expects an array")
+        if not (-array.length <= index < array.length):
+            raise VMError(
+                f"simnp index {index} out of range for length {array.length}"
+            )
+        ctx.consume(0.5 * _op_cost(ctx))
+        return 0.0
+
+    module.register("get", _get, "Read array[i] as a Python float")
+
+    def _put(ctx, args, kwargs):
+        """Write one element through the boundary."""
+        array, index = args[0], int(args[1])
+        if not isinstance(array, SimArray):
+            raise VMError("np.put expects an array")
+        if not (-array.length <= index < array.length):
+            raise VMError(
+                f"simnp index {index} out of range for length {array.length}"
+            )
+        ctx.consume(0.5 * _op_cost(ctx))
+        return None
+
+    module.register("put", _put, "Write array[i] = value")
+
+    def _add(ctx, args, kwargs):
+        """Vectorized elementwise add; the batched cousin of get/put loops."""
+        a, b = args
+        if isinstance(a, SimArray):
+            length = a.length
+            if isinstance(b, SimArray) and b.length != length:
+                raise VMError(
+                    f"array length mismatch: {length} vs {b.length}"
+                )
+        elif isinstance(b, SimArray):
+            length = b.length
+        else:
+            ctx.consume(0.5 * _op_cost(ctx))
+            return float(a) + float(b)
+        ctx.consume(_elem_cost(ctx, length))
+        return SimArray(ctx, length)
+
+    module.register("add", _add, "Elementwise a + b (vectorized)")
 
     return module

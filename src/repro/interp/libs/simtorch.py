@@ -29,6 +29,8 @@ class SimTensor(HeapBacked):
 
     __slots__ = ("length", "_device_addr", "_process")
 
+    native_domain = True
+
     def __init__(self, ctx, length: int) -> None:
         super().__init__(ctx.process.mem, ctx.thread)
         if length < 0:
@@ -66,11 +68,11 @@ class SimTensor(HeapBacked):
 
     def _to_host(self, ctx) -> None:
         """Device->host copy (synchronizes first)."""
-        ctx.memcpy(self.nbytes, direction="d2h")
+        ctx.marshal(self.nbytes, "to_python", direction="d2h")
         return ctx.gpu_sync()
 
     def _item(self, ctx):
-        ctx.memcpy(ITEM_BYTES, direction="d2h")
+        ctx.marshal(ITEM_BYTES, "to_python", direction="d2h")
         return ctx.gpu_sync()  # .item() forces a synchronization
 
     def __len__(self) -> int:
@@ -94,7 +96,7 @@ def make_simtorch() -> NativeModule:
         """Create a device tensor from host data: an h2d copy."""
         n = int(args[0])
         tensor = SimTensor(ctx, n)
-        ctx.memcpy(tensor.nbytes, direction="h2d")
+        ctx.marshal(tensor.nbytes, "to_native", direction="h2d")
         ctx.consume(2 * _op_cost(ctx))
         return tensor
 

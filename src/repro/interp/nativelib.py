@@ -7,6 +7,7 @@ to workloads as a global (``process.install_library("np", simnp.make())``).
 
 from __future__ import annotations
 
+import difflib
 from typing import Callable, Dict
 
 from repro.errors import VMError
@@ -22,7 +23,9 @@ class NativeModule:
 
     def register(self, name: str, fn: Callable, doc: str = "") -> None:
         """Expose ``fn(ctx, args, kwargs)`` as ``module.name`` in workloads."""
-        self._attrs[name] = NativeFunction(f"{self.name}.{name}", fn, doc)
+        self._attrs[name] = NativeFunction(
+            f"{self.name}.{name}", fn, doc, module=self.name
+        )
 
     def register_value(self, name: str, value: object) -> None:
         self._attrs[name] = value
@@ -31,7 +34,14 @@ class NativeModule:
         try:
             return self._attrs[name]
         except KeyError:
-            raise VMError(f"module {self.name!r} has no attribute {name!r}") from None
+            available = sorted(self._attrs)
+            message = f"module {self.name!r} has no attribute {name!r}"
+            close = difflib.get_close_matches(name, available, n=1)
+            if close:
+                message += f"; did you mean {close[0]!r}?"
+            if available:
+                message += f" (available: {', '.join(available)})"
+            raise VMError(message) from None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NativeModule {self.name}>"

@@ -25,6 +25,12 @@ class HeapBacked:
 
     __slots__ = ("rc", "_mem", "_thread", "_methods")
 
+    #: True for values whose storage lives in native-library memory
+    #: (arrays, series, tensors). Method calls on such values cross the
+    #: Python↔native boundary and are counted by the CrossingRecorder;
+    #: pure Python containers (lists, dicts, buffers) stay False.
+    native_domain = False
+
     def __init__(self, mem, thread=None) -> None:
         #: Reference count from storage points (0 = floating temporary).
         self.rc = 0
@@ -308,14 +314,21 @@ class NativeFunction:
     ``fn(ctx, args, kwargs)`` receives a :class:`NativeContext` (defined in
     the VM module) through which it consumes native CPU time, allocates
     native memory, performs memcpys, launches GPU kernels, or blocks.
+
+    ``module`` names the owning :class:`NativeModule` for functions that
+    belong to a simulated C-extension library; interpreter builtins leave
+    it ``None``. Only module-owned functions count as boundary crossings.
     """
 
-    __slots__ = ("name", "fn", "doc")
+    __slots__ = ("name", "fn", "doc", "module")
 
-    def __init__(self, name: str, fn: Callable, doc: str = "") -> None:
+    def __init__(
+        self, name: str, fn: Callable, doc: str = "", module: Optional[str] = None
+    ) -> None:
         self.name = name
         self.fn = fn
         self.doc = doc
+        self.module = module
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NativeFunction {self.name}>"

@@ -95,6 +95,12 @@ class VMConfig:
     #: How many opcodes may execute between pending-signal checks (timer
     #: deadlines are still honoured exactly; see DESIGN.md).
     eval_quantum: int = field(default_factory=_default_eval_quantum)
+    #: Fixed cost of one Python↔native boundary crossing, in units of
+    #: ``op_cost``: argument parsing, calling-convention glue, and result
+    #: boxing. Charged as native time on every native-library call (not on
+    #: interpreter builtins) and attributed separately from the work done
+    #: inside the call, so chatty call patterns are visible as overhead.
+    crossing_overhead_ops: float = 0.25
 
 
 _BINARY_FUNCS = {
@@ -289,6 +295,23 @@ class NativeContext:
 
     def memcpy(self, nbytes: int, direction: str = "host") -> None:
         self.process.mem.memcpy(nbytes, self.thread, direction)
+
+    def marshal(
+        self, nbytes: int, conversion: str, direction: str = "host"
+    ) -> None:
+        """A boundary *conversion* copy: memcpy plus directional accounting.
+
+        ``conversion`` is ``to_native`` (Python objects materialized into
+        a native buffer, e.g. ``np.asarray``) or ``to_python`` (native
+        data extracted into Python objects, e.g. ``tolist``). ``direction``
+        is forwarded to memcpy so GPU-leg copies (h2d/d2h) keep their
+        copy-volume semantics unchanged.
+        """
+        self.process.mem.memcpy(nbytes, self.thread, direction)
+        frame = self.thread.frame
+        if frame is not None:
+            filename, lineno, _func = frame.location()
+            self.process.crossings.record_bytes(filename, lineno, nbytes, conversion)
 
     # -- blocking ----------------------------------------------------------------
 
@@ -1179,14 +1202,37 @@ class VM:
 
         trace = self.process.trace
         ctx = self._native_ctx(thread)
-        if isinstance(callee, (BoundMethod, NativeFunction)):
-            if trace.active:
-                trace.fire(thread, frame, tracing.EVENT_C_CALL, callee.name)
-            result = callee.fn(ctx, args, kwargs)
+        if isinstance(callee, NativeFunction):
+            is_crossing = callee.module is not None
+        elif isinstance(callee, BoundMethod):
+            # Methods on native-domain values (arrays, series, tensors)
+            # cross the boundary; SimList/SimDict methods do not.
+            is_crossing = getattr(callee.receiver, "native_domain", False)
         else:
             raise SimRuntimeError(
                 f"object of type {type(callee).__name__} is not callable"
             )
+        if trace.active:
+            trace.fire(thread, frame, tracing.EVENT_C_CALL, callee.name)
+        if is_crossing:
+            # Fixed per-crossing cost (argument marshalling / call glue),
+            # charged as native time so every clock view stays consistent,
+            # then the in-call native work measured as a cpu-time delta.
+            overhead_s = self.config.crossing_overhead_ops * self.config.op_cost
+            ctx.consume(overhead_s)
+            entered_at = thread.cpu_time
+            result = callee.fn(ctx, args, kwargs)
+            self.process.crossings.record_call(
+                frame.code.filename,
+                frame.lineno,
+                overhead_s,
+                thread.cpu_time - entered_at,
+            )
+            ground_truth = self.process.ground_truth
+            if ground_truth is not None:
+                ground_truth.record_native_call(thread)
+        else:
+            result = callee.fn(ctx, args, kwargs)
 
         if isinstance(result, BlockRequest):
             # Keep trace call/return events balanced: fire c_return at the

@@ -1,0 +1,85 @@
+"""Exact native-boundary crossing accounting.
+
+Every call that leaves the interpreter for a simulated native library
+(`np.*`, `pd.*`, `torch.*`, and bound methods on native-domain objects)
+is one *crossing*. Because the runtime owns both sides of the boundary,
+crossings are counted exactly — no sampling — and each one is split into
+its fixed crossing overhead (argument marshalling, calling-convention
+glue; charged by the VM) and the actual native work performed inside.
+
+Conversion volume is tracked directionally: ``bytes_to_native`` covers
+Python→native materialization (``np.asarray``, ``torch.tensor``) and
+``bytes_to_python`` covers native→Python extraction (``tolist``,
+``item``). The static boundary detectors (staticcheck/lints.py) and the
+cross-flow join (analysis/crossflow.py) consume these counters per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+LineKey = Tuple[str, int]  # (filename, lineno)
+
+
+@dataclass(slots=True)
+class LineCrossings:
+    """Crossing counters for one source line (all absolute, mergeable)."""
+
+    crossings: int = 0
+    native_s: float = 0.0
+    overhead_s: float = 0.0
+    bytes_to_native: int = 0
+    bytes_to_python: int = 0
+
+
+class CrossingRecorder:
+    """Per-(file, line) native-boundary crossing counters for one process.
+
+    Always on: recording is a dict upsert per native call, cheap relative
+    to the simulated work inside the call. Counters are exact (every
+    crossing, not a sample) and additive, so profiles merge by summation.
+    """
+
+    def __init__(self) -> None:
+        self.lines: Dict[LineKey, LineCrossings] = {}
+        self.total_crossings = 0
+        self.total_native_s = 0.0
+        self.total_overhead_s = 0.0
+        self.total_bytes_to_native = 0
+        self.total_bytes_to_python = 0
+
+    def _line(self, filename: str, lineno: int) -> LineCrossings:
+        key = (filename, lineno)
+        line = self.lines.get(key)
+        if line is None:
+            line = self.lines[key] = LineCrossings()
+        return line
+
+    def record_call(
+        self, filename: str, lineno: int, overhead_s: float, native_s: float
+    ) -> None:
+        """One boundary crossing at ``(filename, lineno)``."""
+        line = self._line(filename, lineno)
+        line.crossings += 1
+        line.overhead_s += overhead_s
+        line.native_s += native_s
+        self.total_crossings += 1
+        self.total_overhead_s += overhead_s
+        self.total_native_s += native_s
+
+    def record_bytes(
+        self, filename: str, lineno: int, nbytes: int, direction: str
+    ) -> None:
+        """Conversion volume; ``direction`` is ``to_native`` or ``to_python``."""
+        if nbytes <= 0:
+            return
+        line = self._line(filename, lineno)
+        if direction == "to_native":
+            line.bytes_to_native += nbytes
+            self.total_bytes_to_native += nbytes
+        elif direction == "to_python":
+            line.bytes_to_python += nbytes
+            self.total_bytes_to_python += nbytes
+        else:
+            raise ValueError(f"unknown conversion direction {direction!r}")

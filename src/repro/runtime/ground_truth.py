@@ -29,6 +29,7 @@ class LineTruth:
     native_free_bytes: int = 0
     copy_bytes: int = 0
     gpu_time: float = 0.0
+    native_calls: int = 0
 
     @property
     def total_time(self) -> float:
@@ -145,6 +146,13 @@ class GroundTruth:
             truth.python_free_bytes += nbytes
         else:
             truth.native_free_bytes += nbytes
+
+    def record_native_call(self, thread) -> None:
+        """One Python→native boundary crossing (the crossing-count oracle)."""
+        loc = self._location(thread)
+        if loc is None:
+            return
+        self._line(loc[:2]).native_calls += 1
 
     def record_memcpy(self, thread, nbytes: int) -> None:
         loc = self._location(thread)

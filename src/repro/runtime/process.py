@@ -27,6 +27,7 @@ from repro.interp.disassembler import build_call_opcode_map
 from repro.interp.vm import VM, VMConfig
 from repro.interp.objects import decref
 from repro.runtime.clock import VirtualClock
+from repro.runtime.crossings import CrossingRecorder
 from repro.runtime.ground_truth import GroundTruth
 from repro.runtime.memsys import MemSubsystem
 from repro.runtime.scheduler import Scheduler
@@ -56,6 +57,9 @@ class SimProcess:
         self.signals = SignalManager(self.clock)
         self.ground_truth: Optional[GroundTruth] = GroundTruth() if collect_ground_truth else None
         self.mem = MemSubsystem(self.clock, ground_truth=self.ground_truth, base_rss_bytes=base_rss_bytes)
+        #: Exact native-boundary crossing counters (always on; see
+        #: runtime/crossings.py). Profilers fold these into ProfileData.
+        self.crossings = CrossingRecorder()
         self.gpu = gpu or GpuDevice()
         self.nvml = NvmlQuery(self.gpu)
         self.trace = TraceManager(self)

@@ -122,6 +122,11 @@ class ServeClient:
     def diff(self, before_id: str, after_id: str) -> Dict:
         return self._request(f"/diff?a={before_id}&b={after_id}")["diff"]
 
+    def crossflow(self, profile_id: str) -> Dict:
+        """Cross-flow analysis of a stored profile: boundary lints of its
+        workload joined with the stored crossing counters."""
+        return self._request(f"/crossflow?id={profile_id}")
+
     def trend(self, **filters: str) -> Dict:
         query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
         return self._request(f"/trend{'?' + query if query else ''}")

@@ -60,6 +60,7 @@ Endpoints::
     POST /merge                   {"ids": [...]} -> merged profile id
     GET  /diff?a=<id>&b=<id>      per-line/function/leak deltas (b − a)
     GET  /trend?workload=...      time-ordered headline numbers + regressions
+    GET  /crossflow?id=<id>       boundary lints × stored crossing counters
 """
 
 from __future__ import annotations
@@ -631,6 +632,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(
                     {"trend": points, "regressions": find_regressions(points)}
                 )
+            elif parts == ["crossflow"]:
+                if "id" not in query:
+                    raise ServeError("crossflow needs ?id=<profile_id>")
+                self._crossflow(query["id"])
             else:
                 self._error(404, f"unknown endpoint GET {url.path}")
         except StoreError as exc:
@@ -660,6 +665,40 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
+
+    def _crossflow(self, profile_id: str) -> None:
+        """Join a stored profile's crossing counters with the boundary
+        lints of its workload's source, rebuilt from the registry (the
+        source templates keep line numbers stable across scales)."""
+        from repro.analysis.crossflow import analyze_crossflow
+        from repro.workloads import get_workload
+
+        store = self.daemon.store
+        profile = store.get(profile_id)
+        entry = store.entry(profile_id)
+        workload_name = entry.get("workload") or ""
+        if not workload_name:
+            raise ServeError(
+                f"profile {profile_id} carries no workload metadata "
+                "(merged profiles are not supported)"
+            )
+        workload = get_workload(workload_name)
+        findings = analyze_crossflow(
+            workload.source(1.0), profile, f"{workload_name}.py"
+        )
+        self._json(
+            {
+                "id": entry["id"],
+                "workload": workload_name,
+                "crossings": {
+                    "total": profile.total_crossings,
+                    "overhead_s": profile.total_crossing_overhead_s,
+                    "bytes_to_native": profile.total_bytes_to_native,
+                    "bytes_to_python": profile.total_bytes_to_python,
+                },
+                "findings": [f.to_dict() for f in findings],
+            }
+        )
 
     def _get_profile(self, profile_id: str, query: Dict) -> None:
         store = self.daemon.store

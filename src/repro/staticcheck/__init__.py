@@ -12,18 +12,37 @@ Layering: ``staticcheck`` sits beside the profilers and imports only
 ``repro.interp`` (plus ``repro.errors``) — it never touches the runtime.
 """
 
+from repro.staticcheck.callgraph import (
+    NATIVE_ROOTS,
+    CallGraph,
+    FunctionNode,
+    build_call_graph,
+)
 from repro.staticcheck.cfg import CFG, BasicBlock, Loop, build_cfg
 from repro.staticcheck.dataflow import (
     ReachingDefinitions,
     SymbolicTrace,
     ValueNode,
     invariant_names,
+    qualified_callee,
     reaching_definitions,
     symbolic_trace,
     variant_names,
 )
 from repro.staticcheck.effects import jump_edge_delta, stack_effect
-from repro.staticcheck.lints import DETECTORS, Finding, lint_code, lint_source
+from repro.staticcheck.lints import (
+    BATCHED_EQUIVALENTS,
+    BOUNDARY_DETECTORS,
+    DETECTOR_SEVERITY,
+    DETECTORS,
+    SEVERITY_RANK,
+    BoundaryFinding,
+    Finding,
+    boundary_findings,
+    boundary_findings_source,
+    lint_code,
+    lint_source,
+)
 from repro.staticcheck.verifier import (
     DeadCode,
     VerificationError,
@@ -32,22 +51,34 @@ from repro.staticcheck.verifier import (
 )
 
 __all__ = [
+    "BATCHED_EQUIVALENTS",
+    "BOUNDARY_DETECTORS",
     "BasicBlock",
+    "BoundaryFinding",
     "CFG",
+    "CallGraph",
     "DETECTORS",
+    "DETECTOR_SEVERITY",
     "DeadCode",
     "Finding",
+    "FunctionNode",
     "Loop",
+    "NATIVE_ROOTS",
     "ReachingDefinitions",
+    "SEVERITY_RANK",
     "SymbolicTrace",
     "ValueNode",
     "VerificationError",
     "VerificationReport",
+    "boundary_findings",
+    "boundary_findings_source",
+    "build_call_graph",
     "build_cfg",
     "invariant_names",
     "jump_edge_delta",
     "lint_code",
     "lint_source",
+    "qualified_callee",
     "reaching_definitions",
     "stack_effect",
     "symbolic_trace",

@@ -1,0 +1,147 @@
+"""Interprocedural call graph over module-level functions.
+
+Nodes are the functions a module defines (``MAKE_FUNCTION`` +
+``STORE_NAME``, the only definition form in this instruction set) plus
+the module body itself; edges are resolved syntactically through the
+same LOAD_ATTR/LOAD_NAME dataflow the lints use
+(:func:`~repro.staticcheck.dataflow.qualified_callee`). Each node also
+records its *native call sites* — calls into a native-library root like
+``np.get(...)`` — and the graph answers reachability questions over
+them, which is what lets the boundary detectors see through one level
+of helper functions ("this loop calls ``process_row``, which does
+element-wise native calls").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.interp import opcodes as op
+from repro.interp.code import CodeObject
+from repro.staticcheck.cfg import build_cfg
+from repro.staticcheck.dataflow import qualified_callee, symbolic_trace
+
+#: Globals under which the simulated native libraries are installed.
+NATIVE_ROOTS = frozenset({"np", "pd", "torch", "io", "mp"})
+
+#: A native call site: (root, attr, lineno), e.g. ("np", "get", 12).
+NativeSite = Tuple[str, str, int]
+
+#: Name of the synthetic node for the module body.
+MODULE_NODE = "<module>"
+
+
+@dataclass
+class FunctionNode:
+    """One call-graph node: a module function (or the module body)."""
+
+    name: str
+    code: CodeObject
+    #: Module-level functions this one calls directly (resolved names).
+    calls: List[str] = field(default_factory=list)
+    #: Direct calls into native-library roots.
+    native_sites: List[NativeSite] = field(default_factory=list)
+
+
+class CallGraph:
+    """The module's call graph with native-reachability queries."""
+
+    def __init__(self, nodes: Dict[str, FunctionNode], native_roots: FrozenSet[str]) -> None:
+        self.nodes = nodes
+        self.native_roots = native_roots
+        self._reachable_cache: Dict[str, FrozenSet[str]] = {}
+
+    def node(self, name: str) -> Optional[FunctionNode]:
+        return self.nodes.get(name)
+
+    def reachable_functions(self, name: str) -> FrozenSet[str]:
+        """Functions transitively callable from ``name`` (itself included)."""
+        cached = self._reachable_cache.get(name)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        work = [name]
+        while work:
+            current = work.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            node = self.nodes.get(current)
+            if node is not None:
+                work.extend(node.calls)
+        result = frozenset(seen)
+        self._reachable_cache[name] = result
+        return result
+
+    def transitive_native_sites(self, name: str) -> List[NativeSite]:
+        """Every native call site reachable from ``name``, in call order."""
+        sites: List[NativeSite] = []
+        for fname in sorted(self.reachable_functions(name)):
+            node = self.nodes.get(fname)
+            if node is not None:
+                sites.extend(node.native_sites)
+        return sites
+
+    def calls_native(self, name: str) -> bool:
+        """True when ``name`` (transitively) crosses the native boundary."""
+        return bool(self.transitive_native_sites(name))
+
+
+def _function_codes(module_code: CodeObject) -> Dict[str, CodeObject]:
+    """Map module-level function names to their code objects."""
+    out: Dict[str, CodeObject] = {}
+    instructions = module_code.instructions
+    for i, instr in enumerate(instructions):
+        if instr.opcode != op.MAKE_FUNCTION:
+            continue
+        if i + 1 < len(instructions) and instructions[i + 1].opcode == op.STORE_NAME:
+            const = module_code.constants[instr.arg]
+            if isinstance(const, CodeObject):
+                out[instructions[i + 1].arg] = const
+    return out
+
+
+def _edges_of(
+    code: CodeObject, functions: Dict[str, CodeObject], native_roots: FrozenSet[str]
+) -> Tuple[List[str], List[NativeSite]]:
+    """Resolve one code object's outgoing call edges and native sites."""
+    cfg = build_cfg(code)
+    trace = symbolic_trace(code, cfg)
+    calls: List[str] = []
+    native_sites: List[NativeSite] = []
+    for index in sorted(trace.nodes):
+        node = trace.nodes[index]
+        if node.opcode not in (op.CALL, op.CALL_METHOD):
+            continue
+        qc = qualified_callee(node)
+        if qc is None:
+            continue
+        root, attr = qc
+        if root is None:
+            if attr in functions and attr not in calls:
+                calls.append(attr)
+        elif root in native_roots:
+            native_sites.append((root, attr, node.lineno))
+    return calls, native_sites
+
+
+def build_call_graph(
+    module_code: CodeObject, native_roots: FrozenSet[str] = NATIVE_ROOTS
+) -> CallGraph:
+    """Build the call graph of a compiled module."""
+    functions = _function_codes(module_code)
+    nodes: Dict[str, FunctionNode] = {}
+    for name, code in functions.items():
+        calls, native_sites = _edges_of(code, functions, native_roots)
+        nodes[name] = FunctionNode(
+            name=name, code=code, calls=calls, native_sites=native_sites
+        )
+    module_calls, module_sites = _edges_of(module_code, functions, native_roots)
+    nodes[MODULE_NODE] = FunctionNode(
+        name=MODULE_NODE,
+        code=module_code,
+        calls=module_calls,
+        native_sites=module_sites,
+    )
+    return CallGraph(nodes, native_roots)

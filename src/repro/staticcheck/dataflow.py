@@ -207,6 +207,25 @@ def callee_name(node: ValueNode) -> Optional[str]:
     return None
 
 
+def qualified_callee(node: ValueNode) -> Optional[Tuple[Optional[str], str]]:
+    """The (root, attr) pair of a call target, resolving attribute loads.
+
+    ``np.add(...)`` (LOAD_ATTR or LOAD_METHOD over a LOAD_NAME root)
+    yields ``("np", "add")``; a direct ``f(...)`` yields ``(None, "f")``;
+    anything deeper (``a.b.c(...)``, computed callees) yields ``None``.
+    """
+    if node.opcode not in (op.CALL, op.CALL_METHOD) or not node.operands:
+        return None
+    callee = node.operands[0]
+    if callee.opcode == op.LOAD_NAME:
+        return (None, callee.arg)
+    if callee.opcode in (op.LOAD_ATTR, op.LOAD_METHOD) and callee.operands:
+        root = callee.operands[0]
+        if root.opcode == op.LOAD_NAME:
+            return (root.arg, callee.arg)
+    return None
+
+
 def call_arguments(node: ValueNode) -> Tuple[ValueNode, ...]:
     """Positional+keyword argument nodes of a CALL/CALL_METHOD node."""
     if node.opcode not in (op.CALL, op.CALL_METHOD):

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.interp import opcodes as op
 from repro.interp.code import CodeObject
 from repro.interp.disassembler import iter_code_objects
+from repro.staticcheck.callgraph import MODULE_NODE, NATIVE_ROOTS, build_call_graph
 from repro.staticcheck.cfg import CFG, Loop, build_cfg
 from repro.staticcheck.dataflow import (
     SymbolicTrace,
@@ -29,6 +30,7 @@ from repro.staticcheck.dataflow import (
     callee_name,
     invariant_names,
     method_receiver,
+    qualified_callee,
     symbolic_trace,
     variant_names,
 )
@@ -45,6 +47,38 @@ ALLOCATING_CALLEES = frozenset(
 BLOCKING_CALLEES = frozenset({"sleep", "wait", "read", "write", "join", "io_wait"})
 
 ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "//", "%", "**"})
+
+#: Element-wise native calls with a known batched rewrite: the boundary
+#: is crossed once per element instead of once per region. Keyed by the
+#: qualified callee (module root, attribute).
+BATCHED_EQUIVALENTS: Dict[Tuple[str, str], str] = {
+    ("np", "get"): (
+        "operate on the whole array with one vectorized expression "
+        "(e.g. dst = src * 2.0) instead of reading elements one by one"
+    ),
+    ("np", "put"): (
+        "write results with one vectorized operation (or np.add on whole "
+        "arrays) instead of per-element puts"
+    ),
+}
+
+#: Calls that materialize Python data as a native buffer; the landing
+#: side of a Python↔native round trip.
+ROUNDTRIP_BUILDERS = frozenset(
+    {("np", "asarray"), ("np", "frombuffer"), ("torch", "tensor")}
+)
+
+#: Methods that extract native data into Python objects; the departure
+#: side of a round trip.
+EXTRACTION_METHODS = frozenset({"tolist", "to_host", "item"})
+
+#: Callees whose result is an array/frame/tensor — used to tell scalar
+#: argument trees from native-container ones in tiny-crossing detection.
+ARRAY_PRODUCERS = frozenset(
+    {"zeros", "ones", "empty", "arange", "asarray", "frombuffer", "copy",
+     "matmul", "add", "concat", "frame", "column_view", "groupby_sum",
+     "tensor", "forward"}
+)
 
 
 @dataclass(frozen=True)
@@ -70,7 +104,46 @@ DETECTORS = (
     "scalar-loop-vectorize",
     "loop-invariant-hoist",
     "gil-serialized-threads",
+    "chatty-native-loop",
+    "native-roundtrip-conversion",
+    "tiny-crossing-overhead",
 )
+
+#: The native-boundary detectors (consumed by the cross-flow join).
+BOUNDARY_DETECTORS = frozenset(
+    {"chatty-native-loop", "native-roundtrip-conversion", "tiny-crossing-overhead"}
+)
+
+#: Severity ordering for ``--fail-on``.
+SEVERITY_RANK = {"low": 0, "medium": 1, "high": 2}
+
+#: How bad each detector's shape usually is: ``high`` = superlinear cost
+#: or serialization, ``medium`` = per-iteration linear waste, ``low`` =
+#: constant-factor overhead.
+DETECTOR_SEVERITY = {
+    "chained-df-indexing": "medium",
+    "concat-growth-in-loop": "high",
+    "scalar-loop-vectorize": "medium",
+    "loop-invariant-hoist": "low",
+    "gil-serialized-threads": "high",
+    "chatty-native-loop": "high",
+    "native-roundtrip-conversion": "medium",
+    "tiny-crossing-overhead": "low",
+}
+
+
+@dataclass(frozen=True)
+class BoundaryFinding:
+    """A boundary-detector finding plus the structure the join needs."""
+
+    finding: Finding
+    #: Qualified native callee, when the detector resolved one.
+    root: Optional[str]
+    attr: Optional[str]
+    #: Source line of the enclosing loop header (0 for non-loop findings).
+    loop_header_line: int
+    #: All source lines inside the enclosing loop (empty for non-loop).
+    loop_lines: Tuple[int, ...]
 
 
 class _CodeAnalysis:
@@ -101,6 +174,14 @@ class _CodeAnalysis:
             if node is not None:
                 nodes.append(node)
         return nodes
+
+    def loop_lines(self, loop: Loop) -> Tuple[int, ...]:
+        """Sorted source lines of every instruction inside ``loop``."""
+        lines = {
+            self.code.instructions[i].lineno
+            for i in self.cfg.loop_instruction_indices(loop)
+        }
+        return tuple(sorted(lines))
 
     def loop_variable(self, loop: Loop) -> Optional[str]:
         """The ``for`` target name: STORE_NAME right after the header FOR_ITER."""
@@ -229,6 +310,20 @@ def _detect_scalar_loop(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None
                 name = element_access(node)
                 if name is not None:
                     hit = (name, node.lineno)
+            elif node.opcode in (op.CALL, op.CALL_METHOD):
+                # Native callee reached through a module attribute load
+                # (``np.add(a[i], ...)``): per-element data still flows
+                # through the call, so the loop is scalar all the same.
+                qc = qualified_callee(node)
+                if qc is not None and qc[0] in NATIVE_ROOTS:
+                    for arg in call_arguments(node):
+                        for sub in arg.walk():
+                            name = element_access(sub)
+                            if name is not None:
+                                hit = (name, node.lineno)
+                                break
+                        if hit is not None:
+                            break
             if hit is not None:
                 name, lineno = hit
                 findings.append(
@@ -356,6 +451,207 @@ def _detect_gil_serialization(
             )
 
 
+# -- detector 6: chatty native calls in loops (batched equivalent exists) ----
+
+
+def _detect_chatty_native_loop(
+    module_code: CodeObject, analyses: Dict[int, "_CodeAnalysis"], findings_by_code
+) -> None:
+    graph = build_call_graph(module_code)
+    for code_id, analysis in analyses.items():
+        for loop in analysis.loops:
+            loop_lines = analysis.loop_lines(loop)
+            for node in analysis.loop_nodes(loop):
+                if node.opcode not in (op.CALL, op.CALL_METHOD):
+                    continue
+                qc = qualified_callee(node)
+                if qc is None:
+                    continue
+                root, attr = qc
+                if root is not None and (root, attr) in BATCHED_EQUIVALENTS:
+                    findings_by_code[code_id].append(
+                        _Raw(
+                            "chatty-native-loop",
+                            node.lineno,
+                            f"element-wise native call {root}.{attr}(...) inside "
+                            f"a loop crosses the Python↔native boundary every "
+                            f"iteration",
+                            BATCHED_EQUIVALENTS[(root, attr)],
+                            root=root,
+                            attr=attr,
+                            loop_header_line=loop.header_line,
+                            loop_lines=loop_lines,
+                        )
+                    )
+                elif root is None and graph.node(attr) is not None:
+                    # Interprocedural: the loop calls a module function
+                    # that (transitively) does element-wise native calls.
+                    sites = [
+                        s
+                        for s in graph.transitive_native_sites(attr)
+                        if (s[0], s[1]) in BATCHED_EQUIVALENTS
+                    ]
+                    if not sites:
+                        continue
+                    nroot, nattr, _ = sites[0]
+                    findings_by_code[code_id].append(
+                        _Raw(
+                            "chatty-native-loop",
+                            node.lineno,
+                            f"loop calls {attr}(), which performs element-wise "
+                            f"native calls ({nroot}.{nattr}): one boundary "
+                            f"crossing per element",
+                            BATCHED_EQUIVALENTS[(nroot, nattr)],
+                            root=nroot,
+                            attr=nattr,
+                            loop_header_line=loop.header_line,
+                            loop_lines=loop_lines,
+                        )
+                    )
+
+
+# -- detector 7: Python↔native round-trip conversions ------------------------
+
+
+def _tree_extracts_to_python(tree: ValueNode) -> bool:
+    """Does this expression call a native→Python extraction method?"""
+    for sub in tree.walk():
+        if sub.opcode == op.CALL_METHOD and sub.operands:
+            callee = sub.operands[0]
+            if callee.opcode == op.LOAD_METHOD and callee.arg in EXTRACTION_METHODS:
+                return True
+    return False
+
+
+def _detect_native_roundtrip(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None:
+    trace_nodes = analysis.trace.nodes
+    # Stored-value trees per name, in program order, for one level of
+    # name expansion: ``l = a.tolist()`` ... ``np.asarray(l)``.
+    stores: Dict[str, List[Tuple[int, ValueNode]]] = {}
+    for index in sorted(trace_nodes):
+        node = trace_nodes[index]
+        if node.opcode == op.STORE_NAME and node.operands:
+            stores.setdefault(node.arg, []).append((index, node.operands[0]))
+    for index in sorted(trace_nodes):
+        node = trace_nodes[index]
+        if node.opcode not in (op.CALL, op.CALL_METHOD):
+            continue
+        qc = qualified_callee(node)
+        if qc is None or qc not in ROUNDTRIP_BUILDERS:
+            continue
+        root, attr = qc
+        for arg in call_arguments(node):
+            via: Optional[str] = None
+            hit = _tree_extracts_to_python(arg)
+            if not hit:
+                for name in sorted(arg.name_roots()):
+                    prior = [t for i, t in stores.get(name, []) if i < index]
+                    if prior and _tree_extracts_to_python(prior[-1]):
+                        hit = True
+                        via = name
+                        break
+            if hit:
+                through = f" (via {via!r})" if via else ""
+                findings.append(
+                    _Raw(
+                        "native-roundtrip-conversion",
+                        node.lineno,
+                        f"{root}.{attr}(...) rebuilds a native buffer from "
+                        f"data just extracted to Python{through}: a redundant "
+                        f"native→Python→native round trip",
+                        "keep the data on the native side (operate on the "
+                        "array/tensor directly, or use .copy())",
+                        root=root,
+                        attr=attr,
+                    )
+                )
+                break
+
+
+# -- detector 8: tiny-argument crossings (overhead dominates) ----------------
+
+
+def _arrayish_names(analysis: _CodeAnalysis) -> Set[str]:
+    """Names that (may) hold native containers, by store-tree fixpoint."""
+    trace_nodes = analysis.trace.nodes
+    names: Set[str] = set()
+
+    def produces_array(tree: ValueNode) -> bool:
+        if tree.opcode == op.LOAD_NAME:
+            return tree.arg in names
+        if tree.opcode in (op.CALL, op.CALL_METHOD):
+            qc = qualified_callee(tree)
+            if qc is not None and qc[1] in ARRAY_PRODUCERS:
+                return True
+            name = callee_name(tree)
+            return name in ARRAY_PRODUCERS
+        if tree.opcode == op.BINARY_OP:
+            return any(produces_array(operand) for operand in tree.operands)
+        # Subscripts of arrays yield scalars (or views we cannot name).
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for index in trace_nodes:
+            node = trace_nodes[index]
+            if node.opcode != op.STORE_NAME or not node.operands:
+                continue
+            if node.arg in names:
+                continue
+            if produces_array(node.operands[0]):
+                names.add(node.arg)
+                changed = True
+    return names
+
+
+def _detect_tiny_crossing(analysis: _CodeAnalysis, findings: List["_Raw"]) -> None:
+    arrayish: Optional[Set[str]] = None  # computed lazily, once per code
+    for loop in analysis.loops:
+        invariants = analysis.invariants(loop)
+        variants = analysis.variants(loop)
+        loop_lines = analysis.loop_lines(loop)
+        for node in analysis.loop_nodes(loop):
+            if node.opcode not in (op.CALL, op.CALL_METHOD):
+                continue
+            qc = qualified_callee(node)
+            if qc is None or qc[0] not in NATIVE_ROOTS:
+                continue
+            root, attr = qc
+            if (root, attr) in BATCHED_EQUIVALENTS:
+                continue  # chatty-native-loop owns that shape
+            args = call_arguments(node)
+            if not args:
+                continue
+            if attr in ALLOCATING_CALLEES and all(
+                _is_invariant_tree(a, invariants) for a in args
+            ):
+                continue  # loop-invariant-hoist owns that shape
+            if any(not a.is_transparent() for a in args):
+                continue
+            if arrayish is None:
+                arrayish = _arrayish_names(analysis)
+            if any(a.name_roots() & arrayish for a in args):
+                continue  # bulk payload: the crossing carries real work
+            if not any(a.name_roots() & variants for a in args):
+                continue  # invariant scalars: not a per-iteration pattern
+            findings.append(
+                _Raw(
+                    "tiny-crossing-overhead",
+                    node.lineno,
+                    f"{root}.{attr}(...) is called every iteration with "
+                    f"scalar arguments: fixed crossing overhead dominates "
+                    f"the per-call native work",
+                    "batch the per-iteration values and make one native "
+                    "call outside the loop",
+                    root=root,
+                    attr=attr,
+                    loop_header_line=loop.header_line,
+                    loop_lines=loop_lines,
+                )
+            )
+
+
 # -- driver -----------------------------------------------------------------
 
 
@@ -365,11 +661,19 @@ class _Raw:
     lineno: int
     message: str
     suggestion: str
+    #: Boundary metadata (qualified callee + enclosing loop), carried by
+    #: the boundary detectors for :func:`boundary_findings`; plain lint
+    #: output ignores it.
+    root: Optional[str] = None
+    attr: Optional[str] = None
+    loop_header_line: int = 0
+    loop_lines: Tuple[int, ...] = ()
 
 
-def lint_code(code: CodeObject, filename: Optional[str] = None) -> List[Finding]:
-    """Run every detector over ``code`` and all nested function bodies."""
-    filename = filename or code.filename
+def _collect_raws(
+    code: CodeObject,
+) -> Tuple[List[CodeObject], Dict[int, List[_Raw]]]:
+    """Run every detector; raw findings grouped by owning code object."""
     analyses: Dict[int, _CodeAnalysis] = {}
     order: List[CodeObject] = []
     for code_object in iter_code_objects(code):
@@ -384,8 +688,17 @@ def lint_code(code: CodeObject, filename: Optional[str] = None) -> List[Finding]
         _detect_concat_growth(analysis, raws)
         _detect_scalar_loop(analysis, raws)
         _detect_invariant_hoist(analysis, raws)
+        _detect_native_roundtrip(analysis, raws)
+        _detect_tiny_crossing(analysis, raws)
     _detect_gil_serialization(code, analyses, findings_by_code)
+    _detect_chatty_native_loop(code, analyses, findings_by_code)
+    return order, findings_by_code
 
+
+def lint_code(code: CodeObject, filename: Optional[str] = None) -> List[Finding]:
+    """Run every detector over ``code`` and all nested function bodies."""
+    filename = filename or code.filename
+    order, findings_by_code = _collect_raws(code)
     findings: List[Finding] = []
     seen: Set[Tuple[str, int, str]] = set()
     for code_object in order:
@@ -406,6 +719,57 @@ def lint_code(code: CodeObject, filename: Optional[str] = None) -> List[Finding]
             )
     findings.sort(key=lambda f: (f.lineno, f.detector))
     return findings
+
+
+def boundary_findings(
+    code: CodeObject, filename: Optional[str] = None
+) -> List[BoundaryFinding]:
+    """The boundary-detector findings with their join metadata.
+
+    Same detectors as :func:`lint_code`, filtered to
+    :data:`BOUNDARY_DETECTORS` and wrapped with the qualified callee and
+    enclosing-loop lines the cross-flow join needs.
+    """
+    filename = filename or code.filename
+    order, findings_by_code = _collect_raws(code)
+    out: List[BoundaryFinding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for code_object in order:
+        for raw in findings_by_code[id(code_object)]:
+            if raw.detector not in BOUNDARY_DETECTORS:
+                continue
+            key = (raw.detector, raw.lineno, raw.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                BoundaryFinding(
+                    finding=Finding(
+                        detector=raw.detector,
+                        filename=filename,
+                        lineno=raw.lineno,
+                        function=code_object.name,
+                        message=raw.message,
+                        suggestion=raw.suggestion,
+                    ),
+                    root=raw.root,
+                    attr=raw.attr,
+                    loop_header_line=raw.loop_header_line,
+                    loop_lines=raw.loop_lines,
+                )
+            )
+    out.sort(key=lambda b: (b.finding.lineno, b.finding.detector))
+    return out
+
+
+def boundary_findings_source(
+    source: str, filename: str = "<workload>"
+) -> List[BoundaryFinding]:
+    """Compile ``source`` and run :func:`boundary_findings` on it."""
+    from repro.interp.astcompile import compile_source
+
+    code = compile_source(source, filename, verify=True)
+    return boundary_findings(code, filename)
 
 
 def lint_source(source: str, filename: str = "<workload>") -> List[Finding]:

@@ -56,6 +56,7 @@ copy volume {copy:.1f} MB · GPU {gpu:.0f}%</p>
 {rows}
 </table>
 {lints}
+{crossings}
 {leaks}
 <script type="application/json" id="scalene-profile">
 {payload}
@@ -144,6 +145,51 @@ def render_html(profile: ProfileData, title: str = "profile") -> str:
                 f"{html.escape(t.finding.message)}; {html.escape(t.finding.suggestion)}</li>"
             )
         lints = f"<h2>Performance lints</h2><ul>{''.join(items)}</ul>"
+    crossings = ""
+    if profile.total_crossings > 0:
+        chatty_rows = "".join(
+            "<tr>"
+            f"<td>{line.lineno}</td>"
+            f"<td>{line.crossings}</td>"
+            f"<td>{line.crossing_overhead_s * 1000:.1f}</td>"
+            f"<td>{line.crossing_native_s * 1000:.1f}</td>"
+            f"<td>{line.bytes_to_native}</td>"
+            f"<td>{line.bytes_to_python}</td>"
+            "</tr>"
+            for line in sorted(profile.lines, key=lambda l: -l.crossings)
+            if line.crossings > 0
+        )
+        crossings = (
+            "<h2>Native boundary</h2>"
+            f"<p>{profile.total_crossings} crossings · "
+            f"overhead {profile.total_crossing_overhead_s * 1000:.1f} ms · "
+            f"{profile.total_bytes_to_native / 1e6:.2f} MB → native · "
+            f"{profile.total_bytes_to_python / 1e6:.2f} MB → Python</p>"
+            "<table><tr><th>line</th><th>crossings</th><th>overhead ms</th>"
+            "<th>native ms</th><th>B → native</th><th>B → Python</th></tr>"
+            f"{chatty_rows}</table>"
+        )
+    if profile.crossflow_findings:
+        items = []
+        for f in profile.crossflow_findings:
+            per_iter = (
+                f" ({f.crossings_per_iteration:.1f}/iteration)"
+                if f.crossings_per_iteration > 0
+                else ""
+            )
+            items.append(
+                f'<li class="lint"><span class="det">{html.escape(f.detector)}</span> '
+                f"line {f.lineno} — {f.crossings} crossings{per_iter}, "
+                f"overhead {f.overhead_share_percent:.0f}% of boundary time: "
+                f"{html.escape(f.message)}; {html.escape(f.suggestion)}"
+                + (
+                    f" (est. savings {f.estimated_savings_s * 1000:.1f} ms)"
+                    if f.estimated_savings_s > 0
+                    else ""
+                )
+                + "</li>"
+            )
+        crossings += f"<h2>Cross-flow findings</h2><ul>{''.join(items)}</ul>"
     return _PAGE.format(
         title=html.escape(title),
         mode=profile.mode,
@@ -154,6 +200,7 @@ def render_html(profile: ProfileData, title: str = "profile") -> str:
         timeline_svg=_timeline_svg(profile.memory_timeline),
         rows="\n".join(rows),
         lints=lints,
+        crossings=crossings,
         leaks=leaks,
         payload=json.dumps(profile.to_dict()),
     )

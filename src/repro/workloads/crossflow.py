@@ -1,0 +1,49 @@
+"""Chatty-vs-batched workload pair for the cross-flow analysis.
+
+``CHATTY``: an element-wise doubling loop that crosses the Python↔native
+boundary twice per iteration (``np.get`` + ``np.put``) and then takes a
+redundant native→Python→native round trip (``tolist`` + ``asarray``) —
+the boundary anti-patterns §7's case studies keep finding in the wild.
+``BATCHED``: the same computation as one vectorized expression, which
+must produce **zero** boundary findings (the false-positive control).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _chatty_source(scale: float) -> str:
+    n = max(int(400 * scale), 50)
+    return f"""n = {n}
+src = np.arange(n)
+dst = np.zeros(n)
+for i in range(n):
+    v = np.get(src, i)
+    np.put(dst, i, v * 2.0)
+snapshot = dst.tolist()
+result = np.asarray(snapshot)
+print(result.sum())
+"""
+
+
+def _batched_source(scale: float) -> str:
+    n = max(int(400 * scale), 50)
+    return f"""n = {n}
+src = np.arange(n)
+dst = src * 2.0
+print(dst.sum())
+"""
+
+
+CHATTY = Workload(
+    name="chatty",
+    source_builder=_chatty_source,
+    description="Element-wise native calls: two boundary crossings per iteration",
+)
+
+BATCHED = Workload(
+    name="batched",
+    source_builder=_batched_source,
+    description="Same computation vectorized: one crossing total (control)",
+)

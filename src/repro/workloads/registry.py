@@ -6,12 +6,15 @@ from typing import Dict, List
 
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload
+from repro.workloads.crossflow import BATCHED, CHATTY
 from repro.workloads.leaky import BALANCED, LEAKY
 from repro.workloads.pyperf.registry import PYPERF_WORKLOADS
 
 _EXTRA: Dict[str, Workload] = {
     LEAKY.name: LEAKY,
     BALANCED.name: BALANCED,
+    CHATTY.name: CHATTY,
+    BATCHED.name: BATCHED,
 }
 
 

@@ -72,3 +72,32 @@ def test_profile_rejects_bad_mode(tmp_path):
     source.write_text("x = 1\n")
     with pytest.raises(SystemExit):
         main(["profile", str(source), "--mode", "warp"])
+
+
+def test_crossflow_command(tmp_path, capsys):
+    json_path = tmp_path / "crossflow.json"
+    code = main(
+        [
+            "crossflow",
+            "--workload",
+            "chatty",
+            "--scale",
+            "0.25",
+            "--json",
+            str(json_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Native boundary" in out
+    assert "Cross-flow findings" in out
+    payload = json.loads(json_path.read_text())
+    detectors = {entry["detector"] for entry in payload}
+    assert "chatty-native-loop" in detectors
+    assert all(entry["crossings"] >= 0 for entry in payload)
+
+
+def test_crossflow_clean_workload(capsys):
+    assert main(["crossflow", "--workload", "batched", "--scale", "0.25"]) == 0
+    out = capsys.readouterr().out
+    assert "no cross-flow findings" in out

@@ -1,0 +1,165 @@
+"""Acceptance tests for the native-boundary cross-flow plane.
+
+The contract (the PR's acceptance bar): on the chatty/batched workload
+pair, the cross-flow analysis flags the chatty variant's loop lines with
+more than one crossing per iteration, reports the crossing-overhead
+share, and suggests the batched rewrite with estimated savings — and
+reports **zero** boundary findings on the batched variant. The measured
+crossing counts must match the runtime's ground-truth oracle exactly.
+"""
+
+import pytest
+
+from repro.analysis.crossflow import analyze_crossflow, cross_flow
+from repro.core import Scalene
+from repro.errors import VMError
+from repro.interp.libs.simnp import make_simnp
+from repro.staticcheck import boundary_findings_source
+from repro.workloads import get_workload
+
+SCALE = 0.25
+
+
+def run_workload(name, **process_kwargs):
+    workload = get_workload(name)
+    process = workload.make_process(SCALE, **process_kwargs)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    return workload, process, profile
+
+
+@pytest.fixture(scope="module")
+def chatty():
+    workload, process, profile = run_workload("chatty", collect_ground_truth=True)
+    findings = analyze_crossflow(
+        workload.source(SCALE), profile, "chatty.py", recorder=process.crossings
+    )
+    return workload, process, profile, findings
+
+
+def test_chatty_loop_lines_flagged(chatty):
+    _workload, _process, _profile, findings = chatty
+    loop = [f for f in findings if f.detector == "chatty-native-loop"]
+    assert len(loop) == 2  # np.get and np.put, one site each
+    for f in loop:
+        assert f.crossings > 0
+        assert f.crossings_per_iteration > 1
+        assert 0 < f.overhead_share_percent < 100
+        assert f.estimated_savings_s > 0
+        assert "vectorized" in f.suggestion
+
+
+def test_chatty_roundtrip_flagged(chatty):
+    _workload, _process, _profile, findings = chatty
+    roundtrips = [f for f in findings if f.detector == "native-roundtrip-conversion"]
+    assert len(roundtrips) == 1
+    (f,) = roundtrips
+    assert f.crossings == 1
+    # The fix removes the conversion outright: all overhead is saved.
+    assert f.estimated_savings_s == pytest.approx(f.overhead_s)
+
+
+def test_chatty_byte_volumes_recorded(chatty):
+    _workload, _process, profile, _findings = chatty
+    # tolist converts the array out, asarray converts the list back in.
+    assert profile.total_bytes_to_python > 0
+    assert profile.total_bytes_to_native > 0
+
+
+def test_crossings_match_ground_truth_oracle_exactly(chatty):
+    _workload, process, _profile, _findings = chatty
+    recorded = {
+        key: counters.crossings for key, counters in process.crossings.lines.items()
+    }
+    oracle = {
+        key[:2]: truth.native_calls
+        for key, truth in process.ground_truth.lines.items()
+        if truth.native_calls > 0
+    }
+    assert recorded == oracle
+    assert process.crossings.total_crossings == sum(oracle.values())
+
+
+def test_batched_variant_is_clean():
+    workload, process, profile = run_workload("batched")
+    findings = analyze_crossflow(
+        workload.source(SCALE), profile, "batched.py", recorder=process.crossings
+    )
+    assert findings == []
+    assert boundary_findings_source(workload.source(SCALE), "batched.py") == []
+    # The batched variant still crosses (arange + the vectorized multiply
+    # run natively) — just a constant number of times, not per element.
+    assert 0 < profile.total_crossings <= 5
+
+
+def test_profile_embeds_crossflow_findings(chatty):
+    _workload, _process, profile, findings = chatty
+    assert profile.crossflow_findings == findings
+    text = profile.render_text()
+    assert "Cross-flow findings" in text
+    assert "Native boundary" in text
+
+
+def test_cross_flow_join_from_profile_lines(chatty):
+    """Without a recorder the join falls back to the profile's per-line
+    counters (what the daemon does for stored profiles)."""
+    workload, _process, profile, with_recorder = chatty
+    boundary = boundary_findings_source(workload.source(SCALE), "chatty.py")
+    from_profile = cross_flow(boundary, profile)
+    assert {(f.detector, f.lineno) for f in from_profile} == {
+        (f.detector, f.lineno) for f in with_recorder
+    }
+    chatty_lines = [f for f in from_profile if f.detector == "chatty-native-loop"]
+    assert all(f.crossings_per_iteration > 1 for f in chatty_lines)
+
+
+def test_unexecuted_findings_sort_last():
+    source = (
+        "flag = 0\n"
+        "a = np.arange(50)\n"
+        "b = np.zeros(50)\n"
+        "if flag > 0:\n"
+        "    for i in range(50):\n"
+        "        v = np.get(a, i)\n"
+        "        np.put(b, i, v)\n"
+        "l = a.tolist()\n"
+        "c = np.asarray(l)\n"
+        "print(c.sum())\n"
+    )
+    from repro.runtime.process import SimProcess
+    from repro.interp.libs import install_standard_libraries
+
+    process = SimProcess(source, filename="cold.py")
+    install_standard_libraries(process)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    profile = scalene.stop()
+    findings = analyze_crossflow(source, profile, "cold.py", recorder=process.crossings)
+    assert findings, "the static shapes must still be reported"
+    executed = [f for f in findings if f.confirmed]
+    dead = [f for f in findings if not f.confirmed]
+    assert dead, "the dead loop's findings must survive with zero counters"
+    assert findings == executed + dead  # confirmed first
+
+
+def test_sim_getattr_suggests_nearest_match():
+    np = make_simnp()
+    with pytest.raises(VMError, match=r"did you mean 'arange'\?"):
+        np.sim_getattr("arrange")
+    with pytest.raises(VMError, match="available: "):
+        np.sim_getattr("qqqq")
+
+
+def test_triangulate_all_attaches_both_joins():
+    from repro.analysis import triangulate_all
+
+    workload, process, profile = run_workload("chatty")
+    triangulated, crossflow = triangulate_all(
+        workload.source(SCALE), profile, "chatty.py", recorder=process.crossings
+    )
+    assert profile.lint_findings == triangulated
+    assert profile.crossflow_findings == crossflow
+    assert any(f.detector == "chatty-native-loop" for f in crossflow)

@@ -200,7 +200,7 @@ def test_from_json_rejects_other_schema_versions():
     payload = profile.to_dict()
     assert payload["schema"] == SCHEMA_VERSION
 
-    for bad_schema in (None, SCHEMA_VERSION - 1, SCHEMA_VERSION + 1, "2"):
+    for bad_schema in (None, 1, SCHEMA_VERSION + 1, "2"):
         tampered = dict(payload, schema=bad_schema)
         with pytest.raises(ProfileSchemaError):
             ProfileData.from_dict(tampered)
@@ -220,6 +220,110 @@ def test_from_dict_fails_loudly_on_missing_keys():
     del payload["memory"]["total_alloc_mb"]
     with pytest.raises(ProfileSchemaError, match="missing key"):
         ProfileData.from_dict(payload)
+
+
+def test_crossing_fields_round_trip():
+    """Schema v4: per-line crossing counters and totals survive JSON."""
+    from repro.core.profile_data import ProfileData
+
+    stats = make_stats(6)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    profile.total_crossings = 205
+    profile.total_crossing_overhead_s = 0.0025625
+    profile.total_bytes_to_native = 800
+    profile.total_bytes_to_python = 1600
+    line = profile.lines[0]
+    line.crossings = 100
+    line.crossing_overhead_s = 0.00125
+    line.crossing_native_s = 0.0025
+    line.bytes_to_native = 800
+    line.bytes_to_python = 0
+
+    restored = ProfileData.from_json(profile.to_json())
+    assert restored.total_crossings == 205
+    assert restored.total_crossing_overhead_s == pytest.approx(0.0025625)
+    assert restored.total_bytes_to_native == 800
+    assert restored.total_bytes_to_python == 1600
+    restored_line = restored.line(line.lineno, line.filename)
+    assert restored_line.crossings == 100
+    assert restored_line.crossing_overhead_s == pytest.approx(0.00125)
+    assert restored_line.crossing_native_s == pytest.approx(0.0025)
+    assert restored_line.bytes_to_native == 800
+    assert restored_line.bytes_to_python == 0
+
+
+def test_crossflow_findings_round_trip():
+    from repro.analysis.crossflow import CrossFlowFinding
+    from repro.core.profile_data import ProfileData
+
+    stats = make_stats(3)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    profile.crossflow_findings = [
+        CrossFlowFinding(
+            detector="chatty-native-loop",
+            filename="app.py",
+            lineno=5,
+            function="<module>",
+            message="chatty",
+            suggestion="batch it",
+            crossings=100,
+            crossings_per_iteration=2.0,
+            overhead_s=0.00125,
+            native_s=0.0025,
+            overhead_share_percent=33.3,
+            bytes_to_native=0,
+            bytes_to_python=0,
+            estimated_savings_s=0.0012375,
+        )
+    ]
+    restored = ProfileData.from_json(profile.to_json())
+    assert len(restored.crossflow_findings) == 1
+    f = restored.crossflow_findings[0]
+    assert f.detector == "chatty-native-loop"
+    assert f.crossings == 100
+    assert f.crossings_per_iteration == 2.0
+    assert f.estimated_savings_s == pytest.approx(0.0012375)
+
+
+def test_schema_v2_and_v3_payloads_still_load():
+    """Back-compat: pre-crossing payloads parse with zeroed v4 fields."""
+    from repro.core.profile_data import ProfileData
+
+    stats = make_stats(4)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    payload = profile.to_dict()
+    # Strip everything v4 added.
+    v3 = dict(payload, schema=3)
+    del v3["crossings"]
+    del v3["crossflow"]
+    v3["lines"] = [
+        {
+            k: v
+            for k, v in entry.items()
+            if k
+            not in (
+                "crossings",
+                "crossing_overhead_s",
+                "crossing_native_s",
+                "bytes_to_native",
+                "bytes_to_python",
+            )
+        }
+        for entry in payload["lines"]
+    ]
+    restored = ProfileData.from_dict(v3)
+    assert restored.total_crossings == 0
+    assert restored.crossflow_findings == []
+    assert all(line.crossings == 0 for line in restored.lines)
+
+    # v2 additionally predates the degraded-mode fields.
+    v2 = dict(v3, schema=2)
+    del v2["degraded"]
+    del v2["faults"]
+    restored = ProfileData.from_dict(v2)
+    assert restored.degraded is False
+    assert restored.fault_counters == {}
+    assert restored.total_crossings == 0
 
 
 def test_schema_v3_requires_degraded_keys():

@@ -53,6 +53,12 @@ def profiles(draw):
                 "python_alloc_mb": malloc * draw(st.floats(0.0, 1.0)),
                 "peak_mb": draw(mb),
                 "copy_mb": draw(mb),
+                # Native-boundary counters (schema v4): exact, additive.
+                "crossings": draw(st.integers(min_value=0, max_value=50)),
+                "crossing_overhead_s": draw(seconds),
+                "crossing_native_s": draw(seconds),
+                "to_native": draw(st.integers(min_value=0, max_value=1 << 20)),
+                "to_python": draw(st.integers(min_value=0, max_value=1 << 20)),
             }
         )
     # Collapse duplicate (filename, lineno) draws.
@@ -100,6 +106,13 @@ def profiles(draw):
         gpu_samples=draw(st.integers(min_value=0, max_value=1000)),
         total_alloc_mb=total_alloc,
         sample_log_bytes=draw(st.integers(min_value=0, max_value=1 << 20)),
+        # Totals cover the whole run, so they may exceed the per-line sums
+        # (lines below the significance filter still cross).
+        total_crossings=sum(r["crossings"] for r in raw_lines)
+        + draw(st.integers(min_value=0, max_value=100)),
+        total_crossing_overhead_s=sum(r["crossing_overhead_s"] for r in raw_lines),
+        total_bytes_to_native=sum(r["to_native"] for r in raw_lines),
+        total_bytes_to_python=sum(r["to_python"] for r in raw_lines),
         leaks=leaks,
         lines=[
             LineReport(
@@ -124,6 +137,11 @@ def profiles(draw):
                 copy_mb_s=r["copy_mb"] / elapsed,
                 gpu_percent=draw(st.floats(0.0, 1.0)),
                 gpu_mem_peak_mb=draw(mb),
+                crossings=r["crossings"],
+                crossing_overhead_s=r["crossing_overhead_s"],
+                crossing_native_s=r["crossing_native_s"],
+                bytes_to_native=r["to_native"],
+                bytes_to_python=r["to_python"],
             )
             for r in raw_lines
         ],
@@ -157,6 +175,10 @@ def counters(profile: ProfileData):
         "alloc_mb": profile.total_alloc_mb,
         "gpu_samples": profile.gpu_samples,
         "log_bytes": profile.sample_log_bytes,
+        "crossings": profile.total_crossings,
+        "crossing_overhead_s": profile.total_crossing_overhead_s,
+        "bytes_to_native": profile.total_bytes_to_native,
+        "bytes_to_python": profile.total_bytes_to_python,
     }
 
 
@@ -212,6 +234,48 @@ def test_merged_counters_are_sums_and_maxes(parts):
     )
     assert merged.peak_footprint_mb == max(p.peak_footprint_mb for p in parts)
     assert merged.gpu_mem_peak_mb == max(p.gpu_mem_peak_mb for p in parts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(parts=st.lists(profiles(), min_size=2, max_size=4))
+def test_merged_crossing_counters_are_exact_sums(parts):
+    """Crossing counts and byte volumes are exact integers: the merge must
+    sum them without any float slack, per line and in the totals."""
+    merged = merge_profiles(parts)
+    assert merged.total_crossings == sum(p.total_crossings for p in parts)
+    assert merged.total_bytes_to_native == sum(
+        p.total_bytes_to_native for p in parts
+    )
+    assert merged.total_bytes_to_python == sum(
+        p.total_bytes_to_python for p in parts
+    )
+    assert math.isclose(
+        merged.total_crossing_overhead_s,
+        sum(p.total_crossing_overhead_s for p in parts),
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+    for line in merged.lines:
+        sources = [
+            p.line(line.lineno, line.filename)
+            for p in parts
+            if p.line(line.lineno, line.filename) is not None
+        ]
+        assert line.crossings == sum(l.crossings for l in sources)
+        assert line.bytes_to_native == sum(l.bytes_to_native for l in sources)
+        assert line.bytes_to_python == sum(l.bytes_to_python for l in sources)
+        assert math.isclose(
+            line.crossing_overhead_s,
+            sum(l.crossing_overhead_s for l in sources),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        assert math.isclose(
+            line.crossing_native_s,
+            sum(l.crossing_native_s for l in sources),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
 
 
 @settings(max_examples=60, deadline=None)

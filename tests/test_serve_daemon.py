@@ -212,3 +212,27 @@ def test_bad_fault_spec_fails_synchronously(client):
         client.submit("leaky", faults={"signal_drop_rate": 3.0})
     with pytest.raises(ServeError, match="timeout_s"):
         client.submit("leaky", timeout_s=-5)
+
+
+def test_crossflow_endpoint(client):
+    job = client.submit("chatty", scale=0.25)
+    done = client.wait(job["id"], timeout=300)
+    result = client.crossflow(done["profile_id"])
+    assert result["workload"] == "chatty"
+    assert result["crossings"]["total"] > 0
+    detectors = {f["detector"] for f in result["findings"]}
+    assert "chatty-native-loop" in detectors
+    chatty_sites = [
+        f for f in result["findings"] if f["detector"] == "chatty-native-loop"
+    ]
+    assert all(f["crossings_per_iteration"] > 1 for f in chatty_sites)
+
+
+def test_crossflow_endpoint_requires_id(daemon):
+    try:
+        urllib.request.urlopen(daemon.url + "/crossflow", timeout=30)
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400
+        assert "crossflow needs" in json.loads(exc.read().decode("utf-8"))["error"]
+    else:  # pragma: no cover - the request must fail
+        pytest.fail("/crossflow without ?id unexpectedly succeeded")

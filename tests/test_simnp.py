@@ -143,3 +143,53 @@ def test_index_out_of_range():
 def test_negative_size_rejected():
     with pytest.raises(VMError, match="negative"):
         run("a = np.zeros(-1)\n")
+
+
+# -- element/batch boundary natives (the chatty/batched pair's API) ----------
+
+
+def test_get_and_put_roundtrip():
+    process = run(
+        "a = np.arange(10)\n"
+        "b = np.zeros(10)\n"
+        "for i in range(10):\n"
+        "    np.put(b, i, np.get(a, i) * 2.0)\n"
+        "total = b.sum()\nprint(total)\n"
+    )
+    # 10 gets + 10 puts + arange + zeros + sum: all crossings recorded.
+    assert process.crossings.total_crossings == 23
+
+
+def test_get_bounds_checked():
+    with pytest.raises(VMError, match="out of range"):
+        run("a = np.zeros(5)\nv = np.get(a, 5)\n")
+    with pytest.raises(VMError, match="out of range"):
+        run("a = np.zeros(5)\nnp.put(a, -6, 0.0)\n")
+
+
+def test_add_vectorized_and_scalar():
+    process = run(
+        "a = np.arange(100)\n"
+        "b = np.arange(100)\n"
+        "c = np.add(a, b)\n"
+        "s = np.add(2.0, 3.0)\n"
+        "print(c.sum())\nprint(s)\n"
+    )
+    assert process.stdout[-1].strip() == "5.0"
+
+
+def test_add_length_mismatch():
+    with pytest.raises(VMError, match="length"):
+        run("a = np.zeros(5)\nb = np.zeros(6)\nc = np.add(a, b)\n")
+
+
+def test_asarray_marshals_to_native():
+    process = run(
+        "items = []\n"
+        "for i in range(100):\n"
+        "    items.append(i)\n"
+        "a = np.asarray(items)\n"
+        "print(a.size)\n"
+    )
+    assert process.crossings.total_bytes_to_native == 800
+    assert process.stdout[-1].strip() == "100"

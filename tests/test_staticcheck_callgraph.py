@@ -1,0 +1,76 @@
+"""Call-graph construction and native-reachability queries."""
+
+from repro.interp.astcompile import compile_source
+from repro.staticcheck import build_call_graph
+from repro.staticcheck.callgraph import MODULE_NODE
+
+SOURCE = (
+    "def leaf(a, i):\n"
+    "    return np.get(a, i)\n"
+    "def middle(a, i):\n"
+    "    return leaf(a, i) + 1\n"
+    "def pure(x):\n"
+    "    return x * 2\n"
+    "a = np.arange(10)\n"
+    "total = 0\n"
+    "for i in range(10):\n"
+    "    total = total + middle(a, i)\n"
+    "print(pure(total))\n"
+)
+
+
+def graph():
+    return build_call_graph(compile_source(SOURCE, "cg.py"))
+
+
+def test_nodes_cover_functions_and_module():
+    g = graph()
+    assert set(g.nodes) == {"leaf", "middle", "pure", MODULE_NODE}
+
+
+def test_direct_edges_resolved():
+    g = graph()
+    assert g.node("middle").calls == ["leaf"]
+    assert g.node("pure").calls == []
+    assert set(g.node(MODULE_NODE).calls) == {"middle", "pure"}
+
+
+def test_native_sites_and_linenos():
+    g = graph()
+    assert g.node("leaf").native_sites == [("np", "get", 2)]
+    assert g.node("middle").native_sites == []
+    # The module body's own native site is the arange call.
+    assert ("np", "arange", 7) in g.node(MODULE_NODE).native_sites
+
+
+def test_transitive_reachability():
+    g = graph()
+    assert g.reachable_functions("middle") == frozenset({"middle", "leaf"})
+    assert g.calls_native("middle")
+    assert g.calls_native("leaf")
+    assert not g.calls_native("pure")
+    sites = g.transitive_native_sites("middle")
+    assert ("np", "get", 2) in sites
+
+
+def test_unknown_name_is_empty():
+    g = graph()
+    assert g.node("nope") is None
+    assert g.reachable_functions("nope") == frozenset({"nope"})
+    assert not g.calls_native("nope")
+
+
+def test_recursive_functions_terminate():
+    source = (
+        "def ping(n):\n"
+        "    if n > 0:\n"
+        "        return pong(n - 1)\n"
+        "    return np.arange(1)\n"
+        "def pong(n):\n"
+        "    return ping(n)\n"
+        "print(ping(3).sum())\n"
+    )
+    g = build_call_graph(compile_source(source, "rec.py"))
+    assert g.calls_native("ping")
+    assert g.calls_native("pong")
+    assert g.reachable_functions("ping") == frozenset({"ping", "pong"})

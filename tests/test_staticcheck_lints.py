@@ -189,7 +189,7 @@ def test_io_bound_thread_workers_are_clean():
 
 
 def test_all_detectors_exist():
-    assert len(DETECTORS) == 5
+    assert len(DETECTORS) == 8
 
 
 def test_findings_sorted_and_deduped():
@@ -217,3 +217,156 @@ def test_clean_program_has_no_findings():
         "print(b.sum())\n"
     )
     assert lint_source(source, "clean.py") == []
+
+
+# -- detector 6: chatty native loop ------------------------------------------
+
+
+def test_chatty_native_loop_detected():
+    source = (
+        "n = 100\n"
+        "src = np.arange(n)\n"
+        "dst = np.zeros(n)\n"
+        "for i in range(n):\n"
+        "    v = np.get(src, i)\n"
+        "    np.put(dst, i, v * 2.0)\n"
+        "print(dst.sum())\n"
+    )
+    findings = lint_source(source, "chatty.py")
+    hits = [f for f in findings if f.detector == "chatty-native-loop"]
+    assert {f.lineno for f in hits} == {5, 6}
+    assert "vectorized" in hits[0].suggestion
+
+
+def test_chatty_native_loop_through_helper():
+    source = (
+        "def step(a, b, i):\n"
+        "    v = np.get(a, i)\n"
+        "    np.put(b, i, v)\n"
+        "x = np.arange(50)\n"
+        "y = np.zeros(50)\n"
+        "for i in range(50):\n"
+        "    step(x, y, i)\n"
+        "print(y.sum())\n"
+    )
+    findings = lint_source(source, "inter.py")
+    hits = [f for f in findings if f.detector == "chatty-native-loop"]
+    assert len(hits) == 1
+    assert hits[0].lineno == 7  # the loop's call site, not the helper body
+    assert "step" in hits[0].message
+
+
+def test_vectorized_rewrite_is_clean():
+    source = (
+        "n = 100\n"
+        "src = np.arange(n)\n"
+        "dst = src * 2.0\n"
+        "print(dst.sum())\n"
+    )
+    assert "chatty-native-loop" not in _detectors(lint_source(source, "batched.py"))
+
+
+def test_element_call_outside_loop_not_chatty():
+    source = (
+        "a = np.arange(10)\n"
+        "v = np.get(a, 3)\n"
+        "print(v)\n"
+    )
+    assert "chatty-native-loop" not in _detectors(lint_source(source, "once.py"))
+
+
+# -- detector 7: redundant native round-trip ---------------------------------
+
+
+def test_roundtrip_conversion_detected():
+    source = (
+        "a = np.arange(100)\n"
+        "l = a.tolist()\n"
+        "b = np.asarray(l)\n"
+        "print(b.sum())\n"
+    )
+    findings = lint_source(source, "roundtrip.py")
+    hits = [f for f in findings if f.detector == "native-roundtrip-conversion"]
+    assert len(hits) == 1
+    assert hits[0].lineno == 3
+
+
+def test_inline_roundtrip_detected():
+    source = (
+        "a = np.arange(100)\n"
+        "b = np.asarray(a.tolist())\n"
+        "print(b.sum())\n"
+    )
+    findings = lint_source(source, "inline.py")
+    assert "native-roundtrip-conversion" in _detectors(findings)
+
+
+def test_asarray_from_python_list_is_clean():
+    source = (
+        "items = []\n"
+        "for i in range(10):\n"
+        "    items.append(i * 2)\n"
+        "a = np.asarray(items)\n"
+        "print(a.sum())\n"
+    )
+    assert "native-roundtrip-conversion" not in _detectors(
+        lint_source(source, "fresh.py")
+    )
+
+
+# -- detector 8: tiny-argument crossings -------------------------------------
+
+
+def test_tiny_crossing_detected():
+    source = (
+        "total = 0.0\n"
+        "for i in range(100):\n"
+        "    a = np.frombuffer(i)\n"
+        "    total = total + a.sum()\n"
+        "print(total)\n"
+    )
+    findings = lint_source(source, "tiny.py")
+    hits = [f for f in findings if f.detector == "tiny-crossing-overhead"]
+    assert len(hits) == 1
+    assert hits[0].lineno == 3
+
+
+def test_bulk_payload_crossing_not_tiny():
+    source = (
+        "a = np.arange(100)\n"
+        "b = np.arange(100)\n"
+        "total = 0.0\n"
+        "for i in range(10):\n"
+        "    total = total + np.dot(a, b)\n"
+        "print(total)\n"
+    )
+    assert "tiny-crossing-overhead" not in _detectors(lint_source(source, "bulk.py"))
+
+
+def test_batched_equivalent_site_reports_chatty_not_tiny():
+    source = (
+        "a = np.arange(100)\n"
+        "for i in range(100):\n"
+        "    v = np.get(a, i)\n"
+        "print(v)\n"
+    )
+    detectors = _detectors(lint_source(source, "get.py"))
+    assert "chatty-native-loop" in detectors
+    assert "tiny-crossing-overhead" not in detectors
+
+
+# -- satellite: scalar loop recognizes module-attribute native calls ---------
+
+
+def test_scalar_loop_via_native_module_call():
+    source = (
+        "a = np.arange(100)\n"
+        "b = np.zeros(100)\n"
+        "c = np.zeros(100)\n"
+        "for i in range(100):\n"
+        "    c[i] = np.add(a[i], b[i])\n"
+        "print(c.sum())\n"
+    )
+    findings = lint_source(source, "npadd.py")
+    hits = [f for f in findings if f.detector == "scalar-loop-vectorize"]
+    assert any(f.lineno == 5 for f in hits)
