@@ -1,0 +1,94 @@
+"""Concurrency-plane accuracy and overhead, tracked run-to-run.
+
+One record per run appended to ``BENCH_concurrency.json`` (via
+:func:`runner.append_trend`): for each concurrency workload the
+conformance error actually measured (worst per-line CPU error, and the
+lock blocked-time error where the workload contends), the profiled
+run's wall overhead against an unprofiled oracle of the same scale, and
+the headline counters (task switches, contentions, process count) so a
+regression in any plane shows up as a trend break, not just a red test.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+for entry in (str(SRC), str(REPO_ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from conftest import bench_scale, run_once, save_result  # noqa: E402
+from runner import append_trend  # noqa: E402
+
+from repro.analysis.accuracy import run_conformance  # noqa: E402
+
+TREND_PATH = REPO_ROOT / "BENCH_concurrency.json"
+
+WORKLOADS = ("async_server", "fork_etl", "producer_consumer")
+
+
+def _measure(name: str, scale: float) -> dict:
+    report = run_conformance(name, scale=scale)
+    profile = report.profile
+    oracle_wall = sum(wall for _pid, _parent, wall, _cpu in report.gt_processes)
+    entry = {
+        "worst_line_cpu_error_pct": round(100 * report.worst_line_cpu_error, 3),
+        "profiled_wall_s": round(profile.elapsed, 4),
+        "oracle_wall_s": round(oracle_wall, 4),
+        "wall_overhead_pct": round(
+            100 * (profile.elapsed / oracle_wall - 1) if oracle_wall else 0.0, 2
+        ),
+        "cpu_samples": profile.cpu_samples,
+    }
+    if report.gt_lock_blocked_s > 0:
+        entry["lock_blocked_error_pct"] = round(
+            100 * report.lock_blocked_relative_error, 3
+        )
+        entry["contentions"] = profile.total_lock_contentions
+    if profile.tasks:
+        entry["tasks"] = len(profile.tasks)
+        entry["task_switches"] = sum(t.switches for t in profile.tasks)
+    if profile.processes:
+        entry["processes"] = len(profile.processes)
+    return entry
+
+
+def run_experiment():
+    # The conformance suite's calibrated band starts at scale 1.5; honor
+    # REPRO_SCALE as a multiplier on top of it.
+    scale = max(1.5, 7.5 * bench_scale())
+    return {
+        "scale": scale,
+        "workloads": {name: _measure(name, scale) for name in WORKLOADS},
+    }
+
+
+def test_concurrency(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    lines = [
+        f"{'workload':<18} {'cpu err':>8} {'lock err':>9} "
+        f"{'overhead':>9} {'samples':>8}"
+    ]
+    for name, entry in results["workloads"].items():
+        lock_err = entry.get("lock_blocked_error_pct")
+        lines.append(
+            f"{name:<18} {entry['worst_line_cpu_error_pct']:>7.2f}% "
+            f"{(f'{lock_err:.2f}%' if lock_err is not None else '—'):>9} "
+            f"{entry['wall_overhead_pct']:>8.2f}% {entry['cpu_samples']:>8}"
+        )
+    save_result("concurrency", "\n".join(lines))
+
+    record = append_trend(TREND_PATH, results)
+    assert record["workloads"] is results["workloads"]
+
+    for name, entry in results["workloads"].items():
+        assert entry["worst_line_cpu_error_pct"] <= 5.0, name
+        lock_err = entry.get("lock_blocked_error_pct")
+        if lock_err is not None:
+            assert lock_err <= 10.0, name
+    assert results["workloads"]["async_server"]["task_switches"] > 0
+    assert results["workloads"]["fork_etl"]["processes"] == 4

@@ -1,0 +1,42 @@
+"""Repo-root pytest configuration: per-marker timeout budgets.
+
+``marker_timeouts`` (pyproject's ``[tool.pytest.ini_options]``) maps a
+marker name to a timeout in seconds, applied when the pytest-timeout
+plugin is installed (CI installs it; locally it's optional and the hook
+degrades to a no-op). Registered here — not in tests/conftest.py — so
+the option is known both to the tier-1 suite and to benchmark runs
+invoked from ``benchmarks/``. Tests that already carry an explicit
+``timeout`` marker keep theirs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addini(
+        "marker_timeouts",
+        "per-marker timeout budgets as 'marker: seconds' lines",
+        type="linelist",
+        default=[],
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    budgets = {}
+    for entry in config.getini("marker_timeouts"):
+        marker, _, seconds = entry.partition(":")
+        if seconds.strip().isdigit():
+            budgets[marker.strip()] = int(seconds.strip())
+    if not budgets:
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is not None:
+            continue
+        for marker, seconds in budgets.items():
+            if item.get_closest_marker(marker) is not None:
+                item.add_marker(pytest.mark.timeout(seconds))
+                break

@@ -2,8 +2,10 @@
 
 from repro.analysis.overhead import OverheadResult, measure_overhead, overhead_table
 from repro.analysis.accuracy import (
+    ConformanceReport,
     cpu_accuracy_experiment,
     memory_accuracy_experiment,
+    run_conformance,
 )
 from repro.analysis.comparison import feature_matrix
 from repro.analysis.diffing import ProfileDiff, diff_profiles
@@ -30,9 +32,11 @@ __all__ = [
     "overhead_table",
     "analyze_crossflow",
     "attach_crossflow",
+    "ConformanceReport",
     "cpu_accuracy_experiment",
     "cross_flow",
     "memory_accuracy_experiment",
+    "run_conformance",
     "feature_matrix",
     "TriangulatedFinding",
     "attach_lint",

@@ -1,20 +1,27 @@
-"""Accuracy experiments (Figures 5 and 6).
+"""Accuracy experiments (Figures 5 and 6) and the conformance harness.
 
 * :func:`cpu_accuracy_experiment` — the function-bias microbenchmark:
   for each work split, compare every profiler's reported time for the
   function-call variant against the ground truth.
 * :func:`memory_accuracy_experiment` — the 512 MiB partial-access array:
   compare each memory profiler's reported size against the true 512 MiB.
+* :func:`run_conformance` — profiler-vs-ground-truth on one workload:
+  a profiled run and an unprofiled oracle run at the same scale, with
+  per-line CPU attribution errors and lock blocked-time error derived
+  against the oracle's exact counters (aggregated across the oracle's
+  whole process tree, so fork workloads compare like with like).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
 
 from repro.baselines import make_profiler
 from repro.baselines.base import BaselineReport
 from repro.core import Scalene
+from repro.core.profile_data import ProfileData
+from repro.workloads import get_workload
 from repro.workloads import membench as membench_mod
 from repro.workloads import microbench as microbench_mod
 
@@ -135,3 +142,131 @@ def memory_accuracy_experiment(
                 )
             )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Conformance: profiler vs. ground truth on one workload
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LineCpuError:
+    """Per-line CPU attribution error, as a fraction of total GT CPU."""
+
+    filename: str
+    lineno: int
+    profiled_s: float
+    actual_s: float
+    #: ``|profiled - actual| / total actual CPU`` — error in *points of
+    #: the whole program's CPU*, so insignificant lines can't dominate.
+    error_fraction: float
+
+
+@dataclass
+class ConformanceReport:
+    """One profiled-vs-oracle comparison (the conformance suite's unit)."""
+
+    workload: str
+    scale: float
+    profile: ProfileData
+    line_errors: List[LineCpuError] = field(default_factory=list)
+    gt_total_cpu_s: float = 0.0
+    gt_lock_blocked_s: float = 0.0
+    gt_line_blocked: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    #: Per-process (pid, parent_pid, wall_s, cpu_s) of the oracle tree.
+    gt_processes: List[Tuple[int, object, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def worst_line_cpu_error(self) -> float:
+        return max((e.error_fraction for e in self.line_errors), default=0.0)
+
+    @property
+    def lock_blocked_relative_error(self) -> float:
+        if self.gt_lock_blocked_s == 0:
+            return 0.0 if self.profile.total_lock_blocked_s == 0 else float("inf")
+        return (
+            abs(self.profile.total_lock_blocked_s - self.gt_lock_blocked_s)
+            / self.gt_lock_blocked_s
+        )
+
+
+def _tree_ground_truth(root) -> Tuple[Dict[Tuple[str, int], float], float]:
+    """Aggregate per-line python+native GT seconds over a process tree."""
+    lines: Dict[Tuple[str, int], float] = {}
+    total = 0.0
+    for process in root.process_tree():
+        gt = process.ground_truth
+        if gt is None:
+            continue
+        total += gt.total_python_time + gt.total_native_time
+        for key, truth in gt.lines.items():
+            lines[key] = lines.get(key, 0.0) + truth.python_time + truth.native_time
+    return lines, total
+
+
+def run_conformance(
+    workload_name: str,
+    scale: float = 2.0,
+    mode: str = "cpu",
+    *,
+    stitch_children: bool = True,
+) -> ConformanceReport:
+    """Profile a workload and compare against an unprofiled oracle run.
+
+    Both runs use the same scale, so the simulated schedules are
+    comparable (not identical: the profiler's patched blocking calls and
+    sampling overhead perturb the profiled run — that perturbation is
+    exactly what the error bounds quantify).
+    """
+    workload = get_workload(workload_name)
+    process = workload.make_process(scale)
+    profile = Scalene.run(process, mode=mode, stitch_children=stitch_children)
+
+    oracle = workload.make_process(scale, collect_ground_truth=True)
+    oracle.run()
+    gt_lines, gt_total = _tree_ground_truth(oracle)
+
+    total_cpu = (
+        profile.cpu_python_time + profile.cpu_native_time + profile.cpu_system_time
+    )
+    errors: List[LineCpuError] = []
+    keys = {(line.filename, line.lineno) for line in profile.lines} | set(gt_lines)
+    for filename, lineno in sorted(keys):
+        line = profile.line(lineno, filename)
+        profiled = (
+            (line.cpu_python_percent + line.cpu_native_percent) / 100.0 * total_cpu
+            if line is not None
+            else 0.0
+        )
+        actual = gt_lines.get((filename, lineno), 0.0)
+        errors.append(
+            LineCpuError(
+                filename=filename,
+                lineno=lineno,
+                profiled_s=profiled,
+                actual_s=actual,
+                error_fraction=(
+                    abs(profiled - actual) / gt_total if gt_total > 0 else 0.0
+                ),
+            )
+        )
+
+    lock_gt = oracle.lock_contention
+    gt_line_blocked = {
+        key: stats.blocked_s for key, stats in lock_gt.lines.items()
+    }
+    return ConformanceReport(
+        workload=workload_name,
+        scale=scale,
+        profile=profile,
+        line_errors=errors,
+        gt_total_cpu_s=gt_total,
+        gt_lock_blocked_s=lock_gt.total_blocked_s,
+        gt_line_blocked=gt_line_blocked,
+        gt_processes=[
+            (p.pid, p.parent_pid, p.clock.wall, p.clock.cpu)
+            for p in oracle.process_tree()
+        ],
+    )

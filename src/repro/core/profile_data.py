@@ -34,13 +34,17 @@ from repro.errors import ProfilerError, ProfileSchemaError
 #: v3 added the degraded-mode fields (``degraded``, ``faults``).
 #: v4 added native-boundary crossing counters (per line and totals) and
 #: cross-flow findings (``crossflow``).
-SCHEMA_VERSION = 4
+#: v5 added the concurrency planes: per-line lock-contention counters,
+#: the who-blocks-whom edge list (``locks``), per-task accounting
+#: (``tasks``), and process lineage (``processes``).
+SCHEMA_VERSION = 5
 
 #: Older payload versions :meth:`ProfileData.from_dict` still accepts.
 #: Fields introduced later default: v2 payloads load with
 #: ``degraded=False`` / no fault counters, v2/v3 with zero crossing
-#: counters and no cross-flow findings.
-READABLE_SCHEMAS = frozenset({2, 3, SCHEMA_VERSION})
+#: counters and no cross-flow findings, v2–v4 with zero lock counters
+#: and empty task/process lists.
+READABLE_SCHEMAS = frozenset({2, 3, 4, SCHEMA_VERSION})
 
 
 @dataclass
@@ -71,6 +75,12 @@ class LineReport:
     crossing_native_s: float = 0.0
     bytes_to_native: int = 0
     bytes_to_python: int = 0
+    #: Lock/semaphore contention counters (exact, from the runtime's
+    #: LockContentionRecorder), attributed to the acquiring line.
+    #: Absolute quantities, so merges sum them.
+    lock_blocked_s: float = 0.0
+    lock_contentions: int = 0
+    lock_acquisitions: int = 0
 
     @property
     def cpu_total_percent(self) -> float:
@@ -101,6 +111,69 @@ class FunctionReport:
             + self.cpu_native_percent
             + self.cpu_system_percent
         )
+
+
+@dataclass
+class LockEdge:
+    """One who-blocks-whom edge: ``waiter`` blocked on ``lock`` held by
+    ``holder`` for a cumulative ``blocked_s`` across ``count`` waits."""
+
+    waiter: str
+    holder: str
+    lock: str
+    blocked_s: float = 0.0
+    count: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "waiter": self.waiter,
+            "holder": self.holder,
+            "lock": self.lock,
+            "blocked_s": self.blocked_s,
+            "count": self.count,
+        }
+
+
+@dataclass
+class TaskReport:
+    """Per-task accounting for one cooperative event-loop task."""
+
+    name: str
+    cpu_s: float = 0.0
+    wait_s: float = 0.0
+    switches: int = 0
+    #: ``file:lineno`` of the task's last await point ("" when it never
+    #: awaited — the starvation signature).
+    awaiting: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "cpu_s": self.cpu_s,
+            "wait_s": self.wait_s,
+            "switches": self.switches,
+            "awaiting": self.awaiting,
+        }
+
+
+@dataclass
+class ProcessReport:
+    """One process of the profiled tree (fork/spawn lineage)."""
+
+    pid: int
+    parent_pid: Optional[int]
+    elapsed_s: float = 0.0
+    cpu_s: float = 0.0
+    peak_mb: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "pid": self.pid,
+            "parent_pid": self.parent_pid,
+            "elapsed_s": self.elapsed_s,
+            "cpu_s": self.cpu_s,
+            "peak_mb": self.peak_mb,
+        }
 
 
 @dataclass
@@ -152,6 +225,16 @@ class ProfileData:
     #: static boundary findings joined with the measured crossing counters,
     #: attached via :func:`repro.analysis.crossflow.attach_crossflow`.
     crossflow_findings: List = field(default_factory=list)
+    #: Whole-program lock/semaphore contention totals (exact counts).
+    total_lock_blocked_s: float = 0.0
+    total_lock_contentions: int = 0
+    total_lock_acquisitions: int = 0
+    #: Who-blocks-whom contention edges, sorted by blocked time.
+    lock_edges: List[LockEdge] = field(default_factory=list)
+    #: Per-task accounting for cooperative event-loop tasks.
+    tasks: List[TaskReport] = field(default_factory=list)
+    #: Process lineage (fork/spawn tree); empty for single-process runs.
+    processes: List[ProcessReport] = field(default_factory=list)
 
     # -- rendering -------------------------------------------------------
 
@@ -285,6 +368,53 @@ class ProfileData:
                         f"       estimated savings if batched: "
                         f"{f.estimated_savings_s * 1000:.1f} ms"
                     )
+        if self.total_lock_contentions > 0 or self.total_lock_blocked_s > 0:
+            out.append("")
+            out.append(
+                f"Lock contention: {self.total_lock_blocked_s * 1000:.1f} ms "
+                f"blocked | {self.total_lock_contentions} contended / "
+                f"{self.total_lock_acquisitions} acquisitions"
+            )
+            contended = [
+                line
+                for line in sorted(self.lines, key=lambda l: -l.lock_blocked_s)
+                if line.lock_contentions > 0
+            ][:5]
+            for line in contended:
+                out.append(
+                    f"  line {line.lineno:>4}: blocked "
+                    f"{line.lock_blocked_s * 1000:.1f} ms over "
+                    f"{line.lock_contentions} waits "
+                    f"({line.lock_acquisitions} acquisitions)"
+                )
+            for edge in sorted(self.lock_edges, key=lambda e: -e.blocked_s)[:5]:
+                out.append(
+                    f"  {edge.waiter} blocked by {edge.holder} on "
+                    f"{edge.lock!r}: {edge.blocked_s * 1000:.1f} ms "
+                    f"({edge.count}x)"
+                )
+        if self.tasks:
+            out.append("")
+            out.append(f"Async tasks ({len(self.tasks)}):")
+            for task in sorted(self.tasks, key=lambda t: -t.cpu_s):
+                awaiting = f" @ {task.awaiting}" if task.awaiting else " (never awaited)"
+                out.append(
+                    f"  {task.name:<22} cpu {task.cpu_s * 1000:8.1f} ms | "
+                    f"idle {task.wait_s * 1000:8.1f} ms | "
+                    f"{task.switches} switches{awaiting}"
+                )
+        if self.processes:
+            out.append("")
+            out.append(f"Process tree ({len(self.processes)} processes):")
+            for proc in sorted(self.processes, key=lambda p: p.pid):
+                parent = (
+                    f"parent {proc.parent_pid}" if proc.parent_pid is not None else "root"
+                )
+                out.append(
+                    f"  pid {proc.pid:>5} ({parent}): elapsed "
+                    f"{proc.elapsed_s:.3f}s | cpu {proc.cpu_s:.3f}s | "
+                    f"peak {proc.peak_mb:.1f} MB"
+                )
         return "\n".join(out)
 
     def to_dict(self) -> Dict:
@@ -326,6 +456,14 @@ class ProfileData:
                 "bytes_to_python": self.total_bytes_to_python,
             },
             "crossflow": [f.to_dict() for f in self.crossflow_findings],
+            "locks": {
+                "blocked_s": self.total_lock_blocked_s,
+                "contentions": self.total_lock_contentions,
+                "acquisitions": self.total_lock_acquisitions,
+                "edges": [edge.to_dict() for edge in self.lock_edges],
+            },
+            "tasks": [task.to_dict() for task in self.tasks],
+            "processes": [proc.to_dict() for proc in self.processes],
             "lint": [t.to_dict() for t in self.lint_findings],
             "leaks": [
                 {
@@ -374,6 +512,9 @@ class ProfileData:
                     "crossing_native_s": line.crossing_native_s,
                     "bytes_to_native": line.bytes_to_native,
                     "bytes_to_python": line.bytes_to_python,
+                    "lock_blocked_s": line.lock_blocked_s,
+                    "lock_contentions": line.lock_contentions,
+                    "lock_acquisitions": line.lock_acquisitions,
                 }
                 for line in self.lines
             ],
@@ -406,6 +547,8 @@ class ProfileData:
                 f"this build reads schemas {sorted(READABLE_SCHEMAS)}"
             )
         crossings = payload.get("crossings", {})
+        # v2-v4 predate the concurrency planes.
+        locks = payload.get("locks", {})
         try:
             cpu = payload["cpu"]
             memory = payload["memory"]
@@ -424,6 +567,39 @@ class ProfileData:
                 crossflow_findings=[
                     _crossflow_from_dict(entry)
                     for entry in payload.get("crossflow", [])
+                ],
+                total_lock_blocked_s=locks.get("blocked_s", 0.0),
+                total_lock_contentions=locks.get("contentions", 0),
+                total_lock_acquisitions=locks.get("acquisitions", 0),
+                lock_edges=[
+                    LockEdge(
+                        waiter=entry["waiter"],
+                        holder=entry["holder"],
+                        lock=entry["lock"],
+                        blocked_s=entry["blocked_s"],
+                        count=entry["count"],
+                    )
+                    for entry in locks.get("edges", [])
+                ],
+                tasks=[
+                    TaskReport(
+                        name=entry["name"],
+                        cpu_s=entry["cpu_s"],
+                        wait_s=entry["wait_s"],
+                        switches=entry["switches"],
+                        awaiting=entry["awaiting"],
+                    )
+                    for entry in payload.get("tasks", [])
+                ],
+                processes=[
+                    ProcessReport(
+                        pid=entry["pid"],
+                        parent_pid=entry["parent_pid"],
+                        elapsed_s=entry["elapsed_s"],
+                        cpu_s=entry["cpu_s"],
+                        peak_mb=entry["peak_mb"],
+                    )
+                    for entry in payload.get("processes", [])
                 ],
                 elapsed=payload["elapsed_s"],
                 cpu_python_time=cpu["python_s"],
@@ -461,6 +637,9 @@ class ProfileData:
                         crossing_native_s=entry.get("crossing_native_s", 0.0),
                         bytes_to_native=entry.get("bytes_to_native", 0),
                         bytes_to_python=entry.get("bytes_to_python", 0),
+                        lock_blocked_s=entry.get("lock_blocked_s", 0.0),
+                        lock_contentions=entry.get("lock_contentions", 0),
+                        lock_acquisitions=entry.get("lock_acquisitions", 0),
                     )
                     for entry in payload["lines"]
                 ],
@@ -556,6 +735,21 @@ class ProfileData:
         check_nonneg("total_crossing_overhead_s", self.total_crossing_overhead_s)
         check_nonneg("total_bytes_to_native", self.total_bytes_to_native)
         check_nonneg("total_bytes_to_python", self.total_bytes_to_python)
+        check_nonneg("total_lock_blocked_s", self.total_lock_blocked_s)
+        check_nonneg("total_lock_contentions", self.total_lock_contentions)
+        check_nonneg("total_lock_acquisitions", self.total_lock_acquisitions)
+        for edge in self.lock_edges:
+            where = f"lock edge {edge.waiter}->{edge.holder} on {edge.lock}"
+            check_nonneg(f"{where} blocked_s", edge.blocked_s)
+            check_nonneg(f"{where} count", edge.count)
+        for task in self.tasks:
+            check_nonneg(f"task {task.name} cpu_s", task.cpu_s)
+            check_nonneg(f"task {task.name} wait_s", task.wait_s)
+            check_nonneg(f"task {task.name} switches", task.switches)
+        for proc in self.processes:
+            check_nonneg(f"process {proc.pid} elapsed_s", proc.elapsed_s)
+            check_nonneg(f"process {proc.pid} cpu_s", proc.cpu_s)
+            check_nonneg(f"process {proc.pid} peak_mb", proc.peak_mb)
         if not 0.0 <= self.gpu_mean_utilization <= 1.0 + eps:
             violations.append(
                 f"gpu_mean_utilization outside [0, 1]: {self.gpu_mean_utilization!r}"
@@ -588,6 +782,9 @@ class ProfileData:
             check_nonneg(f"{where} crossing_native_s", line.crossing_native_s)
             check_nonneg(f"{where} bytes_to_native", line.bytes_to_native)
             check_nonneg(f"{where} bytes_to_python", line.bytes_to_python)
+            check_nonneg(f"{where} lock_blocked_s", line.lock_blocked_s)
+            check_nonneg(f"{where} lock_contentions", line.lock_contentions)
+            check_nonneg(f"{where} lock_acquisitions", line.lock_acquisitions)
             if not 0.0 <= line.gpu_percent <= 1.0 + eps:
                 violations.append(
                     f"{where} gpu_percent outside [0, 1]: {line.gpu_percent!r}"
@@ -630,6 +827,20 @@ class ProfileData:
         self.total_crossing_overhead_s = max(self.total_crossing_overhead_s, 0.0)
         self.total_bytes_to_native = max(self.total_bytes_to_native, 0)
         self.total_bytes_to_python = max(self.total_bytes_to_python, 0)
+        self.total_lock_blocked_s = max(self.total_lock_blocked_s, 0.0)
+        self.total_lock_contentions = max(self.total_lock_contentions, 0)
+        self.total_lock_acquisitions = max(self.total_lock_acquisitions, 0)
+        for edge in self.lock_edges:
+            edge.blocked_s = max(edge.blocked_s, 0.0)
+            edge.count = max(edge.count, 0)
+        for task in self.tasks:
+            task.cpu_s = max(task.cpu_s, 0.0)
+            task.wait_s = max(task.wait_s, 0.0)
+            task.switches = max(task.switches, 0)
+        for proc in self.processes:
+            proc.elapsed_s = max(proc.elapsed_s, 0.0)
+            proc.cpu_s = max(proc.cpu_s, 0.0)
+            proc.peak_mb = max(proc.peak_mb, 0.0)
         for name in list(self.fault_counters):
             self.fault_counters[name] = max(self.fault_counters[name], 0)
         for line in self.lines:
@@ -654,6 +865,9 @@ class ProfileData:
             line.crossing_native_s = max(line.crossing_native_s, 0.0)
             line.bytes_to_native = max(line.bytes_to_native, 0)
             line.bytes_to_python = max(line.bytes_to_python, 0)
+            line.lock_blocked_s = max(line.lock_blocked_s, 0.0)
+            line.lock_contentions = max(line.lock_contentions, 0)
+            line.lock_acquisitions = max(line.lock_acquisitions, 0)
         for leak in self.leaks:
             leak.likelihood = clamp01(leak.likelihood)
             leak.leak_rate_mb_s = max(leak.leak_rate_mb_s, 0.0)
@@ -920,6 +1134,9 @@ class _LineAccumulator:
     crossing_native_s: float = 0.0
     bytes_to_native: int = 0
     bytes_to_python: int = 0
+    lock_blocked_s: float = 0.0
+    lock_contentions: int = 0
+    lock_acquisitions: int = 0
     timeline: List[Tuple[float, float]] = field(default_factory=list)
 
 
@@ -982,6 +1199,12 @@ def merge_profiles(
     seen_lints = set()
     crossflow_findings: List = []
     seen_crossflow = set()
+    # Concurrency-plane counters are all absolute quantities: edges sum
+    # by (waiter, holder, lock), tasks by name, processes by (pid,
+    # parent_pid) — each key is stable across runs of the same program.
+    edges: Dict[Tuple[str, str, str], LockEdge] = {}
+    tasks: Dict[str, TaskReport] = {}
+    processes: Dict[Tuple[int, Optional[int]], ProcessReport] = {}
 
     offset = 0.0
     for profile in profiles:
@@ -1017,6 +1240,9 @@ def merge_profiles(
             acc.crossing_native_s += line.crossing_native_s
             acc.bytes_to_native += line.bytes_to_native
             acc.bytes_to_python += line.bytes_to_python
+            acc.lock_blocked_s += line.lock_blocked_s
+            acc.lock_contentions += line.lock_contentions
+            acc.lock_acquisitions += line.lock_acquisitions
             acc.timeline.extend((wall + offset, mb) for wall, mb in line.timeline)
         for fn in profile.functions:
             facc = functions.get((fn.filename, fn.function))
@@ -1059,6 +1285,32 @@ def merge_profiles(
             if identity not in seen_crossflow:
                 seen_crossflow.add(identity)
                 crossflow_findings.append(finding)
+        for edge in profile.lock_edges:
+            key = (edge.waiter, edge.holder, edge.lock)
+            eacc = edges.get(key)
+            if eacc is None:
+                eacc = LockEdge(waiter=edge.waiter, holder=edge.holder, lock=edge.lock)
+                edges[key] = eacc
+            eacc.blocked_s += edge.blocked_s
+            eacc.count += edge.count
+        for task in profile.tasks:
+            tacc = tasks.get(task.name)
+            if tacc is None:
+                tacc = TaskReport(name=task.name)
+                tasks[task.name] = tacc
+            tacc.cpu_s += task.cpu_s
+            tacc.wait_s += task.wait_s
+            tacc.switches += task.switches
+            tacc.awaiting = tacc.awaiting or task.awaiting
+        for proc in profile.processes:
+            pkey = (proc.pid, proc.parent_pid)
+            pacc = processes.get(pkey)
+            if pacc is None:
+                pacc = ProcessReport(pid=proc.pid, parent_pid=proc.parent_pid)
+                processes[pkey] = pacc
+            pacc.elapsed_s += proc.elapsed_s
+            pacc.cpu_s += proc.cpu_s
+            pacc.peak_mb = max(pacc.peak_mb, proc.peak_mb)
         memory_timeline.extend(
             (wall + offset, mb) for wall, mb in profile.memory_timeline
         )
@@ -1099,6 +1351,9 @@ def merge_profiles(
             crossing_native_s=acc.crossing_native_s,
             bytes_to_native=acc.bytes_to_native,
             bytes_to_python=acc.bytes_to_python,
+            lock_blocked_s=acc.lock_blocked_s,
+            lock_contentions=acc.lock_contentions,
+            lock_acquisitions=acc.lock_acquisitions,
         )
         for acc in sorted(lines.values(), key=lambda a: (a.filename, a.lineno))
     ]
@@ -1170,4 +1425,10 @@ def merge_profiles(
         total_bytes_to_native=sum(p.total_bytes_to_native for p in profiles),
         total_bytes_to_python=sum(p.total_bytes_to_python for p in profiles),
         crossflow_findings=crossflow_findings,
+        total_lock_blocked_s=sum(p.total_lock_blocked_s for p in profiles),
+        total_lock_contentions=sum(p.total_lock_contentions for p in profiles),
+        total_lock_acquisitions=sum(p.total_lock_acquisitions for p in profiles),
+        lock_edges=sorted(edges.values(), key=lambda e: -e.blocked_s),
+        tasks=sorted(tasks.values(), key=lambda t: t.name),
+        processes=sorted(processes.values(), key=lambda p: p.pid),
     )

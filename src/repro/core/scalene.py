@@ -25,7 +25,14 @@ from repro.core.cpu_profiler import CpuProfiler
 from repro.core.gpu_profiler import GpuProfiler
 from repro.core.leak_detector import LeakDetector
 from repro.core.memory_profiler import MemoryProfiler
-from repro.core.profile_data import ProfileData, build_profile
+from repro.core.profile_data import (
+    LockEdge,
+    ProcessReport,
+    ProfileData,
+    TaskReport,
+    build_profile,
+    merge_profiles,
+)
 from repro.core.stats import ScaleneStats
 from repro.core.thread_attrib import ThreadPatches, ThreadStatusTable
 from repro.errors import ProfilerError
@@ -41,6 +48,7 @@ class Scalene:
         *,
         mode: Optional[str] = None,
         stats: Optional[ScaleneStats] = None,
+        stitch_children: bool = False,
     ) -> None:
         if config is not None and mode is not None and config.mode != mode:
             raise ProfilerError("pass either a config or a mode, not conflicting both")
@@ -48,6 +56,13 @@ class Scalene:
             config = ScaleneConfig(mode=mode or MODE_FULL)
         self.process = process
         self.config = config
+        # Child-profile stitching (the alternative to shared stats): each
+        # forked child gets its OWN stats and profile, and ``stop()``
+        # merges parent + children via the exact ``merge_profiles``
+        # semantics — counters of the merged profile equal the sum of the
+        # per-process profiles.
+        self.stitch_children = stitch_children
+        self._child_sessions: List["Scalene"] = []
         # ``stats`` may be shared: child-process profilers merge their
         # attribution into the parent's statistics (multiprocessing).
         self._owns_stats = stats is None
@@ -134,6 +149,15 @@ class Scalene:
             self.copy_profiler.paused = False
 
     def _profile_child(self, child) -> None:
+        if self.stitch_children:
+            # Stitching mode: the child profiles into its own stats; its
+            # finished profile is merged into ours at stop().
+            child_scalene = Scalene(
+                child, config=self.config, stitch_children=True
+            )
+            child_scalene.start()
+            self._child_sessions.append(child_scalene)
+            return
         child_scalene = Scalene(child, config=self.config, stats=self.stats)
         child_scalene.start()
         # The child's atexit hook detaches its profiler; the shared stats
@@ -182,6 +206,9 @@ class Scalene:
             sample_log_bytes=self.sample_log_bytes,
         )
         self._attach_crossings(profile)
+        self._attach_locks(profile)
+        self._attach_tasks(profile)
+        self._attach_processes(profile)
         # Degraded-mode accounting: if a fault injector was threaded
         # through the runtime, the profile says so (and how), and its
         # bounded invariants are clamped rather than trusted.
@@ -190,6 +217,12 @@ class Scalene:
             from repro.faults import apply_fault_counters
 
             apply_fault_counters(profile, faults)
+        if self._child_sessions:
+            # Stitch: the merged profile's counters exactly equal the sum
+            # of the per-process profiles (merge_profiles semantics).
+            profile = merge_profiles(
+                [profile] + [child.stop() for child in self._child_sessions]
+            )
         return profile
 
     # -- helpers -------------------------------------------------------
@@ -219,6 +252,86 @@ class Scalene:
             line.bytes_to_native = counters.bytes_to_native
             line.bytes_to_python = counters.bytes_to_python
 
+    def _attach_locks(self, profile: ProfileData) -> None:
+        """Fold the runtime's exact lock-contention counters in.
+
+        Blocked time is attributed to the *acquiring* line (where the
+        thread stalled); the edge list names who blocked whom on which
+        lock. Like crossings: totals are whole-run, per-line counters
+        only land on lines that survived the significance filter.
+        """
+        recorder = getattr(self.process, "lock_contention", None)
+        if recorder is None:
+            return
+        profile.total_lock_blocked_s = recorder.total_blocked_s
+        profile.total_lock_contentions = recorder.total_contentions
+        profile.total_lock_acquisitions = recorder.total_acquisitions
+        for line in profile.lines:
+            stats = recorder.lines.get((line.filename, line.lineno))
+            if stats is None:
+                continue
+            line.lock_blocked_s = stats.blocked_s
+            line.lock_contentions = stats.contentions
+            line.lock_acquisitions = stats.acquisitions
+        profile.lock_edges = [
+            LockEdge(
+                waiter=waiter,
+                holder=holder,
+                lock=lock,
+                blocked_s=entry.blocked_s,
+                count=entry.count,
+            )
+            for (waiter, holder, lock), entry in sorted(
+                recorder.edges.items(), key=lambda kv: -kv[1].blocked_s
+            )
+        ]
+
+    def _attach_tasks(self, profile: ProfileData) -> None:
+        """Fold per-task event-loop accounting in (exact counters)."""
+        runtime = getattr(self.process, "async_runtime", None)
+        if runtime is None:
+            return
+        records = runtime.task_records()
+        if not records:
+            return
+        profile.tasks = [
+            TaskReport(
+                name=record.name,
+                cpu_s=record.cpu_s,
+                wait_s=record.wait_s,
+                switches=record.switches,
+                awaiting=(
+                    f"{record.await_location[0]}:{record.await_location[1]}"
+                    if record.await_location is not None
+                    else ""
+                ),
+            )
+            for record in records
+        ]
+
+    def _attach_processes(self, profile: ProfileData) -> None:
+        """Record process lineage for fork/spawn runs.
+
+        In the default shared-stats mode this session's profile covers
+        the whole subtree, so the full lineage is listed here. In
+        stitching mode every session reports only its own process — the
+        merge assembles the tree with each pid appearing exactly once.
+        """
+        process = self.process
+        if not process.children and process.parent_pid is None:
+            return
+        tree = [process] if self.stitch_children else process.process_tree()
+        profile.processes = [
+            ProcessReport(
+                pid=proc.pid,
+                parent_pid=proc.parent_pid,
+                elapsed_s=proc.clock.wall,
+                cpu_s=proc.clock.cpu,
+                peak_mb=proc.mem.peak_footprint / (1024 * 1024),
+            )
+            for proc in tree
+        ]
+
     @property
     def sample_log_bytes(self) -> int:
         """Total bytes written to the sampling files (§6.5 log growth)."""
@@ -234,9 +347,21 @@ class Scalene:
         return {self.process.filename: source.splitlines()}
 
     @classmethod
-    def run(cls, process, mode: str = MODE_FULL, config: Optional[ScaleneConfig] = None) -> ProfileData:
+    def run(
+        cls,
+        process,
+        mode: str = MODE_FULL,
+        config: Optional[ScaleneConfig] = None,
+        *,
+        stitch_children: bool = False,
+    ) -> ProfileData:
         """Convenience: attach, run the process, and return the profile."""
-        scalene = cls(process, config=config, mode=None if config else mode)
+        scalene = cls(
+            process,
+            config=config,
+            mode=None if config else mode,
+            stitch_children=stitch_children,
+        )
         scalene.start()
         process.run()
         return scalene.stop()

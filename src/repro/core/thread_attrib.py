@@ -61,6 +61,8 @@ class ThreadPatches:
         self._status = status
         self._original_join = None
         self._original_acquire = None
+        self._original_task_block = None
+        self._original_loop_wait = None
         self.installed = False
 
     # -- lifecycle ----------------------------------------------------------
@@ -73,6 +75,12 @@ class ThreadPatches:
         self._original_acquire = threading.acquire_impl
         threading.join_impl = self._patched_join
         threading.acquire_impl = self._patched_acquire
+        runtime = getattr(self._process, "async_runtime", None)
+        if runtime is not None:
+            self._original_task_block = runtime.task_block_impl
+            self._original_loop_wait = runtime.loop_wait_impl
+            runtime.task_block_impl = self._patched_task_block
+            runtime.loop_wait_impl = self._patched_task_block
         self.installed = True
 
     def uninstall(self) -> None:
@@ -81,6 +89,10 @@ class ThreadPatches:
         threading = self._process.threading
         threading.join_impl = self._original_join
         threading.acquire_impl = self._original_acquire
+        runtime = getattr(self._process, "async_runtime", None)
+        if runtime is not None and self._original_task_block is not None:
+            runtime.task_block_impl = self._original_task_block
+            runtime.loop_wait_impl = self._original_loop_wait
         self.installed = False
 
     # -- the patched implementations ----------------------------------------------
@@ -134,6 +146,7 @@ class ThreadPatches:
                 status.set_executing(thread)
                 return None
             if deadline is not None and process.clock.wall >= deadline:
+                lock.give_up(thread)
                 status.set_executing(thread)
                 return None
             return BlockRequest(
@@ -149,3 +162,30 @@ class ThreadPatches:
             on_wake=on_wake,
             interruptible=False,
         )
+
+    def _patched_task_block(self, ctx, request: BlockRequest) -> BlockRequest:
+        """Mark an awaiting task *sleeping* until its final wake.
+
+        The ``replacement_asyncio`` analog: without it, a task parked on
+        an await looks executing to the sampler and soaks up CPU share it
+        never spent. Re-blocks (an ``on_wake`` returning another request)
+        keep the task sleeping; only the wake that actually resumes it
+        flips the status back.
+        """
+        status = self._status
+        thread = ctx.thread
+        status.set_sleeping(thread)
+
+        def wrap(on_wake):
+            def wrapped():
+                result = on_wake() if on_wake is not None else None
+                if isinstance(result, BlockRequest):
+                    result.on_wake = wrap(result.on_wake)
+                    return result
+                status.set_executing(thread)
+                return result
+
+            return wrapped
+
+        request.on_wake = wrap(request.on_wake)
+        return request

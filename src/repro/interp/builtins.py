@@ -16,7 +16,7 @@ from repro.interp.objects import (
     SimList,
     sim_len,
 )
-from repro.runtime.threads import SimLock
+from repro.runtime.threads import SimLock, SimSemaphore
 
 
 def _ops(ctx, n: float) -> None:
@@ -200,7 +200,10 @@ def install_builtins(process) -> None:
     @builtin("make_lock")
     def _make_lock(ctx, args, kwargs):
         _ops(ctx, 1)
-        return SimLock(str(args[0]) if args else "lock")
+        return SimLock(
+            str(args[0]) if args else "lock",
+            recorder=ctx.process.lock_contention,
+        )
 
     @builtin("lock_acquire")
     def _lock_acquire(ctx, args, kwargs):
@@ -210,6 +213,27 @@ def install_builtins(process) -> None:
 
     @builtin("lock_release")
     def _lock_release(ctx, args, kwargs):
+        _ops(ctx, 1)
+        args[0].release(ctx.thread)
+        return None
+
+    @builtin("make_semaphore", "A counting semaphore: make_semaphore(name, n)")
+    def _make_semaphore(ctx, args, kwargs):
+        _ops(ctx, 1)
+        name = str(args[0]) if args else "semaphore"
+        value = int(args[1]) if len(args) > 1 else 1
+        return SimSemaphore(
+            name, value, recorder=ctx.process.lock_contention
+        )
+
+    @builtin("sem_acquire", "Acquire a semaphore slot (blocking, like a lock)")
+    def _sem_acquire(ctx, args, kwargs):
+        _ops(ctx, 1)
+        timeout = kwargs.get("timeout", args[1] if len(args) > 1 else None)
+        return ctx.process.threading.acquire_impl(ctx, args[0], timeout)
+
+    @builtin("sem_release", "Release a semaphore slot")
+    def _sem_release(ctx, args, kwargs):
         _ops(ctx, 1)
         args[0].release(ctx.thread)
         return None

@@ -11,6 +11,7 @@ from repro.interp.libs.simdf import make_simdf
 from repro.interp.libs.simtorch import make_simtorch
 from repro.interp.libs.simio import make_simio
 from repro.interp.libs.simmp import make_simmp
+from repro.interp.libs.simasyncio import make_simasyncio
 
 
 def install_standard_libraries(process) -> None:
@@ -20,6 +21,7 @@ def install_standard_libraries(process) -> None:
     process.install_library("torch", make_simtorch())
     process.install_library("io", make_simio())
     process.install_library("mp", make_simmp())
+    process.install_library("aio", make_simasyncio())
 
 
 __all__ = [
@@ -28,5 +30,6 @@ __all__ = [
     "make_simtorch",
     "make_simio",
     "make_simmp",
+    "make_simasyncio",
     "install_standard_libraries",
 ]

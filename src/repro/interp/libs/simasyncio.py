@@ -1,0 +1,160 @@
+"""``simasyncio`` — the asyncio-style cooperative event loop library.
+
+``aio.run(main_fn, *args)`` creates an :class:`~repro.runtime.scheduler.
+EventLoop`, spawns ``main_fn`` as its root task, and blocks the calling
+thread (interruptibly — signals keep flowing, as CPython's selector loop
+delivers them between iterations) until every task of the loop finishes.
+Inside a task, ``aio.spawn`` creates sibling tasks and ``aio.sleep`` /
+``aio.io`` / ``aio.wait`` / ``aio.gather_all`` are the awaits: the only
+points where a task yields the loop. A task that never awaits starves its
+siblings — the classic asyncio hazard the profiler must make visible.
+
+Every await routes through ``async_runtime.task_block_impl`` (and the
+loop wait through ``loop_wait_impl``) so a profiler can observe task
+switches — the simulation's analog of Scalene's ``replacement_asyncio``
+marking tasks sleeping while they await.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VMError
+from repro.interp.code import SimFunction
+from repro.interp.nativelib import NativeModule
+from repro.interp.objects import BlockRequest
+from repro.runtime.scheduler import TaskRecord
+from repro.runtime.threads import SimThread
+
+#: Hard cap on tasks per loop (a runaway-workload backstop).
+MAX_TASKS = 512
+
+#: Modeled throughput of the simulated network, bytes per second.
+AIO_BYTES_PER_SECOND = 100 * 1024 * 1024
+
+
+def _current_task(ctx) -> TaskRecord:
+    record = ctx.thread.task_record
+    if record is None:
+        raise VMError("this aio call is only valid inside a task (use aio.run)")
+    return record
+
+
+def _spawn_task(ctx, loop, fn, args) -> TaskRecord:
+    if not isinstance(fn, SimFunction):
+        raise VMError("aio tasks require a simulated Python function")
+    if len(fn.code.params) != len(args):
+        raise VMError(
+            f"aio task {fn.name}() takes {len(fn.code.params)} argument(s), "
+            f"got {len(args)}"
+        )
+    if len(loop.tasks) >= MAX_TASKS:
+        raise VMError(f"event loop exceeded {MAX_TASKS} tasks")
+    process = ctx.process
+    thread = SimThread(f"{fn.name}-{len(loop.tasks)}")
+    spawn_location = (
+        ctx.thread.frame.location() if ctx.thread.frame is not None else None
+    )
+    record = TaskRecord(thread.name, thread, spawn_location)
+    thread.task_record = record
+    thread.event_loop = loop
+    loop.add_task(record)
+    process.start_thread(thread, fn, tuple(args))
+    record.started_at = process.clock.wall
+    return record
+
+
+def _await(ctx, request: BlockRequest):
+    """Route a task's await through the profiler-patchable surface."""
+    record = _current_task(ctx)
+    if ctx.thread.frame is not None:
+        record.await_location = ctx.thread.frame.location()
+    return ctx.process.async_runtime.task_block_impl(ctx, request)
+
+
+def make_simasyncio() -> NativeModule:
+    """Build the ``aio`` module."""
+    module = NativeModule("aio")
+
+    def _run(ctx, args, kwargs):
+        if not args:
+            raise VMError("aio.run(fn, *args) needs a function argument")
+        if ctx.thread.task_record is not None:
+            raise VMError("aio.run() cannot be nested inside a task")
+        runtime = ctx.process.async_runtime
+        loop = runtime.new_loop()
+        ctx.consume(20 * ctx.process.vm.config.op_cost)  # loop setup
+        _spawn_task(ctx, loop, args[0], tuple(args[1:]))
+        request = BlockRequest(
+            wake_check=lambda: loop.done,
+            interruptible=True,
+        )
+        return runtime.loop_wait_impl(ctx, request)
+
+    module.register(
+        "run", _run, "Run fn(*args) as the root task; wait for the loop to drain"
+    )
+
+    def _spawn(ctx, args, kwargs):
+        if not args:
+            raise VMError("aio.spawn(fn, *args) needs a function argument")
+        _current_task(ctx)  # spawning is only valid inside a task (not an await)
+        loop = ctx.thread.event_loop
+        ctx.consume(10 * ctx.process.vm.config.op_cost)  # task object setup
+        return _spawn_task(ctx, loop, args[0], tuple(args[1:]))
+
+    module.register(
+        "spawn", _spawn, "Create a sibling task in the current loop; returns it"
+    )
+
+    def _sleep(ctx, args, kwargs):
+        seconds = float(args[0]) if args else 0.0
+        if seconds < 0:
+            raise VMError(f"negative sleep {seconds}")
+        if seconds == 0:
+            # await asyncio.sleep(0): yield the loop without waiting.
+            return _await(ctx, BlockRequest(deadline=ctx.process.clock.wall))
+        return _await(
+            ctx,
+            BlockRequest(deadline=ctx.process.clock.wall + seconds),
+        )
+
+    module.register("sleep", _sleep, "Cooperative sleep (an await point)")
+
+    def _io(ctx, args, kwargs):
+        """Await network IO: latency scales with the byte count, and the
+        payload is marshalled across the boundary (copy volume)."""
+        nbytes = int(args[0]) if args else 0
+        if nbytes < 0:
+            raise VMError(f"negative IO size {nbytes}")
+        _current_task(ctx)
+        ctx.memcpy(nbytes)
+        request = ctx.io_wait(nbytes / AIO_BYTES_PER_SECOND)
+        if request is None:
+            return None
+        return _await(ctx, request)
+
+    module.register("io", _io, "Await a network read/write of nbytes")
+
+    def _wait(ctx, args, kwargs):
+        if not args or not isinstance(args[0], TaskRecord):
+            raise VMError("aio.wait(task) needs a task handle from aio.spawn")
+        target = args[0]
+        _current_task(ctx)
+        if target.done:
+            return None
+        return _await(ctx, BlockRequest(wake_check=lambda: target.done))
+
+    module.register("wait", _wait, "Await one task's completion")
+
+    def _gather_all(ctx, args, kwargs):
+        record = _current_task(ctx)
+        loop = ctx.thread.event_loop
+        others = lambda: all(t.done for t in loop.tasks if t is not record)
+        if others():
+            return None
+        return _await(ctx, BlockRequest(wake_check=others))
+
+    module.register(
+        "gather_all", _gather_all, "Await every sibling task of the loop"
+    )
+
+    return module

@@ -46,9 +46,6 @@ def make_simmp() -> NativeModule:
         parent = ctx.process
         if parent.source is None:
             raise VMError("mp.run_workers requires a source-loaded process")
-        # Import here to avoid a cycle (process -> builtins -> libs).
-        from repro.runtime.process import SimProcess
-        from repro.interp.libs import install_standard_libraries
 
         ctx.consume(20 * parent.vm.config.op_cost * nworkers)  # fork cost
         walls = []
@@ -56,18 +53,7 @@ def make_simmp() -> NativeModule:
             child_source = (
                 parent.source + f"\n_mp_result = {fn.name}({worker_id})\n"
             )
-            child = SimProcess(
-                child_source,
-                filename=parent.filename,
-                pid=parent.pid + 1 + worker_id,
-                vm_config=parent.vm.config,
-                gpu=parent.gpu,
-            )
-            child.is_main_process = False
-            install_standard_libraries(child)
-            parent.children.append(child)
-            for observer in parent.child_observers:
-                observer(child)
+            child = parent.spawn_child(child_source)
             child.run()
             walls.append(child.clock.wall)
 

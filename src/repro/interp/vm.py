@@ -922,6 +922,10 @@ class VM:
             process.ground_truth.record_system_time(
                 thread, waited, location=getattr(thread, "block_location", None)
             )
+        if waited > 0 and thread.task_record is not None:
+            # Exact per-task idle time: every await resume lands here (a
+            # re-block resets started_at, so the intervals are disjoint).
+            thread.task_record.wait_s += waited
         satisfied = False
         if block.wake_check is not None and block.wake_check():
             satisfied = True

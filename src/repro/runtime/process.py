@@ -30,9 +30,14 @@ from repro.runtime.clock import VirtualClock
 from repro.runtime.crossings import CrossingRecorder
 from repro.runtime.ground_truth import GroundTruth
 from repro.runtime.memsys import MemSubsystem
-from repro.runtime.scheduler import Scheduler
+from repro.runtime.scheduler import AsyncRuntime, Scheduler
 from repro.runtime.signals import SignalManager
-from repro.runtime.threads import RUNNABLE, SimThread, SimThreading
+from repro.runtime.threads import (
+    RUNNABLE,
+    LockContentionRecorder,
+    SimThread,
+    SimThreading,
+)
 from repro.runtime.tracing import TraceManager
 from repro.units import DEFAULT_SWITCH_INTERVAL
 
@@ -51,8 +56,15 @@ class SimProcess:
         gpu: Optional[GpuDevice] = None,
         base_rss_bytes: int = 24 * 1024 * 1024,
         pid: int = 4242,
+        parent_pid: Optional[int] = None,
     ) -> None:
         self.pid = pid
+        #: Pid of the process that forked this one (None for the root).
+        self.parent_pid = parent_pid
+        #: The forking SimProcess itself (process-tree navigation).
+        self.parent: Optional["SimProcess"] = None
+        #: Next pid handed out by :meth:`allocate_pid` (root-owned).
+        self._pid_counter = pid
         self.clock = VirtualClock()
         self.signals = SignalManager(self.clock)
         self.ground_truth: Optional[GroundTruth] = GroundTruth() if collect_ground_truth else None
@@ -60,12 +72,17 @@ class SimProcess:
         #: Exact native-boundary crossing counters (always on; see
         #: runtime/crossings.py). Profilers fold these into ProfileData.
         self.crossings = CrossingRecorder()
+        #: Exact lock/semaphore contention counters (always on; see
+        #: runtime/threads.py). Profilers fold these into ProfileData.
+        self.lock_contention = LockContentionRecorder(self.clock)
         self.gpu = gpu or GpuDevice()
         self.nvml = NvmlQuery(self.gpu)
         self.trace = TraceManager(self)
         self.threading = SimThreading(self)
         self.vm = VM(self, vm_config)
         self.scheduler = Scheduler(self, switch_interval)
+        #: Asyncio-style cooperative event loops (see runtime/scheduler.py).
+        self.async_runtime = AsyncRuntime(self)
         self.filename = filename
         #: Files whose lines profilers attribute to (the "profiled code").
         self.profiled_filenames = {filename}
@@ -156,6 +173,56 @@ class SimProcess:
         self.globals.clear()
         for thread in self.threading.threads:
             self.vm.flush_churn(thread)
+
+    # -- fork/spawn process trees -------------------------------------------
+
+    def allocate_pid(self) -> int:
+        """Hand out the next pid in this process *tree* (root-owned, so
+        pids stay unique across nested forks)."""
+        if self.parent is not None:
+            return self.parent.allocate_pid()
+        self._pid_counter += 1
+        return self._pid_counter
+
+    def spawn_child(self, source: str, *, install_libraries: bool = True) -> "SimProcess":
+        """Fork a child process running ``source`` (spawn semantics).
+
+        The child inherits the VM config, GPU device, and ground-truth
+        collection flag; it gets its own clock, memory subsystem, crossing
+        and contention recorders (there is no GIL between processes). The
+        child is registered in :attr:`children` with lineage recorded, and
+        every ``child_observers`` hook fires *before* it runs — the
+        attach point for profilers with multiprocessing support.
+
+        The caller runs the child (``child.run()``) and models the
+        parent-side wait; see :mod:`repro.interp.libs.simmp`.
+        """
+        child = SimProcess(
+            source,
+            filename=self.filename,
+            pid=self.allocate_pid(),
+            parent_pid=self.pid,
+            vm_config=self.vm.config,
+            gpu=self.gpu,
+            collect_ground_truth=self.ground_truth is not None,
+        )
+        child.parent = self
+        child.is_main_process = False
+        if install_libraries:
+            from repro.interp.libs import install_standard_libraries
+
+            install_standard_libraries(child)
+        self.children.append(child)
+        for observer in self.child_observers:
+            observer(child)
+        return child
+
+    def process_tree(self) -> list:
+        """This process and every descendant, preorder."""
+        nodes = [self]
+        for child in self.children:
+            nodes.extend(child.process_tree())
+        return nodes
 
     # -- thread support (called by SimThreading.spawn) ---------------------------
 

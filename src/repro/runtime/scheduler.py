@@ -1,4 +1,4 @@
-"""The GIL scheduler.
+"""The GIL scheduler and the asyncio-style cooperative event loop.
 
 Exactly one simulated thread executes at a time. The scheduler round-robins
 runnable threads with a configurable switch interval (CPython's
@@ -8,15 +8,135 @@ across idle gaps (all threads blocked in IO), and wakes an *interruptibly*
 blocked main thread early when a signal is pending — mirroring EINTR
 semantics for ``time.sleep`` while leaving ``join``/``acquire`` waits
 signal-starved (the behaviour Scalene's monkey patches fix, §2.2).
+
+The cooperative plane rides on top: an :class:`EventLoop` groups a set of
+*task* threads and enforces asyncio semantics between them — a task runs
+until it awaits (no preemptive switch between tasks of one loop; a task
+that never awaits starves its siblings, exactly the asyncio hazard), and
+every task switch is an observation point: the VM has flushed accounting
+when the slice ends, the switch is counted on both the loop and the task,
+and the per-task CPU/idle split is recorded exactly. Profilers reach the
+loop through ``process.async_runtime`` — its ``task_block_impl`` patch
+point is the simulation's analog of Scalene's ``replacement_asyncio``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import SchedulerError
 from repro.interp import vm as vm_mod
 from repro.runtime import threads as th
+
+
+class TaskRecord:
+    """Exact per-task accounting (one asyncio-style task == one record)."""
+
+    __slots__ = (
+        "name",
+        "thread",
+        "spawn_location",
+        "await_location",
+        "wait_s",
+        "switches",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(self, name: str, thread, spawn_location) -> None:
+        self.name = name
+        self.thread = thread
+        #: (filename, lineno, function) of the spawn call.
+        self.spawn_location = spawn_location
+        #: Location of the most recent await (None until the first one).
+        self.await_location = None
+        #: Wall seconds spent blocked in awaits (idle), accumulated by the
+        #: VM on every resume — exact, not sampled.
+        self.wait_s = 0.0
+        #: Times the loop switched execution to this task.
+        self.switches = 0
+        self.started_at = 0.0
+        self.finished_at = 0.0
+
+    @property
+    def cpu_s(self) -> float:
+        """Exact CPU seconds the task's thread has executed."""
+        return self.thread.cpu_time
+
+    @property
+    def done(self) -> bool:
+        return self.thread.state == th.FINISHED
+
+
+class EventLoop:
+    """One cooperative task group (an ``asyncio`` event loop analog)."""
+
+    def __init__(self, loop_id: int) -> None:
+        self.loop_id = loop_id
+        self.tasks: List[TaskRecord] = []
+        #: The task currently holding the loop (cooperative semantics:
+        #: while it is runnable, sibling tasks are not eligible to run).
+        self.current = None
+        self.switch_count = 0
+
+    def add_task(self, record: TaskRecord) -> None:
+        self.tasks.append(record)
+
+    @property
+    def done(self) -> bool:
+        return all(t.done for t in self.tasks)
+
+    def eligible(self, thread) -> bool:
+        """Cooperative gate: may ``thread`` (a task of this loop) run now?"""
+        cur = self.current
+        if cur is None or cur is thread:
+            return True
+        # The loop yields only when its current task awaits or finishes.
+        return cur.state != th.RUNNABLE
+
+    def note_pick(self, thread) -> None:
+        """The scheduler granted ``thread`` the loop; count task switches."""
+        if self.current is not thread:
+            self.switch_count += 1
+            record = thread.task_record
+            if record is not None:
+                record.switches += 1
+        self.current = thread
+
+
+class AsyncRuntime:
+    """Process-level registry of event loops, with the profiler patch point."""
+
+    def __init__(self, process) -> None:
+        self._process = process
+        self.loops: List[EventLoop] = []
+        #: Monkey-patchable: called with ``(ctx, request)`` whenever a task
+        #: is about to block at an await; returns the (possibly wrapped)
+        #: BlockRequest. Scalene's async patch marks the task sleeping here
+        #: (the ``replacement_asyncio`` analog) so idle awaits are not
+        #: misattributed as native CPU by the sampler.
+        self.task_block_impl: Callable = self.default_task_block_impl
+        #: Monkey-patchable: called with ``(ctx, request)`` when the thread
+        #: that called ``aio.run`` blocks waiting for the loop to drain.
+        #: Scalene marks that thread sleeping so it does not soak up a
+        #: share of the tasks' CPU samples.
+        self.loop_wait_impl: Callable = self.default_task_block_impl
+
+    def new_loop(self) -> EventLoop:
+        loop = EventLoop(len(self.loops) + 1)
+        self.loops.append(loop)
+        return loop
+
+    def task_records(self) -> List[TaskRecord]:
+        return [t for loop in self.loops for t in loop.tasks]
+
+    @property
+    def total_task_switches(self) -> int:
+        return sum(loop.switch_count for loop in self.loops)
+
+    @staticmethod
+    def default_task_block_impl(ctx, request):
+        return request
 
 
 class Scheduler:
@@ -58,14 +178,31 @@ class Scheduler:
         return [t for t in self.process.threading.threads if t.state == th.RUNNABLE]
 
     def _pick(self, runnable: List):
+        # Cooperative gate first: a task of an event loop may only run when
+        # its loop's current task has yielded (awaited) or finished. Every
+        # runnable thread being gated out is impossible — the gate always
+        # leaves at least the loop's own current task eligible.
+        eligible = [
+            t
+            for t in runnable
+            if t.event_loop is None or t.event_loop.eligible(t)
+        ]
+        if eligible:
+            runnable = eligible
         # Round-robin over thread identities for fairness.
         runnable.sort(key=lambda t: t.ident)
+        picked = None
         for thread in runnable:
             if thread.ident > self._rr_cursor:
                 self._rr_cursor = thread.ident
-                return thread
-        self._rr_cursor = runnable[0].ident
-        return runnable[0]
+                picked = thread
+                break
+        if picked is None:
+            self._rr_cursor = runnable[0].ident
+            picked = runnable[0]
+        if picked.event_loop is not None:
+            picked.event_loop.note_pick(picked)
+        return picked
 
     # -- the main loop ----------------------------------------------------------
 

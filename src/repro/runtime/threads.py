@@ -19,7 +19,8 @@ simulation's analog of redefining ``threading.Thread.join`` at runtime.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SchedulerError, VMError
 from repro.interp.code import Frame, SimFunction
@@ -59,6 +60,11 @@ class SimThread:
         self.finished_at = 0.0
         #: Per-thread NativeContext, cached by the VM on first native call.
         self.native_ctx = None
+        #: Set when this thread runs an asyncio-style task: the
+        #: :class:`~repro.runtime.scheduler.TaskRecord` it executes and the
+        #: :class:`~repro.runtime.scheduler.EventLoop` that owns it.
+        self.task_record = None
+        self.event_loop = None
 
     @property
     def is_alive(self) -> bool:
@@ -68,12 +74,110 @@ class SimThread:
         return f"<SimThread {self.name!r} ident={self.ident} {self.state}>"
 
 
+@dataclass(slots=True)
+class LineLockStats:
+    """Contention counters for one source line (absolute, mergeable)."""
+
+    blocked_s: float = 0.0
+    contentions: int = 0
+    acquisitions: int = 0
+
+
+@dataclass(slots=True)
+class EdgeStats:
+    """Accumulated wait time along one waiter→holder edge."""
+
+    blocked_s: float = 0.0
+    count: int = 0
+
+
+class LockContentionRecorder:
+    """Exact per-line blocked-time and who-blocks-whom accounting.
+
+    Like the :class:`~repro.runtime.crossings.CrossingRecorder`, this is
+    always on and exact — every contended acquisition is measured from
+    the first failed ``try_acquire`` to the moment the lock is granted
+    (or the wait abandoned on timeout), on the virtual wall clock. The
+    blocking interval is attributed to the *acquiring line* (where the
+    waiter sits), and the edge to the thread that held the lock when the
+    wait began.
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        #: (filename, lineno) -> LineLockStats.
+        self.lines: Dict[Tuple[str, int], LineLockStats] = {}
+        #: (waiter name, holder name, lock name) -> EdgeStats.
+        self.edges: Dict[Tuple[str, str, str], EdgeStats] = {}
+        #: In-flight waits: (thread ident, lock id) -> (start, holder, loc).
+        self._pending: Dict[Tuple[int, int], Tuple[float, str, Optional[tuple]]] = {}
+        self.total_blocked_s = 0.0
+        self.total_contentions = 0
+        self.total_acquisitions = 0
+
+    def _line(self, location) -> Optional[LineLockStats]:
+        if location is None:
+            return None
+        key = (location[0], location[1])
+        line = self.lines.get(key)
+        if line is None:
+            line = self.lines[key] = LineLockStats()
+        return line
+
+    def note_blocked(self, thread: "SimThread", lock, holder) -> None:
+        """A ``try_acquire`` failed; start timing unless already waiting."""
+        key = (thread.ident, id(lock))
+        if key in self._pending:
+            return
+        location = thread.frame.location() if thread.frame is not None else None
+        holder_name = holder.name if holder is not None else "?"
+        self._pending[key] = (self._clock.wall, holder_name, location)
+
+    def note_acquired(self, thread: "SimThread", lock) -> None:
+        """The lock was granted; settle any pending wait."""
+        self.total_acquisitions += 1
+        pending = self._pending.pop((thread.ident, id(lock)), None)
+        if pending is None:
+            # Uncontended: count the acquisition at the acquiring line.
+            location = thread.frame.location() if thread.frame is not None else None
+            line = self._line(location)
+            if line is not None:
+                line.acquisitions += 1
+            return
+        self._settle(thread, lock, pending, acquired=True)
+
+    def note_abandoned(self, thread: "SimThread", lock) -> None:
+        """A timed-out acquire gave up; the wait still happened."""
+        pending = self._pending.pop((thread.ident, id(lock)), None)
+        if pending is not None:
+            self._settle(thread, lock, pending, acquired=False)
+
+    def _settle(self, thread, lock, pending, *, acquired: bool) -> None:
+        start, holder_name, location = pending
+        blocked = max(self._clock.wall - start, 0.0)
+        line = self._line(location)
+        if line is not None:
+            line.blocked_s += blocked
+            line.contentions += 1
+            if acquired:
+                line.acquisitions += 1
+        edge_key = (thread.name, holder_name, lock.name)
+        edge = self.edges.get(edge_key)
+        if edge is None:
+            edge = self.edges[edge_key] = EdgeStats()
+        edge.blocked_s += blocked
+        edge.count += 1
+        self.total_blocked_s += blocked
+        self.total_contentions += 1
+
+
 class SimLock:
     """A simulated ``threading.Lock``."""
 
-    def __init__(self, name: str = "lock") -> None:
+    def __init__(self, name: str = "lock", recorder: Optional[LockContentionRecorder] = None) -> None:
         self.name = name
         self.owner: Optional[SimThread] = None
+        self.recorder = recorder
 
     @property
     def locked(self) -> bool:
@@ -82,8 +186,17 @@ class SimLock:
     def try_acquire(self, thread: SimThread) -> bool:
         if self.owner is None:
             self.owner = thread
+            if self.recorder is not None:
+                self.recorder.note_acquired(thread, self)
             return True
+        if self.recorder is not None:
+            self.recorder.note_blocked(thread, self, self.owner)
         return False
+
+    def give_up(self, thread: SimThread) -> None:
+        """A timed-out acquire stopped waiting (contention still counts)."""
+        if self.recorder is not None:
+            self.recorder.note_abandoned(thread, self)
 
     def release(self, thread: SimThread) -> None:
         if self.owner is not thread:
@@ -95,6 +208,60 @@ class SimLock:
         # routes through the patchable SimThreading implementations.
         raise VMError(
             "use lock_acquire(lock)/lock_release(lock) builtins in workloads"
+        )
+
+
+class SimSemaphore:
+    """A simulated ``threading.Semaphore`` (counting).
+
+    Shares the :class:`SimLock` acquire/release surface — ``locked``,
+    ``try_acquire``, ``give_up``, ``release`` — so the patchable
+    ``acquire_impl`` path (and Scalene's monkey patch) serves both. The
+    representative "holder" reported on contention edges is the most
+    recent acquirer still inside.
+    """
+
+    def __init__(
+        self,
+        name: str = "semaphore",
+        value: int = 1,
+        recorder: Optional[LockContentionRecorder] = None,
+    ) -> None:
+        if value < 1:
+            raise VMError(f"semaphore initial value must be >= 1, got {value}")
+        self.name = name
+        self.value = value
+        self.count = value
+        self.recorder = recorder
+        self.owner: Optional[SimThread] = None  # last acquirer, for edges
+
+    @property
+    def locked(self) -> bool:
+        return self.count == 0
+
+    def try_acquire(self, thread: SimThread) -> bool:
+        if self.count > 0:
+            self.count -= 1
+            self.owner = thread
+            if self.recorder is not None:
+                self.recorder.note_acquired(thread, self)
+            return True
+        if self.recorder is not None:
+            self.recorder.note_blocked(thread, self, self.owner)
+        return False
+
+    def give_up(self, thread: SimThread) -> None:
+        if self.recorder is not None:
+            self.recorder.note_abandoned(thread, self)
+
+    def release(self, thread: SimThread) -> None:
+        if self.count >= self.value:
+            raise VMError(f"semaphore {self.name} released more times than acquired")
+        self.count += 1
+
+    def sim_getattr(self, name: str):
+        raise VMError(
+            "use sem_acquire(sem)/sem_release(sem) builtins in workloads"
         )
 
 
@@ -165,6 +332,7 @@ class SimThreading:
             if lock.try_acquire(thread):
                 return None  # acquired; push None as the call result
             if timeout is not None and ctx.process.clock.wall >= wake_deadline:
+                lock.give_up(thread)
                 return None  # timed out (workloads treat acquire as void)
             return BlockRequest(
                 deadline=wake_deadline,

@@ -127,6 +127,11 @@ class ServeClient:
         workload joined with the stored crossing counters."""
         return self._request(f"/crossflow?id={profile_id}")
 
+    def contention(self, profile_id: str) -> Dict:
+        """Lock-contention view of a stored profile: blocked-time totals,
+        the per-line table, and the who-blocks-whom edge list."""
+        return self._request(f"/contention?id={profile_id}")
+
     def trend(self, **filters: str) -> Dict:
         query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
         return self._request(f"/trend{'?' + query if query else ''}")

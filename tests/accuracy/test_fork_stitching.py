@@ -1,0 +1,79 @@
+"""Fork-stitching exactness: merged counters == sum of per-process truth.
+
+Stitching mode gives every forked child its own stats and profile, then
+merges parent + children with the exact ``merge_profiles`` semantics.
+Unlike the sampled CPU columns (bounded by the ±5% conformance suite),
+the counters checked here are exact: process lineage, per-process
+clocks, sample counts, and crossing/lock totals must equal the sums of
+the per-process ground truth with no tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scalene import Scalene
+from repro.workloads import get_workload
+
+SCALES = [1.0, 1.5, 2.0, 2.5, 3.0]
+
+
+@pytest.fixture(scope="module", params=SCALES)
+def stitched(request):
+    workload = get_workload("fork_etl")
+    process = workload.make_process(request.param, collect_ground_truth=True)
+    scalene = Scalene(process, mode="cpu", stitch_children=True)
+    scalene.start()
+    process.run()
+    merged = scalene.stop()
+    return process, scalene, merged
+
+
+@pytest.mark.accuracy
+def test_lineage_exactly_matches_process_tree(stitched):
+    process, _scalene, merged = stitched
+    tree = process.process_tree()
+    assert len(tree) == 4  # parent + 3 ETL workers
+    assert {(p.pid, p.parent_pid) for p in merged.processes} == {
+        (t.pid, t.parent_pid) for t in tree
+    }
+    by_pid = {p.pid: p for p in merged.processes}
+    for t in tree:
+        report = by_pid[t.pid]
+        assert report.elapsed_s == t.clock.wall
+        assert report.cpu_s == t.clock.cpu
+
+
+@pytest.mark.accuracy
+def test_merged_counters_equal_per_process_sums(stitched):
+    process, scalene, merged = stitched
+    tree = process.process_tree()
+    # Elapsed is the sum of per-process walls (the merge's "one longer
+    # session" semantics), exactly.
+    assert merged.elapsed == pytest.approx(
+        sum(t.clock.wall for t in tree), rel=1e-12
+    )
+    # Sample counts: the merged profile carries every per-process sample.
+    sessions = [scalene] + scalene._child_sessions
+    assert merged.cpu_samples == sum(s.stats.cpu_sample_count for s in sessions)
+    # Exact runtime counters sum across the tree.
+    assert merged.total_crossings == sum(t.crossings.total_crossings for t in tree)
+    assert merged.total_lock_acquisitions == sum(
+        t.lock_contention.total_acquisitions for t in tree
+    )
+    assert merged.total_bytes_to_native == sum(
+        t.crossings.total_bytes_to_native for t in tree
+    )
+
+
+@pytest.mark.accuracy
+def test_stitched_children_carry_their_own_work(stitched):
+    _process, scalene, merged = stitched
+    assert len(scalene._child_sessions) == 3
+    for child in scalene._child_sessions:
+        assert child.stats is not scalene.stats
+        assert child.stats.cpu_sample_count > 0
+    # The worker body (the child-only while loop) must appear in the
+    # merged per-line table with real attribution.
+    hot = [l for l in merged.lines if l.cpu_total_percent > 1.0]
+    assert any(l.lineno in (4, 5, 6) for l in hot)

@@ -323,3 +323,65 @@ class ProgramGenerator:
 def generate_program(seed: int) -> str:
     """The program for ``seed`` — the fuzzer's reproduction entry point."""
     return ProgramGenerator(seed).program()
+
+
+# ---------------------------------------------------------------------------
+# Seeded threaded-program generator (determinism property)
+# ---------------------------------------------------------------------------
+#
+# Threaded programs are VM-only — CPython has no virtual scheduler to
+# differential-test against — so instead of output equivalence they feed
+# the determinism property (``test_determinism.py``): the same seed plus
+# the same FaultSpec must produce a bit-identical schedule, stdout, and
+# profile. The grammar is deadlock-free by construction: every
+# ``lock_acquire`` is paired with a ``lock_release`` on the same straight
+# -line path, and a worker never holds two locks at once.
+
+
+class ThreadedProgramGenerator:
+    """Deterministic generator of lock-using multi-threaded programs."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    def worker_def(self, index: int, lock_names: List[str]) -> List[str]:
+        rng = self.rng
+        lines = [f"def worker{index}(wid):"]
+        lines.append("    acc = wid")
+        lines.append("    i = 0")
+        lines.append(f"    while i < {rng.randint(2, 5)}:")
+        for _ in range(rng.randint(1, 2)):
+            lock = rng.choice(lock_names)
+            lines.append(f"        lock_acquire({lock})")
+            lines.append(f"        native_ops({rng.randint(40, 220)})")
+            lines.append(f"        acc = acc + i + {rng.randint(0, 9)}")
+            lines.append(f"        lock_release({lock})")
+        if rng.random() < 0.6:
+            lines.append(f"        native_ops({rng.randint(20, 120)})")
+        if rng.random() < 0.35:
+            lines.append(f"        sleep({rng.choice([0.001, 0.002, 0.005])})")
+        lines.append("        i = i + 1")
+        lines.append(f"    print('worker', wid, acc)")
+        lines.append("    return acc")
+        return lines
+
+    def program(self) -> str:
+        rng = self.rng
+        lock_names = [f"lk{n}" for n in range(rng.randint(1, 2))]
+        n_workers = rng.randint(2, 4)
+        lines: List[str] = []
+        for index in range(n_workers):
+            lines += self.worker_def(index, lock_names)
+        for lock in lock_names:
+            lines.append(f"{lock} = make_lock({lock!r})")
+        for index in range(n_workers):
+            lines.append(f"th{index} = spawn(worker{index}, {index + 1})")
+        for index in range(n_workers):
+            lines.append(f"join(th{index})")
+        lines.append(f"print('joined', {n_workers})")
+        return "\n".join(lines) + "\n"
+
+
+def generate_threaded_program(seed: int) -> str:
+    """The threaded program for ``seed`` — determinism-test entry point."""
+    return ThreadedProgramGenerator(seed).program()

@@ -1,0 +1,257 @@
+"""Unit tests for the concurrency planes the profiler observes.
+
+Three planes, three contracts:
+
+* ``aio`` (cooperative event loop): run-until-await semantics, exact
+  per-task CPU/idle accounting, and loud errors for misuse;
+* lock contention: the always-on recorder measures every contended
+  acquisition (including abandoned timed waits) at the acquiring line
+  and attributes the edge to the holder;
+* fork lineage: every child gets a unique pid and a correct parent link
+  no matter how many worker pools the program runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import VMError
+from repro.interp.libs import install_standard_libraries
+from repro.runtime.process import SimProcess
+
+
+def run_program(source: str, filename: str = "conc.py") -> SimProcess:
+    process = SimProcess(source, filename=filename)
+    install_standard_libraries(process)
+    process.run()
+    return process
+
+
+# -- aio: the cooperative event loop ----------------------------------------
+
+
+ASYNC_SOURCE = (
+    "def handler(wid):\n"
+    "    total = 0\n"
+    "    i = 0\n"
+    "    while i < 50:\n"
+    "        total = total + i\n"
+    "        i = i + 1\n"
+    "    aio.sleep(0.01)\n"
+    "    return total\n"
+    "def main():\n"
+    "    t1 = aio.spawn(handler, 1)\n"
+    "    t2 = aio.spawn(handler, 2)\n"
+    "    aio.gather_all()\n"
+    "    return 0\n"
+    "aio.run(main)\n"
+    "print('done')\n"
+)
+
+
+def test_aio_run_drains_the_loop_and_records_tasks():
+    process = run_program(ASYNC_SOURCE)
+    assert process.stdout[-1] == "done"
+    records = process.async_runtime.task_records()
+    assert [r.name for r in records] == ["main-0", "handler-1", "handler-2"]
+    assert all(r.done for r in records)
+    handlers = records[1:]
+    for record in handlers:
+        # Exact accounting: the while loop burned CPU, the sleep idled.
+        assert record.cpu_s > 0
+        assert record.wait_s > 0
+        assert record.switches > 0
+        assert record.await_location is not None
+        assert record.await_location[1] == 7  # the aio.sleep line
+        assert record.spawn_location is not None
+    # Per-task CPU is a partition of thread time: it can never exceed the
+    # process total.
+    assert sum(r.cpu_s for r in records) <= process.clock.cpu + 1e-9
+    assert process.async_runtime.total_task_switches >= 3
+
+
+def test_aio_tasks_run_until_await():
+    # Cooperative semantics: greedy is spawned first and never awaits, so
+    # it runs to completion before polite executes a single opcode — even
+    # though polite is far shorter. (Preemptive threads would interleave.)
+    source = (
+        "def greedy(wid):\n"
+        "    i = 0\n"
+        "    while i < 300:\n"
+        "        i = i + 1\n"
+        "    print('greedy done')\n"
+        "    return i\n"
+        "def polite(wid):\n"
+        "    print('polite ran')\n"
+        "    return 1\n"
+        "def main():\n"
+        "    g = aio.spawn(greedy, 0)\n"
+        "    p = aio.spawn(polite, 1)\n"
+        "    aio.gather_all()\n"
+        "    return 0\n"
+        "aio.run(main)\n"
+    )
+    process = run_program(source)
+    assert process.stdout.index("greedy done") < process.stdout.index("polite ran")
+    greedy = process.async_runtime.task_records()[1]
+    assert greedy.name.startswith("greedy")
+    assert greedy.wait_s == 0.0  # never awaited
+
+
+def test_aio_calls_outside_a_task_raise():
+    for call in ("aio.spawn(print)", "aio.sleep(0.1)", "aio.gather_all()"):
+        with pytest.raises(VMError, match="only valid inside a task"):
+            run_program(f"{call}\n")
+
+
+def test_aio_rejects_bad_arguments():
+    with pytest.raises(VMError, match="needs a function"):
+        run_program("aio.run()\n")
+    with pytest.raises(VMError, match="argument"):
+        run_program(
+            "def f(a, b):\n    return a\n"
+            "def main():\n    aio.spawn(f, 1)\n    return 0\n"
+            "aio.run(main)\n"
+        )
+
+
+# -- lock contention recorder ------------------------------------------------
+
+
+CONTENDED_SOURCE = (
+    "def worker(wid):\n"
+    "    i = 0\n"
+    "    while i < 4:\n"
+    "        lock_acquire(lk)\n"
+    "        native_work(0.02)\n"
+    "        lock_release(lk)\n"
+    "        i = i + 1\n"
+    "    return i\n"
+    "lk = make_lock('shared')\n"
+    "t0 = spawn(worker, 0)\n"
+    "t1 = spawn(worker, 1)\n"
+    "join(t0)\n"
+    "join(t1)\n"
+    "print('ok')\n"
+)
+
+
+def test_contended_lock_records_blocked_time_at_the_acquiring_line():
+    process = run_program(CONTENDED_SOURCE)
+    recorder = process.lock_contention
+    assert recorder.total_acquisitions == 8  # 2 workers x 4 iterations
+    assert recorder.total_contentions > 0
+    assert recorder.total_blocked_s > 0
+    # All blocking happened at the lock_acquire line (line 4).
+    line = recorder.lines[("conc.py", 4)]
+    assert line.blocked_s == pytest.approx(recorder.total_blocked_s)
+    assert line.acquisitions == 8
+    # Edges name real threads on both sides, never self-edges.
+    assert recorder.edges
+    for (waiter, holder, lock_name), edge in recorder.edges.items():
+        assert lock_name == "shared"
+        assert waiter != holder
+        assert edge.count > 0
+        assert edge.blocked_s > 0
+
+
+def test_uncontended_lock_records_acquisitions_only():
+    source = (
+        "lk = make_lock('solo')\n"
+        "i = 0\n"
+        "while i < 5:\n"
+        "    lock_acquire(lk)\n"
+        "    lock_release(lk)\n"
+        "    i = i + 1\n"
+        "print('ok')\n"
+    )
+    process = run_program(source)
+    recorder = process.lock_contention
+    assert recorder.total_acquisitions == 5
+    assert recorder.total_contentions == 0
+    assert recorder.total_blocked_s == 0.0
+    assert recorder.edges == {}
+    assert recorder.lines[("conc.py", 4)].acquisitions == 5
+
+
+def test_timed_out_acquire_still_counts_as_contention():
+    source = (
+        "def hog(wid):\n"
+        "    lock_acquire(lk)\n"
+        "    sleep(0.5)\n"
+        "    lock_release(lk)\n"
+        "    return wid\n"
+        "def impatient(wid):\n"
+        "    lock_acquire(lk, 0.05)\n"
+        "    print('gave up')\n"
+        "    return wid\n"
+        "lk = make_lock('held')\n"
+        "t0 = spawn(hog, 0)\n"
+        "sleep(0.01)\n"
+        "t1 = spawn(impatient, 1)\n"
+        "join(t0)\n"
+        "join(t1)\n"
+        "print('ok')\n"
+    )
+    process = run_program(source)
+    recorder = process.lock_contention
+    assert "gave up" in process.stdout
+    assert process.stdout[-1] == "ok"
+    # The abandoned wait is real blocked time: ~0.05 s at the acquire line,
+    # but only one *successful* acquisition there ever happened (the hog's).
+    assert recorder.total_contentions >= 1
+    assert recorder.total_blocked_s >= 0.04
+    line = recorder.lines[("conc.py", 7)]
+    assert line.contentions == 1
+    assert line.acquisitions == 0
+    assert line.blocked_s == pytest.approx(0.05, rel=0.25)
+
+
+def test_semaphore_contention_is_recorded_too():
+    source = (
+        "def worker(wid):\n"
+        "    sem_acquire(sem)\n"
+        "    native_work(0.05)\n"
+        "    sem_release(sem)\n"
+        "    return wid\n"
+        "sem = make_semaphore('pool', 1)\n"
+        "t0 = spawn(worker, 0)\n"
+        "t1 = spawn(worker, 1)\n"
+        "t2 = spawn(worker, 2)\n"
+        "join(t0)\n"
+        "join(t1)\n"
+        "join(t2)\n"
+        "print('ok')\n"
+    )
+    process = run_program(source)
+    recorder = process.lock_contention
+    assert recorder.total_acquisitions == 3
+    assert recorder.total_contentions >= 2
+    assert any(key[2] == "pool" for key in recorder.edges)
+
+
+# -- fork lineage -------------------------------------------------------------
+
+
+def test_pids_stay_unique_across_multiple_worker_pools():
+    source = (
+        "def worker(wid):\n"
+        "    i = 0\n"
+        "    while i < 20:\n"
+        "        i = i + 1\n"
+        "    return i\n"
+        "if is_main():\n"
+        "    mp.run_workers(worker, 2)\n"
+        "    mp.run_workers(worker, 3)\n"
+        "    print('done')\n"
+    )
+    process = run_program(source, filename="pools.py")
+    tree = process.process_tree()
+    assert len(tree) == 6  # parent + 2 + 3
+    pids = [p.pid for p in tree]
+    assert len(set(pids)) == len(pids)
+    assert tree[0] is process
+    assert process.parent_pid is None
+    for child in tree[1:]:
+        assert child.parent_pid == process.pid
+        assert child.clock.cpu > 0

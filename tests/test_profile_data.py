@@ -326,6 +326,98 @@ def test_schema_v2_and_v3_payloads_still_load():
     assert restored.total_crossings == 0
 
 
+def test_concurrency_fields_round_trip():
+    """Schema v5: lock tables, task accounting, and process lineage
+    survive JSON exactly."""
+    from repro.core.profile_data import (
+        LockEdge,
+        ProcessReport,
+        ProfileData,
+        TaskReport,
+    )
+
+    stats = make_stats(6)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    profile.total_lock_blocked_s = 0.375
+    profile.total_lock_contentions = 9
+    profile.total_lock_acquisitions = 40
+    profile.lock_edges = [
+        LockEdge(waiter="consumer", holder="producer", lock="queue",
+                 blocked_s=0.25, count=6),
+        LockEdge(waiter="producer", holder="consumer", lock="queue",
+                 blocked_s=0.125, count=3),
+    ]
+    profile.tasks = [
+        TaskReport(name="handler-1", cpu_s=0.5, wait_s=1.5, switches=7,
+                   awaiting="app.py:4"),
+        TaskReport(name="main", cpu_s=0.1, wait_s=2.0, switches=2, awaiting=""),
+    ]
+    profile.processes = [
+        ProcessReport(pid=1, parent_pid=None, elapsed_s=3.0, cpu_s=2.5,
+                      peak_mb=64.0),
+        ProcessReport(pid=2, parent_pid=1, elapsed_s=1.0, cpu_s=0.9,
+                      peak_mb=32.0),
+    ]
+    line = profile.lines[0]
+    line.lock_blocked_s = 0.25
+    line.lock_contentions = 6
+    line.lock_acquisitions = 20
+
+    restored = ProfileData.from_json(profile.to_json())
+    assert restored.total_lock_blocked_s == pytest.approx(0.375)
+    assert restored.total_lock_contentions == 9
+    assert restored.total_lock_acquisitions == 40
+    assert [(e.waiter, e.holder, e.lock, e.count) for e in restored.lock_edges] == [
+        ("consumer", "producer", "queue", 6),
+        ("producer", "consumer", "queue", 3),
+    ]
+    assert [(t.name, t.switches, t.awaiting) for t in restored.tasks] == [
+        ("handler-1", 7, "app.py:4"),
+        ("main", 2, ""),
+    ]
+    assert [(p.pid, p.parent_pid) for p in restored.processes] == [
+        (1, None),
+        (2, 1),
+    ]
+    assert restored.processes[0].peak_mb == pytest.approx(64.0)
+    restored_line = restored.line(line.lineno, line.filename)
+    assert restored_line.lock_blocked_s == pytest.approx(0.25)
+    assert restored_line.lock_contentions == 6
+    assert restored_line.lock_acquisitions == 20
+    assert restored.to_dict() == profile.to_dict()
+
+
+def test_schema_v4_payloads_still_load():
+    """Back-compat: a pre-concurrency (v4) payload parses with zeroed
+    lock counters and empty task/process tables."""
+    from repro.core.profile_data import ProfileData
+
+    stats = make_stats(4)
+    profile = build_profile(stats, ScaleneConfig(), source_lines={"app.py": []}, leaks=[])
+    payload = profile.to_dict()
+    v4 = dict(payload, schema=4)
+    del v4["locks"]
+    del v4["tasks"]
+    del v4["processes"]
+    v4["lines"] = [
+        {
+            k: v
+            for k, v in entry.items()
+            if k not in ("lock_blocked_s", "lock_contentions", "lock_acquisitions")
+        }
+        for entry in payload["lines"]
+    ]
+    restored = ProfileData.from_dict(v4)
+    assert restored.total_lock_blocked_s == 0.0
+    assert restored.total_lock_contentions == 0
+    assert restored.total_lock_acquisitions == 0
+    assert restored.lock_edges == []
+    assert restored.tasks == []
+    assert restored.processes == []
+    assert all(line.lock_blocked_s == 0.0 for line in restored.lines)
+    assert all(line.lock_acquisitions == 0 for line in restored.lines)
+
+
 def test_schema_v3_requires_degraded_keys():
     """v3 added `degraded`/`faults`; a payload without them must not parse."""
     from repro.core.profile_data import ProfileData

@@ -20,7 +20,10 @@ from repro.core.leak_detector import LeakReport, leak_likelihood
 from repro.core.profile_data import (
     FunctionReport,
     LineReport,
+    LockEdge,
+    ProcessReport,
     ProfileData,
+    TaskReport,
     merge_profiles,
 )
 from repro.errors import ProfilerError
@@ -59,6 +62,10 @@ def profiles(draw):
                 "crossing_native_s": draw(seconds),
                 "to_native": draw(st.integers(min_value=0, max_value=1 << 20)),
                 "to_python": draw(st.integers(min_value=0, max_value=1 << 20)),
+                # Lock-contention counters (schema v5): exact, additive.
+                "lock_blocked_s": draw(seconds),
+                "lock_contentions": draw(st.integers(min_value=0, max_value=20)),
+                "lock_acquisitions": draw(st.integers(min_value=0, max_value=40)),
             }
         )
     # Collapse duplicate (filename, lineno) draws.
@@ -91,6 +98,46 @@ def profiles(draw):
             )
         )
 
+    edges = [
+        LockEdge(
+            waiter=pair[0],
+            holder=pair[1],
+            lock="queue",
+            blocked_s=draw(seconds),
+            count=draw(st.integers(min_value=1, max_value=20)),
+        )
+        for pair in draw(
+            st.lists(
+                st.sampled_from(
+                    [("worker-1", "worker-2"), ("worker-2", "worker-1")]
+                ),
+                unique=True,
+            )
+        )
+    ]
+    tasks = [
+        TaskReport(
+            name=name,
+            cpu_s=draw(seconds),
+            wait_s=draw(seconds),
+            switches=draw(st.integers(min_value=0, max_value=50)),
+            awaiting=draw(st.sampled_from(["", "a.py:3"])),
+        )
+        for name in draw(
+            st.lists(st.sampled_from(["task-a", "task-b"]), unique=True)
+        )
+    ]
+    processes = [
+        ProcessReport(
+            pid=pid,
+            parent_pid=None if pid == 1 else 1,
+            elapsed_s=draw(seconds),
+            cpu_s=draw(seconds),
+            peak_mb=draw(mb),
+        )
+        for pid in draw(st.lists(st.sampled_from([1, 2, 3]), unique=True))
+    ]
+
     return ProfileData(
         mode="full",
         elapsed=elapsed,
@@ -113,6 +160,13 @@ def profiles(draw):
         total_crossing_overhead_s=sum(r["crossing_overhead_s"] for r in raw_lines),
         total_bytes_to_native=sum(r["to_native"] for r in raw_lines),
         total_bytes_to_python=sum(r["to_python"] for r in raw_lines),
+        total_lock_blocked_s=sum(r["lock_blocked_s"] for r in raw_lines),
+        total_lock_contentions=sum(r["lock_contentions"] for r in raw_lines),
+        total_lock_acquisitions=sum(r["lock_acquisitions"] for r in raw_lines)
+        + draw(st.integers(min_value=0, max_value=100)),
+        lock_edges=edges,
+        tasks=tasks,
+        processes=processes,
         leaks=leaks,
         lines=[
             LineReport(
@@ -142,6 +196,9 @@ def profiles(draw):
                 crossing_native_s=r["crossing_native_s"],
                 bytes_to_native=r["to_native"],
                 bytes_to_python=r["to_python"],
+                lock_blocked_s=r["lock_blocked_s"],
+                lock_contentions=r["lock_contentions"],
+                lock_acquisitions=r["lock_acquisitions"],
             )
             for r in raw_lines
         ],
@@ -179,6 +236,9 @@ def counters(profile: ProfileData):
         "crossing_overhead_s": profile.total_crossing_overhead_s,
         "bytes_to_native": profile.total_bytes_to_native,
         "bytes_to_python": profile.total_bytes_to_python,
+        "lock_blocked_s": profile.total_lock_blocked_s,
+        "lock_contentions": profile.total_lock_contentions,
+        "lock_acquisitions": profile.total_lock_acquisitions,
     }
 
 
@@ -276,6 +336,100 @@ def test_merged_crossing_counters_are_exact_sums(parts):
             rel_tol=1e-9,
             abs_tol=1e-9,
         )
+
+
+@settings(max_examples=60, deadline=None)
+@given(parts=st.lists(profiles(), min_size=2, max_size=4))
+def test_merged_concurrency_counters_are_exact_sums(parts):
+    """Lock/task/process counters (schema v5) are exact: per line, per
+    edge, per task, and per process the merge must sum the additive
+    columns and max the high-water marks with no tolerance beyond float
+    addition order."""
+    merged = merge_profiles(parts)
+    assert merged.total_lock_contentions == sum(
+        p.total_lock_contentions for p in parts
+    )
+    assert merged.total_lock_acquisitions == sum(
+        p.total_lock_acquisitions for p in parts
+    )
+    assert math.isclose(
+        merged.total_lock_blocked_s,
+        sum(p.total_lock_blocked_s for p in parts),
+        rel_tol=1e-9,
+        abs_tol=1e-9,
+    )
+    for line in merged.lines:
+        sources = [
+            p.line(line.lineno, line.filename)
+            for p in parts
+            if p.line(line.lineno, line.filename) is not None
+        ]
+        assert line.lock_contentions == sum(l.lock_contentions for l in sources)
+        assert line.lock_acquisitions == sum(l.lock_acquisitions for l in sources)
+        assert math.isclose(
+            line.lock_blocked_s,
+            sum(l.lock_blocked_s for l in sources),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+    for edge in merged.lock_edges:
+        key = (edge.waiter, edge.holder, edge.lock)
+        sources = [
+            e
+            for p in parts
+            for e in p.lock_edges
+            if (e.waiter, e.holder, e.lock) == key
+        ]
+        assert edge.count == sum(e.count for e in sources)
+        assert math.isclose(
+            edge.blocked_s,
+            sum(e.blocked_s for e in sources),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+    for task in merged.tasks:
+        sources = [t for p in parts for t in p.tasks if t.name == task.name]
+        assert task.switches == sum(t.switches for t in sources)
+        assert math.isclose(
+            task.cpu_s, sum(t.cpu_s for t in sources), rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert math.isclose(
+            task.wait_s, sum(t.wait_s for t in sources), rel_tol=1e-9, abs_tol=1e-9
+        )
+        # Awaiting location: first non-empty across the merge inputs.
+        nonempty = [t.awaiting for t in sources if t.awaiting]
+        assert task.awaiting == (nonempty[0] if nonempty else "")
+    for proc in merged.processes:
+        sources = [
+            q
+            for p in parts
+            for q in p.processes
+            if (q.pid, q.parent_pid) == (proc.pid, proc.parent_pid)
+        ]
+        assert math.isclose(
+            proc.elapsed_s,
+            sum(q.elapsed_s for q in sources),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        assert math.isclose(
+            proc.cpu_s, sum(q.cpu_s for q in sources), rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert proc.peak_mb == max(q.peak_mb for q in sources)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=profiles(), b=profiles())
+def test_merge_concurrency_tables_commute(a, b):
+    left = merge_profiles([a, b])
+    right = merge_profiles([b, a])
+    assert {(e.waiter, e.holder, e.lock) for e in left.lock_edges} == {
+        (e.waiter, e.holder, e.lock) for e in right.lock_edges
+    }
+    assert {t.name for t in left.tasks} == {t.name for t in right.tasks}
+    assert [(p.pid, p.parent_pid) for p in left.processes] == [
+        (p.pid, p.parent_pid) for p in right.processes
+    ]
 
 
 @settings(max_examples=60, deadline=None)

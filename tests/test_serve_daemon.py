@@ -236,3 +236,36 @@ def test_crossflow_endpoint_requires_id(daemon):
         assert "crossflow needs" in json.loads(exc.read().decode("utf-8"))["error"]
     else:  # pragma: no cover - the request must fail
         pytest.fail("/crossflow without ?id unexpectedly succeeded")
+
+
+def test_contention_endpoint(client):
+    job = client.submit("producer_consumer", scale=1.0)
+    done = client.wait(job["id"], timeout=300)
+    result = client.contention(done["profile_id"])
+    assert result["id"] == done["profile_id"]
+    assert result["locks"]["blocked_s"] > 0
+    assert result["locks"]["contentions"] > 0
+    # The per-line table is sorted hottest-first and only lists lines that
+    # actually touched a lock.
+    lines = result["lines"]
+    assert lines
+    blocked = [entry["blocked_s"] for entry in lines]
+    assert blocked == sorted(blocked, reverse=True)
+    assert all(
+        entry["contentions"] > 0 or entry["acquisitions"] > 0
+        for entry in lines
+    )
+    edges = result["edges"]
+    assert edges
+    assert all(e["waiter"] != e["holder"] for e in edges)
+    assert all(e["lock"] == "queue" for e in edges)
+
+
+def test_contention_endpoint_requires_id(daemon):
+    try:
+        urllib.request.urlopen(daemon.url + "/contention", timeout=30)
+    except urllib.error.HTTPError as exc:
+        assert exc.code == 400
+        assert "contention needs" in json.loads(exc.read().decode("utf-8"))["error"]
+    else:  # pragma: no cover - the request must fail
+        pytest.fail("/contention without ?id unexpectedly succeeded")
