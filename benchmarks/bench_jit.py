@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Trace-JIT tier benchmark: interpreter vs JIT on loop-heavy kernels.
+
+Runs each kernel twice per repetition — JIT disabled (``REPRO_JIT=0``)
+and JIT enabled at the default threshold — interleaved so host noise
+hits both tiers alike, asserts identical program output, and reports
+per-kernel speedup plus the geometric mean. Appends a ``suite: "jit"``
+record to ``BENCH_vm.json`` alongside the interpreter-tier trend
+records from ``runner.py``.
+
+The kernels run single-threaded with a 50 ms scheduler quantum (passed
+identically to both tiers): trace windows are bounded by the remaining
+slice, so the default 5 ms quantum measures scheduler slicing more than
+tier throughput. The quantum is a workload parameter, not a tier knob —
+the comparison stays apples-to-apples.
+
+Exit codes: 0 ok, 1 usage/error, 2 speedup gate failed
+(``--check-speedup`` and geomean speedup below the threshold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from runner import TREND_PATH, append_trend, geomean  # noqa: E402
+
+#: Scheduler quantum for both tiers (see module docstring).
+SWITCH_INTERVAL = 0.05
+
+#: Geomean speedup the JIT tier must deliver over the interpreter tier.
+MIN_SPEEDUP = 1.5
+
+DEFAULT_REPS = 3
+QUICK_SCALE = 0.1
+
+
+def _kernels(scale: float) -> dict:
+    arith_n = max(2000, int(120000 * scale))
+    nested_n = max(60, int(330 * scale ** 0.5))
+    scan_rounds = max(100, int(2500 * scale))
+    dict_n = max(2000, int(40000 * scale))
+    return {
+        "jit_arith_while": f"""
+i = 0
+acc = 0
+while i < {arith_n}:
+    acc = acc + i * 3 - (i // 7) + (i % 5)
+    i = i + 1
+print(acc)
+""",
+        "jit_nested_for": f"""
+total = 0
+for a in range({nested_n}):
+    for b in range({nested_n}):
+        total = total + a * b
+print(total)
+""",
+        "jit_list_scan": f"""
+xs = []
+i = 0
+while i < 50:
+    xs.append(i * i)
+    i = i + 1
+hits = 0
+r = 0
+while r < {scan_rounds}:
+    j = 0
+    while j < 50:
+        if xs[j] > 100:
+            hits = hits + 1
+        j = j + 1
+    r = r + 1
+print(hits)
+""",
+        "jit_dict_count": f"""
+d = {{}}
+i = 0
+while i < {dict_n}:
+    k = i % 64
+    if k in d:
+        d[k] = d[k] + 1
+    else:
+        d[k] = 1
+    i = i + 1
+print(len(d), d[0])
+""",
+    }
+
+
+def _run_once(name: str, source: str, jit: str):
+    """One timed run; returns (host ops/sec, stdout lines, jit stats)."""
+    os.environ["REPRO_JIT"] = jit
+    # Each tier must compile its own code object: hit cells and the trace
+    # memo live on the CodeObject, and the AST-compile cache keys on the
+    # JIT config anyway — disable it so reps measure steady state only.
+    os.environ["REPRO_CODE_CACHE"] = "0"
+    from repro.interp.jit import jit_stats
+    from repro.runtime.process import SimProcess
+
+    process = SimProcess(
+        source, filename=f"{name}.py", switch_interval=SWITCH_INTERVAL
+    )
+    start = time.perf_counter()
+    process.run()
+    elapsed = time.perf_counter() - start
+    ops = process.vm.instruction_count / elapsed if elapsed > 0 else 0.0
+    return ops, list(process.stdout), jit_stats(process.code)
+
+
+def run_suite(scale: float, reps: int) -> dict:
+    """Best-of-``reps`` interleaved off/on runs for every kernel."""
+    results = {}
+    for name, source in _kernels(scale).items():
+        best_off = best_on = 0.0
+        stats = {}
+        for _ in range(max(1, reps)):
+            off_ops, off_out, _ = _run_once(name, source, "0")
+            on_ops, on_out, stats = _run_once(name, source, "1")
+            if off_out != on_out:
+                raise AssertionError(
+                    f"{name}: tier output diverged: {off_out!r} != {on_out!r}"
+                )
+            best_off = max(best_off, off_ops)
+            best_on = max(best_on, on_ops)
+        results[name] = {
+            "ops_per_sec_interp": round(best_off, 1),
+            "ops_per_sec_jit": round(best_on, 1),
+            "speedup": round(best_on / best_off, 3) if best_off else 0.0,
+            "traces": stats.get("compiled", 0),
+            "deopts": stats.get("deopts", 0),
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small scale ({QUICK_SCALE}) — CI smoke mode")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="kernel scale (default 1.0)")
+    parser.add_argument("--reps", type=int, default=DEFAULT_REPS,
+                        help=f"repetitions per kernel, best-of (default {DEFAULT_REPS})")
+    parser.add_argument("--output", type=Path, default=TREND_PATH,
+                        help="trend file to append to (default BENCH_vm.json)")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help=f"exit 2 when geomean speedup < {MIN_SPEEDUP}x")
+    parser.add_argument("--min-speedup", type=float, default=MIN_SPEEDUP,
+                        help="override the --check-speedup threshold")
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        scale = args.scale
+    elif args.quick:
+        scale = QUICK_SCALE
+    else:
+        scale = 1.0
+
+    from repro.interp.jit import DEFAULT_THRESHOLD
+
+    prior_jit = os.environ.get("REPRO_JIT")
+    prior_cache = os.environ.get("REPRO_CODE_CACHE")
+    try:
+        results = run_suite(scale, args.reps)
+    finally:
+        for key, prior in (("REPRO_JIT", prior_jit), ("REPRO_CODE_CACHE", prior_cache)):
+            if prior is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = prior
+
+    speedups = [r["speedup"] for r in results.values()]
+    geo_speedup = geomean(speedups)
+    geo_jit = geomean([r["ops_per_sec_jit"] for r in results.values()])
+    append_trend(args.output, {
+        "suite": "jit",
+        "scale": scale,
+        "reps": args.reps,
+        "jit_threshold": DEFAULT_THRESHOLD,
+        "switch_interval": SWITCH_INTERVAL,
+        "geomean_ops_per_sec": round(geo_jit, 1),
+        "geomean_speedup": round(geo_speedup, 3),
+        "results": results,
+    })
+
+    width = max(len(n) for n in results)
+    for name, r in results.items():
+        print(f"{name:<{width}}  interp {r['ops_per_sec_interp']:>12,.0f}  "
+              f"jit {r['ops_per_sec_jit']:>12,.0f}  x{r['speedup']:.2f}  "
+              f"(traces={r['traces']} deopts={r['deopts']})")
+    print(f"geomean speedup: x{geo_speedup:.2f}   "
+          f"jit geomean: {geo_jit:,.0f} ops/s   -> {args.output}")
+
+    if args.check_speedup and geo_speedup < args.min_speedup:
+        print(
+            f"JIT SPEEDUP GATE FAILED: geomean x{geo_speedup:.2f} < "
+            f"x{args.min_speedup:.2f}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1588 @@
+"""Trace-JIT tier: compile hot loop regions into specialized closures.
+
+The threaded-dispatch interpreter (``repro.interp.vm``) is tier 0. This
+module adds tier 1: once a loop header has executed ``REPRO_JIT_THRESHOLD``
+times (counted in the per-entry hit cells attached by ``_build_entries``),
+the natural-loop region behind it is compiled into one specialized Python
+closure — a *trace* — and subsequent header executions run the whole region
+inside that closure instead of the dispatch loop.
+
+The contract that makes a JIT shippable in this codebase is **bit
+identity**: stdout, the schedule, every profiler sample, every ground-truth
+counter, and every allocator event must be exactly what the interpreter
+tier produces (DESIGN.md §11). The compiled code therefore performs the
+*same observable work in the same order* as the dispatch loop and merely
+strips the interpretation overhead around it:
+
+* the virtual clock is advanced with the identical per-op float-add
+  sequence (``cpu += c; wall += c`` — float addition is non-associative,
+  so advances are never batched);
+* ground-truth Python time is flushed at the same line transitions with
+  the same single multiply (``gt_ops * op_cost``);
+* allocator churn performs the identical ``py_alloc``/FIFO/``py_free``
+  calls with ``frame.lineno`` current, so PyMem hook streams are equal;
+* the eval-breaker phase (quantum countdown) is recomputed on exit so the
+  interpreter resumes with the exact counter it would have had.
+
+Guards *deoptimize* back to the interpreter — returning the resume pc with
+all state written back — on anything the specialized code did not bake in:
+operand-type instability, inline-cache misses, container index misses, and
+at every observation point. Observation points are enforced structurally:
+
+* a trace is only entered when no tracer is active, no signal is pending
+  for the main thread, the clock fast path is valid (no fault injector, no
+  external clock observers — so under fault injection the VM simply stays
+  on tier 0), and the *budget guard* holds: the worst-case acyclic op
+  count of the region cannot reach the earliest cached timer/preemption
+  deadline;
+* the budget guard is re-checked at every backward edge inside the trace;
+* after every operation that reaches the memory subsystem (churn, list
+  growth, refcount drops that destroy) a *safepoint* reloads the clock —
+  profiler hooks charge overhead through it — and deopts if a cached
+  deadline was crossed, which is precisely the boundary where the
+  interpreter's own eval breaker would have polled.
+
+Kill switch: ``REPRO_JIT=0``. Threshold: ``REPRO_JIT_THRESHOLD`` (default
+``16``; ``0`` compiles every loop at its first back edge, the
+"forced" tier of the equivalence fuzzer).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.interp import opcodes as op
+from repro.interp.objects import HeapBacked, SimDict, SimList
+
+__all__ = [
+    "CompiledTrace",
+    "JIT_FAILED",
+    "compile_trace",
+    "config_key",
+    "threshold_from_env",
+    "iter_hit_cells",
+    "trace_at",
+    "jit_stats",
+]
+
+DEFAULT_THRESHOLD = 16
+#: Guard failures tolerated before a region is abandoned to tier 0.
+DEOPT_LIMIT = 32
+#: Regions larger than this are never compiled (codegen size bound).
+MAX_REGION_OPS = 256
+
+
+class _JitFailed:
+    """Sentinel stored in a hit cell when a region cannot (or should not)
+    be compiled; the interpreter never retries."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<JIT_FAILED>"
+
+
+JIT_FAILED = _JitFailed()
+
+# Sentinels for the generated code (never leak into program values).
+_EXHAUSTED = object()
+_MISSING = object()
+
+#: Operand classes with exact host numeric semantics (bool <: int at the
+#: value level; complex excluded — it deopts, keeping guards cheap).
+_NUM_CLASSES = frozenset({int, float, bool})
+
+# Per-block type lattice. Tags are facts proven about the value in a stack
+# slot (from constants, operator results, or passed guards):
+#   'int'   — int or bool            (implies 'num')
+#   'num'   — int, float, or bool    (implies 'nonhb')
+#   'str'   — str                    (implies 'nonhb')
+#   'nonhb' — any host object, provably not HeapBacked
+# The lattice elides or narrows operand guards and skips HeapBacked
+# isinstance checks; it is reset at every block boundary (conservative
+# merge), so no fact ever crosses a control-flow join.
+_TAG_RANK = {"nonhb": 1, "str": 2, "num": 2, "int": 3}
+
+
+def _refine(old: Optional[str], new: Optional[str]) -> Optional[str]:
+    if new is None or old == new:
+        return old if old is not None else new
+    if old is None:
+        return new
+    return new if _TAG_RANK[new] > _TAG_RANK[old] else old
+
+
+def _is_num(tag: Optional[str]) -> bool:
+    return tag == "int" or tag == "num"
+
+
+def _is_int(tag: Optional[str]) -> bool:
+    return tag == "int"
+
+
+def _is_nonhb(tag: Optional[str]) -> bool:
+    return tag is not None
+
+
+def threshold_from_env() -> Optional[int]:
+    """Resolved JIT configuration: ``None`` when disabled via ``REPRO_JIT=0``,
+    otherwise the hotness threshold from ``REPRO_JIT_THRESHOLD``."""
+    if os.environ.get("REPRO_JIT", "1").strip() == "0":
+        return None
+    raw = os.environ.get("REPRO_JIT_THRESHOLD", "")
+    if not raw:
+        return DEFAULT_THRESHOLD
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_THRESHOLD
+
+
+def config_key() -> Tuple[str, Optional[int]]:
+    """Fingerprint of the resolved JIT configuration, for compile caches.
+
+    Code objects carry tier state (hit cells, compiled traces), so cached
+    compilations must not be shared across JIT configurations — the
+    ``astcompile`` LRU includes this key.
+    """
+    return ("jit", threshold_from_env())
+
+
+class CompiledTrace:
+    """A compiled loop region plus its entry metadata.
+
+    ``fn`` is the generated closure (see :class:`_RegionCompiler` for the
+    calling convention); ``margin_ops`` bounds the clock movement of one
+    uninterrupted pass so the interpreter's entry guard can prove no
+    observation point falls inside; ``enters``/``deopts`` are diagnostics
+    (and feed the give-up heuristic in the dispatch loop).
+    """
+
+    __slots__ = (
+        "fn",
+        "start",
+        "end",
+        "entry_pc",
+        "margin_ops",
+        "enters",
+        "deopts",
+        "source",
+        "name",
+    )
+
+    def __init__(self, fn, start: int, end: int, entry_pc: int, margin_ops: int, source: str, name: str) -> None:
+        self.fn = fn
+        self.start = start
+        self.end = end
+        self.entry_pc = entry_pc
+        self.margin_ops = margin_ops
+        self.enters = 0
+        self.deopts = 0
+        self.source = source
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledTrace {self.name} [{self.start}..{self.end}] "
+            f"enters={self.enters} deopts={self.deopts}>"
+        )
+
+
+class _Unsupported(Exception):
+    """Raised during codegen when the region uses an op (or an op form)
+    the trace compiler does not specialize."""
+
+
+# ---------------------------------------------------------------------------
+# static stack depths
+# ---------------------------------------------------------------------------
+
+_SIMPLE_EFFECT = {
+    op.LOAD_NAME: 1,
+    op.LOAD_CONST: 1,
+    op.MAKE_FUNCTION: 1,
+    op.STORE_NAME: -1,
+    op.POP_TOP: -1,
+    op.LIST_APPEND: -1,
+    op.BINARY_OP: -1,
+    op.COMPARE_OP: -1,
+    op.BINARY_SUBSCR: -1,
+    op.STORE_SUBSCR: -3,
+    op.LOAD_ATTR: 0,
+    op.LOAD_METHOD: 0,
+    op.GET_ITER: 0,
+    op.UNARY_OP: 0,
+    op.NOP: 0,
+    op.POP_BLOCK: 0,
+    op.DELETE_NAME: 0,
+}
+
+
+def _stack_depths(code) -> Optional[List[Optional[int]]]:
+    """Absolute operand-stack depth before each instruction.
+
+    The compiler emits statically balanced code (the PR 1 verifier checks
+    this), so every pc has a single consistent depth; a conflict or an
+    unknown opcode yields ``None`` and the region is never compiled.
+    """
+    instrs = code.instructions
+    n = len(instrs)
+    depths: List[Optional[int]] = [None] * n
+    work: List[Tuple[int, int]] = [(0, 0)]
+    while work:
+        pc, d = work.pop()
+        if pc >= n or d < 0:
+            return None
+        known = depths[pc]
+        if known is not None:
+            if known != d:
+                return None
+            continue
+        depths[pc] = d
+        instr = instrs[pc]
+        opcode = instr.opcode
+        if opcode == op.JUMP:
+            work.append((instr.arg, d))
+        elif opcode in (op.POP_JUMP_IF_FALSE, op.POP_JUMP_IF_TRUE):
+            work.append((pc + 1, d - 1))
+            work.append((instr.arg, d - 1))
+        elif opcode in (op.JUMP_IF_FALSE_OR_POP, op.JUMP_IF_TRUE_OR_POP):
+            work.append((pc + 1, d - 1))
+            work.append((instr.arg, d))
+        elif opcode == op.FOR_ITER:
+            work.append((pc + 1, d + 1))
+            work.append((instr.arg, d - 1))
+        elif opcode == op.RETURN_VALUE:
+            continue
+        elif opcode == op.SETUP_EXCEPT:
+            work.append((pc + 1, d))
+            work.append((instr.arg, d))
+        elif opcode in (op.CALL, op.CALL_METHOD):
+            npos, kwnames = instr.arg
+            work.append((pc + 1, d - npos - len(kwnames)))
+        elif opcode in (op.BUILD_LIST, op.BUILD_TUPLE):
+            work.append((pc + 1, d - instr.arg + 1))
+        elif opcode == op.BUILD_MAP:
+            work.append((pc + 1, d - 2 * instr.arg + 1))
+        elif opcode == op.BUILD_SLICE:
+            work.append((pc + 1, d - instr.arg + 1))
+        elif opcode == op.UNPACK_SEQUENCE:
+            work.append((pc + 1, d - 1 + instr.arg))
+        else:
+            effect = _SIMPLE_EFFECT.get(opcode)
+            if effect is None:
+                return None
+            work.append((pc + 1, d + effect))
+    return depths
+
+
+_FLOOR_OFFSET = {
+    op.STORE_NAME: 1,
+    op.POP_TOP: 1,
+    op.POP_JUMP_IF_FALSE: 1,
+    op.POP_JUMP_IF_TRUE: 1,
+    op.JUMP_IF_FALSE_OR_POP: 1,
+    op.JUMP_IF_TRUE_OR_POP: 1,
+    op.FOR_ITER: 1,
+    op.GET_ITER: 1,
+    op.UNARY_OP: 1,
+    op.LOAD_ATTR: 1,
+    op.LOAD_METHOD: 1,
+    op.UNPACK_SEQUENCE: 1,
+    op.BINARY_OP: 2,
+    op.COMPARE_OP: 2,
+    op.BINARY_SUBSCR: 2,
+    op.STORE_SUBSCR: 3,
+}
+
+
+def _access_floor(instr, d: int) -> int:
+    """Lowest operand-stack slot index the instruction reads or writes
+    when executed at depth ``d``."""
+    opcode = instr.opcode
+    if opcode in (op.BUILD_LIST, op.BUILD_TUPLE):
+        return d - instr.arg
+    if opcode == op.LIST_APPEND:
+        return d - 1 - instr.arg
+    return d - _FLOOR_OFFSET.get(opcode, 0)
+
+
+# ---------------------------------------------------------------------------
+# region discovery
+# ---------------------------------------------------------------------------
+
+
+def _find_region(code, start: int) -> Optional[Tuple[int, int, int]]:
+    """``(start, end, entry_pc)`` of the natural loop headed at ``start``.
+
+    ``start`` is either a FOR_ITER header (entry one past it: the header
+    iteration that triggers compilation has already pushed its value) or
+    the target of a backward JUMP (a while-loop condition; entry at the
+    target itself). ``end`` is the last backward jump to the header.
+    """
+    instrs = code.instructions
+    if start >= len(instrs):
+        return None
+    back_edges = [
+        i
+        for i in range(start + 1, len(instrs))
+        if instrs[i].opcode == op.JUMP and instrs[i].arg == start
+    ]
+    if not back_edges:
+        return None
+    end = max(back_edges)
+    if end - start + 1 > MAX_REGION_OPS:
+        return None
+    entry_pc = start + 1 if instrs[start].opcode == op.FOR_ITER else start
+    return (start, end, entry_pc)
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def indent(self) -> None:
+        self.depth += 1
+
+    def dedent(self) -> None:
+        self.depth -= 1
+
+
+def _const_expr(value: Any, pc: int, namespace: Dict[str, Any]) -> str:
+    """Inline literal for exactly representable constants; otherwise a
+    reference interned into the trace namespace (constant folding)."""
+    if value is None or value is True or value is False:
+        return repr(value)
+    cls = value.__class__
+    if cls is int or cls is str:
+        return repr(value)
+    if cls is float and math.isfinite(value):
+        return repr(value)
+    name = f"K{pc}"
+    namespace[name] = value
+    return name
+
+
+class _RegionCompiler:
+    """Generates the trace closure for one loop region.
+
+    Calling convention of the generated function::
+
+        fn(vm, frame, stack, f_locals, f_globals, thread, clock, mem,
+           fifo, gt, bget, c, churn, cb, cd, cdl, wdl, cpu, wall, g, line0,
+           mq)
+        -> (resume_pc, ops_executed, gt_ops, current_line)
+
+    ``mq`` ("memory quiet") is computed by the dispatch loop at trace
+    entry: the memory subsystem carries its default hooks and no fault
+    injector, so no allocator call can read or advance the clock. Under
+    ``mq`` the trace runs allocator work bare; otherwise every memory
+    touch is bracketed by a clock writeback and a safepoint.
+
+    All parameters are the dispatch loop's own hoisted locals; the return
+    tuple is merged back into them, after which control falls into the
+    loop's eval-breaker block — so a trace exit is indistinguishable from
+    the interpreter having just finished the instruction before
+    ``resume_pc``.
+    """
+
+    def __init__(self, code, entries, start: int, end: int, entry_pc: int, depths: List[int]) -> None:
+        self.code = code
+        self.entries = entries
+        self.start = start
+        self.end = end
+        self.entry_pc = entry_pc
+        self.depths = depths
+        self.namespace: Dict[str, Any] = {
+            "_SL": SimList,
+            "_SD": SimDict,
+            "_HB": HeapBacked,
+            "_EXH": _EXHAUSTED,
+            "_MISS": _MISSING,
+            "_NUM": _NUM_CLASSES,
+        }
+        self.em = _Emitter()
+        # compile-time accounting since the last sync point
+        self.pending_k = 0
+        self.pending_g = 0
+        #: Deferred module-scope ``_globals_version`` bumps (STORE_NAME);
+        #: folded into the version at every sync point. Mid-trace staleness
+        #: is unobservable: module-level loads hit f_locals (is f_globals)
+        #: before the cache, and ``global``-declared stores bump inline.
+        self.pending_v = 0
+        self.static_line: Optional[int] = None
+        self.uses_alloc = False
+        self.uses_mod = False
+        self.uses_flget = False
+        #: Names resolved once in the prologue into ``_n_*`` registers.
+        self.hoisted: Set[str] = set()
+        #: Subset of ``hoisted`` whose register mirrors the f_locals entry
+        #: (names the region stores; prologue bails unless f_locals holds
+        #: them, so stores can read the displaced value from the register).
+        self.hoisted_local: Set[str] = set()
+        # per-block dataflow state (reset at every block leader)
+        self.types: Dict[int, Optional[str]] = {}
+        self.consts: Dict[int, Any] = {}
+        self.alias: Dict[int, str] = {}
+        self.block_regs: Set[str] = set()
+        self.reg_types: Dict[str, Optional[str]] = {}
+
+    # -- structure ----------------------------------------------------------
+
+    def _leaders(self) -> List[int]:
+        leaders: Set[int] = {self.entry_pc, self.start}
+        instrs = self.code.instructions
+        for pc in range(self.start, self.end + 1):
+            instr = instrs[pc]
+            opcode = instr.opcode
+            if opcode in (
+                op.JUMP,
+                op.POP_JUMP_IF_FALSE,
+                op.POP_JUMP_IF_TRUE,
+                op.JUMP_IF_FALSE_OR_POP,
+                op.JUMP_IF_TRUE_OR_POP,
+                op.FOR_ITER,
+            ):
+                target = instr.arg
+                if self.start <= target <= self.end:
+                    leaders.add(target)
+        return sorted(leaders)
+
+    def _reachable(self, leaders: List[int], block_of: Dict[int, int]) -> List[int]:
+        """Blocks reachable from the entry along normal (non-exception)
+        edges, as a sorted list of leader pcs."""
+        instrs = self.code.instructions
+        succ: Dict[int, List[int]] = {}
+        bounds = leaders + [self.end + 1]
+        for i, lead in enumerate(leaders):
+            last = bounds[i + 1] - 1
+            out: List[int] = []
+            for pc in range(lead, last + 1):
+                instr = instrs[pc]
+                opcode = instr.opcode
+                is_last = pc == last
+                if opcode == op.JUMP:
+                    if self.start <= instr.arg <= self.end:
+                        out.append(instr.arg)
+                    break
+                if opcode in (
+                    op.POP_JUMP_IF_FALSE,
+                    op.POP_JUMP_IF_TRUE,
+                    op.JUMP_IF_FALSE_OR_POP,
+                    op.JUMP_IF_TRUE_OR_POP,
+                    op.FOR_ITER,
+                ):
+                    if self.start <= instr.arg <= self.end:
+                        out.append(instr.arg)
+                if opcode == op.RETURN_VALUE:
+                    break
+                if is_last and pc + 1 <= self.end:
+                    out.append(pc + 1)
+            succ[lead] = out
+        seen: Set[int] = set()
+        work = [self.entry_pc]
+        while work:
+            lead = work.pop()
+            if lead in seen:
+                continue
+            seen.add(lead)
+            for nxt in succ.get(lead, []):
+                if nxt not in seen:
+                    work.append(nxt)
+        return sorted(seen)
+
+    def _max_ops(self, reachable: List[int], leaders: List[int]) -> int:
+        """Longest acyclic op path through the region (backward edges cut:
+        every backward transfer re-checks the budget)."""
+        instrs = self.code.instructions
+        bounds = leaders + [self.end + 1]
+        size = {}
+        fwd: Dict[int, List[int]] = {}
+        for i, lead in enumerate(leaders):
+            if lead not in reachable:
+                continue
+            last = bounds[i + 1] - 1
+            count = 0
+            out: List[int] = []
+            for pc in range(lead, last + 1):
+                count += 1
+                instr = instrs[pc]
+                opcode = instr.opcode
+                if opcode == op.JUMP:
+                    if self.start <= instr.arg <= self.end and instr.arg > pc:
+                        out.append(instr.arg)
+                    break
+                if opcode in (
+                    op.POP_JUMP_IF_FALSE,
+                    op.POP_JUMP_IF_TRUE,
+                    op.JUMP_IF_FALSE_OR_POP,
+                    op.JUMP_IF_TRUE_OR_POP,
+                    op.FOR_ITER,
+                ):
+                    if self.start <= instr.arg <= self.end and instr.arg > pc:
+                        out.append(instr.arg)
+                if pc == last and pc + 1 <= self.end:
+                    out.append(pc + 1)
+            size[lead] = count
+            fwd[lead] = out
+        longest: Dict[int, int] = {}
+        for lead in sorted(size, reverse=True):
+            best = 0
+            for nxt in fwd.get(lead, []):
+                best = max(best, longest.get(nxt, 0))
+            longest[lead] = size[lead] + best
+        return max(longest.values(), default=1)
+
+    # -- emission helpers ---------------------------------------------------
+
+    def _emit_sync_snapshot(self, extra: int) -> None:
+        """Fold pending static op counts (plus ``extra`` for the op being
+        emitted, when it has completed) into the runtime counters, without
+        mutating compiler state — safe inside conditional branches; the
+        fallthrough path keeps accumulating the same pending counts."""
+        n = self.pending_k + extra
+        if n:
+            self.em.line(f"k += {n}")
+        m = self.pending_g + extra
+        if m:
+            self.em.line("if gt is not None:")
+            self.em.indent()
+            self.em.line(f"g += {m}")
+            self.em.dedent()
+        if self.pending_v:
+            self.em.line("if _mod:")
+            self.em.indent()
+            self.em.line(f"vm._globals_version += {self.pending_v}")
+            self.em.dedent()
+
+    def _stack_expr(self, depth: int) -> str:
+        slots = ", ".join(f"s{j}" for j in range(self.base, depth))
+        return f"[{slots}]" if slots else "[]"
+
+    def _emit_exit(
+        self,
+        target_pc: int,
+        depth: int,
+        deopt: bool,
+        extra: int,
+        synced_clock: bool = False,
+    ) -> None:
+        """Write all state back and return control to the interpreter with
+        ``resume_pc = target_pc`` (current depth ``depth``). ``extra`` is 1
+        when the current op completed before this exit (safepoints), 0 when
+        it did not (deopts — the interpreter re-executes it)."""
+        em = self.em
+        self._emit_sync_snapshot(extra)
+        em.line(f"stack[_base:] = {self._stack_expr(depth)}")
+        if not synced_clock:
+            em.line("clock._cpu = cpu")
+            em.line("clock._wall = wall")
+        if deopt:
+            em.line("_T.deopts += 1")
+        em.line(f"return ({target_pc}, k, g, _line)")
+
+    def _emit_deopt(self, pc: int, depth: int) -> None:
+        self._emit_exit(pc, depth, deopt=True, extra=0)
+
+    def _emit_flush_line(self, lineno: int) -> None:
+        em = self.em
+        if self.pending_g:
+            em.line("if gt is not None:")
+            em.indent()
+            em.line(f"g += {self.pending_g}")
+            em.dedent()
+            self.pending_g = 0
+        em.line("if g:")
+        em.indent()
+        em.line("gt.record_python_time(thread, g * c)")
+        em.line("g = 0")
+        em.dedent()
+        em.line(f"frame.lineno = {lineno}")
+        em.line(f"_line = {lineno}")
+
+    def _emit_line_bookkeeping(self, lineno: int) -> None:
+        if self.static_line is None:
+            self.em.line(f"if _line != {lineno}:")
+            self.em.indent()
+            self._emit_flush_line(lineno)
+            self.em.dedent()
+        elif lineno != self.static_line:
+            self._emit_flush_line(lineno)
+        self.static_line = lineno
+
+    def _emit_charge(self) -> None:
+        self.em.line("cpu += c")
+        self.em.line("wall += c")
+
+    def _emit_mem_op(self, emit_body, next_pc: int, depth_after: int) -> None:
+        """An operation that reaches the memory subsystem. In quiet mode
+        (``mq``: default hooks, no fault injector — so the allocator
+        provably never reads or advances the clock) the body runs bare.
+        Otherwise it is bracketed by a clock writeback and a safepoint:
+        hooks may have charged overhead, so the clock is reloaded and the
+        trace exits at this boundary whenever the rest of the region could
+        cross a deadline — the interpreter then re-executes the remaining
+        ops under its per-op eval breaker, delivering at the exact op
+        boundary the interpreter-only tier would."""
+        em = self.em
+        em.line("if mq:")
+        em.indent()
+        emit_body()
+        em.dedent()
+        em.line("else:")
+        em.indent()
+        self._emit_clock_writeback()
+        emit_body()
+        self._emit_mem_safepoint(next_pc, depth_after)
+        em.dedent()
+
+    def _emit_churn(self, next_pc: int, depth_after: int) -> None:
+        """The inlined churn allocation (identical to the dispatch loop's),
+        as a memory op (safepointed unless quiet)."""
+        self.uses_alloc = True
+        em = self.em
+        em.line("if churn:")
+        em.indent()
+
+        def body() -> None:
+            em.line("fifo.append(py_alloc(cb, thread))")
+            em.line("if len(fifo) > cd:")
+            em.indent()
+            em.line("py_free(fifo.popleft(), thread)")
+            em.dedent()
+
+        self._emit_mem_op(body, next_pc, depth_after)
+        em.dedent()
+
+    def _emit_mem_safepoint(self, next_pc: int, depth_after: int) -> None:
+        # The margin matters: hooks advance the clock by amounts the
+        # backward-jump budget never sees, and the plain ops between here
+        # and the next checkpoint carry no deadline checks of their own.
+        # Exiting whenever the remaining region *could* cross keeps every
+        # crossing op boundary on the interpreter, where the eval breaker
+        # delivers at the exact same op as the interpreter-only tier.
+        em = self.em
+        em.line("cpu = clock._cpu")
+        em.line("wall = clock._wall")
+        em.line("if cpu + _m >= cdl or wall + _m >= wdl:")
+        em.indent()
+        self._emit_exit(next_pc, depth_after, deopt=False, extra=1, synced_clock=True)
+        em.dedent()
+
+    def _emit_clock_writeback(self) -> None:
+        self.em.line("clock._cpu = cpu")
+        self.em.line("clock._wall = wall")
+
+    # -- per-block dataflow --------------------------------------------------
+
+    def _reset_block_state(self) -> None:
+        self.pending_k = 0
+        self.pending_g = 0
+        self.pending_v = 0
+        self.static_line = None
+        self.types.clear()
+        self.consts.clear()
+        self.alias.clear()
+        # Hoisted registers stay warm across blocks: the prologue resolved
+        # them, and every STORE_NAME refreshes its register. Type facts do
+        # NOT survive the block boundary (conservative merge).
+        self.block_regs = set(self.hoisted)
+        self.reg_types.clear()
+
+    def _hoistable(
+        self, reachable: List[int], spans: Dict[int, int]
+    ) -> Tuple[Set[str], Set[str]]:
+        """``(loaded, stored)`` non-``global`` names of the region: names
+        resolvable once at trace entry and forwarded from registers
+        thereafter. Sound because only STORE_NAME can mutate a namespace
+        inside a trace: non-``global`` stores write f_locals and refresh the
+        register, ``global``-declared names are excluded entirely, and
+        builtins are immutable here — so the register always equals what the
+        interpreter's LOAD_NAME resolution would produce. A name missing at
+        entry makes the trace bail before executing anything (the
+        interpreter then runs the region and raises NameError at the right
+        pc, or defines the name first — either way observably identical).
+
+        Stored names carry a stronger prologue requirement: resolution must
+        hit f_locals (else the trace bails), so their register also mirrors
+        the f_locals entry — which is exactly the old value STORE_NAME
+        displaces, letting stores skip the namespace read."""
+        instrs = self.code.instructions
+        gnames = self.code.global_names
+        loaded: Set[str] = set()
+        stored: Set[str] = set()
+        for lead in reachable:
+            for pc in range(lead, spans[lead] + 1):
+                instr = instrs[pc]
+                if instr.opcode == op.LOAD_NAME and instr.arg not in gnames:
+                    loaded.add(instr.arg)
+                elif instr.opcode == op.STORE_NAME and instr.arg not in gnames:
+                    stored.add(instr.arg)
+                elif instr.opcode == op.JUMP:
+                    break
+        return loaded, stored
+
+    def _set_slot(self, idx: int, tag: Optional[str], const: Any = _MISSING) -> None:
+        """Record the dataflow facts for a freshly written stack slot."""
+        self.types[idx] = tag
+        if const is _MISSING:
+            self.consts.pop(idx, None)
+        else:
+            self.consts[idx] = const
+        self.alias.pop(idx, None)
+
+    def _propagate(self, slot: int, tag: str) -> None:
+        """A passed guard proved the value in ``slot`` carries ``tag``;
+        refine the slot and any register aliasing the same value."""
+        self.types[slot] = _refine(self.types.get(slot), tag)
+        name = self.alias.get(slot)
+        if name is not None and name in self.block_regs:
+            self.reg_types[name] = _refine(self.reg_types.get(name), tag)
+
+    def _emit_transfer(
+        self, from_pc: int, target: int, depth: int, block_ids: Dict[int, int], extra: int
+    ) -> None:
+        """Jump to ``target``: a block transfer when in-region (with a
+        budget re-check on backward edges), otherwise a region exit.
+        ``extra`` is 1 when emitted as part of a jump op (count it), 0 for
+        block fall-through."""
+        em = self.em
+        if self.start <= target <= self.end and target in block_ids:
+            if target <= from_pc:
+                em.line("if cpu + _m >= cdl or wall + _m >= wdl:")
+                em.indent()
+                self._emit_exit(target, depth, deopt=False, extra=extra)
+                em.dedent()
+            self._emit_sync_snapshot(extra)
+            em.line(f"_bb = {block_ids[target]}")
+            em.line("continue")
+        else:
+            self._emit_exit(target, depth, deopt=False, extra=extra)
+
+    # -- per-op emission ----------------------------------------------------
+
+    def _emit_op(self, pc: int, block_ids: Dict[int, int]) -> bool:
+        """Emit one instruction; returns True when the op terminated the
+        block (unconditional transfer or region exit)."""
+        instrs = self.code.instructions
+        instr = instrs[pc]
+        opcode = instr.opcode
+        arg = instr.arg
+        d = self.depths[pc]
+        em = self.em
+
+        self._emit_line_bookkeeping(instr.lineno)
+
+        if opcode == op.LOAD_CONST:
+            entry_arg = self.entries[pc][1]  # pre-resolved constant
+            self._emit_charge()
+            em.line(f"s{d} = {_const_expr(entry_arg, pc, self.namespace)}")
+            cls = entry_arg.__class__
+            if cls is bool or cls is int:
+                tag: Optional[str] = "int"
+            elif cls is float:
+                tag = "num"
+            elif cls is str:
+                tag = "str"
+            elif entry_arg is None or cls is tuple:
+                tag = "nonhb"
+            else:
+                tag = None
+            self._set_slot(d, tag, entry_arg)
+
+        elif opcode == op.LOAD_NAME:
+            name = arg
+            if name in self.block_regs:
+                # Store-load forwarding: the register holds exactly what
+                # the namespace lookup would resolve (no NameError
+                # possible, so no deopt; the charge is unchanged).
+                self._emit_charge()
+                em.line(f"s{d} = _n_{name}")
+                self._set_slot(d, self.reg_types.get(name))
+                self.alias[d] = name
+                self.pending_k += 1
+                self.pending_g += 1
+                return False
+            cache_name = f"C{pc}"
+            self.namespace[cache_name] = self.entries[pc][4]
+            self.uses_flget = True
+            em.line(f"s{d} = flget({name!r}, _MISS)")
+            em.line(f"if s{d} is _MISS:")
+            em.indent()
+            em.line(f"_c = {cache_name}")
+            em.line("if _c[0] is f_globals and _c[1] == vm._globals_version:")
+            em.indent()
+            em.line(f"s{d} = _c[2]")
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            em.line(f"s{d} = f_globals.get({name!r}, _MISS)")
+            em.line(f"if s{d} is _MISS:")
+            em.indent()
+            em.line(f"s{d} = bget({name!r}, _MISS)")
+            em.line(f"if s{d} is _MISS:")
+            em.indent()
+            self._emit_deopt(pc, d)  # NameError: re-raised by the interpreter
+            em.dedent()
+            em.dedent()
+            em.line("_c[0] = f_globals")
+            em.line("_c[1] = vm._globals_version")
+            em.line(f"_c[2] = s{d}")
+            em.dedent()
+            em.dedent()
+            self._emit_charge()
+            self._set_slot(d, None)
+
+        elif opcode == op.STORE_NAME:
+            name = arg
+            value = f"s{d - 1}"
+            vtag = self.types.get(d - 1)
+            if name in self.code.global_names:
+                # ``global``-declared: unforwarded slow path with an
+                # inline version bump (a later cached load of this name
+                # must observe the invalidation immediately).
+                self._emit_charge()
+                em.line(f"_o = f_globals.get({name!r})")
+                if _is_nonhb(vtag):
+                    em.line(f"f_globals[{name!r}] = {value}")
+                    em.line("vm._globals_version += 1")
+                    em.line("if isinstance(_o, _HB):")
+                    em.indent()
+                    self._emit_mem_op(lambda: em.line("_o.decref()"), pc + 1, d - 1)
+                    em.dedent()
+                else:
+                    em.line(f"if isinstance({value}, _HB):")
+                    em.indent()
+                    em.line(f"{value}.rc += 1")
+                    em.dedent()
+                    em.line(f"f_globals[{name!r}] = {value}")
+                    em.line("vm._globals_version += 1")
+                    em.line(f"if _o is not None and _o is not {value}:")
+                    em.indent()
+                    em.line("if isinstance(_o, _HB):")
+                    em.indent()
+                    self._emit_mem_op(lambda: em.line("_o.decref()"), pc + 1, d - 1)
+                    em.dedent()
+                    em.dedent()
+            else:
+                self.uses_mod = True
+                # Deferred bump: folded into _globals_version (under _mod)
+                # at the next sync point; incremented before emission so
+                # any exit inside this op includes the completed store.
+                self.pending_v += 1
+                self._emit_charge()
+                # The register mirrors the f_locals entry (prologue bails
+                # otherwise), so the displaced value is read without a
+                # namespace lookup; the per-block lattice often knows it
+                # (and the stored value) cannot be heap-backed.
+                otag = self.reg_types.get(name)
+                em.line(f"_o = _n_{name}")
+                if not _is_nonhb(vtag):
+                    em.line(f"if isinstance({value}, _HB):")
+                    em.indent()
+                    em.line(f"{value}.rc += 1")
+                    em.dedent()
+                em.line(f"f_locals[{name!r}] = {value}")
+                em.line(f"_n_{name} = {value}")
+                self.block_regs.add(name)
+                self.reg_types[name] = vtag
+                if not _is_nonhb(otag):
+                    em.line(f"if _o is not {value} and isinstance(_o, _HB):")
+                    em.indent()
+                    self._emit_mem_op(lambda: em.line("_o.decref()"), pc + 1, d - 1)
+                    em.dedent()
+
+        elif opcode == op.BINARY_OP:
+            left, right = f"s{d - 2}", f"s{d - 1}"
+            lt, rt = self.types.get(d - 2), self.types.get(d - 1)
+            rconst = self.consts.get(d - 1, _MISSING)
+
+            def guard(cond: str) -> None:
+                em.line(f"if {cond}:")
+                em.indent()
+                self._emit_deopt(pc, d)
+                em.dedent()
+
+            res: Optional[str] = None
+            if arg == "+":
+                if _is_num(lt) and _is_num(rt):
+                    res = "int" if _is_int(lt) and _is_int(rt) else "num"
+                elif lt == "str" and rt == "str":
+                    res = "str"
+                else:
+                    if _is_num(lt):
+                        guard(f"{right}.__class__ not in _NUM")
+                        res = "num"
+                    elif _is_num(rt):
+                        guard(f"{left}.__class__ not in _NUM")
+                        res = "num"
+                    elif lt == "str":
+                        guard(f"{right}.__class__ is not str")
+                        res = "str"
+                    elif rt == "str":
+                        guard(f"{left}.__class__ is not str")
+                        res = "str"
+                    else:
+                        guard(
+                            f"not (({left}.__class__ in _NUM and {right}.__class__ in _NUM)"
+                            f" or ({left}.__class__ is str and {right}.__class__ is str))"
+                        )
+                        res = "nonhb"
+                    self._propagate(d - 2, res if res != "nonhb" else "nonhb")
+                    self._propagate(d - 1, res if res != "nonhb" else "nonhb")
+            elif arg in ("-", "*"):
+                if not (_is_num(lt) and _is_num(rt)):
+                    if _is_num(lt):
+                        guard(f"{right}.__class__ not in _NUM")
+                    elif _is_num(rt):
+                        guard(f"{left}.__class__ not in _NUM")
+                    else:
+                        guard(f"not ({left}.__class__ in _NUM and {right}.__class__ in _NUM)")
+                    self._propagate(d - 2, "num")
+                    self._propagate(d - 1, "num")
+                res = "int" if _is_int(lt) and _is_int(rt) else "num"
+            elif arg in ("/", "//", "%"):
+                nz = (
+                    rconst is not _MISSING
+                    and rconst.__class__ in _NUM_CLASSES
+                    and rconst != 0
+                )
+                if rconst is not _MISSING and rconst.__class__ in _NUM_CLASSES and rconst == 0:
+                    self._emit_deopt(pc, d)  # unconditional ZeroDivisionError
+                    return True
+                conds = []
+                if not (_is_num(lt) and _is_num(rt)):
+                    if _is_num(lt):
+                        conds.append(f"{right}.__class__ not in _NUM")
+                    elif _is_num(rt):
+                        conds.append(f"{left}.__class__ not in _NUM")
+                    else:
+                        conds.append(
+                            f"not ({left}.__class__ in _NUM and {right}.__class__ in _NUM)"
+                        )
+                if not nz:
+                    conds.append(f"{right} == 0")
+                if conds:
+                    guard(" or ".join(conds))
+                    self._propagate(d - 2, "num")
+                    self._propagate(d - 1, "num")
+                if arg == "/":
+                    res = "num"
+                else:
+                    res = "int" if _is_int(lt) and _is_int(rt) else "num"
+            elif arg in ("&", "|", "^"):
+                if not (_is_int(lt) and _is_int(rt)):
+                    if _is_int(lt):
+                        guard(f"not ({right}.__class__ is int or {right}.__class__ is bool)")
+                    elif _is_int(rt):
+                        guard(f"not ({left}.__class__ is int or {left}.__class__ is bool)")
+                    else:
+                        guard(
+                            f"not (({left}.__class__ is int or {left}.__class__ is bool)"
+                            f" and ({right}.__class__ is int or {right}.__class__ is bool))"
+                        )
+                    self._propagate(d - 2, "int")
+                    self._propagate(d - 1, "int")
+                res = "int"
+            elif arg in ("<<", ">>"):
+                nonneg = (
+                    rconst is not _MISSING
+                    and (rconst.__class__ is int or rconst.__class__ is bool)
+                    and rconst >= 0
+                )
+                conds = []
+                if not _is_int(lt):
+                    conds.append(f"not ({left}.__class__ is int or {left}.__class__ is bool)")
+                if not _is_int(rt):
+                    conds.append(f"not ({right}.__class__ is int or {right}.__class__ is bool)")
+                if not nonneg:
+                    conds.append(f"{right} < 0")
+                if conds:
+                    guard(" or ".join(conds))
+                    self._propagate(d - 2, "int")
+                    self._propagate(d - 1, "int")
+                res = "int"
+            else:  # ** and anything exotic: always back to the interpreter
+                self._emit_deopt(pc, d)
+                return True
+            self._emit_charge()
+            em.line(f"{left} = {left} {arg} {right}")
+            self._set_slot(d - 2, res)
+            self._emit_churn(pc + 1, d - 1)
+
+        elif opcode == op.COMPARE_OP:
+            left, right = f"s{d - 2}", f"s{d - 1}"
+            lt, rt = self.types.get(d - 2), self.types.get(d - 1)
+            if arg in ("==", "!="):
+                self._emit_charge()
+                em.line(f"{left} = {left} {arg} {right}")
+            elif arg == "is":
+                self._emit_charge()
+                em.line(f"{left} = {left} is {right}")
+            elif arg == "is not":
+                self._emit_charge()
+                em.line(f"{left} = {left} is not {right}")
+            elif arg in ("<", "<=", ">", ">="):
+                if (_is_num(lt) and _is_num(rt)) or (lt == "str" and rt == "str"):
+                    pass
+                elif _is_num(lt):
+                    em.line(f"if {right}.__class__ not in _NUM:")
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 1, "num")
+                elif _is_num(rt):
+                    em.line(f"if {left}.__class__ not in _NUM:")
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 2, "num")
+                elif lt == "str":
+                    em.line(f"if {right}.__class__ is not str:")
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 1, "str")
+                elif rt == "str":
+                    em.line(f"if {left}.__class__ is not str:")
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 2, "str")
+                else:
+                    em.line(
+                        f"if not (({left}.__class__ in _NUM and {right}.__class__ in _NUM)"
+                        f" or ({left}.__class__ is str and {right}.__class__ is str)):"
+                    )
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 2, "nonhb")
+                    self._propagate(d - 1, "nonhb")
+                self._emit_charge()
+                em.line(f"{left} = {left} {arg} {right}")
+            elif arg in ("in", "not in"):
+                em.line(f"_cls = {right}.__class__")
+                em.line("if _cls is not _SD and _cls is not _SL:")
+                em.indent()
+                self._emit_deopt(pc, d)
+                em.dedent()
+                self._emit_charge()
+                em.line("if _cls is _SD:")
+                em.indent()
+                em.line(f"{left} = {left} in {right}.data")
+                em.dedent()
+                em.line("else:")
+                em.indent()
+                em.line(f"{left} = {left} in {right}.items")
+                em.dedent()
+                if arg == "not in":
+                    em.line(f"{left} = not {left}")
+            else:
+                raise _Unsupported(f"COMPARE_OP {arg!r}")
+            self._set_slot(d - 2, "int")
+
+        elif opcode == op.UNARY_OP:
+            v = f"s{d - 1}"
+            vt = self.types.get(d - 1)
+            if arg == "not":
+                self._emit_charge()
+                em.line(f"{v} = not {v}")
+                res: Optional[str] = "int"
+            elif arg in ("-", "+"):
+                if not _is_num(vt):
+                    em.line(f"if {v}.__class__ not in _NUM:")
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 1, "num")
+                self._emit_charge()
+                em.line(f"{v} = {arg}{v}")
+                res = "int" if _is_int(vt) else "num"
+            elif arg == "~":
+                if not _is_int(vt):
+                    em.line(f"if not ({v}.__class__ is int or {v}.__class__ is bool):")
+                    em.indent()
+                    self._emit_deopt(pc, d)
+                    em.dedent()
+                    self._propagate(d - 1, "int")
+                self._emit_charge()
+                em.line(f"{v} = ~{v}")
+                res = "int"
+            else:
+                raise _Unsupported(f"UNARY_OP {arg!r}")
+            self._set_slot(d - 1, res)
+            self._emit_churn(pc + 1, d)
+
+        elif opcode == op.POP_JUMP_IF_FALSE or opcode == op.POP_JUMP_IF_TRUE:
+            self._emit_charge()
+            cond = "not " if opcode == op.POP_JUMP_IF_FALSE else ""
+            em.line(f"if {cond}s{d - 1}:")
+            em.indent()
+            self._emit_transfer(pc, arg, d - 1, block_ids, extra=1)
+            em.dedent()
+
+        elif opcode == op.JUMP_IF_FALSE_OR_POP or opcode == op.JUMP_IF_TRUE_OR_POP:
+            self._emit_charge()
+            cond = "not " if opcode == op.JUMP_IF_FALSE_OR_POP else ""
+            em.line(f"if {cond}s{d - 1}:")
+            em.indent()
+            self._emit_transfer(pc, arg, d, block_ids, extra=1)
+            em.dedent()
+
+        elif opcode == op.JUMP:
+            self._emit_charge()
+            self._emit_transfer(pc, arg, d, block_ids, extra=1)
+            return True
+
+        elif opcode == op.FOR_ITER:
+            self._emit_charge()
+            em.line(f"_t = next(s{d - 1}, _EXH)")
+            em.line("if _t is _EXH:")
+            em.indent()
+            self._emit_transfer(pc, arg, d - 1, block_ids, extra=1)
+            em.dedent()
+            em.line(f"s{d} = _t")
+            self._set_slot(d, None)
+
+        elif opcode == op.GET_ITER:
+            v = f"s{d - 1}"
+            em.line(f"_cls = {v}.__class__")
+            em.line(
+                "if not (_cls is _SL or _cls is _SD or _cls is range"
+                " or _cls is str or _cls is tuple or _cls is list):"
+            )
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            em.line("if _cls is _SL:")
+            em.indent()
+            em.line(f"{v} = iter(list({v}.items))")
+            em.dedent()
+            em.line("elif _cls is _SD:")
+            em.indent()
+            em.line(f"{v} = iter(list({v}.data.keys()))")
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            em.line(f"{v} = iter({v})")
+            em.dedent()
+            self._set_slot(d - 1, "nonhb")  # host iterator object
+
+        elif opcode == op.POP_TOP:
+            v = f"s{d - 1}"
+            self._emit_charge()
+            if not _is_nonhb(self.types.get(d - 1)):
+                em.line(f"if isinstance({v}, _HB):")
+                em.indent()
+                self._emit_mem_op(
+                    lambda: em.line(f"{v}.release_if_floating()"), pc + 1, d - 1
+                )
+                em.dedent()
+
+        elif opcode == op.BINARY_SUBSCR:
+            cont, idx = f"s{d - 2}", f"s{d - 1}"
+            # A proven-int index skips the class check (bool indexes the
+            # same element either way; only the deopt-vs-execute choice
+            # differs, which is unobservable by construction).
+            idx_cls = "" if _is_int(self.types.get(d - 1)) else f"{idx}.__class__ is not int or "
+            em.line(f"_cls = {cont}.__class__")
+            em.line("if _cls is _SL:")
+            em.indent()
+            em.line(f"_L = {cont}.items")
+            em.line(f"if {idx_cls}not (-len(_L) <= {idx} < len(_L)):")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            em.dedent()
+            em.line("elif _cls is _SD:")
+            em.indent()
+            em.line(f"if {idx} not in {cont}.data:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            em.dedent()
+            em.line("elif _cls is tuple or _cls is str:")
+            em.indent()
+            em.line(f"if {idx_cls}not (-len({cont}) <= {idx} < len({cont})):")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            em.line("if _cls is _SL:")
+            em.indent()
+            em.line(f"{cont} = {cont}.items[{idx}]")
+            em.dedent()
+            em.line("elif _cls is _SD:")
+            em.indent()
+            em.line(f"{cont} = {cont}.data[{idx}]")
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            em.line(f"{cont} = {cont}[{idx}]")
+            em.dedent()
+            self._set_slot(d - 2, None)
+
+        elif opcode == op.STORE_SUBSCR:
+            value, cont, idx = f"s{d - 3}", f"s{d - 2}", f"s{d - 1}"
+            vtag = self.types.get(d - 3)
+            idx_cls = "" if _is_int(self.types.get(d - 1)) else f"{idx}.__class__ is not int or "
+            em.line(f"_cls = {cont}.__class__")
+            em.line("if _cls is _SL:")
+            em.indent()
+            em.line(f"_L = {cont}.items")
+            em.line(f"if {idx_cls}not (-len(_L) <= {idx} < len(_L)):")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            em.dedent()
+            em.line("elif _cls is not _SD:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            em.line("if _cls is _SL:")
+            em.indent()
+            em.line(f"_o = {cont}.items[{idx}]")
+            if _is_nonhb(vtag):
+                em.line("if isinstance(_o, _HB):")
+            else:
+                em.line(f"if isinstance({value}, _HB) or isinstance(_o, _HB):")
+            em.indent()
+            self._emit_mem_op(
+                lambda: em.line(f"{cont}.setitem({idx}, {value})"), pc + 1, d - 3
+            )
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            em.line(f"{cont}.items[{idx}] = {value}")
+            em.dedent()
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            self._emit_mem_op(
+                lambda: em.line(f"{cont}.setitem({idx}, {value})"), pc + 1, d - 3
+            )
+            em.dedent()
+
+        elif opcode == op.LOAD_ATTR or opcode == op.LOAD_METHOD:
+            # Monomorphized from the interpreter's inline cache: a cache
+            # miss (new receiver, invalidated entry) deopts and lets the
+            # interpreter re-resolve and re-fill.
+            cache_name = f"C{pc}"
+            self.namespace[cache_name] = self.entries[pc][4]
+            obj = f"s{d - 1}"
+            em.line(f"_c = {cache_name}")
+            em.line(f"if _c[0] is not {obj}:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            em.line(f"{obj} = _c[1]")
+            self._set_slot(d - 1, None)
+
+        elif opcode == op.BUILD_LIST:
+            items = ", ".join(f"s{j}" for j in range(d - arg, d))
+            self._emit_charge()
+            self._emit_mem_op(
+                lambda: em.line(f"s{d - arg} = _SL(mem, [{items}], thread)"),
+                pc + 1,
+                d - arg + 1,
+            )
+            self._set_slot(d - arg, None)
+
+        elif opcode == op.BUILD_TUPLE:
+            if arg == 0:
+                expr = "()"
+            elif arg == 1:
+                expr = f"(s{d - 1},)"
+            else:
+                expr = "(" + ", ".join(f"s{j}" for j in range(d - arg, d)) + ")"
+            self._emit_charge()
+            em.line(f"s{d - arg} = {expr}")
+            self._set_slot(d - arg, "nonhb")
+            self._emit_churn(pc + 1, d - arg + 1)
+
+        elif opcode == op.LIST_APPEND:
+            acc = f"s{d - 1 - arg}"
+            v = f"s{d - 1}"
+            em.line(f"if {acc}.__class__ is not _SL:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            self._emit_mem_op(lambda: em.line(f"{acc}.append({v})"), pc + 1, d - 1)
+
+        elif opcode == op.UNPACK_SEQUENCE:
+            v = f"s{d - 1}"
+            em.line(f"_cls = {v}.__class__")
+            em.line("if _cls is _SL:")
+            em.indent()
+            em.line(f"_t = {v}.items")
+            em.dedent()
+            em.line("elif _cls is tuple or _cls is list:")
+            em.indent()
+            em.line(f"_t = {v}")
+            em.dedent()
+            em.line("else:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            em.line(f"if len(_t) != {arg}:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            for j in range(arg):
+                em.line(f"s{d - 1 + j} = _t[{arg - 1 - j}]")
+                self._set_slot(d - 1 + j, None)
+
+        elif opcode == op.SETUP_EXCEPT:
+            self._emit_charge()
+            em.line("_bs = frame.block_stack")
+            em.line("if _bs is None:")
+            em.indent()
+            em.line("_bs = frame.block_stack = []")
+            em.dedent()
+            em.line(f"_bs.append(({arg}, {d}))")
+
+        elif opcode == op.POP_BLOCK:
+            em.line("if not frame.block_stack:")
+            em.indent()
+            self._emit_deopt(pc, d)
+            em.dedent()
+            self._emit_charge()
+            em.line("frame.block_stack.pop()")
+
+        elif opcode == op.NOP:
+            self._emit_charge()
+
+        else:
+            raise _Unsupported(opcode)
+
+        self.pending_k += 1
+        self.pending_g += 1
+        return False
+
+    # -- driver -------------------------------------------------------------
+
+    def compile(self) -> Optional[CompiledTrace]:
+        depths = self.depths
+        leaders = self._leaders()
+        block_of = {lead: i for i, lead in enumerate(leaders)}
+        reachable = self._reachable(leaders, block_of)
+        if self.entry_pc not in reachable:
+            return None
+        instrs = self.code.instructions
+
+        # Every reachable pc must have a known depth; the slot base is the
+        # lowest slot index any reachable op *accesses* (LIST_APPEND and
+        # multi-pop ops reach below their own pc depth — e.g. a
+        # comprehension's accumulator lives under the loop iterator).
+        bounds = leaders + [self.end + 1]
+        spans = {lead: bounds[i + 1] - 1 for i, lead in enumerate(leaders)}
+        min_slot = depths[self.entry_pc]
+        for lead in reachable:
+            for pc in range(lead, spans[lead] + 1):
+                if depths[pc] is None:
+                    return None
+                min_slot = min(min_slot, _access_floor(instrs[pc], depths[pc]))
+        self.base = max(0, min_slot)
+        entry_depth = depths[self.entry_pc]
+
+        block_ids = {lead: i for i, lead in enumerate(sorted(reachable))}
+        max_ops = self._max_ops(sorted(reachable), leaders)
+        loaded, stored = self._hoistable(sorted(reachable), spans)
+        self.hoisted = loaded | stored
+        self.hoisted_local = stored
+
+        em = self.em
+        em.line(
+            "def _trace(vm, frame, stack, f_locals, f_globals, thread, clock, mem,"
+            " fifo, gt, bget, c, churn, cb, cd, cdl, wdl, cpu, wall, g, line0, mq):"
+        )
+        em.indent()
+        em.line(f"if len(stack) != {entry_depth}:")
+        em.indent()
+        em.line(f"return ({self.entry_pc}, 0, g, line0)")
+        em.dedent()
+        em.line(f"_base = len(stack) - {entry_depth - self.base}")
+        for j in range(self.base, entry_depth):
+            em.line(f"s{j} = stack[_base + {j - self.base}]")
+        em.line("k = 0")
+        em.line("_line = line0")
+        em.line(f"_m = {max_ops + 1} * c")
+        prologue_mark = len(em.lines)
+        if self.hoisted:
+            # Resolve each register once, with full LOAD_NAME semantics
+            # minus the inline cache (a valid cache hit equals the direct
+            # f_globals read, so skipping it is value-identical). An
+            # unresolvable name bails before executing anything; repeated
+            # bails retire the region through the deopt limit.
+            self.uses_flget = True
+            for name in sorted(self.hoisted):
+                em.line(f"_n_{name} = flget({name!r}, _MISS)")
+                em.line(f"if _n_{name} is _MISS:")
+                em.indent()
+                if name in self.hoisted_local:
+                    # Stored names must live in f_locals so the register
+                    # can double as the displaced-value mirror.
+                    em.line("_T.deopts += 1")
+                    em.line(f"return ({self.entry_pc}, 0, g, line0)")
+                else:
+                    em.line(f"_n_{name} = f_globals.get({name!r}, _MISS)")
+                    em.line(f"if _n_{name} is _MISS:")
+                    em.indent()
+                    em.line(f"_n_{name} = bget({name!r}, _MISS)")
+                    em.line(f"if _n_{name} is _MISS:")
+                    em.indent()
+                    em.line("_T.deopts += 1")
+                    em.line(f"return ({self.entry_pc}, 0, g, line0)")
+                    em.dedent()
+                    em.dedent()
+                em.dedent()
+        em.line(f"_bb = {block_ids[self.entry_pc]}")
+        em.line("while True:")
+        em.indent()
+
+        try:
+            first = True
+            for lead in sorted(reachable):
+                em.line(("if" if first else "elif") + f" _bb == {block_ids[lead]}:")
+                first = False
+                em.indent()
+                last = spans[lead]
+                self._reset_block_state()
+                terminated = False
+                pc = lead
+                while pc <= last:
+                    if self._emit_op(pc, block_ids):
+                        terminated = True
+                        break
+                    pc += 1
+                if not terminated:
+                    # fall through into the next block (or off the region end,
+                    # which cannot happen: regions end at their back jump)
+                    nxt = last + 1
+                    nxt_depth = depths[nxt] if nxt < len(depths) and depths[nxt] is not None else 0
+                    self._emit_transfer(last, nxt, nxt_depth, block_ids, extra=0)
+                em.dedent()
+        except _Unsupported:
+            return None
+
+        em.dedent()  # while
+        em.dedent()  # def
+
+        # Late prologue patches: helpers only when used.
+        extra = []
+        if self.uses_alloc:
+            extra.append("    py_alloc = mem.py_alloc")
+            extra.append("    py_free = mem.py_free")
+        if self.uses_mod:
+            extra.append("    _mod = f_locals is f_globals")
+        if self.uses_flget:
+            extra.append("    flget = f_locals.get")
+        if extra:
+            em.lines[prologue_mark:prologue_mark] = extra
+
+        source = "\n".join(em.lines) + "\n"
+        namespace = self.namespace
+        code_name = f"<jit {self.code.name}:{self.start}-{self.end}>"
+        try:
+            exec(compile(source, code_name, "exec"), namespace)
+        except SyntaxError:  # pragma: no cover - codegen bug guard
+            return None
+        trace = CompiledTrace(
+            namespace["_trace"],
+            self.start,
+            self.end,
+            self.entry_pc,
+            max_ops + 1,
+            source,
+            code_name,
+        )
+        namespace["_T"] = trace
+        return trace
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def compile_trace(code, entries, start: int):
+    """Compile (with memoization on the code object) the loop region headed
+    at instruction ``start``. Returns a :class:`CompiledTrace` or
+    :data:`JIT_FAILED`."""
+    regions = code._jit_regions
+    if regions is None:
+        regions = code._jit_regions = {}
+    cached = regions.get(start)
+    if cached is not None:
+        return cached
+    result: Any = JIT_FAILED
+    region = _find_region(code, start)
+    if region is not None:
+        depths = _stack_depths(code)
+        if depths is not None:
+            compiled = _RegionCompiler(code, entries, region[0], region[1], region[2], depths).compile()
+            if compiled is not None:
+                result = compiled
+    regions[start] = result
+    return result
+
+
+def iter_hit_cells(code):
+    """Yield ``(pc, cell)`` for every threaded entry carrying a hit cell
+    (loop headers and backward jumps). Requires built entries."""
+    entries = code._threaded
+    if entries is None:
+        return
+    for pc, entry in enumerate(entries):
+        cell = entry[5]
+        if cell is not None:
+            yield pc, cell
+
+
+def trace_at(code, start: int) -> Optional[CompiledTrace]:
+    """The compiled trace for the region headed at ``start`` (None when
+    not compiled or marked failed)."""
+    regions = code._jit_regions
+    if not regions:
+        return None
+    trace = regions.get(start)
+    return trace if isinstance(trace, CompiledTrace) else None
+
+
+def jit_stats(code) -> Dict[str, int]:
+    """Aggregate tier statistics for a code object (tests/diagnostics)."""
+    stats = {"hot_sites": 0, "compiled": 0, "failed": 0, "enters": 0, "deopts": 0}
+    for _pc, cell in iter_hit_cells(code):
+        if cell[1] is not None:
+            stats["hot_sites"] += 1
+    regions = code._jit_regions or {}
+    for trace in regions.values():
+        if isinstance(trace, CompiledTrace):
+            stats["compiled"] += 1
+            stats["enters"] += trace.enters
+            stats["deopts"] += trace.deopts
+        else:
+            stats["failed"] += 1
+    return stats

@@ -56,6 +56,60 @@ def test_clean_runs_are_also_deterministic(seed):
     assert _run(seed, spec) == _run(seed, spec)
 
 
+# ---------------------------------------------------------------------------
+# Trace-JIT tier: determinism must survive the second execution tier
+# ---------------------------------------------------------------------------
+
+
+def _run_tier(seed: int, spec: FaultSpec, jit_env: dict):
+    import os
+
+    saved = {key: os.environ.get(key) for key in jit_env}
+    try:
+        for key, value in jit_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        os.environ["REPRO_CODE_CACHE"] = "0"
+        return _run(seed, spec)
+    finally:
+        os.environ.pop("REPRO_CODE_CACHE", None)
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@pytest.mark.chaos
+@pytest.mark.jit
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_jit_runs_bit_identical_under_faults(seed):
+    """Same seed + same FaultSpec + JIT enabled ⇒ bit-identical runs:
+    the tier adds no hidden host-state dependence."""
+    spec = FaultSpec(seed=seed, signal_drop_rate=0.3)
+    env = {"REPRO_JIT": "1", "REPRO_JIT_THRESHOLD": "0"}
+    first = _run_tier(seed, spec, env)
+    second = _run_tier(seed, spec, env)
+    assert first == second
+
+
+@pytest.mark.chaos
+@pytest.mark.jit
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_jit_profile_counters_match_interpreter_under_faults(seed):
+    """On chaos workloads the JIT tier's profile counters equal the
+    interpreter tier's — faults force deopt-to-interpreter, so the two
+    tiers observe the exact same schedule and attribution."""
+    spec = FaultSpec(seed=seed, signal_drop_rate=0.3, clock_jump_rate=0.1)
+    interp = _run_tier(seed, spec, {"REPRO_JIT": "0", "REPRO_JIT_THRESHOLD": None})
+    jit = _run_tier(seed, spec, {"REPRO_JIT": "1", "REPRO_JIT_THRESHOLD": "0"})
+    assert jit[0] == interp[0], "stdout diverged across tiers"
+    assert jit[1] == interp[1], "schedule diverged across tiers"
+    assert jit[2] == interp[2], "profile counters diverged across tiers"
+
+
 @pytest.mark.chaos
 def test_different_fault_seeds_may_diverge_but_never_crash():
     # Different injector seeds reschedule signals; the program must still

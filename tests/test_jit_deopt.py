@@ -1,0 +1,237 @@
+"""Deoptimization paths of the trace-JIT tier.
+
+Every way a compiled trace can give control back to the interpreter —
+type-instability guard failures, inline-cache invalidation, signal
+deadlines, fault injection, the ``REPRO_VERIFY`` compile toggle — must
+fall back with exact per-line attribution: same stdout, same profile,
+same ground-truth line table (so churn is never double-counted), while
+the tier counters prove the scenario actually exercised the path it
+claims to.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.scalene import Scalene
+from repro.faults import FaultInjector, FaultSpec
+from repro.interp.jit import jit_stats
+from repro.runtime.process import SimProcess
+
+pytestmark = pytest.mark.jit
+
+#: Hot loop with a type flip: element 35 is a string, so the traced
+#: ``xs[j] + 1`` passes its int-guard 39 times per round and fails it
+#: once — a genuine deopt mid-trace, recovered by the except handler.
+TYPE_FLIP = """
+xs = []
+i = 0
+while i < 40:
+    if i == 35:
+        xs.append("s")
+    else:
+        xs.append(i)
+    i = i + 1
+hits = 0
+errs = 0
+r = 0
+while r < 25:
+    j = 0
+    while j < 40:
+        try:
+            hits = hits + (xs[j] + 1)
+        except:
+            errs = errs + 1
+        j = j + 1
+    r = r + 1
+print(hits, errs)
+"""
+
+#: Bound-method load with an alternating receiver: the LOAD_ATTR inline
+#: cache is monomorphic (identity-keyed), so every iteration invalidates
+#: it for the other list and the trace deopts for re-resolution.
+ATTR_FLIP = """
+xs = []
+ys = []
+i = 0
+while i < 300:
+    if i % 2 == 0:
+        o = xs
+    else:
+        o = ys
+    m = o.append
+    i = i + 1
+print(i)
+"""
+
+#: Plain hot loop: compiles, enters thousands of times, never deopts.
+HOT_LOOP = """
+i = 0
+acc = 0
+while i < 8000:
+    acc = acc + i * 3 - (i // 7)
+    i = i + 1
+print(acc)
+"""
+
+#: Allocation-heavy loop: a fresh list plus churn every iteration, so
+#: per-line alloc/free ground truth is sensitive to any double-charge.
+CHURN_LOOP = """
+r = 0
+total = 0
+while r < 400:
+    row = [r, r + 1, r + 2]
+    total = total + row[0] + row[2]
+    r = r + 1
+print(total)
+"""
+
+
+def _run(source, jit, threshold=None, *, faults=None, mode=None,
+         ground_truth=False, verify=None):
+    env = {
+        "REPRO_JIT": jit,
+        "REPRO_JIT_THRESHOLD": threshold,
+        "REPRO_VERIFY": verify,
+        "REPRO_CODE_CACHE": "0",
+    }
+    saved = {key: os.environ.get(key) for key in env}
+    try:
+        for key, value in env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        process = SimProcess(
+            source, filename="deopt.py", collect_ground_truth=ground_truth
+        )
+        if faults is not None:
+            process.install_faults(FaultInjector(faults))
+        profiler = None
+        if mode:
+            profiler = Scalene(process, mode=mode)
+            profiler.start()
+        process.run()
+        profile_json = profiler.stop().to_json() if profiler else None
+        return {
+            "stdout": list(process.stdout),
+            "stats": jit_stats(process.code),
+            "profile": profile_json,
+            "gt": process.ground_truth,
+        }
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _gt_lines(result):
+    """Per-line ground truth as comparable tuples (attribution contract)."""
+    return {
+        key: (
+            truth.python_time,
+            truth.python_alloc_bytes,
+            truth.python_free_bytes,
+        )
+        for key, truth in result["gt"].lines.items()
+    }
+
+
+def test_type_instability_deopts_with_exact_attribution():
+    off = _run(TYPE_FLIP, "0", ground_truth=True)
+    on = _run(TYPE_FLIP, "1", "0", ground_truth=True)
+    assert on["stdout"] == off["stdout"] == ["19600 25"]
+    assert on["stats"]["enters"] > 0, "trace never entered"
+    assert on["stats"]["deopts"] > 0, "type flip never failed a guard"
+    assert _gt_lines(on) == _gt_lines(off), "per-line attribution diverged"
+
+
+def test_inline_cache_invalidation_deopts():
+    off = _run(ATTR_FLIP, "0", ground_truth=True)
+    on = _run(ATTR_FLIP, "1", "0", ground_truth=True)
+    assert on["stdout"] == off["stdout"] == ["300"]
+    assert on["stats"]["enters"] > 0
+    # Every alternate receiver misses the identity-keyed cache.
+    assert on["stats"]["deopts"] > 0
+    assert _gt_lines(on) == _gt_lines(off)
+
+
+def test_signal_deadlines_respected_mid_trace():
+    """With the CPU profiler attached, traces still run (entry guard
+    proves each pass fits before the next deadline) and the sampled
+    profile is bit-identical to the interpreter tier's."""
+    off = _run(HOT_LOOP, "0", mode="cpu")
+    on = _run(HOT_LOOP, "1", "0", mode="cpu")
+    assert on["stdout"] == off["stdout"]
+    assert on["stats"]["enters"] > 0, "profiler attached must not disable the tier"
+    assert on["profile"] == off["profile"]
+
+
+def test_memory_hooks_loud_path_bit_identical():
+    """Full mode attaches allocation hooks, so traces run every churn
+    site through the loud writeback/reload safepoint. Hook overhead
+    advances the clock by amounts the per-op budget cannot predict, so
+    the safepoint check must keep the margin_ops slack — otherwise a
+    signal deadline crossed between a safepoint and the backward jump is
+    delivered an op boundary late and the sampled split diverges."""
+    off = _run(HOT_LOOP, "0", mode="full")
+    on = _run(HOT_LOOP, "1", "0", mode="full")
+    assert on["stdout"] == off["stdout"]
+    assert on["stats"]["enters"] > 0, "memory hooks must not disable the tier"
+    assert on["profile"] == off["profile"]
+
+
+def test_fault_plane_disables_trace_entry():
+    """A scheduled fault spec forces the observation-rich interpreter
+    path: zero trace enters, and the faulted run stays bit-identical to
+    the interpreter tier under the same spec."""
+    spec = FaultSpec(seed=1, signal_drop_rate=0.3)
+    off = _run(HOT_LOOP, "0", faults=spec, mode="cpu")
+    on = _run(HOT_LOOP, "1", "0", faults=spec, mode="cpu")
+    assert on["stats"]["enters"] == 0
+    assert on["stdout"] == off["stdout"]
+    assert on["profile"] == off["profile"]
+
+
+def test_repro_verify_composes_with_jit():
+    off = _run(HOT_LOOP, "0", verify="1")
+    on = _run(HOT_LOOP, "1", "0", verify="1")
+    assert on["stdout"] == off["stdout"]
+    assert on["stats"]["enters"] > 0
+
+
+def test_churn_is_not_double_counted():
+    """Alloc/free ground truth per line must match exactly: a trace that
+    flushed churn both inside the trace and at the deopt boundary would
+    show doubled alloc bytes here."""
+    off = _run(CHURN_LOOP, "0", ground_truth=True)
+    on = _run(CHURN_LOOP, "1", "0", ground_truth=True)
+    assert on["stdout"] == off["stdout"]
+    assert on["stats"]["enters"] > 0
+    assert _gt_lines(on) == _gt_lines(off)
+
+
+def test_jit_stats_surface_on_scalene():
+    """Scalene.jit_stats: the observation-point contract's test surface."""
+    os_env = os.environ.get("REPRO_JIT_THRESHOLD")
+    try:
+        os.environ["REPRO_JIT_THRESHOLD"] = "0"
+        os.environ["REPRO_JIT"] = "1"
+        os.environ["REPRO_CODE_CACHE"] = "0"
+        process = SimProcess(HOT_LOOP, filename="deopt.py")
+        scalene = Scalene(process, mode="cpu")
+        scalene.start()
+        process.run()
+        scalene.stop()
+        stats = scalene.jit_stats()
+        assert stats["compiled"] >= 1
+        assert stats["enters"] > 0
+    finally:
+        if os_env is None:
+            os.environ.pop("REPRO_JIT_THRESHOLD", None)
+        else:
+            os.environ["REPRO_JIT_THRESHOLD"] = os_env

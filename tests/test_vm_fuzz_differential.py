@@ -19,7 +19,7 @@ import pytest
 
 from repro.runtime.process import SimProcess
 
-from .conftest import generate_program
+from .conftest import generate_program, generate_threaded_program
 
 #: Number of fuzz seeds; override with REPRO_FUZZ_SEEDS (e.g. for a long
 #: nightly run). The acceptance floor for this suite is 200.
@@ -63,6 +63,108 @@ def test_fuzzed_program_matches_host(seed):
         f"--- simulated ---\n" + "\n".join(sim_out) + "\n"
         f"--- host ---\n" + "\n".join(host_out)
     )
+
+
+# ---------------------------------------------------------------------------
+# Tier equivalence: interpreter vs trace-JIT, bit-identical observables
+# ---------------------------------------------------------------------------
+
+#: Seeds for the three-tier equivalence sweep; override with
+#: REPRO_JIT_FUZZ_SEEDS (CI smoke runs a subset, the acceptance floor
+#: for the full suite is 200).
+NUM_JIT_SEEDS = max(1, int(os.environ.get("REPRO_JIT_FUZZ_SEEDS", "200")))
+
+#: The three tier configurations: JIT off, default threshold, and every
+#: loop forced hot immediately (threshold 0 maximizes trace coverage).
+TIER_ENVS = {
+    "off": {"REPRO_JIT": "0", "REPRO_JIT_THRESHOLD": None},
+    "default": {"REPRO_JIT": "1", "REPRO_JIT_THRESHOLD": None},
+    "forced": {"REPRO_JIT": "1", "REPRO_JIT_THRESHOLD": "0"},
+}
+
+
+def run_tier(source: str, env: dict, *, threaded: bool = False, mode: str = "cpu"):
+    """Run ``source`` under one tier config with a profiler attached.
+
+    Returns every cross-tier observable the equivalence contract covers:
+    program stdout, the scheduler's context-switch count, the canonical
+    profile JSON, and the final simulated cpu/wall clocks (compared as
+    exact floats — the tiers must charge the clock identically, not just
+    approximately).
+    """
+    from repro.core.scalene import Scalene
+
+    saved = {key: os.environ.get(key) for key in env}
+    try:
+        for key, value in env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        process = SimProcess(source, filename="fuzz.py")
+        if threaded:
+            from repro.interp.libs import install_standard_libraries
+
+            install_standard_libraries(process)
+        profiler = Scalene(process, mode=mode)
+        profiler.start()
+        process.run()
+        profile = profiler.stop()
+        return (
+            list(process.stdout),
+            process.scheduler.switch_count,
+            profile.to_json(),
+            process.clock.cpu,
+            process.clock.wall,
+        )
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def assert_tiers_identical(source: str, *, threaded: bool = False, mode: str = "cpu"):
+    results = {
+        name: run_tier(source, env, threaded=threaded, mode=mode)
+        for name, env in TIER_ENVS.items()
+    }
+    baseline = results["off"]
+    for name, result in results.items():
+        assert result == baseline, (
+            f"tier {name!r} diverged from interpreter tier\n"
+            f"--- program ---\n{source}\n"
+            f"off:  switches={baseline[1]} cpu={baseline[3]!r} wall={baseline[4]!r}\n"
+            f"{name}: switches={result[1]} cpu={result[3]!r} wall={result[4]!r}\n"
+            f"stdout equal: {result[0] == baseline[0]}  "
+            f"profile equal: {result[2] == baseline[2]}"
+        )
+
+
+@pytest.mark.jit
+@pytest.mark.parametrize("seed", range(SEED_BASE, SEED_BASE + NUM_JIT_SEEDS))
+def test_tier_equivalence(seed):
+    """JIT off / default / forced produce bit-identical stdout, schedule,
+    profile JSON, and clocks on every fuzzed program."""
+    assert_tiers_identical(generate_program(seed))
+
+
+@pytest.mark.jit
+@pytest.mark.parametrize("seed", range(12))
+def test_tier_equivalence_threaded(seed):
+    """The threaded/async grammar stays tier-invariant: preemption points
+    and the deterministic schedule are unchanged by trace execution."""
+    assert_tiers_identical(generate_threaded_program(seed), threaded=True)
+
+
+@pytest.mark.jit
+@pytest.mark.parametrize("seed", range(SEED_BASE, SEED_BASE + 10))
+def test_tier_equivalence_full_mode(seed):
+    """With memory hooks installed (mode=full) traces take the loud
+    allocation path — per-line memory attribution must still be
+    bit-identical across tiers."""
+    assert_tiers_identical(generate_program(seed), mode="full")
 
 
 def test_generator_is_deterministic():
