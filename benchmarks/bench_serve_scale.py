@@ -1,0 +1,382 @@
+#!/usr/bin/env python
+"""Scale-out serve-plane benchmarks: accept latency and bounded /trend.
+
+Measures what DESIGN.md §12's sharded plane is supposed to deliver:
+
+* **submission burst** — ``repro.serve.loadgen`` drives the async
+  batching gateway in front of a 3-shard plane with thousands of job
+  submissions and records submissions/sec plus accept-latency
+  p50/p90/p99 while the whole burst sits queued behind the batch
+  dispatcher, then waits for the backlog to reach the shard queues;
+* **bounded trend** — ``GET /trend`` latency against a daemon holding
+  ``--small`` vs ``--large`` stored profiles. The streaming-sketch path
+  must stay flat (the acceptance bar: within 25%) while the exact
+  replay path grows with history; the sketch answers must also agree
+  with the exact merge (headline means within 5%, per-line CPU shares
+  to float precision).
+
+Appends a trend record to ``BENCH_serve_scale.json`` at the repo root
+via :func:`runner.append_trend`. ``--check`` turns the acceptance bars
+and a regression comparison against the previous record into exit
+status (the CI ``serve-scale-smoke`` gate).
+
+Usage::
+
+    python benchmarks/bench_serve_scale.py [--jobs N] [--small N] [--large N]
+    python benchmarks/bench_serve_scale.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import gc
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+for entry in (str(SRC), str(REPO_ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from runner import append_trend  # noqa: E402
+
+TREND_PATH = REPO_ROOT / "BENCH_serve_scale.json"
+
+#: Acceptance bars (mirrors ISSUE/DESIGN §12): the sketch path's
+#: latency growth bound from --small to --large stored profiles, and
+#: its allowed relative error against the exact merge.
+TREND_FLAT_FACTOR = 1.25
+SKETCH_ACCURACY = 0.05
+
+
+def build_base_profile():
+    """One real Scalene profile the seeding rescales into a history."""
+    from repro.core.scalene import Scalene
+    from repro.workloads import get_workload
+
+    process = get_workload("pprint").make_process(0.05)
+    scalene = Scalene(process, mode="full")
+    scalene.start()
+    process.run()
+    return scalene.stop()
+
+
+def make_variant(base, index: int):
+    """A distinct-content rescaling of the base profile (one 'run')."""
+    profile = copy.deepcopy(base)
+    profile.elapsed *= 1.0 + index * 1e-4  # distinct content id per run
+    return profile
+
+
+# -- submission burst -------------------------------------------------------
+
+
+def bench_submission(jobs: int, shards: int, concurrency: int) -> dict:
+    from repro.serve import ServeClient, ServeFrontend, ShardPlane, run_load
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plane = ShardPlane(Path(tmp) / "plane", shards=shards, workers=1)
+        router = plane.start()
+        gateway = ServeFrontend(router, batch_window_s=0.05, batch_max=128)
+        gateway.start()
+        try:
+            report = run_load(
+                gateway.url, jobs=jobs, concurrency=concurrency, scale=0.02
+            )
+            # Now drain the accepted backlog onto the shard queues — the
+            # "N jobs queued across the plane" state the plane must sustain.
+            client = ServeClient(gateway.url)
+            dispatch_started = time.perf_counter()
+            deadline = time.monotonic() + 120.0
+            backlog = jobs
+            while time.monotonic() < deadline:
+                counts = client.health()["jobs"]
+                backlog = counts.get("accepted", 0)
+                if backlog == 0:
+                    break
+                time.sleep(0.1)
+            dispatch_s = time.perf_counter() - dispatch_started
+            queued_on_shards = sum(
+                shard_health["jobs"].get("queued", 0)
+                + shard_health["jobs"].get("running", 0)
+                for shard_health in plane.health().values()
+            )
+        finally:
+            gateway.stop()
+            plane.stop()
+    return {
+        "jobs": jobs,
+        "shards": shards,
+        "concurrency": report.concurrency,
+        "errors": report.errors,
+        "submissions_per_s": round(report.submissions_per_s, 1),
+        "accept_p50_ms": round(report.latency_p50_ms, 3),
+        "accept_p90_ms": round(report.latency_p90_ms, 3),
+        "accept_p99_ms": round(report.latency_p99_ms, 3),
+        "accept_max_ms": round(report.latency_max_ms, 3),
+        "undispatched_after_drain": backlog,
+        "dispatch_s": round(dispatch_s, 2),
+        "queued_on_shards": queued_on_shards,
+    }
+
+
+# -- bounded trend ----------------------------------------------------------
+
+
+def _seed_store(root: Path, base, count: int):
+    """Seed ``count`` distinct stored runs; returns their elapsed values."""
+    from repro.serve import ProfileStore
+
+    store = ProfileStore(root)
+    store.defer_index_flush = True
+    elapsed = []
+    for index in range(count):
+        profile = make_variant(base, index)
+        store.put(
+            profile,
+            workload="pprint",
+            profiler="scalene",
+            config={"mode": "full", "scale": 0.05, "overrides": {}},
+            created_at=float(index),
+        )
+        elapsed.append(profile.elapsed)
+    store.flush_index()
+    return elapsed
+
+
+def _measure_trend(root: Path, requests: int) -> dict:
+    """Boot a daemon over a seeded store; median /trend latencies."""
+    from repro.serve import ProfileDaemon, ServeClient
+
+    rebuild_started = time.perf_counter()
+    daemon = ProfileDaemon(str(root), workers=1)
+    rebuild_s = time.perf_counter() - rebuild_started  # sketch replay cost
+    daemon.start()
+    try:
+        client = ServeClient(daemon.url)
+        sketch_ms, exact_ms = [], []
+        # A fixed page size keeps the response equal at both store sizes,
+        # so the ratio isolates history-dependence (the claim under test)
+        # from response-size growth as the recent window fills to 128.
+        for _ in range(3):  # warm up lazy imports, allocator, caches
+            client.trend(workload="pprint", limit=50)
+            client.trend(workload="pprint", exact=1, limit=50)
+        # The daemon shares this process: pause the cyclic GC so pause
+        # times (which scale with heap size, i.e. store size) don't
+        # pollute the latency floors the flatness gate compares.
+        gc.collect()
+        gc.disable()
+        for _ in range(requests):
+            start = time.perf_counter()
+            sketch = client.trend(workload="pprint", limit=50)
+            sketch_ms.append(1000 * (time.perf_counter() - start))
+            start = time.perf_counter()
+            client.trend(workload="pprint", exact=1, limit=50)
+            exact_ms.append(1000 * (time.perf_counter() - start))
+        summary = sketch["summary"]
+        lines = client.sketch(workload="pprint")["lines"]
+    finally:
+        gc.enable()
+        daemon.stop()
+    return {
+        "rebuild_s": round(rebuild_s, 3),
+        # Best-of, not median: the flatness gate compares two latency
+        # floors, and the floor is what the store size determines — GC
+        # pauses and scheduler noise land on either side at random.
+        "sketch_ms": round(min(sketch_ms), 3),
+        "exact_ms": round(min(exact_ms), 3),
+        "elapsed_mean": summary["elapsed_s"]["mean"],
+        "runs": summary["runs"],
+        "lines": lines,
+    }
+
+
+def bench_trend(base, small: int, large: int, requests: int) -> dict:
+    from repro.core.profile_data import merge_profiles
+
+    with tempfile.TemporaryDirectory() as tmp:
+        small_root = Path(tmp) / "small"
+        large_root = Path(tmp) / "large"
+        small_elapsed = _seed_store(small_root, base, small)
+        large_elapsed = _seed_store(large_root, base, large)
+        small_run = _measure_trend(small_root, requests)
+        large_run = _measure_trend(large_root, requests)
+
+    # Accuracy: the sketch's headline mean vs ground truth, and its
+    # per-line CPU shares vs an exact merge_profiles replay (at --small;
+    # the sketch algebra is size-independent, property-tested besides).
+    mean_err = abs(
+        small_run["elapsed_mean"] - statistics.fmean(small_elapsed)
+    ) / statistics.fmean(small_elapsed)
+    large_mean_err = abs(
+        large_run["elapsed_mean"] - statistics.fmean(large_elapsed)
+    ) / statistics.fmean(large_elapsed)
+    merged = merge_profiles([make_variant(base, i) for i in range(small)])
+    shares = {
+        (row["filename"], row["lineno"]): row["cpu_percent"]
+        for row in small_run["lines"]
+    }
+    line_err = max(
+        (
+            abs(shares[(line.filename, line.lineno)] - line.cpu_total_percent)
+            / line.cpu_total_percent
+            for line in merged.lines
+            if line.cpu_total_percent > 0.1
+        ),
+        default=0.0,
+    )
+    ratio = (
+        large_run["sketch_ms"] / small_run["sketch_ms"]
+        if small_run["sketch_ms"] > 0
+        else 1.0
+    )
+    return {
+        "small": small,
+        "large": large,
+        "requests": requests,
+        "small_sketch_ms": small_run["sketch_ms"],
+        "large_sketch_ms": large_run["sketch_ms"],
+        "sketch_ratio": round(ratio, 3),
+        "small_exact_ms": small_run["exact_ms"],
+        "large_exact_ms": large_run["exact_ms"],
+        "small_rebuild_s": small_run["rebuild_s"],
+        "large_rebuild_s": large_run["rebuild_s"],
+        "elapsed_mean_rel_err": round(max(mean_err, large_mean_err), 6),
+        "line_share_max_rel_err": round(line_err, 9),
+    }
+
+
+# -- gates ------------------------------------------------------------------
+
+
+def check(record: dict, trend_path: Path) -> list:
+    """The acceptance bars + regression vs the previous comparable run."""
+    problems = []
+    submission, trend = record["submission"], record["trend"]
+    if submission["errors"]:
+        problems.append(f"loadgen saw {submission['errors']} submission errors")
+    if submission["undispatched_after_drain"]:
+        problems.append(
+            f"{submission['undispatched_after_drain']} jobs never left the "
+            "gateway batch buffer"
+        )
+    if trend["sketch_ratio"] > TREND_FLAT_FACTOR:
+        problems.append(
+            f"/trend sketch latency grew {trend['sketch_ratio']}x from "
+            f"{trend['small']} to {trend['large']} profiles "
+            f"(bar: {TREND_FLAT_FACTOR}x)"
+        )
+    for key in ("elapsed_mean_rel_err", "line_share_max_rel_err"):
+        if trend[key] > SKETCH_ACCURACY:
+            problems.append(
+                f"sketch {key} {trend[key]:.4f} exceeds {SKETCH_ACCURACY:.0%}"
+            )
+    # Regression vs the previous record at the same burst size: a 3x
+    # slowdown on either axis fails (generous — CI runners are noisy).
+    try:
+        history = json.loads(trend_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        history = []
+    previous = [
+        r
+        for r in history[:-1]  # the current run is already appended
+        if isinstance(r, dict)
+        and r.get("submission", {}).get("jobs") == submission["jobs"]
+    ]
+    if previous:
+        prev = previous[-1]["submission"]
+        if prev.get("accept_p99_ms", 0) > 0 and submission[
+            "accept_p99_ms"
+        ] > 3 * prev["accept_p99_ms"]:
+            problems.append(
+                f"accept p99 regressed {submission['accept_p99_ms']}ms vs "
+                f"previous {prev['accept_p99_ms']}ms (>3x)"
+            )
+        if prev.get("submissions_per_s", 0) > 0 and submission[
+            "submissions_per_s"
+        ] < prev["submissions_per_s"] / 3:
+            problems.append(
+                f"throughput regressed {submission['submissions_per_s']}/s vs "
+                f"previous {prev['submissions_per_s']}/s (<1/3)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=10000,
+                        help="submission-burst size (default 10000)")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard daemons behind the gateway (default 3)")
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="loadgen submitter connections (default 16)")
+    parser.add_argument("--small", type=int, default=100,
+                        help="baseline stored-profile count (default 100)")
+    parser.add_argument("--large", type=int, default=10000,
+                        help="scaled stored-profile count (default 10000)")
+    parser.add_argument("--requests", type=int, default=20,
+                        help="/trend requests per measurement (default 20)")
+    parser.add_argument("--quick", action="store_true",
+                        help="2000-job burst, 100 vs 1000 profiles — CI smoke")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero when an acceptance bar or the "
+                        "regression comparison fails")
+    parser.add_argument("--output", type=Path, default=TREND_PATH,
+                        help="trend file to append to")
+    args = parser.parse_args(argv)
+
+    jobs = 2000 if args.quick else args.jobs
+    large = 1000 if args.quick else args.large
+    requests = 10 if args.quick else args.requests
+
+    submission = bench_submission(jobs, args.shards, args.concurrency)
+    base = build_base_profile()
+    trend = bench_trend(base, args.small, large, requests)
+
+    record = append_trend(args.output, {
+        "quick": args.quick,
+        "submission": submission,
+        "trend": trend,
+    })
+
+    print(
+        f"submit: {submission['submissions_per_s']:>10,.1f} jobs/s accepted "
+        f"({jobs} jobs, {args.shards} shards, {submission['errors']} errors)"
+    )
+    print(
+        f"        p50 {submission['accept_p50_ms']:.2f} ms   "
+        f"p90 {submission['accept_p90_ms']:.2f} ms   "
+        f"p99 {submission['accept_p99_ms']:.2f} ms   "
+        f"dispatch drain {submission['dispatch_s']:.1f}s "
+        f"({submission['queued_on_shards']} on shard queues)"
+    )
+    print(
+        f"trend:  sketch {trend['small_sketch_ms']:.2f} -> "
+        f"{trend['large_sketch_ms']:.2f} ms "
+        f"({trend['small']} -> {trend['large']} profiles, "
+        f"{trend['sketch_ratio']}x)   exact {trend['small_exact_ms']:.2f} -> "
+        f"{trend['large_exact_ms']:.2f} ms"
+    )
+    print(
+        f"        sketch vs exact: elapsed-mean err "
+        f"{trend['elapsed_mean_rel_err']:.2e}, line-share err "
+        f"{trend['line_share_max_rel_err']:.2e}"
+    )
+    print(f"-> {args.output} ({record['timestamp']})")
+
+    if args.check:
+        problems = check(record, args.output)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,10 +15,17 @@ anti-patterns, or disassemble it::
 or run the continuous-profiling service (:mod:`repro.serve`)::
 
     python -m repro serve --port 8000 --workers 4 --store ./profiles
+    python -m repro serve --shards 3 --port 8000 --store ./profiles
     python -m repro submit --workload pprint --url http://127.0.0.1:8000
     python -m repro profiles --url http://127.0.0.1:8000
     python -m repro profiles --url http://127.0.0.1:8000 --merge ID1 ID2
     python -m repro profiles --url http://127.0.0.1:8000 --diff ID1 ID2
+    python -m repro loadgen --url http://127.0.0.1:8000 --jobs 1000
+
+With ``--shards N`` the serve command boots the scale-out plane
+(DESIGN.md §12): N sharded daemons behind a consistent-hash router and
+one async batching gateway; ``loadgen`` measures its submission
+throughput and accept-latency percentiles.
 
 or chaos-test the service's self-healing (:mod:`repro.faults`) — a
 seeded, replayable fault schedule (worker crashes, torn store writes,
@@ -26,6 +33,7 @@ signal/clock/allocator faults) driven through a live daemon::
 
     python -m repro chaos --seed 1
     python -m repro chaos --seed 1 --jobs 8 --torn-writes 2 --json
+    python -m repro chaos --shards 3 --seed 1   # shard kill + failover
 
 Mirrors ``scalene yourprogram.py``: the CLI builds a simulated process,
 attaches the profiler, runs, and renders the report. ``lint --profile``
@@ -121,6 +129,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="profiling worker processes")
     serve.add_argument("--store", default="./profile-store",
                        help="profile store directory")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="boot N sharded daemons behind a batching "
+                       "gateway instead of one daemon (0 = single daemon)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a gateway/daemon with a job-submission burst and "
+        "report throughput + accept-latency percentiles",
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8000",
+                         help="gateway (or daemon) URL")
+    loadgen.add_argument("--jobs", type=int, default=1000,
+                         help="jobs to submit")
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="concurrent submitter connections")
+    loadgen.add_argument("--scale", type=float, default=0.02,
+                         help="workload scale per job")
+    loadgen.add_argument("--workloads", default=None,
+                         help="comma-separated workload names to cycle")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full report as JSON")
 
     submit = sub.add_parser("submit", help="submit a profiling job to a daemon")
     submit.add_argument("--url", default="http://127.0.0.1:8000", help="daemon URL")
@@ -166,6 +195,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-expiry timer-signal drop probability")
     chaos.add_argument("--json", action="store_true",
                        help="print the full report as JSON")
+    chaos.add_argument("--shards", type=int, default=0,
+                       help="run the shard-kill chaos instead: N shards "
+                       "behind a gateway, one killed mid-run (0 = classic)")
     return parser
 
 
@@ -319,6 +351,8 @@ def _cmd_dis(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.serve import ProfileDaemon
 
+    if args.shards:
+        return _cmd_serve_shards(args)
     daemon = ProfileDaemon(
         args.store, workers=args.workers, host=args.host, port=args.port
     )
@@ -327,6 +361,64 @@ def _cmd_serve(args) -> int:
           f"({args.workers} workers, store: {args.store})", flush=True)
     daemon.serve_forever()
     return 0
+
+
+def _cmd_serve_shards(args) -> int:
+    """The scale-out plane: N shard daemons + router + batching gateway."""
+    import time
+
+    from repro.serve import ServeFrontend, ShardPlane
+
+    plane = ShardPlane(args.store, shards=args.shards, workers=args.workers)
+    router = plane.start()
+    gateway = ServeFrontend(router, host=args.host, port=args.port)
+    gateway.start()
+    print(f"repro serve: gateway on {gateway.url} "
+          f"({args.shards} shards x {args.workers} workers, "
+          f"store: {args.store})", flush=True)
+    for name, url in sorted(plane.urls().items()):
+        print(f"  {name}: {url}", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.stop()
+        plane.stop()
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serve import run_load
+    from repro.serve.loadgen import DEFAULT_WORKLOADS
+
+    workloads = (
+        tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+        if args.workloads
+        else DEFAULT_WORKLOADS
+    )
+    report = run_load(
+        args.url,
+        jobs=args.jobs,
+        concurrency=args.concurrency,
+        workloads=workloads,
+        scale=args.scale,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"loadgen: {report.submitted}/{args.jobs} submitted "
+            f"({report.errors} errors) in {report.elapsed_s:.2f}s — "
+            f"{report.submissions_per_s:,.0f} submissions/s"
+        )
+        print(
+            f"  accept latency ms: p50 {report.latency_p50_ms:.2f}  "
+            f"p90 {report.latency_p90_ms:.2f}  p99 {report.latency_p99_ms:.2f}  "
+            f"max {report.latency_max_ms:.2f}"
+        )
+    return 0 if report.errors == 0 else 1
 
 
 def _cmd_submit(args) -> int:
@@ -384,12 +476,25 @@ def _cmd_chaos(args) -> int:
     import contextlib
     import tempfile
 
-    from repro.faults import run_chaos
+    from repro.faults import run_chaos, run_shard_chaos
 
     with contextlib.ExitStack() as stack:
         store_root = args.store or stack.enter_context(
             tempfile.TemporaryDirectory(prefix="repro-chaos-")
         )
+        if args.shards:
+            report = run_shard_chaos(
+                args.seed,
+                root=store_root,
+                shards=args.shards,
+                jobs=args.jobs,
+                workers=args.workers,
+            )
+            if args.json:
+                print(json_module.dumps(report.to_dict(), indent=2))
+            else:
+                print(report.summary())
+            return 0 if report.ok else 1
         report = run_chaos(
             args.seed,
             store_root=store_root,
@@ -430,6 +535,8 @@ def main(argv=None) -> int:
             return _cmd_dis(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         if args.command == "submit":
             return _cmd_submit(args)
         if args.command == "profiles":

@@ -37,14 +37,18 @@ from repro.errors import ProfilerError, ProfileSchemaError
 #: v5 added the concurrency planes: per-line lock-contention counters,
 #: the who-blocks-whom edge list (``locks``), per-task accounting
 #: (``tasks``), and process lineage (``processes``).
-SCHEMA_VERSION = 5
+#: v6 added the optional ``sketch`` payload — the serialized streaming
+#: aggregate (:class:`repro.serve.streaming.KeySketch`) a merged profile
+#: carries so consumers can read per-line run-to-run distributions
+#: (mean/variance/quantiles) without the constituent profiles.
+SCHEMA_VERSION = 6
 
 #: Older payload versions :meth:`ProfileData.from_dict` still accepts.
 #: Fields introduced later default: v2 payloads load with
 #: ``degraded=False`` / no fault counters, v2/v3 with zero crossing
 #: counters and no cross-flow findings, v2–v4 with zero lock counters
-#: and empty task/process lists.
-READABLE_SCHEMAS = frozenset({2, 3, 4, SCHEMA_VERSION})
+#: and empty task/process lists, v2–v5 with ``sketch=None``.
+READABLE_SCHEMAS = frozenset({2, 3, 4, 5, SCHEMA_VERSION})
 
 
 @dataclass
@@ -235,6 +239,12 @@ class ProfileData:
     tasks: List[TaskReport] = field(default_factory=list)
     #: Process lineage (fork/spawn tree); empty for single-process runs.
     processes: List[ProcessReport] = field(default_factory=list)
+    #: Serialized streaming aggregate (schema v6, optional): a
+    #: :class:`repro.serve.streaming.KeySketch` payload carried by
+    #: merged profiles so consumers can read per-line run-to-run
+    #: distributions without the constituent profiles. ``None`` for
+    #: single-run profiles and anything loaded from schema ≤ 5.
+    sketch: Optional[Dict] = None
 
     # -- rendering -------------------------------------------------------
 
@@ -464,6 +474,7 @@ class ProfileData:
             },
             "tasks": [task.to_dict() for task in self.tasks],
             "processes": [proc.to_dict() for proc in self.processes],
+            "sketch": self.sketch,
             "lint": [t.to_dict() for t in self.lint_findings],
             "leaks": [
                 {
@@ -601,6 +612,8 @@ class ProfileData:
                     )
                     for entry in payload.get("processes", [])
                 ],
+                # v2–v5 predate the streaming-aggregate payload.
+                sketch=payload.get("sketch"),
                 elapsed=payload["elapsed_s"],
                 cpu_python_time=cpu["python_s"],
                 cpu_native_time=cpu["native_s"],
@@ -1431,4 +1444,20 @@ def merge_profiles(
         lock_edges=sorted(edges.values(), key=lambda e: -e.blocked_s),
         tasks=sorted(tasks.values(), key=lambda t: t.name),
         processes=sorted(processes.values(), key=lambda p: p.pid),
+        sketch=_merged_sketch(profiles),
+    )
+
+
+def _merged_sketch(profiles: Sequence[ProfileData]) -> Optional[Dict]:
+    """The schema-v6 streaming aggregate a merged profile carries.
+
+    Each constituent contributes its own sketch when it has one (a
+    merged profile being re-merged) or a singleton sketch derived from
+    its lines, so N-way merges compose associatively. Imported lazily —
+    :mod:`repro.serve.streaming` depends on this module.
+    """
+    from repro.serve.streaming import merge_sketch_payloads, sketch_of_profile
+
+    return merge_sketch_payloads(
+        [p.sketch if p.sketch else sketch_of_profile(p).to_dict() for p in profiles]
     )

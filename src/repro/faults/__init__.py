@@ -26,7 +26,12 @@ from repro.faults.injector import (
     InjectedCrash,
     apply_fault_counters,
 )
-from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.chaos import (
+    ChaosReport,
+    ShardChaosReport,
+    run_chaos,
+    run_shard_chaos,
+)
 
 __all__ = [
     "FaultInjector",
@@ -34,5 +39,7 @@ __all__ = [
     "InjectedCrash",
     "apply_fault_counters",
     "ChaosReport",
+    "ShardChaosReport",
     "run_chaos",
+    "run_shard_chaos",
 ]

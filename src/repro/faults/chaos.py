@@ -313,6 +313,257 @@ def _wait_all(client, job_ids: List[str], wait_s: float) -> None:
             time.sleep(0.05)
 
 
+@dataclass
+class ShardChaosReport:
+    """Everything :func:`run_shard_chaos` measured and asserted."""
+
+    seed: int
+    shards: int
+    submitted: int = 0
+    done: int = 0
+    killed_shard: str = ""
+    done_before_kill: int = 0
+    redispatched: int = 0
+    #: The routed key whose primary shard was killed.
+    victim_key: Dict[str, str] = field(default_factory=dict)
+    #: Degraded routed reads, each comparing sketch vs exact profile ids.
+    degraded_reads: List[Dict] = field(default_factory=list)
+    revived: bool = False
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "ok": self.ok,
+            "submitted": self.submitted,
+            "done": self.done,
+            "killed_shard": self.killed_shard,
+            "done_before_kill": self.done_before_kill,
+            "redispatched": self.redispatched,
+            "victim_key": self.victim_key,
+            "degraded_reads": self.degraded_reads,
+            "revived": self.revived,
+            "problems": self.problems,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"shard chaos seed {self.seed}: {'OK' if self.ok else 'FAILED'} — "
+            f"{self.done}/{self.submitted} jobs done across {self.shards} shards "
+            f"with {self.killed_shard or '<none>'} killed after "
+            f"{self.done_before_kill} completions ({self.redispatched} redispatched)",
+        ]
+        for read in self.degraded_reads:
+            lines.append(
+                f"  degraded read {read['endpoint']} -> {read['shard']} "
+                f"(degraded={read['degraded']}, ids={len(read['sketch_ids'])})"
+            )
+        for item in self.problems:
+            lines.append(f"  problem: {item}")
+        return "\n".join(lines)
+
+
+def run_shard_chaos(
+    seed: int = 0,
+    *,
+    root: str,
+    shards: int = 3,
+    jobs: int = 9,
+    workers: int = 1,
+    kill_after: int = 3,
+    scale: float = 0.05,
+    wait_s: float = 240.0,
+    revive: bool = True,
+) -> ShardChaosReport:
+    """Kill a shard mid-run; prove no accepted job is lost and reads stay correct.
+
+    Boots a :class:`~repro.serve.shard.ShardPlane` behind a
+    :class:`~repro.serve.frontend.ServeFrontend` gateway, submits ``jobs``
+    jobs, and — once ``kill_after`` of them (including one whose key's
+    *primary* is the chosen victim) have completed — kills the victim
+    shard abruptly. The plane must then deliver the scale-out contract:
+
+    * every accepted job still finishes ``done`` with a profile id (the
+      gateway ledger re-dispatches the dead shard's work to each key's
+      next live owner; content addressing keeps storage exactly-once);
+    * every stored profile remains fetchable through the gateway with
+      one shard dead (replica copies serve the reads);
+    * a routed ``/trend`` for the victim's key answers from the replica
+      with ``degraded=true``, and its sketch-path profile ids match the
+      exact-path replay ids — degraded but *correct*;
+    * after :meth:`ShardPlane.revive`, the gateway's poller marks the
+      shard back up and the same read is no longer degraded.
+    """
+    import random
+
+    from repro.serve.client import ServeClient
+    from repro.serve.frontend import ServeFrontend
+    from repro.serve.shard import ShardPlane
+
+    if jobs < kill_after + 1:
+        raise ValueError("need jobs > kill_after so work is in flight at the kill")
+    report = ShardChaosReport(seed=seed, shards=shards)
+    plane = ShardPlane(root, shards=shards, workers=workers)
+    router = plane.start()
+    gateway = ServeFrontend(router, batch_window_s=0.02, poll_interval_s=0.1)
+    gateway.start()
+    try:
+        client = ServeClient(gateway.url)
+        rng = random.Random(seed)
+        workload_cycle = itertools.cycle(CHAOS_WORKLOADS)
+        accepted = [
+            client.submit(next(workload_cycle), mode="cpu", scale=scale)
+            for _ in range(jobs)
+        ]
+        report.submitted = len(accepted)
+
+        # The victim is the *primary* shard of one submitted key (picked
+        # by the seed), so the degraded-read check below is guaranteed to
+        # exercise a replica failover, not an unaffected shard.
+        target = rng.choice(accepted)
+        victim, _ = router.route(target["workload"], target["config_hash"])
+        report.killed_shard = victim
+        report.victim_key = {
+            "workload": target["workload"],
+            "config_hash": target["config_hash"],
+        }
+
+        # Let the plane make progress — including the victim key's job —
+        # then kill the victim while the rest is still in flight.
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            ledger = {j["id"]: j for j in client.jobs()}
+            finished = [j for j in ledger.values() if j["status"] == "done"]
+            if (
+                len(finished) >= kill_after
+                and ledger[target["id"]]["status"] == "done"
+            ):
+                break
+            time.sleep(0.05)
+        else:
+            report.problems.append(
+                f"never reached {kill_after} completions before the kill"
+            )
+            return report
+        report.done_before_kill = len(finished)
+        plane.kill(victim)
+
+        # Every accepted job must still finish exactly once.
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            ledger = {j["id"]: j for j in client.jobs()}
+            if all(j["status"] in ("done", "error") for j in ledger.values()):
+                break
+            time.sleep(0.05)
+        ledger = {j["id"]: j for j in client.jobs()}
+        if len(ledger) != report.submitted:
+            report.problems.append(
+                f"gateway ledger lost jobs: accepted {report.submitted}, "
+                f"lists {len(ledger)}"
+            )
+        for job in accepted:
+            final = ledger.get(job["id"])
+            if final is None:
+                report.problems.append(f"{job['id']} vanished from the ledger")
+            elif final["status"] != "done":
+                report.problems.append(
+                    f"{job['id']} ({job['workload']}) ended "
+                    f"{final['status']}: {final.get('error')}"
+                )
+            elif not final["profile_id"]:
+                report.problems.append(f"{job['id']} done but has no profile id")
+        report.done = sum(1 for j in ledger.values() if j["status"] == "done")
+        report.redispatched = gateway.stats["redispatched"]
+
+        # With one shard dead, every stored profile must still be served
+        # (replica copies / failover re-runs — content addressing dedupes).
+        for job in ledger.values():
+            if not job.get("profile_id"):
+                continue
+            try:
+                client.profile(job["profile_id"])
+            except Exception as exc:  # noqa: BLE001 — recorded, not raised
+                report.problems.append(
+                    f"profile {job['profile_id'][:12]} unreadable with "
+                    f"{victim} down: {exc}"
+                )
+
+        # The victim key's routed read: degraded, from the replica, and
+        # sketch-path ids identical to an exact replay of the history.
+        expected_ids = {
+            j["profile_id"]
+            for j in ledger.values()
+            if j["status"] == "done"
+            and j["workload"] == target["workload"]
+            and j["profile_id"]
+        }
+        read = _routed_trend_check(client, report.victim_key, expected_ids)
+        report.degraded_reads.append(read)
+        if not read["degraded"]:
+            report.problems.append(
+                f"read of {target['workload']} routed to {read['shard']} "
+                "was not flagged degraded with its primary down"
+            )
+        report.problems.extend(read.pop("problems"))
+
+        # Revival: the poller probes the shard back up and the same key
+        # routes to its primary again, undegraded.
+        if revive:
+            plane.revive(victim)
+            deadline = time.monotonic() + min(wait_s, 30.0)
+            while time.monotonic() < deadline:
+                if victim in client.health()["shards"]["live"]:
+                    break
+                time.sleep(0.05)
+            else:
+                report.problems.append(f"{victim} never marked back up after revive")
+                return report
+            report.revived = True
+            healthy = _routed_trend_check(client, report.victim_key, expected_ids)
+            report.degraded_reads.append(healthy)
+            if healthy["degraded"] or healthy["shard"] != victim:
+                report.problems.append(
+                    f"post-revive read went to {healthy['shard']} "
+                    f"(degraded={healthy['degraded']}), expected healthy {victim}"
+                )
+            report.problems.extend(healthy.pop("problems"))
+    finally:
+        gateway.stop()
+        plane.stop()
+    return report
+
+
+def _routed_trend_check(client, key: Dict[str, str], expected_ids) -> Dict:
+    """One routed /trend read via the gateway, sketch vs exact compared."""
+    problems: List[str] = []
+    sketch = client.trend(**key)
+    exact = client.trend(exact=1, **key)
+    sketch_ids = {point["id"] for point in sketch["trend"]}
+    exact_ids = {point["id"] for point in exact["trend"]}
+    if sketch_ids != exact_ids:
+        problems.append(
+            f"sketch trend ids {sorted(sketch_ids)} != exact {sorted(exact_ids)}"
+        )
+    if expected_ids and sketch_ids != set(expected_ids):
+        problems.append(
+            f"trend ids {sorted(sketch_ids)} != done profiles "
+            f"{sorted(expected_ids)} for the routed key"
+        )
+    return {
+        "endpoint": "/trend",
+        "shard": sketch.get("shard"),
+        "degraded": bool(sketch.get("degraded")),
+        "sketch_ids": sorted(sketch_ids),
+        "exact_ids": sorted(exact_ids),
+        "problems": problems,
+    }
+
+
 def _replay_counters(
     execute_job, job: Dict, stored_counters: Dict[str, int]
 ) -> Optional[str]:

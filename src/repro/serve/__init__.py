@@ -17,24 +17,63 @@ profiles persist, merge across runs and processes, and stay queryable):
   stdlib-``http.server`` JSON API;
 * :mod:`repro.serve.client` — the urllib client used by
   ``python -m repro submit`` / ``repro profiles``.
+
+The scale-out plane (``python -m repro serve --shards N``, DESIGN.md
+§12) layers on top:
+
+* :mod:`repro.serve.streaming` — bounded streaming aggregation
+  (mergeable running statistics + weighted reservoir samples per line
+  key) so ``/trend`` and ``/sketch`` answer in O(window), not
+  O(history);
+* :mod:`repro.serve.router` — consistent-hash placement of
+  ``(workload, config_hash)`` keys over N shards with per-key
+  read-replica failover;
+* :mod:`repro.serve.shard` — boots the shard daemons and wires
+  synchronous idempotent replication between them;
+* :mod:`repro.serve.frontend` — the selectors-based async gateway:
+  batched job submission, a durable acceptance ledger with re-dispatch
+  on shard death, and chunked fan-out reads;
+* :mod:`repro.serve.loadgen` — the submission load generator behind
+  ``python -m repro loadgen`` and ``benchmarks/bench_serve_scale.py``.
 """
 
 from repro.serve.aggregate import diff_stored, find_regressions, merge_stored, trend
 from repro.serve.client import ServeClient
 from repro.serve.daemon import ProfileDaemon
+from repro.serve.frontend import ServeFrontend
 from repro.serve.jobs import Job, execute_job
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.router import HashRing, ShardRouter, shard_key
+from repro.serve.shard import ShardPlane
 from repro.serve.store import ProfileStore, config_hash, git_tree_hash
+from repro.serve.streaming import (
+    KeySketch,
+    ReservoirSample,
+    RunningStats,
+    StreamingAggregator,
+)
 
 __all__ = [
+    "HashRing",
+    "Job",
+    "KeySketch",
+    "LoadReport",
     "ProfileDaemon",
     "ProfileStore",
+    "ReservoirSample",
+    "RunningStats",
     "ServeClient",
-    "Job",
+    "ServeFrontend",
+    "ShardPlane",
+    "ShardRouter",
+    "StreamingAggregator",
     "config_hash",
     "diff_stored",
     "execute_job",
     "find_regressions",
     "git_tree_hash",
     "merge_stored",
+    "run_load",
+    "shard_key",
     "trend",
 ]

@@ -3,11 +3,21 @@
 Backs ``python -m repro submit`` / ``repro profiles`` and the test
 suite; every method maps to one daemon endpoint and returns parsed JSON
 (or a :class:`~repro.core.profile_data.ProfileData` where noted).
+
+Transport resilience: every call carries separate **connect** and
+**read** timeouts (a dead host fails in ``connect_timeout_s``, a wedged
+daemon in ``timeout``), and *idempotent* requests retry with bounded
+seeded exponential backoff on transport errors. GETs are always
+idempotent; ``POST /merge`` and ``POST /replicate`` are too (content
+addressing — re-sending stores the same id). ``POST /jobs`` is **not**
+retried: a submission whose response was lost may have been accepted,
+and a retry would double-run the job.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
@@ -15,36 +25,91 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.profile_data import ProfileData
 from repro.errors import ServeError
+from repro.serve.healing import RetryPolicy
 
 #: Job states that will never change again.
 TERMINAL_STATUSES = ("done", "error")
+
+#: POST paths that are safe to retry (content-addressed writes).
+_IDEMPOTENT_POSTS = ("/merge", "/replicate")
 
 
 class ServeClient:
     """Talks to one daemon at ``url`` (e.g. ``http://127.0.0.1:8000``)."""
 
-    def __init__(self, url: str, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        connect_timeout_s: Optional[float] = 5.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout_s = (
+            connect_timeout_s if connect_timeout_s is not None else timeout
+        )
+        #: Backoff schedule for idempotent requests. ``max_attempts=1``
+        #: disables retries entirely.
+        self.retry = retry if retry is not None else RetryPolicy(
+            3, base_delay_s=0.05, max_delay_s=1.0
+        )
 
     # -- transport ------------------------------------------------------
+
+    def _open(self, request: "urllib.request.Request") -> Dict:
+        """One HTTP round trip with split connect/read timeouts.
+
+        ``urllib`` exposes a single timeout covering both phases; the
+        connect bound is enforced by probing the socket first, so a dead
+        or unroutable host fails fast instead of consuming the full read
+        budget.
+        """
+        if self.connect_timeout_s < self.timeout:
+            host = request.host.rsplit(":", 1)
+            port = int(host[1]) if len(host) == 2 else 80
+            try:
+                probe = socket.create_connection(
+                    (host[0], port), timeout=self.connect_timeout_s
+                )
+                probe.close()
+            except OSError as exc:
+                raise urllib.error.URLError(exc) from None
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     def _request(self, path: str, body: Optional[Dict] = None) -> Dict:
         request = urllib.request.Request(self.url + path)
         if body is not None:
             request.data = json.dumps(body).encode("utf-8")
             request.add_header("Content-Type", "application/json")
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        idempotent = body is None or any(
+            path == p or path.startswith(p + "?") for p in _IDEMPOTENT_POSTS
+        )
+        attempts = 0
+        while True:
+            attempts += 1
             try:
-                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
-            except ValueError:
-                message = str(exc)
-            raise ServeError(f"{path}: {message}") from None
-        except urllib.error.URLError as exc:
-            raise ServeError(f"cannot reach daemon at {self.url}: {exc.reason}") from None
+                return self._open(request)
+            except urllib.error.HTTPError as exc:
+                # The daemon answered; never retry a definitive response.
+                try:
+                    message = json.loads(exc.read().decode("utf-8")).get(
+                        "error", str(exc)
+                    )
+                except ValueError:
+                    message = str(exc)
+                raise ServeError(f"{path}: {message}") from None
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                reason = getattr(exc, "reason", exc)
+                if idempotent and self.retry.should_retry(attempts):
+                    time.sleep(self.retry.delay(attempts))
+                    continue
+                raise ServeError(
+                    f"cannot reach daemon at {self.url} "
+                    f"after {attempts} attempt(s): {reason}"
+                ) from None
 
     # -- endpoints ------------------------------------------------------
 
@@ -103,9 +168,14 @@ class ServeClient:
                 )
             time.sleep(poll)
 
-    def profiles(self, **filters: str) -> List[Dict]:
-        query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
-        return self._request(f"/profiles{'?' + query if query else ''}")["profiles"]
+    def profiles(self, **filters) -> List[Dict]:
+        """Matching index entries (paged server-side; ``limit=0`` = all)."""
+        return self.profiles_page(**filters)["profiles"]
+
+    def profiles_page(self, **filters) -> Dict:
+        """The full paged listing: ``{"profiles", "total", "limit", "offset"}``."""
+        query = "&".join(f"{k}={v}" for k, v in filters.items() if v not in (None, ""))
+        return self._request(f"/profiles{'?' + query if query else ''}")
 
     def profile(self, profile_id: str) -> Dict:
         """The stored profile envelope: ``{"id", "meta", "profile"}``."""
@@ -118,6 +188,10 @@ class ServeClient:
     def merge(self, ids: Sequence[str]) -> Dict:
         """Merge stored profiles; returns ``{"id", "profile"}``."""
         return self._request("/merge", body={"ids": list(ids)})
+
+    def merge_sketch(self, **filters) -> Dict:
+        """Sketch-backed merged view of an index slice (nothing stored)."""
+        return self._request("/merge", body={k: v for k, v in filters.items() if v})
 
     def diff(self, before_id: str, after_id: str) -> Dict:
         return self._request(f"/diff?a={before_id}&b={after_id}")["diff"]
@@ -132,6 +206,18 @@ class ServeClient:
         the per-line table, and the who-blocks-whom edge list."""
         return self._request(f"/contention?id={profile_id}")
 
-    def trend(self, **filters: str) -> Dict:
-        query = "&".join(f"{k}={v}" for k, v in filters.items() if v)
+    def trend(self, **filters) -> Dict:
+        """Sketch-backed trend (pass ``exact=1`` to replay history)."""
+        query = "&".join(f"{k}={v}" for k, v in filters.items() if v not in (None, ""))
         return self._request(f"/trend{'?' + query if query else ''}")
+
+    def sketch(self, **filters) -> Dict:
+        """Streaming per-line statistics for an index slice."""
+        query = "&".join(f"{k}={v}" for k, v in filters.items() if v not in (None, ""))
+        return self._request(f"/sketch{'?' + query if query else ''}")
+
+    def replicate(self, entry: Dict, profile_payload: Dict) -> Dict:
+        """Push a profile copy to this daemon (idempotent)."""
+        return self._request(
+            "/replicate", body={"entry": entry, "profile": profile_payload}
+        )

@@ -60,8 +60,23 @@ Endpoints::
     POST /merge                   {"ids": [...]} -> merged profile id
     GET  /diff?a=<id>&b=<id>      per-line/function/leak deltas (b − a)
     GET  /trend?workload=...      time-ordered headline numbers + regressions
+                                  (sketch-backed; ?exact=1 replays history)
+    GET  /sketch?workload=...     streaming per-line statistics (?state=1 for
+                                  the raw mergeable aggregator state)
+    POST /replicate               {entry, profile} — idempotent replica write
+                                  from a peer shard (scale-out plane)
     GET  /crossflow?id=<id>       boundary lints × stored crossing counters
     GET  /contention?id=<id>      lock blocked-time table + who-blocks-whom edges
+
+Scale-out (DESIGN.md §12). A daemon can run as one shard of a plane:
+``shard_name`` + a :class:`~repro.serve.router.ShardRouter` turn on
+synchronous best-effort replication — every accepted profile is POSTed
+to the key's replica shard (``owners(key)[1]`` on the ring), where
+content addressing makes the write idempotent. Aggregation endpoints
+answer from a :class:`~repro.serve.streaming.StreamingAggregator`
+maintained on ingest and persisted as ``sketches.json`` next to the
+store, so ``/trend`` is O(window) regardless of history; a missing or
+stale sketch file is rebuilt from the store at boot.
 """
 
 from __future__ import annotations
@@ -82,7 +97,9 @@ from repro.errors import ReproError, ServeError, StoreError
 from repro.serve.aggregate import diff_stored, find_regressions, merge_stored, trend
 from repro.serve.healing import CircuitBreaker, RetryPolicy
 from repro.serve.jobs import Job, execute_job, new_job
+from repro.serve.router import shard_key
 from repro.serve.store import ProfileStore, config_hash, git_tree_hash
+from repro.serve.streaming import StreamingAggregator
 from repro.ui import render_html, render_json
 
 _SHUTDOWN = object()
@@ -105,6 +122,9 @@ class ProfileDaemon:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         max_crash_requeues: int = 4,
+        shard_name: str = "",
+        router=None,
+        replicate_timeout_s: float = 10.0,
     ) -> None:
         self.store = store if isinstance(store, ProfileStore) else ProfileStore(store)
         self.workers = max(1, workers)
@@ -112,6 +132,14 @@ class ProfileDaemon:
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker(5)
         self.max_crash_requeues = max(0, int(max_crash_requeues))
+        #: Scale-out identity: when both are set, accepted profiles
+        #: replicate to the key's replica shard (see module docstring).
+        self.shard_name = shard_name
+        self.router = router
+        self.replicate_timeout_s = float(replicate_timeout_s)
+        self._sketch_path = self.store.root / "sketches.json"
+        self._agg_lock = threading.Lock()
+        self.aggregator = self._load_aggregator()
         self.tree_hash = git_tree_hash()
         self._jobs: Dict[str, Job] = {}
         self._lock = threading.RLock()
@@ -135,6 +163,11 @@ class ProfileDaemon:
             "pool_respawns": 0,
             "breaker_rejections": 0,
             "store_write_retries": 0,
+            "sketch_ingests": 0,
+            "sketch_save_failures": 0,
+            "replications": 0,
+            "replication_failures": 0,
+            "replicated_in": 0,
         }
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -282,6 +315,11 @@ class ProfileDaemon:
                 counts[job.status] += 1
             healing = dict(self.stats)
             draining = self._draining
+        with self._agg_lock:
+            sketch = {
+                "keys": len(self.aggregator.keys()),
+                "ingested": self.aggregator.ingested,
+            }
         return {
             "status": "draining" if draining else "ok",
             "workers": self.workers,
@@ -290,7 +328,124 @@ class ProfileDaemon:
             "tree_hash": self.tree_hash,
             "healing": healing,
             "breaker": self.breaker.states(),
+            "shard": self.shard_name,
+            "sketch": sketch,
         }
+
+    # -- streaming aggregation + replication ------------------------------
+
+    def _load_aggregator(self) -> StreamingAggregator:
+        """Resume from ``sketches.json``, else rebuild from the store.
+
+        The rebuild replays stored history once (O(history) at boot);
+        every later answer comes from the incrementally-maintained
+        sketches. An unreadable sketch file is never trusted — the store
+        is the source of truth and the sketches are derived state.
+        """
+        try:
+            payload = json.loads(self._sketch_path.read_text(encoding="utf-8"))
+            return StreamingAggregator.from_dict(payload)
+        except (OSError, ValueError, ReproError):
+            pass
+        aggregator = StreamingAggregator()
+        entries = sorted(
+            self.store.entries(), key=lambda e: (e.get("created_at", 0.0), e["id"])
+        )
+        for entry in entries:
+            if entry.get("parents"):
+                continue
+            try:
+                aggregator.ingest(entry, self.store.get(entry["id"]))
+            except (StoreError, ReproError):
+                continue  # quarantined/corrupt blobs don't block boot
+        return aggregator
+
+    def _save_sketches_locked(self) -> None:
+        """Persist the aggregator (``_agg_lock`` held); non-fatal."""
+        try:
+            self.store._atomic_write(
+                self._sketch_path, json.dumps(self.aggregator.to_dict()) + "\n"
+            )
+        except (OSError, StoreError):
+            with self._lock:
+                self.stats["sketch_save_failures"] += 1
+
+    def ingest_stored(self, profile_id: str, profile: ProfileData) -> bool:
+        """Fold a just-stored profile into the streaming sketches."""
+        entry = self.store.entry(profile_id)
+        with self._agg_lock:
+            fresh = self.aggregator.ingest(entry, profile)
+            if fresh:
+                self._save_sketches_locked()
+        if fresh:
+            with self._lock:
+                self.stats["sketch_ingests"] += 1
+        return fresh
+
+    def _replication_target(self, entry: Dict) -> Optional[str]:
+        """The peer shard that should hold this profile's replica."""
+        if self.router is None or not self.shard_name:
+            return None
+        key = shard_key(entry.get("workload", ""), entry.get("config_hash", ""))
+        for owner in self.router.ring.owners(key):
+            if owner != self.shard_name:
+                return owner
+        return None
+
+    def _replicate(self, entry: Dict, profile: ProfileData) -> None:
+        """Best-effort synchronous replication to the key's replica.
+
+        Failures are counted, not raised: the profile is durable on this
+        shard, and content addressing makes any later re-replication
+        idempotent. The replica's ``/replicate`` endpoint does not
+        re-replicate, so two-shard rings cannot ping-pong.
+        """
+        target = self._replication_target(entry)
+        if target is None:
+            return
+        import urllib.request
+
+        body = json.dumps(
+            {"entry": entry, "profile": profile.to_dict()}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.router.url(target)}/replicate",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.replicate_timeout_s
+            ) as response:
+                response.read()
+            with self._lock:
+                self.stats["replications"] += 1
+        except OSError:
+            with self._lock:
+                self.stats["replication_failures"] += 1
+
+    def accept_replica(self, entry: Dict, profile_payload: Dict) -> Dict:
+        """Store a peer shard's profile copy (idempotent; no re-replication)."""
+        profile = ProfileData.from_dict(profile_payload)
+        profile_id = self.store.put(
+            profile,
+            workload=entry.get("workload", ""),
+            profiler=entry.get("profiler", "scalene"),
+            config=entry.get("config_hash", ""),
+            tree_hash=entry.get("tree_hash", ""),
+            parents=entry.get("parents") or (),
+            created_at=entry.get("created_at"),
+        )
+        if entry.get("id") and entry["id"] != profile_id:
+            raise ServeError(
+                f"replicated profile hashed to {profile_id[:12]}…, "
+                f"peer claimed {entry['id'][:12]}…"
+            )
+        self.ingest_stored(profile_id, profile)
+        with self._lock:
+            self.stats["replicated_in"] += 1
+        return {"id": profile_id, "shard": self.shard_name}
 
     # -- dispatch -------------------------------------------------------
 
@@ -475,6 +630,11 @@ class ProfileDaemon:
                 job, f"store write failed after 3 attempts: {last_error}"
             )
             return
+        try:
+            self.ingest_stored(profile_id, profile)
+            self._replicate(self.store.entry(profile_id), profile)
+        except (StoreError, ServeError):
+            pass  # the job's profile is durable; sketches/replicas heal
         with self._lock:
             self.breaker.record_success(job.workload)
             job.status = "done"
@@ -594,6 +754,25 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServeError("request body must be a JSON object")
         return payload
 
+    #: Listing endpoints cap their payload unless the caller pages
+    #: explicitly; ``limit=0`` requests everything.
+    DEFAULT_PAGE_LIMIT = 500
+
+    def _page_params(self, query: Dict) -> "tuple":
+        try:
+            limit = int(query.get("limit", self.DEFAULT_PAGE_LIMIT))
+            offset = int(query.get("offset", 0))
+        except ValueError as exc:
+            raise ServeError(f"limit/offset must be integers: {exc}") from None
+        if limit < 0 or offset < 0:
+            raise ServeError("limit/offset must be non-negative")
+        return limit, offset
+
+    @staticmethod
+    def _paginate(items: List, limit: int, offset: int) -> List:
+        items = items[offset:] if offset else items
+        return items[:limit] if limit else items
+
     # -- routing --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — stdlib casing
@@ -614,7 +793,15 @@ class _Handler(BaseHTTPRequestHandler):
                     config_hash=query.get("config_hash"),
                     tree_hash=query.get("tree_hash"),
                 )
-                self._json({"profiles": entries})
+                limit, offset = self._page_params(query)
+                self._json(
+                    {
+                        "profiles": self._paginate(entries, limit, offset),
+                        "total": len(entries),
+                        "limit": limit,
+                        "offset": offset,
+                    }
+                )
             elif len(parts) == 2 and parts[0] == "profiles":
                 self._get_profile(parts[1], query)
             elif parts == ["diff"]:
@@ -623,16 +810,13 @@ class _Handler(BaseHTTPRequestHandler):
                 diff = diff_stored(self.daemon.store, query["a"], query["b"])
                 self._json({"diff": diff.to_dict()})
             elif parts == ["trend"]:
-                points = trend(
-                    self.daemon.store,
-                    workload=query.get("workload"),
-                    profiler=query.get("profiler"),
-                    config_hash=query.get("config_hash"),
-                    tree_hash=query.get("tree_hash"),
-                )
-                self._json(
-                    {"trend": points, "regressions": find_regressions(points)}
-                )
+                self._trend(query)
+            elif parts == ["sketch"]:
+                self._sketch(query)
+            elif parts == ["shards"]:
+                if self.daemon.router is None:
+                    raise ServeError("this daemon is not part of a shard plane")
+                self._json(self.daemon.router.describe())
             elif parts == ["crossflow"]:
                 if "id" not in query:
                     raise ServeError("crossflow needs ?id=<profile_id>")
@@ -658,18 +842,124 @@ class _Handler(BaseHTTPRequestHandler):
             elif parts == ["merge"]:
                 body = self._read_body()
                 ids = body.get("ids")
+                if ids is None:
+                    # Sketch-backed merge view of an index slice: the
+                    # combined per-line statistics without replaying the
+                    # constituent profiles (no new profile is stored).
+                    self._sketch(
+                        {
+                            k: body[k]
+                            for k in ("workload", "profiler", "config_hash")
+                            if body.get(k) is not None
+                        }
+                    )
+                    return
                 if not isinstance(ids, list) or len(ids) < 2:
                     raise ServeError("merge needs {'ids': [<id>, <id>, ...]}")
                 merged_id, merged = merge_stored(self.daemon.store, ids)
                 self._json(
                     {"id": merged_id, "profile": merged.to_dict()}, status=201
                 )
+            elif parts == ["replicate"]:
+                body = self._read_body()
+                entry = body.get("entry")
+                profile = body.get("profile")
+                if not isinstance(entry, dict) or not isinstance(profile, dict):
+                    raise ServeError(
+                        "replicate needs {'entry': {...}, 'profile': {...}}"
+                    )
+                self._json(self.daemon.accept_replica(entry, profile), status=201)
             else:
                 self._error(404, f"unknown endpoint POST {url.path}")
         except StoreError as exc:
             self._error(404, str(exc))
         except ReproError as exc:
             self._error(400, str(exc))
+
+    def _trend(self, query: Dict) -> None:
+        """Trend answers: streaming sketch by default, ``?exact=1`` replays.
+
+        A ``tree_hash`` filter also forces the exact path — sketches are
+        keyed on ``(workload, profiler, config_hash)`` only.
+        """
+        limit, offset = self._page_params(query)
+        exact = query.get("exact") in ("1", "true", "yes") or "tree_hash" in query
+        if exact:
+            points = trend(
+                self.daemon.store,
+                workload=query.get("workload"),
+                profiler=query.get("profiler"),
+                config_hash=query.get("config_hash"),
+                tree_hash=query.get("tree_hash"),
+            )
+            self._json(
+                {
+                    "trend": self._paginate(points, limit, offset),
+                    "regressions": find_regressions(points),
+                    "source": "exact",
+                    "total": len(points),
+                    "limit": limit,
+                    "offset": offset,
+                }
+            )
+            return
+        daemon = self.daemon
+        with daemon._agg_lock:
+            sketch = daemon.aggregator.sketch(
+                workload=query.get("workload"),
+                profiler=query.get("profiler"),
+                config_hash=query.get("config_hash"),
+            )
+            if sketch is None:
+                self._json(
+                    {
+                        "trend": [],
+                        "regressions": [],
+                        "source": "sketch",
+                        "total": 0,
+                        "limit": limit,
+                        "offset": offset,
+                    }
+                )
+                return
+            payload = {
+                "trend": sketch.trend_points(limit, offset),
+                "regressions": sketch.regressions(),
+                "summary": sketch.summary(),
+                "source": "sketch",
+                "total": len(sketch.recent),
+                "limit": limit,
+                "offset": offset,
+            }
+        self._json(payload)
+
+    def _sketch(self, query: Dict) -> None:
+        """Streaming per-line statistics for one index slice."""
+        daemon = self.daemon
+        want_state = query.get("state") in ("1", "true", "yes")
+        try:
+            top = int(query.get("top", 50))
+        except ValueError as exc:
+            raise ServeError(f"top must be an integer: {exc}") from None
+        with daemon._agg_lock:
+            if want_state:
+                self._json({"state": daemon.aggregator.to_dict()})
+                return
+            sketch = daemon.aggregator.sketch(
+                workload=query.get("workload"),
+                profiler=query.get("profiler"),
+                config_hash=query.get("config_hash"),
+            )
+            if sketch is None:
+                self._json({"summary": None, "lines": [], "keys": daemon.aggregator.keys()})
+                return
+            payload = {
+                "summary": sketch.summary(),
+                "lines": sketch.line_table(top),
+                "regressions": sketch.regressions(),
+                "keys": daemon.aggregator.keys(),
+            }
+        self._json(payload)
 
     def _crossflow(self, profile_id: str) -> None:
         """Join a stored profile's crossing counters with the boundary

@@ -1,0 +1,749 @@
+"""Async batching front-end: one gateway socket in front of the shards.
+
+:class:`ServeFrontend` is a **selectors-based** non-blocking HTTP server
+(one event-loop thread, zero threads per connection) that presents the
+whole shard plane as a single endpoint:
+
+* **Batched submission** — ``POST /jobs`` is answered *immediately*
+  (202, a gateway id ``gw-…``) from the event loop with no shard I/O on
+  the submit path; a dispatcher thread drains the pending buffer every
+  ``batch_window_s`` (or at ``batch_max``), routes each job's
+  ``(workload, config_hash)`` key through the consistent-hash router,
+  and flushes per-shard batches concurrently. This is what lets the
+  gateway accept tens of thousands of queued jobs while the shards chew
+  through them at worker speed.
+* **Durable acceptance** — every accepted job lives in the gateway
+  ledger until a shard reports it terminal. If a shard dies, the poller
+  marks it down on the router and re-dispatches that shard's
+  non-terminal jobs to the key's next live owner: dispatch is
+  at-least-once, but storage stays exactly-once because workloads are
+  deterministic and the store is content-addressed — a re-run of the
+  same job hashes to the same profile id.
+* **Fan-out reads** — ``GET /profiles`` fans out to every live shard
+  and streams the merged listing back with chunked transfer-encoding,
+  deduplicating replica copies by content id as chunks arrive.
+  ``GET /trend`` / ``GET /sketch`` are *routed* (single shard: the
+  key's primary, or its replica with ``degraded=true`` marked in the
+  response) — routing, not fan-out, is what keeps replicated profiles
+  from double-counting in aggregates.
+
+The event loop never blocks on shard I/O: submissions are ledger writes,
+and read endpoints run on a small worker pool that hands finished
+response bytes back to the loop through a self-pipe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import selectors
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+from repro.serve.healing import RetryPolicy
+from repro.serve.jobs import new_job
+from repro.serve.router import ShardRouter
+
+#: Gateway job states. ``accepted`` → ``dispatched`` → ``done``/``error``;
+#: a re-dispatch after shard death moves a job back to ``accepted``.
+GATEWAY_TERMINAL = ("done", "error")
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _Connection:
+    """Per-socket state owned by the event loop."""
+
+    __slots__ = ("sock", "inbuf", "outbuf", "close_after_write", "body_target")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = b""
+        self.outbuf = b""
+        self.close_after_write = False
+        self.body_target = -1  # header end + Content-Length once known
+
+
+class ServeFrontend:
+    """Selectors-based HTTP gateway over a :class:`ShardRouter`."""
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_window_s: float = 0.05,
+        batch_max: int = 64,
+        poll_interval_s: float = 0.25,
+        io_workers: int = 8,
+        shard_timeout_s: float = 30.0,
+    ) -> None:
+        self.router = router
+        self.batch_window_s = batch_window_s
+        self.batch_max = batch_max
+        self.poll_interval_s = poll_interval_s
+        self.shard_timeout_s = shard_timeout_s
+        self._listen = socket.create_server((host, port), backlog=512)
+        self._listen.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        #: (connection, bytes, close_after) finished off-loop, drained by
+        #: the event loop after a self-pipe wake-up.
+        self._ready: List[Tuple[_Connection, bytes, bool]] = []
+        self._ready_lock = threading.Lock()
+        self._io = ThreadPoolExecutor(max_workers=io_workers)
+        self._gw_ids = itertools.count(1)
+        self._lock = threading.RLock()
+        #: gw id -> ledger record (see POST /jobs).
+        self.ledger: Dict[str, Dict] = {}
+        #: gw ids accepted but not yet flushed to a shard.
+        self._pending: List[str] = []
+        self._batch_event = threading.Event()
+        self.stats = {
+            "accepted": 0,
+            "dispatched": 0,
+            "redispatched": 0,
+            "dispatch_failures": 0,
+            "shards_marked_down": 0,
+            "shards_marked_up": 0,
+        }
+        self._threads: List[threading.Thread] = []
+        self._stop_event = threading.Event()
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._listen.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._listen.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        if self._started:
+            raise ServeError("frontend already started")
+        self._started = True
+        self._selector.register(self._listen, selectors.EVENT_READ, "accept")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
+        self._threads = [
+            threading.Thread(target=self._loop, name="repro-gateway-loop", daemon=True),
+            threading.Thread(
+                target=self._dispatch_loop, name="repro-gateway-dispatch", daemon=True
+            ),
+            threading.Thread(
+                target=self._poll_loop, name="repro-gateway-poll", daemon=True
+            ),
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._stop_event.set()
+        self._batch_event.set()
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._io.shutdown(wait=False, cancel_futures=True)
+        for key in list(self._selector.get_map().values()):
+            if isinstance(key.data, _Connection):
+                try:
+                    key.data.sock.close()
+                except OSError:
+                    pass
+        self._selector.close()
+        self._listen.close()
+        self._wake_r.close()
+        self._wake_w.close()
+        self._started = False
+        stuck = [t.name for t in self._threads if t.is_alive()]
+        if stuck:
+            raise ServeError(f"gateway threads failed to stop: {stuck}")
+
+    # -- event loop -----------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop_event.is_set():
+            events = self._selector.select(timeout=0.2)
+            for key, mask in events:
+                if key.data == "accept":
+                    self._accept()
+                elif key.data == "wake":
+                    try:
+                        self._wake_r.recv(4096)
+                    except OSError:
+                        pass
+                    self._drain_ready()
+                else:
+                    conn: _Connection = key.data
+                    if mask & selectors.EVENT_READ:
+                        self._readable(conn)
+                    if mask & selectors.EVENT_WRITE:
+                        self._writable(conn)
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listen.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(sock)
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _close(self, conn: _Connection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _interest(self, conn: _Connection) -> None:
+        """Re-arm the selector mask from the connection's buffer state."""
+        mask = selectors.EVENT_READ
+        if conn.outbuf:
+            mask |= selectors.EVENT_WRITE
+        try:
+            self._selector.modify(conn.sock, mask, conn)
+        except (KeyError, ValueError):
+            pass
+
+    def _readable(self, conn: _Connection) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not data:
+            self._close(conn)
+            return
+        conn.inbuf += data
+        while self._try_request(conn):
+            pass
+
+    def _writable(self, conn: _Connection) -> None:
+        if not conn.outbuf:
+            self._interest(conn)
+            return
+        try:
+            sent = conn.sock.send(conn.outbuf)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close(conn)
+            return
+        conn.outbuf = conn.outbuf[sent:]
+        if not conn.outbuf and conn.close_after_write:
+            self._close(conn)
+            return
+        self._interest(conn)
+
+    def _try_request(self, conn: _Connection) -> bool:
+        """Parse and handle one complete pipelined request, if buffered."""
+        if conn.body_target < 0:
+            head_end = conn.inbuf.find(b"\r\n\r\n")
+            if head_end < 0:
+                if len(conn.inbuf) > _MAX_HEADER_BYTES:
+                    self._respond(conn, 431, {"error": "headers too large"}, close=True)
+                    conn.inbuf = b""
+                return False
+            header_blob = conn.inbuf[:head_end].decode("latin-1")
+            length = 0
+            for line in header_blob.split("\r\n")[1:]:
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        length = int(value.strip())
+                    except ValueError:
+                        length = 0
+            if length > _MAX_BODY_BYTES:
+                self._respond(conn, 413, {"error": "body too large"}, close=True)
+                conn.inbuf = b""
+                return False
+            conn.body_target = head_end + 4 + length
+        if len(conn.inbuf) < conn.body_target:
+            return False
+        raw, conn.inbuf = conn.inbuf[: conn.body_target], conn.inbuf[conn.body_target:]
+        conn.body_target = -1
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, version = lines[0].split(" ", 2)
+        except ValueError:
+            self._respond(conn, 400, {"error": "malformed request line"}, close=True)
+            return False
+        keep_alive = not version.endswith("1.0")
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "connection":
+                keep_alive = value.strip().lower() != "close"
+        self._dispatch_request(conn, method, target, body, keep_alive)
+        return bool(conn.inbuf)
+
+    # -- request handling -----------------------------------------------
+
+    def _dispatch_request(
+        self,
+        conn: _Connection,
+        method: str,
+        target: str,
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        url = urlparse(target)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[0] for k, v in parse_qs(url.query).items()}
+        close = not keep_alive
+        # Submission is answered inline — a ledger append, no I/O — so
+        # accept latency is independent of shard health and queue depth.
+        if method == "POST" and parts == ["jobs"]:
+            try:
+                record = self._accept_job(body)
+            except (ServeError, ValueError) as exc:
+                self._respond(conn, 400, {"error": str(exc)}, close=close)
+                return
+            self._respond(conn, 202, {"job": record}, close=close)
+            return
+        if method == "GET" and parts == ["health"]:
+            self._respond(conn, 200, self._health(), close=close)
+            return
+        if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            with self._lock:
+                record = self.ledger.get(parts[1])
+            if record is None:
+                self._respond(conn, 404, {"error": f"unknown gateway job {parts[1]!r}"}, close=close)
+            else:
+                self._respond(conn, 200, {"job": dict(record)}, close=close)
+            return
+        if method == "GET" and parts == ["jobs"]:
+            self._respond(conn, 200, self._jobs_listing(query), close=close)
+            return
+        if method == "GET" and parts == ["shards"]:
+            self._respond(conn, 200, self.router.describe(), close=close)
+            return
+        # Everything else talks to shards: off-loop on the worker pool.
+        self._io.submit(self._handle_offloop, conn, method, parts, query, close)
+
+    def _handle_offloop(
+        self,
+        conn: _Connection,
+        method: str,
+        parts: List[str],
+        query: Dict,
+        close: bool,
+    ) -> None:
+        try:
+            if method == "GET" and parts == ["profiles"]:
+                self._stream_profiles(conn, query, close)
+                return
+            if method == "GET" and parts in (["trend"], ["sketch"]):
+                payload, status = self._routed_read(parts[0], query)
+            elif method == "GET" and len(parts) == 2 and parts[0] == "profiles":
+                payload, status = self._fetch_profile(parts[1], query)
+            else:
+                payload, status = (
+                    {"error": f"unknown endpoint {method} /{'/'.join(parts)}"},
+                    404,
+                )
+        except ServeError as exc:
+            payload, status = {"error": str(exc)}, 502
+        except Exception as exc:  # noqa: BLE001 — gateway must answer
+            payload, status = {"error": f"{type(exc).__name__}: {exc}"}, 500
+        self._finish_offloop(conn, self._render(status, payload), close)
+
+    def _finish_offloop(self, conn: _Connection, data: bytes, close: bool) -> None:
+        with self._ready_lock:
+            self._ready.append((conn, data, close))
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+
+    def _drain_ready(self) -> None:
+        with self._ready_lock:
+            ready, self._ready = self._ready, []
+        for conn, data, close in ready:
+            conn.outbuf += data
+            conn.close_after_write = conn.close_after_write or (
+                close and not conn.inbuf
+            )
+            self._writable(conn)
+
+    # -- responses ------------------------------------------------------
+
+    @staticmethod
+    def _render(status: int, payload: Dict) -> bytes:
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found"}.get(
+            status, "Status"
+        )
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        return head + body
+
+    def _respond(
+        self, conn: _Connection, status: int, payload: Dict, *, close: bool = False
+    ) -> None:
+        conn.outbuf += self._render(status, payload)
+        conn.close_after_write = conn.close_after_write or close
+        self._writable(conn)
+
+    # -- gateway job ledger ---------------------------------------------
+
+    def _accept_job(self, body: bytes) -> Dict:
+        if not body:
+            raise ServeError("request body must be a JSON object")
+        payload = json.loads(body.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        probe = new_job(payload)  # full validation; the probe id is discarded
+        gw_id = f"gw-{next(self._gw_ids):08d}"
+        record = {
+            "id": gw_id,
+            "workload": probe.workload,
+            "profiler": probe.profiler,
+            # The routing key, normalized exactly like the daemon's index
+            # entry so the job lands on the shard its profile belongs to.
+            "config_hash": _probe_config_hash(probe),
+            "status": "accepted",
+            "shard": None,
+            "shard_job_id": None,
+            "profile_id": None,
+            "error": None,
+            "accepted_at": time.time(),
+            "payload": payload,
+        }
+        with self._lock:
+            self.ledger[gw_id] = record
+            self._pending.append(gw_id)
+            self.stats["accepted"] += 1
+            depth = len(self._pending)
+        if depth >= self.batch_max:
+            self._batch_event.set()
+        return {k: v for k, v in record.items() if k != "payload"}
+
+    def _jobs_listing(self, query: Dict) -> Dict:
+        with self._lock:
+            records = [
+                {k: v for k, v in r.items() if k != "payload"}
+                for r in self.ledger.values()
+            ]
+        counts: Dict[str, int] = {}
+        for record in records:
+            counts[record["status"]] = counts.get(record["status"], 0) + 1
+        try:
+            limit = int(query.get("limit", 500))
+            offset = int(query.get("offset", 0))
+        except ValueError:
+            limit, offset = 500, 0
+        page = records[offset:]
+        if limit:
+            page = page[:limit]
+        return {"jobs": page, "counts": counts, "total": len(records)}
+
+    def _health(self) -> Dict:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for record in self.ledger.values():
+                counts[record["status"]] = counts.get(record["status"], 0) + 1
+            pending = len(self._pending)
+            stats = dict(self.stats)
+        return {
+            "status": "ok",
+            "role": "gateway",
+            "jobs": counts,
+            "pending_batch": pending,
+            "stats": stats,
+            "shards": {
+                "live": self.router.live_shards(),
+                "down": self.router.down_shards(),
+            },
+        }
+
+    # -- dispatcher ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop_event.is_set():
+            self._batch_event.wait(self.batch_window_s)
+            self._batch_event.clear()
+            if self._stop_event.is_set():
+                return
+            self._flush_pending()
+
+    def _flush_pending(self) -> None:
+        with self._lock:
+            batch, self._pending = self._pending[:], []
+        if not batch:
+            return
+        by_shard: Dict[str, List[str]] = {}
+        unroutable: List[str] = []
+        with self._lock:
+            for gw_id in batch:
+                record = self.ledger.get(gw_id)
+                if record is None or record["status"] in GATEWAY_TERMINAL:
+                    continue
+                try:
+                    shard, _ = self.router.route(
+                        record["workload"], record["config_hash"]
+                    )
+                except ServeError:
+                    unroutable.append(gw_id)
+                    continue
+                by_shard.setdefault(shard, []).append(gw_id)
+        if unroutable:
+            # Every owner of these keys is down; keep them queued — the
+            # poller re-arms the batch when a shard comes back.
+            with self._lock:
+                self._pending.extend(unroutable)
+        futures = [
+            self._io.submit(self._flush_to_shard, shard, gw_ids)
+            for shard, gw_ids in by_shard.items()
+        ]
+        for future in futures:
+            future.result()
+
+    def _flush_to_shard(self, shard: str, gw_ids: List[str]) -> None:
+        client = self._client(shard)
+        for gw_id in gw_ids:
+            if self._stop_event.is_set():
+                return  # abandon the flush; the ledger keeps the backlog
+            with self._lock:
+                record = self.ledger.get(gw_id)
+                if record is None or record["status"] in GATEWAY_TERMINAL:
+                    continue
+                payload = dict(record["payload"])
+            try:
+                job = client._request("/jobs", body=payload)["job"]
+            except ServeError as exc:
+                self._shard_trouble(shard, gw_ids=[gw_id], reason=str(exc))
+                return
+            with self._lock:
+                record = self.ledger.get(gw_id)
+                if record is not None:
+                    record["status"] = "dispatched"
+                    record["shard"] = shard
+                    record["shard_job_id"] = job["id"]
+                    self.stats["dispatched"] += 1
+
+    def _shard_trouble(
+        self, shard: str, *, gw_ids: Optional[List[str]] = None, reason: str = ""
+    ) -> None:
+        """A shard stopped answering: mark it down, requeue its jobs."""
+        if not self.router.is_down(shard):
+            self.router.mark_down(shard)
+            with self._lock:
+                self.stats["shards_marked_down"] += 1
+        requeue = set(gw_ids or [])
+        with self._lock:
+            for gw_id, record in self.ledger.items():
+                if (
+                    record["shard"] == shard
+                    and record["status"] not in GATEWAY_TERMINAL
+                ):
+                    requeue.add(gw_id)
+            for gw_id in sorted(requeue):
+                record = self.ledger[gw_id]
+                record["status"] = "accepted"
+                record["shard"] = None
+                record["shard_job_id"] = None
+                self._pending.append(gw_id)
+                self.stats["redispatched"] += 1
+                self.stats["dispatch_failures"] += 1
+        self._batch_event.set()
+
+    # -- poller ----------------------------------------------------------
+
+    def _poll_loop(self) -> None:
+        while not self._stop_event.wait(self.poll_interval_s):
+            try:
+                self._poll_once()
+            except Exception:  # noqa: BLE001 — the poller must survive
+                pass
+
+    def _poll_once(self) -> None:
+        # Probe down shards back up (a revived daemon answers /health).
+        for shard in self.router.down_shards():
+            try:
+                probe = ServeClient(
+                    self.router.url(shard),
+                    timeout=2.0,
+                    connect_timeout_s=1.0,
+                    retry=RetryPolicy(1),
+                )
+                probe.health()
+            except ServeError:
+                continue
+            self.router.mark_up(shard)
+            with self._lock:
+                self.stats["shards_marked_up"] += 1
+            self._batch_event.set()
+        # Refresh dispatched-job statuses, one listing per shard.
+        with self._lock:
+            shards = {
+                record["shard"]
+                for record in self.ledger.values()
+                if record["status"] == "dispatched" and record["shard"]
+            }
+        for shard in sorted(shards):
+            try:
+                jobs = {j["id"]: j for j in self._client(shard).jobs()}
+            except ServeError as exc:
+                self._shard_trouble(shard, reason=str(exc))
+                continue
+            with self._lock:
+                for record in self.ledger.values():
+                    if record["shard"] != shard or record["status"] != "dispatched":
+                        continue
+                    job = jobs.get(record["shard_job_id"])
+                    if job is None:
+                        # The shard lost the job (e.g. restarted): requeue.
+                        record["status"] = "accepted"
+                        record["shard"] = None
+                        record["shard_job_id"] = None
+                        self._pending.append(record["id"])
+                        self.stats["redispatched"] += 1
+                    elif job["status"] == "done":
+                        record["status"] = "done"
+                        record["profile_id"] = job.get("profile_id")
+                    elif job["status"] == "error":
+                        record["status"] = "error"
+                        record["error"] = job.get("error")
+
+    # -- shard reads -----------------------------------------------------
+
+    def _client(self, shard: str) -> ServeClient:
+        return ServeClient(
+            self.router.url(shard),
+            timeout=self.shard_timeout_s,
+            connect_timeout_s=min(5.0, self.shard_timeout_s),
+        )
+
+    def _routed_read(self, endpoint: str, query: Dict) -> Tuple[Dict, int]:
+        """Route /trend and /sketch to the key's primary (or replica).
+
+        Requires ``workload``: aggregates are sliced per key, and
+        routing (instead of fanning out) is what keeps the replica
+        copies from double-counting.
+        """
+        workload = query.get("workload")
+        if not workload:
+            raise ServeError(f"gateway {endpoint} needs ?workload=…")
+        shard, degraded = self.router.route(workload, query.get("config_hash", ""))
+        try:
+            payload = self._client(shard)._request(
+                f"/{endpoint}?" + "&".join(f"{k}={v}" for k, v in query.items())
+            )
+        except ServeError:
+            self._shard_trouble(shard, reason=f"{endpoint} read failed")
+            shard, degraded = self.router.route(workload, query.get("config_hash", ""))
+            payload = self._client(shard)._request(
+                f"/{endpoint}?" + "&".join(f"{k}={v}" for k, v in query.items())
+            )
+        payload["shard"] = shard
+        payload["degraded"] = degraded
+        return payload, 200
+
+    def _fetch_profile(self, profile_id: str, query: Dict) -> Tuple[Dict, int]:
+        """Find a stored profile on any live shard (content-addressed)."""
+        last: Optional[ServeError] = None
+        for shard in self.router.live_shards():
+            try:
+                return self._client(shard).profile(profile_id), 200
+            except ServeError as exc:
+                last = exc
+                continue
+        raise last if last is not None else ServeError(f"unknown profile {profile_id!r}")
+
+    def _stream_profiles(self, conn: _Connection, query: Dict, close: bool) -> None:
+        """Chunked fan-out listing, deduplicated by content id.
+
+        Each live shard's page is fetched in turn and streamed out as
+        its own chunk, so the first bytes reach the client while later
+        shards are still answering.
+        """
+        qs = "&".join(f"{k}={v}" for k, v in query.items())
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._finish_offloop(conn, head + _chunk(b'{"profiles":['), close=False)
+        seen: set = set()
+        degraded = bool(self.router.down_shards())
+        first = True
+        for shard in self.router.live_shards():
+            try:
+                page = self._client(shard)._request(
+                    f"/profiles{'?' + qs if qs else ''}"
+                )
+            except ServeError:
+                self._shard_trouble(shard, reason="profiles fan-out failed")
+                degraded = True
+                continue
+            fresh = [e for e in page["profiles"] if e["id"] not in seen]
+            seen.update(e["id"] for e in fresh)
+            if fresh:
+                blob = ",".join(json.dumps(e) for e in fresh)
+                if not first:
+                    blob = "," + blob
+                first = False
+                self._finish_offloop(conn, _chunk(blob.encode("utf-8")), close=False)
+        tail = json.dumps(
+            {"total": len(seen), "degraded": degraded, "shards": self.router.live_shards()}
+        )[1:-1]
+        self._finish_offloop(
+            conn,
+            _chunk(("]," + tail + "}").encode("utf-8")) + _chunk(b""),
+            close,
+        )
+
+
+def _chunk(data: bytes) -> bytes:
+    """One HTTP/1.1 chunked-transfer frame (empty data = terminator)."""
+    return f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n"
+
+
+def _probe_config_hash(probe) -> str:
+    """The routing config hash of a validated submission.
+
+    Mirrors how the daemon keys stored profiles
+    (``config_hash({mode, scale, overrides})``) so a job routes to the
+    same shard its profile will be indexed under.
+    """
+    from repro.serve.store import config_hash
+
+    return config_hash(
+        {"mode": probe.mode, "scale": probe.scale, "overrides": probe.config or {}}
+    )

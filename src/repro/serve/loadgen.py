@@ -1,0 +1,220 @@
+"""Load generator for the scale-out serve plane.
+
+Drives a gateway (or a single daemon) with a burst of job submissions
+from concurrent worker threads, measuring what the scale-out plane is
+supposed to deliver: **accept throughput** (submissions/sec) and
+**accept latency** (p50/p99) while thousands of jobs sit queued behind
+the batching front-end. Backs ``python -m repro loadgen`` and
+``benchmarks/bench_serve_scale.py``.
+
+Each worker keeps one persistent HTTP connection (keep-alive) and
+submits jobs round-robin over the configured workloads at a tiny scale;
+latencies are measured per request with a monotonic clock. The report
+also samples ``/health`` afterwards so a run records how many of the
+accepted jobs the plane had already dispatched/completed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+from urllib.parse import urlparse
+
+from repro.errors import ServeError
+
+#: Cheap, CPU-light workloads for load tests (tiny scale keeps each
+#: job's execution negligible next to the submission path under test).
+DEFAULT_WORKLOADS = ("pprint", "fannkuch", "raytrace", "balanced")
+
+
+@dataclass
+class LoadReport:
+    """One load-generation run's measurements."""
+
+    submitted: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    submissions_per_s: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p90_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_max_ms: float = 0.0
+    concurrency: int = 0
+    gateway_health: Dict = field(default_factory=dict)
+    job_ids: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        return {
+            "submitted": self.submitted,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "submissions_per_s": self.submissions_per_s,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p90_ms": self.latency_p90_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_max_ms": self.latency_max_ms,
+            "concurrency": self.concurrency,
+            "gateway_health": self.gateway_health,
+        }
+
+
+class _Submitter(threading.Thread):
+    """One persistent keep-alive connection submitting jobs in a loop."""
+
+    def __init__(
+        self,
+        url: str,
+        payloads: Sequence[bytes],
+        count: int,
+        *,
+        timeout_s: float,
+    ) -> None:
+        super().__init__(daemon=True)
+        parsed = urlparse(url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.payloads = payloads
+        self.count = count
+        self.timeout_s = timeout_s
+        self.latencies_ms: List[float] = []
+        self.job_ids: List[str] = []
+        self.errors = 0
+
+    def run(self) -> None:
+        sock: Optional[socket.socket] = None
+        try:
+            for i in range(self.count):
+                body = self.payloads[i % len(self.payloads)]
+                request = (
+                    b"POST /jobs HTTP/1.1\r\n"
+                    b"Host: gateway\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                    b"\r\n" + body
+                )
+                started = time.perf_counter()
+                try:
+                    if sock is None:
+                        sock = socket.create_connection(
+                            (self.host, self.port), timeout=self.timeout_s
+                        )
+                        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    sock.sendall(request)
+                    payload = _read_response(sock, self.timeout_s)
+                except OSError:
+                    self.errors += 1
+                    if sock is not None:
+                        try:
+                            sock.close()
+                        except OSError:
+                            pass
+                        sock = None
+                    continue
+                self.latencies_ms.append((time.perf_counter() - started) * 1000.0)
+                job = payload.get("job") or {}
+                if job.get("id"):
+                    self.job_ids.append(job["id"])
+                else:
+                    self.errors += 1
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+def _read_response(sock: socket.socket, timeout_s: float) -> Dict:
+    """Read one Content-Length-framed HTTP response and parse its JSON."""
+    sock.settimeout(timeout_s)
+    buf = b""
+    while b"\r\n\r\n" not in buf:
+        data = sock.recv(65536)
+        if not data:
+            raise OSError("connection closed mid-response")
+        buf += data
+    head, _, rest = buf.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.decode("latin-1").split("\r\n")[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        data = sock.recv(65536)
+        if not data:
+            raise OSError("connection closed mid-body")
+        rest += data
+    try:
+        return json.loads(rest[:length].decode("utf-8"))
+    except ValueError:
+        return {}
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def run_load(
+    url: str,
+    *,
+    jobs: int = 1000,
+    concurrency: int = 8,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    scale: float = 0.02,
+    timeout_s: float = 30.0,
+    collect_ids: bool = False,
+) -> LoadReport:
+    """Submit ``jobs`` jobs against ``url`` from ``concurrency`` threads."""
+    if jobs < 1 or concurrency < 1:
+        raise ServeError("loadgen needs jobs >= 1 and concurrency >= 1")
+    payloads = [
+        json.dumps(
+            {"workload": w, "mode": "cpu", "scale": scale, "timeout_s": 120}
+        ).encode("utf-8")
+        for w in workloads
+    ]
+    per_worker = [jobs // concurrency] * concurrency
+    for i in range(jobs % concurrency):
+        per_worker[i] += 1
+    submitters = [
+        _Submitter(url, payloads, count, timeout_s=timeout_s)
+        for count in per_worker
+        if count > 0
+    ]
+    started = time.perf_counter()
+    for submitter in submitters:
+        submitter.start()
+    for submitter in submitters:
+        submitter.join()
+    elapsed = time.perf_counter() - started
+
+    latencies = sorted(
+        ms for submitter in submitters for ms in submitter.latencies_ms
+    )
+    report = LoadReport(
+        submitted=len(latencies),
+        errors=sum(s.errors for s in submitters),
+        elapsed_s=elapsed,
+        submissions_per_s=len(latencies) / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=_percentile(latencies, 0.50),
+        latency_p90_ms=_percentile(latencies, 0.90),
+        latency_p99_ms=_percentile(latencies, 0.99),
+        latency_max_ms=latencies[-1] if latencies else 0.0,
+        concurrency=len(submitters),
+    )
+    if collect_ids:
+        report.job_ids = [jid for s in submitters for jid in s.job_ids]
+    try:
+        from repro.serve.client import ServeClient
+
+        report.gateway_health = ServeClient(url, timeout=10.0).health()
+    except ServeError:
+        report.gateway_health = {}
+    return report

@@ -1,0 +1,209 @@
+"""Consistent-hash shard routing for the scale-out serve plane.
+
+The shard plane partitions the profile store across N daemons. Routing
+is keyed on ``(workload, config_hash)`` — the same slice the index and
+``/trend`` query — so every profile of one workload/config lands on one
+primary shard and aggregation never crosses shards for the common case.
+
+:class:`HashRing` is a textbook consistent-hash ring with virtual
+nodes: each shard contributes ``vnodes`` points on a 2^64 ring
+(SHA-256-derived, stable across processes and Python hash seeds); a key
+routes to the first point clockwise. Adding or removing one shard moves
+only ~1/N of the key space — the property that makes shard counts a
+deployment knob rather than a data migration.
+
+:class:`ShardRouter` layers placement policy on the ring:
+
+* ``primary(key)`` — the owning shard;
+* ``replica(key)`` — the next *distinct* shard clockwise, which holds a
+  full copy of the primary's profiles (the daemon replicates every
+  accepted profile to its replica; content addressing makes replication
+  idempotent);
+* ``route(key)`` — primary unless it is marked down, else the replica
+  with ``degraded=True``; reads served from a replica are correct
+  (replication is synchronous with ingest) but may miss in-flight
+  writes, which the degraded flag surfaces to callers.
+
+Shard health is maintained by the caller (the front-end marks a shard
+down on connection failure and probes it back up); the router itself
+never does I/O, which keeps it trivially testable and shareable.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServeError
+
+#: Virtual nodes per shard. 64 points per shard keeps the max/mean key
+#: imbalance under ~15% for small N while the ring stays tiny.
+DEFAULT_VNODES = 64
+
+
+def _ring_hash(value: str) -> int:
+    """Stable 64-bit ring position (independent of PYTHONHASHSEED)."""
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def shard_key(workload: str, config_hash: str = "") -> str:
+    """The routing key: profiles of one workload/config colocate."""
+    return f"{workload}\x00{config_hash}"
+
+
+class HashRing:
+    """Consistent-hash ring over named shards with virtual nodes."""
+
+    def __init__(self, shards: Sequence[str], *, vnodes: int = DEFAULT_VNODES) -> None:
+        if not shards:
+            raise ServeError("hash ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ServeError(f"duplicate shard names: {sorted(shards)}")
+        self.vnodes = vnodes
+        self.shards = list(shards)
+        points: List[Tuple[int, str]] = []
+        for shard in shards:
+            for replica in range(vnodes):
+                points.append((_ring_hash(f"{shard}#{replica}"), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def owners(self, key: str) -> List[str]:
+        """Distinct shards clockwise from ``key``'s ring position.
+
+        ``owners(key)[0]`` is the primary, ``[1]`` the replica, and so
+        on; the list covers every shard exactly once.
+        """
+        start = bisect.bisect_right(self._hashes, _ring_hash(key))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            shard = self._points[(start + offset) % len(self._points)][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) == len(self.shards):
+                    break
+        return seen
+
+    def primary(self, key: str) -> str:
+        return self.owners(key)[0]
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Primary-ownership histogram (used by tests and /shards)."""
+        counts = {shard: 0 for shard in self.shards}
+        for key in keys:
+            counts[self.primary(key)] += 1
+        return counts
+
+
+class ShardRouter:
+    """Placement + failover policy over a :class:`HashRing`.
+
+    Thread-safe: the front-end's event loop, its dispatcher, and its
+    health poller all consult one router instance.
+    """
+
+    def __init__(
+        self,
+        shard_urls: Dict[str, str],
+        *,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if not shard_urls:
+            raise ServeError("router needs at least one shard url")
+        self.ring = HashRing(sorted(shard_urls), vnodes=vnodes)
+        self.urls = dict(shard_urls)
+        self._down: set = set()
+        self._lock = threading.Lock()
+
+    # -- health ---------------------------------------------------------
+
+    def mark_down(self, shard: str) -> None:
+        if shard not in self.urls:
+            raise ServeError(f"unknown shard {shard!r}")
+        with self._lock:
+            self._down.add(shard)
+
+    def mark_up(self, shard: str) -> None:
+        with self._lock:
+            self._down.discard(shard)
+
+    def is_down(self, shard: str) -> bool:
+        with self._lock:
+            return shard in self._down
+
+    def down_shards(self) -> List[str]:
+        with self._lock:
+            return sorted(self._down)
+
+    def live_shards(self) -> List[str]:
+        with self._lock:
+            return [s for s in self.ring.shards if s not in self._down]
+
+    # -- placement ------------------------------------------------------
+
+    def primary(self, workload: str, config_hash: str = "") -> str:
+        return self.ring.primary(shard_key(workload, config_hash))
+
+    def replica(self, workload: str, config_hash: str = "") -> Optional[str]:
+        owners = self.ring.owners(shard_key(workload, config_hash))
+        return owners[1] if len(owners) > 1 else None
+
+    def replica_of(self, shard: str) -> Optional[str]:
+        """The shard's ring successor (display hint for ``/shards``).
+
+        Replication is **per key**, not per shard: a profile stored on
+        its primary replicates to ``owners(key)[1]``, which varies with
+        the key's ring position across the primary's vnodes. This
+        method only names the successor from the shard's first vnode —
+        a readable summary, not the placement rule.
+        """
+        if len(self.ring.shards) < 2:
+            return None
+        owners = self.ring.owners(f"{shard}#0")
+        # owners[0] is `shard` itself (its vnode hashes there).
+        for candidate in owners:
+            if candidate != shard:
+                return candidate
+        return None
+
+    def route(self, workload: str, config_hash: str = "") -> Tuple[str, bool]:
+        """``(shard, degraded)`` for a key: primary, else live replica.
+
+        Raises :class:`ServeError` when every owner of the key is down.
+        """
+        owners = self.ring.owners(shard_key(workload, config_hash))
+        with self._lock:
+            for index, shard in enumerate(owners):
+                if shard not in self._down:
+                    return shard, index > 0
+        raise ServeError(
+            f"no live shard for workload={workload!r} "
+            f"(owners {owners}, all down)"
+        )
+
+    def url(self, shard: str) -> str:
+        try:
+            return self.urls[shard]
+        except KeyError:
+            raise ServeError(f"unknown shard {shard!r}") from None
+
+    def describe(self) -> Dict:
+        with self._lock:
+            down = sorted(self._down)
+        return {
+            "shards": [
+                {
+                    "name": shard,
+                    "url": self.urls[shard],
+                    "down": shard in down,
+                    "replica": self.replica_of(shard),
+                }
+                for shard in self.ring.shards
+            ],
+            "vnodes": self.ring.vnodes,
+        }

@@ -101,6 +101,21 @@ class ProfileStore:
         self.faults = faults
         self._lock = threading.RLock()
         self.objects_dir.mkdir(parents=True, exist_ok=True)
+        #: Stamp-validated index cache. ``_cache_index`` mirrors the
+        #: on-disk index as of ``_cache_stamp`` (mtime_ns, size); any
+        #: out-of-band change to ``index.json`` changes the stamp, so
+        #: reads fall through to disk (and its healing path) exactly as
+        #: they did before the cache existed. With
+        #: :attr:`defer_index_flush` set, ``put`` appends to the cache
+        #: only (``_pending_flush``), and :meth:`flush_index` writes the
+        #: whole index once — turning an N-profile bulk load from
+        #: O(N²) index bytes into O(N). Safe because the index is
+        #: derived state: a crash before the flush loses nothing the
+        #: sidecar scan can't rebuild.
+        self._cache_index: Optional[Dict] = None
+        self._cache_stamp: Optional[tuple] = None
+        self._pending_flush = False
+        self.defer_index_flush = False
         #: What opening the store had to heal (see :meth:`recover`).
         self.last_recovery = self.recover()
 
@@ -263,8 +278,18 @@ class ProfileStore:
             index = self._read_index_healing()
             if not any(e["id"] == profile_id for e in index["entries"]):
                 index["entries"].append(entry)
-                self._write_index(index)
+                if self.defer_index_flush:
+                    self._cache_index = index
+                    self._pending_flush = True
+                else:
+                    self._write_index(index)
         return profile_id
+
+    def flush_index(self) -> None:
+        """Write a deferred index (see :attr:`defer_index_flush`)."""
+        with self._lock:
+            if self._pending_flush and self._cache_index is not None:
+                self._write_index(self._cache_index)
 
     # -- read -----------------------------------------------------------
 
@@ -313,9 +338,13 @@ class ProfileStore:
         raise StoreError(f"profile {profile_id} has no index entry")
 
     def entries(self) -> List[Dict]:
-        """All index entries, insertion-ordered (heals a torn index)."""
+        """All index entries, insertion-ordered (heals a torn index).
+
+        Returns per-entry copies: callers can annotate them without
+        mutating the cached index.
+        """
         with self._lock:
-            return list(self._read_index_healing()["entries"])
+            return [dict(e) for e in self._read_index_healing()["entries"]]
 
     def find(
         self,
@@ -387,13 +416,42 @@ class ProfileStore:
             )
         return index
 
-    def _read_index_healing(self) -> Dict:
-        """Read the index, rebuilding it from the blobs if unreadable."""
+    def _index_stamp(self) -> Optional[tuple]:
         try:
-            return self._read_index()
-        except StoreError:
-            self._rebuild_index()
-            return self._read_index()
+            stat = self.index_path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _read_index_healing(self) -> Dict:
+        """Read the index, rebuilding it from the blobs if unreadable.
+
+        Served from the in-memory cache while the on-disk stamp is
+        unchanged (or while a deferred flush makes the cache the only
+        current copy); any external modification invalidates the stamp
+        and falls through to the original read-and-heal path.
+        """
+        with self._lock:
+            if self._pending_flush and self._cache_index is not None:
+                return self._cache_index
+            stamp = self._index_stamp()
+            if (
+                self._cache_index is not None
+                and stamp is not None
+                and stamp == self._cache_stamp
+            ):
+                return self._cache_index
+            try:
+                index = self._read_index()
+            except StoreError:
+                self._rebuild_index()
+                index = self._read_index()
+            self._cache_index = index
+            self._cache_stamp = self._index_stamp()
+            return index
 
     def _write_index(self, index: Dict) -> None:
         self._atomic_write(self.index_path, json.dumps(index, indent=2) + "\n")
+        self._cache_index = index
+        self._cache_stamp = self._index_stamp()
+        self._pending_flush = False

@@ -19,7 +19,7 @@ import time
 import pytest
 
 from repro.errors import ServeError
-from repro.faults.chaos import build_fault_schedules, run_chaos
+from repro.faults.chaos import build_fault_schedules, run_chaos, run_shard_chaos
 from repro.serve.daemon import ProfileDaemon
 from repro.serve.healing import OPEN, CircuitBreaker, RetryPolicy
 
@@ -81,6 +81,56 @@ def test_schedules_are_deterministic():
     assert sum(1 for s in a if s.crash_attempts and s.crash_mode == "exit") == 2
     assert sum(1 for s in a if s.crash_attempts and s.crash_mode == "exception") == 2
     assert len({s.seed for s in a} & {s.seed for s in build_fault_schedules(8, 8)}) == 0
+
+
+# -- chaos at scale: shard kill + router failover ---------------------------
+
+
+@pytest.fixture(scope="module")
+def shard_chaos_report(tmp_path_factory):
+    """One shard-kill chaos run (seed 1) shared by the scale-out assertions:
+    9 jobs through the gateway and a 3-shard plane, with the primary shard
+    of one routed key killed mid-run and revived at the end."""
+    return run_shard_chaos(
+        seed=1,
+        root=str(tmp_path_factory.mktemp("shard-chaos")),
+        shards=3,
+        jobs=9,
+        kill_after=3,
+        scale=0.05,
+    )
+
+
+def test_shard_chaos_run_is_clean(shard_chaos_report):
+    assert shard_chaos_report.ok, shard_chaos_report.summary()
+
+
+def test_shard_kill_loses_no_accepted_jobs(shard_chaos_report):
+    # Jobs accepted before the kill — including ones dispatched to the
+    # victim — all finish done with a profile id; the gateway ledger
+    # re-dispatches, content addressing keeps storage exactly-once.
+    assert shard_chaos_report.submitted == 9
+    assert shard_chaos_report.done == 9
+    assert shard_chaos_report.killed_shard  # a shard really was killed
+    assert shard_chaos_report.done_before_kill < 9  # work was in flight
+
+
+def test_replica_reads_degraded_but_correct(shard_chaos_report):
+    # With the victim key's primary down, the routed /trend answers from
+    # the replica: flagged degraded, but sketch ids == exact replay ids.
+    degraded = shard_chaos_report.degraded_reads[0]
+    assert degraded["degraded"] is True
+    assert degraded["shard"] != shard_chaos_report.killed_shard
+    assert degraded["sketch_ids"] == degraded["exact_ids"]
+    assert degraded["sketch_ids"]  # the replica actually had the data
+
+
+def test_revived_shard_resumes_primary_reads(shard_chaos_report):
+    assert shard_chaos_report.revived
+    healthy = shard_chaos_report.degraded_reads[1]
+    assert healthy["degraded"] is False
+    assert healthy["shard"] == shard_chaos_report.killed_shard
+    assert healthy["sketch_ids"] == shard_chaos_report.degraded_reads[0]["sketch_ids"]
 
 
 # -- targeted healing mechanisms ------------------------------------------

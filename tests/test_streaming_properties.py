@@ -1,0 +1,374 @@
+"""Property-based tests of the streaming-aggregation sketches (DESIGN.md §12).
+
+The scale-out serve plane answers ``/trend`` and ``/merge`` from bounded
+sketches instead of replaying stored history, which is only sound if the
+sketch algebra holds:
+
+* :class:`RunningStats` is an exact, *mergeable* summary — merging
+  per-shard stats must equal one stream's stats no matter how the stream
+  was partitioned or in which order the parts fold (associativity and
+  commutativity up to float rounding);
+* :class:`ReservoirSample` keeps a fixed-capacity uniform sample whose
+  weight invariants (``seen`` counts everything offered, merged ``seen``
+  sums, retained values come from the union) survive any merge;
+* a :class:`KeySketch` built from singleton sketches must reproduce the
+  answers of :func:`repro.core.profile_data.merge_profiles` replaying the
+  same profiles — per-line CPU shares to float precision, headline
+  elapsed/peak statistics exactly;
+* the schema-v6 ``sketch`` field round-trips through JSON, and schema-v5
+  payloads (no such field) still load.
+
+Hypothesis drives the inputs; the profile-backed properties scale one
+real workload profile along elapsed/CPU/memory axes so every generated
+history is a structurally valid profile set.
+"""
+
+import copy
+import json
+import math
+import statistics
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.core.profile_data import (
+    ProfileData,
+    SCHEMA_VERSION,
+    merge_profiles,
+)
+from repro.errors import ProfileSchemaError
+from repro.serve.jobs import execute_job
+from repro.serve.streaming import (
+    KeySketch,
+    ReservoirSample,
+    RunningStats,
+    StreamingAggregator,
+    sketch_of_profile,
+)
+
+values_st = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+#: Per-profile scale factors: (elapsed, cpu time, allocation volume).
+factor_st = st.tuples(
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+
+
+def stats_of(values):
+    stats = RunningStats()
+    for value in values:
+        stats.push(value)
+    return stats
+
+
+def close(a, b, rel=1e-9, abs_tol=1e-6):
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)
+
+
+# -- RunningStats ----------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(values_st)
+def test_running_stats_match_exact_statistics(values):
+    """Welford's streaming update reproduces the batch formulas."""
+    stats = stats_of(values)
+    assert stats.count == len(values)
+    assert close(stats.mean, statistics.fmean(values))
+    assert close(stats.variance, statistics.pvariance(values), abs_tol=1e-3)
+    assert stats.min == min(values)
+    assert stats.max == max(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values_st, values_st)
+def test_running_stats_merge_is_commutative(a, b):
+    ab = stats_of(a).merge(stats_of(b))
+    ba = stats_of(b).merge(stats_of(a))
+    assert ab.count == ba.count
+    assert close(ab.mean, ba.mean)
+    assert close(ab.variance, ba.variance, abs_tol=1e-3)
+    assert (ab.min, ab.max) == (ba.min, ba.max)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values_st, values_st, values_st)
+def test_running_stats_merge_is_associative(a, b, c):
+    left = stats_of(a).merge(stats_of(b)).merge(stats_of(c))
+    right = stats_of(a).merge(stats_of(b).merge(stats_of(c)))
+    assert left.count == right.count
+    assert close(left.mean, right.mean)
+    assert close(left.variance, right.variance, abs_tol=1e-3)
+    assert (left.min, left.max) == (right.min, right.max)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values_st, st.data())
+def test_running_stats_partition_invariance(values, data):
+    """Any sharding of the stream merges back to the single-stream stats
+    — the property cross-shard ``/trend`` aggregation relies on."""
+    cut_a = data.draw(st.integers(min_value=0, max_value=len(values)))
+    cut_b = data.draw(st.integers(min_value=cut_a, max_value=len(values)))
+    whole = stats_of(values)
+    merged = (
+        stats_of(values[:cut_a])
+        .merge(stats_of(values[cut_a:cut_b]))
+        .merge(stats_of(values[cut_b:]))
+    )
+    assert merged.count == whole.count
+    assert close(merged.mean, whole.mean)
+    assert close(merged.variance, whole.variance, abs_tol=1e-3)
+    assert (merged.min, merged.max) == (whole.min, whole.max)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values_st)
+def test_running_stats_round_trip(values):
+    stats = stats_of(values)
+    again = RunningStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+    assert again.to_dict() == stats.to_dict()
+    assert (again.count, again.mean, again.variance) == (
+        stats.count,
+        stats.mean,
+        stats.variance,
+    )
+
+
+# -- ReservoirSample -------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values_st,
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_reservoir_weight_invariants(values, capacity, seed):
+    """``seen`` counts every offer; the sample never exceeds capacity and
+    only ever holds offered values; a replay reproduces it exactly."""
+    sample = ReservoirSample(capacity, seed=seed)
+    for value in values:
+        sample.push(value)
+    assert sample.seen == len(values)
+    assert len(sample.values) == min(len(values), capacity)
+    pool = list(values)
+    for kept in sample.values:
+        assert kept in pool
+        pool.remove(kept)  # multiset containment, not just membership
+    replay = ReservoirSample(capacity, seed=seed)
+    for value in values:
+        replay.push(value)
+    assert replay.values == sample.values
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values_st,
+    values_st,
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_reservoir_merge_preserves_weights(a, b, capacity, seed):
+    """Merged ``seen`` is the union count; the merged sample is as full
+    as the inputs allow and drawn entirely from their union."""
+    ra = ReservoirSample(capacity, seed=seed)
+    rb = ReservoirSample(capacity, seed=seed + 1)
+    for value in a:
+        ra.push(value)
+    for value in b:
+        rb.push(value)
+    kept_a, kept_b = len(ra.values), len(rb.values)
+    merged = ra.merge(rb)
+    assert merged.seen == len(a) + len(b)
+    assert len(merged.values) == min(capacity, kept_a + kept_b)
+    pool = a + b
+    for kept in merged.values:
+        assert kept in pool
+        pool.remove(kept)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values_st,
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_reservoir_quantiles_within_sample_range(values, capacity, seed):
+    sample = ReservoirSample(capacity, seed=seed)
+    for value in values:
+        sample.push(value)
+    for q in (0.0, 0.5, 0.9, 1.0):
+        assert min(values) <= sample.quantile(q) <= max(values)
+
+
+# -- sketches vs the exact merge ------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def base_profile():
+    """One real stored-profile payload the properties scale into histories."""
+    return ProfileData.from_json(
+        execute_job(
+            {
+                "id": "prop-base",
+                "workload": "pprint",
+                "profiler": "scalene",
+                "mode": "full",
+                "scale": 0.05,
+                "config": {},
+            }
+        )
+    )
+
+
+def variant(base, index, elapsed_f, cpu_f, mem_f):
+    """A structurally valid rescaling of the base profile (one 'run')."""
+    profile = copy.deepcopy(base)
+    profile.elapsed *= elapsed_f
+    profile.cpu_python_time *= cpu_f
+    profile.cpu_native_time *= cpu_f
+    profile.cpu_system_time *= cpu_f
+    profile.total_alloc_mb *= mem_f
+    profile.peak_footprint_mb *= mem_f
+    for line in profile.lines:
+        line.mem_peak_mb *= mem_f
+    profile.sketch = None
+    return profile
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(factor_st, min_size=2, max_size=6))
+def test_sketch_matches_exact_merge(base_profile, factors):
+    """Folded singleton sketches reproduce ``merge_profiles``: per-line
+    CPU shares to float precision, headline stats exactly."""
+    profiles = [
+        variant(base_profile, i, *f) for i, f in enumerate(factors)
+    ]
+    merged = merge_profiles(profiles)
+    folded = sketch_of_profile(profiles[0], {"id": "p0"})
+    for i, profile in enumerate(profiles[1:], start=1):
+        folded.merge(sketch_of_profile(profile, {"id": f"p{i}"}))
+
+    assert folded.runs == len(profiles)
+    shares = {
+        (row["filename"], row["lineno"]): row["cpu_percent"]
+        for row in folded.line_table()
+    }
+    for line in merged.lines:
+        assert close(
+            shares[(line.filename, line.lineno)],
+            line.cpu_total_percent,
+            rel=1e-9,
+            abs_tol=1e-9,
+        )
+    # Headline stats: the sketch keeps per-run statistics whose sum /
+    # extremes must equal the exact merge's totals.
+    assert close(folded.elapsed.mean * folded.runs, merged.elapsed)
+    assert close(
+        folded.elapsed.mean, statistics.fmean(p.elapsed for p in profiles)
+    )
+    assert folded.peak_mb.peak == max(p.peak_footprint_mb for p in profiles)
+    assert close(
+        folded.total_cpu_s,
+        sum(
+            p.cpu_python_time + p.cpu_native_time + p.cpu_system_time
+            for p in profiles
+        ),
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(factor_st, min_size=3, max_size=6), st.randoms(use_true_random=False))
+def test_key_sketch_merge_order_independent(base_profile, factors, rng):
+    """Folding shard sketches in any order gives the same answers."""
+    singletons = [
+        sketch_of_profile(variant(base_profile, i, *f), {"id": f"p{i}"}).to_dict()
+        for i, f in enumerate(factors)
+    ]
+    canonical = KeySketch.from_dict(singletons[0])
+    for payload in singletons[1:]:
+        canonical.merge(KeySketch.from_dict(payload))
+    shuffled_payloads = list(singletons)
+    rng.shuffle(shuffled_payloads)
+    shuffled = KeySketch.from_dict(shuffled_payloads[0])
+    for payload in shuffled_payloads[1:]:
+        shuffled.merge(KeySketch.from_dict(payload))
+
+    assert shuffled.runs == canonical.runs
+    assert close(shuffled.total_cpu_s, canonical.total_cpu_s)
+    assert close(shuffled.elapsed.mean, canonical.elapsed.mean)
+    assert close(shuffled.elapsed.variance, canonical.elapsed.variance, abs_tol=1e-3)
+    assert shuffled.peak_mb.peak == canonical.peak_mb.peak
+    a = {(r["filename"], r["lineno"]): r["cpu_percent"] for r in shuffled.line_table()}
+    b = {(r["filename"], r["lineno"]): r["cpu_percent"] for r in canonical.line_table()}
+    assert a.keys() == b.keys()
+    assert all(close(a[k], b[k]) for k in a)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(factor_st, min_size=1, max_size=5))
+def test_aggregator_state_round_trips(base_profile, factors):
+    """The daemon's persisted sketch state restores bit-for-bit, and
+    ingest stays exactly-once across the restore."""
+    aggregator = StreamingAggregator()
+    for i, f in enumerate(factors):
+        entry = {
+            "id": f"p{i}",
+            "workload": "pprint",
+            "profiler": "scalene",
+            "config_hash": "c0",
+            "created_at": float(i),
+        }
+        assert aggregator.ingest(entry, variant(base_profile, i, *f))
+    state = json.loads(json.dumps(aggregator.to_dict()))
+    restored = StreamingAggregator.from_dict(state)
+    assert restored.to_dict() == aggregator.to_dict()
+    # Exactly-once survives the restore: every id is already seen.
+    assert not restored.ingest(
+        {"id": "p0", "workload": "pprint", "profiler": "scalene", "config_hash": "c0"},
+        variant(base_profile, 0, *factors[0]),
+    )
+    assert restored.sketch(workload="pprint").runs == len(factors)
+
+
+# -- schema v6 -------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(factor_st, min_size=2, max_size=5))
+def test_schema_v6_sketch_round_trips(base_profile, factors):
+    """A merged profile's sketch survives JSON serialization unchanged."""
+    merged = merge_profiles(
+        [variant(base_profile, i, *f) for i, f in enumerate(factors)]
+    )
+    assert merged.sketch is not None
+    again = ProfileData.from_json(merged.to_json())
+    assert again.sketch == merged.sketch
+    assert again.to_dict() == merged.to_dict()
+    assert KeySketch.from_dict(again.sketch).runs == len(factors)
+
+
+@settings(max_examples=10, deadline=None)
+@given(factor_st)
+def test_schema_v5_payloads_still_load(base_profile, factors):
+    """A v5 payload (no ``sketch`` key) loads with ``sketch=None``."""
+    payload = variant(base_profile, 0, *factors).to_dict()
+    assert payload["schema"] == SCHEMA_VERSION
+    payload["schema"] = 5
+    del payload["sketch"]
+    old = ProfileData.from_dict(json.loads(json.dumps(payload)))
+    assert old.sketch is None
+    assert old.to_dict()["schema"] == SCHEMA_VERSION  # re-saves as v6
+
+
+def test_unknown_schema_is_rejected(base_profile):
+    payload = base_profile.to_dict()
+    payload["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ProfileSchemaError, match="unsupported profile schema"):
+        ProfileData.from_dict(payload)
