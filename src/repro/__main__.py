@@ -132,6 +132,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=0,
                        help="boot N sharded daemons behind a batching "
                        "gateway instead of one daemon (0 = single daemon)")
+    serve.add_argument("--wal", default=None,
+                       help="gateway write-ahead-log directory (sharded mode "
+                       "only; default: <store>/gateway-wal; 'none' disables "
+                       "durability)")
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -150,6 +154,27 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated workload names to cycle")
     loadgen.add_argument("--json", action="store_true",
                          help="print the full report as JSON")
+    loadgen.add_argument("--submit-keys", action="store_true",
+                         help="attach idempotency keys so submissions can be "
+                         "safely resubmitted through a gateway restart")
+    loadgen.add_argument("--retry-window", type=float, default=30.0,
+                         help="seconds keyed submitters keep retrying through "
+                         "a gateway outage (with --submit-keys)")
+    loadgen.add_argument("--kill-gateway-at", type=int, default=None,
+                         metavar="N",
+                         help="SIGKILL --gateway-pid after N accepted jobs "
+                         "(implies --submit-keys)")
+    loadgen.add_argument("--gateway-pid", type=int, default=None,
+                         help="pid to SIGKILL for --kill-gateway-at")
+    loadgen.add_argument("--reshard-at", type=int, default=None, metavar="N",
+                         help="POST /reshard after N accepted jobs "
+                         "(implies --submit-keys)")
+    loadgen.add_argument("--reshard-action", default="add",
+                         choices=("add", "remove"),
+                         help="reshard action for --reshard-at")
+    loadgen.add_argument("--reshard-shard", default=None,
+                         help="shard name to remove (with "
+                         "--reshard-action remove)")
 
     submit = sub.add_parser("submit", help="submit a profiling job to a daemon")
     submit.add_argument("--url", default="http://127.0.0.1:8000", help="daemon URL")
@@ -198,6 +223,12 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--shards", type=int, default=0,
                        help="run the shard-kill chaos instead: N shards "
                        "behind a gateway, one killed mid-run (0 = classic)")
+    chaos.add_argument("--gateway-kill", action="store_true",
+                       help="with --shards: kill -9 the WAL-backed gateway "
+                       "mid-burst and prove recovery loses nothing")
+    chaos.add_argument("--reshard", action="store_true",
+                       help="with --shards: grow the ring by one shard "
+                       "under load and prove every key migrates")
     return parser
 
 
@@ -365,17 +396,24 @@ def _cmd_serve(args) -> int:
 
 def _cmd_serve_shards(args) -> int:
     """The scale-out plane: N shard daemons + router + batching gateway."""
+    import os
     import time
+    from pathlib import Path
 
     from repro.serve import ServeFrontend, ShardPlane
 
     plane = ShardPlane(args.store, shards=args.shards, workers=args.workers)
     router = plane.start()
-    gateway = ServeFrontend(router, host=args.host, port=args.port)
+    wal = None if args.wal == "none" else (
+        args.wal or str(Path(args.store) / "gateway-wal")
+    )
+    gateway = ServeFrontend(
+        router, host=args.host, port=args.port, wal=wal, plane=plane
+    )
     gateway.start()
-    print(f"repro serve: gateway on {gateway.url} "
+    print(f"repro serve: gateway on {gateway.url} pid {os.getpid()} "
           f"({args.shards} shards x {args.workers} workers, "
-          f"store: {args.store})", flush=True)
+          f"store: {args.store}, wal: {wal or 'off'})", flush=True)
     for name, url in sorted(plane.urls().items()):
         print(f"  {name}: {url}", flush=True)
     try:
@@ -398,12 +436,21 @@ def _cmd_loadgen(args) -> int:
         if args.workloads
         else DEFAULT_WORKLOADS
     )
+    if args.kill_gateway_at is not None and args.gateway_pid is None:
+        raise SystemExit("loadgen: --kill-gateway-at requires --gateway-pid")
     report = run_load(
         args.url,
         jobs=args.jobs,
         concurrency=args.concurrency,
         workloads=workloads,
         scale=args.scale,
+        submit_keys=args.submit_keys,
+        retry_window_s=args.retry_window,
+        kill_at=args.kill_gateway_at,
+        kill_pid=args.gateway_pid,
+        reshard_at=args.reshard_at,
+        reshard_action=args.reshard_action,
+        reshard_shard=args.reshard_shard,
     )
     if args.json:
         print(json_module.dumps(report.to_dict(), indent=2))
@@ -418,6 +465,11 @@ def _cmd_loadgen(args) -> int:
             f"p90 {report.latency_p90_ms:.2f}  p99 {report.latency_p99_ms:.2f}  "
             f"max {report.latency_max_ms:.2f}"
         )
+        if report.resubmissions or report.deduped:
+            print(f"  chaos: {report.resubmissions} resubmissions, "
+                  f"{report.deduped} deduped, "
+                  f"gateway killed: {report.killed_gateway}, "
+                  f"resharded: {report.resharded}")
     return 0 if report.errors == 0 else 1
 
 
@@ -476,12 +528,35 @@ def _cmd_chaos(args) -> int:
     import contextlib
     import tempfile
 
-    from repro.faults import run_chaos, run_shard_chaos
+    from repro.faults import (
+        run_chaos,
+        run_gateway_chaos,
+        run_reshard_chaos,
+        run_shard_chaos,
+    )
 
     with contextlib.ExitStack() as stack:
         store_root = args.store or stack.enter_context(
             tempfile.TemporaryDirectory(prefix="repro-chaos-")
         )
+        if args.gateway_kill or args.reshard:
+            if not args.shards:
+                raise SystemExit(
+                    "chaos: --gateway-kill/--reshard need --shards N"
+                )
+            runner = run_gateway_chaos if args.gateway_kill else run_reshard_chaos
+            report = runner(
+                args.seed,
+                root=store_root,
+                shards=args.shards,
+                jobs=args.jobs,
+                workers=args.workers,
+            )
+            if args.json:
+                print(json_module.dumps(report.to_dict(), indent=2))
+            else:
+                print(report.summary())
+            return 0 if report.ok else 1
         if args.shards:
             report = run_shard_chaos(
                 args.seed,

@@ -28,8 +28,12 @@ from repro.faults.injector import (
 )
 from repro.faults.chaos import (
     ChaosReport,
+    GatewayChaosReport,
+    ReshardChaosReport,
     ShardChaosReport,
     run_chaos,
+    run_gateway_chaos,
+    run_reshard_chaos,
     run_shard_chaos,
 )
 
@@ -39,7 +43,11 @@ __all__ = [
     "InjectedCrash",
     "apply_fault_counters",
     "ChaosReport",
+    "GatewayChaosReport",
+    "ReshardChaosReport",
     "ShardChaosReport",
     "run_chaos",
+    "run_gateway_chaos",
+    "run_reshard_chaos",
     "run_shard_chaos",
 ]

@@ -564,6 +564,434 @@ def _routed_trend_check(client, key: Dict[str, str], expected_ids) -> Dict:
     }
 
 
+@dataclass
+class GatewayChaosReport:
+    """Everything :func:`run_gateway_chaos` measured and asserted."""
+
+    seed: int
+    shards: int
+    submitted: int = 0
+    done: int = 0
+    done_before_kill: int = 0
+    recovered: int = 0
+    recovered_requeued: int = 0
+    deduped_resubmit: bool = False
+    unique_profiles: int = 0
+    wal: Dict[str, int] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "shards": self.shards,
+            "ok": self.ok,
+            "submitted": self.submitted,
+            "done": self.done,
+            "done_before_kill": self.done_before_kill,
+            "recovered": self.recovered,
+            "recovered_requeued": self.recovered_requeued,
+            "deduped_resubmit": self.deduped_resubmit,
+            "unique_profiles": self.unique_profiles,
+            "wal": self.wal,
+            "problems": self.problems,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"gateway chaos seed {self.seed}: {'OK' if self.ok else 'FAILED'} — "
+            f"gateway killed -9 after {self.done_before_kill}/{self.submitted} "
+            f"completions; restart recovered {self.recovered} ledger records "
+            f"({self.recovered_requeued} requeued), "
+            f"{self.done} done, {self.unique_profiles} unique profiles",
+        ]
+        for item in self.problems:
+            lines.append(f"  problem: {item}")
+        return "\n".join(lines)
+
+
+def run_gateway_chaos(
+    seed: int = 0,
+    *,
+    root: str,
+    shards: int = 2,
+    jobs: int = 10,
+    workers: int = 1,
+    kill_after: int = 3,
+    scale: float = 0.05,
+    wait_s: float = 240.0,
+) -> GatewayChaosReport:
+    """kill -9 the WAL-backed gateway mid-burst; prove nothing is lost.
+
+    Boots a shard plane behind a gateway whose acceptance ledger is
+    backed by a :class:`~repro.serve.wal.WriteAheadLog`, submits ``jobs``
+    keyed jobs, crash-stops the gateway (:meth:`ServeFrontend.kill` — no
+    flush, no checkpoint, sockets severed) once ``kill_after`` have
+    completed, then boots a *fresh* gateway over the same WAL and
+    asserts the durability contract:
+
+    * the recovered ledger contains **every** accepted job — zero loss;
+    * every job still reaches ``done`` with a profile id, and distinct
+      payloads yield distinct profiles (re-dispatched work was not
+      double-stored: content addressing collapses re-runs);
+    * resubmitting an original ``submit_key`` against the new gateway
+      dedupes to the *same* gateway id instead of double-running.
+    """
+    from pathlib import Path
+
+    from repro.serve.client import ServeClient
+    from repro.serve.frontend import ServeFrontend
+    from repro.serve.shard import ShardPlane
+
+    report = GatewayChaosReport(seed=seed, shards=shards)
+    wal_dir = str(Path(root) / "gateway-wal")
+    plane = ShardPlane(root, shards=shards, workers=workers)
+    router = plane.start()
+    gateway = ServeFrontend(
+        router, batch_window_s=0.02, poll_interval_s=0.1,
+        wal=wal_dir, plane=plane,
+    )
+    gateway.start()
+    live_gateway = gateway
+    try:
+        client = ServeClient(gateway.url)
+        workload_cycle = itertools.cycle(CHAOS_WORKLOADS)
+        accepted = [
+            client.submit(
+                next(workload_cycle),
+                mode="cpu",
+                # Distinct scale per repeat of a workload -> distinct
+                # profile content, so duplicated work would be visible.
+                # The tail of the burst is much heavier so jobs are
+                # still in flight when the gateway dies.
+                scale=scale
+                * (1.0 + 0.25 * (i // len(CHAOS_WORKLOADS)))
+                * (40.0 if i >= jobs - 2 else 1.0),
+                submit_key=f"ck-{seed}-{i}",
+            )
+            for i in range(jobs)
+        ]
+        report.submitted = len(accepted)
+
+        # Let some jobs finish, keep the rest in flight, then crash-stop.
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            done = [j for j in client.jobs() if j["status"] == "done"]
+            if len(done) >= kill_after:
+                break
+            time.sleep(0.01)
+        else:
+            report.problems.append(
+                f"never reached {kill_after} completions before the kill"
+            )
+            return report
+        report.done_before_kill = len(done)
+        gateway.kill()
+
+        # A fresh gateway over the same WAL must recover every record.
+        gateway2 = ServeFrontend(
+            router, batch_window_s=0.02, poll_interval_s=0.1,
+            wal=wal_dir, plane=plane,
+        )
+        gateway2.start()
+        live_gateway = gateway2
+        report.recovered = gateway2.stats["recovered"]
+        report.recovered_requeued = gateway2.stats["recovered_requeued"]
+        report.wal = gateway2.wal.stats_dict()
+        client = ServeClient(gateway2.url)
+        ledger = {j["id"]: j for j in client.jobs()}
+        for job in accepted:
+            if job["id"] not in ledger:
+                report.problems.append(
+                    f"{job['id']} accepted before the kill but missing "
+                    f"from the recovered ledger"
+                )
+        if report.recovered != len(accepted):
+            report.problems.append(
+                f"recovered {report.recovered} ledger records, "
+                f"expected {len(accepted)}"
+            )
+
+        # Resubmitting an original key must dedupe, not double-run.
+        redo = client.submit(
+            accepted[0]["workload"],
+            mode="cpu",
+            scale=scale,
+            submit_key=f"ck-{seed}-0",
+        )
+        report.deduped_resubmit = bool(redo.get("deduped"))
+        if redo["id"] != accepted[0]["id"]:
+            report.problems.append(
+                f"resubmit of ck-{seed}-0 minted a new job {redo['id']} "
+                f"instead of deduping to {accepted[0]['id']}"
+            )
+
+        # Every accepted job still completes exactly once.
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            ledger = {j["id"]: j for j in client.jobs()}
+            if all(
+                ledger.get(j["id"], {}).get("status") in ("done", "error")
+                for j in accepted
+            ):
+                break
+            time.sleep(0.05)
+        ledger = {j["id"]: j for j in client.jobs()}
+        profile_ids = []
+        for job in accepted:
+            final = ledger.get(job["id"])
+            if final is None:
+                continue  # already reported missing above
+            if final["status"] != "done":
+                report.problems.append(
+                    f"{job['id']} ({job['workload']}) ended "
+                    f"{final['status']}: {final.get('error')}"
+                )
+            elif not final["profile_id"]:
+                report.problems.append(f"{job['id']} done but has no profile id")
+            else:
+                profile_ids.append(final["profile_id"])
+        report.done = sum(1 for j in ledger.values() if j["status"] == "done")
+        report.unique_profiles = len(set(profile_ids))
+        if report.unique_profiles != len(profile_ids):
+            report.problems.append(
+                "duplicated work: two distinct payloads share a stored "
+                "profile id"
+            )
+        for profile_id in set(profile_ids):
+            try:
+                client.profile(profile_id)
+            except Exception as exc:  # noqa: BLE001 — recorded, not raised
+                report.problems.append(
+                    f"profile {profile_id[:12]} unreadable after "
+                    f"recovery: {exc}"
+                )
+    finally:
+        live_gateway.stop()
+        plane.stop()
+    return report
+
+
+@dataclass
+class ReshardChaosReport:
+    """Everything :func:`run_reshard_chaos` measured and asserted."""
+
+    seed: int
+    shards_before: int
+    shards_after: int = 0
+    submitted: int = 0
+    done: int = 0
+    epoch_before: int = 0
+    epoch_after: int = 0
+    keys_total: int = 0
+    keys_moved: int = 0
+    entries_copied: int = 0
+    reads_during_migration: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "shards_before": self.shards_before,
+            "shards_after": self.shards_after,
+            "submitted": self.submitted,
+            "done": self.done,
+            "epoch_before": self.epoch_before,
+            "epoch_after": self.epoch_after,
+            "keys_total": self.keys_total,
+            "keys_moved": self.keys_moved,
+            "entries_copied": self.entries_copied,
+            "reads_during_migration": self.reads_during_migration,
+            "problems": self.problems,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"reshard chaos seed {self.seed}: {'OK' if self.ok else 'FAILED'} — "
+            f"{self.shards_before} -> {self.shards_after} shards under load "
+            f"(epoch {self.epoch_before} -> {self.epoch_after}), "
+            f"{self.keys_moved}/{self.keys_total} keys moved, "
+            f"{self.entries_copied} entries copied, "
+            f"{self.reads_during_migration} reads served during migration, "
+            f"{self.done}/{self.submitted} jobs done",
+        ]
+        for item in self.problems:
+            lines.append(f"  problem: {item}")
+        return "\n".join(lines)
+
+
+def run_reshard_chaos(
+    seed: int = 0,
+    *,
+    root: str,
+    shards: int = 2,
+    jobs: int = 8,
+    workers: int = 1,
+    warm: int = 2,
+    scale: float = 0.05,
+    wait_s: float = 240.0,
+) -> ReshardChaosReport:
+    """Grow the ring by one shard under load; prove every key migrates.
+
+    Submits ``jobs`` jobs, waits for ``warm`` completions (so there is
+    stored state to migrate) with the rest still in flight, then drives
+    ``POST /reshard {"action": "add"}`` through the gateway and asserts
+    the live-resharding contract:
+
+    * reads of already-stored profiles succeed *throughout* the
+      migration (old-or-new owners serve them);
+    * the ring epoch advances exactly once and the migration finishes
+      ``done`` with no keys left behind;
+    * after the epoch flips, **every** stored key's new primary pair
+      holds a copy (verified against each shard's own store);
+    * every accepted job still completes with a profile id.
+    """
+    from repro.serve.client import ServeClient
+    from repro.serve.frontend import ServeFrontend
+    from repro.serve.router import shard_key
+    from repro.serve.shard import ShardPlane
+
+    from pathlib import Path
+
+    report = ReshardChaosReport(seed=seed, shards_before=shards)
+    plane = ShardPlane(root, shards=shards, workers=workers)
+    router = plane.start()
+    gateway = ServeFrontend(
+        router, batch_window_s=0.02, poll_interval_s=0.1,
+        wal=str(Path(root) / "gateway-wal"), plane=plane,
+    )
+    gateway.start()
+    try:
+        client = ServeClient(gateway.url)
+        workload_cycle = itertools.cycle(CHAOS_WORKLOADS)
+        accepted = [
+            client.submit(
+                next(workload_cycle),
+                mode="cpu",
+                scale=scale * (1.0 + 0.25 * (i // len(CHAOS_WORKLOADS))),
+            )
+            for i in range(jobs)
+        ]
+        report.submitted = len(accepted)
+        report.epoch_before = router.epoch
+
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            warm_done = [
+                j for j in client.jobs()
+                if j["status"] == "done" and j["profile_id"]
+            ]
+            if len(warm_done) >= warm:
+                break
+            time.sleep(0.05)
+        else:
+            report.problems.append(
+                f"never reached {warm} completions before the reshard"
+            )
+            return report
+        warm_ids = [j["profile_id"] for j in warm_done]
+
+        client._request("/reshard", body={"action": "add"}, idempotent=False)
+
+        # Reads must be served from old-or-new owners for the whole
+        # migration window.
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            status = client._request("/reshard")
+            for profile_id in warm_ids:
+                try:
+                    client.profile(profile_id)
+                    report.reads_during_migration += 1
+                except Exception as exc:  # noqa: BLE001 — recorded below
+                    report.problems.append(
+                        f"profile {profile_id[:12]} unreadable during "
+                        f"migration ({status['state']}): {exc}"
+                    )
+            if status["state"] in ("done", "failed", "idle"):
+                break
+            time.sleep(0.05)
+        else:
+            report.problems.append("reshard never finished")
+            return report
+        if status["state"] != "done":
+            report.problems.append(
+                f"reshard ended {status['state']}: {status.get('error')}"
+            )
+        report.keys_total = status.get("keys_total", 0)
+        report.keys_moved = status.get("keys_moved", 0)
+        report.entries_copied = status.get("entries_copied", 0)
+        report.epoch_after = router.epoch
+        report.shards_after = len(router.ring.shards)
+        if report.epoch_after != report.epoch_before + 1:
+            report.problems.append(
+                f"epoch {report.epoch_before} -> {report.epoch_after}, "
+                f"expected exactly one bump"
+            )
+        if report.shards_after != shards + 1:
+            report.problems.append(
+                f"ring has {report.shards_after} shards after an add, "
+                f"expected {shards + 1}"
+            )
+        if router.migrating:
+            report.problems.append("router still migrating after reshard done")
+
+        # Every accepted job still completes.
+        deadline = time.monotonic() + wait_s
+        while time.monotonic() < deadline:
+            ledger = {j["id"]: j for j in client.jobs()}
+            if all(
+                ledger.get(j["id"], {}).get("status") in ("done", "error")
+                for j in accepted
+            ):
+                break
+            time.sleep(0.05)
+        ledger = {j["id"]: j for j in client.jobs()}
+        for job in accepted:
+            final = ledger.get(job["id"])
+            if final is None:
+                report.problems.append(f"{job['id']} vanished from the ledger")
+            elif final["status"] != "done":
+                report.problems.append(
+                    f"{job['id']} ({job['workload']}) ended "
+                    f"{final['status']}: {final.get('error')}"
+                )
+        report.done = sum(1 for j in ledger.values() if j["status"] == "done")
+
+        # Placement audit: in the new epoch, every stored key's primary
+        # pair holds a copy (checked against each shard's own store).
+        holdings = {
+            name: {e["id"] for e in ServeClient(url).profiles(limit=0)}
+            for name, url in plane.urls().items()
+        }
+        audited = {}
+        for name, url in plane.urls().items():
+            for entry in ServeClient(url).profiles(limit=0):
+                audited[entry["id"]] = entry
+        for profile_id, entry in audited.items():
+            owners = router.ring.owners(
+                shard_key(entry["workload"], entry["config_hash"])
+            )[:2]
+            for owner in owners:
+                if profile_id not in holdings.get(owner, set()):
+                    report.problems.append(
+                        f"profile {profile_id[:12]} "
+                        f"({entry['workload']}) missing from new owner "
+                        f"{owner} after migration"
+                    )
+    finally:
+        gateway.stop()
+        plane.stop()
+    return report
+
+
 def _replay_counters(
     execute_job, job: Dict, stored_counters: Dict[str, int]
 ) -> Optional[str]:

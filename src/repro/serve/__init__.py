@@ -35,6 +35,16 @@ The scale-out plane (``python -m repro serve --shards N``, DESIGN.md
   on shard death, and chunked fan-out reads;
 * :mod:`repro.serve.loadgen` — the submission load generator behind
   ``python -m repro loadgen`` and ``benchmarks/bench_serve_scale.py``.
+
+The durable control plane (DESIGN.md §13) hardens the gateway itself:
+
+* :mod:`repro.serve.wal` — the fsync'd, checksummed write-ahead log
+  behind the gateway ledger: every accepted job survives ``kill -9``
+  and is re-dispatched on restart, with checkpoint + truncate
+  compaction bounding the log;
+* ring epochs in :mod:`repro.serve.router` plus the gateway's
+  ``POST /reshard`` endpoint add/remove shards at runtime, migrating
+  keys in the background while reads are served from old-or-new owners.
 """
 
 from repro.serve.aggregate import diff_stored, find_regressions, merge_stored, trend
@@ -46,6 +56,7 @@ from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.router import HashRing, ShardRouter, shard_key
 from repro.serve.shard import ShardPlane
 from repro.serve.store import ProfileStore, config_hash, git_tree_hash
+from repro.serve.wal import WriteAheadLog
 from repro.serve.streaming import (
     KeySketch,
     ReservoirSample,
@@ -67,6 +78,7 @@ __all__ = [
     "ShardPlane",
     "ShardRouter",
     "StreamingAggregator",
+    "WriteAheadLog",
     "config_hash",
     "diff_stored",
     "execute_job",

@@ -10,8 +10,13 @@ daemon in ``timeout``), and *idempotent* requests retry with bounded
 seeded exponential backoff on transport errors. GETs are always
 idempotent; ``POST /merge`` and ``POST /replicate`` are too (content
 addressing — re-sending stores the same id). ``POST /jobs`` is **not**
-retried: a submission whose response was lost may have been accepted,
-and a retry would double-run the job.
+retried by default: a submission whose response was lost may have been
+accepted, and a retry would double-run the job. Passing
+``idempotent=True`` to :meth:`ServeClient.submit` changes the contract:
+the payload carries a client-generated ``submit_key`` that the gateway
+(and single daemons) dedupe on, which makes resubmission safe — so the
+client reconnects with jittered backoff through a gateway restart
+instead of surfacing a hard error.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import socket
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.profile_data import ProfileData
@@ -79,14 +85,21 @@ class ServeClient:
         with urllib.request.urlopen(request, timeout=self.timeout) as response:
             return json.loads(response.read().decode("utf-8"))
 
-    def _request(self, path: str, body: Optional[Dict] = None) -> Dict:
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict] = None,
+        *,
+        idempotent: Optional[bool] = None,
+    ) -> Dict:
         request = urllib.request.Request(self.url + path)
         if body is not None:
             request.data = json.dumps(body).encode("utf-8")
             request.add_header("Content-Type", "application/json")
-        idempotent = body is None or any(
-            path == p or path.startswith(p + "?") for p in _IDEMPOTENT_POSTS
-        )
+        if idempotent is None:
+            idempotent = body is None or any(
+                path == p or path.startswith(p + "?") for p in _IDEMPOTENT_POSTS
+            )
         attempts = 0
         while True:
             attempts += 1
@@ -126,12 +139,20 @@ class ServeClient:
         config: Optional[Dict] = None,
         faults: Optional[Dict] = None,
         timeout_s: Optional[float] = None,
+        submit_key: Optional[str] = None,
+        idempotent: bool = False,
     ) -> Dict:
         """Submit a job; returns the job dict (status ``queued``).
 
         ``faults`` is an optional :meth:`repro.faults.FaultSpec.to_dict`
         payload (the job's fault schedule, for chaos testing);
         ``timeout_s`` overrides the daemon's per-job wall-clock budget.
+
+        ``idempotent=True`` attaches a ``submit_key`` (auto-generated
+        unless given) and retries the submission through transport
+        errors with the client's jittered backoff: a gateway restarting
+        mid-call answers the resubmission from its recovered ledger
+        (same gateway id, no double-run) instead of dropping it.
         """
         payload = {
             "workload": workload,
@@ -145,7 +166,14 @@ class ServeClient:
             payload["faults"] = faults
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        return self._request("/jobs", body=payload)["job"]
+        if idempotent and submit_key is None:
+            submit_key = f"sk-{uuid.uuid4().hex}"
+        if submit_key is not None:
+            payload["submit_key"] = submit_key
+            idempotent = True
+        return self._request("/jobs", body=payload, idempotent=idempotent or None)[
+            "job"
+        ]
 
     def job(self, job_id: str) -> Dict:
         return self._request(f"/jobs/{job_id}")["job"]

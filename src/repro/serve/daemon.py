@@ -142,6 +142,8 @@ class ProfileDaemon:
         self.aggregator = self._load_aggregator()
         self.tree_hash = git_tree_hash()
         self._jobs: Dict[str, Job] = {}
+        #: submit_key -> job id (client-supplied idempotency keys).
+        self._submit_keys: Dict[str, str] = {}
         self._lock = threading.RLock()
         self._queue: "queue.Queue" = queue.Queue()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -287,12 +289,34 @@ class ProfileDaemon:
     # -- job management -------------------------------------------------
 
     def submit(self, payload: Dict) -> Job:
-        """Validate and enqueue a job; returns it in ``queued`` state."""
+        """Validate and enqueue a job; returns it in ``queued`` state.
+
+        An optional ``submit_key`` (a client-generated idempotency key)
+        dedupes retried submissions: a key seen before returns the job
+        it named the first time instead of enqueuing a double-run. This
+        is what lets a client safely resubmit after a lost response.
+        """
         with self._lock:
             if self._draining or self._stopping:
                 raise ServeError("daemon is draining; not accepting new jobs")
+        submit_key = None
+        if isinstance(payload, dict) and "submit_key" in payload:
+            payload = dict(payload)
+            submit_key = payload.pop("submit_key")
+            if not isinstance(submit_key, str) or not submit_key:
+                raise ServeError("submit_key must be a non-empty string")
+            with self._lock:
+                existing = self._submit_keys.get(submit_key)
+                if existing is not None:
+                    return self._jobs[existing]
         job = new_job(payload)
         with self._lock:
+            if submit_key is not None:
+                # Two racing submissions with one key: first one wins.
+                existing = self._submit_keys.get(submit_key)
+                if existing is not None:
+                    return self._jobs[existing]
+                self._submit_keys[submit_key] = job.id
             self._jobs[job.id] = job
         self._queue.put(job.id)
         return job
@@ -382,51 +406,73 @@ class ProfileDaemon:
                 self.stats["sketch_ingests"] += 1
         return fresh
 
-    def _replication_target(self, entry: Dict) -> Optional[str]:
-        """The peer shard that should hold this profile's replica."""
+    def _replication_targets(self, entry: Dict) -> List[str]:
+        """The peer shards that should hold this profile's replica.
+
+        Delegated to the router's placement rule: one replica in steady
+        state; during a ring migration the copy also lands on the
+        incoming epoch's owners (dual-write), which is what lets the
+        migrator run while ingest continues.
+        """
         if self.router is None or not self.shard_name:
-            return None
-        key = shard_key(entry.get("workload", ""), entry.get("config_hash", ""))
-        for owner in self.router.ring.owners(key):
-            if owner != self.shard_name:
-                return owner
-        return None
+            return []
+        return self.router.replication_targets(
+            entry.get("workload", ""),
+            entry.get("config_hash", ""),
+            source=self.shard_name,
+        )
 
     def _replicate(self, entry: Dict, profile: ProfileData) -> None:
-        """Best-effort synchronous replication to the key's replica.
+        """Best-effort synchronous replication to the key's peer owners.
 
         Failures are counted, not raised: the profile is durable on this
         shard, and content addressing makes any later re-replication
         idempotent. The replica's ``/replicate`` endpoint does not
-        re-replicate, so two-shard rings cannot ping-pong.
+        re-replicate, so two-shard rings cannot ping-pong. Each copy is
+        tagged with the sender's ring epoch so a receiver (or a log
+        reader) can spot traffic from a stale ring view.
         """
-        target = self._replication_target(entry)
-        if target is None:
+        targets = self._replication_targets(entry)
+        if not targets:
             return
         import urllib.request
 
         body = json.dumps(
-            {"entry": entry, "profile": profile.to_dict()}
+            {
+                "entry": entry,
+                "profile": profile.to_dict(),
+                "epoch": self.router.epoch,
+            }
         ).encode("utf-8")
-        request = urllib.request.Request(
-            f"{self.router.url(target)}/replicate",
-            data=body,
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.replicate_timeout_s
-            ) as response:
-                response.read()
-            with self._lock:
-                self.stats["replications"] += 1
-        except OSError:
-            with self._lock:
-                self.stats["replication_failures"] += 1
+        for target in targets:
+            try:
+                request = urllib.request.Request(
+                    f"{self.router.url(target)}/replicate",
+                    data=body,
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(
+                    request, timeout=self.replicate_timeout_s
+                ) as response:
+                    response.read()
+                with self._lock:
+                    self.stats["replications"] += 1
+            except (OSError, ServeError):
+                # ServeError: the target was decommissioned between the
+                # placement decision and the send — a benign race.
+                with self._lock:
+                    self.stats["replication_failures"] += 1
 
-    def accept_replica(self, entry: Dict, profile_payload: Dict) -> Dict:
-        """Store a peer shard's profile copy (idempotent; no re-replication)."""
+    def accept_replica(
+        self, entry: Dict, profile_payload: Dict, *, epoch: Optional[int] = None
+    ) -> Dict:
+        """Store a peer shard's profile copy (idempotent; no re-replication).
+
+        ``epoch`` is the sender's ring epoch; the freshest one seen is
+        kept in the stats so operators can tell when replication traffic
+        still carries a stale ring view after a reshard.
+        """
         profile = ProfileData.from_dict(profile_payload)
         profile_id = self.store.put(
             profile,
@@ -445,6 +491,10 @@ class ProfileDaemon:
         self.ingest_stored(profile_id, profile)
         with self._lock:
             self.stats["replicated_in"] += 1
+            if epoch is not None:
+                self.stats["replica_epoch"] = max(
+                    self.stats.get("replica_epoch", 0), int(epoch)
+                )
         return {"id": profile_id, "shard": self.shard_name}
 
     # -- dispatch -------------------------------------------------------
@@ -868,7 +918,12 @@ class _Handler(BaseHTTPRequestHandler):
                     raise ServeError(
                         "replicate needs {'entry': {...}, 'profile': {...}}"
                     )
-                self._json(self.daemon.accept_replica(entry, profile), status=201)
+                self._json(
+                    self.daemon.accept_replica(
+                        entry, profile, epoch=body.get("epoch")
+                    ),
+                    status=201,
+                )
             else:
                 self._error(404, f"unknown endpoint POST {url.path}")
         except StoreError as exc:

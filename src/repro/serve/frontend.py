@@ -13,12 +13,21 @@ whole shard plane as a single endpoint:
   gateway accept tens of thousands of queued jobs while the shards chew
   through them at worker speed.
 * **Durable acceptance** — every accepted job lives in the gateway
-  ledger until a shard reports it terminal. If a shard dies, the poller
-  marks it down on the router and re-dispatches that shard's
-  non-terminal jobs to the key's next live owner: dispatch is
-  at-least-once, but storage stays exactly-once because workloads are
-  deterministic and the store is content-addressed — a re-run of the
-  same job hashes to the same profile id.
+  ledger until a shard reports it terminal. With a
+  :class:`~repro.serve.wal.WriteAheadLog` attached, the ledger survives
+  the gateway itself: every transition (accept → dispatch → terminal)
+  is appended to the checksummed log **before** the client hears 202,
+  and a restarted gateway replays checkpoint + log, requeues every
+  non-terminal job, and dispatches the backlog — ``kill -9`` mid-burst
+  loses nothing. If a shard dies, the poller marks it down on the
+  router and re-dispatches that shard's non-terminal jobs to the key's
+  next live owner: dispatch is at-least-once, but storage stays
+  exactly-once because workloads are deterministic and the store is
+  content-addressed — a re-run of the same job hashes to the same
+  profile id. Terminal records are evicted after a retention window
+  (checkpoint compaction folds them out of the log), so the ledger is
+  bounded; an optional client ``submit_key`` dedupes resubmissions
+  after a lost response.
 * **Fan-out reads** — ``GET /profiles`` fans out to every live shard
   and streams the merged listing back with chunked transfer-encoding,
   deduplicating replica copies by content id as chunks arrive.
@@ -34,21 +43,22 @@ response bytes back to the loop through a self-pipe.
 
 from __future__ import annotations
 
-import itertools
 import json
 import selectors
 import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ServeError
+from repro.errors import ServeError, StoreError
 from repro.serve.client import ServeClient
 from repro.serve.healing import RetryPolicy
 from repro.serve.jobs import new_job
-from repro.serve.router import ShardRouter
+from repro.serve.router import ShardRouter, shard_key
+from repro.serve.wal import WriteAheadLog
 
 #: Gateway job states. ``accepted`` → ``dispatched`` → ``done``/``error``;
 #: a re-dispatch after shard death moves a job back to ``accepted``.
@@ -85,12 +95,29 @@ class ServeFrontend:
         poll_interval_s: float = 0.25,
         io_workers: int = 8,
         shard_timeout_s: float = 30.0,
+        wal: Union[WriteAheadLog, str, Path, None] = None,
+        plane=None,
+        terminal_retention_s: float = 3600.0,
+        terminal_retention_max: int = 10000,
+        wal_compact_every: int = 2048,
     ) -> None:
         self.router = router
         self.batch_window_s = batch_window_s
         self.batch_max = batch_max
         self.poll_interval_s = poll_interval_s
         self.shard_timeout_s = shard_timeout_s
+        #: Durable ledger log; ``None`` keeps the PR 9 in-memory-only
+        #: behavior. A path constructs the log in that directory.
+        if wal is None or isinstance(wal, WriteAheadLog):
+            self.wal = wal
+        else:
+            self.wal = WriteAheadLog(wal)
+        #: The ShardPlane behind the router, when this gateway owns one;
+        #: needed only for ``POST /reshard`` (adding/removing daemons).
+        self.plane = plane
+        self.terminal_retention_s = terminal_retention_s
+        self.terminal_retention_max = terminal_retention_max
+        self.wal_compact_every = wal_compact_every
         self._listen = socket.create_server((host, port), backlog=512)
         self._listen.setblocking(False)
         self._selector = selectors.DefaultSelector()
@@ -101,10 +128,14 @@ class ServeFrontend:
         self._ready: List[Tuple[_Connection, bytes, bool]] = []
         self._ready_lock = threading.Lock()
         self._io = ThreadPoolExecutor(max_workers=io_workers)
-        self._gw_ids = itertools.count(1)
+        #: Next gw sequence number (a plain int so checkpoints can carry
+        #: it — ids must never recycle across restarts).
+        self._gw_next = 1
         self._lock = threading.RLock()
         #: gw id -> ledger record (see POST /jobs).
         self.ledger: Dict[str, Dict] = {}
+        #: submit_key -> gw id (client idempotency keys).
+        self._submit_keys: Dict[str, str] = {}
         #: gw ids accepted but not yet flushed to a shard.
         self._pending: List[str] = []
         self._batch_event = threading.Event()
@@ -115,7 +146,15 @@ class ServeFrontend:
             "dispatch_failures": 0,
             "shards_marked_down": 0,
             "shards_marked_up": 0,
+            "deduped": 0,
+            "recovered": 0,
+            "recovered_requeued": 0,
+            "evicted_terminal": 0,
+            "wal_append_failures": 0,
+            "reshards": 0,
         }
+        self._reshard: Optional[Dict] = None
+        self._reshard_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._stop_event = threading.Event()
         self._started = False
@@ -138,6 +177,8 @@ class ServeFrontend:
         if self._started:
             raise ServeError("frontend already started")
         self._started = True
+        if self.wal is not None:
+            self._recover()
         self._selector.register(self._listen, selectors.EVENT_READ, "accept")
         self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
         self._threads = [
@@ -174,10 +215,213 @@ class ServeFrontend:
         self._listen.close()
         self._wake_r.close()
         self._wake_w.close()
+        if self.wal is not None:
+            # Clean shutdown: fold the whole ledger into the checkpoint
+            # so the next boot replays a snapshot, not a long log.
+            try:
+                self.wal.checkpoint(self._snapshot())
+            except StoreError:
+                pass
+            self.wal.close()
         self._started = False
         stuck = [t.name for t in self._threads if t.is_alive()]
         if stuck:
             raise ServeError(f"gateway threads failed to stop: {stuck}")
+
+    def kill(self) -> None:
+        """Crash-stop: the in-process model of ``kill -9``.
+
+        Severs every socket and stops the threads with **no** clean
+        shutdown — no pending flush, no WAL checkpoint, no fsync. The
+        only state that survives is what :meth:`_accept_job` already
+        wrote to the log before answering 202, which is exactly the
+        durability contract the chaos suite asserts: a fresh
+        ``ServeFrontend`` over the same WAL directory recovers every
+        accepted job.
+        """
+        if not self._started:
+            return
+        self._stop_event.set()
+        self._batch_event.set()
+        try:
+            self._wake_w.send(b"x")
+        except OSError:
+            pass
+        try:
+            self._listen.close()
+        except OSError:
+            pass
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._io.shutdown(wait=False, cancel_futures=True)
+        for key in list(self._selector.get_map().values()):
+            if isinstance(key.data, _Connection):
+                try:
+                    key.data.sock.close()
+                except OSError:
+                    pass
+        self._selector.close()
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self.wal is not None:
+            self.wal.abandon()
+        self._started = False
+
+    # -- durable ledger (WAL) -------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild the ledger from checkpoint + log and requeue the backlog.
+
+        Application is keyed by ``gw_id`` and idempotent, so replaying a
+        log that partially overlaps the checkpoint (a crash landed
+        between snapshot and truncate) converges to the same ledger.
+        Every non-terminal record is requeued to ``accepted``: nothing
+        is in flight yet, and ``shard_job_id``s minted by a previous
+        process incarnation cannot be trusted (a restarted shard reuses
+        them), so re-dispatch-from-scratch is the only safe reading.
+        Dispatch is thereby at-least-once across a crash; storage stays
+        exactly-once via content addressing.
+        """
+        checkpoint = self.wal.load_checkpoint() or {}
+        ledger: Dict[str, Dict] = {}
+        for gw_id, record in (checkpoint.get("ledger") or {}).items():
+            if isinstance(record, dict) and record.get("id") == gw_id:
+                ledger[gw_id] = dict(record)
+        records = self.wal.replay()
+        for op in records:
+            self._apply_wal_record(op, ledger)
+        if not ledger and not records:
+            return
+        next_gw = int(checkpoint.get("next_gw", 1) or 1)
+        for gw_id in ledger:
+            try:
+                next_gw = max(next_gw, int(gw_id.split("-", 1)[1]) + 1)
+            except (IndexError, ValueError):
+                continue
+        requeued = 0
+        for gw_id in sorted(ledger):
+            record = ledger[gw_id]
+            if record.get("status") not in GATEWAY_TERMINAL:
+                if record.get("status") != "accepted":
+                    requeued += 1
+                record["status"] = "accepted"
+                record["shard"] = None
+                record["shard_job_id"] = None
+                self._pending.append(gw_id)
+            key = record.get("submit_key")
+            if key:
+                self._submit_keys[key] = gw_id
+        self.ledger = ledger
+        self._gw_next = next_gw
+        self.stats["recovered"] = len(ledger)
+        self.stats["recovered_requeued"] = requeued
+        self._batch_event.set()
+
+    @staticmethod
+    def _apply_wal_record(op: Dict, ledger: Dict[str, Dict]) -> None:
+        """Fold one replayed WAL record into ``ledger`` (idempotent)."""
+        kind = op.get("op")
+        if kind == "accept":
+            record = op.get("record")
+            if isinstance(record, dict) and record.get("id"):
+                ledger[record["id"]] = dict(record)
+            return
+        record = ledger.get(op.get("id", ""))
+        if kind == "dispatch":
+            if record is not None and record.get("status") not in GATEWAY_TERMINAL:
+                record["status"] = "dispatched"
+                record["shard"] = op.get("shard")
+                record["shard_job_id"] = op.get("shard_job_id")
+        elif kind == "terminal":
+            if record is not None and op.get("status") in GATEWAY_TERMINAL:
+                record["status"] = op["status"]
+                record["profile_id"] = op.get("profile_id")
+                record["error"] = op.get("error")
+                record["terminal_at"] = op.get("at")
+                record["payload"] = None
+        elif kind == "requeue":
+            for gw_id in op.get("ids", ()):
+                queued = ledger.get(gw_id)
+                if queued is not None and queued.get("status") not in GATEWAY_TERMINAL:
+                    queued["status"] = "accepted"
+                    queued["shard"] = None
+                    queued["shard_job_id"] = None
+        # Unknown ops (e.g. "reshard" markers) are observability-only.
+
+    def _snapshot(self) -> Dict:
+        """The checkpoint payload for the current ledger."""
+        with self._lock:
+            return {
+                "format": 1,
+                "next_gw": self._gw_next,
+                "ledger": {gw: dict(r) for gw, r in self.ledger.items()},
+            }
+
+    def _wal_append(self, op: Dict) -> None:
+        """Best-effort transition append (dispatch/terminal/requeue).
+
+        Failures here are tolerable — recovery requeues every
+        non-terminal job anyway, and a lost ``terminal`` record only
+        costs one redundant re-run that content addressing absorbs. The
+        one append that must *not* fail silently is ``accept``, which
+        :meth:`_accept_job` performs strictly before answering 202.
+        """
+        if self.wal is None:
+            return
+        try:
+            self.wal.append(op)
+        except StoreError:
+            with self._lock:
+                self.stats["wal_append_failures"] += 1
+
+    def _maintain_ledger(self) -> None:
+        """Evict expired terminal records; compact the WAL when due.
+
+        Terminal records are kept ``terminal_retention_s`` (so clients
+        can still poll a finished job) and capped at
+        ``terminal_retention_max``; eviction and every
+        ``wal_compact_every`` appends trigger a checkpoint + truncate,
+        which is what keeps both the ledger and the log bounded under
+        sustained traffic.
+        """
+        now = time.time()
+        evicted = 0
+        with self._lock:
+            terminal = [
+                record
+                for record in self.ledger.values()
+                if record["status"] in GATEWAY_TERMINAL
+            ]
+            expired_ids = {
+                record["id"]
+                for record in terminal
+                if now - (record.get("terminal_at") or record["accepted_at"])
+                > self.terminal_retention_s
+            }
+            overflow = len(terminal) - len(expired_ids) - self.terminal_retention_max
+            if overflow > 0:
+                survivors = sorted(
+                    (r for r in terminal if r["id"] not in expired_ids),
+                    key=lambda r: r.get("terminal_at") or r["accepted_at"],
+                )
+                expired_ids.update(r["id"] for r in survivors[:overflow])
+            for gw_id in expired_ids:
+                record = self.ledger.pop(gw_id, None)
+                if record and record.get("submit_key"):
+                    self._submit_keys.pop(record["submit_key"], None)
+            evicted = len(expired_ids)
+            self.stats["evicted_terminal"] += evicted
+        if self.wal is not None and (
+            evicted or self.wal.records_since_checkpoint >= self.wal_compact_every
+        ):
+            try:
+                self.wal.checkpoint(self._snapshot())
+            except StoreError:
+                with self._lock:
+                    self.stats["wal_append_failures"] += 1
 
     # -- event loop -----------------------------------------------------
 
@@ -348,6 +592,24 @@ class ServeFrontend:
         if method == "GET" and parts == ["shards"]:
             self._respond(conn, 200, self.router.describe(), close=close)
             return
+        if method == "POST" and parts == ["reshard"]:
+            try:
+                spec = json.loads(body.decode("utf-8")) if body else {}
+                if not isinstance(spec, dict):
+                    raise ServeError("reshard body must be a JSON object")
+                status = self._start_reshard(spec)
+            except ValueError:
+                self._respond(conn, 400, {"error": "malformed JSON body"}, close=close)
+                return
+            except ServeError as exc:
+                code = 409 if "in progress" in str(exc) else 400
+                self._respond(conn, code, {"error": str(exc)}, close=close)
+                return
+            self._respond(conn, 202, status, close=close)
+            return
+        if method == "GET" and parts == ["reshard"]:
+            self._respond(conn, 200, self.reshard_status(), close=close)
+            return
         # Everything else talks to shards: off-loop on the worker pool.
         self._io.submit(self._handle_offloop, conn, method, parts, query, close)
 
@@ -427,8 +689,32 @@ class ServeFrontend:
         payload = json.loads(body.decode("utf-8"))
         if not isinstance(payload, dict):
             raise ServeError("request body must be a JSON object")
+        submit_key = None
+        if "submit_key" in payload:
+            # The idempotency key is gateway state, not job state: strip
+            # it before validation/forwarding (shards run the job the
+            # key names, they don't dedupe on it here).
+            payload = dict(payload)
+            submit_key = payload.pop("submit_key")
+            if not isinstance(submit_key, str) or not submit_key:
+                raise ServeError("submit_key must be a non-empty string")
+            with self._lock:
+                existing = self._submit_keys.get(submit_key)
+                if existing is not None and existing in self.ledger:
+                    self.stats["deduped"] += 1
+                    deduped = {
+                        k: v
+                        for k, v in self.ledger[existing].items()
+                        if k != "payload"
+                    }
+                    deduped["deduped"] = True
+                    return deduped
         probe = new_job(payload)  # full validation; the probe id is discarded
-        gw_id = f"gw-{next(self._gw_ids):08d}"
+        with self._lock:
+            # Accepts run on the io pool — the sequence allocation must
+            # be atomic or two threads mint the same gw id.
+            gw_id = f"gw-{self._gw_next:08d}"
+            self._gw_next += 1
         record = {
             "id": gw_id,
             "workload": probe.workload,
@@ -442,10 +728,23 @@ class ServeFrontend:
             "profile_id": None,
             "error": None,
             "accepted_at": time.time(),
+            "terminal_at": None,
+            "submit_key": submit_key,
             "payload": payload,
         }
+        if self.wal is not None:
+            # Strict: 202 *means* durable. A failed append (torn write,
+            # full disk) refuses the job so the client knows to retry.
+            try:
+                self.wal.append({"op": "accept", "record": record})
+            except StoreError as exc:
+                with self._lock:
+                    self.stats["wal_append_failures"] += 1
+                raise ServeError(f"job not accepted: {exc}") from None
         with self._lock:
             self.ledger[gw_id] = record
+            if submit_key is not None:
+                self._submit_keys[submit_key] = gw_id
             self._pending.append(gw_id)
             self.stats["accepted"] += 1
             depth = len(self._pending)
@@ -479,12 +778,24 @@ class ServeFrontend:
                 counts[record["status"]] = counts.get(record["status"], 0) + 1
             pending = len(self._pending)
             stats = dict(self.stats)
+            ledger_size = len(self.ledger)
+        terminal = sum(counts.get(s, 0) for s in GATEWAY_TERMINAL)
         return {
             "status": "ok",
             "role": "gateway",
             "jobs": counts,
             "pending_batch": pending,
             "stats": stats,
+            "ledger": {
+                "size": ledger_size,
+                "terminal": terminal,
+                "evicted_terminal": stats["evicted_terminal"],
+                "retention_s": self.terminal_retention_s,
+                "retention_max": self.terminal_retention_max,
+            },
+            "wal": self.wal.stats_dict() if self.wal is not None else None,
+            "epoch": self.router.epoch,
+            "migrating": self.router.migrating,
             "shards": {
                 "live": self.router.live_shards(),
                 "down": self.router.down_shards(),
@@ -555,13 +866,24 @@ class ServeFrontend:
                     record["shard"] = shard
                     record["shard_job_id"] = job["id"]
                     self.stats["dispatched"] += 1
+            self._wal_append(
+                {
+                    "op": "dispatch",
+                    "id": gw_id,
+                    "shard": shard,
+                    "shard_job_id": job["id"],
+                }
+            )
 
     def _shard_trouble(
         self, shard: str, *, gw_ids: Optional[List[str]] = None, reason: str = ""
     ) -> None:
         """A shard stopped answering: mark it down, requeue its jobs."""
         if not self.router.is_down(shard):
-            self.router.mark_down(shard)
+            try:
+                self.router.mark_down(shard)
+            except ServeError:
+                return  # already decommissioned (reshard remove race)
             with self._lock:
                 self.stats["shards_marked_down"] += 1
         requeue = set(gw_ids or [])
@@ -580,6 +902,8 @@ class ServeFrontend:
                 self._pending.append(gw_id)
                 self.stats["redispatched"] += 1
                 self.stats["dispatch_failures"] += 1
+        if requeue:
+            self._wal_append({"op": "requeue", "ids": sorted(requeue)})
         self._batch_event.set()
 
     # -- poller ----------------------------------------------------------
@@ -621,6 +945,8 @@ class ServeFrontend:
             except ServeError as exc:
                 self._shard_trouble(shard, reason=str(exc))
                 continue
+            transitions: List[Dict] = []
+            requeued: List[str] = []
             with self._lock:
                 for record in self.ledger.values():
                     if record["shard"] != shard or record["status"] != "dispatched":
@@ -633,12 +959,245 @@ class ServeFrontend:
                         record["shard_job_id"] = None
                         self._pending.append(record["id"])
                         self.stats["redispatched"] += 1
-                    elif job["status"] == "done":
-                        record["status"] = "done"
+                        requeued.append(record["id"])
+                    elif job["status"] in GATEWAY_TERMINAL:
+                        record["status"] = job["status"]
                         record["profile_id"] = job.get("profile_id")
-                    elif job["status"] == "error":
-                        record["status"] = "error"
                         record["error"] = job.get("error")
+                        record["terminal_at"] = time.time()
+                        # The payload will never be re-dispatched again;
+                        # dropping it bounds per-record memory.
+                        record["payload"] = None
+                        transitions.append(
+                            {
+                                "op": "terminal",
+                                "id": record["id"],
+                                "status": record["status"],
+                                "profile_id": record["profile_id"],
+                                "error": record["error"],
+                                "at": record["terminal_at"],
+                            }
+                        )
+            for op in transitions:
+                self._wal_append(op)
+            if requeued:
+                self._wal_append({"op": "requeue", "ids": requeued})
+        self._maintain_ledger()
+
+    # -- live resharding -------------------------------------------------
+
+    def reshard_status(self) -> Dict:
+        with self._reshard_lock:
+            status = dict(self._reshard) if self._reshard else {"state": "idle"}
+        status["epoch"] = self.router.epoch
+        status["migrating"] = self.router.migrating
+        return status
+
+    def _start_reshard(self, spec: Dict) -> Dict:
+        """Begin an add/remove migration in a background thread.
+
+        One at a time: a second ``POST /reshard`` while a migration is
+        in flight is refused (409) rather than queued — ring epochs are
+        a two-ring protocol, not an n-ring one.
+        """
+        action = spec.get("action")
+        if action not in ("add", "remove"):
+            raise ServeError("reshard needs {'action': 'add'|'remove', ...}")
+        if self.plane is None:
+            raise ServeError(
+                "gateway has no shard plane attached; resharding unavailable"
+            )
+        shard = spec.get("shard")
+        if action == "remove" and not shard:
+            raise ServeError("reshard remove needs {'shard': <name>}")
+        with self._reshard_lock:
+            if self._reshard and self._reshard.get("state") in (
+                "starting",
+                "migrating",
+            ):
+                raise ServeError(
+                    f"reshard already in progress ({self._reshard['action']})"
+                )
+            self._reshard = {
+                "action": action,
+                "shard": shard,
+                "state": "starting",
+                "keys_total": 0,
+                "keys_moved": 0,
+                "entries_copied": 0,
+                "error": None,
+                "started_at": time.time(),
+                "finished_at": None,
+            }
+        thread = threading.Thread(
+            target=self._run_reshard,
+            args=(action, shard),
+            name="repro-gateway-reshard",
+            daemon=True,
+        )
+        thread.start()
+        return self.reshard_status()
+
+    def _run_reshard(self, action: str, shard: Optional[str]) -> None:
+        """The migration state machine: grow/shrink → copy → finalize.
+
+        * ``add``: boot the daemon, begin the epoch (new ring includes
+          it), copy every key's history to owners it gained, finalize.
+        * ``remove``: begin the epoch (new ring excludes it), copy,
+          finalize, drain the leaver's in-flight jobs, decommission it.
+
+        Reads keep flowing the whole time: the router serves them from
+        the union of old and new owners, old primary first. On any
+        failure the epoch is aborted, restoring the old ring intact.
+        """
+        began = False
+        try:
+            if action == "add":
+                name = self.plane.add_shard()
+                members = list(self.router.ring.shards) + [name]
+            else:
+                name = shard
+                if name not in self.router.ring.shards:
+                    raise ServeError(f"unknown shard {name!r}")
+                members = [s for s in self.router.ring.shards if s != name]
+                if not members:
+                    raise ServeError("cannot remove the last shard")
+            with self._reshard_lock:
+                self._reshard["shard"] = name
+            epoch = self.router.begin_epoch(members)
+            began = True
+            with self._reshard_lock:
+                self._reshard["state"] = "migrating"
+            self._wal_append(
+                {"op": "reshard", "action": action, "shard": name, "epoch": epoch}
+            )
+            copied, total, moved = self._migrate_entries(epoch)
+            self.router.finalize_epoch()
+            if action == "remove":
+                self._drain_shard(name)
+                self.plane.remove_shard(name)
+            with self._reshard_lock:
+                self._reshard.update(
+                    state="done",
+                    entries_copied=copied,
+                    keys_total=total,
+                    keys_moved=moved,
+                    finished_at=time.time(),
+                )
+            with self._lock:
+                self.stats["reshards"] += 1
+            self._batch_event.set()
+        except Exception as exc:  # noqa: BLE001 — must record the failure
+            if began:
+                try:
+                    self.router.abort_epoch()
+                except ServeError:
+                    pass
+            with self._reshard_lock:
+                self._reshard.update(
+                    state="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    finished_at=time.time(),
+                )
+
+    def _migrate_entries(self, epoch: int) -> Tuple[int, int, int]:
+        """Copy stored profiles to the owners the new ring gave them.
+
+        Each entry is copied **once**, from its key's live old primary,
+        to each new owner that is not already an old owner — via the
+        idempotent ``/replicate`` endpoint, tagged with the new epoch.
+        Profiles ingested concurrently are covered by the daemons' own
+        dual-ring replication, so the migration needs no quiesce.
+        """
+        prev, ring = self.router.prev_ring, self.router.ring
+        if prev is None:
+            return 0, 0, 0
+        copied = 0
+        all_keys = set()
+        moved_keys = set()
+        for src in prev.shards:
+            if self.router.is_down(src):
+                continue
+            try:
+                entries = self._client(src).profiles(limit=0)
+            except ServeError:
+                continue
+            for entry in entries:
+                workload = entry.get("workload", "")
+                config = entry.get("config_hash", "")
+                key = shard_key(workload, config)
+                all_keys.add(key)
+                old_owners = prev.owners(key)[:2]
+                live_old = [s for s in old_owners if not self.router.is_down(s)]
+                if not live_old or live_old[0] != src:
+                    continue  # another shard is this key's copy source
+                needed = [
+                    t for t in ring.owners(key)[:2] if t not in old_owners
+                ]
+                if not needed:
+                    continue
+                try:
+                    envelope = self._client(src).profile(entry["id"])
+                except ServeError:
+                    continue
+                for target in needed:
+                    try:
+                        self._client(target)._request(
+                            "/replicate",
+                            body={
+                                "entry": dict(entry),
+                                "profile": envelope["profile"],
+                                "epoch": epoch,
+                            },
+                        )
+                    except ServeError:
+                        continue
+                    copied += 1
+                    moved_keys.add(key)
+                with self._reshard_lock:
+                    self._reshard["entries_copied"] = copied
+                    self._reshard["keys_moved"] = len(moved_keys)
+        with self._reshard_lock:
+            self._reshard["keys_total"] = len(all_keys)
+        return copied, len(all_keys), len(moved_keys)
+
+    def _drain_shard(self, name: str, *, timeout_s: float = 120.0) -> None:
+        """Wait out (then requeue) the leaver's in-flight jobs.
+
+        The leaving daemon stays up post-finalize, so its running jobs
+        finish and replicate to the new ring's owners (its source is no
+        longer an owner, so copies go to the full new owner pair). Jobs
+        that outlive the timeout are requeued — the new ring's primary
+        re-runs them.
+        """
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline and not self._stop_event.is_set():
+            with self._lock:
+                waiting = [
+                    gw_id
+                    for gw_id, record in self.ledger.items()
+                    if record["shard"] == name
+                    and record["status"] not in GATEWAY_TERMINAL
+                ]
+            if not waiting:
+                return
+            time.sleep(min(0.1, self.poll_interval_s))
+        with self._lock:
+            stranded = []
+            for gw_id, record in self.ledger.items():
+                if (
+                    record["shard"] == name
+                    and record["status"] not in GATEWAY_TERMINAL
+                ):
+                    record["status"] = "accepted"
+                    record["shard"] = None
+                    record["shard_job_id"] = None
+                    self._pending.append(gw_id)
+                    self.stats["redispatched"] += 1
+                    stranded.append(gw_id)
+        if stranded:
+            self._wal_append({"op": "requeue", "ids": sorted(stranded)})
+            self._batch_event.set()
 
     # -- shard reads -----------------------------------------------------
 

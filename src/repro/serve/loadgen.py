@@ -12,11 +12,21 @@ submits jobs round-robin over the configured workloads at a tiny scale;
 latencies are measured per request with a monotonic clock. The report
 also samples ``/health`` afterwards so a run records how many of the
 accepted jobs the plane had already dispatched/completed.
+
+The loadgen is also the chaos driver for the durable control plane:
+``kill_at`` SIGKILLs a gateway process after N accepted jobs and
+``reshard_at`` posts ``/reshard`` mid-burst — with ``submit_keys`` on,
+each submission carries an idempotency key and failed sends reconnect
+with seeded jittered backoff and **resubmit the same key**, so a burst
+rides through a gateway restart with every job accepted exactly once.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import random
+import signal
 import socket
 import threading
 import time
@@ -46,6 +56,10 @@ class LoadReport:
     concurrency: int = 0
     gateway_health: Dict = field(default_factory=dict)
     job_ids: List[str] = field(default_factory=list)
+    resubmissions: int = 0
+    deduped: int = 0
+    killed_gateway: bool = False
+    resharded: bool = False
 
     def to_dict(self) -> Dict:
         return {
@@ -59,19 +73,101 @@ class LoadReport:
             "latency_max_ms": self.latency_max_ms,
             "concurrency": self.concurrency,
             "gateway_health": self.gateway_health,
+            "resubmissions": self.resubmissions,
+            "deduped": self.deduped,
+            "killed_gateway": self.killed_gateway,
+            "resharded": self.resharded,
         }
 
 
-class _Submitter(threading.Thread):
-    """One persistent keep-alive connection submitting jobs in a loop."""
+class _ChaosTriggers:
+    """Fires the kill/reshard actions once the accept counter crosses
+    their thresholds. Shared by every submitter thread."""
 
     def __init__(
         self,
         url: str,
-        payloads: Sequence[bytes],
+        *,
+        kill_at: Optional[int],
+        kill_pid: Optional[int],
+        reshard_at: Optional[int],
+        reshard_action: str,
+        reshard_shard: Optional[str],
+    ) -> None:
+        self.url = url
+        self.kill_at = kill_at
+        self.kill_pid = kill_pid
+        self.reshard_at = reshard_at
+        self.reshard_action = reshard_action
+        self.reshard_shard = reshard_shard
+        self.killed = False
+        self.resharded = False
+        self._accepted = 0
+        self._lock = threading.Lock()
+
+    def accepted(self) -> None:
+        with self._lock:
+            self._accepted += 1
+            count = self._accepted
+            fire_kill = (
+                self.kill_at is not None
+                and not self.killed
+                and count >= self.kill_at
+            )
+            if fire_kill:
+                self.killed = True
+            fire_reshard = (
+                self.reshard_at is not None
+                and not self.resharded
+                and count >= self.reshard_at
+            )
+            if fire_reshard:
+                self.resharded = True
+        if fire_kill and self.kill_pid:
+            try:
+                os.kill(self.kill_pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):
+                pass
+        if fire_reshard:
+            # Off-thread: the admin call must not stall the submitter.
+            threading.Thread(target=self._post_reshard, daemon=True).start()
+
+    def _post_reshard(self) -> None:
+        from repro.serve.client import ServeClient
+
+        body: Dict = {"action": self.reshard_action}
+        if self.reshard_shard:
+            body["shard"] = self.reshard_shard
+        try:
+            ServeClient(self.url, timeout=10.0)._request(
+                "/reshard", body=body, idempotent=False
+            )
+        except ServeError:
+            self.resharded = False  # let a later accept retry the trigger
+
+
+class _Submitter(threading.Thread):
+    """One persistent keep-alive connection submitting jobs in a loop.
+
+    With ``submit_keys`` on, every job carries a unique idempotency key
+    and a failed send is **resubmitted** (same key, fresh connection)
+    with seeded jittered backoff until ``retry_window_s`` runs out —
+    the path that carries a burst across a gateway restart. Without
+    keys, a failed send just counts an error (a blind retry could
+    double-run the job).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        payloads: Sequence[Dict],
         count: int,
         *,
         timeout_s: float,
+        worker: int = 0,
+        submit_keys: bool = False,
+        retry_window_s: float = 0.0,
+        triggers: Optional[_ChaosTriggers] = None,
     ) -> None:
         super().__init__(daemon=True)
         parsed = urlparse(url)
@@ -80,44 +176,94 @@ class _Submitter(threading.Thread):
         self.payloads = payloads
         self.count = count
         self.timeout_s = timeout_s
+        self.worker = worker
+        self.submit_keys = submit_keys
+        self.retry_window_s = retry_window_s
+        self.triggers = triggers
+        self._rng = random.Random(worker + 1)
         self.latencies_ms: List[float] = []
         self.job_ids: List[str] = []
         self.errors = 0
+        self.resubmissions = 0
+        self.deduped = 0
+        # Keyless requests are identical per workload — pre-frame them
+        # so the measured hot loop stays a sendall + recv.
+        self._frames: Optional[List[bytes]] = (
+            None
+            if submit_keys
+            else [self._frame(dict(p)) for p in payloads]
+        )
+
+    @staticmethod
+    def _frame(payload: Dict) -> bytes:
+        body = json.dumps(payload).encode("utf-8")
+        return (
+            b"POST /jobs HTTP/1.1\r\n"
+            b"Host: gateway\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+
+    def _encode(self, index: int) -> bytes:
+        if self._frames is not None:
+            return self._frames[index % len(self._frames)]
+        payload = dict(self.payloads[index % len(self.payloads)])
+        payload["submit_key"] = f"sk-{self.worker}-{index}"
+        return self._frame(payload)
 
     def run(self) -> None:
         sock: Optional[socket.socket] = None
         try:
             for i in range(self.count):
-                body = self.payloads[i % len(self.payloads)]
-                request = (
-                    b"POST /jobs HTTP/1.1\r\n"
-                    b"Host: gateway\r\n"
-                    b"Content-Type: application/json\r\n"
-                    b"Content-Length: " + str(len(body)).encode() + b"\r\n"
-                    b"\r\n" + body
-                )
+                request = self._encode(i)
                 started = time.perf_counter()
-                try:
-                    if sock is None:
-                        sock = socket.create_connection(
-                            (self.host, self.port), timeout=self.timeout_s
-                        )
-                        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                    sock.sendall(request)
-                    payload = _read_response(sock, self.timeout_s)
-                except OSError:
+                deadline = started + self.retry_window_s
+                attempt = 0
+                while True:
+                    attempt += 1
+                    try:
+                        if sock is None:
+                            sock = socket.create_connection(
+                                (self.host, self.port), timeout=self.timeout_s
+                            )
+                            sock.setsockopt(
+                                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                            )
+                        sock.sendall(request)
+                        payload = _read_response(sock, self.timeout_s)
+                        break
+                    except OSError:
+                        if sock is not None:
+                            try:
+                                sock.close()
+                            except OSError:
+                                pass
+                            sock = None
+                        # Only keyed submissions are safe to resend.
+                        if (
+                            self.submit_keys
+                            and time.perf_counter() < deadline
+                        ):
+                            self.resubmissions += 1
+                            time.sleep(
+                                min(1.0, 0.05 * (2 ** min(attempt, 4)))
+                                * (0.5 + self._rng.random())
+                            )
+                            continue
+                        payload = None
+                        break
+                if payload is None:
                     self.errors += 1
-                    if sock is not None:
-                        try:
-                            sock.close()
-                        except OSError:
-                            pass
-                        sock = None
                     continue
                 self.latencies_ms.append((time.perf_counter() - started) * 1000.0)
                 job = payload.get("job") or {}
                 if job.get("id"):
                     self.job_ids.append(job["id"])
+                    if job.get("deduped"):
+                        self.deduped += 1
+                    if self.triggers is not None:
+                        self.triggers.accepted()
                 else:
                     self.errors += 1
         finally:
@@ -170,22 +316,55 @@ def run_load(
     scale: float = 0.02,
     timeout_s: float = 30.0,
     collect_ids: bool = False,
+    submit_keys: bool = False,
+    retry_window_s: float = 30.0,
+    kill_at: Optional[int] = None,
+    kill_pid: Optional[int] = None,
+    reshard_at: Optional[int] = None,
+    reshard_action: str = "add",
+    reshard_shard: Optional[str] = None,
 ) -> LoadReport:
-    """Submit ``jobs`` jobs against ``url`` from ``concurrency`` threads."""
+    """Submit ``jobs`` jobs against ``url`` from ``concurrency`` threads.
+
+    Chaos knobs: ``kill_at``/``kill_pid`` SIGKILL a gateway process
+    after that many accepted jobs, ``reshard_at`` posts ``/reshard``
+    mid-burst. Both imply ``submit_keys`` (resubmission must be safe for
+    the burst to survive); ``retry_window_s`` bounds how long a worker
+    keeps reconnecting while the gateway is away.
+    """
     if jobs < 1 or concurrency < 1:
         raise ServeError("loadgen needs jobs >= 1 and concurrency >= 1")
+    if kill_at is not None or reshard_at is not None:
+        submit_keys = True
     payloads = [
-        json.dumps(
-            {"workload": w, "mode": "cpu", "scale": scale, "timeout_s": 120}
-        ).encode("utf-8")
+        {"workload": w, "mode": "cpu", "scale": scale, "timeout_s": 120}
         for w in workloads
     ]
+    triggers = None
+    if kill_at is not None or reshard_at is not None:
+        triggers = _ChaosTriggers(
+            url,
+            kill_at=kill_at,
+            kill_pid=kill_pid,
+            reshard_at=reshard_at,
+            reshard_action=reshard_action,
+            reshard_shard=reshard_shard,
+        )
     per_worker = [jobs // concurrency] * concurrency
     for i in range(jobs % concurrency):
         per_worker[i] += 1
     submitters = [
-        _Submitter(url, payloads, count, timeout_s=timeout_s)
-        for count in per_worker
+        _Submitter(
+            url,
+            payloads,
+            count,
+            timeout_s=timeout_s,
+            worker=index,
+            submit_keys=submit_keys,
+            retry_window_s=retry_window_s if submit_keys else 0.0,
+            triggers=triggers,
+        )
+        for index, count in enumerate(per_worker)
         if count > 0
     ]
     started = time.perf_counter()
@@ -208,6 +387,10 @@ def run_load(
         latency_p99_ms=_percentile(latencies, 0.99),
         latency_max_ms=latencies[-1] if latencies else 0.0,
         concurrency=len(submitters),
+        resubmissions=sum(s.resubmissions for s in submitters),
+        deduped=sum(s.deduped for s in submitters),
+        killed_gateway=bool(triggers and triggers.killed),
+        resharded=bool(triggers and triggers.resharded),
     )
     if collect_ids:
         report.job_ids = [jid for s in submitters for jid in s.job_ids]

@@ -27,6 +27,18 @@ deployment knob rather than a data migration.
 Shard health is maintained by the caller (the front-end marks a shard
 down on connection failure and probes it back up); the router itself
 never does I/O, which keeps it trivially testable and shareable.
+
+**Ring epochs** make membership a runtime knob instead of a boot-time
+constant. :meth:`ShardRouter.begin_epoch` installs a new ring (one
+shard added or removed) while keeping the previous ring alive; while
+the two coexist (``migrating``), reads are served from the **union** of
+old and new owners — old primary first, since only it is guaranteed
+data-complete — and replication targets cover both rings, so fresh
+profiles land on their future owners while a background migrator copies
+history. :meth:`finalize_epoch` retires the old ring once every key's
+new owners hold its data. Every epoch transition bumps a monotonic
+``epoch`` counter that tags replication traffic, so a copy from a stale
+ring view is detectable.
 """
 
 from __future__ import annotations
@@ -119,6 +131,10 @@ class ShardRouter:
         self.urls = dict(shard_urls)
         self._down: set = set()
         self._lock = threading.Lock()
+        #: Monotonic ring version; bumped by every begin/abort_epoch.
+        self.epoch = 1
+        #: The outgoing ring while a migration is in flight, else None.
+        self.prev_ring: Optional[HashRing] = None
 
     # -- health ---------------------------------------------------------
 
@@ -143,6 +159,73 @@ class ShardRouter:
     def live_shards(self) -> List[str]:
         with self._lock:
             return [s for s in self.ring.shards if s not in self._down]
+
+    # -- ring epochs (live resharding) ----------------------------------
+
+    @property
+    def migrating(self) -> bool:
+        with self._lock:
+            return self.prev_ring is not None
+
+    def begin_epoch(self, shards: "Sequence[str]") -> int:
+        """Install a new ring membership; returns the new epoch.
+
+        The old ring stays live (``prev_ring``) until
+        :meth:`finalize_epoch`: reads fall through the union of old and
+        new owners, and :meth:`replication_targets` spans both rings so
+        writes accepted mid-migration reach their future owners. Every
+        member must already have a URL registered (add the daemon to
+        ``urls`` before it joins the ring).
+        """
+        members = sorted(shards)
+        missing = [s for s in members if s not in self.urls]
+        if missing:
+            raise ServeError(f"shards without a registered url: {missing}")
+        with self._lock:
+            if self.prev_ring is not None:
+                raise ServeError(
+                    f"ring migration already in progress (epoch {self.epoch})"
+                )
+            if members == self.ring.shards:
+                raise ServeError(f"epoch would not change membership: {members}")
+            self.prev_ring = self.ring
+            self.ring = HashRing(members, vnodes=self.ring.vnodes)
+            self.epoch += 1
+            return self.epoch
+
+    def finalize_epoch(self) -> None:
+        """Retire the outgoing ring: the new epoch now owns every key."""
+        with self._lock:
+            if self.prev_ring is None:
+                raise ServeError("no ring migration in progress")
+            self.prev_ring = None
+
+    def abort_epoch(self) -> None:
+        """Roll membership back to the outgoing ring (migration failed).
+
+        Bumps the epoch again — an abort is a membership change too, and
+        a monotonic counter is what lets epoch-tagged replication spot
+        stale ring views.
+        """
+        with self._lock:
+            if self.prev_ring is None:
+                raise ServeError("no ring migration in progress")
+            self.ring = self.prev_ring
+            self.prev_ring = None
+            self.epoch += 1
+
+    def forget(self, shard: str) -> None:
+        """Drop a decommissioned shard's URL and health state.
+
+        Only legal once the shard is out of every live ring (after
+        ``finalize_epoch`` of a removal).
+        """
+        with self._lock:
+            rings = [self.ring] + ([self.prev_ring] if self.prev_ring else [])
+            if any(shard in ring.shards for ring in rings):
+                raise ServeError(f"shard {shard!r} is still a ring member")
+            self.urls.pop(shard, None)
+            self._down.discard(shard)
 
     # -- placement ------------------------------------------------------
 
@@ -171,12 +254,55 @@ class ShardRouter:
                 return candidate
         return None
 
-    def route(self, workload: str, config_hash: str = "") -> Tuple[str, bool]:
-        """``(shard, degraded)`` for a key: primary, else live replica.
+    def read_owners(self, workload: str, config_hash: str = "") -> List[str]:
+        """Shards that may hold the key's data, in preference order.
 
-        Raises :class:`ServeError` when every owner of the key is down.
+        Steady state this is ``ring.owners``. During a migration it is
+        the union of the *old* ring's owners (first — only they are
+        guaranteed data-complete) and the new ring's owners (which the
+        migrator and dual replication are filling), so a read served
+        from any listed shard is served from an old-or-new owner.
         """
-        owners = self.ring.owners(shard_key(workload, config_hash))
+        key = shard_key(workload, config_hash)
+        with self._lock:
+            prev, ring = self.prev_ring, self.ring
+        if prev is None:
+            return ring.owners(key)
+        owners = list(prev.owners(key))
+        for shard in ring.owners(key):
+            if shard not in owners:
+                owners.append(shard)
+        return owners
+
+    def replication_targets(
+        self, workload: str, config_hash: str = "", *, source: str = ""
+    ) -> List[str]:
+        """Peers that must hold a copy of ``source``'s fresh profile.
+
+        The invariant: a key's primary **and** replica hold every
+        profile of that key. Steady state with ``source`` as primary
+        that is just ``[replica]``; during a migration the first two
+        owners of *both* rings are covered (dual-write), and a source
+        that is no longer an owner at all (it was demoted or is being
+        decommissioned) pushes to the full new owner pair.
+        """
+        key = shard_key(workload, config_hash)
+        with self._lock:
+            prev, ring = self.prev_ring, self.ring
+        owners = ring.owners(key)[:2]
+        if prev is not None:
+            old = prev.owners(key)[:2]
+            owners = old + [s for s in owners if s not in old]
+        return [s for s in owners if s != source]
+
+    def route(self, workload: str, config_hash: str = "") -> Tuple[str, bool]:
+        """``(shard, degraded)`` for a key: primary, else live fallback.
+
+        Fallbacks are the key's replica, then — during a ring migration
+        — the incoming epoch's owners. Raises :class:`ServeError` when
+        every owner of the key is down.
+        """
+        owners = self.read_owners(workload, config_hash)
         with self._lock:
             for index, shard in enumerate(owners):
                 if shard not in self._down:
@@ -195,6 +321,11 @@ class ShardRouter:
     def describe(self) -> Dict:
         with self._lock:
             down = sorted(self._down)
+            prev = self.prev_ring
+            epoch = self.epoch
+        leaving = (
+            [s for s in prev.shards if s not in self.ring.shards] if prev else []
+        )
         return {
             "shards": [
                 {
@@ -206,4 +337,7 @@ class ShardRouter:
                 for shard in self.ring.shards
             ],
             "vnodes": self.ring.vnodes,
+            "epoch": epoch,
+            "migrating": prev is not None,
+            "leaving": leaving,
         }

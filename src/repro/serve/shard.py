@@ -108,6 +108,45 @@ class ShardPlane:
         if errors:
             raise ServeError("shard plane stop failures: " + "; ".join(errors))
 
+    # -- elasticity (live resharding) -----------------------------------
+
+    def add_shard(self) -> str:
+        """Boot one more daemon and register its URL with the router.
+
+        The new shard is **not** a ring member yet: the caller (the
+        gateway's reshard driver) installs it via
+        ``router.begin_epoch`` so data migration brackets the ownership
+        change. Names never recycle — the next index after the highest
+        ever used — so a removed shard's store partition is never
+        silently adopted by a newcomer.
+        """
+        if not self._started or self.router is None:
+            raise ServeError("start the shard plane before resharding it")
+        indices = [
+            int(name.split("-", 1)[1])
+            for name in self.daemons
+            if name.startswith("shard-")
+        ]
+        name = shard_name(max(indices, default=-1) + 1)
+        daemon = self._boot(name)
+        self.daemons[name] = daemon
+        self.router.urls[name] = daemon.url
+        return name
+
+    def remove_shard(self, name: str) -> None:
+        """Decommission a shard that has already left every live ring.
+
+        Stops its daemon (cutting off any not-yet-finished jobs — the
+        gateway ledger re-dispatches them) and forgets its URL. The
+        store partition stays on disk; a later ``add_shard`` never
+        reuses the name, so it is inert.
+        """
+        daemon = self._daemon(name)
+        if self.router is not None:
+            self.router.forget(name)  # raises while still a ring member
+        daemon.stop()
+        del self.daemons[name]
+
     # -- chaos ----------------------------------------------------------
 
     def kill(self, name: str) -> None:
