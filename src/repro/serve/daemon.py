@@ -125,6 +125,7 @@ class ProfileDaemon:
         shard_name: str = "",
         router=None,
         replicate_timeout_s: float = 10.0,
+        submit_key_retention_max: int = 10000,
     ) -> None:
         self.store = store if isinstance(store, ProfileStore) else ProfileStore(store)
         self.workers = max(1, workers)
@@ -143,7 +144,12 @@ class ProfileDaemon:
         self.tree_hash = git_tree_hash()
         self._jobs: Dict[str, Job] = {}
         #: submit_key -> job id (client-supplied idempotency keys).
+        #: Bounded: keys whose job is terminal are evicted oldest-first
+        #: past ``submit_key_retention_max`` — the gateway bounds its
+        #: key map via ledger retention; a long-lived daemon needs the
+        #: same cap or keyed submissions grow this dict forever.
         self._submit_keys: Dict[str, str] = {}
+        self.submit_key_retention_max = max(1, int(submit_key_retention_max))
         self._lock = threading.RLock()
         self._queue: "queue.Queue" = queue.Queue()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -306,20 +312,55 @@ class ProfileDaemon:
             if not isinstance(submit_key, str) or not submit_key:
                 raise ServeError("submit_key must be a non-empty string")
             with self._lock:
-                existing = self._submit_keys.get(submit_key)
-                if existing is not None:
-                    return self._jobs[existing]
+                prior = self._deduped_job_locked(submit_key)
+                if prior is not None:
+                    return prior
         job = new_job(payload)
         with self._lock:
             if submit_key is not None:
                 # Two racing submissions with one key: first one wins.
-                existing = self._submit_keys.get(submit_key)
-                if existing is not None:
-                    return self._jobs[existing]
+                prior = self._deduped_job_locked(submit_key)
+                if prior is not None:
+                    return prior
                 self._submit_keys[submit_key] = job.id
+                self._evict_submit_keys_locked()
             self._jobs[job.id] = job
         self._queue.put(job.id)
         return job
+
+    def _deduped_job_locked(self, submit_key: str) -> Optional[Job]:
+        """The job ``submit_key`` named before, or ``None`` if unseen.
+
+        Caller holds ``self._lock``. A key whose job record no longer
+        exists (pruned, or lost to a restart) is dropped and the key
+        treated as new — returning a dangling id would KeyError.
+        """
+        existing = self._submit_keys.get(submit_key)
+        if existing is None:
+            return None
+        job = self._jobs.get(existing)
+        if job is None:
+            del self._submit_keys[submit_key]
+        return job
+
+    def _evict_submit_keys_locked(self) -> None:
+        """Drop the oldest terminal-job keys past the retention cap.
+
+        Caller holds ``self._lock``. Keys whose job is still queued or
+        running are never dropped — losing one would let a retried
+        submission double-run an in-flight job. Insertion order is the
+        age order (dicts preserve it), so eviction is oldest-first.
+        """
+        overflow = len(self._submit_keys) - self.submit_key_retention_max
+        if overflow <= 0:
+            return
+        for key in list(self._submit_keys):
+            if overflow <= 0:
+                break
+            job = self._jobs.get(self._submit_keys[key])
+            if job is None or job.status in ("done", "error"):
+                del self._submit_keys[key]
+                overflow -= 1
 
     def job(self, job_id: str) -> Job:
         with self._lock:

@@ -132,6 +132,14 @@ class ServeFrontend:
         #: it — ids must never recycle across restarts).
         self._gw_next = 1
         self._lock = threading.RLock()
+        #: Serializes an accept's (WAL append + ledger insert) against a
+        #: checkpoint's (snapshot + log truncate) — the pair must be
+        #: atomic or a compaction can truncate an accept record its
+        #: snapshot never saw, losing a 202'd job. A dedicated gate
+        #: (rather than ``_lock``) keeps the append's I/O from blocking
+        #: ledger readers: status polls, /health, and the dispatcher
+        #: only ever take ``_lock``, which accepts hold just briefly.
+        self._wal_gate = threading.Lock()
         #: gw id -> ledger record (see POST /jobs).
         self.ledger: Dict[str, Dict] = {}
         #: submit_key -> gw id (client idempotency keys).
@@ -217,9 +225,13 @@ class ServeFrontend:
         self._wake_w.close()
         if self.wal is not None:
             # Clean shutdown: fold the whole ledger into the checkpoint
-            # so the next boot replays a snapshot, not a long log.
+            # so the next boot replays a snapshot, not a long log. Under
+            # the accept gate for the same reason as _maintain_ledger —
+            # a straggling accept must not append into the log segment
+            # this checkpoint truncates.
             try:
-                self.wal.checkpoint(self._snapshot())
+                with self._wal_gate:
+                    self.wal.checkpoint(self._snapshot())
             except StoreError:
                 pass
             self.wal.close()
@@ -293,14 +305,19 @@ class ServeFrontend:
         records = self.wal.replay()
         for op in records:
             self._apply_wal_record(op, ledger)
-        if not ledger and not records:
-            return
+        # The sequence floor must survive even a fully-compacted boot
+        # (empty ledger, empty log, checkpoint = {ledger: {}, next_gw:
+        # N}): gw ids never recycle across restarts, or a client polling
+        # a pre-crash id could observe a different job's status.
         next_gw = int(checkpoint.get("next_gw", 1) or 1)
         for gw_id in ledger:
             try:
                 next_gw = max(next_gw, int(gw_id.split("-", 1)[1]) + 1)
             except (IndexError, ValueError):
                 continue
+        self._gw_next = next_gw
+        if not ledger and not records:
+            return
         requeued = 0
         for gw_id in sorted(ledger):
             record = ledger[gw_id]
@@ -315,7 +332,6 @@ class ServeFrontend:
             if key:
                 self._submit_keys[key] = gw_id
         self.ledger = ledger
-        self._gw_next = next_gw
         self.stats["recovered"] = len(ledger)
         self.stats["recovered_requeued"] = requeued
         self._batch_event.set()
@@ -418,7 +434,13 @@ class ServeFrontend:
             evicted or self.wal.records_since_checkpoint >= self.wal_compact_every
         ):
             try:
-                self.wal.checkpoint(self._snapshot())
+                # Snapshot and truncate under the accept gate: an accept
+                # appends + inserts inside the same gate, so the
+                # snapshot either already contains its record or the
+                # append lands after the truncate — never in a log
+                # segment the checkpoint is about to discard.
+                with self._wal_gate:
+                    self.wal.checkpoint(self._snapshot())
             except StoreError:
                 with self._lock:
                     self.stats["wal_append_failures"] += 1
@@ -683,6 +705,21 @@ class ServeFrontend:
 
     # -- gateway job ledger ---------------------------------------------
 
+    def _dedupe_locked(self, submit_key: str) -> Optional[Dict]:
+        """The prior record for ``submit_key``, or ``None`` if unseen.
+
+        Caller holds ``self._lock``.
+        """
+        existing = self._submit_keys.get(submit_key)
+        if existing is None or existing not in self.ledger:
+            return None
+        self.stats["deduped"] += 1
+        deduped = {
+            k: v for k, v in self.ledger[existing].items() if k != "payload"
+        }
+        deduped["deduped"] = True
+        return deduped
+
     def _accept_job(self, body: bytes) -> Dict:
         if not body:
             raise ServeError("request body must be a JSON object")
@@ -699,55 +736,61 @@ class ServeFrontend:
             if not isinstance(submit_key, str) or not submit_key:
                 raise ServeError("submit_key must be a non-empty string")
             with self._lock:
-                existing = self._submit_keys.get(submit_key)
-                if existing is not None and existing in self.ledger:
-                    self.stats["deduped"] += 1
-                    deduped = {
-                        k: v
-                        for k, v in self.ledger[existing].items()
-                        if k != "payload"
-                    }
-                    deduped["deduped"] = True
+                deduped = self._dedupe_locked(submit_key)
+                if deduped is not None:
                     return deduped
         probe = new_job(payload)  # full validation; the probe id is discarded
-        with self._lock:
-            # Accepts run on the io pool — the sequence allocation must
-            # be atomic or two threads mint the same gw id.
-            gw_id = f"gw-{self._gw_next:08d}"
-            self._gw_next += 1
-        record = {
-            "id": gw_id,
-            "workload": probe.workload,
-            "profiler": probe.profiler,
-            # The routing key, normalized exactly like the daemon's index
-            # entry so the job lands on the shard its profile belongs to.
-            "config_hash": _probe_config_hash(probe),
-            "status": "accepted",
-            "shard": None,
-            "shard_job_id": None,
-            "profile_id": None,
-            "error": None,
-            "accepted_at": time.time(),
-            "terminal_at": None,
-            "submit_key": submit_key,
-            "payload": payload,
-        }
-        if self.wal is not None:
-            # Strict: 202 *means* durable. A failed append (torn write,
-            # full disk) refuses the job so the client knows to retry.
-            try:
-                self.wal.append({"op": "accept", "record": record})
-            except StoreError as exc:
-                with self._lock:
-                    self.stats["wal_append_failures"] += 1
-                raise ServeError(f"job not accepted: {exc}") from None
-        with self._lock:
-            self.ledger[gw_id] = record
-            if submit_key is not None:
-                self._submit_keys[submit_key] = gw_id
-            self._pending.append(gw_id)
-            self.stats["accepted"] += 1
-            depth = len(self._pending)
+        with self._wal_gate:
+            # The gate spans dedupe re-check → WAL append → ledger
+            # insert. The re-check closes the check-then-act window two
+            # racing resubmits would slip through (validation above runs
+            # unlocked), and _maintain_ledger snapshots + truncates
+            # under this same gate, so a compaction can never truncate
+            # an appended accept before its snapshot sees it.
+            with self._lock:
+                if submit_key is not None:
+                    deduped = self._dedupe_locked(submit_key)
+                    if deduped is not None:
+                        return deduped
+                # Accepts run on the io pool — the sequence allocation
+                # must be atomic or two threads mint the same gw id.
+                gw_id = f"gw-{self._gw_next:08d}"
+                self._gw_next += 1
+            record = {
+                "id": gw_id,
+                "workload": probe.workload,
+                "profiler": probe.profiler,
+                # The routing key, normalized exactly like the daemon's
+                # index entry so the job lands on the shard its profile
+                # belongs to.
+                "config_hash": _probe_config_hash(probe),
+                "status": "accepted",
+                "shard": None,
+                "shard_job_id": None,
+                "profile_id": None,
+                "error": None,
+                "accepted_at": time.time(),
+                "terminal_at": None,
+                "submit_key": submit_key,
+                "payload": payload,
+            }
+            if self.wal is not None:
+                # Strict: 202 *means* durable. A failed append (torn
+                # write, full disk) refuses the job so the client knows
+                # to retry.
+                try:
+                    self.wal.append({"op": "accept", "record": record})
+                except StoreError as exc:
+                    with self._lock:
+                        self.stats["wal_append_failures"] += 1
+                    raise ServeError(f"job not accepted: {exc}") from None
+            with self._lock:
+                self.ledger[gw_id] = record
+                if submit_key is not None:
+                    self._submit_keys[submit_key] = gw_id
+                self._pending.append(gw_id)
+                self.stats["accepted"] += 1
+                depth = len(self._pending)
         if depth >= self.batch_max:
             self._batch_event.set()
         return {k: v for k, v in record.items() if k != "payload"}

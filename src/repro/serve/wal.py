@@ -278,6 +278,21 @@ class WriteAheadLog:
             finally:
                 os.close(fd)
             os.replace(tmp, self.checkpoint_path)
+            # The rename must be durable *before* the log records it
+            # supersedes are discarded, or power loss can persist the
+            # truncate but not the rename — old checkpoint + empty log,
+            # every record since the last checkpoint gone. fsync on the
+            # parent directory is what commits a rename; skipped only on
+            # platforms that refuse directory fsync (the kill -9 tier is
+            # unaffected either way).
+            try:
+                dir_fd = os.open(self.root, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
+            except OSError:
+                pass
             self._fh.truncate(0)
             self._fh.seek(0)
             self._good_offset = 0

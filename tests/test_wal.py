@@ -19,6 +19,8 @@ The end-to-end kill -9 / reshard-under-load proofs live in
 ``tests/test_chaos.py``; these tests pin down the pieces they compose.
 """
 
+import json
+import threading
 import time
 
 import pytest
@@ -235,6 +237,66 @@ def test_recovery_converges_when_log_overlaps_checkpoint(
     assert frontend._gw_next == 2
 
 
+def test_recovery_restores_gw_sequence_after_full_compaction(
+    frontend_factory, tmp_path
+):
+    # After a quiet stretch every terminal record is evicted and
+    # compacted away: the checkpoint is {ledger: {}, next_gw: N} and the
+    # log is empty. The sequence floor must still be honored — gw ids
+    # never recycle across restarts.
+    wal = WriteAheadLog(tmp_path / "wal")
+    wal.checkpoint({"format": 1, "next_gw": 42, "ledger": {}})
+    wal.close()
+
+    frontend = frontend_factory()
+    frontend._recover()
+    assert frontend.ledger == {}
+    assert frontend._gw_next == 42
+
+
+def test_concurrent_accepts_survive_checkpoints(frontend_factory, tmp_path):
+    # Accept appends the WAL record and inserts into the ledger in one
+    # critical section, and checkpoint snapshots + truncates under the
+    # same lock — so a compaction racing a burst of accepts can never
+    # truncate an accept the snapshot missed. Model the crash with
+    # abandon() (no fsync) and assert recovery sees every 202'd job.
+    frontend = frontend_factory(wal_compact_every=1)
+    body = json.dumps(
+        {"workload": "pprint", "mode": "cpu", "scale": 0.05}
+    ).encode("utf-8")
+    accepted = []
+    accepted_lock = threading.Lock()
+
+    def accept_burst():
+        for _ in range(40):
+            record = frontend._accept_job(body)
+            with accepted_lock:
+                accepted.append(record["id"])
+
+    def checkpoint_storm(stop):
+        while not stop.is_set():
+            frontend._maintain_ledger()  # compact_every=1: checkpoints
+
+    stop = threading.Event()
+    acceptors = [threading.Thread(target=accept_burst) for _ in range(3)]
+    compactor = threading.Thread(target=checkpoint_storm, args=(stop,))
+    compactor.start()
+    for thread in acceptors:
+        thread.start()
+    for thread in acceptors:
+        thread.join()
+    stop.set()
+    compactor.join()
+    frontend.wal.abandon()
+
+    recovered = frontend_factory()
+    recovered._recover()
+    assert len(accepted) == len(set(accepted)) == 120  # no gw id minted twice
+    missing = set(accepted) - set(recovered.ledger)
+    assert not missing  # every 202 is durable, checkpoints notwithstanding
+    assert recovered._gw_next > max(int(gw.split("-")[1]) for gw in accepted)
+
+
 def test_terminal_eviction_respects_retention_and_compacts(frontend_factory):
     frontend = frontend_factory(terminal_retention_s=0.0)
     old = _accept_op("gw-00000001")["record"]
@@ -274,6 +336,39 @@ def test_daemon_dedupes_submit_keys(tmp_path):
     assert again.id == first.id
     assert other.id != first.id
     assert len(daemon.jobs()) == 2  # the retry did not enqueue a double-run
+
+
+def test_daemon_submit_key_map_is_bounded(tmp_path):
+    daemon = ProfileDaemon(
+        str(tmp_path / "store"), workers=1, submit_key_retention_max=2
+    )
+    payload = {"workload": "pprint", "mode": "cpu", "scale": 0.05}
+    for i in range(4):
+        job = daemon.submit({**payload, "submit_key": f"dk-{i}"})
+        job.status = "done"  # terminal: the key is now evictable
+    # Oldest terminal keys fall off at the cap; the newest survive.
+    assert sorted(daemon._submit_keys) == ["dk-2", "dk-3"]
+    # Keys for live (non-terminal) jobs are never evicted — dropping
+    # one would let a retried submission double-run an in-flight job.
+    live = daemon.submit({**payload, "submit_key": "dk-live"})
+    daemon.submit({**payload, "submit_key": "dk-4"}).status = "done"
+    daemon.submit({**payload, "submit_key": "dk-5"}).status = "done"
+    assert "dk-live" in daemon._submit_keys
+    assert daemon.submit({**payload, "submit_key": "dk-live"}).id == live.id
+
+
+def test_daemon_dangling_submit_key_treated_as_new(tmp_path):
+    daemon = ProfileDaemon(str(tmp_path / "store"), workers=1)
+    payload = {"workload": "pprint", "mode": "cpu", "scale": 0.05,
+               "submit_key": "dk-gone"}
+    first = daemon.submit(dict(payload))
+    # Prune the job record out from under its key (retention, restart):
+    # the stale mapping must not KeyError — the key is simply new again.
+    with daemon._lock:
+        del daemon._jobs[first.id]
+    fresh = daemon.submit(dict(payload))
+    assert fresh.id != first.id
+    assert daemon._submit_keys["dk-gone"] == fresh.id
 
 
 # -- ring epochs ------------------------------------------------------------
